@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Section 5.1: storage overhead of each protection option, for the
+ * Table 1 L1 and L2 geometries.
+ *
+ * Expected shape: SECDED pays 12.5% at L1 (8 bits per 64-bit word);
+ * all parity-family schemes pay the parity bits; CPPC adds only two
+ * registers and two barrel shifters on top of parity; 2D parity adds
+ * one vertical parity row.
+ */
+
+#include <iostream>
+
+#include "cache/write_back_cache.hh"
+#include "cppc/barrel_shifter.hh"
+#include "sim/paper_config.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace cppc;
+
+namespace {
+
+double
+overheadPct(SchemeKind kind, const CacheGeometry &geom,
+            const CppcConfig &cfg = CppcConfig{})
+{
+    MainMemory mem;
+    WriteBackCache cache("c", geom, ReplacementKind::LRU, &mem,
+                         makeScheme(kind, cfg));
+    return 100.0 *
+        static_cast<double>(cache.scheme()->codeBitsTotal()) /
+        static_cast<double>(geom.dataBits());
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    std::cout << "=== Ablation: storage overhead (Section 5.1) ===\n\n";
+
+    CacheGeometry l1 = PaperConfig::l1dGeometry();
+    CacheGeometry l2 = PaperConfig::l2Geometry();
+
+    TextTable t({"scheme", "L1_overhead_pct", "L2_overhead_pct"});
+    double p1_l1 = overheadPct(SchemeKind::Parity1D, l1);
+    double p1_l2 = overheadPct(SchemeKind::Parity1D, l2);
+    double cp_l1 = overheadPct(SchemeKind::Cppc, l1);
+    double cp_l2 = overheadPct(SchemeKind::Cppc, l2);
+    double se_l1 = overheadPct(SchemeKind::Secded, l1);
+    double se_l2 = overheadPct(SchemeKind::Secded, l2);
+    double p2_l1 = overheadPct(SchemeKind::Parity2D, l1);
+    double p2_l2 = overheadPct(SchemeKind::Parity2D, l2);
+
+    t.row().add("parity-1d").add(p1_l1, 3).add(p1_l2, 3);
+    t.row().add("cppc (1 pair)").add(cp_l1, 3).add(cp_l2, 3);
+    t.row().add("parity-2d").add(p2_l1, 3).add(p2_l2, 3);
+    t.row().add("secded").add(se_l1, 3).add(se_l2, 3);
+    // Related-work points of comparison (Section 2).
+    t.row()
+        .add("icr [24]")
+        .add(overheadPct(SchemeKind::Icr, l1), 3)
+        .add(overheadPct(SchemeKind::Icr, l2), 3);
+    t.row()
+        .add("mem-mapped ecc [23]")
+        .add(overheadPct(SchemeKind::MmEcc, l1), 3)
+        .add(overheadPct(SchemeKind::MmEcc, l2), 3);
+    t.print(std::cout);
+
+    // CPPC register-pair scaling (Section 3.4 / 4.11).
+    TextTable s({"cppc pairs", "L1_overhead_pct", "barrel_muxes"});
+    for (unsigned pairs : {1u, 2u, 4u, 8u}) {
+        CppcConfig cfg;
+        cfg.pairs_per_domain = pairs;
+        cfg.byte_shifting = pairs != 8;
+        BarrelShifter sh(l1.unit_bytes * 8);
+        s.row()
+            .add(strfmt("%u", pairs))
+            .add(overheadPct(SchemeKind::Cppc, l1, cfg), 3)
+            .add(uint64_t(cfg.byte_shifting ? 2 * sh.cost().muxes : 0));
+    }
+    std::cout << "\n";
+    s.print(std::cout);
+
+    bool ok = true;
+    // SECDED's classic 12.5% at L1; parity family at 12.5% parity bits
+    // for L1 words; CPPC within a whisker of plain parity.
+    ok &= se_l1 > 12.4 && se_l1 < 12.6;
+    ok &= cp_l1 - p1_l1 < 0.1;   // two registers on 32KB: ~0.05%
+    ok &= p2_l1 - p1_l1 < 0.1;   // one vertical row
+    ok &= cp_l2 < se_l2;         // CPPC cheaper than SECDED at L2 too
+    std::cout << "\nshape check (CPPC ~ parity << SECDED): "
+              << (ok ? "PASS" : "FAIL") << "\n";
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Section 1's alternative design point: a write-through parity L1
+ * needs no correction (no dirty data), but every store travels to the
+ * L2.  CPPC's pitch is write-back efficiency *with* correction.
+ *
+ * This harness compares three L1 organisations over a SECDED L2:
+ *   - write-back + 1D parity (fast, but dirty faults are fatal)
+ *   - write-through + 1D parity (safe, but store traffic explodes)
+ *   - write-back + CPPC (safe and cheap: the paper's point)
+ * reporting L2 write traffic, L1+L2 energy and the dirty exposure.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "energy/accountant.hh"
+
+using namespace cppc;
+
+namespace {
+
+struct Result
+{
+    double cpi;
+    uint64_t l2_writes;
+    double energy_pj;
+    double l1_dirty;
+};
+
+Result
+run(SchemeKind l1_kind, bool write_through, uint64_t n)
+{
+    Hierarchy h(l1_kind, SchemeKind::Secded, CppcConfig{}, write_through);
+    OooCoreModel core(PaperConfig::coreParams(), h.l1d.get(), h.l2.get(),
+                      h.l1i.get());
+    DirtyProfiler prof;
+    double cpi = 0;
+    int runs = 0;
+    for (const char *name : {"gcc", "gzip", "vortex"}) {
+        TraceGenerator gen(profileByName(name), 77);
+        CoreResult r = core.run(gen, n / 3, &prof, nullptr);
+        cpi += r.cpi();
+        ++runs;
+    }
+    CactiModel l1_model(PaperConfig::l1dGeometry(), PaperConfig::kFeatureNm);
+    CactiModel l2_model(PaperConfig::l2Geometry(), PaperConfig::kFeatureNm);
+    double energy = EnergyAccountant(l1_model).compute(*h.l1d).total() +
+        EnergyAccountant(l2_model).compute(*h.l2).total();
+    return {cpi / runs, h.l2->stats().write_hits + h.l2->stats().write_misses,
+            energy, prof.avgDirtyFraction()};
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    std::cout << "=== Ablation: write-through L1 vs write-back CPPC "
+                 "(Section 1) ===\n\n";
+
+    uint64_t n = bench::instructionBudget(600'000);
+    Result wb_parity = run(SchemeKind::Parity1D, false, n);
+    std::cerr << "  ran write-back parity\n";
+    Result wt_parity = run(SchemeKind::Parity1D, true, n);
+    std::cerr << "  ran write-through parity\n";
+    Result wb_cppc = run(SchemeKind::Cppc, false, n);
+    std::cerr << "  ran write-back cppc\n";
+
+    TextTable t({"L1 organisation", "CPI", "L2_writes", "L1+L2_energy_uJ",
+                 "L1_dirty_pct", "dirty faults fatal?"});
+    t.row()
+        .add("write-back parity")
+        .add(wb_parity.cpi, 3)
+        .add(wb_parity.l2_writes)
+        .add(wb_parity.energy_pj * 1e-6, 2)
+        .add(wb_parity.l1_dirty * 100, 1)
+        .add("YES (DUE)");
+    t.row()
+        .add("write-through parity")
+        .add(wt_parity.cpi, 3)
+        .add(wt_parity.l2_writes)
+        .add(wt_parity.energy_pj * 1e-6, 2)
+        .add(wt_parity.l1_dirty * 100, 1)
+        .add("no dirty data");
+    t.row()
+        .add("write-back CPPC")
+        .add(wb_cppc.cpi, 3)
+        .add(wb_cppc.l2_writes)
+        .add(wb_cppc.energy_pj * 1e-6, 2)
+        .add(wb_cppc.l1_dirty * 100, 1)
+        .add("corrected");
+    t.print(std::cout);
+
+    std::cout << "\nmeasured: write-through multiplies L2 write traffic "
+              << (wt_parity.l2_writes /
+                  std::max<uint64_t>(1, wb_parity.l2_writes))
+              << "x over write-back\n";
+    bool shape = wt_parity.l2_writes > 5 * wb_parity.l2_writes &&
+        wt_parity.energy_pj > wb_cppc.energy_pj &&
+        wt_parity.l1_dirty < 0.01 && wb_cppc.l1_dirty > 0.05;
+    std::cout << "shape check (write-through trades store traffic for "
+                 "safety; CPPC avoids the trade): "
+              << (shape ? "PASS" : "FAIL") << "\n";
+    return shape ? 0 : 1;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared plumbing for the table/figure reproduction harnesses: run the
+ * 15 benchmarks under the compared schemes and print paper-vs-measured
+ * rows.
+ */
+
+#ifndef CPPC_BENCH_BENCH_UTIL_HH
+#define CPPC_BENCH_BENCH_UTIL_HH
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace cppc::bench {
+
+/** Instruction budget per (benchmark, scheme) run; overridable. */
+inline uint64_t
+instructionBudget(uint64_t dflt = 2'000'000)
+{
+    if (const char *env = std::getenv("CPPC_BENCH_INSTRUCTIONS"))
+        return std::strtoull(env, nullptr, 10);
+    return dflt;
+}
+
+/** Results keyed by (benchmark, scheme). */
+using RunGrid = std::map<std::string, std::map<SchemeKind, RunMetrics>>;
+
+/**
+ * Run every profile under @p kinds.  Deterministic: one fixed seed per
+ * benchmark.
+ */
+inline RunGrid
+runAll(const std::vector<SchemeKind> &kinds, const ExperimentOptions &base)
+{
+    RunGrid grid;
+    for (const auto &profile : spec2000Profiles()) {
+        for (SchemeKind kind : kinds) {
+            ExperimentOptions opts = base;
+            RunMetrics m = runExperiment(profile, kind, opts);
+            grid[profile.name][kind] = m;
+        }
+        std::cerr << "  ran " << profile.name << "\n";
+    }
+    return grid;
+}
+
+/** Geometric mean helper used for "average" rows. */
+inline double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs)
+        log_sum += std::log(x);
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+} // namespace cppc::bench
+
+#endif // CPPC_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 11: dynamic energy of the L1 cache options normalized to the
+ * one-dimensional-parity L1 cache.
+ *
+ * Paper result (averages): CPPC +14%, SECDED(+8-way interleaving)
+ * +42%, two-dimensional parity +70%.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace cppc;
+
+int
+main()
+{
+    setQuiet(true);
+    std::cout << "=== Figure 11: L1 dynamic energy normalized to 1D parity"
+                 " ===\n";
+    std::cout << "paper: cppc ~1.14x, secded ~1.42x, 2d-parity ~1.70x\n\n";
+
+    ExperimentOptions opts;
+    opts.instructions = bench::instructionBudget();
+    bench::RunGrid grid = bench::runAll(
+        {SchemeKind::Parity1D, SchemeKind::Cppc, SchemeKind::Secded,
+         SchemeKind::Parity2D},
+        opts);
+
+    TextTable t({"benchmark", "cppc", "secded", "2dparity"});
+    std::vector<double> c, s, d;
+    for (const auto &[name, runs] : grid) {
+        double base = runs.at(SchemeKind::Parity1D).l1_energy.total();
+        double cppc_n = runs.at(SchemeKind::Cppc).l1_energy.total() / base;
+        double sec_n = runs.at(SchemeKind::Secded).l1_energy.total() / base;
+        double twod_n =
+            runs.at(SchemeKind::Parity2D).l1_energy.total() / base;
+        c.push_back(cppc_n);
+        s.push_back(sec_n);
+        d.push_back(twod_n);
+        t.row().add(name).add(cppc_n, 3).add(sec_n, 3).add(twod_n, 3);
+    }
+    double ca = bench::geomean(c), sa = bench::geomean(s),
+           da = bench::geomean(d);
+    t.row().add("GEOMEAN").add(ca, 3).add(sa, 3).add(da, 3);
+    t.print(std::cout);
+
+    std::cout << "\nmeasured averages: cppc " << ca << "x, secded " << sa
+              << "x, 2d-parity " << da << "x\n";
+    bool shape = ca < sa && sa < da * 1.25 && ca < da;
+    std::cout << "shape check (cppc cheapest, 2d/secded expensive): "
+              << (shape ? "PASS" : "FAIL") << "\n";
+    return shape ? 0 : 1;
+}

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the hot operations: the XOR
+ * register update path, parity computation, SECDED codec, cache store
+ * path, single-word recovery and the spatial fault locator.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <memory>
+
+#include "cppc/cppc_scheme.hh"
+#include "cppc/fault_locator.hh"
+#include "protection/hamming.hh"
+#include "fault/campaign.hh"
+#include "sim/experiment.hh"
+#include "sim/paper_config.hh"
+#include "util/rng.hh"
+
+using namespace cppc;
+
+namespace {
+
+void
+BM_WideWordXor(benchmark::State &state)
+{
+    unsigned bytes = static_cast<unsigned>(state.range(0));
+    Rng rng(1);
+    WideWord a = WideWord::random(rng, bytes);
+    WideWord b = WideWord::random(rng, bytes);
+    for (auto _ : state) {
+        a ^= b;
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_WideWordXor)->Arg(8)->Arg(32);
+
+void
+BM_WideWordRotate(benchmark::State &state)
+{
+    unsigned bytes = static_cast<unsigned>(state.range(0));
+    Rng rng(2);
+    WideWord a = WideWord::random(rng, bytes);
+    unsigned k = 3;
+    for (auto _ : state) {
+        WideWord r = a.rotatedLeft(k);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_WideWordRotate)->Arg(8)->Arg(32);
+
+void
+BM_InterleavedParity(benchmark::State &state)
+{
+    unsigned bytes = static_cast<unsigned>(state.range(0));
+    Rng rng(3);
+    WideWord a = WideWord::random(rng, bytes);
+    for (auto _ : state) {
+        uint64_t p = a.interleavedParity(8);
+        benchmark::DoNotOptimize(p);
+    }
+}
+BENCHMARK(BM_InterleavedParity)->Arg(8)->Arg(32);
+
+void
+BM_SecdedEncode(benchmark::State &state)
+{
+    unsigned bits = static_cast<unsigned>(state.range(0));
+    HammingSecded codec(bits);
+    Rng rng(4);
+    WideWord d = WideWord::random(rng, bits / 8);
+    for (auto _ : state) {
+        uint32_t c = codec.encode(d);
+        benchmark::DoNotOptimize(c);
+    }
+}
+BENCHMARK(BM_SecdedEncode)->Arg(64)->Arg(256);
+
+void
+BM_SecdedDecodeClean(benchmark::State &state)
+{
+    HammingSecded codec(64);
+    Rng rng(5);
+    WideWord d = WideWord::random(rng, 8);
+    uint32_t code = codec.encode(d);
+    for (auto _ : state) {
+        auto r = codec.decode(d, code);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_SecdedDecodeClean);
+
+void
+BM_StorePath(benchmark::State &state)
+{
+    // Full store path through the L1 for each scheme kind.
+    auto kind = static_cast<SchemeKind>(state.range(0));
+    MainMemory mem;
+    WriteBackCache cache("L1D", PaperConfig::l1dGeometry(),
+                         ReplacementKind::LRU, &mem, makeScheme(kind));
+    Rng rng(6);
+    uint64_t i = 0;
+    for (auto _ : state) {
+        Addr a = (rng.nextBelow(2048)) * 8;
+        auto out = cache.storeWord(a, i++);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_StorePath)
+    ->Arg(static_cast<int>(SchemeKind::Parity1D))
+    ->Arg(static_cast<int>(SchemeKind::Cppc))
+    ->Arg(static_cast<int>(SchemeKind::Secded))
+    ->Arg(static_cast<int>(SchemeKind::Parity2D));
+
+void
+BM_LoadPathClean(benchmark::State &state)
+{
+    auto kind = static_cast<SchemeKind>(state.range(0));
+    MainMemory mem;
+    WriteBackCache cache("L1D", PaperConfig::l1dGeometry(),
+                         ReplacementKind::LRU, &mem, makeScheme(kind));
+    for (Addr a = 0; a < 16 * 1024; a += 8)
+        cache.storeWord(a, a);
+    Rng rng(7);
+    for (auto _ : state) {
+        Addr a = rng.nextBelow(2048) * 8;
+        auto out = cache.load(a, 8, nullptr);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_LoadPathClean)
+    ->Arg(static_cast<int>(SchemeKind::Parity1D))
+    ->Arg(static_cast<int>(SchemeKind::Cppc))
+    ->Arg(static_cast<int>(SchemeKind::Secded));
+
+void
+BM_CppcSingleWordRecovery(benchmark::State &state)
+{
+    MainMemory mem;
+    CacheGeometry g;
+    g.size_bytes = 8 * 1024;
+    g.assoc = 1;
+    g.line_bytes = 32;
+    g.unit_bytes = 8;
+    WriteBackCache cache("L1D", g, ReplacementKind::LRU, &mem,
+                         makeScheme(SchemeKind::Cppc));
+    for (Addr a = 0; a < g.size_bytes; a += 8)
+        cache.storeWord(a, a * 31 + 7);
+    Rng rng(8);
+    for (auto _ : state) {
+        Row r = static_cast<Row>(rng.nextBelow(g.numRows()));
+        unsigned bit = static_cast<unsigned>(rng.nextBelow(64));
+        cache.corruptBit(r, bit);
+        auto out = cache.load(cache.rowAddr(r), 8, nullptr);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_CppcSingleWordRecovery);
+
+void
+BM_SolverLocator4x8(benchmark::State &state)
+{
+    // A 4-row, 8-bit-wide straddling strike (the Figure 8/9 shape).
+    SolverFaultLocator loc(8);
+    std::vector<FaultyWord> words;
+    WideWord r3(8);
+    for (unsigned r = 0; r < 4; ++r) {
+        WideWord mask(8);
+        for (unsigned c = 5; c < 13; ++c)
+            mask.setBit(c);
+        words.push_back(
+            {r, static_cast<uint8_t>(mask.interleavedParity(8))});
+        r3 ^= mask.rotatedLeft(r);
+    }
+    for (auto _ : state) {
+        auto flips = loc.locate(words, r3);
+        benchmark::DoNotOptimize(flips);
+    }
+}
+BENCHMARK(BM_SolverLocator4x8);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    TraceGenerator gen(profileByName("gcc"), 1);
+    for (auto _ : state) {
+        TraceRecord r = gen.next();
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_TraceGeneration);
+
+void
+BM_CampaignInjection(benchmark::State &state)
+{
+    MainMemory mem;
+    CacheGeometry g;
+    g.size_bytes = 8 * 1024;
+    g.assoc = 1;
+    g.line_bytes = 32;
+    g.unit_bytes = 8;
+    WriteBackCache cache("L1D", g, ReplacementKind::LRU, &mem,
+                         makeScheme(SchemeKind::Cppc));
+    for (Addr a = 0; a < g.size_bytes; a += 8)
+        cache.storeWord(a, a * 3 + 1);
+    Campaign::Config cc;
+    cc.shapes = StrikeShapeDistribution::scaledTechnologyMix(0.5);
+    Campaign campaign(cache, cc);
+    Rng rng(9);
+    StrikePlacer placer(g.numRows(), 64);
+    for (auto _ : state) {
+        Strike s = placer.place(cc.shapes.sample(rng), rng);
+        auto o = campaign.runOne(s);
+        benchmark::DoNotOptimize(o);
+    }
+}
+BENCHMARK(BM_CampaignInjection);
+
+void
+BM_TimedInstruction(benchmark::State &state)
+{
+    // Full per-instruction cost of the timing model over the paper
+    // hierarchy (trace + fetch + data access + port model).
+    Hierarchy h(SchemeKind::Cppc);
+    OooCoreModel core(PaperConfig::coreParams(), h.l1d.get(), h.l2.get(),
+                      h.l1i.get());
+    TraceGenerator gen(profileByName("gzip"), 2);
+    for (auto _ : state) {
+        CoreResult r = core.run(gen, 1000);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_TimedInstruction);
+
+void
+BM_PaperLocator4x8(benchmark::State &state)
+{
+    PaperFaultLocator loc(8);
+    std::vector<FaultyWord> words;
+    WideWord r3(8);
+    for (unsigned r = 0; r < 4; ++r) {
+        WideWord mask(8);
+        for (unsigned c = 5; c < 13; ++c)
+            mask.setBit(c);
+        words.push_back(
+            {r, static_cast<uint8_t>(mask.interleavedParity(8))});
+        r3 ^= mask.rotatedLeft(r);
+    }
+    for (auto _ : state) {
+        auto flips = loc.locate(words, r3);
+        benchmark::DoNotOptimize(flips);
+    }
+}
+BENCHMARK(BM_PaperLocator4x8);
+
+} // namespace
+
+BENCHMARK_MAIN();

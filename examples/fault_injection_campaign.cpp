@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Monte-Carlo fault-injection campaign comparing the four protection
+ * schemes of Section 6 under three environments: temporal single-bit
+ * upsets, a mild multi-bit mix, and an ITRS-style "mostly multi-bit"
+ * future (Section 5.3 cites ITRS predicting only spatial MBEs by
+ * 2016).
+ *
+ * Usage: fault_injection_campaign [injections-per-cell]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "fault/campaign.hh"
+#include "sim/paper_config.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace cppc;
+
+namespace {
+
+CacheGeometry
+smallL1()
+{
+    CacheGeometry g;
+    g.size_bytes = 8 * 1024;
+    g.assoc = 2;
+    g.line_bytes = 32;
+    g.unit_bytes = 8;
+    return g;
+}
+
+void
+populate(WriteBackCache &cache, double dirty_fraction, uint64_t seed)
+{
+    // Fill the cache with a mix of clean loads and dirty stores.
+    Rng rng(seed);
+    const CacheGeometry &g = cache.geometry();
+    for (Addr a = 0; a < g.size_bytes; a += 8) {
+        if (rng.chance(dirty_fraction)) {
+            uint64_t v = rng.next();
+            uint8_t buf[8];
+            std::memcpy(buf, &v, 8);
+            cache.store(a, 8, buf);
+        } else {
+            cache.load(a, 8, nullptr);
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    uint64_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 10000;
+
+    struct Env
+    {
+        const char *name;
+        StrikeShapeDistribution shapes;
+    };
+    Env envs[] = {
+        {"temporal SEU (single bit)",
+         StrikeShapeDistribution::singleBitOnly()},
+        {"mild MBE mix (25% multi-bit)",
+         StrikeShapeDistribution::scaledTechnologyMix(0.25)},
+        {"ITRS-future (90% multi-bit)",
+         StrikeShapeDistribution::scaledTechnologyMix(0.9)},
+    };
+
+    std::printf("Fault-injection campaign: %llu strikes per cell, cache "
+                "~50%% dirty\n\n",
+                (unsigned long long)n);
+
+    for (const Env &env : envs) {
+        std::printf("--- %s ---\n", env.name);
+        TextTable t({"scheme", "corrected", "due", "sdc", "coverage"});
+        for (SchemeKind kind : kAllSchemes) {
+            MainMemory mem;
+            WriteBackCache cache("L1D", smallL1(), ReplacementKind::LRU,
+                                 &mem, makeScheme(kind));
+            populate(cache, 0.5, 99);
+
+            Campaign::Config cc;
+            cc.injections = n;
+            cc.seed = 1234;
+            cc.shapes = env.shapes;
+            if (kind == SchemeKind::Secded)
+                cc.physical_interleave = 8; // Section 6 configuration
+            CampaignResult r = Campaign(cache, cc).run();
+            t.row()
+                .add(schemeKindName(kind))
+                .add(r.corrected)
+                .add(r.due)
+                .add(r.sdc)
+                .add(r.coverage(), 4);
+        }
+        t.print(std::cout);
+        std::printf("\n");
+    }
+    std::puts("Note: parity-1d refetches clean faults (counted as\n"
+              "corrected) but turns every dirty fault into a DUE; CPPC\n"
+              "keeps coverage high even in the multi-bit future at a\n"
+              "fraction of SECDED's energy (see bench/fig11_l1_energy).");
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Multiprocessor CPPC (the paper's Section 7 future work): two cores
+ * share data through a write-invalidate snooping protocol, and the
+ * coherence actions themselves keep the R1/R2 checkpoint registers
+ * consistent — dirty data removed by an invalidation or downgrade
+ * flows into R2 exactly like an eviction.
+ *
+ * Usage: multicore_demo [cores=2] [ops=200000]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "coherence/multicore.hh"
+#include "cppc/cppc_scheme.hh"
+#include "util/rng.hh"
+
+using namespace cppc;
+
+int
+main(int argc, char **argv)
+{
+    unsigned cores =
+        argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 2;
+    uint64_t ops = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 200000;
+
+    MulticoreSystem sys(cores, SchemeKind::Cppc);
+    std::printf("== %u-core CPPC with write-invalidate coherence ==\n\n",
+                cores);
+
+    // --- producer/consumer walkthrough -------------------------------
+    std::puts("[1] core 0 produces, core 1 consumes:");
+    sys.bus->storeWord(0, 0x1000, 0xFEED);
+    std::printf("    core 1 reads 0x%llx (downgrades core 0's dirty "
+                "copy)\n",
+                (unsigned long long)sys.bus->loadWord(1, 0x1000));
+
+    std::puts("\n[2] a strike hits core 0's copy; the next coherent read"
+              " still sees good data:");
+    sys.bus->storeWord(0, 0x2000, 0xBEAD);
+    // Find the physical row and corrupt it.
+    Row victim = 0;
+    bool found = false;
+    sys.l1s[0]->forEachValidRow([&](Row r, bool dirty) {
+        if (!found && dirty && sys.l1s[0]->rowAddr(r) == 0x2000) {
+            victim = r;
+            found = true;
+        }
+    });
+    if (found)
+        sys.l1s[0]->corruptBit(victim, 13);
+    std::printf("    core 1 reads 0x%llx (fault corrected during the "
+                "write-back verification)\n",
+                (unsigned long long)sys.bus->loadWord(1, 0x2000));
+
+    // --- random shared workload --------------------------------------
+    std::printf("\n[3] random shared workload (%llu ops):\n",
+                (unsigned long long)ops);
+    Rng rng(99);
+    uint64_t stores = 0;
+    for (uint64_t i = 0; i < ops; ++i) {
+        unsigned core = static_cast<unsigned>(rng.nextBelow(cores));
+        Addr a = rng.nextBelow(2048) * 8;
+        if (rng.chance(0.4)) {
+            sys.bus->storeWord(core, a, rng.next());
+            ++stores;
+        } else {
+            sys.bus->loadWord(core, a);
+        }
+    }
+
+    uint64_t rbw = 0;
+    bool invariants = true;
+    for (auto &l1 : sys.l1s) {
+        rbw += l1->scheme()->stats().rbw_words;
+        invariants &=
+            static_cast<CppcScheme *>(l1->scheme())->invariantHolds();
+    }
+    std::printf("    bus: %llu read snoops, %llu write snoops, "
+                "%llu invalidations, %llu downgrades\n",
+                (unsigned long long)sys.bus->stats().read_snoops,
+                (unsigned long long)sys.bus->stats().write_snoops,
+                (unsigned long long)sys.bus->stats().remote_invalidations,
+                (unsigned long long)sys.bus->stats().remote_downgrades);
+    std::printf("    CPPC RBW per store: %.3f (invalidations removed "
+                "dirty words before their overwrite)\n",
+                static_cast<double>(rbw) / static_cast<double>(stores));
+    std::printf("    R1^R2 invariants hold on every core: %s\n",
+                invariants ? "yes" : "NO");
+    return invariants ? 0 : 1;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Quickstart: build a CPPC-protected write-back cache, store some
+ * data, strike it with a particle, and watch the recovery machinery
+ * put the bits back.
+ *
+ * Walks through the paper's Figure 3 (basic recovery) and Figure 5
+ * (byte shifting correcting a vertical two-bit strike).
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "cache/memory_level.hh"
+#include "cache/write_back_cache.hh"
+#include "cppc/cppc_scheme.hh"
+
+using namespace cppc;
+
+int
+main()
+{
+    // A small direct-mapped cache keeps the row arithmetic obvious:
+    // 1 KiB, 32-byte lines, 64-bit protection words.
+    CacheGeometry geom;
+    geom.size_bytes = 1024;
+    geom.assoc = 1;
+    geom.line_bytes = 32;
+    geom.unit_bytes = 8;
+
+    MainMemory mem;
+    auto scheme = std::make_unique<CppcScheme>(); // defaults: 8-way
+                                                  // parity + shifting
+    WriteBackCache cache("L1D", geom, ReplacementKind::LRU, &mem,
+                         std::move(scheme));
+    auto *cppc = static_cast<CppcScheme *>(cache.scheme());
+
+    std::puts("== CPPC quickstart ==\n");
+
+    // --- Figure 3: single-bit fault in a dirty word ------------------
+    std::puts("[1] store two dirty words (they exist nowhere else):");
+    cache.storeWord(0x00, 0x0123456789abcdefull);
+    cache.storeWord(0x08, 0xfedcba9876543210ull);
+    std::printf("    word@0x00 = 0x%016llx\n",
+                (unsigned long long)cache.loadWord(0x00));
+    std::printf("    R1^R2 invariant holds: %s\n",
+                cppc->invariantHolds() ? "yes" : "no");
+
+    std::puts("\n[2] a particle strike flips bit 63 of word 0:");
+    cache.corruptBit(0, 63);
+    std::printf("    raw cell content now 0x%016llx\n",
+                (unsigned long long)cache.rowData(0).toUint64());
+
+    std::puts("\n[3] the next load checks parity and triggers recovery:");
+    AccessOutcome out = cache.load(0x00, 8, nullptr);
+    std::printf("    fault detected: %s, corrected: %s\n",
+                out.fault_detected ? "yes" : "no",
+                out.due ? "NO (DUE!)" : "yes");
+    std::printf("    word@0x00 = 0x%016llx (restored)\n",
+                (unsigned long long)cache.loadWord(0x00));
+
+    // --- Figure 5: vertical two-bit strike ---------------------------
+    std::puts("\n[4] a vertical strike flips bit 5 of two adjacent rows:");
+    cache.corruptBit(0, 5);
+    cache.corruptBit(1, 5);
+    out = cache.load(0x00, 8, nullptr);
+    std::printf("    corrected both rows: %s\n",
+                out.due ? "NO (DUE!)" : "yes");
+    std::printf("    word@0x00 = 0x%016llx, word@0x08 = 0x%016llx\n",
+                (unsigned long long)cache.loadWord(0x00),
+                (unsigned long long)cache.loadWord(0x08));
+    std::puts("    (byte shifting made the two flips land in different"
+              " bits of R1/R2)");
+
+    // --- clean data: fault-to-miss conversion ------------------------
+    std::puts("\n[5] faults in clean data just refetch from below:");
+    uint8_t seed[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    mem.poke(0x100, seed, 8);
+    cache.loadWord(0x100); // clean fill
+    cache.corruptBit(cache.geometry().rowOf(8, 0, 0), 12);
+    out = cache.load(0x100, 8, nullptr);
+    std::printf("    refetched: %s (mem reads so far: %llu)\n",
+                out.due ? "NO" : "yes",
+                (unsigned long long)mem.reads());
+
+    std::printf("\nscheme stats: detections=%llu corrected_dirty=%llu "
+                "refetched_clean=%llu due=%llu\n",
+                (unsigned long long)cppc->stats().detections,
+                (unsigned long long)cppc->stats().corrected_dirty,
+                (unsigned long long)cppc->stats().refetched_clean,
+                (unsigned long long)cppc->stats().due);
+    std::puts("\nDone. See examples/fault_injection_campaign.cpp for the"
+              " full scheme comparison.");
+    return 0;
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Design-space exploration of CPPC's reliability knobs (Sections 3.4,
+ * 4.6, 4.10): parity interleaving, register pairs and protection
+ * domains trade area for MTTF and spatial coverage.
+ *
+ * For each configuration this prints the analytical temporal-MBE MTTF
+ * (the Table 3 model), the storage overhead, and the spatial coverage
+ * measured by a quick injection campaign.
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "cppc/cppc_scheme.hh"
+#include "fault/campaign.hh"
+#include "reliability/mttf_model.hh"
+#include "sim/paper_config.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace cppc;
+
+namespace {
+
+CacheGeometry
+smallL1()
+{
+    CacheGeometry g;
+    g.size_bytes = 8 * 1024;
+    g.assoc = 1;
+    g.line_bytes = 32;
+    g.unit_bytes = 8;
+    return g;
+}
+
+double
+measureCoverage(const CppcConfig &cfg, uint64_t injections)
+{
+    MainMemory mem;
+    WriteBackCache cache("L1D", smallL1(), ReplacementKind::LRU, &mem,
+                         std::make_unique<CppcScheme>(cfg));
+    Rng rng(5);
+    for (Addr a = 0; a < smallL1().size_bytes; a += 8) {
+        uint64_t v = rng.next();
+        uint8_t buf[8];
+        std::memcpy(buf, &v, 8);
+        cache.store(a, 8, buf);
+    }
+    Campaign::Config cc;
+    cc.injections = injections;
+    cc.seed = 42;
+    cc.shapes = StrikeShapeDistribution::scaledTechnologyMix(0.6);
+    return Campaign(cache, cc).run().coverage();
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    std::cout << "CPPC design-space explorer (Table 1 L1 geometry for "
+                 "MTTF, 8KB array for coverage)\n\n";
+
+    MttfModel model;
+    const uint64_t l1_bits = PaperConfig::l1dGeometry().dataBits();
+    const double dirty = 0.16;
+    const double tavg = 1828.0;
+
+    struct Point
+    {
+        const char *label;
+        CppcConfig cfg;
+    };
+    Point points[] = {
+        {"basic, no shifting", [] {
+             CppcConfig c;
+             c.byte_shifting = false;
+             return c;
+         }()},
+        {"1 pair + shifting (paper)", CppcConfig{}},
+        {"2 pairs + shifting", [] {
+             CppcConfig c;
+             c.pairs_per_domain = 2;
+             return c;
+         }()},
+        {"4 pairs + shifting", [] {
+             CppcConfig c;
+             c.pairs_per_domain = 4;
+             return c;
+         }()},
+        {"8 pairs, no shifting (4.11)", [] {
+             CppcConfig c;
+             c.pairs_per_domain = 8;
+             c.byte_shifting = false;
+             return c;
+         }()},
+        {"1 pair, 2 domains", [] {
+             CppcConfig c;
+             c.num_domains = 2;
+             return c;
+         }()},
+        {"1 pair, 4 domains", [] {
+             CppcConfig c;
+             c.num_domains = 4;
+             return c;
+         }()},
+    };
+
+    TextTable t({"configuration", "mttf_years", "overhead_bits",
+                 "spatial_coverage"});
+    for (const Point &p : points) {
+        double mttf = model.cppcMttfYears(
+            l1_bits, dirty, p.cfg.parity_ways, p.cfg.pairs_per_domain,
+            p.cfg.num_domains, tavg);
+        // Storage: parity + registers for the Table 1 L1.
+        MainMemory mem;
+        WriteBackCache cache("L1D", PaperConfig::l1dGeometry(),
+                             ReplacementKind::LRU, &mem,
+                             std::make_unique<CppcScheme>(p.cfg));
+        double coverage = measureCoverage(p.cfg, 4000);
+        t.row()
+            .add(p.label)
+            .addSci(mttf)
+            .add(cache.scheme()->codeBitsTotal())
+            .add(coverage, 4);
+    }
+    t.print(std::cout);
+
+    std::cout
+        << "\nReading the table: every doubling of register pairs or\n"
+           "domains doubles the temporal MTTF (smaller XOR domains) and\n"
+           "widens spatial coverage; the 8-pair design removes the\n"
+           "barrel shifters entirely at the cost of 14 more registers.\n";
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Dirty-residency profiler feeding the Table 2 inputs of the
+ * reliability model: the average fraction of dirty data and "Tavg",
+ * the mean interval between consecutive accesses to a dirty word.
+ */
+
+#ifndef CPPC_CACHE_DIRTY_PROFILER_HH
+#define CPPC_CACHE_DIRTY_PROFILER_HH
+
+#include <unordered_map>
+
+#include "cache/types.hh"
+#include "util/stats.hh"
+
+namespace cppc {
+
+class DirtyProfiler
+{
+  public:
+    /**
+     * Called by the cache on every access to a protection unit.
+     * @param unit_addr  unit-aligned physical address
+     * @param was_dirty  dirty bit before the access
+     * @param now        current simulation cycle
+     */
+    void
+    onAccess(Addr unit_addr, bool was_dirty, Cycle now)
+    {
+        auto [it, inserted] = last_access_.try_emplace(unit_addr, now);
+        if (!inserted) {
+            if (was_dirty)
+                tavg_.add(static_cast<double>(now - it->second));
+            it->second = now;
+        }
+    }
+
+    /** Periodic occupancy sample (fraction of units dirty). */
+    void sampleOccupancy(double dirty_fraction)
+    {
+        occupancy_.add(dirty_fraction);
+    }
+
+    /** Mean cycles between consecutive accesses to a dirty unit. */
+    double tavgCycles() const { return tavg_.mean(); }
+    uint64_t tavgSamples() const { return tavg_.count(); }
+
+    /** Time-averaged dirty fraction. */
+    double avgDirtyFraction() const { return occupancy_.mean(); }
+
+    const RunningStat &tavgStat() const { return tavg_; }
+    const RunningStat &occupancyStat() const { return occupancy_; }
+
+  private:
+    std::unordered_map<Addr, Cycle> last_access_;
+    RunningStat tavg_;
+    RunningStat occupancy_;
+};
+
+} // namespace cppc
+
+#endif // CPPC_CACHE_DIRTY_PROFILER_HH

@@ -1,0 +1,31 @@
+#include "cache/geometry.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace cppc {
+
+void
+CacheGeometry::validate() const
+{
+    if (!isPowerOfTwo(size_bytes) || !isPowerOfTwo(line_bytes) ||
+        !isPowerOfTwo(unit_bytes)) {
+        fatal("cache geometry must use power-of-two sizes "
+              "(size=%llu line=%u unit=%u)",
+              static_cast<unsigned long long>(size_bytes), line_bytes,
+              unit_bytes);
+    }
+    if (assoc == 0 || line_bytes == 0 || unit_bytes == 0)
+        fatal("cache geometry fields must be non-zero");
+    if (unit_bytes > line_bytes)
+        fatal("protection unit (%u B) larger than line (%u B)", unit_bytes,
+              line_bytes);
+    if (size_bytes < static_cast<uint64_t>(assoc) * line_bytes)
+        fatal("cache smaller than one set");
+    if (size_bytes % (static_cast<uint64_t>(assoc) * line_bytes) != 0)
+        fatal("cache size not divisible by way size");
+    if (unit_bytes > 64)
+        fatal("protection unit wider than 64 bytes is not supported");
+}
+
+} // namespace cppc

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Cache geometry: sizes, address slicing and physical row mapping.
+ */
+
+#ifndef CPPC_CACHE_GEOMETRY_HH
+#define CPPC_CACHE_GEOMETRY_HH
+
+#include <cstdint>
+
+#include "cache/types.hh"
+
+namespace cppc {
+
+/**
+ * Describes a set-associative cache organisation.
+ *
+ * @c unit_bytes is the protection-word granularity: the width of the
+ * per-word dirty bits, parity codes and CPPC XOR registers.  For an L1
+ * CPPC this is the 64-bit machine word (8); for an L2 CPPC it is the L1
+ * block size (Section 3.5).
+ */
+struct CacheGeometry
+{
+    uint64_t size_bytes = 32 * 1024;
+    unsigned assoc = 2;
+    unsigned line_bytes = 32;
+    unsigned unit_bytes = 8;
+
+    /** Validate invariants; calls fatal() on a bad configuration. */
+    void validate() const;
+
+    unsigned numSets() const
+    {
+        return static_cast<unsigned>(size_bytes / (assoc * line_bytes));
+    }
+    unsigned unitsPerLine() const { return line_bytes / unit_bytes; }
+    unsigned numLines() const { return numSets() * assoc; }
+    unsigned numRows() const { return numLines() * unitsPerLine(); }
+    uint64_t dataBits() const { return size_bytes * 8; }
+
+    unsigned setIndex(Addr addr) const
+    {
+        return static_cast<unsigned>((addr / line_bytes) % numSets());
+    }
+    Addr tagOf(Addr addr) const { return addr / line_bytes / numSets(); }
+    Addr
+    lineAddr(Addr addr) const
+    {
+        return addr & ~static_cast<Addr>(line_bytes - 1);
+    }
+    unsigned unitInLine(Addr addr) const
+    {
+        return static_cast<unsigned>((addr % line_bytes) / unit_bytes);
+    }
+    unsigned byteInUnit(Addr addr) const
+    {
+        return static_cast<unsigned>(addr % unit_bytes);
+    }
+
+    /** Rebuild a line-aligned address from tag and set. */
+    Addr
+    lineAddrFromTag(Addr tag, unsigned set) const
+    {
+        return (tag * numSets() + set) * line_bytes;
+    }
+
+    /** Physical row of a (set, way, unit) triple. */
+    Row
+    rowOf(unsigned set, unsigned way, unsigned unit) const
+    {
+        return (static_cast<Row>(set) * assoc + way) * unitsPerLine() + unit;
+    }
+};
+
+} // namespace cppc
+
+#endif // CPPC_CACHE_GEOMETRY_HH

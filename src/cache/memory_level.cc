@@ -1,0 +1,68 @@
+#include "cache/memory_level.hh"
+
+#include <cstring>
+
+namespace cppc {
+
+std::vector<uint8_t> &
+MainMemory::pageFor(Addr addr)
+{
+    Addr page = addr >> kPageShift;
+    auto it = pages_.find(page);
+    if (it == pages_.end())
+        it = pages_.emplace(page, std::vector<uint8_t>(kPageBytes, 0)).first;
+    return it->second;
+}
+
+const std::vector<uint8_t> *
+MainMemory::findPage(Addr addr) const
+{
+    auto it = pages_.find(addr >> kPageShift);
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+void
+MainMemory::readLine(Addr addr, uint8_t *out, unsigned len)
+{
+    ++reads_;
+    peek(addr, out, len);
+}
+
+void
+MainMemory::writeLine(Addr addr, const uint8_t *data, unsigned len)
+{
+    ++writes_;
+    poke(addr, data, len);
+}
+
+void
+MainMemory::peek(Addr addr, uint8_t *out, unsigned len) const
+{
+    unsigned done = 0;
+    while (done < len) {
+        Addr a = addr + done;
+        unsigned off = static_cast<unsigned>(a & (kPageBytes - 1));
+        unsigned chunk = std::min(len - done, kPageBytes - off);
+        const auto *page = findPage(a);
+        if (page)
+            std::memcpy(out + done, page->data() + off, chunk);
+        else
+            std::memset(out + done, 0, chunk);
+        done += chunk;
+    }
+}
+
+void
+MainMemory::poke(Addr addr, const uint8_t *data, unsigned len)
+{
+    unsigned done = 0;
+    while (done < len) {
+        Addr a = addr + done;
+        unsigned off = static_cast<unsigned>(a & (kPageBytes - 1));
+        unsigned chunk = std::min(len - done, kPageBytes - off);
+        std::memcpy(pageFor(a).data() + off, data + done, chunk);
+        done += chunk;
+    }
+}
+
+} // namespace cppc

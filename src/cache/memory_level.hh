@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The line-granularity interface between adjacent memory-hierarchy levels,
+ * and the terminal main-memory model.
+ */
+
+#ifndef CPPC_CACHE_MEMORY_LEVEL_HH
+#define CPPC_CACHE_MEMORY_LEVEL_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cache/types.hh"
+
+namespace cppc {
+
+/**
+ * Anything an upper cache level can fetch lines from and write lines
+ * back to.  Implemented by WriteBackCache and MainMemory.
+ */
+class MemoryLevel
+{
+  public:
+    virtual ~MemoryLevel() = default;
+
+    /** Read @p len bytes at @p addr (must not cross this level's line). */
+    virtual void readLine(Addr addr, uint8_t *out, unsigned len) = 0;
+
+    /** Write @p len bytes at @p addr (a write-back from above). */
+    virtual void writeLine(Addr addr, const uint8_t *data, unsigned len) = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/**
+ * Sparse flat memory backing the hierarchy.  Unwritten bytes read as
+ * zero.  Tracks access counts for the energy model and serves as the
+ * architectural "golden" state for clean data.
+ */
+class MainMemory : public MemoryLevel
+{
+  public:
+    explicit MainMemory(std::string name = "mem") : name_(std::move(name)) {}
+
+    void readLine(Addr addr, uint8_t *out, unsigned len) override;
+    void writeLine(Addr addr, const uint8_t *data, unsigned len) override;
+    std::string name() const override { return name_; }
+
+    /** Peek without counting an access (golden-state checks in tests). */
+    void peek(Addr addr, uint8_t *out, unsigned len) const;
+    /** Poke without counting an access (test/bench initialisation). */
+    void poke(Addr addr, const uint8_t *data, unsigned len);
+
+    uint64_t reads() const { return reads_; }
+    uint64_t writes() const { return writes_; }
+
+  private:
+    static constexpr unsigned kPageShift = 12;
+    static constexpr unsigned kPageBytes = 1u << kPageShift;
+
+    std::vector<uint8_t> &pageFor(Addr addr);
+    const std::vector<uint8_t> *findPage(Addr addr) const;
+
+    std::string name_;
+    std::map<Addr, std::vector<uint8_t>> pages_;
+    uint64_t reads_ = 0;
+    uint64_t writes_ = 0;
+};
+
+} // namespace cppc
+
+#endif // CPPC_CACHE_MEMORY_LEVEL_HH

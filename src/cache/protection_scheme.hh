@@ -1,0 +1,186 @@
+/**
+ * @file
+ * The contract between a cache and its error-protection scheme.
+ *
+ * The cache drives the scheme through event hooks (fills, evictions,
+ * stores) and asks it to check / recover protection units on loads and
+ * dirty write-backs.  The scheme reaches back into the cache through the
+ * CacheBackdoor: raw row access used by recovery sweeps, correction
+ * writes, clean refetches and fault injection.  Backdoor writes
+ * deliberately bypass the event hooks — that is what lets fault
+ * injection corrupt data "behind the code's back", and recovery restore
+ * data the code bits already describe.
+ */
+
+#ifndef CPPC_CACHE_PROTECTION_SCHEME_HH
+#define CPPC_CACHE_PROTECTION_SCHEME_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cache/geometry.hh"
+#include "cache/types.hh"
+#include "util/wide_word.hh"
+
+namespace cppc {
+
+/** Raw row-level access into a cache's data array. */
+class CacheBackdoor
+{
+  public:
+    virtual ~CacheBackdoor() = default;
+
+    virtual const CacheGeometry &geometry() const = 0;
+
+    virtual bool rowValid(Row row) const = 0;
+    virtual bool rowDirty(Row row) const = 0;
+
+    /** Current (possibly corrupted) content of a protection unit. */
+    virtual WideWord rowData(Row row) const = 0;
+
+    /** Overwrite a unit without triggering protection hooks. */
+    virtual void pokeRowData(Row row, const WideWord &data) = 0;
+
+    /**
+     * Reload a *clean* unit from the next level (fault-to-miss
+     * conversion, Section 3.2).  @return false if the row is dirty or
+     * invalid, in which case nothing happens.
+     */
+    virtual bool refetchRow(Row row) = 0;
+
+    /** Physical byte address the row currently maps. */
+    virtual Addr rowAddr(Row row) const = 0;
+};
+
+/** Result of a check-and-recover on one protection unit. */
+enum class VerifyOutcome
+{
+    Ok,        ///< no fault detected
+    Refetched, ///< clean fault converted to a miss and refetched
+    Corrected, ///< fault corrected in place via the scheme's code
+    Due        ///< detected but uncorrectable (machine-check)
+};
+
+/** What a store did beyond the data write (for timing and energy). */
+struct StoreEffect
+{
+    /// The scheme read the old word first (steals a read-port cycle).
+    bool rbw = false;
+};
+
+/** What a miss fill did beyond the data movement. */
+struct FillEffect
+{
+    /// The scheme read the full old line content (2D parity fills over
+    /// clean/invalid victims).
+    bool line_rbw = false;
+};
+
+/** Scheme-side event counters consumed by the energy and CPI models. */
+struct SchemeStats
+{
+    uint64_t rbw_words = 0;     ///< word-granularity read-before-writes
+    uint64_t rbw_lines = 0;     ///< full-line reads on miss fills (2D parity)
+    uint64_t detections = 0;    ///< parity/code mismatches observed
+    uint64_t refetched_clean = 0;
+    uint64_t corrected_clean = 0; ///< clean data corrected in place (ECC)
+    uint64_t corrected_dirty = 0;
+    uint64_t corrected_code = 0;  ///< faults in the code bits themselves
+    uint64_t due = 0;
+
+    uint64_t totalRecoveries() const
+    {
+        return refetched_clean + corrected_clean + corrected_dirty +
+            corrected_code + due;
+    }
+};
+
+/**
+ * Abstract error-protection scheme.
+ *
+ * One instance protects exactly one cache; attach() is called once by
+ * the cache and sizes the scheme's code storage from the geometry.
+ */
+class ProtectionScheme
+{
+  public:
+    virtual ~ProtectionScheme() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Bind to a cache; called exactly once, before any traffic. */
+    virtual void attach(CacheBackdoor &cache) = 0;
+
+    /**
+     * A line fill wrote @p n_units clean units starting at @p row0.
+     * @p data points at the line's bytes.  @p victim_was_dirty tells
+     * whether the replaced line was written back (2D parity charges a
+     * full-line read-before-write on misses filling clean lines only,
+     * since dirty victims are read for the write-back anyway).
+     */
+    virtual FillEffect onFill(Row row0, unsigned n_units,
+                              const uint8_t *data,
+                              bool victim_was_dirty) = 0;
+
+    /**
+     * A victim line is leaving the cache (replacement).  @p data is the
+     * line content, @p dirty flags each unit (non-zero = dirty).  Called
+     * after any write-back-time verification, before the fill of the
+     * same rows.  Not called for invalid (cold) ways.
+     */
+    virtual void onEvict(Row row0, unsigned n_units, const uint8_t *data,
+                         const uint8_t *dirty) = 0;
+
+    /**
+     * A store merged @p new_data over @p old_data in @p row.
+     * @p was_dirty is the unit's dirty bit before the store; @p partial
+     * is true when the store covered only part of the unit.
+     */
+    virtual StoreEffect onStore(Row row, const WideWord &old_data,
+                                const WideWord &new_data, bool was_dirty,
+                                bool partial) = 0;
+
+    /**
+     * A dirty unit was written back but stays resident as clean data
+     * (coherence downgrade on a remote read, or an early write-back
+     * scrub).  The data has not left the array — only the dirty set.
+     * CPPC treats this as dirty-data removal (XOR into R2); parity
+     * codes are unaffected.
+     */
+    virtual void
+    onClean(Row row, const WideWord &data)
+    {
+        (void)row;
+        (void)data;
+    }
+
+    /** True iff the row's code matches its current data (no fault). */
+    virtual bool check(Row row) const = 0;
+
+    /**
+     * Full recovery procedure for a row whose check() failed.  May read
+     * and rewrite any rows through the backdoor.  Must leave the cache
+     * consistent (or report Due).
+     */
+    virtual VerifyOutcome recover(Row row) = 0;
+
+    /** Total code-storage overhead in bits (area comparison, Sec 5.1). */
+    virtual uint64_t codeBitsTotal() const = 0;
+
+    /**
+     * Relative dynamic bitline-energy factor for data accesses.
+     * Physically bit-interleaved SECDED precharges 8x the bitlines
+     * (Section 6.2); everything else is 1.0.
+     */
+    virtual double bitlineOverheadFactor() const { return 1.0; }
+
+    const SchemeStats &stats() const { return stats_; }
+    void resetStats() { stats_ = SchemeStats(); }
+
+  protected:
+    SchemeStats stats_;
+};
+
+} // namespace cppc
+
+#endif // CPPC_CACHE_PROTECTION_SCHEME_HH

@@ -1,0 +1,124 @@
+#include "cache/replacement.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace cppc {
+
+ReplacementKind
+parseReplacementKind(const std::string &name)
+{
+    if (name == "lru")
+        return ReplacementKind::LRU;
+    if (name == "plru")
+        return ReplacementKind::TreePLRU;
+    if (name == "random")
+        return ReplacementKind::Random;
+    fatal("unknown replacement policy '%s'", name.c_str());
+}
+
+std::unique_ptr<ReplacementPolicy>
+ReplacementPolicy::create(ReplacementKind kind, unsigned sets, unsigned assoc,
+                          uint64_t seed)
+{
+    switch (kind) {
+      case ReplacementKind::LRU:
+        return std::make_unique<LruPolicy>(sets, assoc);
+      case ReplacementKind::TreePLRU:
+        return std::make_unique<TreePlruPolicy>(sets, assoc);
+      case ReplacementKind::Random:
+        return std::make_unique<RandomPolicy>(assoc, seed);
+    }
+    panic("unreachable replacement kind");
+}
+
+LruPolicy::LruPolicy(unsigned sets, unsigned assoc)
+    : assoc_(assoc), stamps_(static_cast<size_t>(sets) * assoc, 0)
+{
+}
+
+void
+LruPolicy::touch(unsigned set, unsigned way)
+{
+    stamps_[static_cast<size_t>(set) * assoc_ + way] = ++clock_;
+}
+
+unsigned
+LruPolicy::victim(unsigned set)
+{
+    unsigned best = 0;
+    uint64_t best_stamp = ~0ull;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        uint64_t s = stamps_[static_cast<size_t>(set) * assoc_ + w];
+        if (s < best_stamp) {
+            best_stamp = s;
+            best = w;
+        }
+    }
+    return best;
+}
+
+TreePlruPolicy::TreePlruPolicy(unsigned sets, unsigned assoc)
+    : assoc_(assoc),
+      bits_(static_cast<size_t>(sets) * (assoc > 1 ? assoc - 1 : 1), 0)
+{
+    if (!isPowerOfTwo(assoc))
+        fatal("tree-PLRU needs power-of-two associativity, got %u", assoc);
+}
+
+void
+TreePlruPolicy::touch(unsigned set, unsigned way)
+{
+    if (assoc_ == 1)
+        return;
+    uint8_t *tree = &bits_[static_cast<size_t>(set) * (assoc_ - 1)];
+    unsigned node = 0;
+    unsigned span = assoc_;
+    // Walk from the root toward the accessed way, pointing each node's
+    // bit away from the path taken.
+    while (span > 1) {
+        unsigned half = span / 2;
+        bool right = (way % span) >= half;
+        tree[node] = right ? 0 : 1; // bit points at the *other* side
+        node = 2 * node + (right ? 2 : 1);
+        span = half;
+    }
+}
+
+unsigned
+TreePlruPolicy::victim(unsigned set)
+{
+    if (assoc_ == 1)
+        return 0;
+    const uint8_t *tree = &bits_[static_cast<size_t>(set) * (assoc_ - 1)];
+    unsigned node = 0;
+    unsigned span = assoc_;
+    unsigned way = 0;
+    while (span > 1) {
+        unsigned half = span / 2;
+        bool right = tree[node] != 0;
+        if (right)
+            way += half;
+        node = 2 * node + (right ? 2 : 1);
+        span = half;
+    }
+    return way;
+}
+
+RandomPolicy::RandomPolicy(unsigned assoc, uint64_t seed)
+    : assoc_(assoc), rng_(seed)
+{
+}
+
+void
+RandomPolicy::touch(unsigned, unsigned)
+{
+}
+
+unsigned
+RandomPolicy::victim(unsigned)
+{
+    return static_cast<unsigned>(rng_.nextBelow(assoc_));
+}
+
+} // namespace cppc

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Replacement policies for set-associative caches.
+ */
+
+#ifndef CPPC_CACHE_REPLACEMENT_HH
+#define CPPC_CACHE_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace cppc {
+
+/** Which replacement policy a cache uses. */
+enum class ReplacementKind { LRU, TreePLRU, Random };
+
+/** Parse "lru" / "plru" / "random"; fatal() on anything else. */
+ReplacementKind parseReplacementKind(const std::string &name);
+
+/**
+ * Per-cache replacement state.
+ *
+ * All policies share the same interface: touch() on every access to a
+ * way, victim() to pick the way to replace in a set (invalid ways are
+ * chosen by the cache before asking the policy).
+ */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** Record an access (hit or fill) to @p way of @p set. */
+    virtual void touch(unsigned set, unsigned way) = 0;
+
+    /** Choose the replacement victim way in @p set. */
+    virtual unsigned victim(unsigned set) = 0;
+
+    virtual std::string name() const = 0;
+
+    /** Factory. @p seed only matters for the random policy. */
+    static std::unique_ptr<ReplacementPolicy>
+    create(ReplacementKind kind, unsigned sets, unsigned assoc,
+           uint64_t seed = 1);
+};
+
+/** True LRU via per-way age stamps. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    LruPolicy(unsigned sets, unsigned assoc);
+    void touch(unsigned set, unsigned way) override;
+    unsigned victim(unsigned set) override;
+    std::string name() const override { return "lru"; }
+
+  private:
+    unsigned assoc_;
+    uint64_t clock_ = 0;
+    std::vector<uint64_t> stamps_; // sets * assoc
+};
+
+/** Tree pseudo-LRU (associativity must be a power of two). */
+class TreePlruPolicy : public ReplacementPolicy
+{
+  public:
+    TreePlruPolicy(unsigned sets, unsigned assoc);
+    void touch(unsigned set, unsigned way) override;
+    unsigned victim(unsigned set) override;
+    std::string name() const override { return "plru"; }
+
+  private:
+    unsigned assoc_;
+    std::vector<uint8_t> bits_; // sets * (assoc - 1) tree bits
+};
+
+/** Uniform random victim selection. */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    RandomPolicy(unsigned assoc, uint64_t seed);
+    void touch(unsigned set, unsigned way) override;
+    unsigned victim(unsigned set) override;
+    std::string name() const override { return "random"; }
+
+  private:
+    unsigned assoc_;
+    Rng rng_;
+};
+
+} // namespace cppc
+
+#endif // CPPC_CACHE_REPLACEMENT_HH

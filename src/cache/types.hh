@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Shared elementary types for the memory hierarchy.
+ */
+
+#ifndef CPPC_CACHE_TYPES_HH
+#define CPPC_CACHE_TYPES_HH
+
+#include <cstdint>
+
+namespace cppc {
+
+/** Physical byte address. */
+using Addr = uint64_t;
+
+/**
+ * Physical row index of a protection unit in a cache's data array.
+ *
+ * Row r holds one protection word (64-bit word at L1, one L1-block-sized
+ * entry at L2).  Rows are numbered set-major, then way, then
+ * word-in-line, which defines physical vertical adjacency for spatial
+ * multi-bit faults: rows r and r+1 are vertical neighbours.
+ */
+using Row = uint32_t;
+
+/** Simulation cycle count. */
+using Cycle = uint64_t;
+
+} // namespace cppc
+
+#endif // CPPC_CACHE_TYPES_HH

@@ -1,0 +1,547 @@
+#include "cache/write_back_cache.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <ostream>
+
+#include "cache/dirty_profiler.hh"
+#include "util/logging.hh"
+
+namespace cppc {
+
+WriteBackCache::WriteBackCache(std::string name, const CacheGeometry &geom,
+                               ReplacementKind repl, MemoryLevel *next,
+                               std::unique_ptr<ProtectionScheme> scheme)
+    : name_(std::move(name)), geom_(geom), next_(next),
+      scheme_(std::move(scheme))
+{
+    geom_.validate();
+    if (!next_)
+        fatal("cache '%s' has no next level", name_.c_str());
+    lines_.resize(geom_.numLines());
+    for (auto &l : lines_) {
+        l.data.assign(geom_.line_bytes, 0);
+        l.dirty.assign(geom_.unitsPerLine(), 0);
+    }
+    repl_ = ReplacementPolicy::create(repl, geom_.numSets(), geom_.assoc);
+    if (scheme_)
+        scheme_->attach(*this);
+}
+
+WriteBackCache::~WriteBackCache() = default;
+
+WriteBackCache::Line &
+WriteBackCache::lineAt(unsigned set, unsigned way)
+{
+    return lines_[static_cast<size_t>(set) * geom_.assoc + way];
+}
+
+const WriteBackCache::Line &
+WriteBackCache::lineAt(unsigned set, unsigned way) const
+{
+    return lines_[static_cast<size_t>(set) * geom_.assoc + way];
+}
+
+int
+WriteBackCache::findWay(unsigned set, Addr tag) const
+{
+    for (unsigned w = 0; w < geom_.assoc; ++w) {
+        const Line &l = lineAt(set, w);
+        if (l.valid && l.tag == tag)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+VerifyOutcome
+WriteBackCache::verifyUnit(Row row, AccessOutcome &out)
+{
+    last_verify_ = VerifyOutcome::Ok;
+    if (!scheme_ || scheme_->check(row))
+        return VerifyOutcome::Ok;
+    out.fault_detected = true;
+    VerifyOutcome v = scheme_->recover(row);
+    last_verify_ = v;
+    if (v == VerifyOutcome::Due)
+        out.due = true;
+    return v;
+}
+
+void
+WriteBackCache::evictWay(unsigned set, unsigned way, AccessOutcome &out)
+{
+    Line &l = lineAt(set, way);
+    if (!l.valid)
+        return;
+
+    const unsigned n = geom_.unitsPerLine();
+    bool any_dirty =
+        std::any_of(l.dirty.begin(), l.dirty.end(),
+                    [](uint8_t d) { return d != 0; });
+    Row row0 = geom_.rowOf(set, way, 0);
+
+    // A fault in dirty data leaving the cache would propagate to the
+    // next level as silent corruption; verify (and recover) first.
+    if (check_on_writeback_ && any_dirty) {
+        for (unsigned u = 0; u < n; ++u)
+            if (l.dirty[u])
+                verifyUnit(row0 + u, out);
+    }
+
+    if (scheme_)
+        scheme_->onEvict(row0, n, l.data.data(), l.dirty.data());
+
+    if (any_dirty) {
+        Addr addr = geom_.lineAddrFromTag(l.tag, set);
+        next_->writeLine(addr, l.data.data(), geom_.line_bytes);
+        ++stats_.writebacks;
+        out.writeback = true;
+    } else {
+        ++stats_.clean_evictions;
+    }
+
+    l.valid = false;
+    std::fill(l.dirty.begin(), l.dirty.end(), 0);
+}
+
+unsigned
+WriteBackCache::ensureLine(Addr addr, AccessOutcome &out)
+{
+    unsigned set = geom_.setIndex(addr);
+    Addr tag = geom_.tagOf(addr);
+    int way = findWay(set, tag);
+    if (way >= 0) {
+        out.hit = true;
+        return static_cast<unsigned>(way);
+    }
+    out.hit = false;
+
+    // Prefer an invalid way; otherwise ask the replacement policy.
+    unsigned victim = geom_.assoc;
+    for (unsigned w = 0; w < geom_.assoc; ++w) {
+        if (!lineAt(set, w).valid) {
+            victim = w;
+            break;
+        }
+    }
+    bool victim_was_dirty = false;
+    if (victim == geom_.assoc) {
+        victim = repl_->victim(set);
+        const Line &v = lineAt(set, victim);
+        victim_was_dirty =
+            std::any_of(v.dirty.begin(), v.dirty.end(),
+                        [](uint8_t d) { return d != 0; });
+        evictWay(set, victim, out);
+    }
+
+    Line &l = lineAt(set, victim);
+    Addr line_addr = geom_.lineAddr(addr);
+    next_->readLine(line_addr, l.data.data(), geom_.line_bytes);
+    l.valid = true;
+    l.tag = tag;
+    std::fill(l.dirty.begin(), l.dirty.end(), 0);
+    ++stats_.fills;
+
+    if (scheme_) {
+        FillEffect eff =
+            scheme_->onFill(geom_.rowOf(set, victim, 0),
+                            geom_.unitsPerLine(), l.data.data(),
+                            victim_was_dirty);
+        out.fill_rbw |= eff.line_rbw;
+    }
+    return victim;
+}
+
+AccessOutcome
+WriteBackCache::access(Addr addr, unsigned size, uint8_t *read_out,
+                       const uint8_t *write_in)
+{
+    if (size == 0 || size > geom_.line_bytes)
+        fatal("%s: access size %u invalid", name_.c_str(), size);
+    if (geom_.lineAddr(addr) != geom_.lineAddr(addr + size - 1))
+        fatal("%s: access at 0x%llx size %u crosses a line", name_.c_str(),
+              static_cast<unsigned long long>(addr), size);
+
+    AccessOutcome out;
+    unsigned way = ensureLine(addr, out);
+    unsigned set = geom_.setIndex(addr);
+    Line &line = lineAt(set, way);
+    repl_->touch(set, way);
+
+    if (write_in) {
+        if (out.hit)
+            ++stats_.write_hits;
+        else
+            ++stats_.write_misses;
+    } else {
+        if (out.hit)
+            ++stats_.read_hits;
+        else
+            ++stats_.read_misses;
+    }
+
+    const unsigned ub = geom_.unit_bytes;
+    unsigned off = static_cast<unsigned>(addr % geom_.line_bytes);
+    unsigned u0 = off / ub;
+    unsigned u1 = (off + size - 1) / ub;
+
+    for (unsigned u = u0; u <= u1; ++u) {
+        Row row = geom_.rowOf(set, way, u);
+        // Byte range of this access within unit u.
+        unsigned lo = std::max(off, u * ub) - u * ub;
+        unsigned hi = std::min(off + size, (u + 1) * ub) - u * ub; // excl
+        bool partial = !(lo == 0 && hi == ub);
+
+        if (profiler_) {
+            profiler_->onAccess(geom_.lineAddr(addr) + u * ub,
+                                line.dirty[u] != 0, now_);
+        }
+
+        if (!write_in) {
+            // Load path: detection happens on every load (Section 3.1).
+            verifyUnit(row, out);
+            continue;
+        }
+
+        bool was_dirty = line.dirty[u] != 0;
+        // Stores that must read the old word (dirty overwrite, or a
+        // partial store merging old bytes) see any latent fault there.
+        if (check_on_rbw_ && (was_dirty || partial))
+            verifyUnit(row, out);
+
+        uint8_t *unit_ptr = line.data.data() + u * ub;
+        WideWord old_data = WideWord::fromBytes(unit_ptr, ub);
+        WideWord new_data = old_data;
+        for (unsigned b = lo; b < hi; ++b)
+            new_data.setByte(b, write_in[(u * ub + b) - off]);
+
+        if (scheme_) {
+            StoreEffect eff =
+                scheme_->onStore(row, old_data, new_data, was_dirty, partial);
+            out.rbw |= eff.rbw;
+        }
+        new_data.toBytes(unit_ptr);
+        if (write_through_) {
+            // Propagate immediately; the copy here stays clean.  The
+            // word enters and leaves the dirty set atomically, so the
+            // scheme sees a matched onStore/onClean pair (CPPC's
+            // registers cancel out: nothing here ever needs its
+            // correction).
+            if (scheme_)
+                scheme_->onClean(row, new_data);
+            next_->writeLine(geom_.lineAddr(addr) + u * ub + lo,
+                             unit_ptr + lo, hi - lo);
+            ++write_throughs_;
+        } else {
+            line.dirty[u] = 1;
+        }
+    }
+
+    if (read_out)
+        std::memcpy(read_out, line.data.data() + off, size);
+    return out;
+}
+
+AccessOutcome
+WriteBackCache::load(Addr addr, unsigned size, uint8_t *out)
+{
+    if (out)
+        return access(addr, size, out, nullptr);
+    std::vector<uint8_t> buf(size);
+    return access(addr, size, buf.data(), nullptr);
+}
+
+AccessOutcome
+WriteBackCache::store(Addr addr, unsigned size, const uint8_t *data)
+{
+    return access(addr, size, nullptr, data);
+}
+
+uint64_t
+WriteBackCache::loadWord(Addr addr)
+{
+    uint8_t buf[8];
+    access(addr, 8, buf, nullptr);
+    uint64_t v;
+    std::memcpy(&v, buf, 8);
+    return v;
+}
+
+AccessOutcome
+WriteBackCache::storeWord(Addr addr, uint64_t value)
+{
+    uint8_t buf[8];
+    std::memcpy(buf, &value, 8);
+    return access(addr, 8, nullptr, buf);
+}
+
+void
+WriteBackCache::readLine(Addr addr, uint8_t *out, unsigned len)
+{
+    access(addr, len, out, nullptr);
+}
+
+void
+WriteBackCache::writeLine(Addr addr, const uint8_t *data, unsigned len)
+{
+    access(addr, len, nullptr, data);
+}
+
+bool
+WriteBackCache::rowValid(Row row) const
+{
+    unsigned line_idx = row / geom_.unitsPerLine();
+    return lines_[line_idx].valid;
+}
+
+bool
+WriteBackCache::rowDirty(Row row) const
+{
+    unsigned n = geom_.unitsPerLine();
+    const Line &l = lines_[row / n];
+    return l.valid && l.dirty[row % n] != 0;
+}
+
+WideWord
+WriteBackCache::rowData(Row row) const
+{
+    unsigned n = geom_.unitsPerLine();
+    const Line &l = lines_[row / n];
+    return WideWord::fromBytes(l.data.data() + (row % n) * geom_.unit_bytes,
+                               geom_.unit_bytes);
+}
+
+void
+WriteBackCache::pokeRowData(Row row, const WideWord &data)
+{
+    unsigned n = geom_.unitsPerLine();
+    Line &l = lines_[row / n];
+    if (!l.valid)
+        panic("pokeRowData on invalid row %u", row);
+    data.toBytes(l.data.data() + (row % n) * geom_.unit_bytes);
+}
+
+bool
+WriteBackCache::refetchRow(Row row)
+{
+    unsigned n = geom_.unitsPerLine();
+    unsigned line_idx = row / n;
+    unsigned unit = row % n;
+    Line &l = lines_[line_idx];
+    if (!l.valid || l.dirty[unit])
+        return false;
+    unsigned set = line_idx / geom_.assoc;
+    Addr addr =
+        geom_.lineAddrFromTag(l.tag, set) + unit * geom_.unit_bytes;
+    next_->readLine(addr, l.data.data() + unit * geom_.unit_bytes,
+                    geom_.unit_bytes);
+    return true;
+}
+
+Addr
+WriteBackCache::rowAddr(Row row) const
+{
+    unsigned n = geom_.unitsPerLine();
+    unsigned line_idx = row / n;
+    const Line &l = lines_[line_idx];
+    if (!l.valid)
+        return 0;
+    unsigned set = line_idx / geom_.assoc;
+    return geom_.lineAddrFromTag(l.tag, set) + (row % n) * geom_.unit_bytes;
+}
+
+void
+WriteBackCache::corruptBit(Row row, unsigned bit)
+{
+    if (!rowValid(row))
+        panic("corruptBit on invalid row %u", row);
+    WideWord w = rowData(row);
+    w.flipBit(bit);
+    pokeRowData(row, w);
+}
+
+void
+WriteBackCache::flushAll()
+{
+    AccessOutcome dummy;
+    for (unsigned set = 0; set < geom_.numSets(); ++set)
+        for (unsigned way = 0; way < geom_.assoc; ++way)
+            evictWay(set, way, dummy);
+}
+
+bool
+WriteBackCache::hasLine(Addr addr) const
+{
+    return findWay(geom_.setIndex(addr), geom_.tagOf(addr)) >= 0;
+}
+
+bool
+WriteBackCache::lineDirty(Addr addr) const
+{
+    int way = findWay(geom_.setIndex(addr), geom_.tagOf(addr));
+    if (way < 0)
+        return false;
+    const Line &l = lineAt(geom_.setIndex(addr), static_cast<unsigned>(way));
+    return std::any_of(l.dirty.begin(), l.dirty.end(),
+                       [](uint8_t d) { return d != 0; });
+}
+
+bool
+WriteBackCache::cleanLine(unsigned set, unsigned way)
+{
+    Line &l = lineAt(set, way);
+    if (!l.valid)
+        return false;
+    const unsigned n = geom_.unitsPerLine();
+    bool any_dirty = false;
+    AccessOutcome dummy;
+    Row row0 = geom_.rowOf(set, way, 0);
+    for (unsigned u = 0; u < n; ++u) {
+        if (!l.dirty[u])
+            continue;
+        any_dirty = true;
+        if (check_on_writeback_)
+            verifyUnit(row0 + u, dummy);
+    }
+    if (!any_dirty)
+        return false;
+    if (scheme_) {
+        for (unsigned u = 0; u < n; ++u) {
+            if (!l.dirty[u])
+                continue;
+            scheme_->onClean(
+                row0 + u,
+                WideWord::fromBytes(l.data.data() + u * geom_.unit_bytes,
+                                    geom_.unit_bytes));
+        }
+    }
+    Addr addr = geom_.lineAddrFromTag(l.tag, set);
+    next_->writeLine(addr, l.data.data(), geom_.line_bytes);
+    ++stats_.writebacks;
+    std::fill(l.dirty.begin(), l.dirty.end(), 0);
+    return true;
+}
+
+bool
+WriteBackCache::invalidateLine(Addr addr)
+{
+    unsigned set = geom_.setIndex(addr);
+    int way = findWay(set, geom_.tagOf(addr));
+    if (way < 0)
+        return false;
+    AccessOutcome dummy;
+    evictWay(set, static_cast<unsigned>(way), dummy);
+    ++invalidations_;
+    return true;
+}
+
+bool
+WriteBackCache::downgradeLine(Addr addr)
+{
+    unsigned set = geom_.setIndex(addr);
+    int way = findWay(set, geom_.tagOf(addr));
+    if (way < 0)
+        return false;
+    bool cleaned = cleanLine(set, static_cast<unsigned>(way));
+    if (cleaned)
+        ++downgrades_;
+    return cleaned;
+}
+
+unsigned
+WriteBackCache::scrubDirtyLines(unsigned max_lines)
+{
+    unsigned cleaned = 0;
+    unsigned n_lines = geom_.numLines();
+    for (unsigned step = 0; step < n_lines && cleaned < max_lines;
+         ++step) {
+        unsigned idx = (scrub_cursor_ + step) % n_lines;
+        unsigned set = idx / geom_.assoc;
+        unsigned way = idx % geom_.assoc;
+        if (cleanLine(set, way))
+            ++cleaned;
+        if (cleaned >= max_lines || step + 1 == n_lines) {
+            scrub_cursor_ = (idx + 1) % n_lines;
+            break;
+        }
+    }
+    return cleaned;
+}
+
+double
+WriteBackCache::dirtyFraction() const
+{
+    uint64_t dirty = dirtyUnitCount();
+    return static_cast<double>(dirty) /
+        static_cast<double>(geom_.numRows());
+}
+
+unsigned
+WriteBackCache::dirtyUnitCount() const
+{
+    unsigned count = 0;
+    for (const auto &l : lines_) {
+        if (!l.valid)
+            continue;
+        for (uint8_t d : l.dirty)
+            count += d ? 1 : 0;
+    }
+    return count;
+}
+
+void
+WriteBackCache::forEachValidRow(
+    const std::function<void(Row, bool)> &fn) const
+{
+    unsigned n = geom_.unitsPerLine();
+    for (unsigned li = 0; li < lines_.size(); ++li) {
+        const Line &l = lines_[li];
+        if (!l.valid)
+            continue;
+        for (unsigned u = 0; u < n; ++u)
+            fn(static_cast<Row>(li * n + u), l.dirty[u] != 0);
+    }
+}
+
+void
+WriteBackCache::resetStats()
+{
+    stats_ = CacheStats();
+    if (scheme_)
+        scheme_->resetStats();
+}
+
+void
+WriteBackCache::dumpStats(std::ostream &os) const
+{
+    auto emit = [&](const char *stat, uint64_t v) {
+        os << name_ << '.' << stat << ' ' << v << '\n';
+    };
+    emit("read_hits", stats_.read_hits);
+    emit("read_misses", stats_.read_misses);
+    emit("write_hits", stats_.write_hits);
+    emit("write_misses", stats_.write_misses);
+    emit("writebacks", stats_.writebacks);
+    emit("clean_evictions", stats_.clean_evictions);
+    emit("fills", stats_.fills);
+    emit("invalidations", invalidations_);
+    emit("downgrades", downgrades_);
+    emit("write_throughs", write_throughs_);
+    emit("dirty_units", dirtyUnitCount());
+    os << name_ << ".miss_rate " << stats_.missRate() << '\n';
+    if (scheme_) {
+        const SchemeStats &s = scheme_->stats();
+        os << name_ << ".scheme " << scheme_->name() << '\n';
+        emit("scheme.rbw_words", s.rbw_words);
+        emit("scheme.rbw_lines", s.rbw_lines);
+        emit("scheme.detections", s.detections);
+        emit("scheme.refetched_clean", s.refetched_clean);
+        emit("scheme.corrected_clean", s.corrected_clean);
+        emit("scheme.corrected_dirty", s.corrected_dirty);
+        emit("scheme.corrected_code", s.corrected_code);
+        emit("scheme.due", s.due);
+        emit("scheme.code_bits", scheme_->codeBitsTotal());
+    }
+}
+
+} // namespace cppc

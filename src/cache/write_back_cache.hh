@@ -1,0 +1,245 @@
+/**
+ * @file
+ * A set-associative write-back, write-allocate cache holding real data,
+ * with per-protection-unit dirty bits and protection-scheme hooks.
+ */
+
+#ifndef CPPC_CACHE_WRITE_BACK_CACHE_HH
+#define CPPC_CACHE_WRITE_BACK_CACHE_HH
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/geometry.hh"
+#include "cache/memory_level.hh"
+#include "cache/protection_scheme.hh"
+#include "cache/replacement.hh"
+#include "cache/types.hh"
+
+namespace cppc {
+
+/** Demand-access counters for one cache. */
+struct CacheStats
+{
+    uint64_t read_hits = 0;
+    uint64_t read_misses = 0;
+    uint64_t write_hits = 0;
+    uint64_t write_misses = 0;
+    uint64_t writebacks = 0;       ///< dirty victim lines sent down
+    uint64_t clean_evictions = 0;  ///< victim lines dropped without write-back
+    uint64_t fills = 0;
+
+    uint64_t accesses() const
+    {
+        return read_hits + read_misses + write_hits + write_misses;
+    }
+    uint64_t misses() const { return read_misses + write_misses; }
+    double
+    missRate() const
+    {
+        uint64_t a = accesses();
+        return a ? static_cast<double>(misses()) / static_cast<double>(a)
+                 : 0.0;
+    }
+};
+
+/** Per-access effects, consumed by the CPU timing model. */
+struct AccessOutcome
+{
+    bool hit = true;
+    bool rbw = false;            ///< scheme read old data (read-port cycle)
+    bool writeback = false;      ///< a dirty victim was written back
+    bool fill_rbw = false;       ///< 2D parity read the clean victim line
+    bool fault_detected = false; ///< any unit failed its code check
+    bool due = false;            ///< an uncorrectable fault was declared
+};
+
+/**
+ * The cache model.
+ *
+ * Functionally exact: all data, dirty bits and protection code are
+ * maintained; loads return the stored (possibly corrupted-then-
+ * recovered) bytes.  Implements MemoryLevel for the level above and
+ * CacheBackdoor for its protection scheme and for fault injection.
+ */
+class WriteBackCache : public MemoryLevel, public CacheBackdoor
+{
+  public:
+    /**
+     * @param name        diagnostic name ("L1D", "L2", ...)
+     * @param geom        geometry (validated here)
+     * @param repl        replacement policy kind
+     * @param next        next level (not owned); must outlive this cache
+     * @param scheme      protection scheme (owned); may be null
+     */
+    WriteBackCache(std::string name, const CacheGeometry &geom,
+                   ReplacementKind repl, MemoryLevel *next,
+                   std::unique_ptr<ProtectionScheme> scheme);
+    ~WriteBackCache() override;
+
+    WriteBackCache(const WriteBackCache &) = delete;
+    WriteBackCache &operator=(const WriteBackCache &) = delete;
+
+    /** CPU-side load; @return per-access effects. @p out may be null. */
+    AccessOutcome load(Addr addr, unsigned size, uint8_t *out);
+    /** CPU-side store of @p size bytes. */
+    AccessOutcome store(Addr addr, unsigned size, const uint8_t *data);
+
+    /** Convenience 64-bit word accessors (must not cross a line). */
+    uint64_t loadWord(Addr addr);
+    AccessOutcome storeWord(Addr addr, uint64_t value);
+
+    // MemoryLevel (level above talks to us here)
+    void readLine(Addr addr, uint8_t *out, unsigned len) override;
+    void writeLine(Addr addr, const uint8_t *data, unsigned len) override;
+    std::string name() const override { return name_; }
+
+    // CacheBackdoor
+    const CacheGeometry &geometry() const override { return geom_; }
+    bool rowValid(Row row) const override;
+    bool rowDirty(Row row) const override;
+    WideWord rowData(Row row) const override;
+    void pokeRowData(Row row, const WideWord &data) override;
+    bool refetchRow(Row row) override;
+    Addr rowAddr(Row row) const override;
+
+    /** Flip one stored bit (fault injection). Row must be valid. */
+    void corruptBit(Row row, unsigned bit);
+
+    /** Write back all dirty lines and invalidate everything. */
+    void flushAll();
+
+    // --- coherence-facing line operations -----------------------------
+
+    /** True iff the line containing @p addr is resident. */
+    bool hasLine(Addr addr) const;
+    /** True iff that line is resident with any dirty unit. */
+    bool lineDirty(Addr addr) const;
+
+    /**
+     * Remove the line containing @p addr (remote write invalidation).
+     * Dirty data is verified and written back first.  No-op when the
+     * line is not resident.  @return true if a line was invalidated.
+     */
+    bool invalidateLine(Addr addr);
+
+    /**
+     * Downgrade the line containing @p addr to clean (remote read):
+     * dirty units are verified, written back, and marked clean while
+     * the data stays resident.  @return true if anything was cleaned.
+     */
+    bool downgradeLine(Addr addr);
+
+    /**
+     * Early write-back scrubbing (Li et al. / Asadi et al. style):
+     * clean up to @p max_lines dirty lines, oldest sets first.
+     * @return lines actually cleaned.
+     */
+    unsigned scrubDirtyLines(unsigned max_lines);
+
+    /** Lines invalidated / downgraded by coherence so far. */
+    uint64_t invalidations() const { return invalidations_; }
+    uint64_t downgrades() const { return downgrades_; }
+
+    /** Fraction of valid units currently dirty, over all units. */
+    double dirtyFraction() const;
+    /** Number of currently dirty units. */
+    unsigned dirtyUnitCount() const;
+
+    /** Iterate rows of valid lines: fn(row, dirty). */
+    void forEachValidRow(const std::function<void(Row, bool)> &fn) const;
+
+    const CacheStats &stats() const { return stats_; }
+    void resetStats();
+
+    /** gem5-flavoured stats dump: "<name>.<stat> <value>" per line. */
+    void dumpStats(std::ostream &os) const;
+
+    ProtectionScheme *scheme() { return scheme_.get(); }
+    const ProtectionScheme *scheme() const { return scheme_.get(); }
+    MemoryLevel *nextLevel() { return next_; }
+
+    /**
+     * Switch to write-through operation (Section 1's L1 alternative):
+     * stores propagate to the next level immediately and never set
+     * dirty bits, so parity-only protection is safe — at the price of
+     * full store traffic below.  Configure before any traffic.
+     */
+    void setWriteThrough(bool on) { write_through_ = on; }
+    bool writeThrough() const { return write_through_; }
+
+    /** Stores forwarded below in write-through mode. */
+    uint64_t writeThroughs() const { return write_throughs_; }
+
+    /** Verify dirty units leaving the cache (default on). */
+    void setCheckOnWriteback(bool on) { check_on_writeback_ = on; }
+    /** Verify the old word read by a read-before-write (default on). */
+    void setCheckOnRbw(bool on) { check_on_rbw_ = on; }
+
+    /**
+     * Outcome of the most recent check-and-recover, for campaigns that
+     * need per-access detail beyond AccessOutcome booleans.
+     */
+    VerifyOutcome lastVerify() const { return last_verify_; }
+
+    /**
+     * Attach a dirty-residency profiler (not owned) and keep its clock
+     * current via setNow(); pass nullptr to detach.
+     */
+    void attachProfiler(class DirtyProfiler *profiler)
+    {
+        profiler_ = profiler;
+    }
+    /** Advance the profiling clock (the timing model's cycle count). */
+    void setNow(Cycle now) { now_ = now; }
+    Cycle now() const { return now_; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        Addr tag = 0;
+        std::vector<uint8_t> data;
+        std::vector<uint8_t> dirty; // per protection unit, 0/1
+    };
+
+    Line &lineAt(unsigned set, unsigned way);
+    const Line &lineAt(unsigned set, unsigned way) const;
+    int findWay(unsigned set, Addr tag) const;
+    /** Ensure the line containing @p addr is resident; returns its way. */
+    unsigned ensureLine(Addr addr, AccessOutcome &out);
+    void evictWay(unsigned set, unsigned way, AccessOutcome &out);
+    /** Run check+recover on a unit; updates @p out; returns outcome. */
+    VerifyOutcome verifyUnit(Row row, AccessOutcome &out);
+
+    AccessOutcome access(Addr addr, unsigned size, uint8_t *read_out,
+                         const uint8_t *write_in);
+
+    std::string name_;
+    CacheGeometry geom_;
+    std::vector<Line> lines_; // sets * assoc, row-major by set
+    std::unique_ptr<ReplacementPolicy> repl_;
+    MemoryLevel *next_;
+    std::unique_ptr<ProtectionScheme> scheme_;
+    CacheStats stats_;
+    bool check_on_writeback_ = true;
+    bool check_on_rbw_ = true;
+    VerifyOutcome last_verify_ = VerifyOutcome::Ok;
+    class DirtyProfiler *profiler_ = nullptr;
+    Cycle now_ = 0;
+    uint64_t invalidations_ = 0;
+    uint64_t downgrades_ = 0;
+    unsigned scrub_cursor_ = 0;
+    bool write_through_ = false;
+    uint64_t write_throughs_ = 0;
+
+    /** Verify + write back a line's dirty units and mark them clean. */
+    bool cleanLine(unsigned set, unsigned way);
+};
+
+} // namespace cppc
+
+#endif // CPPC_CACHE_WRITE_BACK_CACHE_HH

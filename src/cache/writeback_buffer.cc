@@ -1,0 +1,102 @@
+#include "cache/writeback_buffer.hh"
+
+#include <cstring>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace cppc {
+
+WritebackBuffer::WritebackBuffer(unsigned entries, unsigned line_bytes,
+                                 MemoryLevel *next, std::string name)
+    : name_(std::move(name)), capacity_(entries), line_bytes_(line_bytes),
+      next_(next)
+{
+    if (capacity_ == 0)
+        fatal("write-back buffer needs at least one entry");
+    if (!isPowerOfTwo(line_bytes_))
+        fatal("write-back buffer line size must be a power of two");
+    if (!next_)
+        fatal("write-back buffer has no drain target");
+}
+
+int
+WritebackBuffer::find(Addr line_addr) const
+{
+    for (size_t i = 0; i < fifo_.size(); ++i)
+        if (fifo_[i].addr == line_addr)
+            return static_cast<int>(i);
+    return -1;
+}
+
+void
+WritebackBuffer::evictOldest()
+{
+    Entry &e = fifo_.front();
+    next_->writeLine(e.addr, e.data.data(),
+                     static_cast<unsigned>(e.data.size()));
+    ++drained_;
+    fifo_.pop_front();
+}
+
+void
+WritebackBuffer::readLine(Addr addr, uint8_t *out, unsigned len)
+{
+    Addr line_addr = alignDown(addr, line_bytes_);
+    if (alignDown(addr + len - 1, line_bytes_) != line_addr) {
+        // Spans buffer lines: drain and forward for simplicity.
+        drain();
+        next_->readLine(addr, out, len);
+        return;
+    }
+    int idx = find(line_addr);
+    if (idx >= 0) {
+        ++hits_;
+        const Entry &e = fifo_[static_cast<size_t>(idx)];
+        std::memcpy(out, e.data.data() + (addr - line_addr), len);
+        return;
+    }
+    next_->readLine(addr, out, len);
+}
+
+void
+WritebackBuffer::writeLine(Addr addr, const uint8_t *data, unsigned len)
+{
+    Addr line_addr = alignDown(addr, line_bytes_);
+    if (len != line_bytes_ || addr != line_addr) {
+        // Partial or unaligned writes bypass the buffer (after making
+        // sure ordering is preserved).
+        int idx = find(line_addr);
+        if (idx >= 0) {
+            Entry &e = fifo_[static_cast<size_t>(idx)];
+            std::memcpy(e.data.data() + (addr - line_addr), data, len);
+            ++coalesced_;
+            return;
+        }
+        next_->writeLine(addr, data, len);
+        return;
+    }
+    int idx = find(line_addr);
+    if (idx >= 0) {
+        // Same line written back again before draining: coalesce.
+        std::memcpy(fifo_[static_cast<size_t>(idx)].data.data(), data,
+                    len);
+        ++coalesced_;
+        return;
+    }
+    if (fifo_.size() >= capacity_)
+        evictOldest();
+    Entry e;
+    e.addr = line_addr;
+    e.data.assign(data, data + len);
+    fifo_.push_back(std::move(e));
+}
+
+void
+WritebackBuffer::drain()
+{
+    while (!fifo_.empty())
+        evictOldest();
+}
+
+} // namespace cppc

@@ -1,0 +1,26 @@
+#include "coherence/multicore.hh"
+
+#include "util/logging.hh"
+
+namespace cppc {
+
+MulticoreSystem::MulticoreSystem(unsigned n_cores, SchemeKind k,
+                                 const CppcConfig &cppc_cfg)
+    : kind(k)
+{
+    if (n_cores == 0)
+        fatal("multicore system needs at least one core");
+    l2 = std::make_unique<WriteBackCache>(
+        "L2", PaperConfig::l2Geometry(), ReplacementKind::LRU, &mem,
+        makeScheme(k, cppc_cfg));
+    std::vector<WriteBackCache *> raw;
+    for (unsigned i = 0; i < n_cores; ++i) {
+        l1s.push_back(std::make_unique<WriteBackCache>(
+            strfmt("L1D%u", i), PaperConfig::l1dGeometry(),
+            ReplacementKind::LRU, l2.get(), makeScheme(k, cppc_cfg)));
+        raw.push_back(l1s.back().get());
+    }
+    bus = std::make_unique<SnoopBus>(std::move(raw));
+}
+
+} // namespace cppc

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * A small chip multiprocessor: N private L1 data caches kept coherent
+ * by a snooping bus over a shared L2 and main memory, each level
+ * protected by a chosen scheme.
+ */
+
+#ifndef CPPC_COHERENCE_MULTICORE_HH
+#define CPPC_COHERENCE_MULTICORE_HH
+
+#include <memory>
+#include <vector>
+
+#include "coherence/snoop_bus.hh"
+#include "sim/paper_config.hh"
+
+namespace cppc {
+
+class MulticoreSystem
+{
+  public:
+    /**
+     * @param n_cores  private L1 count
+     * @param kind     protection scheme instantiated at every level
+     * @param cppc_cfg CPPC knobs (when kind == Cppc)
+     */
+    MulticoreSystem(unsigned n_cores, SchemeKind kind,
+                    const CppcConfig &cppc_cfg = CppcConfig{});
+
+    MulticoreSystem(const MulticoreSystem &) = delete;
+    MulticoreSystem &operator=(const MulticoreSystem &) = delete;
+
+    unsigned numCores() const { return static_cast<unsigned>(l1s.size()); }
+
+    MainMemory mem;
+    std::unique_ptr<WriteBackCache> l2;
+    std::vector<std::unique_ptr<WriteBackCache>> l1s;
+    std::unique_ptr<SnoopBus> bus;
+    SchemeKind kind;
+};
+
+} // namespace cppc
+
+#endif // CPPC_COHERENCE_MULTICORE_HH

@@ -1,0 +1,89 @@
+#include "coherence/snoop_bus.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace cppc {
+
+SnoopBus::SnoopBus(std::vector<WriteBackCache *> l1s)
+    : l1s_(std::move(l1s))
+{
+    if (l1s_.empty())
+        fatal("snoop bus needs at least one cache");
+    for (WriteBackCache *c : l1s_)
+        if (!c)
+            fatal("snoop bus given a null cache");
+}
+
+void
+SnoopBus::snoopForRead(unsigned requester, Addr addr)
+{
+    ++stats_.read_snoops;
+    for (unsigned i = 0; i < l1s_.size(); ++i) {
+        if (i == requester)
+            continue;
+        // A dirty peer copy must reach the shared level before the
+        // requester fetches; the peer keeps a clean (shared) copy.
+        if (l1s_[i]->lineDirty(addr)) {
+            l1s_[i]->downgradeLine(addr);
+            ++stats_.remote_downgrades;
+        }
+    }
+}
+
+void
+SnoopBus::snoopForWrite(unsigned requester, Addr addr)
+{
+    ++stats_.write_snoops;
+    for (unsigned i = 0; i < l1s_.size(); ++i) {
+        if (i == requester)
+            continue;
+        if (l1s_[i]->invalidateLine(addr))
+            ++stats_.remote_invalidations;
+    }
+}
+
+AccessOutcome
+SnoopBus::load(unsigned core, Addr addr, unsigned size, uint8_t *out)
+{
+    WriteBackCache &self = *l1s_.at(core);
+    // A hit implies no peer holds it dirty (writes invalidate), so
+    // snooping is only needed on a miss.
+    if (!self.hasLine(addr))
+        snoopForRead(core, addr);
+    return self.load(addr, size, out);
+}
+
+AccessOutcome
+SnoopBus::store(unsigned core, Addr addr, unsigned size,
+                const uint8_t *data)
+{
+    WriteBackCache &self = *l1s_.at(core);
+    // Gain exclusivity: every peer copy is invalidated (an MSI
+    // upgrade/invalidate on the bus).  Our own dirty copy means no
+    // peer can hold it, so the snoop is skipped.
+    if (!self.lineDirty(addr))
+        snoopForWrite(core, addr);
+    return self.store(addr, size, data);
+}
+
+uint64_t
+SnoopBus::loadWord(unsigned core, Addr addr)
+{
+    uint8_t buf[8];
+    load(core, addr, 8, buf);
+    uint64_t v;
+    std::memcpy(&v, buf, 8);
+    return v;
+}
+
+AccessOutcome
+SnoopBus::storeWord(unsigned core, Addr addr, uint64_t value)
+{
+    uint8_t buf[8];
+    std::memcpy(buf, &value, 8);
+    return store(core, addr, 8, buf);
+}
+
+} // namespace cppc

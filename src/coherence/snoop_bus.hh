@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A snooping write-invalidate coherence protocol over private L1s and
+ * a shared L2 — the multiprocessor setting the paper's Section 7
+ * flags as future work for CPPC.
+ *
+ * The protocol is a simplified MSI:
+ *  - a core's LOAD miss snoops the peers; any peer holding the line
+ *    dirty downgrades it (writes back, keeps a clean copy) so the
+ *    requester fetches fresh data from the shared L2;
+ *  - a core's STORE invalidates every peer copy first (a dirty peer
+ *    copy is written back during its invalidation).
+ *
+ * The reliability interaction the paper anticipates: invalidations and
+ * downgrades remove dirty words from a CPPC L1 *without* a CPU store,
+ * so they flow through the R2 register (the onClean/onEvict hooks) and
+ * *reduce* the number of read-before-write operations — dirty words
+ * that would have been overwritten (RBW) are often invalidated first.
+ */
+
+#ifndef CPPC_COHERENCE_SNOOP_BUS_HH
+#define CPPC_COHERENCE_SNOOP_BUS_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/write_back_cache.hh"
+
+namespace cppc {
+
+/** Bus-level event counters. */
+struct BusStats
+{
+    uint64_t read_snoops = 0;
+    uint64_t write_snoops = 0;
+    uint64_t remote_downgrades = 0;
+    uint64_t remote_invalidations = 0;
+};
+
+/**
+ * Connects N private L1 caches above one shared next level and keeps
+ * them coherent.  All CPU traffic must go through load()/store().
+ */
+class SnoopBus
+{
+  public:
+    /** @param l1s private caches (not owned); all same line size. */
+    explicit SnoopBus(std::vector<WriteBackCache *> l1s);
+
+    unsigned numCores() const { return static_cast<unsigned>(l1s_.size()); }
+    WriteBackCache &l1(unsigned core) { return *l1s_.at(core); }
+
+    /** Coherent load by @p core. */
+    AccessOutcome load(unsigned core, Addr addr, unsigned size,
+                       uint8_t *out);
+    /** Coherent store by @p core. */
+    AccessOutcome store(unsigned core, Addr addr, unsigned size,
+                        const uint8_t *data);
+
+    /** 64-bit convenience accessors. */
+    uint64_t loadWord(unsigned core, Addr addr);
+    AccessOutcome storeWord(unsigned core, Addr addr, uint64_t value);
+
+    const BusStats &stats() const { return stats_; }
+
+  private:
+    void snoopForRead(unsigned requester, Addr addr);
+    void snoopForWrite(unsigned requester, Addr addr);
+
+    std::vector<WriteBackCache *> l1s_;
+    BusStats stats_;
+};
+
+} // namespace cppc
+
+#endif // CPPC_COHERENCE_SNOOP_BUS_HH

@@ -1,0 +1,36 @@
+#include "cppc/barrel_shifter.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace cppc {
+
+BarrelShifter::BarrelShifter(unsigned word_bits, double feature_nm)
+    : word_bits_(word_bits), feature_nm_(feature_nm)
+{
+    if (word_bits_ < 8 || word_bits_ % 8 != 0)
+        fatal("barrel shifter width %u must be a multiple of 8",
+              word_bits_);
+}
+
+ShifterCost
+BarrelShifter::cost() const
+{
+    unsigned n_bytes = word_bits_ / 8;
+    ShifterCost c;
+    c.stages = n_bytes > 1 ? ceilLog2(n_bytes) : 0;
+    c.muxes = n_bytes * c.stages;
+
+    // Reference: 32-bit rotator at 90 nm = 2 stages (4 byte lanes),
+    // 8 muxes, 0.4 ns, 1.5 pJ [Huntzicker et al., ICCD'08].
+    constexpr double ref_delay_per_stage_ns = 0.4 / 2.0;
+    constexpr double ref_energy_per_mux_pj = 1.5 / 8.0;
+    double delay_scale = feature_nm_ / 90.0;          // gate delay ~ L
+    double energy_scale = delay_scale * delay_scale;  // CV^2 ~ L^2
+
+    c.delay_ns = c.stages * ref_delay_per_stage_ns * delay_scale;
+    c.energy_pj = c.muxes * ref_energy_per_mux_pj * energy_scale;
+    return c;
+}
+
+} // namespace cppc

@@ -1,0 +1,42 @@
+#include "cppc/config.hh"
+
+#include "util/logging.hh"
+
+namespace cppc {
+
+void
+CppcConfig::validate(const CacheGeometry &geom) const
+{
+    if (parity_ways < 1 || parity_ways > 64)
+        fatal("CPPC parity_ways %u out of range", parity_ways);
+    if (num_classes == 0 || pairs_per_domain == 0 || num_domains == 0)
+        fatal("CPPC class/pair/domain counts must be non-zero");
+    if (num_classes % pairs_per_domain != 0)
+        fatal("CPPC pairs_per_domain %u must divide num_classes %u",
+              pairs_per_domain, num_classes);
+    if (digit_bits < 1 || digit_bits > 32)
+        fatal("CPPC digit size %u out of range", digit_bits);
+    if ((geom.unit_bytes * 8) % digit_bits != 0)
+        fatal("CPPC digit size %u must divide the %u-bit unit",
+              digit_bits, geom.unit_bytes * 8);
+    unsigned digits_per_unit = geom.unit_bytes * 8 / digit_bits;
+    if (byte_shifting && rotationsPerPair() > digits_per_unit) {
+        fatal("CPPC needs %u distinct digit rotations but the unit has "
+              "only %u digits",
+              rotationsPerPair(), digits_per_unit);
+    }
+    if (byte_shifting && rotationsPerPair() > 1 &&
+        parity_ways != digit_bits) {
+        fatal("spatial CPPC (digit shifting) requires the parity "
+              "interleaving (%u) to equal the digit size (%u) so parity "
+              "classes survive rotation",
+              parity_ways, digit_bits);
+    }
+    if (geom.numRows() % num_domains != 0)
+        fatal("CPPC num_domains %u must divide the row count %u",
+              num_domains, geom.numRows());
+    if (geom.numRows() / num_domains < num_classes)
+        fatal("CPPC domain smaller than one rotation-class period");
+}
+
+} // namespace cppc

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Configuration knobs of a CPPC protection scheme.
+ */
+
+#ifndef CPPC_CPPC_CONFIG_HH
+#define CPPC_CPPC_CONFIG_HH
+
+#include "cache/geometry.hh"
+
+namespace cppc {
+
+/**
+ * The CPPC design space of Sections 3 and 4:
+ *
+ *  - @c parity_ways: interleaved parity bits per protection unit
+ *    (detection strength; 8 aligns parity classes with byte offsets and
+ *    enables the spatial machinery).
+ *  - @c num_classes (C): the spatial row envelope.  Rotation classes
+ *    repeat every C physical rows; spatial faults spanning at most C
+ *    rows and 8 bit columns are correctable.
+ *  - @c pairs_per_domain (P): register pairs sharing the C classes.
+ *    P=1 is the two-register design of Figure 6; P=2 resolves the
+ *    Section 4.6 special cases; P=C is the no-shifting design of
+ *    Section 4.11.
+ *  - @c num_domains (D): Section 3.4's protection-domain splitting —
+ *    the cache is divided into D contiguous row regions, each with its
+ *    own register pairs, scaling temporal-MBE reliability.
+ *  - @c byte_shifting: rotate data by (class mod C/P) digits before
+ *    the XOR into R1/R2 (digits are bytes in the paper's N=8 design).
+ *    Off with P=1 gives the basic CPPC of Section 3, which cannot
+ *    correct vertical MBEs (Figure 4).
+ */
+struct CppcConfig
+{
+    unsigned parity_ways = 8;
+    unsigned num_classes = 8;
+    unsigned pairs_per_domain = 1;
+    unsigned num_domains = 1;
+    bool byte_shifting = true;
+
+    /**
+     * Digit size N of the Section 4 N-by-N construction: data is
+     * rotated by whole digits and parity is N-way interleaved, giving
+     * a num_classes x N spatial envelope.  N = 8 is the paper's byte
+     * design; N = 4 is the cheaper 4x4 envelope Section 5.3 compares
+     * against (half the parity bits, nearly the same energy).
+     */
+    unsigned digit_bits = 8;
+
+    /** Which spatial fault-location algorithm recover() uses. */
+    enum class Locator
+    {
+        Solver, ///< GF(2) hypothesis solver (sound and complete)
+        Paper,  ///< literal Section 4.5 step procedure
+    };
+    Locator locator = Locator::Solver;
+
+    /** Rotation amounts per register pair. */
+    unsigned
+    rotationsPerPair() const
+    {
+        return num_classes / pairs_per_domain;
+    }
+
+    /** Check against a cache geometry; fatal() on a bad combination. */
+    void validate(const CacheGeometry &geom) const;
+};
+
+} // namespace cppc
+
+#endif // CPPC_CPPC_CONFIG_HH

@@ -1,0 +1,354 @@
+#include "cppc/cppc_scheme.hh"
+
+#include <map>
+
+#include "util/logging.hh"
+
+namespace cppc {
+
+CppcScheme::CppcScheme(CppcConfig cfg)
+    : cfg_(cfg)
+{
+}
+
+CppcScheme::~CppcScheme() = default;
+
+std::string
+CppcScheme::name() const
+{
+    return strfmt("cppc-k%u-c%u-p%u-d%u%s%s", cfg_.parity_ways,
+                  cfg_.num_classes, cfg_.pairs_per_domain,
+                  cfg_.num_domains, cfg_.byte_shifting ? "-shift" : "",
+                  cfg_.digit_bits == 8
+                      ? ""
+                      : strfmt("-n%u", cfg_.digit_bits).c_str());
+}
+
+void
+CppcScheme::attach(CacheBackdoor &cache)
+{
+    cache_ = &cache;
+    const CacheGeometry &geom = cache.geometry();
+    cfg_.validate(geom);
+    rows_per_domain_ = geom.numRows() / cfg_.num_domains;
+    regs_ = XorRegisterFile(geom.unit_bytes, cfg_.num_domains,
+                            cfg_.pairs_per_domain);
+    shifter_ = BarrelShifter(geom.unit_bytes * 8);
+    if (cfg_.locator == CppcConfig::Locator::Paper) {
+        locator_ = std::make_unique<PaperFaultLocator>(geom.unit_bytes,
+                                                       cfg_.digit_bits);
+    } else {
+        locator_ = std::make_unique<SolverFaultLocator>(geom.unit_bytes,
+                                                        cfg_.digit_bits);
+    }
+    code_.assign(geom.numRows(), 0);
+}
+
+WideWord
+CppcScheme::unitAt(const uint8_t *data, unsigned idx) const
+{
+    unsigned ub = cache_->geometry().unit_bytes;
+    return WideWord::fromBytes(data + idx * ub, ub);
+}
+
+FillEffect
+CppcScheme::onFill(Row row0, unsigned n_units, const uint8_t *data, bool)
+{
+    // Fills bring in clean data: parity is (re)computed, the registers
+    // only track dirty words and stay untouched.
+    for (unsigned u = 0; u < n_units; ++u)
+        code_[row0 + u] = unitAt(data, u).interleavedParity(cfg_.parity_ways);
+    return {};
+}
+
+void
+CppcScheme::onEvict(Row row0, unsigned n_units, const uint8_t *data,
+                    const uint8_t *dirty)
+{
+    // Dirty words leave the cache with the write-back: XOR them (after
+    // rotation) into R2.  The victim buffer already reads the line, so
+    // this happens off the critical path (Section 3.1).
+    for (unsigned u = 0; u < n_units; ++u) {
+        if (!dirty[u])
+            continue;
+        Row row = row0 + u;
+        regs_.accumulateRemoval(
+            domainOf(row), pairOf(row),
+            unitAt(data, u).rotatedLeftBits(rotationOf(row) *
+                                            cfg_.digit_bits));
+    }
+}
+
+StoreEffect
+CppcScheme::onStore(Row row, const WideWord &old_data,
+                    const WideWord &new_data, bool was_dirty, bool partial)
+{
+    unsigned d = domainOf(row);
+    unsigned p = pairOf(row);
+    unsigned rot = rotationOf(row);
+
+    StoreEffect eff;
+    if (was_dirty) {
+        // Overwriting dirty data removes it: read-before-write into R2.
+        regs_.accumulateRemoval(
+            d, p, old_data.rotatedLeftBits(rot * cfg_.digit_bits));
+        eff.rbw = true;
+    } else if (partial) {
+        // A partial store to a clean word must read the whole old word
+        // so the *merged* word can enter R1 (the per-word dirty bit has
+        // no way to express a partially-tracked word).
+        eff.rbw = true;
+    }
+    regs_.accumulateStore(
+        d, p, new_data.rotatedLeftBits(rot * cfg_.digit_bits));
+    code_[row] = new_data.interleavedParity(cfg_.parity_ways);
+    if (eff.rbw)
+        ++stats_.rbw_words;
+    return eff;
+}
+
+void
+CppcScheme::onClean(Row row, const WideWord &data)
+{
+    // The word stops being dirty (coherence downgrade / early write-
+    // back): it leaves the XOR checkpoint exactly like an eviction.
+    regs_.accumulateRemoval(
+        domainOf(row), pairOf(row),
+        data.rotatedLeftBits(rotationOf(row) * cfg_.digit_bits));
+}
+
+bool
+CppcScheme::check(Row row) const
+{
+    if (!cache_->rowValid(row))
+        return true;
+    return cache_->rowData(row).interleavedParity(cfg_.parity_ways) ==
+        code_[row];
+}
+
+void
+CppcScheme::forEachScopedDirtyRow(unsigned domain, unsigned pair,
+                                  const std::function<void(Row)> &fn) const
+{
+    Row begin = domain * rows_per_domain_;
+    Row end = begin + rows_per_domain_;
+    for (Row r = begin; r < end; ++r)
+        if (pairOf(r) == pair && cache_->rowDirty(r))
+            fn(r);
+}
+
+WideWord
+CppcScheme::recomputeDirtyXor(unsigned domain, unsigned pair) const
+{
+    WideWord acc(cache_->geometry().unit_bytes);
+    forEachScopedDirtyRow(domain, pair, [&](Row r) {
+        acc ^= cache_->rowData(r).rotatedLeftBits(rotationOf(r) *
+                                                  cfg_.digit_bits);
+    });
+    return acc;
+}
+
+bool
+CppcScheme::invariantHolds() const
+{
+    for (unsigned d = 0; d < cfg_.num_domains; ++d)
+        for (unsigned p = 0; p < cfg_.pairs_per_domain; ++p)
+            if (regs_.dirtyXor(d, p) != recomputeDirtyXor(d, p))
+                return false;
+    return true;
+}
+
+void
+CppcScheme::injectRegisterFault(unsigned domain, unsigned pair,
+                                XorRegisterFile::Which which, unsigned bit)
+{
+    regs_.injectFault(domain, pair, which, bit);
+}
+
+bool
+CppcScheme::scrubRegisters()
+{
+    // Rebuilding the registers from the cache contents is only sound
+    // when no dirty word is itself faulty (Section 4.9).
+    unsigned n_rows = cache_->geometry().numRows();
+    for (Row r = 0; r < n_rows; ++r)
+        if (cache_->rowDirty(r) && !check(r))
+            return false;
+    for (unsigned d = 0; d < cfg_.num_domains; ++d) {
+        for (unsigned p = 0; p < cfg_.pairs_per_domain; ++p) {
+            regs_.set(d, p, XorRegisterFile::Which::R1,
+                      recomputeDirtyXor(d, p));
+            regs_.set(d, p, XorRegisterFile::Which::R2,
+                      WideWord(cache_->geometry().unit_bytes));
+        }
+    }
+    return true;
+}
+
+bool
+CppcScheme::recoverSingle(Row f)
+{
+    // Steps 1-2 of Section 4.4: XOR R1, R2 and every other dirty word
+    // of the pair (rotated); rotate the result back into place.
+    unsigned d = domainOf(f);
+    unsigned p = pairOf(f);
+    WideWord acc = regs_.dirtyXor(d, p);
+    forEachScopedDirtyRow(d, p, [&](Row r) {
+        if (r != f) {
+            acc ^= cache_->rowData(r).rotatedLeftBits(rotationOf(r) *
+                                                      cfg_.digit_bits);
+        }
+    });
+    WideWord corrected =
+        acc.rotatedRightBits(rotationOf(f) * cfg_.digit_bits);
+    if (corrected.interleavedParity(cfg_.parity_ways) != code_[f])
+        return false; // reconstruction contradicts the stored parity
+    cache_->pokeRowData(f, corrected);
+    ++stats_.corrected_dirty;
+    return true;
+}
+
+bool
+CppcScheme::recoverGroup(unsigned domain, unsigned pair,
+                         const std::vector<Row> &rows)
+{
+    const unsigned ub = cache_->geometry().unit_bytes;
+    const unsigned k = cfg_.parity_ways;
+
+    // R3: XOR of R1, R2 and *all* dirty words including the faulty
+    // ones — the rotated image of every flipped bit (Section 4.5).
+    WideWord r3 = regs_.dirtyXor(domain, pair);
+    forEachScopedDirtyRow(domain, pair, [&](Row r) {
+        r3 ^= cache_->rowData(r).rotatedLeftBits(rotationOf(r) *
+                                                 cfg_.digit_bits);
+    });
+
+    std::vector<uint64_t> pmasks;
+    pmasks.reserve(rows.size());
+    for (Row r : rows)
+        pmasks.push_back(cache_->rowData(r).interleavedParity(k) ^ code_[r]);
+
+    // Step-4 fast path: if the failing parity classes are pairwise
+    // disjoint, each word's rotated fault mask can be read directly off
+    // R3 (byte rotation preserves the in-byte offset, so class
+    // membership survives rotation).
+    uint64_t seen = 0;
+    bool disjoint = true;
+    for (uint64_t m : pmasks) {
+        if (seen & m) {
+            disjoint = false;
+            break;
+        }
+        seen |= m;
+    }
+    if (disjoint) {
+        WideWord residue = r3;
+        std::vector<WideWord> rot_masks(rows.size(), WideWord(ub));
+        for (unsigned j = 0; j < r3.sizeBits(); ++j) {
+            if (!r3.bit(j))
+                continue;
+            unsigned cls = j % k;
+            for (unsigned i = 0; i < rows.size(); ++i) {
+                if ((pmasks[i] >> cls) & 1) {
+                    rot_masks[i].setBit(j);
+                    residue.setBit(j, false);
+                    break;
+                }
+            }
+        }
+        if (residue.isZero()) {
+            for (unsigned i = 0; i < rows.size(); ++i) {
+                Row f = rows[i];
+                WideWord corrected = cache_->rowData(f) ^
+                    rot_masks[i].rotatedRightBits(rotationOf(f) *
+                                                  cfg_.digit_bits);
+                if (corrected.interleavedParity(k) != code_[f])
+                    return false;
+                cache_->pokeRowData(f, corrected);
+                ++stats_.corrected_dirty;
+            }
+            return true;
+        }
+        // Leftover R3 bits in classes nobody's parity flags: fall
+        // through to the spatial locator.
+    }
+
+    // Spatial locator path (steps 5-6): needs parity classes aligned
+    // with the digit machinery.
+    if (k != cfg_.digit_bits || !locator_)
+        return false;
+    std::vector<FaultyWord> infos;
+    infos.reserve(rows.size());
+    for (unsigned i = 0; i < rows.size(); ++i)
+        infos.push_back({rotationOf(rows[i]),
+                         static_cast<uint32_t>(pmasks[i])});
+    auto flips = locator_->locate(infos, r3);
+    if (!flips)
+        return false;
+
+    std::vector<WideWord> masks(rows.size(), WideWord(ub));
+    for (const BitFlip &f : *flips)
+        masks[f.word].flipBit(f.bit);
+    for (unsigned i = 0; i < rows.size(); ++i) {
+        Row f = rows[i];
+        WideWord corrected = cache_->rowData(f) ^ masks[i];
+        if (corrected.interleavedParity(k) != code_[f])
+            return false;
+        cache_->pokeRowData(f, corrected);
+        ++stats_.corrected_dirty;
+    }
+    return true;
+}
+
+VerifyOutcome
+CppcScheme::recover(Row trigger)
+{
+    ++stats_.detections;
+    bool trigger_dirty = cache_->rowDirty(trigger);
+
+    // Step 1: sweep the whole array with the parity bits to find every
+    // faulty word; faults may span rows well beyond the trigger.
+    std::vector<Row> clean_faulty;
+    std::map<std::pair<unsigned, unsigned>, std::vector<Row>> groups;
+    unsigned n_rows = cache_->geometry().numRows();
+    for (Row r = 0; r < n_rows; ++r) {
+        if (!cache_->rowValid(r) || check(r))
+            continue;
+        if (cache_->rowDirty(r))
+            groups[{domainOf(r), pairOf(r)}].push_back(r);
+        else
+            clean_faulty.push_back(r);
+    }
+
+    // Clean faults convert to misses (Section 3.2) and must be handled
+    // first so they do not pollute the dirty sweeps below.
+    bool ok = true;
+    for (Row r : clean_faulty) {
+        if (cache_->refetchRow(r))
+            ++stats_.refetched_clean;
+        else
+            ok = false;
+    }
+
+    for (const auto &[dp, rows] : groups) {
+        bool group_ok = rows.size() == 1
+            ? recoverSingle(rows.front())
+            : recoverGroup(dp.first, dp.second, rows);
+        ok = ok && group_ok;
+    }
+
+    if (!ok) {
+        ++stats_.due;
+        return VerifyOutcome::Due;
+    }
+    return trigger_dirty ? VerifyOutcome::Corrected : VerifyOutcome::Refetched;
+}
+
+uint64_t
+CppcScheme::codeBitsTotal() const
+{
+    return static_cast<uint64_t>(code_.size()) * cfg_.parity_ways +
+        regs_.storageBits();
+}
+
+} // namespace cppc

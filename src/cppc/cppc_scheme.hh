@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The Correctable Parity Protected Cache scheme — the paper's core
+ * contribution.
+ *
+ * Detection is k-way interleaved parity per protection unit.  Error
+ * correction for dirty data comes from the R1/R2 XOR registers:
+ *
+ *  - every stored word is rotated by its row's rotation class and
+ *    XORed into R1;
+ *  - every dirty word removed (overwritten by a store, or evicted in a
+ *    write-back) is rotated the same way and XORed into R2;
+ *  - hence R1 ^ R2 always equals the XOR of the rotated resident dirty
+ *    words, and a faulty dirty word is rebuilt by XORing R1 ^ R2 with
+ *    every *other* dirty word (Section 3.2), then rotating back.
+ *
+ * Byte shifting plus 8-way interleaved parity extends correction to
+ * spatial multi-bit faults inside an 8x8 bit square (Section 4); the
+ * fault locator pins down the flipped bits when several words fail
+ * parity at overlapping classes (Section 4.5).  Faults in clean words
+ * are converted to misses and refetched.
+ */
+
+#ifndef CPPC_CPPC_CPPC_SCHEME_HH
+#define CPPC_CPPC_CPPC_SCHEME_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cache/protection_scheme.hh"
+#include "cppc/barrel_shifter.hh"
+#include "cppc/config.hh"
+#include "cppc/fault_locator.hh"
+#include "cppc/xor_registers.hh"
+
+namespace cppc {
+
+class CppcScheme : public ProtectionScheme
+{
+  public:
+    explicit CppcScheme(CppcConfig cfg = CppcConfig{});
+    ~CppcScheme() override;
+
+    std::string name() const override;
+    void attach(CacheBackdoor &cache) override;
+
+    FillEffect onFill(Row row0, unsigned n_units, const uint8_t *data,
+                      bool victim_was_dirty) override;
+    void onEvict(Row row0, unsigned n_units, const uint8_t *data,
+                 const uint8_t *dirty) override;
+    StoreEffect onStore(Row row, const WideWord &old_data,
+                        const WideWord &new_data, bool was_dirty,
+                        bool partial) override;
+    void onClean(Row row, const WideWord &data) override;
+
+    bool check(Row row) const override;
+    VerifyOutcome recover(Row row) override;
+
+    uint64_t codeBitsTotal() const override;
+
+    const CppcConfig &config() const { return cfg_; }
+
+    // --- row geometry (Sections 3.4, 4.3, 4.6, 4.11) ------------------
+
+    /** Rotation class: physical row modulo the class period. */
+    unsigned classOf(Row row) const { return row % cfg_.num_classes; }
+    /** Protection-domain index (contiguous row regions). */
+    unsigned domainOf(Row row) const { return row / rows_per_domain_; }
+    /** Register pair within the domain. */
+    unsigned
+    pairOf(Row row) const
+    {
+        return classOf(row) / cfg_.rotationsPerPair();
+    }
+    /** Digit-rotation amount applied before the R1/R2 XOR. */
+    unsigned
+    rotationOf(Row row) const
+    {
+        return cfg_.byte_shifting ? classOf(row) % cfg_.rotationsPerPair()
+                                  : 0;
+    }
+
+    // --- introspection and the Section 4.9 register story -------------
+
+    const XorRegisterFile &registers() const { return regs_; }
+    const BarrelShifter &shifter() const { return shifter_; }
+
+    /** XOR of the rotated resident dirty words of one pair (sweep). */
+    WideWord recomputeDirtyXor(unsigned domain, unsigned pair) const;
+
+    /** True iff R1 ^ R2 matches the dirty sweep for every pair. */
+    bool invariantHolds() const;
+
+    /** Flip a register bit without updating its parity (fault model). */
+    void injectRegisterFault(unsigned domain, unsigned pair,
+                             XorRegisterFile::Which which, unsigned bit);
+
+    /** Per-register parity across the whole file (Section 4.9). */
+    bool registersOk() const { return regs_.allParityOk(); }
+
+    /**
+     * Rebuild faulty registers from the dirty contents (Section 4.9:
+     * possible provided no dirty word is itself faulty).
+     * @return false when a dirty word fails parity, leaving the
+     *         registers unrecoverable.
+     */
+    bool scrubRegisters();
+
+    /** Stored parity mask of a row (tests). */
+    uint64_t storedParity(Row row) const { return code_.at(row); }
+
+  private:
+    WideWord unitAt(const uint8_t *data, unsigned idx) const;
+    /** Rows of (domain, pair) holding dirty data, in row order. */
+    void forEachScopedDirtyRow(unsigned domain, unsigned pair,
+                               const std::function<void(Row)> &fn) const;
+
+    /** Correct the single faulty dirty row @p f of its pair. */
+    bool recoverSingle(Row f);
+    /** Correct a multi-row group within one (domain, pair). */
+    bool recoverGroup(unsigned domain, unsigned pair,
+                      const std::vector<Row> &rows);
+
+    CppcConfig cfg_;
+    CacheBackdoor *cache_ = nullptr;
+    XorRegisterFile regs_{8, 1, 1};
+    BarrelShifter shifter_{64};
+    std::unique_ptr<FaultLocator> locator_;
+    std::vector<uint64_t> code_; // interleaved parity per row
+    unsigned rows_per_domain_ = 1;
+};
+
+} // namespace cppc
+
+#endif // CPPC_CPPC_CPPC_SCHEME_HH

@@ -1,0 +1,319 @@
+#include "cppc/fault_locator.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "util/gf2.hh"
+#include "util/logging.hh"
+
+namespace cppc {
+
+FaultLocator::FaultLocator(unsigned unit_bytes, unsigned digit_bits)
+    : n_bytes_(unit_bytes), digit_bits_(digit_bits)
+{
+    if (digit_bits_ < 1 || digit_bits_ > 32)
+        fatal("locator digit size %u out of range", digit_bits_);
+    if ((unit_bytes * 8) % digit_bits_ != 0)
+        fatal("unit width %u bits not divisible by digit size %u",
+              unit_bytes * 8, digit_bits_);
+    n_digits_ = unit_bytes * 8 / digit_bits_;
+}
+
+namespace {
+
+/** Deduplicate candidate flip sets; exactly one distinct -> located. */
+std::optional<std::vector<BitFlip>>
+pickUnique(std::vector<std::vector<BitFlip>> &candidates)
+{
+    for (auto &c : candidates)
+        std::sort(c.begin(), c.end());
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    if (candidates.size() == 1)
+        return candidates.front();
+    return std::nullopt; // zero (no hypothesis fits) or ambiguous
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// SolverFaultLocator
+// ---------------------------------------------------------------------
+
+std::optional<std::vector<BitFlip>>
+SolverFaultLocator::solveHypothesis(const std::vector<FaultyWord> &words,
+                                    const WideWord &r3,
+                                    const std::vector<unsigned> &columns)
+    const
+{
+    const unsigned m = static_cast<unsigned>(words.size());
+    const unsigned ncols = static_cast<unsigned>(columns.size());
+    const unsigned n = n_digits_;
+    const unsigned db = digit_bits_;
+    // Unknown x[w][ci][o]: word w has a flipped bit at digit
+    // columns[ci], offset o.
+    auto var = [&](unsigned w, unsigned ci, unsigned o) {
+        return (w * ncols + ci) * db + o;
+    };
+    Gf2System sys(m * ncols * db);
+
+    // R3 equations: rotation maps original digit c of word w to R3
+    // digit (c - rotation) mod n, preserving the in-digit offset.
+    for (unsigned d = 0; d < n; ++d) {
+        for (unsigned o = 0; o < db; ++o) {
+            std::vector<unsigned> vars;
+            for (unsigned w = 0; w < m; ++w) {
+                for (unsigned ci = 0; ci < ncols; ++ci) {
+                    unsigned dst =
+                        (columns[ci] + n - words[w].rotation % n) % n;
+                    if (dst == d)
+                        vars.push_back(var(w, ci, o));
+                }
+            }
+            sys.addEquation(vars, r3.bit(d * db + o));
+        }
+    }
+
+    // Parity equations: class o of word w fails iff an odd number of
+    // its flips sit at offset o.
+    for (unsigned w = 0; w < m; ++w) {
+        for (unsigned o = 0; o < db; ++o) {
+            std::vector<unsigned> vars;
+            for (unsigned ci = 0; ci < ncols; ++ci)
+                vars.push_back(var(w, ci, o));
+            sys.addEquation(vars, (words[w].parity_mask >> o) & 1);
+        }
+    }
+
+    std::vector<bool> sol;
+    if (sys.solve(sol) != Gf2System::Solvability::Unique)
+        return std::nullopt;
+
+    std::vector<BitFlip> flips;
+    for (unsigned w = 0; w < m; ++w)
+        for (unsigned ci = 0; ci < ncols; ++ci)
+            for (unsigned o = 0; o < db; ++o)
+                if (sol[var(w, ci, o)])
+                    flips.push_back({w, columns[ci] * db + o});
+    if (flips.empty())
+        return std::nullopt; // "no fault" contradicts the detection
+    return flips;
+}
+
+std::optional<std::vector<BitFlip>>
+SolverFaultLocator::locate(const std::vector<FaultyWord> &words,
+                           const WideWord &r3) const
+{
+    if (words.empty() || r3.sizeBytes() != n_bytes_)
+        return std::nullopt;
+    // Words sharing a rotation amount cannot be disentangled.
+    std::set<unsigned> rots;
+    for (const auto &w : words)
+        if (!rots.insert(w.rotation % n_digits_).second)
+            return std::nullopt;
+
+    // Single-column hypotheses take precedence over adjacent pairs,
+    // mirroring the paper's step 3: when a common digit explains the
+    // strike, commit to it; the two-digit reading is the fallback.
+    std::vector<std::vector<BitFlip>> candidates;
+    for (unsigned c = 0; c < n_digits_; ++c) {
+        if (auto f = solveHypothesis(words, r3, {c}))
+            candidates.push_back(std::move(*f));
+    }
+    if (!candidates.empty())
+        return pickUnique(candidates);
+    for (unsigned c = 0; c + 1 < n_digits_; ++c) {
+        if (auto f = solveHypothesis(words, r3, {c, c + 1}))
+            candidates.push_back(std::move(*f));
+    }
+    return pickUnique(candidates);
+}
+
+// ---------------------------------------------------------------------
+// PaperFaultLocator
+// ---------------------------------------------------------------------
+
+std::optional<std::vector<BitFlip>>
+PaperFaultLocator::locateSingleColumn(const std::vector<FaultyWord> &words,
+                                      const WideWord &r3,
+                                      unsigned column) const
+{
+    const unsigned n = n_digits_;
+    const unsigned db = digit_bits_;
+    std::vector<BitFlip> flips;
+    WideWord residue = r3;
+    for (unsigned w = 0; w < words.size(); ++w) {
+        unsigned d = (column + n - words[w].rotation % n) % n;
+        uint32_t bits = residue.digit(d, db);
+        // The failing parity classes must be exactly the flipped
+        // offsets of this digit.
+        if (bits != words[w].parity_mask)
+            return std::nullopt;
+        for (unsigned o = 0; o < db; ++o)
+            if ((bits >> o) & 1)
+                flips.push_back({w, column * db + o});
+        residue.setDigit(d, db, 0);
+    }
+    if (!residue.isZero())
+        return std::nullopt; // leftover R3 bits nobody accounts for
+    if (flips.empty())
+        return std::nullopt;
+    return flips;
+}
+
+std::optional<std::vector<BitFlip>>
+PaperFaultLocator::locateAdjacentPair(const std::vector<FaultyWord> &words,
+                                      const WideWord &r3, unsigned c0,
+                                      unsigned c1) const
+{
+    const unsigned n = n_digits_;
+    const unsigned db = digit_bits_;
+    const unsigned m = static_cast<unsigned>(words.size());
+
+    // Reduced faulty sets (the step-4 state): for each R3 digit, the
+    // (word, source-digit) entries that map onto it.
+    struct Entry
+    {
+        unsigned word;
+        unsigned col; // c0 or c1
+    };
+    std::vector<std::vector<Entry>> active(n);
+    for (unsigned w = 0; w < m; ++w) {
+        for (unsigned c : {c0, c1}) {
+            unsigned d = (c + n - words[w].rotation % n) % n;
+            active[d].push_back({w, c});
+        }
+    }
+
+    WideWord residue = r3;
+    std::vector<uint32_t> pmask_left(m);
+    for (unsigned w = 0; w < m; ++w)
+        pmask_left[w] = words[w].parity_mask;
+    std::vector<bool> located(m, false);
+    std::vector<BitFlip> flips;
+
+    // Iteratively find an R3 digit whose reduced faulty set has exactly
+    // one member; its bits pin down that word's flips in that digit,
+    // and the word's remaining failing parity classes must come from
+    // its other digit (the Figure 9 chain).
+    unsigned remaining = m;
+    while (remaining > 0) {
+        int pick = -1;
+        for (unsigned d = 0; d < n; ++d) {
+            if (active[d].size() == 1 && !located[active[d][0].word]) {
+                pick = static_cast<int>(d);
+                break;
+            }
+        }
+        if (pick < 0)
+            return std::nullopt; // stuck: the cyclic/ambiguous case
+
+        Entry e = active[static_cast<unsigned>(pick)][0];
+        unsigned w = e.word;
+        uint32_t here = residue.digit(static_cast<unsigned>(pick), db);
+        // Flips at e.col are exactly 'here'; the rest of the word's
+        // failing classes sit in the other digit.
+        if ((here & ~pmask_left[w]) != 0)
+            return std::nullopt; // bits outside the failing classes
+        uint32_t other_bits = pmask_left[w] & ~here;
+        unsigned other = (e.col == c0) ? c1 : c0;
+        unsigned other_d = (other + n - words[w].rotation % n) % n;
+
+        for (unsigned o = 0; o < db; ++o) {
+            if ((here >> o) & 1)
+                flips.push_back({w, e.col * db + o});
+            if ((other_bits >> o) & 1)
+                flips.push_back({w, other * db + o});
+        }
+
+        residue.setDigit(static_cast<unsigned>(pick), db, 0);
+        residue.setDigit(other_d, db,
+                         residue.digit(other_d, db) ^ other_bits);
+        pmask_left[w] = 0;
+        located[w] = true;
+        --remaining;
+        for (auto &lst : active) {
+            lst.erase(std::remove_if(lst.begin(), lst.end(),
+                                     [&](const Entry &x) {
+                                         return x.word == w;
+                                     }),
+                      lst.end());
+        }
+    }
+
+    if (!residue.isZero())
+        return std::nullopt;
+    if (flips.empty())
+        return std::nullopt;
+    return flips;
+}
+
+std::optional<std::vector<BitFlip>>
+PaperFaultLocator::locate(const std::vector<FaultyWord> &words,
+                          const WideWord &r3) const
+{
+    if (words.empty() || r3.sizeBytes() != n_bytes_)
+        return std::nullopt;
+    const unsigned n = n_digits_;
+    const unsigned db = digit_bits_;
+    std::set<unsigned> rots;
+    for (const auto &w : words)
+        if (!rots.insert(w.rotation % n).second)
+            return std::nullopt;
+
+    // Step 1: the non-zero R3 digits.
+    std::vector<unsigned> r3_digits;
+    for (unsigned d = 0; d < n; ++d)
+        if (r3.digit(d, db) != 0)
+            r3_digits.push_back(d);
+    if (r3_digits.empty())
+        return std::nullopt;
+
+    // Step 2: the faulty set of each R3 digit = candidate source digits.
+    auto faulty_set = [&](unsigned d) {
+        std::set<unsigned> s;
+        for (const auto &w : words)
+            s.insert((d + w.rotation) % n);
+        return s;
+    };
+
+    // Step 3: a digit common to every faulty set -> single-column
+    // hypothesis; otherwise adjacent digit pairs covering all sets.
+    std::vector<std::vector<BitFlip>> candidates;
+    {
+        std::set<unsigned> common = faulty_set(r3_digits[0]);
+        for (unsigned i = 1; i < r3_digits.size(); ++i) {
+            auto s = faulty_set(r3_digits[i]);
+            std::set<unsigned> inter;
+            std::set_intersection(common.begin(), common.end(), s.begin(),
+                                  s.end(),
+                                  std::inserter(inter, inter.begin()));
+            common = std::move(inter);
+        }
+        for (unsigned c : common)
+            if (auto f = locateSingleColumn(words, r3, c))
+                candidates.push_back(std::move(*f));
+    }
+    // Step 3's precedence: a located common digit ends the procedure;
+    // adjacent digit pairs are only examined when none exists.
+    if (!candidates.empty())
+        return pickUnique(candidates);
+    for (unsigned c = 0; c + 1 < n; ++c) {
+        bool covers = true;
+        for (unsigned d : r3_digits) {
+            auto s = faulty_set(d);
+            if (!s.count(c) && !s.count(c + 1)) {
+                covers = false;
+                break;
+            }
+        }
+        if (!covers)
+            continue;
+        if (auto f = locateAdjacentPair(words, r3, c, c + 1))
+            candidates.push_back(std::move(*f));
+    }
+    return pickUnique(candidates);
+}
+
+} // namespace cppc

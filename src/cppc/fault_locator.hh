@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Spatial multi-bit fault location (Section 4.5), generalised to the
+ * N-by-N construction of Section 4.
+ *
+ * Inputs, exactly what the hardware would have after the recovery sweep
+ * found several parity-faulty dirty words in one register pair:
+ *
+ *  - per faulty word: its rotation amount (in digits) and the mask of
+ *    failing interleaved-parity classes;
+ *  - R3 = R1 ^ R2 ^ XOR(all dirty words of the pair, rotated), whose
+ *    set bits are the rotated images of every flipped bit.
+ *
+ * Output: the exact set of flipped bits, or nothing when the fault is
+ * not locatable (DUE) — including the Section 4.6 ambiguous cases.
+ *
+ * The construction is parameterised by the digit size N (the paper's
+ * presentation uses N = 8: bytes and 8-way parity; N = 4 gives the
+ * cheaper 4x4 envelope of Section 5.3).  Rotation by whole digits
+ * preserves a bit's offset within its digit, i.e. its N-way parity
+ * class — the property everything rests on.
+ *
+ * Two interchangeable algorithms are provided:
+ *
+ *  - SolverFaultLocator enumerates the spatial hypotheses (the strike
+ *    hit one digit column, or two adjacent columns) and solves each as
+ *    a GF(2) linear system; a fault is located iff exactly one
+ *    distinct flip set is consistent.  Single-column hypotheses take
+ *    precedence, mirroring the paper's step 3.
+ *  - PaperFaultLocator follows the literal step 1-5 faulty-set
+ *    reduction of Section 4.5 (the Figure 8/9 walk-through).
+ */
+
+#ifndef CPPC_CPPC_FAULT_LOCATOR_HH
+#define CPPC_CPPC_FAULT_LOCATOR_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/wide_word.hh"
+
+namespace cppc {
+
+/** One parity-faulty dirty word, as seen by the locator. */
+struct FaultyWord
+{
+    unsigned rotation = 0;     ///< left-rotation digits before R1/R2
+    uint32_t parity_mask = 0;  ///< failing parity classes (bit offsets)
+};
+
+/** A located bit flip: @c bit is a position within word @c word. */
+struct BitFlip
+{
+    unsigned word = 0; ///< index into the FaultyWord vector
+    unsigned bit = 0;  ///< bit position within the protection unit
+
+    bool
+    operator==(const BitFlip &o) const
+    {
+        return word == o.word && bit == o.bit;
+    }
+    bool
+    operator<(const BitFlip &o) const
+    {
+        return word != o.word ? word < o.word : bit < o.bit;
+    }
+};
+
+/** Common interface of the two location algorithms. */
+class FaultLocator
+{
+  public:
+    /**
+     * @param unit_bytes protection-unit width
+     * @param digit_bits digit size N (== the parity interleaving)
+     */
+    explicit FaultLocator(unsigned unit_bytes, unsigned digit_bits = 8);
+    virtual ~FaultLocator() = default;
+
+    /**
+     * Locate the flipped bits.  @p r3 must have the unit width.
+     * @return the flip set (sorted), or std::nullopt when the fault is
+     *         not locatable.
+     */
+    virtual std::optional<std::vector<BitFlip>>
+    locate(const std::vector<FaultyWord> &words, const WideWord &r3) const = 0;
+
+    unsigned unitBytes() const { return n_bytes_; }
+    unsigned digitBits() const { return digit_bits_; }
+    unsigned numDigits() const { return n_digits_; }
+
+  protected:
+    unsigned n_bytes_;
+    unsigned digit_bits_;
+    unsigned n_digits_;
+};
+
+/** Hypothesis-enumerating GF(2) locator (production path). */
+class SolverFaultLocator : public FaultLocator
+{
+  public:
+    explicit SolverFaultLocator(unsigned unit_bytes,
+                                unsigned digit_bits = 8)
+        : FaultLocator(unit_bytes, digit_bits)
+    {
+    }
+
+    std::optional<std::vector<BitFlip>>
+    locate(const std::vector<FaultyWord> &words,
+           const WideWord &r3) const override;
+
+  private:
+    std::optional<std::vector<BitFlip>>
+    solveHypothesis(const std::vector<FaultyWord> &words, const WideWord &r3,
+                    const std::vector<unsigned> &columns) const;
+};
+
+/** Literal Section 4.5 faulty-set procedure. */
+class PaperFaultLocator : public FaultLocator
+{
+  public:
+    explicit PaperFaultLocator(unsigned unit_bytes,
+                               unsigned digit_bits = 8)
+        : FaultLocator(unit_bytes, digit_bits)
+    {
+    }
+
+    std::optional<std::vector<BitFlip>>
+    locate(const std::vector<FaultyWord> &words,
+           const WideWord &r3) const override;
+
+  private:
+    std::optional<std::vector<BitFlip>>
+    locateSingleColumn(const std::vector<FaultyWord> &words,
+                       const WideWord &r3, unsigned column) const;
+    std::optional<std::vector<BitFlip>>
+    locateAdjacentPair(const std::vector<FaultyWord> &words,
+                       const WideWord &r3, unsigned c0, unsigned c1) const;
+};
+
+} // namespace cppc
+
+#endif // CPPC_CPPC_FAULT_LOCATOR_HH

@@ -1,0 +1,196 @@
+#include "cppc/tag_cppc.hh"
+
+#include <map>
+
+#include "util/logging.hh"
+
+namespace cppc {
+
+TagCppc::TagCppc(unsigned n_entries, unsigned entry_bits, Config cfg)
+    : n_entries_(n_entries), entry_bits_(entry_bits), cfg_(cfg),
+      mask_(entry_bits >= 64 ? ~0ull : ((1ull << entry_bits) - 1)),
+      entries_(n_entries, 0), valid_(n_entries, 0), code_(n_entries, 0),
+      regs_(8, 1, cfg.pairs), locator_(8)
+{
+    if (entry_bits_ == 0 || entry_bits_ > 64)
+        fatal("tag entry width %u out of range", entry_bits_);
+    if (cfg_.num_classes == 0 || cfg_.pairs == 0 ||
+        cfg_.num_classes % cfg_.pairs != 0)
+        fatal("bad tag CPPC class/pair configuration");
+    if (n_entries_ < cfg_.num_classes)
+        fatal("tag array smaller than one rotation period");
+    if (cfg_.byte_shifting && cfg_.parity_ways != 8)
+        fatal("tag byte shifting requires 8-way interleaved parity");
+}
+
+WideWord
+TagCppc::entryWord(unsigned idx) const
+{
+    return WideWord::fromUint64(entries_[idx], 8);
+}
+
+void
+TagCppc::fill(unsigned idx, uint64_t value)
+{
+    if (valid_[idx])
+        panic("fill() of a valid tag slot %u (use replace())", idx);
+    value &= mask_;
+    entries_[idx] = value;
+    valid_[idx] = 1;
+    WideWord w = WideWord::fromUint64(value, 8);
+    code_[idx] =
+        static_cast<uint8_t>(w.interleavedParity(cfg_.parity_ways));
+    regs_.accumulateStore(0, pairOf(idx), w.rotatedLeft(rotationOf(idx)));
+}
+
+void
+TagCppc::invalidate(unsigned idx)
+{
+    if (!valid_[idx])
+        return;
+    regs_.accumulateRemoval(
+        0, pairOf(idx), entryWord(idx).rotatedLeft(rotationOf(idx)));
+    valid_[idx] = 0;
+    entries_[idx] = 0;
+}
+
+void
+TagCppc::replace(unsigned idx, uint64_t value)
+{
+    // The old tag is read during the lookup that decided to replace,
+    // so this costs no extra array access (Section 7).
+    invalidate(idx);
+    fill(idx, value);
+}
+
+uint64_t
+TagCppc::read(unsigned idx) const
+{
+    return entries_.at(idx);
+}
+
+bool
+TagCppc::check(unsigned idx) const
+{
+    if (!valid_[idx])
+        return true;
+    return static_cast<uint8_t>(
+               entryWord(idx).interleavedParity(cfg_.parity_ways)) ==
+        code_[idx];
+}
+
+void
+TagCppc::corruptBit(unsigned idx, unsigned bit)
+{
+    if (!valid_[idx])
+        panic("corrupting an invalid tag slot %u", idx);
+    if (bit >= entry_bits_)
+        panic("tag bit %u out of range", bit);
+    entries_[idx] ^= 1ull << bit;
+}
+
+WideWord
+TagCppc::recomputeXor(unsigned pair) const
+{
+    WideWord acc(8);
+    for (unsigned i = 0; i < n_entries_; ++i)
+        if (valid_[i] && pairOf(i) == pair)
+            acc ^= entryWord(i).rotatedLeft(rotationOf(i));
+    return acc;
+}
+
+bool
+TagCppc::invariantHolds() const
+{
+    for (unsigned p = 0; p < cfg_.pairs; ++p)
+        if (regs_.dirtyXor(0, p) != recomputeXor(p))
+            return false;
+    return true;
+}
+
+bool
+TagCppc::recoverSingle(unsigned idx)
+{
+    unsigned p = pairOf(idx);
+    WideWord acc = regs_.dirtyXor(0, p);
+    for (unsigned i = 0; i < n_entries_; ++i)
+        if (i != idx && valid_[i] && pairOf(i) == p)
+            acc ^= entryWord(i).rotatedLeft(rotationOf(i));
+    WideWord corrected = acc.rotatedRight(rotationOf(idx));
+    if (static_cast<uint8_t>(
+            corrected.interleavedParity(cfg_.parity_ways)) != code_[idx])
+        return false;
+    if ((corrected.toUint64() & ~mask_) != 0)
+        return false; // bits outside the entry: inconsistent state
+    entries_[idx] = corrected.toUint64();
+    ++stats_.corrected;
+    return true;
+}
+
+bool
+TagCppc::recoverGroup(unsigned pair, const std::vector<unsigned> &idxs)
+{
+    if (cfg_.parity_ways != 8)
+        return false;
+    WideWord r3 = regs_.dirtyXor(0, pair);
+    for (unsigned i = 0; i < n_entries_; ++i)
+        if (valid_[i] && pairOf(i) == pair)
+            r3 ^= entryWord(i).rotatedLeft(rotationOf(i));
+
+    std::vector<FaultyWord> infos;
+    infos.reserve(idxs.size());
+    for (unsigned idx : idxs) {
+        uint8_t pmask = static_cast<uint8_t>(
+            entryWord(idx).interleavedParity(8) ^ code_[idx]);
+        infos.push_back({rotationOf(idx), pmask});
+    }
+    auto flips = locator_.locate(infos, r3);
+    if (!flips)
+        return false;
+    std::vector<uint64_t> masks(idxs.size(), 0);
+    for (const BitFlip &f : *flips) {
+        if (f.bit >= 64)
+            return false;
+        masks[f.word] ^= 1ull << f.bit;
+    }
+    for (unsigned k = 0; k < idxs.size(); ++k) {
+        uint64_t fixed = entries_[idxs[k]] ^ masks[k];
+        if ((fixed & ~mask_) != 0)
+            return false;
+        WideWord w = WideWord::fromUint64(fixed, 8);
+        if (static_cast<uint8_t>(w.interleavedParity(8)) != code_[idxs[k]])
+            return false;
+        entries_[idxs[k]] = fixed;
+        ++stats_.corrected;
+    }
+    return true;
+}
+
+bool
+TagCppc::recover()
+{
+    ++stats_.detections;
+    std::map<unsigned, std::vector<unsigned>> groups;
+    for (unsigned i = 0; i < n_entries_; ++i)
+        if (valid_[i] && !check(i))
+            groups[pairOf(i)].push_back(i);
+
+    bool ok = true;
+    for (const auto &[pair, idxs] : groups) {
+        bool g = idxs.size() == 1 ? recoverSingle(idxs.front())
+                                  : recoverGroup(pair, idxs);
+        ok = ok && g;
+    }
+    if (!ok)
+        ++stats_.due;
+    return ok;
+}
+
+uint64_t
+TagCppc::overheadBits() const
+{
+    return static_cast<uint64_t>(n_entries_) * cfg_.parity_ways +
+        regs_.storageBits();
+}
+
+} // namespace cppc

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * CPPC applied to the cache tag array — the extension the paper's
+ * Section 7 sketches as future work.
+ *
+ * Tags (including state bits) have no clean/dirty distinction: a
+ * corrupted tag cannot be refetched from anywhere, so *every* valid
+ * entry belongs to the XOR checkpoint.  The machinery is otherwise the
+ * data-side CPPC: R1 accumulates each entry written, R2 each entry
+ * removed (replacement or invalidation), parity detects, and recovery
+ * XORs R1 ^ R2 with every other valid entry.  Crucially, tags are
+ * read-only between fills, so — unlike the data array — no
+ * read-before-write is ever needed: correction comes truly for free.
+ *
+ * Byte shifting and the spatial fault locator carry over unchanged:
+ * entries are padded into 64-bit words, rotation classes follow the
+ * physical entry index.
+ */
+
+#ifndef CPPC_CPPC_TAG_CPPC_HH
+#define CPPC_CPPC_TAG_CPPC_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cppc/fault_locator.hh"
+#include "cppc/xor_registers.hh"
+
+namespace cppc {
+
+class TagCppc
+{
+  public:
+    struct Config
+    {
+        unsigned parity_ways = 8;
+        unsigned num_classes = 8;
+        unsigned pairs = 1;
+        bool byte_shifting = true;
+    };
+
+    struct Stats
+    {
+        uint64_t detections = 0;
+        uint64_t corrected = 0;
+        uint64_t due = 0;
+    };
+
+    /**
+     * @param n_entries  tag entries (lines) in the array
+     * @param entry_bits tag + state bits per entry (<= 64)
+     */
+    TagCppc(unsigned n_entries, unsigned entry_bits, Config cfg);
+    TagCppc(unsigned n_entries, unsigned entry_bits)
+        : TagCppc(n_entries, entry_bits, Config{})
+    {
+    }
+
+    unsigned numEntries() const { return n_entries_; }
+    unsigned entryBits() const { return entry_bits_; }
+
+    /** Write a tag into an invalid slot (line fill). */
+    void fill(unsigned idx, uint64_t value);
+    /** Replace a valid slot's tag (eviction + fill). */
+    void replace(unsigned idx, uint64_t value);
+    /** Drop a valid slot (invalidation). */
+    void invalidate(unsigned idx);
+
+    bool valid(unsigned idx) const { return valid_.at(idx) != 0; }
+    /** Raw (possibly corrupted) entry value; no checking. */
+    uint64_t read(unsigned idx) const;
+
+    /** Parity check of one entry. */
+    bool check(unsigned idx) const;
+
+    /**
+     * Recover every parity-faulty entry (single faults via the XOR
+     * checkpoint, spatial multi-entry faults via the locator).
+     * @return false if any fault was uncorrectable (DUE).
+     */
+    bool recover();
+
+    /** Flip a stored bit (fault injection). */
+    void corruptBit(unsigned idx, unsigned bit);
+
+    /** R1 ^ R2 equals the XOR of all valid rotated entries. */
+    bool invariantHolds() const;
+
+    /** Parity + register storage overhead in bits. */
+    uint64_t overheadBits() const;
+
+    const Stats &stats() const { return stats_; }
+
+    unsigned classOf(unsigned idx) const { return idx % cfg_.num_classes; }
+    unsigned
+    pairOf(unsigned idx) const
+    {
+        return classOf(idx) / (cfg_.num_classes / cfg_.pairs);
+    }
+    unsigned
+    rotationOf(unsigned idx) const
+    {
+        return cfg_.byte_shifting
+            ? classOf(idx) % (cfg_.num_classes / cfg_.pairs)
+            : 0;
+    }
+
+  private:
+    WideWord entryWord(unsigned idx) const;
+    WideWord recomputeXor(unsigned pair) const;
+    bool recoverSingle(unsigned idx);
+    bool recoverGroup(unsigned pair, const std::vector<unsigned> &idxs);
+
+    unsigned n_entries_;
+    unsigned entry_bits_;
+    Config cfg_;
+    uint64_t mask_;
+    std::vector<uint64_t> entries_;
+    std::vector<uint8_t> valid_;
+    std::vector<uint8_t> code_; // interleaved parity per entry
+    XorRegisterFile regs_;
+    SolverFaultLocator locator_;
+    Stats stats_;
+};
+
+} // namespace cppc
+
+#endif // CPPC_CPPC_TAG_CPPC_HH

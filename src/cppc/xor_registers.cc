@@ -1,0 +1,116 @@
+#include "cppc/xor_registers.hh"
+
+#include "util/logging.hh"
+
+namespace cppc {
+
+XorRegisterFile::XorRegisterFile(unsigned unit_bytes, unsigned num_domains,
+                                 unsigned pairs_per_domain)
+    : unit_bytes_(unit_bytes), domains_(num_domains),
+      pairs_(pairs_per_domain)
+{
+    regs_.assign(static_cast<size_t>(domains_) * pairs_ * 2,
+                 Reg(unit_bytes_));
+}
+
+XorRegisterFile::Reg &
+XorRegisterFile::at(unsigned domain, unsigned pair, Which which)
+{
+    if (domain >= domains_ || pair >= pairs_)
+        panic("XOR register (%u,%u) out of range", domain, pair);
+    size_t idx = (static_cast<size_t>(domain) * pairs_ + pair) * 2 +
+        (which == Which::R2 ? 1 : 0);
+    return regs_[idx];
+}
+
+const XorRegisterFile::Reg &
+XorRegisterFile::at(unsigned domain, unsigned pair, Which which) const
+{
+    return const_cast<XorRegisterFile *>(this)->at(domain, pair, which);
+}
+
+const WideWord &
+XorRegisterFile::r1(unsigned domain, unsigned pair) const
+{
+    return at(domain, pair, Which::R1).value;
+}
+
+const WideWord &
+XorRegisterFile::r2(unsigned domain, unsigned pair) const
+{
+    return at(domain, pair, Which::R2).value;
+}
+
+void
+XorRegisterFile::accumulateStore(unsigned domain, unsigned pair,
+                                 const WideWord &rotated_data)
+{
+    Reg &r = at(domain, pair, Which::R1);
+    r.value ^= rotated_data;
+    r.parity ^= rotated_data.parity();
+}
+
+void
+XorRegisterFile::accumulateRemoval(unsigned domain, unsigned pair,
+                                   const WideWord &rotated_data)
+{
+    Reg &r = at(domain, pair, Which::R2);
+    r.value ^= rotated_data;
+    r.parity ^= rotated_data.parity();
+}
+
+WideWord
+XorRegisterFile::dirtyXor(unsigned domain, unsigned pair) const
+{
+    return r1(domain, pair) ^ r2(domain, pair);
+}
+
+bool
+XorRegisterFile::parityOk(unsigned domain, unsigned pair, Which which) const
+{
+    const Reg &r = at(domain, pair, which);
+    return r.value.parity() == r.parity;
+}
+
+bool
+XorRegisterFile::allParityOk() const
+{
+    for (const Reg &r : regs_)
+        if (r.value.parity() != r.parity)
+            return false;
+    return true;
+}
+
+void
+XorRegisterFile::injectFault(unsigned domain, unsigned pair, Which which,
+                             unsigned bit)
+{
+    at(domain, pair, which).value.flipBit(bit);
+}
+
+void
+XorRegisterFile::set(unsigned domain, unsigned pair, Which which,
+                     const WideWord &value)
+{
+    Reg &r = at(domain, pair, which);
+    r.value = value;
+    r.parity = value.parity();
+}
+
+uint64_t
+XorRegisterFile::storageBits() const
+{
+    // Data bits plus one parity bit per register.
+    return static_cast<uint64_t>(regs_.size()) * (unit_bytes_ * 8 + 1);
+}
+
+void
+XorRegisterFile::reset()
+{
+    for (Reg &r : regs_) {
+        r.value = WideWord(unit_bytes_);
+        r.parity = 0;
+    }
+}
+
+} // namespace cppc

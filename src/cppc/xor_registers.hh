@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The R1/R2 XOR checkpoint registers of CPPC.
+ *
+ * R1 accumulates every word stored into the cache; R2 accumulates every
+ * dirty word removed from it (overwritten or written back).  R1 ^ R2 is
+ * therefore always the XOR of the dirty words currently resident — the
+ * algebraic checkpoint that recovery rebuilds faulty words from.
+ *
+ * Registers are arranged [domain][pair].  Each register carries a
+ * parity bit (Section 4.9) so that faults in the registers themselves
+ * are detectable; CppcScheme::scrubRegisters() rebuilds them.
+ */
+
+#ifndef CPPC_CPPC_XOR_REGISTERS_HH
+#define CPPC_CPPC_XOR_REGISTERS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/wide_word.hh"
+
+namespace cppc {
+
+class XorRegisterFile
+{
+  public:
+    /** Which register of a pair. */
+    enum class Which { R1, R2 };
+
+    XorRegisterFile(unsigned unit_bytes, unsigned num_domains,
+                    unsigned pairs_per_domain);
+
+    unsigned numDomains() const { return domains_; }
+    unsigned pairsPerDomain() const { return pairs_; }
+    unsigned unitBytes() const { return unit_bytes_; }
+
+    const WideWord &r1(unsigned domain, unsigned pair) const;
+    const WideWord &r2(unsigned domain, unsigned pair) const;
+
+    /** R1 ^= rotated_data (a store entered the cache). */
+    void accumulateStore(unsigned domain, unsigned pair,
+                         const WideWord &rotated_data);
+    /** R2 ^= rotated_data (dirty data left the cache). */
+    void accumulateRemoval(unsigned domain, unsigned pair,
+                           const WideWord &rotated_data);
+
+    /** R1 ^ R2: the XOR of all resident dirty data of this pair. */
+    WideWord dirtyXor(unsigned domain, unsigned pair) const;
+
+    /** Parity check of one register (Section 4.9). */
+    bool parityOk(unsigned domain, unsigned pair, Which which) const;
+    /** Parity check across the whole file. */
+    bool allParityOk() const;
+
+    /** Flip a register bit without updating its parity (fault model). */
+    void injectFault(unsigned domain, unsigned pair, Which which,
+                     unsigned bit);
+
+    /** Overwrite a register (scrubbing); parity is recomputed. */
+    void set(unsigned domain, unsigned pair, Which which,
+             const WideWord &value);
+
+    /** Total register storage in bits (area accounting). */
+    uint64_t storageBits() const;
+
+    void reset();
+
+  private:
+    struct Reg
+    {
+        WideWord value;
+        unsigned parity = 0;
+        explicit Reg(unsigned bytes) : value(bytes) {}
+    };
+
+    Reg &at(unsigned domain, unsigned pair, Which which);
+    const Reg &at(unsigned domain, unsigned pair, Which which) const;
+
+    unsigned unit_bytes_;
+    unsigned domains_;
+    unsigned pairs_;
+    std::vector<Reg> regs_; // [domain][pair][r1,r2]
+};
+
+} // namespace cppc
+
+#endif // CPPC_CPPC_XOR_REGISTERS_HH

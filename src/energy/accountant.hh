@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Turns access/event counts into dynamic energy, following the paper's
+ * Section 6.2 accounting: read hits + write hits + read-before-write
+ * operations are charged; write-backs are not.
+ */
+
+#ifndef CPPC_ENERGY_ACCOUNTANT_HH
+#define CPPC_ENERGY_ACCOUNTANT_HH
+
+#include "cache/write_back_cache.hh"
+#include "energy/cacti_model.hh"
+
+namespace cppc {
+
+/** Itemised dynamic energy of one cache under one protection scheme. */
+struct EnergyBreakdown
+{
+    double demand_pj = 0.0;   ///< read + write hits (and miss accesses)
+    double rbw_word_pj = 0.0; ///< word-granularity read-before-writes
+    double rbw_line_pj = 0.0; ///< full-line reads on miss fills (2D)
+    uint64_t demand_ops = 0;
+    uint64_t rbw_word_ops = 0;
+    uint64_t rbw_line_ops = 0;
+
+    double total() const { return demand_pj + rbw_word_pj + rbw_line_pj; }
+};
+
+/**
+ * Computes the Section 6.2 energy total for a cache + scheme pair.
+ */
+class EnergyAccountant
+{
+  public:
+    explicit EnergyAccountant(const CactiModel &model) : model_(&model) {}
+
+    /**
+     * Charge the scheme's traffic.  @p cache supplies both the demand
+     * counts and (through its scheme) the RBW counts and overhead
+     * factors; a null scheme is treated as an unprotected cache.
+     */
+    EnergyBreakdown compute(const WriteBackCache &cache) const;
+
+  private:
+    const CactiModel *model_;
+};
+
+} // namespace cppc
+
+#endif // CPPC_ENERGY_ACCOUNTANT_HH

@@ -1,0 +1,60 @@
+#include "energy/cacti_model.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace cppc {
+
+CactiModel::CactiModel(const CacheGeometry &geom, double feature_nm)
+    : geom_(geom), feature_nm_(feature_nm)
+{
+    geom_.validate();
+    if (feature_nm_ <= 0.0 || feature_nm_ > 1000.0)
+        fatal("implausible feature size %.1f nm", feature_nm_);
+}
+
+double
+CactiModel::accessEnergyPj() const
+{
+    // Calibration: 240 pJ for 32 KB, 2-way, 32 B lines at 90 nm.
+    double size_scale =
+        std::sqrt(static_cast<double>(geom_.size_bytes) / (32.0 * 1024.0));
+    double assoc_scale = std::pow(geom_.assoc / 2.0, 0.3);
+    double line_scale = std::pow(geom_.line_bytes / 32.0, 0.2);
+    double tech = feature_nm_ / 90.0;
+    return 240.0 * size_scale * assoc_scale * line_scale * tech * tech;
+}
+
+double
+CactiModel::accessTimeNs() const
+{
+    // Calibration: 0.78 ns for 8 KB direct-mapped at 90 nm.
+    double size_scale =
+        std::pow(static_cast<double>(geom_.size_bytes) / (8.0 * 1024.0),
+                 0.25);
+    double assoc_scale = std::pow(static_cast<double>(geom_.assoc), 0.15);
+    double tech = feature_nm_ / 90.0;
+    return 0.78 * size_scale * assoc_scale * tech;
+}
+
+double
+CactiModel::areaMm2() const
+{
+    // 6T SRAM cell of ~146 F^2 plus 60% peripheral overhead.
+    double f_um = feature_nm_ * 1e-3;
+    double cell_um2 = 146.0 * f_um * f_um;
+    double bits = static_cast<double>(geom_.dataBits());
+    return bits * cell_um2 * 1.6 * 1e-6;
+}
+
+double
+CactiModel::effectiveAccessEnergyPj(double code_bits, double data_bits,
+                                    double interleave_factor) const
+{
+    double code_factor = 1.0 + (data_bits > 0 ? code_bits / data_bits : 0.0);
+    double ilv_factor = 1.0 + (interleave_factor - 1.0) * kBitlineFraction;
+    return accessEnergyPj() * code_factor * ilv_factor;
+}
+
+} // namespace cppc

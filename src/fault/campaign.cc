@@ -1,0 +1,139 @@
+#include "fault/campaign.hh"
+
+#include <algorithm>
+#include <set>
+
+namespace cppc {
+
+std::vector<Row>
+FaultInjector::apply(const Strike &strike)
+{
+    std::set<Row> rows;
+    for (const FaultBit &fb : strike.bits) {
+        if (fb.row >= cache_->geometry().numRows())
+            continue;
+        if (!cache_->rowValid(fb.row))
+            continue;
+        cache_->corruptBit(fb.row, fb.bit);
+        rows.insert(fb.row);
+    }
+    return {rows.begin(), rows.end()};
+}
+
+Campaign::Campaign(WriteBackCache &cache, Config cfg)
+    : cache_(&cache), cfg_(cfg), rng_(cfg.seed)
+{
+}
+
+std::vector<WideWord>
+Campaign::snapshotRows() const
+{
+    std::vector<WideWord> v;
+    unsigned n = cache_->geometry().numRows();
+    v.reserve(n);
+    for (Row r = 0; r < n; ++r) {
+        v.push_back(cache_->rowValid(r)
+                        ? cache_->rowData(r)
+                        : WideWord(cache_->geometry().unit_bytes));
+    }
+    return v;
+}
+
+void
+Campaign::restoreRows(const std::vector<WideWord> &golden)
+{
+    unsigned n = cache_->geometry().numRows();
+    for (Row r = 0; r < n; ++r)
+        if (cache_->rowValid(r))
+            cache_->pokeRowData(r, golden[r]);
+}
+
+InjectionOutcome
+Campaign::runOne(const Strike &strike)
+{
+    std::vector<WideWord> golden = snapshotRows();
+
+    FaultInjector injector(*cache_);
+    std::vector<Row> affected = injector.apply(strike);
+    if (affected.empty())
+        return InjectionOutcome::Benign;
+
+    // Probe: load every affected unit, the paper's detection point.
+    bool due = false;
+    for (Row r : affected) {
+        Addr a = cache_->rowAddr(r);
+        auto out = cache_->load(a, cache_->geometry().unit_bytes, nullptr);
+        due |= out.due;
+    }
+
+    // Compare the whole array against the golden image: recovery may
+    // touch rows far from the probe.
+    bool intact = true;
+    unsigned n = cache_->geometry().numRows();
+    for (Row r = 0; r < n && intact; ++r)
+        if (cache_->rowValid(r) && cache_->rowData(r) != golden[r])
+            intact = false;
+
+    restoreRows(golden);
+
+    if (due)
+        return InjectionOutcome::Due;
+    if (!intact)
+        return InjectionOutcome::Sdc;
+    return InjectionOutcome::Corrected;
+}
+
+Strike
+Campaign::toLogical(const Strike &physical) const
+{
+    unsigned k = cfg_.physical_interleave;
+    if (k <= 1)
+        return physical;
+    // Physical row P holds bit b of logical row P*k + (c mod k) at
+    // column c = b*k + (c mod k).
+    unsigned unit_bits = cache_->geometry().unit_bytes * 8;
+    Strike logical;
+    logical.bits.reserve(physical.bits.size());
+    for (const FaultBit &fb : physical.bits) {
+        Row lrow = fb.row * k + (fb.bit % k);
+        unsigned lbit = fb.bit / k;
+        if (lrow < cache_->geometry().numRows() && lbit < unit_bits)
+            logical.bits.push_back({lrow, lbit});
+    }
+    return logical;
+}
+
+CampaignResult
+Campaign::run()
+{
+    CampaignResult res;
+    const CacheGeometry &g = cache_->geometry();
+    unsigned k = cfg_.physical_interleave;
+    // With k-way interleaving, k logical rows share one physical row
+    // of k * unit_bits cells.
+    StrikePlacer placer(g.numRows() / std::max(1u, k),
+                        g.unit_bytes * 8 * std::max(1u, k));
+    for (uint64_t i = 0; i < cfg_.injections; ++i) {
+        const StrikeShape &shape = cfg_.shapes.sample(rng_);
+        Strike s = toLogical(placer.place(shape, rng_));
+        InjectionOutcome o = runOne(s);
+        ++res.injections;
+        switch (o) {
+          case InjectionOutcome::Benign:
+            ++res.benign;
+            break;
+          case InjectionOutcome::Corrected:
+            ++res.corrected;
+            break;
+          case InjectionOutcome::Due:
+            ++res.due;
+            break;
+          case InjectionOutcome::Sdc:
+            ++res.sdc;
+            break;
+        }
+    }
+    return res;
+}
+
+} // namespace cppc

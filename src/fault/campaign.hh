@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Fault-injection campaigns: apply strikes to a live protected cache,
+ * trigger detection through ordinary loads, and classify what happened
+ * against a golden snapshot.
+ */
+
+#ifndef CPPC_FAULT_CAMPAIGN_HH
+#define CPPC_FAULT_CAMPAIGN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/write_back_cache.hh"
+#include "fault/fault_model.hh"
+
+namespace cppc {
+
+/** What one injected strike ultimately did. */
+enum class InjectionOutcome
+{
+    Benign,    ///< hit only invalid rows; nothing architectural changed
+    Corrected, ///< detected and repaired exactly (incl. refetches)
+    Due,       ///< detected but declared uncorrectable
+    Sdc,       ///< wrong or missing repair: silent data corruption
+};
+
+/** Aggregate counts over a campaign. */
+struct CampaignResult
+{
+    uint64_t injections = 0;
+    uint64_t benign = 0;
+    uint64_t corrected = 0;
+    uint64_t due = 0;
+    uint64_t sdc = 0;
+
+    double
+    rate(uint64_t n) const
+    {
+        return injections
+            ? static_cast<double>(n) / static_cast<double>(injections)
+            : 0.0;
+    }
+    double coverage() const
+    {
+        uint64_t visible = corrected + due + sdc;
+        return visible ? static_cast<double>(corrected) /
+                static_cast<double>(visible)
+                       : 1.0;
+    }
+};
+
+/**
+ * Applies one strike to the cache data array (bits landing on invalid
+ * rows are dropped, as strikes on unused cells are architecturally
+ * invisible here).
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(WriteBackCache &cache) : cache_(&cache) {}
+
+    /** @return rows actually corrupted (deduplicated). */
+    std::vector<Row> apply(const Strike &strike);
+
+  private:
+    WriteBackCache *cache_;
+};
+
+/**
+ * A deterministic injection campaign against a pre-populated cache.
+ *
+ * Per injection: snapshot -> strike -> probe every affected unit with a
+ * load (the paper's detection point) -> compare all rows against the
+ * snapshot -> classify -> restore.  The cache contents are identical
+ * before and after run(), so campaigns compose with trace replay.
+ */
+class Campaign
+{
+  public:
+    struct Config
+    {
+        uint64_t injections = 1000;
+        uint64_t seed = 1;
+        StrikeShapeDistribution shapes =
+            StrikeShapeDistribution::singleBitOnly();
+        /**
+         * Physical bit-interleaving degree of the data array (the
+         * SECDED companion technique, Section 1).  Strikes are placed
+         * in *physical* coordinates; with k-way interleaving, k
+         * adjacent cells of a physical row belong to k different
+         * words, so a horizontal multi-bit strike of up to k bits
+         * degrades into single-bit faults in separate words.
+         * CPPC/parity arrays use 1 (no interleaving).
+         */
+        unsigned physical_interleave = 1;
+    };
+
+    Campaign(WriteBackCache &cache, Config cfg);
+
+    /** Run the whole campaign. */
+    CampaignResult run();
+
+    /** Run a single injection of a fixed, pre-placed strike. */
+    InjectionOutcome runOne(const Strike &strike);
+
+  private:
+    std::vector<WideWord> snapshotRows() const;
+    void restoreRows(const std::vector<WideWord> &golden);
+    /** Map a physically-placed strike to logical (row, bit) flips. */
+    Strike toLogical(const Strike &physical) const;
+
+    WriteBackCache *cache_;
+    Config cfg_;
+    Rng rng_;
+};
+
+} // namespace cppc
+
+#endif // CPPC_FAULT_CAMPAIGN_HH

@@ -1,0 +1,101 @@
+#include "fault/fault_model.hh"
+
+#include "util/logging.hh"
+
+namespace cppc {
+
+std::string
+StrikeShape::label() const
+{
+    return strfmt("%ux%u@%.2f", rows, bit_cols, density);
+}
+
+void
+StrikeShapeDistribution::add(const StrikeShape &shape, double weight)
+{
+    if (weight <= 0.0)
+        fatal("strike shape weight must be positive");
+    shapes_.emplace_back(shape, weight);
+    total_weight_ += weight;
+}
+
+const StrikeShape &
+StrikeShapeDistribution::sample(Rng &rng) const
+{
+    if (shapes_.empty())
+        fatal("sampling an empty strike-shape distribution");
+    double x = rng.nextDouble() * total_weight_;
+    for (const auto &[shape, w] : shapes_) {
+        if (x < w)
+            return shape;
+        x -= w;
+    }
+    return shapes_.back().first;
+}
+
+StrikeShapeDistribution
+StrikeShapeDistribution::singleBitOnly()
+{
+    StrikeShapeDistribution d;
+    d.add({1, 1, 1.0}, 1.0);
+    return d;
+}
+
+StrikeShapeDistribution
+StrikeShapeDistribution::scaledTechnologyMix(double multi_bit_fraction)
+{
+    if (multi_bit_fraction < 0.0 || multi_bit_fraction > 1.0)
+        fatal("multi_bit_fraction must be in [0,1]");
+    StrikeShapeDistribution d;
+    if (multi_bit_fraction < 1.0)
+        d.add({1, 1, 1.0}, 1.0 - multi_bit_fraction);
+    if (multi_bit_fraction > 0.0) {
+        // Cluster sizes 2..8 in each dimension with geometrically
+        // decaying likelihood, the qualitative shape reported in [16].
+        double w = multi_bit_fraction;
+        const StrikeShape shapes[] = {
+            {2, 1, 1.0}, {1, 2, 1.0}, {2, 2, 1.0},  {3, 3, 0.8},
+            {4, 2, 0.8}, {2, 4, 0.8}, {4, 4, 0.7},  {8, 2, 0.6},
+            {2, 8, 0.6}, {8, 8, 0.5},
+        };
+        double decay = 0.5;
+        double wi = w * 0.5;
+        for (const StrikeShape &s : shapes) {
+            d.add(s, wi);
+            wi *= decay;
+        }
+    }
+    return d;
+}
+
+Strike
+StrikePlacer::place(const StrikeShape &shape, Rng &rng) const
+{
+    if (shape.rows > n_rows_ || shape.bit_cols > row_bits_)
+        fatal("strike shape %ux%u larger than the array", shape.rows,
+              shape.bit_cols);
+    Row row0 = static_cast<Row>(rng.nextBelow(n_rows_ - shape.rows + 1));
+    unsigned col0 =
+        static_cast<unsigned>(rng.nextBelow(row_bits_ - shape.bit_cols + 1));
+    return placeAt(shape, row0, col0, rng);
+}
+
+Strike
+StrikePlacer::placeAt(const StrikeShape &shape, Row row0, unsigned col0,
+                      Rng &rng) const
+{
+    Strike s;
+    for (Row r = row0; r < row0 + shape.rows; ++r) {
+        for (unsigned c = col0; c < col0 + shape.bit_cols; ++c) {
+            if (shape.density >= 1.0 || rng.chance(shape.density))
+                s.bits.push_back({r, c});
+        }
+    }
+    // A strike event flips at least one cell: force the anchor when
+    // sparsity dropped everything.
+    if (s.bits.empty())
+        s.bits.push_back({row0, col0});
+    return s;
+}
+
+} // namespace cppc

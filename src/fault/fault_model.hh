@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Soft-error fault models: temporal single-event upsets and spatial
+ * multi-bit strike patterns.
+ *
+ * A FaultModel decides *where and what* to flip; the FaultInjector
+ * applies it to a cache's data array; a Campaign runs many injections
+ * and classifies the outcomes.
+ */
+
+#ifndef CPPC_FAULT_FAULT_MODEL_HH
+#define CPPC_FAULT_FAULT_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/types.hh"
+#include "util/rng.hh"
+
+namespace cppc {
+
+/** One bit to flip: (physical row, bit position within the unit). */
+struct FaultBit
+{
+    Row row;
+    unsigned bit;
+};
+
+/** A single strike event: one or more simultaneous bit flips. */
+struct Strike
+{
+    std::vector<FaultBit> bits;
+};
+
+/**
+ * Rectangular spatial MBE shape: @c rows x @c bit_cols adjacent cells,
+ * with optional sparsity (each cell in the rectangle flips with
+ * probability @c density).
+ */
+struct StrikeShape
+{
+    unsigned rows = 1;
+    unsigned bit_cols = 1;
+    double density = 1.0;
+
+    std::string label() const;
+};
+
+/**
+ * Distribution over strike shapes, following the multi-bit-upset
+ * characterisation of Maiz et al. [16]: mostly single-bit events with
+ * a technology-dependent tail of larger clusters.
+ */
+class StrikeShapeDistribution
+{
+  public:
+    /** Add a shape with a relative weight. */
+    void add(const StrikeShape &shape, double weight);
+
+    /** Sample a shape. */
+    const StrikeShape &sample(Rng &rng) const;
+
+    bool empty() const { return shapes_.empty(); }
+
+    /** Single-bit-only distribution (temporal SEU model). */
+    static StrikeShapeDistribution singleBitOnly();
+
+    /**
+     * A spatial mix loosely following [16]/ITRS trends at small nodes:
+     * weights decay geometrically with cluster size up to 8x8.
+     */
+    static StrikeShapeDistribution
+    scaledTechnologyMix(double multi_bit_fraction);
+
+  private:
+    std::vector<std::pair<StrikeShape, double>> shapes_;
+    double total_weight_ = 0.0;
+};
+
+/**
+ * Turns shapes into concrete strikes against a data array of
+ * @c n_rows x @c row_bits cells, uniformly placed.
+ */
+class StrikePlacer
+{
+  public:
+    StrikePlacer(unsigned n_rows, unsigned row_bits)
+        : n_rows_(n_rows), row_bits_(row_bits)
+    {
+    }
+
+    /** Place @p shape at a uniformly random legal position. */
+    Strike place(const StrikeShape &shape, Rng &rng) const;
+
+    /** Place with the top-left cell at (row0, col0). */
+    Strike placeAt(const StrikeShape &shape, Row row0, unsigned col0,
+                   Rng &rng) const;
+
+  private:
+    unsigned n_rows_;
+    unsigned row_bits_;
+};
+
+} // namespace cppc
+
+#endif // CPPC_FAULT_FAULT_MODEL_HH

@@ -1,0 +1,91 @@
+#include "protection/hamming.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace cppc {
+
+HammingSecded::HammingSecded(unsigned data_bits)
+    : m_(data_bits)
+{
+    if (m_ < 1 || m_ > 512)
+        fatal("SECDED data width %u out of range", m_);
+
+    r_ = 1;
+    while ((1u << r_) < m_ + r_ + 1)
+        ++r_;
+
+    unsigned total = m_ + r_;
+    pos_of_data_.reserve(m_);
+    data_at_pos_.assign(total + 1, -1);
+    unsigned d = 0;
+    for (unsigned p = 1; p <= total; ++p) {
+        if (isPowerOfTwo(p))
+            continue; // check-bit position
+        data_at_pos_[p] = static_cast<int>(d);
+        pos_of_data_.push_back(p);
+        ++d;
+    }
+    if (d != m_)
+        panic("Hamming layout error: placed %u of %u data bits", d, m_);
+}
+
+unsigned
+HammingSecded::syndromeOf(const WideWord &data, uint32_t code) const
+{
+    unsigned syn = 0;
+    for (unsigned i = 0; i < m_; ++i)
+        if (data.bit(i))
+            syn ^= pos_of_data_[i];
+    for (unsigned i = 0; i < r_; ++i)
+        if ((code >> i) & 1)
+            syn ^= 1u << i;
+    return syn;
+}
+
+uint32_t
+HammingSecded::encode(const WideWord &data) const
+{
+    // With zero check bits, the syndrome equals the check bits needed
+    // to cancel it.
+    unsigned check = syndromeOf(data, 0);
+    unsigned overall = data.popcount();
+    overall += popcount(check);
+    uint32_t code = check;
+    if (overall & 1)
+        code |= 1u << r_;
+    return code;
+}
+
+HammingSecded::DecodeResult
+HammingSecded::decode(const WideWord &data, uint32_t code) const
+{
+    unsigned syn = syndromeOf(data, code);
+    unsigned ones = data.popcount() + popcount(code & ((1u << r_) - 1)) +
+        ((code >> r_) & 1);
+    bool parity_bad = (ones & 1) != 0;
+
+    DecodeResult res;
+    if (syn == 0 && !parity_bad) {
+        res.status = Status::Clean;
+    } else if (parity_bad) {
+        // Odd number of flips; assume exactly one.
+        if (syn == 0) {
+            res.status = Status::CorrectedCode; // overall parity bit itself
+        } else if (isPowerOfTwo(syn) && log2i(syn) < r_) {
+            res.status = Status::CorrectedCode; // a Hamming check bit
+        } else if (syn <= m_ + r_ && data_at_pos_[syn] >= 0) {
+            res.status = Status::CorrectedData;
+            res.bit = static_cast<unsigned>(data_at_pos_[syn]);
+        } else {
+            // Syndrome points outside the codeword: >= 3 flips.
+            res.status = Status::Detected;
+        }
+    } else {
+        // Even number of flips (>= 2): detectable, not correctable.
+        res.status = Status::Detected;
+    }
+    return res;
+}
+
+} // namespace cppc

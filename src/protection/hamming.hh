@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Extended Hamming SECDED codec for arbitrary data widths.
+ *
+ * For 64 data bits this is the classic (72,64) code the paper cites
+ * (8 check bits, 12.5% overhead); the same construction scales to the
+ * 256-bit L2 protection unit (10 check bits).
+ */
+
+#ifndef CPPC_PROTECTION_HAMMING_HH
+#define CPPC_PROTECTION_HAMMING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/wide_word.hh"
+
+namespace cppc {
+
+/**
+ * Single-error-correcting, double-error-detecting extended Hamming code.
+ *
+ * Layout: data and Hamming check bits occupy codeword positions
+ * 1..(m+r), check bit i at position 2^i; an overall parity bit covers
+ * the whole codeword (SEC -> SECDED).
+ */
+class HammingSecded
+{
+  public:
+    /** Build the code for @p data_bits data bits (1..512). */
+    explicit HammingSecded(unsigned data_bits);
+
+    unsigned dataBits() const { return m_; }
+    /** Hamming check bits r (excludes the overall parity bit). */
+    unsigned hammingBits() const { return r_; }
+    /** Total stored code bits: r + 1. */
+    unsigned codeBits() const { return r_ + 1; }
+
+    /**
+     * Compute the code word for @p data (low r_ bits = check bits,
+     * bit r_ = overall parity).
+     */
+    uint32_t encode(const WideWord &data) const;
+
+    /** What decode() concluded about (data, code). */
+    enum class Status
+    {
+        Clean,         ///< no error
+        CorrectedData, ///< single data-bit error, position in @c bit
+        CorrectedCode, ///< single error in the stored code bits
+        Detected,      ///< double (or worse) error: uncorrectable
+    };
+
+    struct DecodeResult
+    {
+        Status status = Status::Clean;
+        unsigned bit = 0; ///< data bit index, when status == CorrectedData
+    };
+
+    /** Diagnose @p data against the stored @p code. */
+    DecodeResult decode(const WideWord &data, uint32_t code) const;
+
+  private:
+    unsigned m_; ///< data bits
+    unsigned r_; ///< Hamming check bits
+
+    /// codeword position of data bit i (1-based, skipping powers of 2)
+    std::vector<unsigned> pos_of_data_;
+    /// data bit index at codeword position p, or -1 for check positions
+    std::vector<int> data_at_pos_;
+
+    unsigned syndromeOf(const WideWord &data, uint32_t code) const;
+};
+
+} // namespace cppc
+
+#endif // CPPC_PROTECTION_HAMMING_HH

@@ -1,0 +1,133 @@
+#include "protection/icr.hh"
+
+#include "util/logging.hh"
+
+namespace cppc {
+
+IcrScheme::IcrScheme(unsigned parity_ways)
+    : ways_(parity_ways)
+{
+    if (ways_ < 1 || ways_ > 64)
+        fatal("ICR parity interleaving degree %u out of range", ways_);
+}
+
+std::string
+IcrScheme::name() const
+{
+    return strfmt("icr-k%u", ways_);
+}
+
+void
+IcrScheme::attach(CacheBackdoor &cache)
+{
+    cache_ = &cache;
+    unsigned n = cache.geometry().numRows();
+    if (n % 2 != 0)
+        fatal("ICR needs an even number of rows");
+    code_.assign(n, 0);
+    replica_valid_.assign(n, 0);
+    replicas_.assign(n, WideWord(cache.geometry().unit_bytes));
+}
+
+Row
+IcrScheme::replicaRowOf(Row row) const
+{
+    unsigned n = cache_->geometry().numRows();
+    return (row + n / 2) % n;
+}
+
+FillEffect
+IcrScheme::onFill(Row row0, unsigned n_units, const uint8_t *data, bool)
+{
+    unsigned ub = cache_->geometry().unit_bytes;
+    for (unsigned u = 0; u < n_units; ++u) {
+        Row row = row0 + u;
+        code_[row] = WideWord::fromBytes(data + u * ub, ub)
+                         .interleavedParity(ways_);
+        // Clean fills do not displace replicas (they share the slot in
+        // real ICR; here the shadow only dies to dirty data).
+    }
+    return {};
+}
+
+void
+IcrScheme::onEvict(Row row0, unsigned n_units, const uint8_t *,
+                   const uint8_t *dirty)
+{
+    for (unsigned u = 0; u < n_units; ++u) {
+        Row row = row0 + u;
+        if (dirty[u]) {
+            // The dirty data leaves: its replica is stale, and its
+            // slot becomes available again for the peer.
+            replica_valid_[row] = 0;
+        }
+    }
+}
+
+StoreEffect
+IcrScheme::onStore(Row row, const WideWord &, const WideWord &new_data,
+                   bool, bool)
+{
+    code_[row] = new_data.interleavedParity(ways_);
+    Row peer = replicaRowOf(row);
+    // This slot now holds live dirty data: any replica parked here
+    // (protecting the peer) is displaced.
+    replica_valid_[peer] = 0;
+
+    // Try to replicate the new dirty data into the peer slot.
+    if (!cache_->rowDirty(peer)) {
+        replicas_[row] = new_data;
+        replica_valid_[row] = 1;
+        ++replica_writes_;
+    } else {
+        replica_valid_[row] = 0;
+        ++unprotected_stores_;
+    }
+    return {};
+}
+
+void
+IcrScheme::onClean(Row row, const WideWord &)
+{
+    // Data written back but resident clean: protection no longer
+    // needed (the next level holds a copy).
+    replica_valid_[row] = 0;
+}
+
+bool
+IcrScheme::check(Row row) const
+{
+    if (!cache_->rowValid(row))
+        return true;
+    return cache_->rowData(row).interleavedParity(ways_) == code_[row];
+}
+
+VerifyOutcome
+IcrScheme::recover(Row row)
+{
+    ++stats_.detections;
+    if (!cache_->rowDirty(row) && cache_->refetchRow(row)) {
+        ++stats_.refetched_clean;
+        return VerifyOutcome::Refetched;
+    }
+    if (replica_valid_[row] &&
+        replicas_[row].interleavedParity(ways_) == code_[row]) {
+        cache_->pokeRowData(row, replicas_[row]);
+        ++stats_.corrected_dirty;
+        return VerifyOutcome::Corrected;
+    }
+    // The dirty unit was never replicated (its peer slot held live
+    // dirty data) — exactly the coverage hole the paper criticises.
+    ++stats_.due;
+    return VerifyOutcome::Due;
+}
+
+uint64_t
+IcrScheme::codeBitsTotal() const
+{
+    // Parity plus one replica-valid bit per row; the replicas
+    // themselves occupy existing data-array lines.
+    return static_cast<uint64_t>(code_.size()) * (ways_ + 1);
+}
+
+} // namespace cppc

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * In-Cache Replication (Zhang et al., DSN'03 — the paper's related
+ * work [24]): dirty data is protected by keeping a replica inside the
+ * cache itself, in lines that would otherwise hold distant clean data.
+ *
+ * This implementation follows the simple "vertical" ICR organisation:
+ * the cache is split in halves, and set s replicates its dirty units
+ * into the peer set s + numSets/2 of the same way.  A store writes
+ * both the primary and (when the replica slot is not holding live
+ * data of its own) the replica; detection is per-unit parity, and a
+ * faulty dirty primary recovers from its replica when one exists.
+ *
+ * The scheme exhibits exactly the trade-off the paper criticises:
+ * replica slots displace useful clean data (higher miss rate) or,
+ * when the slot is occupied by live data, leave the dirty unit
+ * unprotected; and every replicated store costs a second array write.
+ */
+
+#ifndef CPPC_PROTECTION_ICR_HH
+#define CPPC_PROTECTION_ICR_HH
+
+#include <vector>
+
+#include "cache/protection_scheme.hh"
+
+namespace cppc {
+
+class IcrScheme : public ProtectionScheme
+{
+  public:
+    explicit IcrScheme(unsigned parity_ways = 8);
+
+    std::string name() const override;
+    void attach(CacheBackdoor &cache) override;
+
+    FillEffect onFill(Row row0, unsigned n_units, const uint8_t *data,
+                      bool victim_was_dirty) override;
+    void onEvict(Row row0, unsigned n_units, const uint8_t *data,
+                 const uint8_t *dirty) override;
+    StoreEffect onStore(Row row, const WideWord &old_data,
+                        const WideWord &new_data, bool was_dirty,
+                        bool partial) override;
+    void onClean(Row row, const WideWord &data) override;
+
+    bool check(Row row) const override;
+    VerifyOutcome recover(Row row) override;
+
+    uint64_t codeBitsTotal() const override;
+
+    /** Replica writes performed (the scheme's energy story). */
+    uint64_t replicaWrites() const { return replica_writes_; }
+    /** Stores whose dirty data could not be replicated. */
+    uint64_t unprotectedStores() const { return unprotected_stores_; }
+
+    /** Row holding the replica of @p row (peer half, same way/unit). */
+    Row replicaRowOf(Row row) const;
+    /** True iff @p row currently holds a live replica for its peer. */
+    bool holdsReplica(Row row) const { return replica_valid_.at(row); }
+
+  private:
+    unsigned ways_;
+    CacheBackdoor *cache_ = nullptr;
+    std::vector<uint64_t> code_;       // parity per row
+    std::vector<uint8_t> replica_valid_; // row holds a replica of peer
+    std::vector<WideWord> replicas_;   // replica payloads, row-indexed
+    uint64_t replica_writes_ = 0;
+    uint64_t unprotected_stores_ = 0;
+};
+
+} // namespace cppc
+
+#endif // CPPC_PROTECTION_ICR_HH

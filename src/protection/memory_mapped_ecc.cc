@@ -1,0 +1,105 @@
+#include "protection/memory_mapped_ecc.hh"
+
+#include "util/logging.hh"
+
+namespace cppc {
+
+MemoryMappedEccScheme::MemoryMappedEccScheme(unsigned parity_ways)
+    : ways_(parity_ways)
+{
+    if (ways_ < 1 || ways_ > 64)
+        fatal("memory-mapped ECC parity degree %u out of range", ways_);
+}
+
+std::string
+MemoryMappedEccScheme::name() const
+{
+    return strfmt("mmecc-k%u", ways_);
+}
+
+void
+MemoryMappedEccScheme::attach(CacheBackdoor &cache)
+{
+    cache_ = &cache;
+    codec_ =
+        std::make_unique<HammingSecded>(cache.geometry().unit_bytes * 8);
+    parity_.assign(cache.geometry().numRows(), 0);
+    ecc_.assign(cache.geometry().numRows(), 0);
+}
+
+FillEffect
+MemoryMappedEccScheme::onFill(Row row0, unsigned n_units,
+                              const uint8_t *data, bool)
+{
+    unsigned ub = cache_->geometry().unit_bytes;
+    for (unsigned u = 0; u < n_units; ++u) {
+        WideWord w = WideWord::fromBytes(data + u * ub, ub);
+        parity_[row0 + u] = w.interleavedParity(ways_);
+        ecc_[row0 + u] = codec_->encode(w);
+    }
+    return {};
+}
+
+void
+MemoryMappedEccScheme::onEvict(Row, unsigned n_units, const uint8_t *,
+                               const uint8_t *dirty)
+{
+    // Lazily-maintained code lines are flushed with the dirty data:
+    // one memory code write per dirty unit leaving the cache.
+    for (unsigned u = 0; u < n_units; ++u)
+        if (dirty[u])
+            ++mem_code_writes_;
+}
+
+StoreEffect
+MemoryMappedEccScheme::onStore(Row row, const WideWord &,
+                               const WideWord &new_data, bool,
+                               bool partial)
+{
+    parity_[row] = new_data.interleavedParity(ways_);
+    ecc_[row] = codec_->encode(new_data);
+    StoreEffect eff;
+    eff.rbw = partial;
+    if (partial)
+        ++stats_.rbw_words;
+    return eff;
+}
+
+bool
+MemoryMappedEccScheme::check(Row row) const
+{
+    if (!cache_->rowValid(row))
+        return true;
+    return cache_->rowData(row).interleavedParity(ways_) == parity_[row];
+}
+
+VerifyOutcome
+MemoryMappedEccScheme::recover(Row row)
+{
+    ++stats_.detections;
+    if (!cache_->rowDirty(row) && cache_->refetchRow(row)) {
+        ++stats_.refetched_clean;
+        return VerifyOutcome::Refetched;
+    }
+    // Fetch the correction code from memory (rare).
+    ++mem_code_reads_;
+    WideWord data = cache_->rowData(row);
+    auto res = codec_->decode(data, ecc_[row]);
+    if (res.status == HammingSecded::Status::CorrectedData) {
+        data.flipBit(res.bit);
+        cache_->pokeRowData(row, data);
+        ++stats_.corrected_dirty;
+        return VerifyOutcome::Corrected;
+    }
+    ++stats_.due;
+    return VerifyOutcome::Due;
+}
+
+uint64_t
+MemoryMappedEccScheme::codeBitsTotal() const
+{
+    // Only the detection parity lives on-chip.
+    return static_cast<uint64_t>(parity_.size()) * ways_;
+}
+
+} // namespace cppc

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Memory-Mapped ECC (Yoon & Erez, ISCA'09 — the paper's related work
+ * [23]): last-level cache lines carry only a cheap detection code
+ * on-chip, while the correction code (SECDED here) lives in main
+ * memory and is fetched only on the rare correction.
+ *
+ * The trade-off captured: near-zero on-chip storage and fast common-
+ * case checks, paid for with extra memory traffic — a code write per
+ * dirty write-back (the lazily-maintained code line travels with the
+ * data) and a code read per correction attempt.
+ */
+
+#ifndef CPPC_PROTECTION_MEMORY_MAPPED_ECC_HH
+#define CPPC_PROTECTION_MEMORY_MAPPED_ECC_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/protection_scheme.hh"
+#include "protection/hamming.hh"
+
+namespace cppc {
+
+class MemoryMappedEccScheme : public ProtectionScheme
+{
+  public:
+    explicit MemoryMappedEccScheme(unsigned parity_ways = 8);
+
+    std::string name() const override;
+    void attach(CacheBackdoor &cache) override;
+
+    FillEffect onFill(Row row0, unsigned n_units, const uint8_t *data,
+                      bool victim_was_dirty) override;
+    void onEvict(Row row0, unsigned n_units, const uint8_t *data,
+                 const uint8_t *dirty) override;
+    StoreEffect onStore(Row row, const WideWord &old_data,
+                        const WideWord &new_data, bool was_dirty,
+                        bool partial) override;
+
+    bool check(Row row) const override;
+    VerifyOutcome recover(Row row) override;
+
+    /** On-chip overhead: the detection parity only. */
+    uint64_t codeBitsTotal() const override;
+
+    /** Extra memory traffic the memory-resident codes cost. */
+    uint64_t memCodeWrites() const { return mem_code_writes_; }
+    uint64_t memCodeReads() const { return mem_code_reads_; }
+
+  private:
+    unsigned ways_;
+    CacheBackdoor *cache_ = nullptr;
+    std::unique_ptr<HammingSecded> codec_;
+    std::vector<uint64_t> parity_;  // on-chip detection code
+    std::vector<uint32_t> ecc_;     // memory-resident correction code
+    uint64_t mem_code_writes_ = 0;
+    uint64_t mem_code_reads_ = 0;
+};
+
+} // namespace cppc
+
+#endif // CPPC_PROTECTION_MEMORY_MAPPED_ECC_HH

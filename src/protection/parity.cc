@@ -1,0 +1,88 @@
+#include "protection/parity.hh"
+
+#include "util/logging.hh"
+
+namespace cppc {
+
+OneDimParityScheme::OneDimParityScheme(unsigned parity_ways)
+    : ways_(parity_ways)
+{
+    if (ways_ < 1 || ways_ > 64)
+        fatal("parity interleaving degree %u out of range", ways_);
+}
+
+std::string
+OneDimParityScheme::name() const
+{
+    return strfmt("parity1d-k%u", ways_);
+}
+
+void
+OneDimParityScheme::attach(CacheBackdoor &cache)
+{
+    cache_ = &cache;
+    code_.assign(cache.geometry().numRows(), 0);
+}
+
+WideWord
+OneDimParityScheme::unitAt(const uint8_t *data, unsigned idx) const
+{
+    unsigned ub = cache_->geometry().unit_bytes;
+    return WideWord::fromBytes(data + idx * ub, ub);
+}
+
+FillEffect
+OneDimParityScheme::onFill(Row row0, unsigned n_units, const uint8_t *data,
+                           bool)
+{
+    for (unsigned u = 0; u < n_units; ++u)
+        code_[row0 + u] = unitAt(data, u).interleavedParity(ways_);
+    return {};
+}
+
+void
+OneDimParityScheme::onEvict(Row, unsigned, const uint8_t *, const uint8_t *)
+{
+}
+
+StoreEffect
+OneDimParityScheme::onStore(Row row, const WideWord &,
+                            const WideWord &new_data, bool, bool partial)
+{
+    code_[row] = new_data.interleavedParity(ways_);
+    // A partial store merges old bytes, which requires reading them.
+    StoreEffect eff;
+    eff.rbw = partial;
+    if (partial)
+        ++stats_.rbw_words;
+    return eff;
+}
+
+bool
+OneDimParityScheme::check(Row row) const
+{
+    if (!cache_->rowValid(row))
+        return true;
+    return cache_->rowData(row).interleavedParity(ways_) == code_[row];
+}
+
+VerifyOutcome
+OneDimParityScheme::recover(Row row)
+{
+    ++stats_.detections;
+    if (!cache_->rowDirty(row) && cache_->refetchRow(row)) {
+        ++stats_.refetched_clean;
+        return VerifyOutcome::Refetched;
+    }
+    // Parity has no correction capability for dirty data.
+    ++stats_.due;
+    return VerifyOutcome::Due;
+}
+
+uint64_t
+OneDimParityScheme::codeBitsTotal() const
+{
+    return static_cast<uint64_t>(code_.size()) * ways_;
+}
+
+} // namespace cppc

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * One-dimensional k-way interleaved parity (the paper's baseline).
+ *
+ * Detection only: a fault in a clean word is converted into a miss and
+ * refetched from the next level; a fault in a dirty word is a DUE
+ * (Section 1: "an exception is taken whenever a fault is detected in a
+ * dirty block and program execution is halted").
+ */
+
+#ifndef CPPC_PROTECTION_PARITY_HH
+#define CPPC_PROTECTION_PARITY_HH
+
+#include <vector>
+
+#include "cache/protection_scheme.hh"
+
+namespace cppc {
+
+class OneDimParityScheme : public ProtectionScheme
+{
+  public:
+    /** @param parity_ways interleaving degree k (paper uses 8). */
+    explicit OneDimParityScheme(unsigned parity_ways = 8);
+
+    std::string name() const override;
+    void attach(CacheBackdoor &cache) override;
+
+    FillEffect onFill(Row row0, unsigned n_units, const uint8_t *data,
+                      bool victim_was_dirty) override;
+    void onEvict(Row row0, unsigned n_units, const uint8_t *data,
+                 const uint8_t *dirty) override;
+    StoreEffect onStore(Row row, const WideWord &old_data,
+                        const WideWord &new_data, bool was_dirty,
+                        bool partial) override;
+
+    bool check(Row row) const override;
+    VerifyOutcome recover(Row row) override;
+
+    uint64_t codeBitsTotal() const override;
+
+    unsigned parityWays() const { return ways_; }
+
+    /** Stored parity for a row (tests). */
+    uint64_t storedParity(Row row) const { return code_.at(row); }
+
+  protected:
+    WideWord unitAt(const uint8_t *data, unsigned idx) const;
+
+    unsigned ways_;
+    CacheBackdoor *cache_ = nullptr;
+    std::vector<uint64_t> code_; // k-bit parity mask per row
+};
+
+} // namespace cppc
+
+#endif // CPPC_PROTECTION_PARITY_HH

@@ -1,0 +1,137 @@
+#include "protection/replication_cache.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace cppc {
+
+ReplicationCacheScheme::ReplicationCacheScheme(unsigned entries,
+                                               unsigned parity_ways)
+    : capacity_(entries), ways_(parity_ways)
+{
+    if (capacity_ == 0)
+        fatal("replication cache needs at least one entry");
+    if (ways_ < 1 || ways_ > 64)
+        fatal("replication-cache parity degree %u out of range", ways_);
+}
+
+std::string
+ReplicationCacheScheme::name() const
+{
+    return strfmt("replcache-%ue-k%u", capacity_, ways_);
+}
+
+void
+ReplicationCacheScheme::attach(CacheBackdoor &cache)
+{
+    cache_ = &cache;
+    code_.assign(cache.geometry().numRows(), 0);
+}
+
+void
+ReplicationCacheScheme::insertReplica(Row row, const WideWord &data)
+{
+    auto it = index_.find(row);
+    if (it != index_.end()) {
+        it->second->data = data;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    if (lru_.size() >= capacity_) {
+        // Evict the oldest replica; its dirty word becomes unprotected.
+        index_.erase(lru_.back().row);
+        lru_.pop_back();
+        ++replica_evictions_;
+    }
+    lru_.push_front({row, data});
+    index_[row] = lru_.begin();
+}
+
+void
+ReplicationCacheScheme::dropReplica(Row row)
+{
+    auto it = index_.find(row);
+    if (it == index_.end())
+        return;
+    lru_.erase(it->second);
+    index_.erase(it);
+}
+
+FillEffect
+ReplicationCacheScheme::onFill(Row row0, unsigned n_units,
+                               const uint8_t *data, bool)
+{
+    unsigned ub = cache_->geometry().unit_bytes;
+    for (unsigned u = 0; u < n_units; ++u) {
+        code_[row0 + u] = WideWord::fromBytes(data + u * ub, ub)
+                              .interleavedParity(ways_);
+    }
+    return {};
+}
+
+void
+ReplicationCacheScheme::onEvict(Row row0, unsigned n_units,
+                                const uint8_t *, const uint8_t *dirty)
+{
+    for (unsigned u = 0; u < n_units; ++u)
+        if (dirty[u])
+            dropReplica(row0 + u); // written back: replica unneeded
+}
+
+StoreEffect
+ReplicationCacheScheme::onStore(Row row, const WideWord &,
+                                const WideWord &new_data, bool, bool)
+{
+    code_[row] = new_data.interleavedParity(ways_);
+    insertReplica(row, new_data);
+    return {};
+}
+
+void
+ReplicationCacheScheme::onClean(Row row, const WideWord &)
+{
+    dropReplica(row);
+}
+
+bool
+ReplicationCacheScheme::check(Row row) const
+{
+    if (!cache_->rowValid(row))
+        return true;
+    return cache_->rowData(row).interleavedParity(ways_) == code_[row];
+}
+
+VerifyOutcome
+ReplicationCacheScheme::recover(Row row)
+{
+    ++stats_.detections;
+    if (!cache_->rowDirty(row) && cache_->refetchRow(row)) {
+        ++stats_.refetched_clean;
+        return VerifyOutcome::Refetched;
+    }
+    auto it = index_.find(row);
+    if (it != index_.end() &&
+        it->second->data.interleavedParity(ways_) == code_[row]) {
+        cache_->pokeRowData(row, it->second->data);
+        ++stats_.corrected_dirty;
+        return VerifyOutcome::Corrected;
+    }
+    // The replica was displaced by newer stores: the low-locality
+    // coverage hole the paper points out.
+    ++stats_.due;
+    return VerifyOutcome::Due;
+}
+
+uint64_t
+ReplicationCacheScheme::codeBitsTotal() const
+{
+    // Parity per row, plus the dedicated replica buffer: data + row
+    // tag + valid per entry — the area the paper calls out as
+    // inefficient for large caches.
+    unsigned unit_bits = cache_->geometry().unit_bytes * 8;
+    unsigned tag_bits = ceilLog2(cache_->geometry().numRows()) + 1;
+    return static_cast<uint64_t>(code_.size()) * ways_ +
+        static_cast<uint64_t>(capacity_) * (unit_bits + tag_bits);
+}
+
+} // namespace cppc

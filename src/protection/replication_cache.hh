@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Replication cache (Zhang, IEEE TC 2005 — the paper's related work
+ * [25]): a small dedicated fully-associative buffer holds copies of
+ * recently written dirty words; a parity-detected fault in a dirty
+ * word recovers from its replica when one is still resident.
+ *
+ * The paper's criticism, reproduced by this model: the buffer is a
+ * fixed size, so "a large amount of the dirty data remains unprotected
+ * if data locality is low" — dirty words whose replicas have been
+ * evicted by newer stores are DUEs, and the dedicated storage is "not
+ * area-efficient for large caches".
+ */
+
+#ifndef CPPC_PROTECTION_REPLICATION_CACHE_HH
+#define CPPC_PROTECTION_REPLICATION_CACHE_HH
+
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/protection_scheme.hh"
+
+namespace cppc {
+
+class ReplicationCacheScheme : public ProtectionScheme
+{
+  public:
+    /**
+     * @param entries     replica buffer capacity (words)
+     * @param parity_ways detection interleaving degree
+     */
+    explicit ReplicationCacheScheme(unsigned entries = 64,
+                                    unsigned parity_ways = 8);
+
+    std::string name() const override;
+    void attach(CacheBackdoor &cache) override;
+
+    FillEffect onFill(Row row0, unsigned n_units, const uint8_t *data,
+                      bool victim_was_dirty) override;
+    void onEvict(Row row0, unsigned n_units, const uint8_t *data,
+                 const uint8_t *dirty) override;
+    StoreEffect onStore(Row row, const WideWord &old_data,
+                        const WideWord &new_data, bool was_dirty,
+                        bool partial) override;
+    void onClean(Row row, const WideWord &data) override;
+
+    bool check(Row row) const override;
+    VerifyOutcome recover(Row row) override;
+
+    uint64_t codeBitsTotal() const override;
+
+    unsigned capacity() const { return capacity_; }
+    unsigned occupancy() const
+    {
+        return static_cast<unsigned>(lru_.size());
+    }
+    /** True iff a live replica exists for @p row. */
+    bool hasReplica(Row row) const { return index_.count(row) != 0; }
+    /** Dirty words currently resident without a replica. */
+    uint64_t replicaEvictions() const { return replica_evictions_; }
+
+  private:
+    struct Entry
+    {
+        Row row;
+        WideWord data;
+    };
+
+    void insertReplica(Row row, const WideWord &data);
+    void dropReplica(Row row);
+
+    unsigned capacity_;
+    unsigned ways_;
+    CacheBackdoor *cache_ = nullptr;
+    std::vector<uint64_t> code_;
+    std::list<Entry> lru_; // front = most recent
+    std::unordered_map<Row, std::list<Entry>::iterator> index_;
+    uint64_t replica_evictions_ = 0;
+};
+
+} // namespace cppc
+
+#endif // CPPC_PROTECTION_REPLICATION_CACHE_HH

@@ -1,0 +1,108 @@
+#include "protection/secded.hh"
+
+#include "util/logging.hh"
+
+namespace cppc {
+
+SecdedScheme::SecdedScheme(unsigned interleave_factor)
+    : interleave_(interleave_factor)
+{
+    if (interleave_ < 1 || interleave_ > 64)
+        fatal("SECDED interleave factor %u out of range", interleave_);
+}
+
+std::string
+SecdedScheme::name() const
+{
+    return strfmt("secded-i%u", interleave_);
+}
+
+void
+SecdedScheme::attach(CacheBackdoor &cache)
+{
+    cache_ = &cache;
+    codec_ = std::make_unique<HammingSecded>(cache.geometry().unit_bytes * 8);
+    code_.assign(cache.geometry().numRows(), 0);
+}
+
+FillEffect
+SecdedScheme::onFill(Row row0, unsigned n_units, const uint8_t *data, bool)
+{
+    unsigned ub = cache_->geometry().unit_bytes;
+    for (unsigned u = 0; u < n_units; ++u) {
+        code_[row0 + u] =
+            codec_->encode(WideWord::fromBytes(data + u * ub, ub));
+    }
+    return {};
+}
+
+void
+SecdedScheme::onEvict(Row, unsigned, const uint8_t *, const uint8_t *)
+{
+}
+
+StoreEffect
+SecdedScheme::onStore(Row row, const WideWord &, const WideWord &new_data,
+                      bool, bool partial)
+{
+    code_[row] = codec_->encode(new_data);
+    // Partial writes need the old word to recompute the whole-unit code
+    // (the classic ECC read-modify-write, Section 1).
+    StoreEffect eff;
+    eff.rbw = partial;
+    if (partial)
+        ++stats_.rbw_words;
+    return eff;
+}
+
+bool
+SecdedScheme::check(Row row) const
+{
+    if (!cache_->rowValid(row))
+        return true;
+    auto res = codec_->decode(cache_->rowData(row), code_[row]);
+    return res.status == HammingSecded::Status::Clean;
+}
+
+VerifyOutcome
+SecdedScheme::recover(Row row)
+{
+    ++stats_.detections;
+    WideWord data = cache_->rowData(row);
+    auto res = codec_->decode(data, code_[row]);
+    switch (res.status) {
+      case HammingSecded::Status::Clean:
+        panic("SECDED recover() called on a clean row");
+      case HammingSecded::Status::CorrectedData:
+        data.flipBit(res.bit);
+        cache_->pokeRowData(row, data);
+        if (cache_->rowDirty(row)) {
+            ++stats_.corrected_dirty;
+        } else {
+            ++stats_.corrected_clean;
+        }
+        return VerifyOutcome::Corrected;
+      case HammingSecded::Status::CorrectedCode:
+        code_[row] = codec_->encode(data);
+        ++stats_.corrected_code;
+        return VerifyOutcome::Corrected;
+      case HammingSecded::Status::Detected:
+        break;
+    }
+    // Double error: clean data can still be refetched from below.
+    if (!cache_->rowDirty(row) && cache_->refetchRow(row)) {
+        code_[row] = codec_->encode(cache_->rowData(row));
+        ++stats_.refetched_clean;
+        return VerifyOutcome::Refetched;
+    }
+    ++stats_.due;
+    return VerifyOutcome::Due;
+}
+
+uint64_t
+SecdedScheme::codeBitsTotal() const
+{
+    return static_cast<uint64_t>(code_.size()) * codec_->codeBits();
+}
+
+} // namespace cppc

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * SECDED-protected cache scheme (the commercial-processor baseline).
+ *
+ * Each protection unit carries an extended Hamming code.  At L1 the
+ * paper combines word-level SECDED with 8-way physical bit interleaving
+ * to tolerate spatial MBEs; interleaving costs 8x the precharged
+ * bitlines per access (Section 6.2), which this scheme reports through
+ * bitlineOverheadFactor().
+ */
+
+#ifndef CPPC_PROTECTION_SECDED_HH
+#define CPPC_PROTECTION_SECDED_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/protection_scheme.hh"
+#include "protection/hamming.hh"
+
+namespace cppc {
+
+class SecdedScheme : public ProtectionScheme
+{
+  public:
+    /**
+     * @param interleave_factor physical bit-interleaving degree (1 = no
+     *        interleaving).  Affects energy reporting and the spatial
+     *        fault resilience modelled by tests, not the codec.
+     */
+    explicit SecdedScheme(unsigned interleave_factor = 8);
+
+    std::string name() const override;
+    void attach(CacheBackdoor &cache) override;
+
+    FillEffect onFill(Row row0, unsigned n_units, const uint8_t *data,
+                      bool victim_was_dirty) override;
+    void onEvict(Row row0, unsigned n_units, const uint8_t *data,
+                 const uint8_t *dirty) override;
+    StoreEffect onStore(Row row, const WideWord &old_data,
+                        const WideWord &new_data, bool was_dirty,
+                        bool partial) override;
+
+    bool check(Row row) const override;
+    VerifyOutcome recover(Row row) override;
+
+    uint64_t codeBitsTotal() const override;
+    double bitlineOverheadFactor() const override
+    {
+        return static_cast<double>(interleave_);
+    }
+
+    unsigned interleaveFactor() const { return interleave_; }
+    const HammingSecded &codec() const { return *codec_; }
+
+  private:
+    unsigned interleave_;
+    CacheBackdoor *cache_ = nullptr;
+    std::unique_ptr<HammingSecded> codec_;
+    std::vector<uint32_t> code_;
+};
+
+} // namespace cppc
+
+#endif // CPPC_PROTECTION_SECDED_HH

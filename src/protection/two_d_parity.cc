@@ -1,0 +1,162 @@
+#include "protection/two_d_parity.hh"
+
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace cppc {
+
+TwoDParityScheme::TwoDParityScheme(unsigned parity_ways)
+    : ways_(parity_ways)
+{
+    if (ways_ < 1 || ways_ > 64)
+        fatal("2D parity interleaving degree %u out of range", ways_);
+}
+
+std::string
+TwoDParityScheme::name() const
+{
+    return strfmt("parity2d-k%u", ways_);
+}
+
+void
+TwoDParityScheme::attach(CacheBackdoor &cache)
+{
+    cache_ = &cache;
+    hcode_.assign(cache.geometry().numRows(), 0);
+    vertical_ = WideWord(cache.geometry().unit_bytes);
+}
+
+WideWord
+TwoDParityScheme::unitAt(const uint8_t *data, unsigned idx) const
+{
+    unsigned ub = cache_->geometry().unit_bytes;
+    return WideWord::fromBytes(data + idx * ub, ub);
+}
+
+FillEffect
+TwoDParityScheme::onFill(Row row0, unsigned n_units, const uint8_t *data,
+                         bool victim_was_dirty)
+{
+    for (unsigned u = 0; u < n_units; ++u) {
+        WideWord w = unitAt(data, u);
+        hcode_[row0 + u] = w.interleavedParity(ways_);
+        vertical_ ^= w;
+    }
+    FillEffect eff;
+    if (!victim_was_dirty) {
+        // The old line content had to be read to take it out of the
+        // vertical parity; with a dirty victim the write-back already
+        // paid for that read.
+        eff.line_rbw = true;
+        ++stats_.rbw_lines;
+    }
+    return eff;
+}
+
+void
+TwoDParityScheme::onEvict(Row, unsigned n_units, const uint8_t *data,
+                          const uint8_t *)
+{
+    // All of the victim's data leaves the array: XOR it out of the
+    // vertical parity (clean and dirty units alike).
+    for (unsigned u = 0; u < n_units; ++u)
+        vertical_ ^= unitAt(data, u);
+}
+
+StoreEffect
+TwoDParityScheme::onStore(Row row, const WideWord &old_data,
+                          const WideWord &new_data, bool, bool)
+{
+    hcode_[row] = new_data.interleavedParity(ways_);
+    vertical_ ^= old_data;
+    vertical_ ^= new_data;
+    // Every store reads the old word to update the vertical parity.
+    ++stats_.rbw_words;
+    StoreEffect eff;
+    eff.rbw = true;
+    return eff;
+}
+
+bool
+TwoDParityScheme::check(Row row) const
+{
+    if (!cache_->rowValid(row))
+        return true;
+    return cache_->rowData(row).interleavedParity(ways_) == hcode_[row];
+}
+
+WideWord
+TwoDParityScheme::recomputeVertical() const
+{
+    WideWord acc(cache_->geometry().unit_bytes);
+    unsigned n_rows = cache_->geometry().numRows();
+    for (Row r = 0; r < n_rows; ++r)
+        if (cache_->rowValid(r))
+            acc ^= cache_->rowData(r);
+    return acc;
+}
+
+VerifyOutcome
+TwoDParityScheme::recover(Row)
+{
+    ++stats_.detections;
+
+    // Sweep the array with the horizontal parities to find every faulty
+    // row; clean faulty rows are refetched from below first.
+    std::vector<Row> dirty_faulty;
+    bool refetch_failed = false;
+    unsigned n_rows = cache_->geometry().numRows();
+    for (Row r = 0; r < n_rows; ++r) {
+        if (check(r))
+            continue;
+        if (!cache_->rowDirty(r)) {
+            if (cache_->refetchRow(r)) {
+                ++stats_.refetched_clean;
+            } else {
+                refetch_failed = true;
+            }
+        } else {
+            dirty_faulty.push_back(r);
+        }
+    }
+
+    if (refetch_failed || dirty_faulty.size() > 1) {
+        // One vertical parity row cannot disentangle multiple faulty
+        // rows (the paper's Section 6 configuration).
+        ++stats_.due;
+        return VerifyOutcome::Due;
+    }
+
+    if (dirty_faulty.empty()) {
+        // The triggering row must have been clean and refetched above.
+        return VerifyOutcome::Refetched;
+    }
+
+    Row f = dirty_faulty.front();
+    WideWord corrected = vertical_;
+    for (Row r = 0; r < n_rows; ++r) {
+        if (r == f || !cache_->rowValid(r))
+            continue;
+        corrected ^= cache_->rowData(r);
+    }
+    if (corrected.interleavedParity(ways_) != hcode_[f]) {
+        // The reconstruction disagrees with the horizontal parity:
+        // something else is corrupted (e.g. an even-weight fault hiding
+        // in another row).
+        ++stats_.due;
+        return VerifyOutcome::Due;
+    }
+    cache_->pokeRowData(f, corrected);
+    ++stats_.corrected_dirty;
+    return VerifyOutcome::Corrected;
+}
+
+uint64_t
+TwoDParityScheme::codeBitsTotal() const
+{
+    return static_cast<uint64_t>(hcode_.size()) * ways_ +
+        vertical_.sizeBits();
+}
+
+} // namespace cppc

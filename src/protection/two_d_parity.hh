@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Two-dimensional parity (Kim et al., MICRO-40) as configured by the
+ * paper's Section 6: k-way horizontal interleaved parity per protection
+ * unit for detection, plus ONE vertical parity row covering the whole
+ * data array for correction.
+ *
+ * The vertical parity changes on every store and on every line fill, so
+ * the old content must be read first: a read-before-write on every
+ * store, and a full-line read on every miss that fills over a clean (or
+ * invalid) victim — dirty victims are read for the write-back anyway.
+ * That RBW traffic is the energy story of Figures 11/12.
+ */
+
+#ifndef CPPC_PROTECTION_TWO_D_PARITY_HH
+#define CPPC_PROTECTION_TWO_D_PARITY_HH
+
+#include <vector>
+
+#include "cache/protection_scheme.hh"
+
+namespace cppc {
+
+class TwoDParityScheme : public ProtectionScheme
+{
+  public:
+    /** @param parity_ways horizontal interleaving degree k (paper: 8). */
+    explicit TwoDParityScheme(unsigned parity_ways = 8);
+
+    std::string name() const override;
+    void attach(CacheBackdoor &cache) override;
+
+    FillEffect onFill(Row row0, unsigned n_units, const uint8_t *data,
+                      bool victim_was_dirty) override;
+    void onEvict(Row row0, unsigned n_units, const uint8_t *data,
+                 const uint8_t *dirty) override;
+    StoreEffect onStore(Row row, const WideWord &old_data,
+                        const WideWord &new_data, bool was_dirty,
+                        bool partial) override;
+
+    bool check(Row row) const override;
+    VerifyOutcome recover(Row row) override;
+
+    uint64_t codeBitsTotal() const override;
+
+    /** Current vertical parity register (tests). */
+    const WideWord &verticalParity() const { return vertical_; }
+
+    /** XOR of all valid rows' data; equals verticalParity() when
+     *  fault-free (invariant checks in tests). */
+    WideWord recomputeVertical() const;
+
+  private:
+    WideWord unitAt(const uint8_t *data, unsigned idx) const;
+
+    unsigned ways_;
+    CacheBackdoor *cache_ = nullptr;
+    std::vector<uint64_t> hcode_; // horizontal parity per row
+    WideWord vertical_{8};        // resized at attach()
+};
+
+} // namespace cppc
+
+#endif // CPPC_PROTECTION_TWO_D_PARITY_HH

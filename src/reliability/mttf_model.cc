@@ -1,0 +1,98 @@
+#include "reliability/mttf_model.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace cppc {
+
+namespace {
+constexpr double kHoursPerYear = 8760.0;
+}
+
+double
+MttfModel::hoursOf(double cycles) const
+{
+    return cycles / p_.clock_hz / 3600.0;
+}
+
+double
+MttfModel::probTwoOrMore(double mean)
+{
+    if (mean <= 0.0)
+        return 0.0;
+    if (mean < 1e-5) {
+        // 1 - e^-m (1 + m) ~ m^2/2 for tiny means; the closed form
+        // underflows to 0 in doubles long before this approximation
+        // loses accuracy.
+        return mean * mean / 2.0;
+    }
+    return 1.0 - std::exp(-mean) * (1.0 + mean);
+}
+
+double
+MttfModel::parityMttfYears(uint64_t cache_bits, double dirty_fraction) const
+{
+    double dirty_bits = static_cast<double>(cache_bits) * dirty_fraction;
+    if (dirty_bits <= 0.0)
+        fatal("parity MTTF with no dirty data");
+    double faults_per_hour = p_.fit_per_bit * 1e-9 * dirty_bits;
+    double mttf_hours = 1.0 / faults_per_hour;
+    return mttf_hours / kHoursPerYear / p_.avf;
+}
+
+double
+MttfModel::doubleFaultMttfYears(double domain_bits, double n_domains,
+                                double tavg_cycles) const
+{
+    if (domain_bits <= 0.0 || n_domains <= 0.0 || tavg_cycles <= 0.0)
+        fatal("invalid double-fault MTTF inputs");
+    double t_hours = hoursOf(tavg_cycles);
+    double mean = p_.fit_per_bit * 1e-9 * domain_bits * t_hours;
+    double p_domain = probTwoOrMore(mean);
+    double p_interval = p_domain * n_domains;
+    if (p_interval >= 1.0)
+        return 0.0; // failing every window: no meaningful MTTF
+    if (p_interval <= 0.0)
+        return INFINITY;
+    double intervals = 1.0 / p_interval;
+    return intervals * t_hours / kHoursPerYear / p_.avf;
+}
+
+double
+MttfModel::cppcMttfYears(uint64_t cache_bits, double dirty_fraction,
+                         unsigned parity_ways, unsigned pairs_per_domain,
+                         unsigned num_domains, double tavg_cycles) const
+{
+    double dirty_bits = static_cast<double>(cache_bits) * dirty_fraction;
+    double domains = static_cast<double>(parity_ways) * pairs_per_domain *
+        num_domains;
+    return doubleFaultMttfYears(dirty_bits / domains, domains, tavg_cycles);
+}
+
+double
+MttfModel::secdedMttfYears(uint64_t cache_bits, double dirty_fraction,
+                           unsigned word_bits, double tavg_cycles) const
+{
+    double dirty_bits = static_cast<double>(cache_bits) * dirty_fraction;
+    double domains = dirty_bits / word_bits;
+    return doubleFaultMttfYears(static_cast<double>(word_bits), domains,
+                                tavg_cycles);
+}
+
+double
+MttfModel::aliasingMttfYears(uint64_t cache_bits, double dirty_fraction,
+                             unsigned vulnerable_bits,
+                             double tavg_cycles) const
+{
+    double dirty_bits = static_cast<double>(cache_bits) * dirty_fraction;
+    double first_per_hour = p_.fit_per_bit * 1e-9 * dirty_bits;
+    double p_second = p_.fit_per_bit * 1e-9 *
+        static_cast<double>(vulnerable_bits) * hoursOf(tavg_cycles);
+    double mistakes_per_hour = first_per_hour * p_second;
+    if (mistakes_per_hour <= 0.0)
+        return INFINITY;
+    return 1.0 / mistakes_per_hour / kHoursPerYear / p_.avf;
+}
+
+} // namespace cppc

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Analytical MTTF models for temporal multi-bit errors (Section 6.3,
+ * following the PARMA-style model of Suh et al. [22]).
+ *
+ * The mechanics:
+ *
+ *  - One-dimensional parity fails on the FIRST fault in dirty data
+ *    (detected but uncorrectable, the program halts).
+ *  - CPPC and SECDED fail when a SECOND fault lands in the same
+ *    protection domain within the vulnerability window Tavg (the mean
+ *    interval between consecutive accesses to a dirty word, which is
+ *    when the first fault would have been detected and corrected).
+ *    CPPC with k interleaved parity bits and one register pair has k
+ *    domains of (dirty bits)/k each; every extra register pair or
+ *    domain split multiplies the domain count.  SECDED's domain is a
+ *    single dirty word/block.
+ *
+ * MTTF = Tavg * 1 / (domains * P(>=2 faults in a domain within Tavg))
+ * scaled by 1/AVF, with P from the Poisson tail.
+ */
+
+#ifndef CPPC_RELIABILITY_MTTF_MODEL_HH
+#define CPPC_RELIABILITY_MTTF_MODEL_HH
+
+#include <cstdint>
+
+namespace cppc {
+
+/** Global reliability parameters (the paper's Section 6.3 values). */
+struct ReliabilityParams
+{
+    double fit_per_bit = 0.001; ///< bit flips per billion hours
+    double avf = 0.7;           ///< architectural vulnerability factor
+    double clock_hz = 3e9;      ///< Table 1 core clock
+};
+
+class MttfModel
+{
+  public:
+    explicit MttfModel(ReliabilityParams params = ReliabilityParams{})
+        : p_(params)
+    {
+    }
+
+    const ReliabilityParams &params() const { return p_; }
+
+    /** Hours of one cycle-count interval. */
+    double hoursOf(double cycles) const;
+
+    /**
+     * MTTF (years) of a parity-only cache: any fault in dirty data is
+     * fatal.
+     */
+    double parityMttfYears(uint64_t cache_bits, double dirty_fraction) const;
+
+    /**
+     * Generic double-fault-in-window MTTF (years).
+     *
+     * @param domain_bits   bits protected together
+     * @param n_domains     number of such domains holding dirty data
+     * @param tavg_cycles   vulnerability window in cycles
+     */
+    double doubleFaultMttfYears(double domain_bits, double n_domains,
+                                double tavg_cycles) const;
+
+    /**
+     * CPPC MTTF (years): domains = parity_ways * register pairs *
+     * domain splits; each domain protects an equal share of the dirty
+     * bits.
+     */
+    double cppcMttfYears(uint64_t cache_bits, double dirty_fraction,
+                         unsigned parity_ways, unsigned pairs_per_domain,
+                         unsigned num_domains, double tavg_cycles) const;
+
+    /**
+     * SECDED MTTF (years): the domain is one dirty word (or block) of
+     * @p word_bits data bits.
+     */
+    double secdedMttfYears(uint64_t cache_bits, double dirty_fraction,
+                           unsigned word_bits, double tavg_cycles) const;
+
+    /**
+     * Section 4.7 aliasing model: mean time until a pair of temporal
+     * faults masquerades as a spatial MBE and is mis-corrected into an
+     * SDC.  After a first fault in dirty data, the second must land in
+     * one of @p vulnerable_bits specific cells within Tavg.
+     */
+    double aliasingMttfYears(uint64_t cache_bits, double dirty_fraction,
+                             unsigned vulnerable_bits,
+                             double tavg_cycles) const;
+
+  private:
+    /** P(>=2 Poisson events) for small means, numerically robust. */
+    static double probTwoOrMore(double mean);
+
+    ReliabilityParams p_;
+};
+
+} // namespace cppc
+
+#endif // CPPC_RELIABILITY_MTTF_MODEL_HH

@@ -1,0 +1,53 @@
+#include "sim/experiment.hh"
+
+#include <sstream>
+
+#include "energy/cacti_model.hh"
+
+namespace cppc {
+
+RunMetrics
+runExperiment(const BenchmarkProfile &profile, SchemeKind kind,
+              const ExperimentOptions &opts)
+{
+    Hierarchy h(kind, opts.cppc_cfg);
+    OooCoreModel core(PaperConfig::coreParams(), h.l1d.get(), h.l2.get(),
+                      h.l1i.get());
+    TraceGenerator gen(profile, opts.seed);
+
+    DirtyProfiler l1_prof, l2_prof;
+    RunMetrics m;
+    m.benchmark = profile.name;
+    m.kind = kind;
+    m.core = core.run(gen, opts.instructions,
+                      opts.profile_dirty ? &l1_prof : nullptr,
+                      opts.profile_dirty ? &l2_prof : nullptr);
+
+    CactiModel l1_model(PaperConfig::l1dGeometry(), PaperConfig::kFeatureNm);
+    CactiModel l2_model(PaperConfig::l2Geometry(), PaperConfig::kFeatureNm);
+    m.l1_energy = EnergyAccountant(l1_model).compute(*h.l1d);
+    m.l2_energy = EnergyAccountant(l2_model).compute(*h.l2);
+
+    m.l1_miss_rate = h.l1d->stats().missRate();
+    m.l2_miss_rate = h.l2->stats().missRate();
+
+    if (opts.dump_stats) {
+        std::ostringstream os;
+        h.l1d->dumpStats(os);
+        h.l1i->dumpStats(os);
+        h.l2->dumpStats(os);
+        os << "mem.reads " << h.mem.reads() << "\n";
+        os << "mem.writes " << h.mem.writes() << "\n";
+        m.stats_dump = os.str();
+    }
+
+    if (opts.profile_dirty) {
+        m.l1_dirty_fraction = l1_prof.avgDirtyFraction();
+        m.l1_tavg_cycles = l1_prof.tavgCycles();
+        m.l2_dirty_fraction = l2_prof.avgDirtyFraction();
+        m.l2_tavg_cycles = l2_prof.tavgCycles();
+    }
+    return m;
+}
+
+} // namespace cppc

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * One-call experiment runner: drive a synthetic benchmark through a
+ * protected Table 1 hierarchy and collect every metric the paper's
+ * figures and tables consume.
+ */
+
+#ifndef CPPC_SIM_EXPERIMENT_HH
+#define CPPC_SIM_EXPERIMENT_HH
+
+#include <string>
+
+#include "energy/accountant.hh"
+#include "sim/paper_config.hh"
+#include "trace/trace.hh"
+
+namespace cppc {
+
+/** Everything one (benchmark, scheme) run produces. */
+struct RunMetrics
+{
+    std::string benchmark;
+    SchemeKind kind = SchemeKind::None;
+
+    CoreResult core;
+    EnergyBreakdown l1_energy;
+    EnergyBreakdown l2_energy;
+
+    double l1_miss_rate = 0.0;
+    double l2_miss_rate = 0.0;
+
+    /// gem5-style per-cache stats (populated when dump_stats is set).
+    std::string stats_dump;
+
+    // Table 2 inputs (populated when profile_dirty is set).
+    double l1_dirty_fraction = 0.0;
+    double l1_tavg_cycles = 0.0;
+    double l2_dirty_fraction = 0.0;
+    double l2_tavg_cycles = 0.0;
+};
+
+struct ExperimentOptions
+{
+    uint64_t instructions = 2'000'000;
+    uint64_t seed = 42;
+    bool profile_dirty = false;
+    bool dump_stats = false;
+    CppcConfig cppc_cfg; ///< used when the scheme is CPPC
+};
+
+/** Run one benchmark under one scheme on a fresh hierarchy. */
+RunMetrics runExperiment(const BenchmarkProfile &profile, SchemeKind kind,
+                         const ExperimentOptions &opts = ExperimentOptions{});
+
+} // namespace cppc
+
+#endif // CPPC_SIM_EXPERIMENT_HH

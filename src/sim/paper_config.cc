@@ -1,0 +1,134 @@
+#include "sim/paper_config.hh"
+
+#include "cppc/cppc_scheme.hh"
+#include "protection/icr.hh"
+#include "protection/memory_mapped_ecc.hh"
+#include "protection/parity.hh"
+#include "protection/secded.hh"
+#include "protection/two_d_parity.hh"
+#include "util/logging.hh"
+
+namespace cppc {
+
+std::string
+schemeKindName(SchemeKind kind)
+{
+    switch (kind) {
+      case SchemeKind::None:
+        return "none";
+      case SchemeKind::Parity1D:
+        return "parity1d";
+      case SchemeKind::Secded:
+        return "secded";
+      case SchemeKind::Parity2D:
+        return "parity2d";
+      case SchemeKind::Cppc:
+        return "cppc";
+      case SchemeKind::Icr:
+        return "icr";
+      case SchemeKind::MmEcc:
+        return "mmecc";
+    }
+    panic("unreachable scheme kind");
+}
+
+SchemeKind
+parseSchemeKind(const std::string &name)
+{
+    for (SchemeKind k :
+         {SchemeKind::None, SchemeKind::Parity1D, SchemeKind::Secded,
+          SchemeKind::Parity2D, SchemeKind::Cppc, SchemeKind::Icr,
+          SchemeKind::MmEcc}) {
+        if (schemeKindName(k) == name)
+            return k;
+    }
+    fatal("unknown scheme '%s' (try parity1d|secded|parity2d|cppc|"
+          "icr|mmecc|none)",
+          name.c_str());
+}
+
+std::unique_ptr<ProtectionScheme>
+makeScheme(SchemeKind kind, const CppcConfig &cppc_cfg,
+           unsigned secded_interleave)
+{
+    switch (kind) {
+      case SchemeKind::None:
+        return nullptr;
+      case SchemeKind::Parity1D:
+        return std::make_unique<OneDimParityScheme>(8);
+      case SchemeKind::Secded:
+        return std::make_unique<SecdedScheme>(secded_interleave);
+      case SchemeKind::Parity2D:
+        return std::make_unique<TwoDParityScheme>(8);
+      case SchemeKind::Cppc:
+        return std::make_unique<CppcScheme>(cppc_cfg);
+      case SchemeKind::Icr:
+        return std::make_unique<IcrScheme>(8);
+      case SchemeKind::MmEcc:
+        return std::make_unique<MemoryMappedEccScheme>(8);
+    }
+    panic("unreachable scheme kind");
+}
+
+CacheGeometry
+PaperConfig::l1dGeometry()
+{
+    CacheGeometry g;
+    g.size_bytes = 32 * 1024;
+    g.assoc = 2;
+    g.line_bytes = 32;
+    g.unit_bytes = 8;
+    return g;
+}
+
+CacheGeometry
+PaperConfig::l1iGeometry()
+{
+    CacheGeometry g;
+    g.size_bytes = 16 * 1024;
+    g.assoc = 1;
+    g.line_bytes = 32;
+    g.unit_bytes = 8;
+    return g;
+}
+
+CacheGeometry
+PaperConfig::l2Geometry()
+{
+    CacheGeometry g;
+    g.size_bytes = 1024 * 1024;
+    g.assoc = 4;
+    g.line_bytes = 32;
+    g.unit_bytes = 32; // protection unit = L1 block (Section 3.5)
+    return g;
+}
+
+CoreParams
+PaperConfig::coreParams()
+{
+    return CoreParams{};
+}
+
+Hierarchy::Hierarchy(SchemeKind k, const CppcConfig &cppc_cfg)
+    : Hierarchy(k, k, cppc_cfg, false)
+{
+}
+
+Hierarchy::Hierarchy(SchemeKind l1_kind, SchemeKind l2_kind,
+                     const CppcConfig &cppc_cfg, bool write_through_l1)
+    : kind(l1_kind)
+{
+    l2 = std::make_unique<WriteBackCache>(
+        "L2", PaperConfig::l2Geometry(), ReplacementKind::LRU, &mem,
+        makeScheme(l2_kind, cppc_cfg));
+    l1d = std::make_unique<WriteBackCache>(
+        "L1D", PaperConfig::l1dGeometry(), ReplacementKind::LRU, l2.get(),
+        makeScheme(l1_kind, cppc_cfg));
+    if (write_through_l1)
+        l1d->setWriteThrough(true);
+    l1i = std::make_unique<WriteBackCache>(
+        "L1I", PaperConfig::l1iGeometry(), ReplacementKind::LRU, l2.get(),
+        makeScheme(SchemeKind::Parity1D));
+}
+
+} // namespace cppc

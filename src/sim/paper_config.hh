@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The paper's evaluation setup (Table 1) and scheme factory, shared by
+ * the bench harnesses and examples.
+ */
+
+#ifndef CPPC_SIM_PAPER_CONFIG_HH
+#define CPPC_SIM_PAPER_CONFIG_HH
+
+#include <memory>
+#include <string>
+
+#include "cache/protection_scheme.hh"
+#include "cppc/config.hh"
+#include "cpu/ooo_core.hh"
+
+namespace cppc {
+
+/** The four protected caches compared in Section 6. */
+enum class SchemeKind
+{
+    None,     ///< unprotected baseline
+    Parity1D, ///< 8 (interleaved) parity bits, detection only
+    Secded,   ///< SECDED per unit, 8-way bit interleaving at L1
+    Parity2D, ///< horizontal interleaved parity + one vertical row
+    Cppc,     ///< this paper
+    Icr,      ///< In-Cache Replication (related work [24])
+    MmEcc,    ///< memory-mapped ECC (related work [23])
+};
+
+/** Display name ("parity1d", "secded", ...). */
+std::string schemeKindName(SchemeKind kind);
+
+/** Inverse of schemeKindName(); fatal() on unknown names. */
+SchemeKind parseSchemeKind(const std::string &name);
+
+/** All four protected kinds, in the paper's presentation order. */
+inline const SchemeKind kAllSchemes[] = {
+    SchemeKind::Parity1D,
+    SchemeKind::Cppc,
+    SchemeKind::Secded,
+    SchemeKind::Parity2D,
+};
+
+/**
+ * Build a scheme instance for one cache level.
+ * @param cppc_cfg used only when kind == Cppc
+ * @param secded_interleave physical interleaving for SECDED
+ */
+std::unique_ptr<ProtectionScheme>
+makeScheme(SchemeKind kind, const CppcConfig &cppc_cfg = CppcConfig{},
+           unsigned secded_interleave = 8);
+
+/** Table 1 parameters. */
+struct PaperConfig
+{
+    /** L1 data cache: 32KB, 2-way, 32B lines, 2-cycle, 64-bit units. */
+    static CacheGeometry l1dGeometry();
+    /** L1 instruction cache: 16KB, direct-mapped, 32B lines, 1 cycle. */
+    static CacheGeometry l1iGeometry();
+    /** L2: 1MB unified, 4-way, 32B lines, 8-cycle, L1-block units. */
+    static CacheGeometry l2Geometry();
+    /** 4-wide, RUU 64, LSQ 16, 3 GHz core. */
+    static CoreParams coreParams();
+    /** 32 nm feature size. */
+    static constexpr double kFeatureNm = 32.0;
+    static constexpr double kClockHz = 3e9;
+};
+
+/**
+ * A Table 1 memory hierarchy protected by one scheme at both levels.
+ */
+class Hierarchy
+{
+  public:
+    explicit Hierarchy(SchemeKind kind,
+                       const CppcConfig &cppc_cfg = CppcConfig{});
+
+    /**
+     * Mixed-protection hierarchy, e.g. the commercial-practice combo
+     * of a parity L1 over a SECDED L2, optionally with a write-through
+     * L1 (Section 1's alternative, which leaves no dirty L1 data).
+     */
+    Hierarchy(SchemeKind l1_kind, SchemeKind l2_kind,
+              const CppcConfig &cppc_cfg, bool write_through_l1);
+
+    Hierarchy(const Hierarchy &) = delete;
+    Hierarchy &operator=(const Hierarchy &) = delete;
+
+    MainMemory mem;
+    std::unique_ptr<WriteBackCache> l2;
+    std::unique_ptr<WriteBackCache> l1d;
+    /// Instructions are never dirty, so the I-cache keeps plain parity
+    /// regardless of the compared scheme (identical across all runs).
+    std::unique_ptr<WriteBackCache> l1i;
+    SchemeKind kind;
+};
+
+} // namespace cppc
+
+#endif // CPPC_SIM_PAPER_CONFIG_HH

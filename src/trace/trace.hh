@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Instruction/memory-reference trace records and synthetic benchmark
+ * profiles standing in for the paper's SPEC2000 Simpoints.
+ *
+ * The evaluation consumes only the memory behaviour of the workloads
+ * (hit/miss rates, store-to-dirty rates, dirty residency, reference
+ * interarrival times), so each SPEC program is modelled as a
+ * parameterised synthetic reference stream whose knobs are set to
+ * reproduce its qualitative behaviour (e.g. mcf's ~80% L2 miss rate,
+ * Section 6.2).
+ */
+
+#ifndef CPPC_TRACE_TRACE_HH
+#define CPPC_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/types.hh"
+#include "util/rng.hh"
+
+namespace cppc {
+
+/** Instruction classes the timing model distinguishes. */
+enum class Op : uint8_t
+{
+    Load,
+    Store,
+    Alu, ///< any non-memory instruction
+};
+
+/** One trace record; @c addr is meaningful for Load/Store only. */
+struct TraceRecord
+{
+    Op op = Op::Alu;
+    Addr addr = 0;
+    Addr pc = 0;      ///< fetch address (4-byte instructions)
+    uint8_t size = 8; ///< access width in bytes
+};
+
+/**
+ * Knobs of one synthetic benchmark.
+ *
+ * The address stream draws from a three-level footprint:
+ *  - a HOT region (L1-resident) hit with probability @c p_hot,
+ *  - a WARM region (around L2-sized) walked sequentially by the
+ *    striding pointer and hit uniformly otherwise,
+ *  - a COLD region (the full footprint) touched by pointer chasing
+ *    with probability @c chase_frac (dominant in mcf, giving its ~80%
+ *    L2 miss rate).
+ * Stores revisit recently written words with probability
+ * @c store_overwrite_bias, which controls the store-to-dirty-word rate
+ * that CPPC's read-before-write traffic depends on.
+ */
+struct BenchmarkProfile
+{
+    std::string name;
+    double load_frac = 0.25;
+    double store_frac = 0.12;
+    uint64_t hot_bytes = 16 << 10;
+    uint64_t warm_bytes = 512 << 10;
+    uint64_t cold_bytes = 8 << 20;
+    double p_hot = 0.85;
+    double stride_frac = 0.3;
+    double chase_frac = 0.02;
+    double store_overwrite_bias = 0.3;
+    uint64_t seed_salt = 0;
+
+    /// Instruction footprint driving the L1I stream: code size and the
+    /// probability that an instruction redirects fetch (taken branch /
+    /// call) to a random spot in the code.  SPEC2000 hot code mostly
+    /// fits a 16KB I-cache, so the default footprint is modest.
+    uint64_t code_bytes = 24 << 10;
+    double branch_frac = 0.06;
+};
+
+/** The 15 SPEC2000-named profiles used by the paper's figures. */
+const std::vector<BenchmarkProfile> &spec2000Profiles();
+
+/** Look up a profile by name; fatal() if unknown. */
+const BenchmarkProfile &profileByName(const std::string &name);
+
+/**
+ * Deterministic generator of the reference stream for one profile.
+ */
+class TraceGenerator
+{
+  public:
+    TraceGenerator(const BenchmarkProfile &profile, uint64_t seed);
+
+    /** Produce the next record. */
+    TraceRecord next();
+
+    const BenchmarkProfile &profile() const { return profile_; }
+
+  private:
+    Addr pickLoadAddr();
+    Addr pickStoreAddr();
+
+    BenchmarkProfile profile_;
+    Rng rng_;
+    uint64_t hot_words_;
+    uint64_t warm_words_;
+    uint64_t cold_words_;
+    uint64_t stride_word_ = 0;
+    std::vector<Addr> recent_stores_;
+    unsigned recent_idx_ = 0;
+    Addr pc_ = 0;
+};
+
+} // namespace cppc
+
+#endif // CPPC_TRACE_TRACE_HH

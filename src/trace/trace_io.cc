@@ -1,0 +1,146 @@
+#include "trace/trace_io.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace cppc {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'P', 'P', 'C', 'T', 'R', 'C', '1'};
+constexpr unsigned kRecordBytes = 24;
+
+void
+packRecord(const TraceRecord &rec, uint8_t *buf)
+{
+    std::memset(buf, 0, kRecordBytes);
+    buf[0] = static_cast<uint8_t>(rec.op);
+    buf[1] = rec.size;
+    std::memcpy(buf + 8, &rec.addr, 8);
+    std::memcpy(buf + 16, &rec.pc, 8);
+}
+
+TraceRecord
+unpackRecord(const uint8_t *buf)
+{
+    TraceRecord rec;
+    rec.op = static_cast<Op>(buf[0]);
+    rec.size = buf[1];
+    std::memcpy(&rec.addr, buf + 8, 8);
+    std::memcpy(&rec.pc, buf + 16, 8);
+    return rec;
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+    : path_(path), file_(std::fopen(path.c_str(), "wb"))
+{
+    if (!file_)
+        fatal("cannot open trace file '%s' for writing", path.c_str());
+    uint64_t zero = 0;
+    if (std::fwrite(kMagic, 1, 8, file_) != 8 ||
+        std::fwrite(&zero, 8, 1, file_) != 1) {
+        fatal("cannot write trace header to '%s'", path.c_str());
+    }
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (file_)
+        close();
+}
+
+void
+TraceWriter::write(const TraceRecord &rec)
+{
+    if (!file_)
+        panic("write() after close() on trace '%s'", path_.c_str());
+    uint8_t buf[kRecordBytes];
+    packRecord(rec, buf);
+    if (std::fwrite(buf, 1, kRecordBytes, file_) != kRecordBytes)
+        fatal("short write to trace '%s'", path_.c_str());
+    ++count_;
+}
+
+void
+TraceWriter::close()
+{
+    if (!file_)
+        return;
+    // Patch the record count into the header.
+    if (std::fseek(file_, 8, SEEK_SET) != 0 ||
+        std::fwrite(&count_, 8, 1, file_) != 1) {
+        fatal("cannot finalize trace '%s'", path_.c_str());
+    }
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+TraceReader::TraceReader(const std::string &path)
+    : path_(path), file_(std::fopen(path.c_str(), "rb"))
+{
+    if (!file_)
+        fatal("cannot open trace file '%s'", path.c_str());
+    char magic[8];
+    if (std::fread(magic, 1, 8, file_) != 8 ||
+        std::memcmp(magic, kMagic, 8) != 0) {
+        std::fclose(file_);
+        file_ = nullptr;
+        fatal("'%s' is not a CPPC trace file", path.c_str());
+    }
+    if (std::fread(&count_, 8, 1, file_) != 1) {
+        std::fclose(file_);
+        file_ = nullptr;
+        fatal("'%s': truncated trace header", path.c_str());
+    }
+    if (count_ == 0) {
+        std::fclose(file_);
+        file_ = nullptr;
+        fatal("'%s': empty trace", path.c_str());
+    }
+}
+
+TraceReader::~TraceReader()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+bool
+TraceReader::read(TraceRecord &rec)
+{
+    if (position_ >= count_)
+        return false;
+    uint8_t buf[kRecordBytes];
+    if (std::fread(buf, 1, kRecordBytes, file_) != kRecordBytes)
+        fatal("'%s': truncated at record %llu", path_.c_str(),
+              static_cast<unsigned long long>(position_));
+    rec = unpackRecord(buf);
+    ++position_;
+    return true;
+}
+
+TraceRecord
+TraceReader::next()
+{
+    TraceRecord rec;
+    if (!read(rec)) {
+        rewind();
+        ++wraps_;
+        if (!read(rec))
+            panic("trace '%s' unreadable after rewind", path_.c_str());
+    }
+    return rec;
+}
+
+void
+TraceReader::rewind()
+{
+    if (std::fseek(file_, 16, SEEK_SET) != 0)
+        fatal("cannot rewind trace '%s'", path_.c_str());
+    position_ = 0;
+}
+
+} // namespace cppc

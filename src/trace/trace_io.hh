@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Trace recording and replay.
+ *
+ * The synthetic profiles stand in for SPEC2000 Simpoints, but nothing
+ * in the library depends on where records come from: a trace captured
+ * from a real machine (gem5, Pin, DynamoRIO, ...) can be converted to
+ * this format and replayed through the identical pipeline.
+ *
+ * Format (little-endian):
+ *   8-byte magic "CPPCTRC1", u64 record count, then per record:
+ *   u8 op, u8 size, u16 reserved, u32 reserved, u64 addr, u64 pc.
+ */
+
+#ifndef CPPC_TRACE_TRACE_IO_HH
+#define CPPC_TRACE_TRACE_IO_HH
+
+#include <cstdio>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace cppc {
+
+/** Common source interface: anything the timing model can replay. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+    virtual TraceRecord next() = 0;
+};
+
+/** Adapts the synthetic generator to the source interface. */
+class GeneratorSource : public TraceSource
+{
+  public:
+    explicit GeneratorSource(TraceGenerator &gen) : gen_(&gen) {}
+    TraceRecord next() override { return gen_->next(); }
+
+  private:
+    TraceGenerator *gen_;
+};
+
+/** Streams records to a trace file. */
+class TraceWriter
+{
+  public:
+    /** Opens @p path for writing; fatal() on failure. */
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    void write(const TraceRecord &rec);
+
+    /** Finalize the header (record count) and close. */
+    void close();
+
+    uint64_t recordsWritten() const { return count_; }
+
+  private:
+    std::string path_;
+    std::FILE *file_;
+    uint64_t count_ = 0;
+};
+
+/** Reads a trace file; implements TraceSource by looping the trace. */
+class TraceReader : public TraceSource
+{
+  public:
+    /** Opens and validates @p path; fatal() on a bad file. */
+    explicit TraceReader(const std::string &path);
+    ~TraceReader() override;
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    uint64_t recordCount() const { return count_; }
+
+    /** Sequential read; returns false at end of trace. */
+    bool read(TraceRecord &rec);
+
+    /**
+     * TraceSource: like read(), but wraps around at the end so the
+     * timing model can consume any instruction budget.
+     */
+    TraceRecord next() override;
+
+    /** Restart from the first record. */
+    void rewind();
+
+    uint64_t wraps() const { return wraps_; }
+
+  private:
+    std::string path_;
+    std::FILE *file_;
+    uint64_t count_ = 0;
+    uint64_t position_ = 0;
+    uint64_t wraps_ = 0;
+};
+
+} // namespace cppc
+
+#endif // CPPC_TRACE_TRACE_IO_HH

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared by the whole library.
+ */
+
+#ifndef CPPC_UTIL_BITS_HH
+#define CPPC_UTIL_BITS_HH
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <type_traits>
+
+namespace cppc {
+
+/** Return true iff @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOfTwo(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Integer log2 of a power of two. */
+constexpr unsigned
+log2i(uint64_t v)
+{
+    assert(isPowerOfTwo(v));
+    return static_cast<unsigned>(std::countr_zero(v));
+}
+
+/** Ceiling of log2 (number of bits needed to index @p v slots). */
+constexpr unsigned
+ceilLog2(uint64_t v)
+{
+    assert(v > 0);
+    return v == 1 ? 0u : static_cast<unsigned>(64 - std::countl_zero(v - 1));
+}
+
+/** Extract bits [lo, lo+len) from @p v. */
+constexpr uint64_t
+bitsRange(uint64_t v, unsigned lo, unsigned len)
+{
+    assert(lo < 64 && len <= 64);
+    if (len == 0)
+        return 0;
+    uint64_t mask = len >= 64 ? ~0ull : ((1ull << len) - 1);
+    return (v >> lo) & mask;
+}
+
+/** Test bit @p i of @p v. */
+constexpr bool
+testBit(uint64_t v, unsigned i)
+{
+    assert(i < 64);
+    return (v >> i) & 1;
+}
+
+/** Return @p v with bit @p i set to @p on. */
+constexpr uint64_t
+setBit(uint64_t v, unsigned i, bool on = true)
+{
+    assert(i < 64);
+    return on ? (v | (1ull << i)) : (v & ~(1ull << i));
+}
+
+/** Return @p v with bit @p i flipped. */
+constexpr uint64_t
+flipBit(uint64_t v, unsigned i)
+{
+    assert(i < 64);
+    return v ^ (1ull << i);
+}
+
+/** Number of set bits. */
+constexpr unsigned
+popcount(uint64_t v)
+{
+    return static_cast<unsigned>(std::popcount(v));
+}
+
+/** Even parity of @p v: 1 if an odd number of bits are set. */
+constexpr unsigned
+parity64(uint64_t v)
+{
+    return popcount(v) & 1u;
+}
+
+/**
+ * k-way interleaved parity of a 64-bit word.
+ *
+ * Parity bit i (0 <= i < k) is the XOR of all data bits j with
+ * j mod k == i, matching Section 3.6 of the paper
+ * (Parity[i] = XOR(data[i], data[i+k], ...)).
+ *
+ * @return a k-bit mask whose bit i is parity bit i.
+ */
+constexpr uint64_t
+interleavedParity64(uint64_t v, unsigned k)
+{
+    assert(k >= 1 && k <= 64);
+    uint64_t p = 0;
+    for (unsigned i = 0; i < k; ++i) {
+        uint64_t acc = 0;
+        for (unsigned j = i; j < 64; j += k)
+            acc ^= (v >> j) & 1;
+        p |= acc << i;
+    }
+    return p;
+}
+
+/** Align @p v down to a multiple of @p align (power of two). */
+constexpr uint64_t
+alignDown(uint64_t v, uint64_t align)
+{
+    assert(isPowerOfTwo(align));
+    return v & ~(align - 1);
+}
+
+/** Align @p v up to a multiple of @p align (power of two). */
+constexpr uint64_t
+alignUp(uint64_t v, uint64_t align)
+{
+    assert(isPowerOfTwo(align));
+    return (v + align - 1) & ~(align - 1);
+}
+
+} // namespace cppc
+
+#endif // CPPC_UTIL_BITS_HH

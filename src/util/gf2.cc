@@ -1,0 +1,75 @@
+#include "util/gf2.hh"
+
+#include <cassert>
+
+namespace cppc {
+
+Gf2System::Gf2System(unsigned n_unknowns)
+    : n_(n_unknowns), words_((n_unknowns + 1 + 63) / 64)
+{
+}
+
+void
+Gf2System::addEquation(const std::vector<unsigned> &vars, bool rhs)
+{
+    std::vector<uint64_t> row(words_, 0);
+    for (unsigned v : vars) {
+        assert(v < n_);
+        row[v / 64] ^= 1ull << (v % 64); // XOR: repeated vars cancel
+    }
+    if (rhs)
+        row[n_ / 64] |= 1ull << (n_ % 64);
+    rows_.push_back(std::move(row));
+}
+
+Gf2System::Solvability
+Gf2System::solve(std::vector<bool> &solution) const
+{
+    auto m = rows_; // work on a copy
+    std::vector<int> pivot_row_of(n_, -1);
+    unsigned rank = 0;
+
+    auto test = [&](const std::vector<uint64_t> &row, unsigned bit) {
+        return (row[bit / 64] >> (bit % 64)) & 1;
+    };
+    auto xor_into = [&](std::vector<uint64_t> &dst,
+                        const std::vector<uint64_t> &src) {
+        for (unsigned w = 0; w < words_; ++w)
+            dst[w] ^= src[w];
+    };
+
+    for (unsigned col = 0; col < n_ && rank < m.size(); ++col) {
+        // Find a pivot at or below 'rank'.
+        unsigned piv = rank;
+        while (piv < m.size() && !test(m[piv], col))
+            ++piv;
+        if (piv == m.size())
+            continue;
+        std::swap(m[rank], m[piv]);
+        for (unsigned r = 0; r < m.size(); ++r)
+            if (r != rank && test(m[r], col))
+                xor_into(m[r], m[rank]);
+        pivot_row_of[col] = static_cast<int>(rank);
+        ++rank;
+    }
+
+    // Any all-zero-LHS row with RHS set is a contradiction.
+    for (const auto &row : m) {
+        bool lhs_zero = true;
+        for (unsigned col = 0; col < n_ && lhs_zero; ++col)
+            if (test(row, col))
+                lhs_zero = false;
+        if (lhs_zero && test(row, n_))
+            return Solvability::Inconsistent;
+    }
+
+    if (rank < n_)
+        return Solvability::Ambiguous;
+
+    solution.assign(n_, false);
+    for (unsigned col = 0; col < n_; ++col)
+        solution[col] = test(m[static_cast<unsigned>(pivot_row_of[col])], n_);
+    return Solvability::Unique;
+}
+
+} // namespace cppc

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Dense GF(2) linear-system solver.
+ *
+ * The CPPC fault locator phrases "which bits were flipped by this
+ * spatial strike?" as a small boolean linear system (unknown fault bits,
+ * equations from the R3 residue and the failing parity classes).  This
+ * solver reports whether that system has a unique solution — the
+ * locatable case — or is ambiguous/inconsistent (DUE).
+ */
+
+#ifndef CPPC_UTIL_GF2_HH
+#define CPPC_UTIL_GF2_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace cppc {
+
+/**
+ * A system of XOR equations over boolean unknowns.
+ *
+ * Rows are stored as bit vectors with the right-hand side appended as
+ * the last bit.  Intended for small systems (hundreds of unknowns).
+ */
+class Gf2System
+{
+  public:
+    enum class Solvability
+    {
+        Unique,       ///< exactly one solution
+        Ambiguous,    ///< consistent but under-determined
+        Inconsistent, ///< no solution
+    };
+
+    explicit Gf2System(unsigned n_unknowns);
+
+    unsigned numUnknowns() const { return n_; }
+    unsigned
+    numEquations() const
+    {
+        return static_cast<unsigned>(rows_.size());
+    }
+
+    /** Add the equation XOR(vars) == rhs. */
+    void addEquation(const std::vector<unsigned> &vars, bool rhs);
+
+    /**
+     * Gaussian-eliminate and classify.  On Unique, @p solution is
+     * resized to numUnknowns() and filled.
+     */
+    Solvability solve(std::vector<bool> &solution) const;
+
+  private:
+    unsigned n_;
+    unsigned words_; // per-row uint64 words, including the RHS bit
+    std::vector<std::vector<uint64_t>> rows_;
+};
+
+} // namespace cppc
+
+#endif // CPPC_UTIL_GF2_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * Following the gem5 convention:
+ *  - inform(): normal operating message, no connotation of a problem.
+ *  - warn():   something may be modelled imperfectly; keep running.
+ *  - fatal():  the *user's* configuration makes continuing impossible;
+ *              throws FatalError (exit-with-error semantics, testable).
+ *  - panic():  an internal invariant is broken (a library bug); aborts.
+ */
+
+#ifndef CPPC_UTIL_LOGGING_HH
+#define CPPC_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace cppc {
+
+/** Raised by fatal(): unrecoverable but user-caused condition. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Emit an informational message to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Emit a warning to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report a user-caused unrecoverable error; throws FatalError. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a library bug; prints and aborts. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Globally silence inform()/warn() (benchmarks set this). */
+void setQuiet(bool quiet);
+
+} // namespace cppc
+
+#endif // CPPC_UTIL_LOGGING_HH

@@ -1,0 +1,110 @@
+#include "util/options.hh"
+
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace cppc {
+
+Options::Options(std::set<std::string> known)
+    : known_(std::move(known))
+{
+}
+
+void
+Options::checkKnown(const std::string &key) const
+{
+    if (!known_.count(key))
+        fatal("unknown option '--%s'", key.c_str());
+}
+
+void
+Options::parse(int argc, const char *const *argv)
+{
+    if (argc > 0)
+        program_ = argv[0];
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(arg);
+            continue;
+        }
+        std::string body = arg.substr(2);
+        if (body.empty())
+            fatal("stray '--' argument");
+        auto eq = body.find('=');
+        if (eq != std::string::npos) {
+            std::string key = body.substr(0, eq);
+            checkKnown(key);
+            values_[key] = body.substr(eq + 1);
+        } else {
+            checkKnown(body);
+            // "--key value" when the next token is not an option and a
+            // value is plausible; otherwise a boolean flag.
+            if (i + 1 < argc &&
+                std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                values_[body] = argv[++i];
+            } else {
+                values_[body] = "true";
+            }
+        }
+    }
+}
+
+bool
+Options::has(const std::string &key) const
+{
+    return values_.count(key) != 0;
+}
+
+std::string
+Options::getString(const std::string &key, const std::string &dflt) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? dflt : it->second;
+}
+
+uint64_t
+Options::getUint(const std::string &key, uint64_t dflt) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return dflt;
+    char *end = nullptr;
+    uint64_t v = std::strtoull(it->second.c_str(), &end, 0);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("option '--%s' expects an integer, got '%s'", key.c_str(),
+              it->second.c_str());
+    return v;
+}
+
+double
+Options::getDouble(const std::string &key, double dflt) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return dflt;
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("option '--%s' expects a number, got '%s'", key.c_str(),
+              it->second.c_str());
+    return v;
+}
+
+bool
+Options::getBool(const std::string &key, bool dflt) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return dflt;
+    const std::string &v = it->second;
+    if (v == "true" || v == "1" || v == "yes" || v == "on")
+        return true;
+    if (v == "false" || v == "0" || v == "no" || v == "off")
+        return false;
+    fatal("option '--%s' expects a boolean, got '%s'", key.c_str(),
+          v.c_str());
+}
+
+} // namespace cppc

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Minimal command-line option parser for the tools and examples.
+ *
+ * Supports "--key=value", "--key value", boolean "--flag", and
+ * positional arguments, with typed accessors and defaults.  Unknown
+ * options are fatal (catching typos beats silently ignoring them).
+ */
+
+#ifndef CPPC_UTIL_OPTIONS_HH
+#define CPPC_UTIL_OPTIONS_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace cppc {
+
+class Options
+{
+  public:
+    /**
+     * @param known the option names (without "--") this program
+     *        accepts; parse() rejects anything else.
+     */
+    explicit Options(std::set<std::string> known);
+
+    /** Parse argv; fatal() on malformed or unknown options. */
+    void parse(int argc, const char *const *argv);
+
+    bool has(const std::string &key) const;
+
+    std::string getString(const std::string &key,
+                          const std::string &dflt = "") const;
+    uint64_t getUint(const std::string &key, uint64_t dflt = 0) const;
+    double getDouble(const std::string &key, double dflt = 0.0) const;
+    /** "--flag" and "--flag=true/1/yes" are true; "=false/0/no" false. */
+    bool getBool(const std::string &key, bool dflt = false) const;
+
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    /** The program name (argv[0]). */
+    const std::string &program() const { return program_; }
+
+  private:
+    void checkKnown(const std::string &key) const;
+
+    std::set<std::string> known_;
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> positional_;
+    std::string program_;
+};
+
+} // namespace cppc
+
+#endif // CPPC_UTIL_OPTIONS_HH

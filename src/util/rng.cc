@@ -1,0 +1,95 @@
+#include "util/rng.hh"
+
+#include <cmath>
+
+namespace cppc {
+
+namespace {
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+void
+Rng::reseed(uint64_t seed)
+{
+    uint64_t x = seed;
+    for (auto &s : s_)
+        s = splitmix64(x);
+    // Guard against the (astronomically unlikely) all-zero state.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 1;
+}
+
+uint64_t
+Rng::next()
+{
+    uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::nextBelow(uint64_t n)
+{
+    assert(n > 0);
+    if ((n & (n - 1)) == 0)
+        return next() & (n - 1);
+    // Rejection sampling to remove modulo bias.
+    uint64_t limit = ~0ull - (~0ull % n);
+    uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit);
+    return v % n;
+}
+
+uint64_t
+Rng::poisson(double lambda)
+{
+    assert(lambda >= 0.0);
+    if (lambda == 0.0)
+        return 0;
+    if (lambda < 64.0) {
+        // Knuth's multiplication method.
+        double l = std::exp(-lambda);
+        uint64_t k = 0;
+        double p = 1.0;
+        do {
+            ++k;
+            p *= nextDouble();
+        } while (p > l);
+        return k - 1;
+    }
+    // Normal approximation with continuity correction for large means.
+    double u1 = nextDouble();
+    double u2 = nextDouble();
+    if (u1 <= 0.0)
+        u1 = 1e-300;
+    double z = std::sqrt(-2.0 * std::log(u1)) *
+        std::cos(6.283185307179586 * u2);
+    double v = lambda + std::sqrt(lambda) * z + 0.5;
+    return v < 0.0 ? 0 : static_cast<uint64_t>(v);
+}
+
+} // namespace cppc

@@ -1,0 +1,62 @@
+#include "util/stats.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace cppc {
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, unsigned n_buckets)
+    : lo_(lo), hi_(hi),
+      width_((hi - lo) / static_cast<double>(n_buckets)),
+      buckets_(n_buckets, 0)
+{
+    assert(hi > lo && n_buckets > 0);
+}
+
+void
+Histogram::add(double x, uint64_t weight)
+{
+    count_ += weight;
+    if (x < lo_) {
+        underflow_ += weight;
+    } else if (x >= hi_) {
+        overflow_ += weight;
+    } else {
+        auto i = static_cast<size_t>((x - lo_) / width_);
+        if (i >= buckets_.size())
+            i = buckets_.size() - 1;
+        buckets_[i] += weight;
+    }
+}
+
+double
+Histogram::bucketLow(unsigned i) const
+{
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+double
+Histogram::percentile(double q) const
+{
+    assert(q >= 0.0 && q <= 1.0);
+    if (count_ == 0)
+        return lo_;
+    auto target = static_cast<uint64_t>(q * static_cast<double>(count_));
+    uint64_t seen = underflow_;
+    if (seen > target)
+        return lo_;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen > target)
+            return bucketLow(static_cast<unsigned>(i)) + width_ / 2;
+    }
+    return hi_;
+}
+
+} // namespace cppc

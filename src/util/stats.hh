@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Lightweight statistics: running moments and histograms.
+ *
+ * Used by the dirty-residency profiler (Table 2), the CPI model (Figure
+ * 10) and fault-injection campaigns.
+ */
+
+#ifndef CPPC_UTIL_STATS_HH
+#define CPPC_UTIL_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cppc {
+
+/**
+ * Streaming mean / variance / min / max via Welford's algorithm.
+ */
+class RunningStat
+{
+  public:
+    void
+    add(double x)
+    {
+        ++n_;
+        double d = x - mean_;
+        mean_ += d / static_cast<double>(n_);
+        m2_ += d * (x - mean_);
+        if (n_ == 1 || x < min_)
+            min_ = x;
+        if (n_ == 1 || x > max_)
+            max_ = x;
+        sum_ += x;
+    }
+
+    uint64_t count() const { return n_; }
+    double sum() const { return sum_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double
+    variance() const
+    {
+        return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    }
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+    void
+    reset()
+    {
+        *this = RunningStat();
+    }
+
+  private:
+    uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Fixed-bucket linear histogram over [lo, hi); out-of-range samples land
+ * in saturating underflow/overflow buckets.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, unsigned n_buckets);
+
+    void add(double x, uint64_t weight = 1);
+
+    uint64_t count() const { return count_; }
+    unsigned
+    numBuckets() const
+    {
+        return static_cast<unsigned>(buckets_.size());
+    }
+    uint64_t bucket(unsigned i) const { return buckets_.at(i); }
+    uint64_t underflow() const { return underflow_; }
+    uint64_t overflow() const { return overflow_; }
+    double bucketLow(unsigned i) const;
+
+    /** x such that a fraction @p q of the mass lies below x. */
+    double percentile(double q) const;
+
+  private:
+    double lo_, hi_, width_;
+    std::vector<uint64_t> buckets_;
+    uint64_t underflow_ = 0, overflow_ = 0;
+    uint64_t count_ = 0;
+};
+
+/**
+ * A named bag of integer counters, for per-component event accounting.
+ */
+class CounterSet
+{
+  public:
+    uint64_t &
+    operator[](const std::string &name)
+    {
+        return counters_[name];
+    }
+
+    uint64_t
+    get(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    const std::map<std::string, uint64_t> &all() const { return counters_; }
+    void clear() { counters_.clear(); }
+
+    /** Merge (sum) another counter set into this one. */
+    void
+    merge(const CounterSet &o)
+    {
+        for (const auto &[k, v] : o.counters_)
+            counters_[k] += v;
+    }
+
+  private:
+    std::map<std::string, uint64_t> counters_;
+};
+
+} // namespace cppc
+
+#endif // CPPC_UTIL_STATS_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * ASCII table / CSV writer used by the bench harnesses to print the rows
+ * and series of the paper's tables and figures.
+ */
+
+#ifndef CPPC_UTIL_TABLE_HH
+#define CPPC_UTIL_TABLE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cppc {
+
+/**
+ * Accumulates string cells and prints them with aligned columns.
+ *
+ * Numeric convenience setters keep the bench code terse.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Begin a new row; subsequent add() calls fill it left to right. */
+    TextTable &row();
+
+    TextTable &add(const std::string &cell);
+    TextTable &add(const char *cell) { return add(std::string(cell)); }
+    TextTable &add(double v, int precision = 3);
+    TextTable &add(uint64_t v);
+    TextTable &add(int v) { return add(static_cast<uint64_t>(v < 0 ? 0 : v)); }
+
+    /** Scientific-notation cell (MTTFs span 20 orders of magnitude). */
+    TextTable &addSci(double v, int precision = 2);
+
+    /** Pretty-print with a header rule. */
+    void print(std::ostream &os) const;
+
+    /** Comma-separated dump (no escaping; cells must not contain commas). */
+    void printCsv(std::ostream &os) const;
+
+    size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace cppc
+
+#endif // CPPC_UTIL_TABLE_HH

@@ -1,0 +1,32 @@
+#include "util/wide_word.hh"
+
+#include <cstdio>
+
+#include "util/rng.hh"
+
+namespace cppc {
+
+std::string
+WideWord::toHex() const
+{
+    std::string s;
+    s.reserve(size_ * 2 + 2);
+    s += "0x";
+    for (unsigned i = size_; i-- > 0;) {
+        char buf[3];
+        std::snprintf(buf, sizeof(buf), "%02x", bytes_[i]);
+        s += buf;
+    }
+    return s;
+}
+
+WideWord
+WideWord::random(Rng &rng, unsigned n_bytes)
+{
+    WideWord w(n_bytes);
+    for (unsigned i = 0; i < n_bytes; ++i)
+        w.bytes_[i] = static_cast<uint8_t>(rng.next());
+    return w;
+}
+
+} // namespace cppc

@@ -1,0 +1,301 @@
+/**
+ * @file
+ * WideWord: a fixed-width data word of 1..kMaxBytes bytes supporting the
+ * XOR / byte-rotation / interleaved-parity algebra that CPPC is built on.
+ *
+ * The same CPPC machinery protects an L1 cache at 64-bit word granularity
+ * and an L2 cache at L1-block granularity (Section 3.5 of the paper), so
+ * every piece of protection state is expressed in terms of WideWord rather
+ * than uint64_t.
+ *
+ * Bit numbering: bit j lives in byte j/8 at offset j%8 (little-endian
+ * within the word). "Rotate left by k bytes" follows the paper's Figure 5
+ * convention: rotated bit j == original bit (j + 8k) mod width.
+ */
+
+#ifndef CPPC_UTIL_WIDE_WORD_HH
+#define CPPC_UTIL_WIDE_WORD_HH
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "util/bits.hh"
+
+namespace cppc {
+
+class Rng;
+
+/**
+ * A value type holding a data word of a configurable byte width.
+ *
+ * The width is fixed at construction; mixing widths in binary operations
+ * is a programming error and asserts.
+ */
+class WideWord
+{
+  public:
+    /** Maximum supported width, bytes (an entire 64-byte cache line). */
+    static constexpr unsigned kMaxBytes = 64;
+
+    /** Construct a zero word of @p n_bytes bytes (default 8 = 64 bits). */
+    explicit WideWord(unsigned n_bytes = 8)
+        : size_(n_bytes)
+    {
+        assert(n_bytes >= 1 && n_bytes <= kMaxBytes);
+        bytes_.fill(0);
+    }
+
+    /** Construct an n-byte word from the low bytes of @p value. */
+    static WideWord
+    fromUint64(uint64_t value, unsigned n_bytes = 8)
+    {
+        WideWord w(n_bytes);
+        for (unsigned i = 0; i < n_bytes && i < 8; ++i)
+            w.bytes_[i] = static_cast<uint8_t>(value >> (8 * i));
+        return w;
+    }
+
+    /** Construct from a raw byte buffer. */
+    static WideWord
+    fromBytes(const uint8_t *data, unsigned n_bytes)
+    {
+        WideWord w(n_bytes);
+        std::memcpy(w.bytes_.data(), data, n_bytes);
+        return w;
+    }
+
+    /** Width in bytes. */
+    unsigned sizeBytes() const { return size_; }
+    /** Width in bits. */
+    unsigned sizeBits() const { return size_ * 8; }
+
+    /** Raw byte access. */
+    uint8_t byte(unsigned i) const { assert(i < size_); return bytes_[i]; }
+    void
+    setByte(unsigned i, uint8_t v)
+    {
+        assert(i < size_);
+        bytes_[i] = v;
+    }
+
+    /** Copy the word out to a raw buffer of sizeBytes() bytes. */
+    void
+    toBytes(uint8_t *out) const
+    {
+        std::memcpy(out, bytes_.data(), size_);
+    }
+
+    /** Low 64 bits as an integer (exact for words <= 8 bytes wide). */
+    uint64_t
+    toUint64() const
+    {
+        uint64_t v = 0;
+        for (unsigned i = 0; i < size_ && i < 8; ++i)
+            v |= static_cast<uint64_t>(bytes_[i]) << (8 * i);
+        return v;
+    }
+
+    /** Test bit @p j (0 <= j < sizeBits()). */
+    bool
+    bit(unsigned j) const
+    {
+        assert(j < sizeBits());
+        return (bytes_[j / 8] >> (j % 8)) & 1;
+    }
+
+    /** Set bit @p j to @p on. */
+    void
+    setBit(unsigned j, bool on = true)
+    {
+        assert(j < sizeBits());
+        if (on)
+            bytes_[j / 8] |= uint8_t(1u << (j % 8));
+        else
+            bytes_[j / 8] &= uint8_t(~(1u << (j % 8)));
+    }
+
+    /** Flip bit @p j (models a particle strike on one cell). */
+    void
+    flipBit(unsigned j)
+    {
+        assert(j < sizeBits());
+        bytes_[j / 8] ^= uint8_t(1u << (j % 8));
+    }
+
+    /** True iff every bit is zero. */
+    bool
+    isZero() const
+    {
+        for (unsigned i = 0; i < size_; ++i)
+            if (bytes_[i])
+                return false;
+        return true;
+    }
+
+    /** Number of set bits. */
+    unsigned
+    popcount() const
+    {
+        unsigned n = 0;
+        for (unsigned i = 0; i < size_; ++i)
+            n += cppc::popcount(bytes_[i]);
+        return n;
+    }
+
+    /** In-place XOR; widths must match. */
+    WideWord &
+    operator^=(const WideWord &o)
+    {
+        assert(size_ == o.size_);
+        for (unsigned i = 0; i < size_; ++i)
+            bytes_[i] ^= o.bytes_[i];
+        return *this;
+    }
+
+    friend WideWord
+    operator^(WideWord a, const WideWord &b)
+    {
+        a ^= b;
+        return a;
+    }
+
+    bool
+    operator==(const WideWord &o) const
+    {
+        return size_ == o.size_ &&
+            std::memcmp(bytes_.data(), o.bytes_.data(), size_) == 0;
+    }
+    bool operator!=(const WideWord &o) const { return !(*this == o); }
+
+    /**
+     * Rotate left by @p k bytes: result bit j == this bit (j+8k) mod width.
+     *
+     * This is the barrel-shifter operation applied to data before XORing
+     * into R1/R2 (paper Section 4.3); byte b of the result is byte
+     * (b + k) mod sizeBytes() of the original.
+     */
+    WideWord
+    rotatedLeft(unsigned k) const
+    {
+        WideWord r(size_);
+        for (unsigned b = 0; b < size_; ++b)
+            r.bytes_[b] = bytes_[(b + k) % size_];
+        return r;
+    }
+
+    /** Inverse of rotatedLeft: used to undo the rotation during recovery. */
+    WideWord
+    rotatedRight(unsigned k) const
+    {
+        WideWord r(size_);
+        for (unsigned b = 0; b < size_; ++b)
+            r.bytes_[(b + k) % size_] = bytes_[b];
+        return r;
+    }
+
+    /**
+     * Bit-granular rotate left: result bit j == this bit
+     * (j + n) mod width.  Generalises the byte shifter to arbitrary
+     * digit sizes (Section 4's N-by-N construction rotates by N-bit
+     * digits); rotatedLeftBits(8k) == rotatedLeft(k).
+     */
+    WideWord
+    rotatedLeftBits(unsigned n) const
+    {
+        n %= sizeBits();
+        if (n % 8 == 0)
+            return rotatedLeft(n / 8);
+        WideWord r(size_);
+        for (unsigned j = 0; j < sizeBits(); ++j)
+            if (bit((j + n) % sizeBits()))
+                r.setBit(j);
+        return r;
+    }
+
+    /** Inverse of rotatedLeftBits. */
+    WideWord
+    rotatedRightBits(unsigned n) const
+    {
+        n %= sizeBits();
+        return rotatedLeftBits(sizeBits() - n);
+    }
+
+    /**
+     * Extract digit @p i of @p digit_bits bits (digit 0 = bits
+     * [0, digit_bits)).  @p digit_bits <= 32.
+     */
+    uint32_t
+    digit(unsigned i, unsigned digit_bits) const
+    {
+        assert(digit_bits >= 1 && digit_bits <= 32);
+        assert((i + 1) * digit_bits <= sizeBits());
+        uint32_t v = 0;
+        for (unsigned b = 0; b < digit_bits; ++b)
+            if (bit(i * digit_bits + b))
+                v |= 1u << b;
+        return v;
+    }
+
+    /** Overwrite digit @p i of @p digit_bits bits with @p value. */
+    void
+    setDigit(unsigned i, unsigned digit_bits, uint32_t value)
+    {
+        assert(digit_bits >= 1 && digit_bits <= 32);
+        assert((i + 1) * digit_bits <= sizeBits());
+        for (unsigned b = 0; b < digit_bits; ++b)
+            setBit(i * digit_bits + b, (value >> b) & 1);
+    }
+
+    /**
+     * k-way interleaved parity (Section 3.6): parity bit i is the XOR of
+     * all data bits j with j mod k == i.
+     *
+     * @return mask whose low k bits are the parity bits.
+     */
+    uint64_t
+    interleavedParity(unsigned k) const
+    {
+        assert(k >= 1 && k <= 64);
+        if (k == 8) {
+            // Class i is the XOR of bit i of every byte: fold the bytes.
+            uint8_t fold = 0;
+            for (unsigned i = 0; i < size_; ++i)
+                fold ^= bytes_[i];
+            return fold;
+        }
+        if (k == 1)
+            return parity();
+        uint64_t p = 0;
+        for (unsigned j = 0; j < sizeBits(); ++j)
+            if (bit(j))
+                p ^= 1ull << (j % k);
+        return p;
+    }
+
+    /** Single even-parity bit over the whole word. */
+    unsigned
+    parity() const
+    {
+        unsigned acc = 0;
+        for (unsigned i = 0; i < size_; ++i)
+            acc ^= bytes_[i];
+        return cppc::popcount(acc) & 1u;
+    }
+
+    /** Hex string, most-significant byte first (for diagnostics). */
+    std::string toHex() const;
+
+    /** Uniformly random word of @p n_bytes bytes drawn from @p rng. */
+    static WideWord random(Rng &rng, unsigned n_bytes);
+
+  private:
+    std::array<uint8_t, kMaxBytes> bytes_;
+    unsigned size_;
+};
+
+} // namespace cppc
+
+#endif // CPPC_UTIL_WIDE_WORD_HH

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "util/bits.hh"
+
+namespace cppc {
+namespace {
+
+TEST(Bits, PowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 63));
+    EXPECT_FALSE(isPowerOfTwo((1ull << 63) + 1));
+}
+
+TEST(Bits, Log2i)
+{
+    EXPECT_EQ(log2i(1), 0u);
+    EXPECT_EQ(log2i(2), 1u);
+    EXPECT_EQ(log2i(1024), 10u);
+    EXPECT_EQ(log2i(1ull << 63), 63u);
+}
+
+TEST(Bits, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4), 2u);
+    EXPECT_EQ(ceilLog2(5), 3u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(Bits, BitsRange)
+{
+    EXPECT_EQ(bitsRange(0xdeadbeef, 0, 8), 0xefull);
+    EXPECT_EQ(bitsRange(0xdeadbeef, 8, 8), 0xbeull);
+    EXPECT_EQ(bitsRange(0xdeadbeef, 0, 0), 0ull);
+    EXPECT_EQ(bitsRange(~0ull, 0, 64), ~0ull);
+}
+
+TEST(Bits, SetFlipTest)
+{
+    uint64_t v = 0;
+    v = setBit(v, 5);
+    EXPECT_TRUE(testBit(v, 5));
+    v = flipBit(v, 5);
+    EXPECT_FALSE(testBit(v, 5));
+    v = setBit(v, 63);
+    EXPECT_EQ(v, 1ull << 63);
+    v = setBit(v, 63, false);
+    EXPECT_EQ(v, 0ull);
+}
+
+TEST(Bits, Parity64)
+{
+    EXPECT_EQ(parity64(0), 0u);
+    EXPECT_EQ(parity64(1), 1u);
+    EXPECT_EQ(parity64(3), 0u);
+    EXPECT_EQ(parity64(7), 1u);
+    EXPECT_EQ(parity64(~0ull), 0u);
+}
+
+TEST(Bits, InterleavedParity64MatchesDefinition)
+{
+    // Exhaustive cross-check against the definition for a few k.
+    uint64_t samples[] = {0ull, 1ull, 0x8000000000000001ull,
+                          0xdeadbeefcafebabeull, ~0ull,
+                          0x0101010101010101ull};
+    for (unsigned k : {1u, 2u, 4u, 8u, 16u}) {
+        for (uint64_t v : samples) {
+            uint64_t expect = 0;
+            for (unsigned j = 0; j < 64; ++j)
+                if ((v >> j) & 1)
+                    expect ^= 1ull << (j % k);
+            EXPECT_EQ(interleavedParity64(v, k), expect)
+                << "k=" << k << " v=" << v;
+        }
+    }
+}
+
+TEST(Bits, InterleavedParityDetectsUpTo8AdjacentFlips)
+{
+    // Section 3.6: 8-way interleaved parity detects every spatial fault
+    // flipping 1..8 adjacent bits in a word.
+    uint64_t word = 0xdeadbeefcafebabeull;
+    uint64_t base = interleavedParity64(word, 8);
+    for (unsigned width = 1; width <= 8; ++width) {
+        for (unsigned start = 0; start + width <= 64; ++start) {
+            uint64_t mask =
+                (width == 64 ? ~0ull : ((1ull << width) - 1)) << start;
+            uint64_t flipped = word ^ mask;
+            EXPECT_NE(interleavedParity64(flipped, 8), base)
+                << "width=" << width << " start=" << start;
+        }
+    }
+}
+
+TEST(Bits, InterleavedParityBlindToDistance8Pairs)
+{
+    // Two flips at distance exactly 8 share a parity class: the classic
+    // undetectable even fault outside the 8-bit envelope.
+    uint64_t word = 0x0123456789abcdefull;
+    uint64_t base = interleavedParity64(word, 8);
+    uint64_t flipped = word ^ ((1ull << 3) | (1ull << 11));
+    EXPECT_EQ(interleavedParity64(flipped, 8), base);
+}
+
+TEST(Bits, Align)
+{
+    EXPECT_EQ(alignDown(0x1234, 0x100), 0x1200ull);
+    EXPECT_EQ(alignUp(0x1234, 0x100), 0x1300ull);
+    EXPECT_EQ(alignUp(0x1200, 0x100), 0x1200ull);
+}
+
+} // namespace
+} // namespace cppc

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "cppc/cppc_scheme.hh"
+#include "fault/campaign.hh"
+#include "protection/parity.hh"
+#include "protection/secded.hh"
+#include "test_helpers.hh"
+#include "util/rng.hh"
+
+namespace cppc {
+namespace {
+
+using test::Harness;
+using test::smallGeometry;
+
+void
+populate(Harness &h, double dirty_fraction = 0.5, uint64_t seed = 3)
+{
+    Rng rng(seed);
+    const CacheGeometry &g = h.cache->geometry();
+    for (Addr a = 0; a < g.size_bytes; a += 8) {
+        if (rng.chance(dirty_fraction)) {
+            uint64_t v = rng.next();
+            uint8_t buf[8];
+            std::memcpy(buf, &v, 8);
+            h.cache->store(a, 8, buf);
+        } else {
+            h.cache->load(a, 8, nullptr);
+        }
+    }
+}
+
+TEST(Injector, AppliesOnlyValidRows)
+{
+    Harness h(smallGeometry(), std::make_unique<OneDimParityScheme>(8));
+    h.cache->storeWord(0x0, 1); // only line 0 valid
+    FaultInjector inj(*h.cache);
+    Strike s;
+    s.bits = {{0, 5}, {3, 7}, {100, 1}}; // rows 0,3 valid; 100 invalid
+    auto rows = inj.apply(s);
+    EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST(Injector, DeduplicatesRows)
+{
+    Harness h(smallGeometry(), std::make_unique<OneDimParityScheme>(8));
+    h.cache->storeWord(0x0, 1);
+    FaultInjector inj(*h.cache);
+    Strike s;
+    s.bits = {{0, 5}, {0, 6}, {0, 7}};
+    EXPECT_EQ(inj.apply(s).size(), 1u);
+}
+
+TEST(Campaign, Deterministic)
+{
+    for (int rep = 0; rep < 2; ++rep) {
+        Harness h(smallGeometry(), std::make_unique<CppcScheme>());
+        populate(h);
+        Campaign::Config cc;
+        cc.injections = 300;
+        cc.seed = 11;
+        cc.shapes = StrikeShapeDistribution::scaledTechnologyMix(0.5);
+        static CampaignResult first;
+        CampaignResult r = Campaign(*h.cache, cc).run();
+        if (rep == 0) {
+            first = r;
+        } else {
+            EXPECT_EQ(r.corrected, first.corrected);
+            EXPECT_EQ(r.due, first.due);
+            EXPECT_EQ(r.sdc, first.sdc);
+        }
+    }
+}
+
+TEST(Campaign, RestoresCacheState)
+{
+    Harness h(smallGeometry(), std::make_unique<CppcScheme>());
+    populate(h);
+    std::vector<uint64_t> before;
+    for (Row r = 0; r < h.cache->geometry().numRows(); ++r)
+        before.push_back(h.cache->rowValid(r)
+                             ? h.cache->rowData(r).toUint64()
+                             : 0);
+    Campaign::Config cc;
+    cc.injections = 500;
+    cc.seed = 13;
+    cc.shapes = StrikeShapeDistribution::scaledTechnologyMix(0.7);
+    Campaign(*h.cache, cc).run();
+    for (Row r = 0; r < h.cache->geometry().numRows(); ++r) {
+        uint64_t now =
+            h.cache->rowValid(r) ? h.cache->rowData(r).toUint64() : 0;
+        ASSERT_EQ(now, before[r]) << "row " << r;
+    }
+}
+
+TEST(Campaign, SingleBitsOnCppcAllCorrected)
+{
+    Harness h(smallGeometry(), std::make_unique<CppcScheme>());
+    populate(h, 1.0);
+    Campaign::Config cc;
+    cc.injections = 500;
+    cc.seed = 17;
+    CampaignResult r = Campaign(*h.cache, cc).run();
+    EXPECT_EQ(r.corrected, 500u);
+    EXPECT_EQ(r.due, 0u);
+    EXPECT_EQ(r.sdc, 0u);
+}
+
+TEST(Campaign, SingleBitsOnParityDirtyAreDue)
+{
+    Harness h(smallGeometry(), std::make_unique<OneDimParityScheme>(8));
+    populate(h, 1.0); // everything dirty
+    Campaign::Config cc;
+    cc.injections = 300;
+    cc.seed = 19;
+    CampaignResult r = Campaign(*h.cache, cc).run();
+    EXPECT_EQ(r.due, 300u);
+    EXPECT_EQ(r.coverage(), 0.0);
+}
+
+TEST(Campaign, ParityCleanDataRefetches)
+{
+    Harness h(smallGeometry(), std::make_unique<OneDimParityScheme>(8));
+    populate(h, 0.0); // everything clean
+    Campaign::Config cc;
+    cc.injections = 300;
+    cc.seed = 23;
+    CampaignResult r = Campaign(*h.cache, cc).run();
+    EXPECT_EQ(r.corrected, 300u);
+}
+
+TEST(Campaign, RunOneClassifiesFixedStrike)
+{
+    Harness h(smallGeometry(), std::make_unique<CppcScheme>());
+    populate(h, 1.0);
+    Campaign::Config cc;
+    Campaign c(*h.cache, cc);
+    // A 2x2 strike inside the envelope: corrected.
+    Strike s;
+    s.bits = {{4, 10}, {4, 11}, {5, 10}, {5, 11}};
+    EXPECT_EQ(c.runOne(s), InjectionOutcome::Corrected);
+    // Two faults in the same rotation class: DUE.
+    Strike bad;
+    bad.bits = {{0, 3}, {8, 3}};
+    EXPECT_EQ(c.runOne(bad), InjectionOutcome::Due);
+    // Empty / invalid-row strike: benign.
+    Strike none;
+    none.bits = {{4000, 1}};
+    EXPECT_EQ(c.runOne(none), InjectionOutcome::Benign);
+}
+
+TEST(Campaign, DetectsSdcOnUnprotectedBlindSpot)
+{
+    // Parity's even-fault blind spot must be reported as SDC.
+    Harness h(smallGeometry(), std::make_unique<OneDimParityScheme>(8));
+    populate(h, 1.0);
+    Campaign::Config cc;
+    Campaign c(*h.cache, cc);
+    Strike s;
+    s.bits = {{2, 0}, {2, 8}}; // same parity class, one word
+    EXPECT_EQ(c.runOne(s), InjectionOutcome::Sdc);
+}
+
+TEST(Campaign, PhysicalInterleavingScattersStrikes)
+{
+    // With 8-way interleaving an 8-bit horizontal strike hits 8
+    // different words with one bit each: SECDED corrects all of them,
+    // while without interleaving the same strike often defeats it.
+    auto run = [&](unsigned ilv) {
+        Harness h(smallGeometry(), std::make_unique<SecdedScheme>(ilv));
+        populate(h, 1.0);
+        Campaign::Config cc;
+        cc.injections = 400;
+        cc.seed = 29;
+        StrikeShapeDistribution d;
+        d.add({1, 8, 1.0}, 1.0); // horizontal 8-bit strikes
+        cc.shapes = d;
+        cc.physical_interleave = ilv;
+        return Campaign(*h.cache, cc).run();
+    };
+    CampaignResult with = run(8);
+    CampaignResult without = run(1);
+    EXPECT_EQ(with.sdc, 0u);
+    EXPECT_EQ(with.due, 0u);
+    EXPECT_EQ(with.corrected, 400u);
+    EXPECT_LT(without.coverage(), 0.5);
+}
+
+TEST(Campaign, CoverageAccessorMath)
+{
+    CampaignResult r;
+    r.injections = 10;
+    r.benign = 2;
+    r.corrected = 6;
+    r.due = 1;
+    r.sdc = 1;
+    EXPECT_DOUBLE_EQ(r.rate(r.corrected), 0.6);
+    EXPECT_DOUBLE_EQ(r.coverage(), 6.0 / 8.0);
+}
+
+} // namespace
+} // namespace cppc

@@ -1,0 +1,434 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "cppc/cppc_scheme.hh"
+#include "test_helpers.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace cppc {
+namespace {
+
+using test::Harness;
+using test::smallGeometry;
+
+Harness
+makeHarness(CppcConfig cfg = CppcConfig{})
+{
+    return Harness(smallGeometry(), std::make_unique<CppcScheme>(cfg));
+}
+
+CppcScheme *
+scheme(Harness &h)
+{
+    return static_cast<CppcScheme *>(h.cache->scheme());
+}
+
+TEST(CppcBasic, PaperFigure3Example)
+{
+    // Two stores; a particle strike flips the MSB of word 0; the load
+    // detects it and recovery XORs R1, R2 and word 1 back into the
+    // correct value.
+    Harness h = makeHarness();
+    h.cache->storeWord(0x0, 0x0000);
+    h.cache->storeWord(0x8, 0x8000000000000000ull);
+    h.cache->corruptBit(0, 63);
+    auto out = h.cache->load(0x0, 8, nullptr);
+    EXPECT_TRUE(out.fault_detected);
+    EXPECT_FALSE(out.due);
+    EXPECT_EQ(h.cache->loadWord(0x0), 0x0ull);
+    EXPECT_EQ(scheme(h)->stats().corrected_dirty, 1u);
+}
+
+TEST(CppcBasic, InvariantR1XorR2EqualsDirtyXor)
+{
+    // The Section 3 invariant under arbitrary traffic: stores,
+    // overwrites, partial stores, evictions, refills.
+    Harness h = makeHarness();
+    Rng rng(101);
+    for (int i = 0; i < 8000; ++i) {
+        Addr a = rng.nextBelow(1024) * 8; // 8 KiB set vs 1 KiB cache
+        double roll = rng.nextDouble();
+        if (roll < 0.35) {
+            h.cache->storeWord(a, rng.next());
+        } else if (roll < 0.45) {
+            uint8_t b = static_cast<uint8_t>(rng.next());
+            h.cache->store(a + rng.nextBelow(8), 1, &b);
+        } else {
+            h.cache->loadWord(a);
+        }
+        if (i % 1000 == 0) {
+            ASSERT_TRUE(scheme(h)->invariantHolds()) << "iteration " << i;
+        }
+    }
+    EXPECT_TRUE(scheme(h)->invariantHolds());
+    EXPECT_EQ(scheme(h)->stats().detections, 0u);
+}
+
+TEST(CppcBasic, InvariantWithManyDomainsAndPairs)
+{
+    for (unsigned domains : {1u, 2u, 4u}) {
+        for (unsigned pairs : {1u, 2u, 4u, 8u}) {
+            CppcConfig cfg;
+            cfg.num_domains = domains;
+            cfg.pairs_per_domain = pairs;
+            Harness h = makeHarness(cfg);
+            Rng rng(300 + domains * 10 + pairs);
+            for (int i = 0; i < 2000; ++i) {
+                Addr a = rng.nextBelow(512) * 8;
+                if (rng.chance(0.5))
+                    h.cache->storeWord(a, rng.next());
+                else
+                    h.cache->loadWord(a);
+            }
+            EXPECT_TRUE(scheme(h)->invariantHolds())
+                << "D=" << domains << " P=" << pairs;
+        }
+    }
+}
+
+TEST(CppcBasic, EverySingleBitPositionInDirtyWordsCorrectable)
+{
+    Harness h = makeHarness();
+    h.dirtyAllRows();
+    Rng rng(103);
+    for (int rep = 0; rep < 200; ++rep) {
+        Row r = static_cast<Row>(rng.nextBelow(h.cache->geometry().numRows()));
+        unsigned bit = static_cast<unsigned>(rng.nextBelow(64));
+        uint64_t good = h.cache->rowData(r).toUint64();
+        h.cache->corruptBit(r, bit);
+        auto out = h.cache->load(h.addrOfRow(r), 8, nullptr);
+        ASSERT_TRUE(out.fault_detected);
+        ASSERT_FALSE(out.due) << "row " << r << " bit " << bit;
+        ASSERT_EQ(h.cache->rowData(r).toUint64(), good);
+        ASSERT_TRUE(scheme(h)->invariantHolds());
+    }
+}
+
+TEST(CppcBasic, OddMultiBitFaultInOneDirtyWordCorrectable)
+{
+    // Section 3.4: the basic mechanism corrects any parity-visible
+    // fault confined to one dirty word, not just single bits.
+    Harness h = makeHarness();
+    h.dirtyAllRows();
+    uint64_t good = h.cache->rowData(5).toUint64();
+    for (unsigned bit : {1u, 10u, 22u, 35u, 60u}) // distinct classes
+        h.cache->corruptBit(5, bit);
+    auto out = h.cache->load(h.addrOfRow(5), 8, nullptr);
+    EXPECT_FALSE(out.due);
+    EXPECT_EQ(h.cache->rowData(5).toUint64(), good);
+}
+
+TEST(CppcBasic, CleanFaultConvertedToMiss)
+{
+    Harness h = makeHarness();
+    uint8_t seed[8] = {0xca, 0xfe, 0xba, 0xbe, 0, 0, 0, 0};
+    h.mem.poke(0x0, seed, 8);
+    uint64_t good = h.cache->loadWord(0x0);
+    uint64_t mem_reads = h.mem.reads();
+    h.cache->corruptBit(0, 7);
+    auto out = h.cache->load(0x0, 8, nullptr);
+    EXPECT_FALSE(out.due);
+    EXPECT_EQ(h.cache->loadWord(0x0), good);
+    EXPECT_EQ(scheme(h)->stats().refetched_clean, 1u);
+    EXPECT_GT(h.mem.reads(), mem_reads); // really refetched from below
+}
+
+TEST(CppcBasic, PaperFigure4BasicCppcFailsVerticalFault)
+{
+    // Basic CPPC (no byte shifting): a vertical 2-bit fault in the
+    // same bit of two adjacent dirty words defeats R1/R2.
+    CppcConfig cfg;
+    cfg.byte_shifting = false;
+    Harness h = makeHarness(cfg);
+    h.cache->storeWord(0x0, 0);
+    h.cache->storeWord(0x8, 0);
+    h.cache->corruptBit(0, 63);
+    h.cache->corruptBit(1, 63);
+    auto out = h.cache->load(0x0, 8, nullptr);
+    EXPECT_TRUE(out.fault_detected);
+    EXPECT_TRUE(out.due);
+}
+
+TEST(CppcBasic, PaperFigure5ByteShiftingCorrectsVerticalFault)
+{
+    Harness h = makeHarness(); // shifting on by default
+    h.cache->storeWord(0x0, 0);
+    h.cache->storeWord(0x8, 0);
+    h.cache->corruptBit(0, 63);
+    h.cache->corruptBit(1, 63);
+    auto out = h.cache->load(0x0, 8, nullptr);
+    EXPECT_TRUE(out.fault_detected);
+    EXPECT_FALSE(out.due);
+    EXPECT_EQ(h.cache->rowData(0).toUint64(), 0u);
+    EXPECT_EQ(h.cache->rowData(1).toUint64(), 0u);
+    EXPECT_EQ(scheme(h)->stats().corrected_dirty, 2u);
+}
+
+TEST(CppcBasic, MorePairsInsteadOfShiftingSection411)
+{
+    // P = C = 8: every class has its own register pair, no rotation
+    // needed, vertical faults are trivially separable.
+    CppcConfig cfg;
+    cfg.pairs_per_domain = 8;
+    cfg.byte_shifting = false;
+    Harness h = makeHarness(cfg);
+    for (Row r = 0; r < 8; ++r)
+        EXPECT_EQ(scheme(h)->rotationOf(r), 0u);
+    h.cache->storeWord(0x0, 0x1111);
+    h.cache->storeWord(0x8, 0x2222);
+    h.cache->corruptBit(0, 5);
+    h.cache->corruptBit(1, 5);
+    auto out = h.cache->load(0x0, 8, nullptr);
+    EXPECT_FALSE(out.due);
+    EXPECT_EQ(h.cache->rowData(0).toUint64(), 0x1111u);
+    EXPECT_EQ(h.cache->rowData(1).toUint64(), 0x2222u);
+}
+
+TEST(CppcBasic, RowGeometryMapping)
+{
+    CppcConfig cfg;
+    cfg.pairs_per_domain = 2;
+    cfg.num_domains = 2;
+    Harness h = makeHarness(cfg);
+    CppcScheme *s = scheme(h);
+    // 128 rows, 2 domains of 64 rows; classes 0-3 -> pair 0 (rot 0-3),
+    // classes 4-7 -> pair 1 (rot 0-3), per Section 4.6.
+    EXPECT_EQ(s->classOf(9), 1u);
+    EXPECT_EQ(s->domainOf(10), 0u);
+    EXPECT_EQ(s->domainOf(100), 1u);
+    EXPECT_EQ(s->pairOf(2), 0u);
+    EXPECT_EQ(s->pairOf(5), 1u);
+    EXPECT_EQ(s->rotationOf(2), 2u);
+    EXPECT_EQ(s->rotationOf(5), 1u);
+    EXPECT_EQ(s->rotationOf(10), 2u); // class 2
+}
+
+TEST(CppcBasic, FaultCaughtOnReadBeforeWrite)
+{
+    // A store to a dirty word reads the old value first; a latent
+    // fault there must be corrected before it poisons R2.
+    Harness h = makeHarness();
+    h.cache->storeWord(0x0, 0xAAAA);
+    h.cache->storeWord(0x8, 0xBBBB);
+    h.cache->corruptBit(0, 12);
+    auto out = h.cache->storeWord(0x0, 0xCCCC); // dirty overwrite
+    EXPECT_TRUE(out.fault_detected);
+    EXPECT_FALSE(out.due);
+    EXPECT_TRUE(out.rbw);
+    EXPECT_EQ(h.cache->loadWord(0x0), 0xCCCCull);
+    EXPECT_TRUE(scheme(h)->invariantHolds());
+}
+
+TEST(CppcBasic, FaultCaughtOnWritebackBeforeEviction)
+{
+    CacheGeometry g = smallGeometry();
+    Harness h(g, std::make_unique<CppcScheme>());
+    h.cache->storeWord(0x0, 0x7777);
+    h.cache->storeWord(0x8, 0x8888);
+    h.cache->corruptBit(0, 3);
+    // Force the eviction of the faulty dirty line.
+    h.cache->loadWord(0x0 + g.size_bytes);
+    uint8_t out[8];
+    h.mem.peek(0x0, out, 8);
+    uint64_t v;
+    std::memcpy(&v, out, 8);
+    EXPECT_EQ(v, 0x7777ull); // corrected value was written back
+    EXPECT_TRUE(scheme(h)->invariantHolds());
+}
+
+TEST(CppcBasic, RbwOnlyForDirtyOverwritesAndPartialCleanStores)
+{
+    Harness h = makeHarness();
+    auto a = h.cache->storeWord(0x0, 1); // clean word, full store
+    EXPECT_FALSE(a.rbw);
+    auto b = h.cache->storeWord(0x0, 2); // dirty overwrite
+    EXPECT_TRUE(b.rbw);
+    uint8_t byte = 0xee;
+    auto c = h.cache->store(0x10, 1, &byte); // partial store to clean
+    EXPECT_TRUE(c.rbw);
+    EXPECT_EQ(scheme(h)->stats().rbw_words, 2u);
+}
+
+TEST(CppcBasic, PartialStoreKeepsInvariantAndCorrects)
+{
+    Harness h = makeHarness();
+    h.cache->storeWord(0x0, 0x1111111111111111ull);
+    uint8_t byte = 0x77;
+    h.cache->store(0x3, 1, &byte);
+    ASSERT_TRUE(scheme(h)->invariantHolds());
+    uint64_t good = h.cache->loadWord(0x0);
+    h.cache->corruptBit(0, 30);
+    auto out = h.cache->load(0x0, 8, nullptr);
+    EXPECT_FALSE(out.due);
+    EXPECT_EQ(h.cache->loadWord(0x0), good);
+}
+
+TEST(CppcBasic, TwoFaultsInSameProtectionDomainAreDue)
+{
+    // Two temporal faults in the same parity class of two dirty words
+    // with the same rotation (rows 8 apart) defeat one register pair.
+    Harness h = makeHarness();
+    h.cache->storeWord(0x0, 0);
+    Addr a2 = h.addrOfRow(8); // same rotation class as row 0
+    h.cache->storeWord(a2, 0);
+    h.cache->corruptBit(0, 0);
+    h.cache->corruptBit(8, 0);
+    auto out = h.cache->load(0x0, 8, nullptr);
+    EXPECT_TRUE(out.due);
+}
+
+TEST(CppcBasic, DomainSplittingIsolatesFaults)
+{
+    // Section 3.4: with two domains, simultaneous faults in different
+    // halves of the cache are corrected independently.
+    CppcConfig cfg;
+    cfg.num_domains = 2;
+    Harness h = makeHarness(cfg);
+    h.dirtyAllRows();
+    Row r1 = 3, r2 = 64 + 3; // same class, different domains
+    ASSERT_NE(scheme(h)->domainOf(r1), scheme(h)->domainOf(r2));
+    uint64_t g1 = h.cache->rowData(r1).toUint64();
+    uint64_t g2 = h.cache->rowData(r2).toUint64();
+    h.cache->corruptBit(r1, 9);
+    h.cache->corruptBit(r2, 9);
+    auto out = h.cache->load(h.addrOfRow(r1), 8, nullptr);
+    EXPECT_FALSE(out.due);
+    EXPECT_EQ(h.cache->rowData(r1).toUint64(), g1);
+    EXPECT_EQ(h.cache->rowData(r2).toUint64(), g2);
+}
+
+TEST(CppcBasic, L2BlockGranularity)
+{
+    // Section 3.5: unit = L1 block (32 bytes), registers 256 bits.
+    CacheGeometry g = smallGeometry(32);
+    CppcConfig cfg;
+    Harness h(g, std::make_unique<CppcScheme>(cfg));
+    uint8_t block[32];
+    for (unsigned i = 0; i < 32; ++i)
+        block[i] = static_cast<uint8_t>(3 * i + 1);
+    h.cache->store(0x0, 32, block);
+    uint8_t block2[32];
+    for (unsigned i = 0; i < 32; ++i)
+        block2[i] = static_cast<uint8_t>(7 * i + 5);
+    h.cache->store(0x20, 32, block2);
+    h.cache->corruptBit(0, 100);
+    h.cache->corruptBit(0, 101);
+    h.cache->corruptBit(0, 102);
+    auto out = h.cache->load(0x0, 32, nullptr);
+    EXPECT_FALSE(out.due);
+    uint8_t got[32];
+    h.cache->load(0x0, 32, got);
+    EXPECT_EQ(std::memcmp(block, got, 32), 0);
+    EXPECT_EQ(scheme(h)->registers().unitBytes(), 32u);
+}
+
+TEST(CppcBasic, RegisterFaultDetectedAndScrubbed)
+{
+    // Section 4.9: registers carry parity; a register fault is
+    // rebuilt from the dirty cache contents.
+    Harness h = makeHarness();
+    h.cache->storeWord(0x0, 0xAB);
+    h.cache->storeWord(0x40, 0xCD);
+    EXPECT_TRUE(scheme(h)->registersOk());
+    scheme(h)->injectRegisterFault(0, 0, XorRegisterFile::Which::R1, 20);
+    EXPECT_FALSE(scheme(h)->registersOk());
+    EXPECT_FALSE(scheme(h)->invariantHolds());
+    ASSERT_TRUE(scheme(h)->scrubRegisters());
+    EXPECT_TRUE(scheme(h)->registersOk());
+    EXPECT_TRUE(scheme(h)->invariantHolds());
+    // Correction capability restored.
+    h.cache->corruptBit(0, 1);
+    auto out = h.cache->load(0x0, 8, nullptr);
+    EXPECT_FALSE(out.due);
+    EXPECT_EQ(h.cache->loadWord(0x0), 0xABull);
+}
+
+TEST(CppcBasic, ScrubRefusedWhileDirtyDataFaulty)
+{
+    Harness h = makeHarness();
+    h.cache->storeWord(0x0, 0xEF);
+    h.cache->corruptBit(0, 4);
+    EXPECT_FALSE(scheme(h)->scrubRegisters());
+}
+
+TEST(CppcBasic, TemporalAliasingSdcHazardSection47)
+{
+    // The documented hazard: two temporal faults laid out like a
+    // rotated vertical strike are "corrected" into a 4-bit SDC.
+    Harness h = makeHarness();
+    h.cache->storeWord(0x0, 0);
+    h.cache->storeWord(0x8, 0);
+    h.cache->corruptBit(0, 56);
+    h.cache->corruptBit(1, 8);
+    auto out = h.cache->load(0x0, 8, nullptr);
+    EXPECT_TRUE(out.fault_detected);
+    EXPECT_FALSE(out.due); // the locator believes it succeeded
+    // Both words now have TWO flipped bits and parity is silent.
+    EXPECT_EQ(h.cache->rowData(0).toUint64(), (1ull << 56) | 1ull);
+    EXPECT_EQ(h.cache->rowData(1).toUint64(), (1ull << 8) | 1ull);
+    auto out2 = h.cache->load(0x0, 8, nullptr);
+    EXPECT_FALSE(out2.fault_detected); // silent corruption
+}
+
+TEST(CppcBasic, MorePairsEliminateThatAliasing)
+{
+    // Section 4.7: with 8 register pairs the two faults fall into
+    // different pairs and are corrected independently.
+    CppcConfig cfg;
+    cfg.pairs_per_domain = 8;
+    cfg.byte_shifting = false;
+    Harness h = makeHarness(cfg);
+    h.cache->storeWord(0x0, 0);
+    h.cache->storeWord(0x8, 0);
+    h.cache->corruptBit(0, 56);
+    h.cache->corruptBit(1, 8);
+    auto out = h.cache->load(0x0, 8, nullptr);
+    EXPECT_FALSE(out.due);
+    EXPECT_EQ(h.cache->rowData(0).toUint64(), 0u);
+    EXPECT_EQ(h.cache->rowData(1).toUint64(), 0u);
+}
+
+TEST(CppcBasic, ConfigValidation)
+{
+    CacheGeometry g = smallGeometry();
+    CppcConfig bad;
+    bad.pairs_per_domain = 3; // does not divide 8
+    EXPECT_THROW(bad.validate(g), FatalError);
+
+    CppcConfig wide;
+    wide.num_classes = 16; // 16 rotations > 8 bytes
+    EXPECT_THROW(wide.validate(g), FatalError);
+
+    CppcConfig parity;
+    parity.parity_ways = 4; // spatial machinery requires 8
+    EXPECT_THROW(parity.validate(g), FatalError);
+
+    CppcConfig domains;
+    domains.num_domains = 7; // does not divide 128 rows
+    EXPECT_THROW(domains.validate(g), FatalError);
+
+    CppcConfig good;
+    good.num_classes = 8;
+    good.pairs_per_domain = 2;
+    good.num_domains = 4;
+    EXPECT_NO_THROW(good.validate(g));
+}
+
+TEST(CppcBasic, AreaFootprint)
+{
+    Harness h = makeHarness();
+    // 128 rows x 8 parity bits + 2 registers x (64 + 1 parity).
+    EXPECT_EQ(h.cache->scheme()->codeBitsTotal(), 128u * 8 + 2 * 65);
+    EXPECT_EQ(h.cache->scheme()->bitlineOverheadFactor(), 1.0);
+}
+
+TEST(CppcBasic, Name)
+{
+    CppcScheme s{CppcConfig{}};
+    EXPECT_EQ(s.name(), "cppc-k8-c8-p1-d1-shift");
+}
+
+} // namespace
+} // namespace cppc

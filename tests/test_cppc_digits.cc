@@ -1,0 +1,225 @@
+/**
+ * @file
+ * The Section 4 N-by-N generalisation: CPPC with 4-bit digits (4-way
+ * parity + nibble shifting, a 4x4 spatial envelope) and 16-bit digits,
+ * validated against the same battery as the byte design.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cppc/cppc_scheme.hh"
+#include "test_helpers.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace cppc {
+namespace {
+
+using test::Harness;
+using test::smallGeometry;
+
+CppcConfig
+nibbleConfig()
+{
+    CppcConfig cfg;
+    cfg.digit_bits = 4;
+    cfg.parity_ways = 4;
+    cfg.num_classes = 4;
+    return cfg;
+}
+
+CppcScheme *
+scheme(Harness &h)
+{
+    return static_cast<CppcScheme *>(h.cache->scheme());
+}
+
+std::vector<uint64_t>
+snapshot(Harness &h)
+{
+    std::vector<uint64_t> v;
+    for (Row r = 0; r < h.cache->geometry().numRows(); ++r)
+        v.push_back(h.cache->rowData(r).toUint64());
+    return v;
+}
+
+TEST(WideWordDigits, BitRotationConvention)
+{
+    Rng rng(3);
+    WideWord w = WideWord::random(rng, 8);
+    WideWord r = w.rotatedLeftBits(4);
+    for (unsigned j = 0; j < 64; ++j)
+        EXPECT_EQ(r.bit(j), w.bit((j + 4) % 64));
+    EXPECT_EQ(w.rotatedLeftBits(16), w.rotatedLeft(2));
+    EXPECT_EQ(w.rotatedLeftBits(12).rotatedRightBits(12), w);
+    EXPECT_EQ(w.rotatedLeftBits(64), w);
+}
+
+TEST(WideWordDigits, DigitAccessors)
+{
+    WideWord w = WideWord::fromUint64(0xFEDCBA9876543210ull);
+    EXPECT_EQ(w.digit(0, 4), 0x0u);
+    EXPECT_EQ(w.digit(1, 4), 0x1u);
+    EXPECT_EQ(w.digit(15, 4), 0xFu);
+    EXPECT_EQ(w.digit(0, 16), 0x3210u);
+    w.setDigit(2, 4, 0x7);
+    EXPECT_EQ(w.toUint64(), 0xFEDCBA9876543710ull);
+}
+
+TEST(WideWordDigits, NibbleRotationPreserves4WayParity)
+{
+    Rng rng(5);
+    WideWord w = WideWord::random(rng, 8);
+    for (unsigned k = 0; k < 16; ++k)
+        EXPECT_EQ(w.rotatedLeftBits(4 * k).interleavedParity(4),
+                  w.interleavedParity(4));
+}
+
+TEST(CppcDigits, InvariantUnderTraffic4x4)
+{
+    Harness h(smallGeometry(), std::make_unique<CppcScheme>(nibbleConfig()));
+    Rng rng(7);
+    for (int i = 0; i < 5000; ++i) {
+        Addr a = rng.nextBelow(512) * 8;
+        if (rng.chance(0.5))
+            h.cache->storeWord(a, rng.next());
+        else
+            h.cache->loadWord(a);
+    }
+    EXPECT_TRUE(scheme(h)->invariantHolds());
+    EXPECT_EQ(scheme(h)->stats().detections, 0u);
+}
+
+TEST(CppcDigits, SingleFaultsRecover4x4)
+{
+    Harness h(smallGeometry(), std::make_unique<CppcScheme>(nibbleConfig()));
+    h.dirtyAllRows();
+    Rng rng(11);
+    for (int rep = 0; rep < 100; ++rep) {
+        Row r = static_cast<Row>(rng.nextBelow(128));
+        uint64_t good = h.cache->rowData(r).toUint64();
+        h.cache->corruptBit(r, static_cast<unsigned>(rng.nextBelow(64)));
+        auto out = h.cache->load(h.addrOfRow(r), 8, nullptr);
+        ASSERT_FALSE(out.due);
+        ASSERT_EQ(h.cache->rowData(r).toUint64(), good);
+    }
+}
+
+TEST(CppcDigits, DenseRectanglesWithin4x4Corrected)
+{
+    Harness h(smallGeometry(), std::make_unique<CppcScheme>(nibbleConfig()));
+    h.dirtyAllRows();
+    std::vector<uint64_t> golden = snapshot(h);
+    for (unsigned height = 2; height <= 3; ++height) {
+        for (unsigned width = 1; width <= 4; ++width) {
+            for (unsigned c0 = 0; c0 + width <= 64; c0 += 7) {
+                for (Row r0 : {0u, 5u, 40u}) {
+                    for (Row r = r0; r < r0 + height; ++r)
+                        for (unsigned c = c0; c < c0 + width; ++c)
+                            h.cache->corruptBit(r, c);
+                    auto out = h.cache->load(h.addrOfRow(r0), 8, nullptr);
+                    ASSERT_TRUE(out.fault_detected);
+                    ASSERT_FALSE(out.due)
+                        << "h=" << height << " w=" << width
+                        << " c0=" << c0 << " r0=" << r0;
+                    for (Row r = 0; r < 128; ++r)
+                        ASSERT_EQ(h.cache->rowData(r).toUint64(),
+                                  golden[r]);
+                }
+            }
+        }
+    }
+}
+
+TEST(CppcDigits, EnvelopeIsSmallerThan8x8)
+{
+    // A 6-row vertical strike fits the byte design's 8-row envelope
+    // but exceeds the nibble design's 4 classes: rows 0 and 4 share a
+    // rotation -> DUE with 4x4, corrected with 8x8.
+    {
+        Harness h(smallGeometry(),
+                  std::make_unique<CppcScheme>(nibbleConfig()));
+        h.dirtyAllRows();
+        for (Row r = 0; r < 6; ++r)
+            h.cache->corruptBit(r, 10);
+        auto out = h.cache->load(h.addrOfRow(0), 8, nullptr);
+        EXPECT_TRUE(out.due);
+    }
+    {
+        Harness h(smallGeometry(), std::make_unique<CppcScheme>());
+        h.dirtyAllRows();
+        std::vector<uint64_t> golden = snapshot(h);
+        for (Row r = 0; r < 6; ++r)
+            h.cache->corruptBit(r, 10);
+        auto out = h.cache->load(h.addrOfRow(0), 8, nullptr);
+        EXPECT_FALSE(out.due);
+        for (Row r = 0; r < 128; ++r)
+            ASSERT_EQ(h.cache->rowData(r).toUint64(), golden[r]);
+    }
+}
+
+TEST(CppcDigits, AreaHalvesWithSmallerDigits)
+{
+    // Section 5.3's trade: 4-way parity stores half the code bits of
+    // 8-way for the same cache.
+    Harness h4(smallGeometry(), std::make_unique<CppcScheme>(nibbleConfig()));
+    Harness h8(smallGeometry(), std::make_unique<CppcScheme>());
+    uint64_t regs = 2 * 65; // identical register cost
+    EXPECT_EQ(h4.cache->scheme()->codeBitsTotal() - regs,
+              (h8.cache->scheme()->codeBitsTotal() - regs) / 2);
+}
+
+TEST(CppcDigits, SixteenBitDigitsOnWideUnits)
+{
+    // 16-bit digits on a 32-byte (L2) unit: 16 digit positions, a
+    // 16x16 envelope with C=16 classes.
+    CacheGeometry g = test::smallGeometry(32);
+    CppcConfig cfg;
+    cfg.digit_bits = 16;
+    cfg.parity_ways = 16;
+    cfg.num_classes = 16;
+    Harness h(g, std::make_unique<CppcScheme>(cfg));
+    Rng rng(13);
+    for (Row r = 0; r < g.numRows(); ++r) {
+        uint8_t block[32];
+        for (unsigned i = 0; i < 32; ++i)
+            block[i] = static_cast<uint8_t>(rng.next());
+        h.cache->store(h.addrOfRow(r), 32, block);
+    }
+    ASSERT_TRUE(scheme(h)->invariantHolds());
+    // Vertical pair inside the envelope.
+    WideWord g0 = h.cache->rowData(4), g1 = h.cache->rowData(5);
+    h.cache->corruptBit(4, 33);
+    h.cache->corruptBit(5, 33);
+    auto out = h.cache->load(h.addrOfRow(4), 32, nullptr);
+    EXPECT_FALSE(out.due);
+    EXPECT_EQ(h.cache->rowData(4), g0);
+    EXPECT_EQ(h.cache->rowData(5), g1);
+}
+
+TEST(CppcDigits, ConfigValidation)
+{
+    CacheGeometry g = smallGeometry();
+    CppcConfig bad;
+    bad.digit_bits = 5; // does not divide 64
+    EXPECT_THROW(bad.validate(g), FatalError);
+
+    CppcConfig mismatch = nibbleConfig();
+    mismatch.parity_ways = 8; // parity must equal digit size
+    EXPECT_THROW(mismatch.validate(g), FatalError);
+
+    CppcConfig too_many = nibbleConfig();
+    too_many.num_classes = 32; // 32 rotations > 16 nibbles
+    EXPECT_THROW(too_many.validate(g), FatalError);
+
+    EXPECT_NO_THROW(nibbleConfig().validate(g));
+}
+
+TEST(CppcDigits, SchemeNameIncludesDigitSize)
+{
+    CppcScheme s(nibbleConfig());
+    EXPECT_EQ(s.name(), "cppc-k4-c4-p1-d1-shift-n4");
+}
+
+} // namespace
+} // namespace cppc

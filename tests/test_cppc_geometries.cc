@@ -1,0 +1,134 @@
+/**
+ * @file
+ * CPPC across cache geometries: the invariant and recovery machinery
+ * must be independent of size, associativity, line size and protection
+ * unit width.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "cppc/cppc_scheme.hh"
+#include "test_helpers.hh"
+#include "util/rng.hh"
+
+namespace cppc {
+namespace {
+
+struct GeomSpec
+{
+    uint64_t size_bytes;
+    unsigned assoc;
+    unsigned line_bytes;
+    unsigned unit_bytes;
+};
+
+class CppcGeometries : public ::testing::TestWithParam<GeomSpec>
+{
+  protected:
+    CacheGeometry
+    geom() const
+    {
+        CacheGeometry g;
+        g.size_bytes = GetParam().size_bytes;
+        g.assoc = GetParam().assoc;
+        g.line_bytes = GetParam().line_bytes;
+        g.unit_bytes = GetParam().unit_bytes;
+        return g;
+    }
+};
+
+TEST_P(CppcGeometries, InvariantUnderRandomTraffic)
+{
+    test::Harness h(geom(), std::make_unique<CppcScheme>());
+    auto *s = static_cast<CppcScheme *>(h.cache->scheme());
+    Rng rng(11);
+    unsigned ub = geom().unit_bytes;
+    std::vector<uint8_t> buf(ub);
+    for (int i = 0; i < 4000; ++i) {
+        Addr a = rng.nextBelow(4 * geom().size_bytes / ub) * ub;
+        if (rng.chance(0.5)) {
+            for (auto &b : buf)
+                b = static_cast<uint8_t>(rng.next());
+            h.cache->store(a, ub, buf.data());
+        } else {
+            h.cache->load(a, ub, nullptr);
+        }
+    }
+    EXPECT_TRUE(s->invariantHolds());
+    EXPECT_EQ(s->stats().detections, 0u);
+}
+
+TEST_P(CppcGeometries, SingleFaultsRecoverEverywhere)
+{
+    test::Harness h(geom(), std::make_unique<CppcScheme>());
+    Rng rng(13);
+    unsigned ub = geom().unit_bytes;
+    std::vector<uint8_t> buf(ub);
+    // Dirty a decent fraction of the cache.
+    for (Addr a = 0; a < geom().size_bytes; a += ub) {
+        for (auto &b : buf)
+            b = static_cast<uint8_t>(rng.next());
+        h.cache->store(a, ub, buf.data());
+    }
+    for (int rep = 0; rep < 60; ++rep) {
+        Row r = static_cast<Row>(rng.nextBelow(geom().numRows()));
+        if (!h.cache->rowValid(r))
+            continue;
+        WideWord good = h.cache->rowData(r);
+        h.cache->corruptBit(
+            r, static_cast<unsigned>(rng.nextBelow(ub * 8)));
+        Addr a = h.cache->rowAddr(r);
+        auto out = h.cache->load(a, ub, nullptr);
+        ASSERT_TRUE(out.fault_detected);
+        ASSERT_FALSE(out.due) << "row " << r;
+        ASSERT_EQ(h.cache->rowData(r), good);
+    }
+}
+
+TEST_P(CppcGeometries, VerticalPairRecovery)
+{
+    test::Harness h(geom(), std::make_unique<CppcScheme>());
+    Rng rng(17);
+    unsigned ub = geom().unit_bytes;
+    std::vector<uint8_t> buf(ub);
+    for (Addr a = 0; a < geom().size_bytes; a += ub) {
+        for (auto &b : buf)
+            b = static_cast<uint8_t>(rng.next());
+        h.cache->store(a, ub, buf.data());
+    }
+    // Adjacent-row vertical strike at a few positions.
+    for (Row r0 : {0u, 9u, geom().numRows() - 2}) {
+        WideWord g0 = h.cache->rowData(r0);
+        WideWord g1 = h.cache->rowData(r0 + 1);
+        unsigned bit = 4;
+        h.cache->corruptBit(r0, bit);
+        h.cache->corruptBit(r0 + 1, bit);
+        auto out = h.cache->load(h.cache->rowAddr(r0), ub, nullptr);
+        ASSERT_FALSE(out.due) << "r0 " << r0;
+        ASSERT_EQ(h.cache->rowData(r0), g0);
+        ASSERT_EQ(h.cache->rowData(r0 + 1), g1);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CppcGeometries,
+    ::testing::Values(
+        GeomSpec{1024, 1, 32, 8},          // tiny direct-mapped
+        GeomSpec{4096, 4, 32, 8},          // 4-way
+        GeomSpec{8192, 2, 64, 8},          // 64-byte lines
+        GeomSpec{8192, 2, 64, 16},         // 16-byte units
+        GeomSpec{32 * 1024, 2, 32, 8},     // the paper's L1
+        GeomSpec{16 * 1024, 8, 32, 32},    // block units, 8-way
+        GeomSpec{64 * 1024, 16, 64, 64}),  // wide everything
+    [](const auto &info) {
+        const GeomSpec &g = info.param;
+        return std::to_string(g.size_bytes / 1024) + "k_a" +
+            std::to_string(g.assoc) + "_l" +
+            std::to_string(g.line_bytes) + "_u" +
+            std::to_string(g.unit_bytes);
+    });
+
+} // namespace
+} // namespace cppc

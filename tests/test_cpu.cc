@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "cpu/ooo_core.hh"
+#include "util/logging.hh"
+#include "sim/paper_config.hh"
+
+namespace cppc {
+namespace {
+
+/** A tiny controllable profile. */
+BenchmarkProfile
+tinyProfile(double load = 0.25, double store = 0.12)
+{
+    BenchmarkProfile p;
+    p.name = "tiny";
+    p.load_frac = load;
+    p.store_frac = store;
+    p.hot_bytes = 8 << 10;
+    p.warm_bytes = 64 << 10;
+    p.cold_bytes = 1 << 20;
+    p.p_hot = 0.95;
+    p.stride_frac = 0.2;
+    p.chase_frac = 0.0;
+    p.store_overwrite_bias = 0.4;
+    return p;
+}
+
+CoreResult
+runKind(SchemeKind kind, const BenchmarkProfile &p, uint64_t n = 200000,
+        CoreParams params = PaperConfig::coreParams())
+{
+    Hierarchy h(kind);
+    OooCoreModel core(params, h.l1d.get(), h.l2.get());
+    TraceGenerator gen(p, 7);
+    return core.run(gen, n);
+}
+
+TEST(Core, Deterministic)
+{
+    BenchmarkProfile p = tinyProfile();
+    CoreResult a = runKind(SchemeKind::Cppc, p);
+    CoreResult b = runKind(SchemeKind::Cppc, p);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.loads, b.loads);
+}
+
+TEST(Core, CpiAtLeastIssueBound)
+{
+    BenchmarkProfile p = tinyProfile();
+    CoreResult r = runKind(SchemeKind::Parity1D, p);
+    EXPECT_GE(r.cpi(), 1.0 / PaperConfig::coreParams().issue_width);
+    EXPECT_LT(r.cpi(), 20.0);
+}
+
+TEST(Core, AluOnlyTraceRunsAtIssueWidth)
+{
+    BenchmarkProfile p = tinyProfile(0.0, 1e-9);
+    p.store_frac = 1e-9; // effectively none
+    CoreResult r = runKind(SchemeKind::Parity1D, p);
+    EXPECT_NEAR(r.cpi(), 0.25, 0.01);
+    EXPECT_EQ(r.load_stall_cycles, 0u);
+}
+
+TEST(Core, MissesCostCycles)
+{
+    BenchmarkProfile local = tinyProfile();
+    BenchmarkProfile chasing = tinyProfile();
+    chasing.chase_frac = 0.3;
+    chasing.cold_bytes = 64 << 20;
+    CoreResult a = runKind(SchemeKind::Parity1D, local);
+    CoreResult b = runKind(SchemeKind::Parity1D, chasing);
+    EXPECT_GT(b.cpi(), a.cpi() * 2.0);
+    EXPECT_GT(b.load_stall_cycles, a.load_stall_cycles);
+}
+
+TEST(Core, SchemeOrderingOnCpi)
+{
+    // Figure 10's qualitative claim on any store-heavy workload:
+    // parity <= cppc <= 2d parity.
+    BenchmarkProfile p = tinyProfile(0.25, 0.2);
+    double base = runKind(SchemeKind::Parity1D, p).cpi();
+    double cppc = runKind(SchemeKind::Cppc, p).cpi();
+    double twod = runKind(SchemeKind::Parity2D, p).cpi();
+    EXPECT_LE(base, cppc);
+    EXPECT_LT(cppc, twod);
+    // And the overheads stay small in absolute terms.
+    EXPECT_LT(cppc / base, 1.12); // extreme store-heavy synthetic case
+    EXPECT_LT(twod / base, 1.40);
+}
+
+TEST(Core, PortConflictsOnlyWithRbwSchemes)
+{
+    BenchmarkProfile p = tinyProfile(0.25, 0.2);
+    CoreResult base = runKind(SchemeKind::Parity1D, p);
+    CoreResult cppc = runKind(SchemeKind::Cppc, p);
+    EXPECT_EQ(base.port_conflict_cycles, 0u);
+    EXPECT_GT(cppc.port_conflict_cycles, 0u);
+}
+
+TEST(Core, LsqBackPressureWithTinyQueue)
+{
+    CoreParams params = PaperConfig::coreParams();
+    params.lsq_size = 1;
+    BenchmarkProfile p = tinyProfile(0.1, 0.5); // store storm
+    CoreResult r = runKind(SchemeKind::Parity2D, p, 100000, params);
+    EXPECT_GT(r.lsq_stall_cycles, 0u);
+}
+
+TEST(Core, ProfilerSeesTraffic)
+{
+    Hierarchy h(SchemeKind::Cppc);
+    OooCoreModel core(PaperConfig::coreParams(), h.l1d.get(), h.l2.get());
+    BenchmarkProfile p = tinyProfile();
+    TraceGenerator gen(p, 9);
+    DirtyProfiler l1p, l2p;
+    core.run(gen, 300000, &l1p, &l2p);
+    EXPECT_GT(l1p.avgDirtyFraction(), 0.0);
+    EXPECT_GT(l1p.tavgSamples(), 100u);
+    EXPECT_GT(l1p.tavgCycles(), 0.0);
+    EXPECT_GT(l2p.tavgCycles(), l1p.tavgCycles());
+}
+
+TEST(Core, CountsMatchTraceMix)
+{
+    BenchmarkProfile p = tinyProfile();
+    CoreResult r = runKind(SchemeKind::Parity1D, p, 300000);
+    EXPECT_NEAR(static_cast<double>(r.loads) / 300000.0, p.load_frac,
+                0.01);
+    EXPECT_NEAR(static_cast<double>(r.stores) / 300000.0, p.store_frac,
+                0.01);
+}
+
+TEST(Core, RequiresL1)
+{
+    EXPECT_THROW(OooCoreModel(PaperConfig::coreParams(), nullptr, nullptr),
+                 FatalError);
+}
+
+TEST(Core, InstructionCacheFetchStalls)
+{
+    // A code footprint much larger than the 16KB L1I produces fetch
+    // stalls; a tiny footprint produces almost none after warm-up.
+    auto fetch_stalls = [&](uint64_t code_bytes) {
+        Hierarchy h(SchemeKind::Parity1D);
+        OooCoreModel core(PaperConfig::coreParams(), h.l1d.get(),
+                          h.l2.get(), h.l1i.get());
+        BenchmarkProfile p = tinyProfile();
+        p.code_bytes = code_bytes;
+        p.branch_frac = 0.1;
+        TraceGenerator gen(p, 3);
+        return core.run(gen, 200000).fetch_stall_cycles;
+    };
+    EXPECT_GT(fetch_stalls(512ull << 10), 10 * fetch_stalls(8ull << 10));
+}
+
+TEST(Core, FetchModellingOptional)
+{
+    // Without an L1I the model behaves exactly as before.
+    Hierarchy h(SchemeKind::Parity1D);
+    OooCoreModel core(PaperConfig::coreParams(), h.l1d.get(), h.l2.get());
+    BenchmarkProfile p = tinyProfile();
+    TraceGenerator gen(p, 4);
+    CoreResult r = core.run(gen, 100000);
+    EXPECT_EQ(r.fetch_stall_cycles, 0u);
+    EXPECT_EQ(h.l1i->stats().accesses(), 0u);
+}
+
+TEST(Core, InstructionAndDataStreamsDisjoint)
+{
+    // Code lives in its own region: no false sharing with data in the
+    // unified L2.
+    BenchmarkProfile p = tinyProfile();
+    TraceGenerator gen(p, 5);
+    for (int i = 0; i < 10000; ++i) {
+        TraceRecord rec = gen.next();
+        EXPECT_GE(rec.pc, 1ull << 40);
+        if (rec.op != Op::Alu) {
+            EXPECT_LT(rec.addr, 1ull << 40);
+        }
+    }
+}
+
+} // namespace
+} // namespace cppc

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "cache/dirty_profiler.hh"
+#include "protection/parity.hh"
+#include "test_helpers.hh"
+
+namespace cppc {
+namespace {
+
+using test::Harness;
+using test::smallGeometry;
+
+TEST(DirtyProfiler, TavgIntervalArithmetic)
+{
+    DirtyProfiler p;
+    p.onAccess(0x100, false, 10);  // first touch: no interval
+    p.onAccess(0x100, true, 110);  // dirty, 100 cycles later
+    p.onAccess(0x100, true, 160);  // dirty, 50 cycles later
+    p.onAccess(0x100, false, 400); // clean access: no sample
+    EXPECT_EQ(p.tavgSamples(), 2u);
+    EXPECT_DOUBLE_EQ(p.tavgCycles(), 75.0);
+}
+
+TEST(DirtyProfiler, AddressesIndependent)
+{
+    DirtyProfiler p;
+    p.onAccess(0x0, true, 0);
+    p.onAccess(0x8, true, 5);
+    p.onAccess(0x0, true, 100);
+    EXPECT_EQ(p.tavgSamples(), 1u);
+    EXPECT_DOUBLE_EQ(p.tavgCycles(), 100.0);
+}
+
+TEST(DirtyProfiler, OccupancySampling)
+{
+    DirtyProfiler p;
+    p.sampleOccupancy(0.1);
+    p.sampleOccupancy(0.3);
+    EXPECT_DOUBLE_EQ(p.avgDirtyFraction(), 0.2);
+}
+
+TEST(DirtyProfiler, CacheHookDrivesProfiler)
+{
+    Harness h(smallGeometry(), std::make_unique<OneDimParityScheme>(8));
+    DirtyProfiler p;
+    h.cache->attachProfiler(&p);
+
+    h.cache->setNow(0);
+    h.cache->storeWord(0x0, 1); // makes the word dirty (was clean)
+    h.cache->setNow(100);
+    h.cache->loadWord(0x0); // access to a dirty word: interval 100
+    h.cache->setNow(250);
+    h.cache->loadWord(0x0); // interval 150
+    h.cache->attachProfiler(nullptr);
+
+    EXPECT_EQ(p.tavgSamples(), 2u);
+    EXPECT_DOUBLE_EQ(p.tavgCycles(), 125.0);
+}
+
+TEST(DirtyProfiler, DetachedProfilerUntouched)
+{
+    Harness h(smallGeometry(), std::make_unique<OneDimParityScheme>(8));
+    DirtyProfiler p;
+    h.cache->attachProfiler(&p);
+    h.cache->attachProfiler(nullptr);
+    h.cache->storeWord(0x0, 1);
+    h.cache->loadWord(0x0);
+    EXPECT_EQ(p.tavgSamples(), 0u);
+}
+
+} // namespace
+} // namespace cppc

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "energy/accountant.hh"
+#include "util/logging.hh"
+#include "energy/cacti_model.hh"
+#include "protection/parity.hh"
+#include "protection/secded.hh"
+#include "protection/two_d_parity.hh"
+#include "sim/paper_config.hh"
+#include "test_helpers.hh"
+
+namespace cppc {
+namespace {
+
+using test::Harness;
+using test::smallGeometry;
+
+TEST(Cacti, CalibrationPoints)
+{
+    // The two CACTI numbers the paper quotes at 90 nm.
+    CactiModel e(PaperConfig::l1dGeometry(), 90.0);
+    EXPECT_NEAR(e.accessEnergyPj(), 240.0, 1e-9);
+
+    CacheGeometry dm8k;
+    dm8k.size_bytes = 8 * 1024;
+    dm8k.assoc = 1;
+    dm8k.line_bytes = 32;
+    dm8k.unit_bytes = 8;
+    CactiModel t(dm8k, 90.0);
+    EXPECT_NEAR(t.accessTimeNs(), 0.78, 1e-9);
+}
+
+TEST(Cacti, MonotoneInSize)
+{
+    double prev_e = 0, prev_t = 0;
+    for (uint64_t kb : {8ull, 32ull, 128ull, 1024ull}) {
+        CacheGeometry g;
+        g.size_bytes = kb * 1024;
+        g.assoc = 2;
+        g.line_bytes = 32;
+        g.unit_bytes = 8;
+        CactiModel m(g, 32.0);
+        EXPECT_GT(m.accessEnergyPj(), prev_e);
+        EXPECT_GT(m.accessTimeNs(), prev_t);
+        EXPECT_GT(m.areaMm2(), 0.0);
+        prev_e = m.accessEnergyPj();
+        prev_t = m.accessTimeNs();
+    }
+}
+
+TEST(Cacti, TechnologyScaling)
+{
+    CactiModel at90(PaperConfig::l1dGeometry(), 90.0);
+    CactiModel at32(PaperConfig::l1dGeometry(), 32.0);
+    // Quadratic energy scaling, linear delay scaling.
+    EXPECT_NEAR(at32.accessEnergyPj() / at90.accessEnergyPj(),
+                (32.0 / 90.0) * (32.0 / 90.0), 1e-9);
+    EXPECT_NEAR(at32.accessTimeNs() / at90.accessTimeNs(), 32.0 / 90.0,
+                1e-9);
+}
+
+TEST(Cacti, EffectiveEnergyFactors)
+{
+    CactiModel m(PaperConfig::l1dGeometry(), 32.0);
+    double base = m.accessEnergyPj();
+    // No overheads: identity.
+    EXPECT_NEAR(m.effectiveAccessEnergyPj(0, 1000, 1.0), base, 1e-9);
+    // 12.5% code overhead.
+    EXPECT_NEAR(m.effectiveAccessEnergyPj(8, 64, 1.0), base * 1.125,
+                1e-9);
+    // 8-way interleaving multiplies the bitline share.
+    double ilv = m.effectiveAccessEnergyPj(0, 1000, 8.0) / base;
+    EXPECT_NEAR(ilv, 1.0 + 7.0 * CactiModel::kBitlineFraction, 1e-9);
+}
+
+TEST(Cacti, RejectsBadFeatureSize)
+{
+    EXPECT_THROW(CactiModel(PaperConfig::l1dGeometry(), 0.0), FatalError);
+}
+
+TEST(Accountant, ChargesHitsOnly)
+{
+    Harness h(smallGeometry(), std::make_unique<OneDimParityScheme>(8));
+    // 1 write miss + 2 read hits + 1 write hit.
+    h.cache->storeWord(0x0, 1);
+    h.cache->loadWord(0x0);
+    h.cache->loadWord(0x8);
+    h.cache->storeWord(0x8, 2);
+
+    CactiModel m(smallGeometry(), 32.0);
+    EnergyBreakdown b = EnergyAccountant(m).compute(*h.cache);
+    EXPECT_EQ(b.demand_ops, 3u); // the miss is not charged
+    EXPECT_EQ(b.rbw_word_ops, 0u);
+    EXPECT_GT(b.demand_pj, 0.0);
+}
+
+TEST(Accountant, CppcChargesRbwOnDirtyOverwrites)
+{
+    Harness h(smallGeometry(),
+              makeScheme(SchemeKind::Cppc));
+    h.cache->storeWord(0x0, 1);
+    h.cache->storeWord(0x0, 2); // dirty overwrite -> RBW
+    h.cache->storeWord(0x0, 3); // another
+    CactiModel m(smallGeometry(), 32.0);
+    EnergyBreakdown b = EnergyAccountant(m).compute(*h.cache);
+    EXPECT_EQ(b.rbw_word_ops, 2u);
+    EXPECT_NEAR(b.rbw_word_pj / b.demand_pj,
+                2.0 / static_cast<double>(b.demand_ops), 1e-9);
+}
+
+TEST(Accountant, TwoDChargesLineReads)
+{
+    CacheGeometry g = smallGeometry();
+    Harness h(g, std::make_unique<TwoDParityScheme>(8));
+    h.cache->loadWord(0x0);                // cold fill: line RBW
+    h.cache->loadWord(0x0 + g.size_bytes); // clean eviction fill: RBW
+    CactiModel m(g, 32.0);
+    EnergyBreakdown b = EnergyAccountant(m).compute(*h.cache);
+    EXPECT_EQ(b.rbw_line_ops, 2u);
+    // A line read costs unitsPerLine() unit accesses.
+    EXPECT_NEAR(b.rbw_line_pj,
+                2.0 * g.unitsPerLine() * m.effectiveAccessEnergyPj(
+                    static_cast<double>(
+                        h.cache->scheme()->codeBitsTotal()),
+                    static_cast<double>(g.dataBits()), 1.0),
+                1e-6);
+}
+
+TEST(Accountant, InterleavedSecdedCostsMorePerAccess)
+{
+    Harness plain(smallGeometry(), std::make_unique<SecdedScheme>(1));
+    Harness ilv(smallGeometry(), std::make_unique<SecdedScheme>(8));
+    plain.cache->storeWord(0x0, 1);
+    plain.cache->loadWord(0x0);
+    ilv.cache->storeWord(0x0, 1);
+    ilv.cache->loadWord(0x0);
+    CactiModel m(smallGeometry(), 32.0);
+    EnergyBreakdown bp = EnergyAccountant(m).compute(*plain.cache);
+    EnergyBreakdown bi = EnergyAccountant(m).compute(*ilv.cache);
+    EXPECT_GT(bi.total(), bp.total());
+    EXPECT_NEAR(bi.total() / bp.total(),
+                1.0 + 7.0 * CactiModel::kBitlineFraction, 1e-9);
+}
+
+TEST(Accountant, UnprotectedCacheHasNoOverheads)
+{
+    Harness h(smallGeometry(), nullptr);
+    h.cache->storeWord(0x0, 1);
+    h.cache->loadWord(0x0);
+    CactiModel m(smallGeometry(), 32.0);
+    EnergyBreakdown b = EnergyAccountant(m).compute(*h.cache);
+    EXPECT_EQ(b.rbw_word_ops, 0u);
+    EXPECT_EQ(b.rbw_line_ops, 0u);
+    EXPECT_NEAR(b.demand_pj,
+                static_cast<double>(b.demand_ops) * m.accessEnergyPj(),
+                1e-9);
+}
+
+} // namespace
+} // namespace cppc

@@ -1,0 +1,344 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "cppc/fault_locator.hh"
+#include "util/rng.hh"
+
+namespace cppc {
+namespace {
+
+/**
+ * Build locator inputs from planted per-word fault masks.
+ *
+ * @p masks[i] is the true flip mask of word i (width n bytes); words
+ * with zero masks are dropped (their parity never fired).  Returns the
+ * surviving FaultyWord descriptors, the matching true flips, and R3.
+ */
+struct Scenario
+{
+    std::vector<FaultyWord> words;
+    std::vector<BitFlip> true_flips;
+    WideWord r3;
+
+    Scenario(const std::vector<std::pair<unsigned, WideWord>> &rot_masks,
+             unsigned n_bytes)
+        : r3(n_bytes)
+    {
+        for (const auto &[rot, mask] : rot_masks) {
+            if (mask.isZero())
+                continue;
+            uint8_t pmask = static_cast<uint8_t>(mask.interleavedParity(8));
+            unsigned idx = static_cast<unsigned>(words.size());
+            words.push_back({rot, pmask});
+            for (unsigned j = 0; j < mask.sizeBits(); ++j)
+                if (mask.bit(j))
+                    true_flips.push_back({idx, j});
+            r3 ^= mask.rotatedLeft(rot);
+        }
+        std::sort(true_flips.begin(), true_flips.end());
+    }
+};
+
+enum class Kind { Solver, Paper };
+
+std::unique_ptr<FaultLocator>
+make(Kind kind, unsigned n_bytes)
+{
+    if (kind == Kind::Paper)
+        return std::make_unique<PaperFaultLocator>(n_bytes);
+    return std::make_unique<SolverFaultLocator>(n_bytes);
+}
+
+class LocatorTest : public ::testing::TestWithParam<Kind>
+{
+  protected:
+    std::unique_ptr<FaultLocator>
+    locator(unsigned n_bytes = 8) const
+    {
+        return make(GetParam(), n_bytes);
+    }
+};
+
+/** Dense rectangular strike: rows r0..r0+h-1 (rotation = row mod 8),
+ *  bit columns [c0, c0+w). */
+Scenario
+denseRect(unsigned r0, unsigned h, unsigned c0, unsigned w,
+          unsigned n_bytes = 8)
+{
+    std::vector<std::pair<unsigned, WideWord>> rm;
+    for (unsigned r = r0; r < r0 + h; ++r) {
+        WideWord mask(n_bytes);
+        for (unsigned c = c0; c < c0 + w; ++c)
+            mask.setBit(c);
+        rm.emplace_back(r % 8, mask);
+    }
+    return Scenario(rm, n_bytes);
+}
+
+TEST_P(LocatorTest, PaperWorkedExampleFigures8And9)
+{
+    // Section 4.5's walk-through: bits 5-12 flipped in 4 words of
+    // classes 0-3 (an 8-wide strike straddling bytes 0 and 1).
+    Scenario s = denseRect(0, 4, 5, 8);
+    ASSERT_EQ(s.words.size(), 4u);
+    // Check the text's intermediate facts: parity bits P0-P7 fire for
+    // every word, and R3 has bits 0-12 and 45-63 set.
+    for (const auto &w : s.words)
+        EXPECT_EQ(w.parity_mask, 0xff);
+    for (unsigned j = 0; j < 64; ++j) {
+        bool expect = (j <= 12) || (j >= 45);
+        EXPECT_EQ(s.r3.bit(j), expect) << "R3 bit " << j;
+    }
+    auto flips = locator()->locate(s.words, s.r3);
+    ASSERT_TRUE(flips.has_value());
+    std::sort(flips->begin(), flips->end());
+    EXPECT_EQ(*flips, s.true_flips);
+}
+
+TEST_P(LocatorTest, SingleColumnVerticalFaults)
+{
+    // Vertical strikes inside one byte column, all heights 2..7.
+    for (unsigned h = 2; h <= 7; ++h) {
+        for (unsigned c0 : {0u, 8u, 24u, 56u}) {
+            for (unsigned w = 1; w + (c0 % 8) <= 8 && w <= 8; ++w) {
+                Scenario s = denseRect(1, h, c0, w);
+                auto flips = locator()->locate(s.words, s.r3);
+                ASSERT_TRUE(flips.has_value())
+                    << "h=" << h << " c0=" << c0 << " w=" << w;
+                std::sort(flips->begin(), flips->end());
+                EXPECT_EQ(*flips, s.true_flips);
+            }
+        }
+    }
+}
+
+TEST_P(LocatorTest, StraddlingByteBoundary)
+{
+    // Byte-straddling strikes are guaranteed locatable up to 6 rows
+    // with one register pair; at 7 rows R3 occupies all 8 bytes and
+    // the column anchor is lost (see the h=7 test below).
+    for (unsigned h = 2; h <= 6; ++h) {
+        for (unsigned c0 : {3u, 13u, 29u, 53u}) { // mid-byte starts
+            Scenario s = denseRect(0, h, c0, 8);
+            auto flips = locator()->locate(s.words, s.r3);
+            ASSERT_TRUE(flips.has_value()) << "h=" << h << " c0=" << c0;
+            std::sort(flips->begin(), flips->end());
+            EXPECT_EQ(*flips, s.true_flips);
+        }
+    }
+}
+
+TEST_P(LocatorTest, StraddlingHeight7AmbiguousWithOnePair)
+{
+    // A 7-row strike across a byte boundary leaves no zero R3 byte to
+    // anchor the column: a rotated reading is equally consistent, so
+    // the locator must refuse (DUE) rather than guess.  (The same
+    // family as Section 4.6's special cases; a second register pair
+    // restores correction — covered in the end-to-end spatial tests.)
+    Scenario s = denseRect(0, 7, 13, 8);
+    EXPECT_FALSE(locator()->locate(s.words, s.r3).has_value());
+}
+
+TEST(SolverLocator, ExhaustiveDenseRectangles)
+{
+    // The guaranteed one-pair envelope: every dense rectangle of up to
+    // 6 rows, and every 7-row rectangle confined to one byte column,
+    // must be located exactly; anything else may be DUE but must never
+    // be answered wrongly.
+    SolverFaultLocator loc(8);
+    for (unsigned h = 2; h <= 7; ++h) {
+        for (unsigned r0 = 0; r0 < 8; ++r0) {
+            for (unsigned w = 1; w <= 8; ++w) {
+                for (unsigned c0 = 0; c0 + w <= 64; c0 += 3) {
+                    Scenario s = denseRect(r0, h, c0, w);
+                    auto flips = loc.locate(s.words, s.r3);
+                    bool guaranteed = h <= 6 || (c0 % 8) + w <= 8;
+                    if (guaranteed) {
+                        ASSERT_TRUE(flips.has_value())
+                            << "h=" << h << " r0=" << r0 << " w=" << w
+                            << " c0=" << c0;
+                    }
+                    if (flips) {
+                        std::sort(flips->begin(), flips->end());
+                        ASSERT_EQ(*flips, s.true_flips)
+                            << "h=" << h << " r0=" << r0 << " w=" << w
+                            << " c0=" << c0;
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST_P(LocatorTest, Dense8x8IsDue)
+{
+    // Section 4.6: with one register pair the full 8x8 strike leaves no
+    // way to tell which byte column was hit.
+    Scenario s = denseRect(0, 8, 8, 8);
+    EXPECT_FALSE(locator()->locate(s.words, s.r3).has_value());
+}
+
+TEST_P(LocatorTest, VerticalLineHeight8IsDue)
+{
+    // All 8 rotation classes with identical single-bit masks: R3 is
+    // rotation-symmetric, the column is unrecoverable.
+    std::vector<std::pair<unsigned, WideWord>> rm;
+    for (unsigned r = 0; r < 8; ++r) {
+        WideWord m(8);
+        m.setBit(16); // byte 2, offset 0
+        rm.emplace_back(r, m);
+    }
+    Scenario s(rm, 8);
+    EXPECT_FALSE(locator()->locate(s.words, s.r3).has_value());
+}
+
+TEST_P(LocatorTest, Class0Class4SymmetricFaultIsDue)
+{
+    // The other Section 4.6 special case: identical masks in byte 0 of
+    // a class-0 and a class-4 word alias with byte 4 of both.
+    WideWord m(8);
+    m.setBit(1);
+    m.setBit(2);
+    Scenario s({{0u, m}, {4u, m}}, 8);
+    EXPECT_FALSE(locator()->locate(s.words, s.r3).has_value());
+}
+
+TEST_P(LocatorTest, Class0Class4DistinctMasksLocatable)
+{
+    // Same geometry but different per-word patterns: the pmask
+    // asymmetry breaks the alias and the fault is located.
+    WideWord m0(8), m4(8);
+    m0.setBit(1);
+    m4.setBit(2);
+    m4.setBit(3);
+    Scenario s({{0u, m0}, {4u, m4}}, 8);
+    auto flips = locator()->locate(s.words, s.r3);
+    ASSERT_TRUE(flips.has_value());
+    std::sort(flips->begin(), flips->end());
+    EXPECT_EQ(*flips, s.true_flips);
+}
+
+TEST_P(LocatorTest, DuplicateRotationsRejected)
+{
+    WideWord m(8);
+    m.setBit(0);
+    Scenario s({{3u, m}, {3u, m}}, 8);
+    // Two words sharing a rotation (rows 8 apart): never locatable.
+    EXPECT_FALSE(locator()->locate(s.words, s.r3).has_value());
+}
+
+TEST_P(LocatorTest, TemporalAliasingFromPaperSection47)
+{
+    // Two temporal single-bit faults: bit 56 of a class-0 word and
+    // bit 8 of a class-1 word.  Both rotate onto a pattern identical
+    // to "bit 0 flipped in both words", so the locator *mislocates* —
+    // the paper's 2-bit-DUE-to-4-bit-SDC hazard.
+    WideWord m0(8), m1(8);
+    m0.setBit(56);
+    m1.setBit(8);
+    Scenario s({{0u, m0}, {1u, m1}}, 8);
+    auto flips = locator()->locate(s.words, s.r3);
+    ASSERT_TRUE(flips.has_value());
+    std::vector<BitFlip> wrong = {{0u, 0u}, {1u, 0u}};
+    std::sort(flips->begin(), flips->end());
+    EXPECT_EQ(*flips, wrong);
+    EXPECT_NE(*flips, s.true_flips);
+}
+
+TEST_P(LocatorTest, SparseRandomPatternsNeverMislocated)
+{
+    // Random sparse sub-patterns of legal strikes: the locator either
+    // finds exactly the planted flips or declares DUE — never a wrong
+    // answer (that would be an SDC inside the coverage envelope).
+    Rng rng(1234 + static_cast<unsigned>(GetParam()));
+    unsigned located = 0, total = 0;
+    for (int rep = 0; rep < 400; ++rep) {
+        unsigned h = static_cast<unsigned>(rng.nextRange(2, 6));
+        unsigned w = static_cast<unsigned>(rng.nextRange(1, 8));
+        unsigned r0 = static_cast<unsigned>(rng.nextBelow(8));
+        unsigned c0 = static_cast<unsigned>(rng.nextBelow(64 - w + 1));
+        std::vector<std::pair<unsigned, WideWord>> rm;
+        for (unsigned r = r0; r < r0 + h; ++r) {
+            WideWord mask(8);
+            for (unsigned c = c0; c < c0 + w; ++c)
+                if (rng.chance(0.6))
+                    mask.setBit(c);
+            rm.emplace_back(r % 8, mask);
+        }
+        Scenario s(rm, 8);
+        if (s.words.size() < 2)
+            continue;
+        ++total;
+        auto flips = locator()->locate(s.words, s.r3);
+        if (!flips)
+            continue;
+        std::sort(flips->begin(), flips->end());
+        ASSERT_EQ(*flips, s.true_flips) << "rep " << rep;
+        ++located;
+    }
+    // The overwhelming majority of in-envelope strikes must be located.
+    EXPECT_GT(located * 10, total * 9);
+}
+
+TEST_P(LocatorTest, WideUnitsL2Granularity)
+{
+    // 32-byte protection units (L2 CPPC): same machinery, wider words.
+    for (unsigned h = 2; h <= 7; ++h) {
+        Scenario s = denseRect(0, h, 100, 8, 32);
+        auto flips = locator(32)->locate(s.words, s.r3);
+        ASSERT_TRUE(flips.has_value()) << "h=" << h;
+        std::sort(flips->begin(), flips->end());
+        EXPECT_EQ(*flips, s.true_flips);
+    }
+}
+
+TEST_P(LocatorTest, EmptyInputsRejected)
+{
+    EXPECT_FALSE(locator()->locate({}, WideWord(8)).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, LocatorTest,
+                         ::testing::Values(Kind::Solver, Kind::Paper),
+                         [](const auto &info) {
+                             return info.param == Kind::Solver ? "Solver"
+                                                               : "Paper";
+                         });
+
+TEST(LocatorAgreement, SolverAndPaperAgreeOnDenseRectangles)
+{
+    SolverFaultLocator solver(8);
+    PaperFaultLocator paper(8);
+    unsigned paper_located = 0, solver_located = 0;
+    for (unsigned h = 2; h <= 8; ++h) {
+        for (unsigned r0 : {0u, 3u}) {
+            for (unsigned w = 1; w <= 8; ++w) {
+                for (unsigned c0 = 0; c0 + w <= 64; c0 += 5) {
+                    Scenario s = denseRect(r0, h, c0, w);
+                    auto a = solver.locate(s.words, s.r3);
+                    auto b = paper.locate(s.words, s.r3);
+                    if (a) {
+                        std::sort(a->begin(), a->end());
+                        ++solver_located;
+                    }
+                    if (b) {
+                        std::sort(b->begin(), b->end());
+                        ++paper_located;
+                        // Anything the paper procedure locates must
+                        // match the planted truth (and the solver).
+                        ASSERT_EQ(*b, s.true_flips);
+                        ASSERT_TRUE(a.has_value());
+                        ASSERT_EQ(*a, *b);
+                    }
+                }
+            }
+        }
+    }
+    EXPECT_GT(solver_located, 0u);
+    // The GF(2) solver is at least as capable as the step procedure.
+    EXPECT_GE(solver_located, paper_located);
+}
+
+} // namespace
+} // namespace cppc

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fault/fault_model.hh"
+#include "util/logging.hh"
+
+namespace cppc {
+namespace {
+
+TEST(StrikeShape, Label)
+{
+    StrikeShape s{3, 5, 0.5};
+    EXPECT_EQ(s.label(), "3x5@0.50");
+}
+
+TEST(ShapeDistribution, SingleBitOnly)
+{
+    auto d = StrikeShapeDistribution::singleBitOnly();
+    Rng rng(1);
+    for (int i = 0; i < 50; ++i) {
+        const StrikeShape &s = d.sample(rng);
+        EXPECT_EQ(s.rows, 1u);
+        EXPECT_EQ(s.bit_cols, 1u);
+    }
+}
+
+TEST(ShapeDistribution, SamplingFollowsWeights)
+{
+    StrikeShapeDistribution d;
+    d.add({1, 1, 1.0}, 9.0);
+    d.add({2, 2, 1.0}, 1.0);
+    Rng rng(2);
+    unsigned big = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        if (d.sample(rng).rows == 2)
+            ++big;
+    EXPECT_NEAR(static_cast<double>(big) / n, 0.1, 0.02);
+}
+
+TEST(ShapeDistribution, TechnologyMixExtremes)
+{
+    auto none = StrikeShapeDistribution::scaledTechnologyMix(0.0);
+    Rng rng(3);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(none.sample(rng).rows * none.sample(rng).bit_cols, 1u);
+
+    auto all = StrikeShapeDistribution::scaledTechnologyMix(1.0);
+    bool saw_multi = false;
+    for (int i = 0; i < 50; ++i) {
+        const StrikeShape &s = all.sample(rng);
+        EXPECT_GT(s.rows * s.bit_cols, 1u);
+        saw_multi = true;
+    }
+    EXPECT_TRUE(saw_multi);
+}
+
+TEST(ShapeDistribution, MixWithinEnvelope)
+{
+    auto d = StrikeShapeDistribution::scaledTechnologyMix(0.8);
+    Rng rng(4);
+    for (int i = 0; i < 500; ++i) {
+        const StrikeShape &s = d.sample(rng);
+        EXPECT_LE(s.rows, 8u);
+        EXPECT_LE(s.bit_cols, 8u);
+    }
+}
+
+TEST(ShapeDistribution, RejectsBadInputs)
+{
+    StrikeShapeDistribution d;
+    EXPECT_THROW(d.add({1, 1, 1.0}, 0.0), FatalError);
+    Rng rng(5);
+    EXPECT_THROW(d.sample(rng), FatalError);
+    EXPECT_THROW(StrikeShapeDistribution::scaledTechnologyMix(1.5),
+                 FatalError);
+}
+
+TEST(StrikePlacer, PlacementStaysInBounds)
+{
+    StrikePlacer placer(100, 64);
+    Rng rng(6);
+    for (int i = 0; i < 500; ++i) {
+        Strike s = placer.place({4, 6, 1.0}, rng);
+        EXPECT_EQ(s.bits.size(), 24u);
+        for (const FaultBit &fb : s.bits) {
+            EXPECT_LT(fb.row, 100u);
+            EXPECT_LT(fb.bit, 64u);
+        }
+    }
+}
+
+TEST(StrikePlacer, DenseRectangleShape)
+{
+    StrikePlacer placer(16, 64);
+    Rng rng(7);
+    Strike s = placer.placeAt({3, 4, 1.0}, 5, 10, rng);
+    std::set<std::pair<Row, unsigned>> cells;
+    for (const FaultBit &fb : s.bits)
+        cells.insert({fb.row, fb.bit});
+    EXPECT_EQ(cells.size(), 12u);
+    for (Row r = 5; r < 8; ++r)
+        for (unsigned c = 10; c < 14; ++c)
+            EXPECT_TRUE(cells.count({r, c}));
+}
+
+TEST(StrikePlacer, SparseDensityThinsOut)
+{
+    StrikePlacer placer(64, 64);
+    Rng rng(8);
+    uint64_t total = 0;
+    for (int i = 0; i < 200; ++i)
+        total += placer.place({8, 8, 0.5}, rng).bits.size();
+    double mean = static_cast<double>(total) / 200.0;
+    EXPECT_GT(mean, 24.0);
+    EXPECT_LT(mean, 40.0); // ~32 expected
+}
+
+TEST(StrikePlacer, NeverEmpty)
+{
+    StrikePlacer placer(8, 64);
+    Rng rng(9);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_GE(placer.place({2, 2, 0.01}, rng).bits.size(), 1u);
+}
+
+TEST(StrikePlacer, OversizedShapeRejected)
+{
+    StrikePlacer placer(4, 64);
+    Rng rng(10);
+    EXPECT_THROW(placer.place({8, 8, 1.0}, rng), FatalError);
+}
+
+TEST(StrikePlacer, CoversWholeArray)
+{
+    StrikePlacer placer(32, 64);
+    Rng rng(11);
+    std::set<Row> rows;
+    for (int i = 0; i < 3000; ++i)
+        rows.insert(placer.place({1, 1, 1.0}, rng).bits[0].row);
+    EXPECT_EQ(rows.size(), 32u);
+}
+
+} // namespace
+} // namespace cppc

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "cache/geometry.hh"
+#include "util/logging.hh"
+
+namespace cppc {
+namespace {
+
+CacheGeometry
+paperL1()
+{
+    // Table 1: 32KB, 2-way, 32-byte lines, 64-bit protection words.
+    CacheGeometry g;
+    g.size_bytes = 32 * 1024;
+    g.assoc = 2;
+    g.line_bytes = 32;
+    g.unit_bytes = 8;
+    return g;
+}
+
+CacheGeometry
+paperL2()
+{
+    // Table 1: 1MB, 4-way, 32-byte lines; protection unit = L1 block.
+    CacheGeometry g;
+    g.size_bytes = 1024 * 1024;
+    g.assoc = 4;
+    g.line_bytes = 32;
+    g.unit_bytes = 32;
+    return g;
+}
+
+TEST(Geometry, PaperL1Derived)
+{
+    CacheGeometry g = paperL1();
+    g.validate();
+    EXPECT_EQ(g.numSets(), 512u);
+    EXPECT_EQ(g.unitsPerLine(), 4u);
+    EXPECT_EQ(g.numLines(), 1024u);
+    EXPECT_EQ(g.numRows(), 4096u);
+    EXPECT_EQ(g.dataBits(), 32u * 1024 * 8);
+}
+
+TEST(Geometry, PaperL2Derived)
+{
+    CacheGeometry g = paperL2();
+    g.validate();
+    EXPECT_EQ(g.numSets(), 8192u);
+    EXPECT_EQ(g.unitsPerLine(), 1u);
+    EXPECT_EQ(g.numRows(), 32768u);
+}
+
+TEST(Geometry, AddressSlicing)
+{
+    CacheGeometry g = paperL1();
+    Addr a = 0x12345678;
+    EXPECT_EQ(g.lineAddr(a), a & ~0x1full);
+    EXPECT_EQ(g.setIndex(a), (a / 32) % 512);
+    EXPECT_EQ(g.tagOf(a), a / 32 / 512);
+    EXPECT_EQ(g.unitInLine(a), (a % 32) / 8);
+    EXPECT_EQ(g.byteInUnit(a), a % 8);
+}
+
+TEST(Geometry, LineAddrFromTagRoundTrip)
+{
+    CacheGeometry g = paperL1();
+    for (Addr a : {0x0ull, 0x1234560ull, 0xdeadbea0ull, 0xffffffe0ull}) {
+        Addr la = g.lineAddr(a);
+        EXPECT_EQ(g.lineAddrFromTag(g.tagOf(la), g.setIndex(la)), la);
+    }
+}
+
+TEST(Geometry, RowOfLayout)
+{
+    CacheGeometry g = paperL1();
+    // Set-major, then way, then unit: consecutive units of a line are
+    // physically adjacent rows.
+    EXPECT_EQ(g.rowOf(0, 0, 0), 0u);
+    EXPECT_EQ(g.rowOf(0, 0, 3), 3u);
+    EXPECT_EQ(g.rowOf(0, 1, 0), 4u);
+    EXPECT_EQ(g.rowOf(1, 0, 0), 8u);
+    EXPECT_EQ(g.rowOf(511, 1, 3), g.numRows() - 1);
+}
+
+TEST(Geometry, ValidateRejectsBadShapes)
+{
+    CacheGeometry g = paperL1();
+    g.size_bytes = 1000; // not a power of two
+    EXPECT_THROW(g.validate(), FatalError);
+
+    g = paperL1();
+    g.unit_bytes = 64;
+    g.line_bytes = 32; // unit > line
+    EXPECT_THROW(g.validate(), FatalError);
+
+    g = paperL1();
+    g.assoc = 0;
+    EXPECT_THROW(g.validate(), FatalError);
+}
+
+} // namespace
+} // namespace cppc

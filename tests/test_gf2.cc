@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "util/gf2.hh"
+#include "util/rng.hh"
+
+namespace cppc {
+namespace {
+
+TEST(Gf2, UniqueSmall)
+{
+    // x0 ^ x1 = 1, x1 = 1  ->  x0 = 0, x1 = 1
+    Gf2System sys(2);
+    sys.addEquation({0, 1}, true);
+    sys.addEquation({1}, true);
+    std::vector<bool> sol;
+    EXPECT_EQ(sys.solve(sol), Gf2System::Solvability::Unique);
+    EXPECT_FALSE(sol[0]);
+    EXPECT_TRUE(sol[1]);
+}
+
+TEST(Gf2, Inconsistent)
+{
+    Gf2System sys(2);
+    sys.addEquation({0, 1}, true);
+    sys.addEquation({0, 1}, false);
+    std::vector<bool> sol;
+    EXPECT_EQ(sys.solve(sol), Gf2System::Solvability::Inconsistent);
+}
+
+TEST(Gf2, Ambiguous)
+{
+    Gf2System sys(3);
+    sys.addEquation({0, 1}, true);
+    sys.addEquation({1, 2}, false);
+    std::vector<bool> sol;
+    EXPECT_EQ(sys.solve(sol), Gf2System::Solvability::Ambiguous);
+}
+
+TEST(Gf2, RepeatedVariableCancels)
+{
+    // x0 ^ x0 ^ x1 = x1.
+    Gf2System sys(2);
+    sys.addEquation({0, 0, 1}, true);
+    sys.addEquation({0}, false);
+    std::vector<bool> sol;
+    EXPECT_EQ(sys.solve(sol), Gf2System::Solvability::Unique);
+    EXPECT_FALSE(sol[0]);
+    EXPECT_TRUE(sol[1]);
+}
+
+TEST(Gf2, EmptyEquationConsistency)
+{
+    Gf2System sys(1);
+    sys.addEquation({}, false); // 0 == 0, fine
+    sys.addEquation({0}, true);
+    std::vector<bool> sol;
+    EXPECT_EQ(sys.solve(sol), Gf2System::Solvability::Unique);
+    EXPECT_TRUE(sol[0]);
+}
+
+TEST(Gf2, EmptyEquationContradiction)
+{
+    Gf2System sys(1);
+    sys.addEquation({}, true); // 0 == 1
+    sys.addEquation({0}, true);
+    std::vector<bool> sol;
+    EXPECT_EQ(sys.solve(sol), Gf2System::Solvability::Inconsistent);
+}
+
+TEST(Gf2, RedundantEquationsStillUnique)
+{
+    Gf2System sys(2);
+    sys.addEquation({0}, true);
+    sys.addEquation({1}, false);
+    sys.addEquation({0, 1}, true); // implied by the first two
+    std::vector<bool> sol;
+    EXPECT_EQ(sys.solve(sol), Gf2System::Solvability::Unique);
+    EXPECT_TRUE(sol[0]);
+    EXPECT_FALSE(sol[1]);
+}
+
+class Gf2Random : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(Gf2Random, RoundTripsPlantedSolution)
+{
+    // Plant a random solution, generate enough random equations to pin
+    // it down, and check the solver recovers it exactly.
+    unsigned n = GetParam();
+    Rng rng(1000 + n);
+    std::vector<bool> planted(n);
+    for (unsigned i = 0; i < n; ++i)
+        planted[i] = rng.chance(0.5);
+
+    Gf2System sys(n);
+    // Unit-diagonal upper-triangular rows guarantee full rank.
+    for (unsigned i = 0; i < n; ++i) {
+        std::vector<unsigned> vars{i};
+        bool rhs = planted[i];
+        for (unsigned j = 0; j < n; ++j) {
+            if (j > i && rng.chance(0.3)) {
+                vars.push_back(j);
+                rhs = rhs ^ planted[j];
+            }
+        }
+        sys.addEquation(vars, rhs);
+    }
+    std::vector<bool> sol;
+    ASSERT_EQ(sys.solve(sol), Gf2System::Solvability::Unique);
+    EXPECT_EQ(sol, planted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Gf2Random,
+                         ::testing::Values(1u, 2u, 5u, 16u, 64u, 128u,
+                                           200u));
+
+} // namespace
+} // namespace cppc

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "protection/hamming.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace cppc {
+namespace {
+
+TEST(Hamming, Classic7264Layout)
+{
+    HammingSecded h(64);
+    EXPECT_EQ(h.dataBits(), 64u);
+    EXPECT_EQ(h.hammingBits(), 7u);
+    EXPECT_EQ(h.codeBits(), 8u); // the paper's 12.5% overhead
+}
+
+TEST(Hamming, L2BlockLayout)
+{
+    HammingSecded h(256);
+    EXPECT_EQ(h.hammingBits(), 9u);
+    EXPECT_EQ(h.codeBits(), 10u);
+}
+
+TEST(Hamming, CleanDecodes)
+{
+    HammingSecded h(64);
+    Rng rng(31);
+    for (int i = 0; i < 100; ++i) {
+        WideWord d = WideWord::random(rng, 8);
+        uint32_t code = h.encode(d);
+        auto res = h.decode(d, code);
+        EXPECT_EQ(res.status, HammingSecded::Status::Clean);
+    }
+}
+
+class HammingWidths : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(HammingWidths, CorrectsEverySingleDataBitError)
+{
+    unsigned bytes = GetParam();
+    HammingSecded h(bytes * 8);
+    Rng rng(37 + bytes);
+    WideWord d = WideWord::random(rng, bytes);
+    uint32_t code = h.encode(d);
+    for (unsigned bit = 0; bit < bytes * 8; ++bit) {
+        WideWord f = d;
+        f.flipBit(bit);
+        auto res = h.decode(f, code);
+        ASSERT_EQ(res.status, HammingSecded::Status::CorrectedData)
+            << "bit " << bit;
+        EXPECT_EQ(res.bit, bit);
+    }
+}
+
+TEST_P(HammingWidths, DetectsEveryDoubleDataBitError)
+{
+    unsigned bytes = GetParam();
+    HammingSecded h(bytes * 8);
+    Rng rng(41 + bytes);
+    WideWord d = WideWord::random(rng, bytes);
+    uint32_t code = h.encode(d);
+    unsigned n = bytes * 8;
+    // Exhaustive for 64-bit; sampled stride for wider words.
+    unsigned stride = bytes <= 8 ? 1 : 5;
+    for (unsigned i = 0; i < n; i += stride) {
+        for (unsigned j = i + 1; j < n; j += stride) {
+            WideWord f = d;
+            f.flipBit(i);
+            f.flipBit(j);
+            auto res = h.decode(f, code);
+            EXPECT_EQ(res.status, HammingSecded::Status::Detected)
+                << "bits " << i << "," << j;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, HammingWidths,
+                         ::testing::Values(1u, 4u, 8u, 16u, 32u));
+
+TEST(Hamming, CorrectsCheckBitErrors)
+{
+    HammingSecded h(64);
+    Rng rng(43);
+    WideWord d = WideWord::random(rng, 8);
+    uint32_t code = h.encode(d);
+    for (unsigned i = 0; i < h.codeBits(); ++i) {
+        uint32_t bad = code ^ (1u << i);
+        auto res = h.decode(d, bad);
+        EXPECT_EQ(res.status, HammingSecded::Status::CorrectedCode)
+            << "code bit " << i;
+    }
+}
+
+TEST(Hamming, DataPlusCheckDoubleDetected)
+{
+    HammingSecded h(64);
+    Rng rng(47);
+    WideWord d = WideWord::random(rng, 8);
+    uint32_t code = h.encode(d);
+    for (unsigned cb = 0; cb < h.codeBits(); ++cb) {
+        WideWord f = d;
+        f.flipBit(11);
+        auto res = h.decode(f, code ^ (1u << cb));
+        EXPECT_EQ(res.status, HammingSecded::Status::Detected);
+    }
+}
+
+TEST(Hamming, EncodeIsDeterministicAndDataDependent)
+{
+    HammingSecded h(64);
+    WideWord a = WideWord::fromUint64(0x1);
+    WideWord b = WideWord::fromUint64(0x2);
+    EXPECT_EQ(h.encode(a), h.encode(a));
+    EXPECT_NE(h.encode(a), h.encode(b));
+}
+
+TEST(Hamming, RejectsOutOfRangeWidths)
+{
+    EXPECT_THROW(HammingSecded(0), FatalError);
+    EXPECT_THROW(HammingSecded(513), FatalError);
+}
+
+} // namespace
+} // namespace cppc

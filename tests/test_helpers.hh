@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Shared fixtures for cache/protection tests: a small hierarchy with a
+ * backing memory, deterministic data patterns, and row-addressing
+ * helpers for fault-injection scenarios.
+ */
+
+#ifndef CPPC_TESTS_TEST_HELPERS_HH
+#define CPPC_TESTS_TEST_HELPERS_HH
+
+#include <cstring>
+#include <memory>
+
+#include "cache/memory_level.hh"
+#include "cache/write_back_cache.hh"
+#include "util/rng.hh"
+
+namespace cppc::test {
+
+/** A single cache in front of main memory. */
+struct Harness
+{
+    MainMemory mem;
+    std::unique_ptr<WriteBackCache> cache;
+
+    // The cache holds a pointer to mem: the harness must never move.
+    // (Factory functions returning prvalues are fine under C++17
+    // guaranteed copy elision.)
+    Harness(const Harness &) = delete;
+    Harness &operator=(const Harness &) = delete;
+
+    Harness(const CacheGeometry &geom,
+            std::unique_ptr<ProtectionScheme> scheme,
+            ReplacementKind repl = ReplacementKind::LRU)
+    {
+        cache = std::make_unique<WriteBackCache>("L1D", geom, repl, &mem,
+                                                 std::move(scheme));
+    }
+
+    /** Deterministic, distinctive value for a given address. */
+    static uint64_t
+    valueFor(Addr addr)
+    {
+        uint64_t x = addr + 0x1234;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        return x ^ (x >> 31);
+    }
+
+    /**
+     * Address of row (set, way=0, unit) for a direct-mapped geometry;
+     * tag 0, so row index r maps straight to address r * unit_bytes.
+     */
+    Addr
+    addrOfRow(Row row) const
+    {
+        const CacheGeometry &g = cache->geometry();
+        unsigned upl = g.unitsPerLine();
+        unsigned line = row / upl;
+        unsigned unit = row % upl;
+        // Assumes assoc == 1 so line index == set.
+        return static_cast<Addr>(line) * g.line_bytes +
+            unit * g.unit_bytes;
+    }
+
+    /** Store a deterministic dirty word into every unit (assoc 1). */
+    void
+    dirtyAllRows()
+    {
+        const CacheGeometry &g = cache->geometry();
+        for (Row r = 0; r < g.numRows(); ++r) {
+            Addr a = addrOfRow(r);
+            uint64_t v = valueFor(a);
+            uint8_t buf[64];
+            for (unsigned i = 0; i < g.unit_bytes; ++i)
+                buf[i] = static_cast<uint8_t>(v >> (8 * (i % 8))) ^
+                    static_cast<uint8_t>(i * 37);
+            cache->store(a, g.unit_bytes, buf);
+        }
+    }
+};
+
+/** Small direct-mapped geometry convenient for row-level tests. */
+inline CacheGeometry
+smallGeometry(unsigned unit_bytes = 8)
+{
+    CacheGeometry g;
+    g.size_bytes = 1024; // 32 lines of 32 B
+    g.assoc = 1;
+    g.line_bytes = 32;
+    g.unit_bytes = unit_bytes;
+    return g;
+}
+
+} // namespace cppc::test
+
+#endif // CPPC_TESTS_TEST_HELPERS_HH

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "protection/icr.hh"
+#include "test_helpers.hh"
+#include "util/rng.hh"
+
+namespace cppc {
+namespace {
+
+using test::Harness;
+using test::smallGeometry;
+
+IcrScheme *
+scheme(Harness &h)
+{
+    return static_cast<IcrScheme *>(h.cache->scheme());
+}
+
+TEST(Icr, ReplicaPairing)
+{
+    Harness h(smallGeometry(), std::make_unique<IcrScheme>());
+    // 128 rows: peer halves are 64 apart, and pairing is symmetric.
+    EXPECT_EQ(scheme(h)->replicaRowOf(0), 64u);
+    EXPECT_EQ(scheme(h)->replicaRowOf(64), 0u);
+    EXPECT_EQ(scheme(h)->replicaRowOf(127), 63u);
+}
+
+TEST(Icr, DirtyFaultRecoversFromReplica)
+{
+    Harness h(smallGeometry(), std::make_unique<IcrScheme>());
+    h.cache->storeWord(0x0, 0x1234);
+    h.cache->corruptBit(0, 9);
+    auto out = h.cache->load(0x0, 8, nullptr);
+    EXPECT_TRUE(out.fault_detected);
+    EXPECT_FALSE(out.due);
+    EXPECT_EQ(h.cache->loadWord(0x0), 0x1234ull);
+    EXPECT_EQ(scheme(h)->replicaWrites(), 1u);
+}
+
+TEST(Icr, CleanFaultRefetched)
+{
+    Harness h(smallGeometry(), std::make_unique<IcrScheme>());
+    uint8_t seed[8] = {9, 8, 7, 6, 5, 4, 3, 2};
+    h.mem.poke(0x0, seed, 8);
+    uint64_t good = h.cache->loadWord(0x0);
+    h.cache->corruptBit(0, 3);
+    auto out = h.cache->load(0x0, 8, nullptr);
+    EXPECT_FALSE(out.due);
+    EXPECT_EQ(h.cache->loadWord(0x0), good);
+}
+
+TEST(Icr, PeerConflictLeavesDirtyDataUnprotected)
+{
+    // The coverage hole the paper criticises: when the replica slot
+    // holds live dirty data, the new dirty word is unprotected.
+    Harness h(smallGeometry(), std::make_unique<IcrScheme>());
+    Addr peer_addr = h.addrOfRow(64);
+    h.cache->storeWord(peer_addr, 0xAAAA); // peer slot dirty
+    h.cache->storeWord(0x0, 0xBBBB);       // cannot replicate
+    EXPECT_EQ(scheme(h)->unprotectedStores(), 1u);
+    h.cache->corruptBit(0, 5);
+    auto out = h.cache->load(0x0, 8, nullptr);
+    EXPECT_TRUE(out.due);
+}
+
+TEST(Icr, StoreDisplacesPeerReplica)
+{
+    Harness h(smallGeometry(), std::make_unique<IcrScheme>());
+    h.cache->storeWord(0x0, 0x1111); // replicated into row 64's slot
+    EXPECT_TRUE(scheme(h)->holdsReplica(0));
+    Addr peer_addr = h.addrOfRow(64);
+    h.cache->storeWord(peer_addr, 0x2222); // dirty data takes the slot
+    EXPECT_FALSE(scheme(h)->holdsReplica(0));
+    // Row 0's dirty data is now exposed.
+    h.cache->corruptBit(0, 2);
+    auto out = h.cache->load(0x0, 8, nullptr);
+    EXPECT_TRUE(out.due);
+}
+
+TEST(Icr, ReplicaRefreshedByOverwrites)
+{
+    Harness h(smallGeometry(), std::make_unique<IcrScheme>());
+    h.cache->storeWord(0x0, 1);
+    h.cache->storeWord(0x0, 2);
+    h.cache->storeWord(0x0, 3);
+    EXPECT_EQ(scheme(h)->replicaWrites(), 3u);
+    h.cache->corruptBit(0, 40);
+    h.cache->load(0x0, 8, nullptr);
+    EXPECT_EQ(h.cache->loadWord(0x0), 3ull);
+}
+
+TEST(Icr, RandomTrafficNoFalseDetections)
+{
+    Harness h(smallGeometry(), std::make_unique<IcrScheme>());
+    Rng rng(41);
+    for (int i = 0; i < 4000; ++i) {
+        Addr a = rng.nextBelow(512) * 8;
+        if (rng.chance(0.5))
+            h.cache->storeWord(a, rng.next());
+        else
+            h.cache->loadWord(a);
+    }
+    EXPECT_EQ(h.cache->scheme()->stats().detections, 0u);
+    EXPECT_GT(scheme(h)->replicaWrites(), 0u);
+}
+
+TEST(Icr, CoverageDependsOnDirtyPressure)
+{
+    // More dirty data -> more peer conflicts -> more unprotected
+    // stores (the locality trade-off).
+    auto unprotected_rate = [&](double store_prob) {
+        Harness h(smallGeometry(), std::make_unique<IcrScheme>());
+        Rng rng(43);
+        uint64_t stores = 0;
+        for (int i = 0; i < 6000; ++i) {
+            Addr a = rng.nextBelow(128) * 8; // exactly the cache size
+            if (rng.chance(store_prob)) {
+                h.cache->storeWord(a, rng.next());
+                ++stores;
+            } else {
+                h.cache->loadWord(a);
+            }
+        }
+        return static_cast<double>(scheme(h)->unprotectedStores()) /
+            static_cast<double>(stores);
+    };
+    EXPECT_GT(unprotected_rate(0.9), unprotected_rate(0.15));
+}
+
+TEST(Icr, AreaIsParityPlusBookkeeping)
+{
+    Harness h(smallGeometry(), std::make_unique<IcrScheme>());
+    EXPECT_EQ(h.cache->scheme()->codeBitsTotal(), 128u * 9);
+}
+
+} // namespace
+} // namespace cppc

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * End-to-end integration: the full Table 1 hierarchy under trace
+ * replay, with live fault injection, across all protection schemes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "cppc/cppc_scheme.hh"
+#include "fault/campaign.hh"
+#include "sim/experiment.hh"
+
+namespace cppc {
+namespace {
+
+TEST(Integration, ExperimentRunsForAllSchemes)
+{
+    const BenchmarkProfile &p = profileByName("gzip");
+    ExperimentOptions opts;
+    opts.instructions = 100000;
+    for (SchemeKind kind : kAllSchemes) {
+        RunMetrics m = runExperiment(p, kind, opts);
+        EXPECT_EQ(m.core.instructions, opts.instructions);
+        EXPECT_GT(m.core.cycles, 0u);
+        EXPECT_GT(m.l1_energy.total(), 0.0);
+        EXPECT_GT(m.l2_energy.total(), 0.0);
+        EXPECT_GT(m.l1_miss_rate, 0.0);
+        EXPECT_LT(m.l1_miss_rate, 1.0);
+    }
+}
+
+TEST(Integration, ExperimentDeterministic)
+{
+    const BenchmarkProfile &p = profileByName("vpr");
+    ExperimentOptions opts;
+    opts.instructions = 50000;
+    RunMetrics a = runExperiment(p, SchemeKind::Cppc, opts);
+    RunMetrics b = runExperiment(p, SchemeKind::Cppc, opts);
+    EXPECT_EQ(a.core.cycles, b.core.cycles);
+    EXPECT_DOUBLE_EQ(a.l1_energy.total(), b.l1_energy.total());
+}
+
+TEST(Integration, DirtyProfilingPopulated)
+{
+    const BenchmarkProfile &p = profileByName("gcc");
+    ExperimentOptions opts;
+    opts.instructions = 200000;
+    opts.profile_dirty = true;
+    RunMetrics m = runExperiment(p, SchemeKind::Parity1D, opts);
+    EXPECT_GT(m.l1_dirty_fraction, 0.0);
+    EXPECT_LT(m.l1_dirty_fraction, 1.0);
+    EXPECT_GT(m.l2_tavg_cycles, m.l1_tavg_cycles);
+}
+
+TEST(Integration, CppcInvariantHoldsAfterFullTraceReplay)
+{
+    Hierarchy h(SchemeKind::Cppc);
+    OooCoreModel core(PaperConfig::coreParams(), h.l1d.get(), h.l2.get());
+    TraceGenerator gen(profileByName("gcc"), 21);
+    core.run(gen, 300000);
+    auto *l1 = static_cast<CppcScheme *>(h.l1d->scheme());
+    auto *l2 = static_cast<CppcScheme *>(h.l2->scheme());
+    EXPECT_TRUE(l1->invariantHolds());
+    EXPECT_TRUE(l2->invariantHolds());
+    EXPECT_EQ(l1->stats().detections, 0u);
+    EXPECT_EQ(l2->stats().detections, 0u);
+}
+
+TEST(Integration, FaultDuringTrafficIsCorrectedAtL1)
+{
+    Hierarchy h(SchemeKind::Cppc);
+    OooCoreModel core(PaperConfig::coreParams(), h.l1d.get(), h.l2.get());
+    TraceGenerator gen(profileByName("vortex"), 33);
+    core.run(gen, 100000);
+
+    // Strike a dirty L1 row mid-run, continue the trace: the fault must
+    // be corrected transparently, never silently propagated.
+    Row victim = 0;
+    bool found = false;
+    h.l1d->forEachValidRow([&](Row r, bool dirty) {
+        if (dirty && !found) {
+            victim = r;
+            found = true;
+        }
+    });
+    ASSERT_TRUE(found);
+    uint64_t good = h.l1d->rowData(victim).toUint64();
+    h.l1d->corruptBit(victim, 17);
+    auto out = h.l1d->load(h.l1d->rowAddr(victim), 8, nullptr);
+    EXPECT_TRUE(out.fault_detected);
+    EXPECT_FALSE(out.due);
+    EXPECT_EQ(h.l1d->rowData(victim).toUint64(), good);
+
+    core.run(gen, 100000); // keep going: no residue
+    auto *l1 = static_cast<CppcScheme *>(h.l1d->scheme());
+    EXPECT_TRUE(l1->invariantHolds());
+}
+
+TEST(Integration, FaultInL2CorrectedThroughHierarchy)
+{
+    Hierarchy h(SchemeKind::Cppc);
+    OooCoreModel core(PaperConfig::coreParams(), h.l1d.get(), h.l2.get());
+    TraceGenerator gen(profileByName("twolf"), 44);
+    core.run(gen, 200000);
+
+    Row victim = 0;
+    bool found = false;
+    h.l2->forEachValidRow([&](Row r, bool dirty) {
+        if (dirty && !found) {
+            victim = r;
+            found = true;
+        }
+    });
+    ASSERT_TRUE(found);
+    WideWord good = h.l2->rowData(victim);
+    h.l2->corruptBit(victim, 100);
+    // Touch it from the L2 side as an L1 fill would.
+    auto out = h.l2->load(h.l2->rowAddr(victim), 32, nullptr);
+    EXPECT_TRUE(out.fault_detected);
+    EXPECT_FALSE(out.due);
+    EXPECT_EQ(h.l2->rowData(victim), good);
+}
+
+TEST(Integration, CampaignAgainstLiveHierarchyL1)
+{
+    Hierarchy h(SchemeKind::Cppc);
+    OooCoreModel core(PaperConfig::coreParams(), h.l1d.get(), h.l2.get());
+    TraceGenerator gen(profileByName("parser"), 55);
+    core.run(gen, 150000);
+
+    Campaign::Config cc;
+    cc.injections = 300;
+    cc.seed = 66;
+    CampaignResult r = Campaign(*h.l1d, cc).run();
+    EXPECT_EQ(r.sdc, 0u);
+    EXPECT_EQ(r.due, 0u);
+    EXPECT_EQ(r.corrected + r.benign, 300u);
+}
+
+TEST(Integration, MemoryImageConsistentAfterFlush)
+{
+    // Replay with faults corrected along the way, then flush both
+    // levels: memory must contain exactly what an unprotected, fault-
+    // free run would produce.
+    auto run_image = [&](bool inject) {
+        Hierarchy h(SchemeKind::Cppc);
+        OooCoreModel core(PaperConfig::coreParams(), h.l1d.get(),
+                          h.l2.get());
+        TraceGenerator gen(profileByName("crafty"), 77);
+        core.run(gen, 100000);
+        if (inject) {
+            Rng rng(88);
+            for (int i = 0; i < 50; ++i) {
+                Row r = static_cast<Row>(
+                    rng.nextBelow(h.l1d->geometry().numRows()));
+                if (!h.l1d->rowValid(r))
+                    continue;
+                h.l1d->corruptBit(
+                    r, static_cast<unsigned>(rng.nextBelow(64)));
+                h.l1d->load(h.l1d->rowAddr(r), 8, nullptr);
+            }
+        }
+        core.run(gen, 100000);
+        h.l1d->flushAll();
+        h.l2->flushAll();
+        // Hash the touched memory range.
+        uint64_t hash = 1469598103934665603ull;
+        uint8_t buf[4096];
+        for (Addr a = 0; a < (1u << 20); a += sizeof(buf)) {
+            h.mem.peek(a, buf, sizeof(buf));
+            for (uint8_t b : buf)
+                hash = (hash ^ b) * 1099511628211ull;
+        }
+        return hash;
+    };
+    EXPECT_EQ(run_image(false), run_image(true));
+}
+
+TEST(Integration, SchemeNamesStable)
+{
+    EXPECT_EQ(schemeKindName(SchemeKind::Cppc), "cppc");
+    EXPECT_EQ(schemeKindName(SchemeKind::Parity1D), "parity1d");
+    EXPECT_EQ(schemeKindName(SchemeKind::Secded), "secded");
+    EXPECT_EQ(schemeKindName(SchemeKind::Parity2D), "parity2d");
+    EXPECT_EQ(schemeKindName(SchemeKind::None), "none");
+}
+
+} // namespace
+} // namespace cppc

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "cache/memory_level.hh"
+
+namespace cppc {
+namespace {
+
+TEST(MainMemory, ZeroFilledByDefault)
+{
+    MainMemory mem;
+    uint8_t buf[64];
+    std::memset(buf, 0xff, sizeof(buf));
+    mem.readLine(0x1000, buf, 64);
+    for (uint8_t b : buf)
+        EXPECT_EQ(b, 0);
+}
+
+TEST(MainMemory, WriteReadRoundTrip)
+{
+    MainMemory mem;
+    uint8_t in[32], out[32];
+    for (unsigned i = 0; i < 32; ++i)
+        in[i] = static_cast<uint8_t>(i + 1);
+    mem.writeLine(0x2000, in, 32);
+    mem.readLine(0x2000, out, 32);
+    EXPECT_EQ(std::memcmp(in, out, 32), 0);
+}
+
+TEST(MainMemory, CrossPageAccess)
+{
+    MainMemory mem;
+    uint8_t in[64], out[64];
+    for (unsigned i = 0; i < 64; ++i)
+        in[i] = static_cast<uint8_t>(200 - i);
+    // Straddles the 4 KiB page boundary.
+    mem.writeLine(0x0ff0, in, 64);
+    mem.readLine(0x0ff0, out, 64);
+    EXPECT_EQ(std::memcmp(in, out, 64), 0);
+}
+
+TEST(MainMemory, SparsePagesIndependent)
+{
+    MainMemory mem;
+    uint8_t v1 = 0xaa, v2 = 0xbb, out = 0;
+    mem.writeLine(0x0, &v1, 1);
+    mem.writeLine(0x100000, &v2, 1);
+    mem.readLine(0x0, &out, 1);
+    EXPECT_EQ(out, 0xaa);
+    mem.readLine(0x100000, &out, 1);
+    EXPECT_EQ(out, 0xbb);
+}
+
+TEST(MainMemory, AccessCounting)
+{
+    MainMemory mem;
+    uint8_t b = 0;
+    EXPECT_EQ(mem.reads(), 0u);
+    mem.readLine(0, &b, 1);
+    mem.readLine(8, &b, 1);
+    mem.writeLine(0, &b, 1);
+    EXPECT_EQ(mem.reads(), 2u);
+    EXPECT_EQ(mem.writes(), 1u);
+}
+
+TEST(MainMemory, PeekPokeDoNotCount)
+{
+    MainMemory mem;
+    uint8_t b = 0x5c;
+    mem.poke(0x40, &b, 1);
+    uint8_t out = 0;
+    mem.peek(0x40, &out, 1);
+    EXPECT_EQ(out, 0x5c);
+    EXPECT_EQ(mem.reads(), 0u);
+    EXPECT_EQ(mem.writes(), 0u);
+}
+
+TEST(MainMemory, OverwriteInPlace)
+{
+    MainMemory mem;
+    uint8_t a = 1, b = 2, out = 0;
+    mem.writeLine(0x30, &a, 1);
+    mem.writeLine(0x30, &b, 1);
+    mem.readLine(0x30, &out, 1);
+    EXPECT_EQ(out, 2);
+}
+
+} // namespace
+} // namespace cppc

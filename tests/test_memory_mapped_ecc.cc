@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "protection/memory_mapped_ecc.hh"
+#include "test_helpers.hh"
+#include "util/rng.hh"
+
+namespace cppc {
+namespace {
+
+using test::Harness;
+using test::smallGeometry;
+
+MemoryMappedEccScheme *
+scheme(Harness &h)
+{
+    return static_cast<MemoryMappedEccScheme *>(h.cache->scheme());
+}
+
+TEST(MmEcc, SingleBitDirtyFaultCorrectedViaMemoryCode)
+{
+    Harness h(smallGeometry(), std::make_unique<MemoryMappedEccScheme>());
+    h.cache->storeWord(0x0, 0xFACE);
+    h.cache->corruptBit(0, 31);
+    auto out = h.cache->load(0x0, 8, nullptr);
+    EXPECT_TRUE(out.fault_detected);
+    EXPECT_FALSE(out.due);
+    EXPECT_EQ(h.cache->loadWord(0x0), 0xFACEull);
+    EXPECT_EQ(scheme(h)->memCodeReads(), 1u);
+}
+
+TEST(MmEcc, CleanFaultRefetchedWithoutMemoryCodeRead)
+{
+    Harness h(smallGeometry(), std::make_unique<MemoryMappedEccScheme>());
+    uint8_t seed[8] = {1, 1, 2, 3, 5, 8, 13, 21};
+    h.mem.poke(0x0, seed, 8);
+    uint64_t good = h.cache->loadWord(0x0);
+    h.cache->corruptBit(0, 8);
+    auto out = h.cache->load(0x0, 8, nullptr);
+    EXPECT_FALSE(out.due);
+    EXPECT_EQ(h.cache->loadWord(0x0), good);
+    EXPECT_EQ(scheme(h)->memCodeReads(), 0u);
+}
+
+TEST(MmEcc, DoubleBitDirtyFaultIsDue)
+{
+    Harness h(smallGeometry(), std::make_unique<MemoryMappedEccScheme>());
+    h.cache->storeWord(0x0, 0x5555);
+    h.cache->corruptBit(0, 0);
+    h.cache->corruptBit(0, 17);
+    auto out = h.cache->load(0x0, 8, nullptr);
+    EXPECT_TRUE(out.due);
+}
+
+TEST(MmEcc, DirtyEvictionsCostMemoryCodeWrites)
+{
+    CacheGeometry g = smallGeometry();
+    Harness h(g, std::make_unique<MemoryMappedEccScheme>());
+    h.cache->storeWord(0x0, 1);
+    h.cache->storeWord(0x8, 2); // two dirty units in line 0
+    h.cache->loadWord(0x0 + g.size_bytes); // evict it
+    EXPECT_EQ(scheme(h)->memCodeWrites(), 2u);
+    // Clean evictions cost nothing.
+    h.cache->loadWord(0x20);
+    h.cache->loadWord(0x20 + g.size_bytes);
+    EXPECT_EQ(scheme(h)->memCodeWrites(), 2u);
+}
+
+TEST(MmEcc, OnChipAreaIsDetectionOnly)
+{
+    Harness h(smallGeometry(), std::make_unique<MemoryMappedEccScheme>());
+    // Parity bits only: same on-chip footprint as 1D parity, with full
+    // single-bit correction capability for dirty data.
+    EXPECT_EQ(h.cache->scheme()->codeBitsTotal(), 128u * 8);
+}
+
+TEST(MmEcc, EverySingleBitPositionCorrectable)
+{
+    Harness h(smallGeometry(), std::make_unique<MemoryMappedEccScheme>());
+    h.cache->storeWord(0x40, 0x123456789abcdef0ull);
+    Row row = 8; // line 2, unit 0
+    for (unsigned bit = 0; bit < 64; bit += 3) {
+        h.cache->corruptBit(row, bit);
+        auto out = h.cache->load(0x40, 8, nullptr);
+        ASSERT_FALSE(out.due) << "bit " << bit;
+        ASSERT_EQ(h.cache->loadWord(0x40), 0x123456789abcdef0ull);
+    }
+}
+
+TEST(MmEcc, RandomTrafficNoFalseDetections)
+{
+    Harness h(smallGeometry(), std::make_unique<MemoryMappedEccScheme>());
+    Rng rng(61);
+    for (int i = 0; i < 4000; ++i) {
+        Addr a = rng.nextBelow(512) * 8;
+        if (rng.chance(0.5))
+            h.cache->storeWord(a, rng.next());
+        else
+            h.cache->loadWord(a);
+    }
+    EXPECT_EQ(h.cache->scheme()->stats().detections, 0u);
+}
+
+} // namespace
+} // namespace cppc

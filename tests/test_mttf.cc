@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "reliability/mttf_model.hh"
+#include "sim/paper_config.hh"
+#include "util/logging.hh"
+
+namespace cppc {
+namespace {
+
+// Table 1 / Table 2 constants as the paper reports them.
+constexpr uint64_t kL1Bits = 32ull * 1024 * 8;
+constexpr uint64_t kL2Bits = 1024ull * 1024 * 8;
+constexpr double kL1Dirty = 0.16;
+constexpr double kL2Dirty = 0.35;
+constexpr double kL1Tavg = 1828.0;
+constexpr double kL2Tavg = 378997.0;
+
+bool
+within(double x, double ref, double factor)
+{
+    return x > ref / factor && x < ref * factor;
+}
+
+TEST(Mttf, Table3ParityRows)
+{
+    MttfModel m;
+    EXPECT_TRUE(within(m.parityMttfYears(kL1Bits, kL1Dirty), 4490.0, 2.0));
+    EXPECT_TRUE(within(m.parityMttfYears(kL2Bits, kL2Dirty), 64.0, 2.0));
+}
+
+TEST(Mttf, Table3CppcRows)
+{
+    MttfModel m;
+    double l1 = m.cppcMttfYears(kL1Bits, kL1Dirty, 8, 1, 1, kL1Tavg);
+    double l2 = m.cppcMttfYears(kL2Bits, kL2Dirty, 8, 1, 1, kL2Tavg);
+    EXPECT_TRUE(within(l1, 8.02e21, 5.0)) << l1;
+    EXPECT_TRUE(within(l2, 8.07e15, 5.0)) << l2;
+}
+
+TEST(Mttf, Table3SecdedRows)
+{
+    MttfModel m;
+    double l1 = m.secdedMttfYears(kL1Bits, kL1Dirty, 64, kL1Tavg);
+    double l2 = m.secdedMttfYears(kL2Bits, kL2Dirty, 256, kL2Tavg);
+    EXPECT_TRUE(within(l1, 6.2e23, 5.0)) << l1;
+    EXPECT_TRUE(within(l2, 1.1e19, 5.0)) << l2;
+}
+
+TEST(Mttf, OrderingParityCppcSecded)
+{
+    MttfModel m;
+    double p = m.parityMttfYears(kL1Bits, kL1Dirty);
+    double c = m.cppcMttfYears(kL1Bits, kL1Dirty, 8, 1, 1, kL1Tavg);
+    double s = m.secdedMttfYears(kL1Bits, kL1Dirty, 64, kL1Tavg);
+    EXPECT_LT(p, c);
+    EXPECT_LT(c, s);
+}
+
+TEST(Mttf, AliasingFigureSection47)
+{
+    MttfModel m;
+    double alias = m.aliasingMttfYears(kL2Bits, kL2Dirty, 7, kL2Tavg);
+    EXPECT_TRUE(within(alias, 4.19e20, 5.0)) << alias;
+    // "5 orders of magnitude larger than DUEs due to temporal 2-bit
+    // faults" — at least a factor of 10^4 in our calibration.
+    double cppc = m.cppcMttfYears(kL2Bits, kL2Dirty, 8, 1, 1, kL2Tavg);
+    EXPECT_GT(alias / cppc, 1e4);
+}
+
+TEST(Mttf, DomainScalingDoublesReliability)
+{
+    // Section 3.4: halving the protection-domain size doubles MTTF.
+    MttfModel m;
+    double one = m.cppcMttfYears(kL2Bits, kL2Dirty, 8, 1, 1, kL2Tavg);
+    double two = m.cppcMttfYears(kL2Bits, kL2Dirty, 8, 2, 1, kL2Tavg);
+    double four_dom = m.cppcMttfYears(kL2Bits, kL2Dirty, 8, 1, 4, kL2Tavg);
+    EXPECT_NEAR(two / one, 2.0, 1e-6);
+    EXPECT_NEAR(four_dom / one, 4.0, 1e-6);
+}
+
+TEST(Mttf, MoreParityBitsScaleTheSameWay)
+{
+    MttfModel m;
+    double k8 = m.cppcMttfYears(kL1Bits, kL1Dirty, 8, 1, 1, kL1Tavg);
+    double k16 = m.cppcMttfYears(kL1Bits, kL1Dirty, 16, 1, 1, kL1Tavg);
+    EXPECT_NEAR(k16 / k8, 2.0, 1e-6);
+}
+
+TEST(Mttf, ShorterWindowImprovesMttf)
+{
+    MttfModel m;
+    double slow = m.cppcMttfYears(kL1Bits, kL1Dirty, 8, 1, 1, 10000.0);
+    double fast = m.cppcMttfYears(kL1Bits, kL1Dirty, 8, 1, 1, 100.0);
+    EXPECT_GT(fast, slow);
+    // P ~ (lambda*T)^2 per interval but there are 1/T intervals per
+    // unit time: MTTF ~ 1/T overall.
+    EXPECT_NEAR(fast / slow, 100.0, 1.0);
+}
+
+TEST(Mttf, HigherFitRateHurtsQuadratically)
+{
+    ReliabilityParams hot;
+    hot.fit_per_bit = 0.01; // 10x the default
+    MttfModel base, worse(hot);
+    double b = base.cppcMttfYears(kL1Bits, kL1Dirty, 8, 1, 1, kL1Tavg);
+    double w = worse.cppcMttfYears(kL1Bits, kL1Dirty, 8, 1, 1, kL1Tavg);
+    EXPECT_NEAR(b / w, 100.0, 1.0);
+    // Parity (single-fault) degrades only linearly.
+    double pb = base.parityMttfYears(kL1Bits, kL1Dirty);
+    double pw = worse.parityMttfYears(kL1Bits, kL1Dirty);
+    EXPECT_NEAR(pb / pw, 10.0, 1e-6);
+}
+
+TEST(Mttf, ProbTwoOrMoreNumericallyRobust)
+{
+    // Tiny means must not underflow to zero MTT= inf mistakes.
+    MttfModel m;
+    double v = m.doubleFaultMttfYears(1.0, 1.0, 1.0);
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GT(v, 1e30); // absurdly reliable, but finite
+}
+
+TEST(Mttf, RejectsBadInputs)
+{
+    MttfModel m;
+    EXPECT_THROW(m.parityMttfYears(0, 0.5), FatalError);
+    EXPECT_THROW(m.doubleFaultMttfYears(0.0, 1.0, 1.0), FatalError);
+    EXPECT_THROW(m.doubleFaultMttfYears(1.0, 1.0, 0.0), FatalError);
+}
+
+TEST(Mttf, HoursConversion)
+{
+    MttfModel m;
+    // 3 GHz: 1.08e13 cycles per hour.
+    EXPECT_NEAR(m.hoursOf(3e9 * 3600.0), 1.0, 1e-9);
+}
+
+} // namespace
+} // namespace cppc

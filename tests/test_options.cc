@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <set>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/options.hh"
+
+namespace cppc {
+namespace {
+
+Options
+parse(std::initializer_list<const char *> args,
+      std::set<std::string> known = {"alpha", "beta", "flag", "num",
+                                     "rate"})
+{
+    std::vector<const char *> argv{"prog"};
+    argv.insert(argv.end(), args.begin(), args.end());
+    Options opt(std::move(known));
+    opt.parse(static_cast<int>(argv.size()), argv.data());
+    return opt;
+}
+
+TEST(Options, KeyEqualsValue)
+{
+    Options o = parse({"--alpha=hello", "--num=42"});
+    EXPECT_EQ(o.getString("alpha"), "hello");
+    EXPECT_EQ(o.getUint("num"), 42u);
+}
+
+TEST(Options, KeySpaceValue)
+{
+    Options o = parse({"--alpha", "world", "--num", "7"});
+    EXPECT_EQ(o.getString("alpha"), "world");
+    EXPECT_EQ(o.getUint("num"), 7u);
+}
+
+TEST(Options, BooleanFlagForms)
+{
+    EXPECT_TRUE(parse({"--flag"}).getBool("flag"));
+    EXPECT_TRUE(parse({"--flag=true"}).getBool("flag"));
+    EXPECT_TRUE(parse({"--flag=1"}).getBool("flag"));
+    EXPECT_FALSE(parse({"--flag=false"}).getBool("flag"));
+    EXPECT_FALSE(parse({"--flag=no"}).getBool("flag"));
+    EXPECT_FALSE(parse({}).getBool("flag", false));
+    EXPECT_TRUE(parse({}).getBool("flag", true));
+}
+
+TEST(Options, Defaults)
+{
+    Options o = parse({});
+    EXPECT_EQ(o.getString("alpha", "dflt"), "dflt");
+    EXPECT_EQ(o.getUint("num", 9), 9u);
+    EXPECT_DOUBLE_EQ(o.getDouble("rate", 0.5), 0.5);
+    EXPECT_FALSE(o.has("alpha"));
+}
+
+TEST(Options, DoubleParsing)
+{
+    Options o = parse({"--rate=0.125"});
+    EXPECT_DOUBLE_EQ(o.getDouble("rate"), 0.125);
+}
+
+TEST(Options, HexIntegers)
+{
+    Options o = parse({"--num=0x40"});
+    EXPECT_EQ(o.getUint("num"), 64u);
+}
+
+TEST(Options, Positional)
+{
+    Options o = parse({"runme", "--alpha=x", "afterwards"});
+    ASSERT_EQ(o.positional().size(), 2u);
+    EXPECT_EQ(o.positional()[0], "runme");
+    EXPECT_EQ(o.positional()[1], "afterwards");
+    EXPECT_EQ(o.program(), "prog");
+}
+
+TEST(Options, UnknownOptionRejected)
+{
+    EXPECT_THROW(parse({"--bogus=1"}), FatalError);
+    EXPECT_THROW(parse({"--bogus"}), FatalError);
+}
+
+TEST(Options, MalformedValuesRejected)
+{
+    EXPECT_THROW(parse({"--num=abc"}).getUint("num"), FatalError);
+    EXPECT_THROW(parse({"--rate=xyz"}).getDouble("rate"), FatalError);
+    EXPECT_THROW(parse({"--flag=maybe"}).getBool("flag"), FatalError);
+    EXPECT_THROW(parse({"--num=12junk"}).getUint("num"), FatalError);
+}
+
+TEST(Options, StrayDashDashRejected)
+{
+    EXPECT_THROW(parse({"--"}), FatalError);
+}
+
+TEST(Options, LastValueWins)
+{
+    Options o = parse({"--alpha=one", "--alpha=two"});
+    EXPECT_EQ(o.getString("alpha"), "two");
+}
+
+} // namespace
+} // namespace cppc

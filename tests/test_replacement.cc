@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cache/replacement.hh"
+#include "util/logging.hh"
+
+namespace cppc {
+namespace {
+
+TEST(Replacement, ParseNames)
+{
+    EXPECT_EQ(parseReplacementKind("lru"), ReplacementKind::LRU);
+    EXPECT_EQ(parseReplacementKind("plru"), ReplacementKind::TreePLRU);
+    EXPECT_EQ(parseReplacementKind("random"), ReplacementKind::Random);
+    EXPECT_THROW(parseReplacementKind("fifo"), FatalError);
+}
+
+TEST(Lru, EvictsLeastRecentlyUsed)
+{
+    LruPolicy lru(1, 4);
+    for (unsigned w = 0; w < 4; ++w)
+        lru.touch(0, w);
+    EXPECT_EQ(lru.victim(0), 0u);
+    lru.touch(0, 0);
+    EXPECT_EQ(lru.victim(0), 1u);
+    lru.touch(0, 1);
+    lru.touch(0, 2);
+    EXPECT_EQ(lru.victim(0), 3u);
+}
+
+TEST(Lru, SetsIndependent)
+{
+    LruPolicy lru(2, 2);
+    lru.touch(0, 0);
+    lru.touch(0, 1);
+    lru.touch(1, 1);
+    lru.touch(1, 0);
+    EXPECT_EQ(lru.victim(0), 0u);
+    EXPECT_EQ(lru.victim(1), 1u);
+}
+
+TEST(TreePlru, NeverEvictsMostRecent)
+{
+    TreePlruPolicy plru(1, 8);
+    for (int rep = 0; rep < 50; ++rep) {
+        unsigned w = static_cast<unsigned>(rep * 5) % 8;
+        plru.touch(0, w);
+        EXPECT_NE(plru.victim(0), w);
+    }
+}
+
+TEST(TreePlru, CyclesThroughAllWays)
+{
+    // Touch-the-victim repeatedly must visit every way.
+    TreePlruPolicy plru(1, 4);
+    std::set<unsigned> seen;
+    for (int i = 0; i < 16; ++i) {
+        unsigned v = plru.victim(0);
+        seen.insert(v);
+        plru.touch(0, v);
+    }
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(TreePlru, RejectsNonPowerOfTwo)
+{
+    EXPECT_THROW(TreePlruPolicy(1, 3), FatalError);
+}
+
+TEST(Random, VictimInRangeAndCoversWays)
+{
+    RandomPolicy r(4, 123);
+    std::set<unsigned> seen;
+    for (int i = 0; i < 200; ++i) {
+        unsigned v = r.victim(0);
+        EXPECT_LT(v, 4u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Random, DeterministicForSeed)
+{
+    RandomPolicy a(8, 7), b(8, 7);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(a.victim(0), b.victim(0));
+}
+
+TEST(Factory, CreatesRequestedKinds)
+{
+    auto l = ReplacementPolicy::create(ReplacementKind::LRU, 4, 2);
+    auto p = ReplacementPolicy::create(ReplacementKind::TreePLRU, 4, 2);
+    auto r = ReplacementPolicy::create(ReplacementKind::Random, 4, 2, 9);
+    EXPECT_EQ(l->name(), "lru");
+    EXPECT_EQ(p->name(), "plru");
+    EXPECT_EQ(r->name(), "random");
+}
+
+TEST(DirectMapped, AllPoliciesReturnWayZero)
+{
+    for (auto kind : {ReplacementKind::LRU, ReplacementKind::TreePLRU}) {
+        auto p = ReplacementPolicy::create(kind, 4, 1);
+        p->touch(2, 0);
+        EXPECT_EQ(p->victim(2), 0u);
+    }
+}
+
+} // namespace
+} // namespace cppc

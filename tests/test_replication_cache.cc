@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "protection/replication_cache.hh"
+#include "test_helpers.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace cppc {
+namespace {
+
+using test::Harness;
+using test::smallGeometry;
+
+ReplicationCacheScheme *
+scheme(Harness &h)
+{
+    return static_cast<ReplicationCacheScheme *>(h.cache->scheme());
+}
+
+TEST(ReplCache, RecentDirtyWordRecoversFromReplica)
+{
+    Harness h(smallGeometry(),
+              std::make_unique<ReplicationCacheScheme>(16));
+    h.cache->storeWord(0x0, 0xCAFE);
+    EXPECT_TRUE(scheme(h)->hasReplica(0));
+    h.cache->corruptBit(0, 14);
+    auto out = h.cache->load(0x0, 8, nullptr);
+    EXPECT_TRUE(out.fault_detected);
+    EXPECT_FALSE(out.due);
+    EXPECT_EQ(h.cache->loadWord(0x0), 0xCAFEull);
+}
+
+TEST(ReplCache, EvictedReplicaLeavesWordUnprotected)
+{
+    // Capacity 4: the fifth distinct store displaces the oldest
+    // replica, exposing that dirty word — the low-locality hole.
+    Harness h(smallGeometry(),
+              std::make_unique<ReplicationCacheScheme>(4));
+    for (unsigned i = 0; i < 5; ++i)
+        h.cache->storeWord(i * 0x20, 100 + i);
+    EXPECT_FALSE(scheme(h)->hasReplica(0)); // first store's replica gone
+    EXPECT_EQ(scheme(h)->replicaEvictions(), 1u);
+    h.cache->corruptBit(0, 3);
+    auto out = h.cache->load(0x0, 8, nullptr);
+    EXPECT_TRUE(out.due);
+}
+
+TEST(ReplCache, OverwriteRefreshesReplicaLru)
+{
+    Harness h(smallGeometry(),
+              std::make_unique<ReplicationCacheScheme>(2));
+    h.cache->storeWord(0x00, 1);
+    h.cache->storeWord(0x20, 2);
+    h.cache->storeWord(0x00, 3); // refresh word 0's recency
+    h.cache->storeWord(0x40, 4); // evicts word 0x20's replica
+    EXPECT_TRUE(scheme(h)->hasReplica(0));
+    EXPECT_FALSE(scheme(h)->hasReplica(4 /* row of 0x20 */));
+}
+
+TEST(ReplCache, CleanFaultRefetches)
+{
+    Harness h(smallGeometry(),
+              std::make_unique<ReplicationCacheScheme>(8));
+    uint8_t seed[8] = {3, 1, 4, 1, 5, 9, 2, 6};
+    h.mem.poke(0x0, seed, 8);
+    uint64_t good = h.cache->loadWord(0x0);
+    h.cache->corruptBit(0, 40);
+    auto out = h.cache->load(0x0, 8, nullptr);
+    EXPECT_FALSE(out.due);
+    EXPECT_EQ(h.cache->loadWord(0x0), good);
+}
+
+TEST(ReplCache, WritebackDropsReplica)
+{
+    CacheGeometry g = smallGeometry();
+    Harness h(g, std::make_unique<ReplicationCacheScheme>(16));
+    h.cache->storeWord(0x0, 0x11);
+    EXPECT_EQ(scheme(h)->occupancy(), 1u);
+    h.cache->loadWord(0x0 + g.size_bytes); // evicts + writes back
+    EXPECT_EQ(scheme(h)->occupancy(), 0u);
+}
+
+TEST(ReplCache, RandomTrafficTransparent)
+{
+    Harness h(smallGeometry(),
+              std::make_unique<ReplicationCacheScheme>(32));
+    Rng rng(71);
+    std::map<Addr, uint64_t> golden;
+    for (int i = 0; i < 5000; ++i) {
+        Addr a = rng.nextBelow(512) * 8;
+        if (rng.chance(0.5)) {
+            uint64_t v = rng.next();
+            golden[a] = v;
+            h.cache->storeWord(a, v);
+        } else {
+            uint64_t expect = golden.count(a) ? golden[a] : 0;
+            ASSERT_EQ(h.cache->loadWord(a), expect);
+        }
+    }
+    EXPECT_EQ(h.cache->scheme()->stats().detections, 0u);
+    EXPECT_LE(scheme(h)->occupancy(), 32u);
+}
+
+TEST(ReplCache, CoverageImprovesWithCapacity)
+{
+    auto due_rate = [&](unsigned entries) {
+        Harness h(smallGeometry(),
+                  std::make_unique<ReplicationCacheScheme>(entries));
+        Rng rng(73);
+        // Low-locality store stream over the whole cache.
+        for (int i = 0; i < 2000; ++i)
+            h.cache->storeWord(rng.nextBelow(128) * 8, rng.next());
+        unsigned dues = 0, probes = 0;
+        for (Row r = 0; r < 128; ++r) {
+            if (!h.cache->rowDirty(r))
+                continue;
+            uint64_t good = h.cache->rowData(r).toUint64();
+            h.cache->corruptBit(r, 5);
+            auto out = h.cache->load(h.cache->rowAddr(r), 8, nullptr);
+            ++probes;
+            if (out.due) {
+                ++dues;
+                h.cache->pokeRowData(r, WideWord::fromUint64(good, 8));
+            }
+        }
+        return static_cast<double>(dues) / static_cast<double>(probes);
+    };
+    double small = due_rate(8);
+    double large = due_rate(128);
+    EXPECT_GT(small, 0.5); // most dirty words unprotected
+    EXPECT_EQ(large, 0.0); // buffer as large as the cache: full cover
+}
+
+TEST(ReplCache, AreaScalesWithBufferNotCache)
+{
+    // The dedicated buffer dominates the overhead — the paper's "not
+    // area-efficient for large caches" point.
+    Harness h(smallGeometry(),
+              std::make_unique<ReplicationCacheScheme>(64));
+    uint64_t bits = h.cache->scheme()->codeBitsTotal();
+    // 128 rows x 8 parity + 64 entries x (64 data + 8 tag).
+    EXPECT_EQ(bits, 128u * 8 + 64u * (64 + 8));
+}
+
+TEST(ReplCache, RejectsBadConfig)
+{
+    EXPECT_THROW(ReplicationCacheScheme(0), FatalError);
+    EXPECT_THROW(ReplicationCacheScheme(8, 0), FatalError);
+}
+
+} // namespace
+} // namespace cppc

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hh"
+
+namespace cppc {
+namespace {
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, ReseedRestartsStream)
+{
+    Rng a(42);
+    uint64_t first = a.next();
+    a.next();
+    a.reseed(42);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    Rng r(3);
+    for (uint64_t n : {1ull, 2ull, 7ull, 100ull, 1ull << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(r.nextBelow(n), n);
+    }
+}
+
+TEST(Rng, NextBelowCoversSmallRange)
+{
+    Rng r(5);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(r.nextBelow(10));
+    EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, NextRangeInclusive)
+{
+    Rng r(7);
+    bool hit_lo = false, hit_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        uint64_t v = r.nextRange(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        hit_lo |= v == 3;
+        hit_hi |= v == 6;
+    }
+    EXPECT_TRUE(hit_lo);
+    EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, PoissonMeanSmallLambda)
+{
+    Rng r(17);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(r.poisson(2.5));
+    EXPECT_NEAR(sum / n, 2.5, 0.1);
+}
+
+TEST(Rng, PoissonMeanLargeLambda)
+{
+    Rng r(19);
+    double sum = 0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(r.poisson(200.0));
+    EXPECT_NEAR(sum / n, 200.0, 2.0);
+}
+
+TEST(Rng, PoissonZero)
+{
+    Rng r(23);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(r.poisson(0.0), 0u);
+}
+
+TEST(Rng, ZipfLikeBiasedTowardZero)
+{
+    Rng r(29);
+    uint64_t low = 0, high = 0;
+    const uint64_t n = 1000;
+    for (int i = 0; i < 20000; ++i) {
+        uint64_t v = r.zipfLike(n, 0.8);
+        EXPECT_LT(v, n);
+        if (v < n / 10)
+            ++low;
+        if (v >= 9 * n / 10)
+            ++high;
+    }
+    EXPECT_GT(low, high * 2);
+}
+
+} // namespace
+} // namespace cppc

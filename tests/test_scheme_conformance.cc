@@ -1,0 +1,248 @@
+/**
+ * @file
+ * The cross-scheme contract: every protection scheme, run through the
+ * same battery, must be functionally transparent when fault-free,
+ * never falsely detect, always handle clean faults, and never turn a
+ * single-bit dirty fault into *silent* corruption.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <map>
+
+#include "cppc/cppc_scheme.hh"
+#include "protection/icr.hh"
+#include "protection/memory_mapped_ecc.hh"
+#include "protection/parity.hh"
+#include "protection/replication_cache.hh"
+#include "protection/secded.hh"
+#include "protection/two_d_parity.hh"
+#include "test_helpers.hh"
+#include "util/rng.hh"
+
+namespace cppc {
+namespace {
+
+using test::Harness;
+using test::smallGeometry;
+
+/** How a scheme handles a single-bit fault in dirty data. */
+enum class DirtyFix
+{
+    Always,    // guaranteed correction
+    Never,     // always a DUE (detection-only)
+    Sometimes, // depends on internal state (ICR's replica slot)
+};
+
+struct SchemeSpec
+{
+    const char *name;
+    std::function<std::unique_ptr<ProtectionScheme>()> make;
+    DirtyFix dirty_fix;
+};
+
+const SchemeSpec kSpecs[] = {
+    {"parity1d", [] { return std::make_unique<OneDimParityScheme>(8); },
+     DirtyFix::Never},
+    {"secded", [] { return std::make_unique<SecdedScheme>(8); },
+     DirtyFix::Always},
+    {"parity2d", [] { return std::make_unique<TwoDParityScheme>(8); },
+     DirtyFix::Always},
+    {"cppc", [] { return std::make_unique<CppcScheme>(); },
+     DirtyFix::Always},
+    {"icr", [] { return std::make_unique<IcrScheme>(8); },
+     DirtyFix::Sometimes},
+    {"mmecc",
+     [] { return std::make_unique<MemoryMappedEccScheme>(8); },
+     DirtyFix::Always},
+    {"replcache",
+     [] { return std::make_unique<ReplicationCacheScheme>(64, 8); },
+     DirtyFix::Sometimes},
+};
+
+class SchemeConformance : public ::testing::TestWithParam<SchemeSpec>
+{
+};
+
+TEST_P(SchemeConformance, FunctionallyTransparent)
+{
+    // The protected cache must behave exactly like a golden memory
+    // under arbitrary fault-free traffic.
+    Harness h(smallGeometry(), GetParam().make());
+    Rng rng(101);
+    std::map<Addr, uint64_t> golden;
+    for (int i = 0; i < 6000; ++i) {
+        Addr a = rng.nextBelow(1024) * 8;
+        if (rng.chance(0.45)) {
+            uint64_t v = rng.next();
+            golden[a] = v;
+            h.cache->storeWord(a, v);
+        } else {
+            uint64_t expect = golden.count(a) ? golden[a] : 0;
+            ASSERT_EQ(h.cache->loadWord(a), expect) << "iter " << i;
+        }
+    }
+    EXPECT_EQ(h.cache->scheme()->stats().detections, 0u);
+}
+
+TEST_P(SchemeConformance, PartialStoresTransparent)
+{
+    Harness h(smallGeometry(), GetParam().make());
+    Rng rng(103);
+    std::map<Addr, uint8_t> golden;
+    for (int i = 0; i < 3000; ++i) {
+        Addr a = rng.nextBelow(1024 * 8);
+        if (rng.chance(0.5)) {
+            uint8_t v = static_cast<uint8_t>(rng.next());
+            golden[a] = v;
+            h.cache->store(a, 1, &v);
+        } else {
+            uint8_t out = 0;
+            h.cache->load(a, 1, &out);
+            uint8_t expect = golden.count(a) ? golden[a] : 0;
+            ASSERT_EQ(out, expect) << "iter " << i;
+        }
+    }
+    EXPECT_EQ(h.cache->scheme()->stats().detections, 0u);
+}
+
+TEST_P(SchemeConformance, CleanSingleBitFaultAlwaysHandled)
+{
+    Harness h(smallGeometry(), GetParam().make());
+    uint8_t seed[8] = {0x42, 0x17, 0x99, 0x01, 0xfe, 0x20, 0x3c, 0x77};
+    h.mem.poke(0x0, seed, 8);
+    uint64_t good = h.cache->loadWord(0x0);
+    Rng rng(107);
+    for (int rep = 0; rep < 30; ++rep) {
+        h.cache->corruptBit(0, static_cast<unsigned>(rng.nextBelow(64)));
+        auto out = h.cache->load(0x0, 8, nullptr);
+        ASSERT_TRUE(out.fault_detected);
+        ASSERT_FALSE(out.due);
+        ASSERT_EQ(h.cache->loadWord(0x0), good);
+    }
+}
+
+TEST_P(SchemeConformance, DirtySingleBitFaultNeverSilent)
+{
+    Harness h(smallGeometry(), GetParam().make());
+    Rng rng(109);
+    for (int rep = 0; rep < 40; ++rep) {
+        Addr a = rng.nextBelow(128) * 8;
+        uint64_t v = rng.next();
+        h.cache->storeWord(a, v);
+        Row r = 0;
+        bool found = false;
+        h.cache->forEachValidRow([&](Row row, bool) {
+            if (!found && h.cache->rowAddr(row) == a) {
+                r = row;
+                found = true;
+            }
+        });
+        ASSERT_TRUE(found);
+        h.cache->corruptBit(r, static_cast<unsigned>(rng.nextBelow(64)));
+        auto out = h.cache->load(a, 8, nullptr);
+        ASSERT_TRUE(out.fault_detected) << "scheme " << GetParam().name;
+        switch (GetParam().dirty_fix) {
+          case DirtyFix::Always:
+            ASSERT_FALSE(out.due);
+            ASSERT_EQ(h.cache->loadWord(a), v);
+            break;
+          case DirtyFix::Never:
+            ASSERT_TRUE(out.due); // detected-uncorrectable, not silent
+            h.cache->pokeRowData(r, WideWord::fromUint64(v, 8));
+            break;
+          case DirtyFix::Sometimes:
+            // Either corrected exactly, or an honest DUE — never a
+            // silently wrong value.
+            if (out.due)
+                h.cache->pokeRowData(r, WideWord::fromUint64(v, 8));
+            else
+                ASSERT_EQ(h.cache->loadWord(a), v);
+            break;
+        }
+    }
+}
+
+TEST_P(SchemeConformance, EvictionChainsPreserveData)
+{
+    CacheGeometry g = smallGeometry();
+    Harness h(g, GetParam().make());
+    // Three-way conflict churn through every set.
+    std::map<Addr, uint64_t> golden;
+    Rng rng(113);
+    for (int round = 0; round < 3; ++round) {
+        for (Addr base = 0; base < g.size_bytes; base += 8) {
+            Addr a = base + round * g.size_bytes;
+            uint64_t v = rng.next();
+            golden[a] = v;
+            h.cache->storeWord(a, v);
+        }
+    }
+    for (const auto &[a, v] : golden)
+        ASSERT_EQ(h.cache->loadWord(a), v);
+    EXPECT_EQ(h.cache->scheme()->stats().detections, 0u);
+}
+
+TEST_P(SchemeConformance, StatsResetWorks)
+{
+    Harness h(smallGeometry(), GetParam().make());
+    h.cache->storeWord(0x0, 1);
+    h.cache->corruptBit(0, 2);
+    h.cache->load(0x0, 8, nullptr);
+    EXPECT_GT(h.cache->scheme()->stats().detections, 0u);
+    h.cache->scheme()->resetStats();
+    EXPECT_EQ(h.cache->scheme()->stats().detections, 0u);
+    EXPECT_EQ(h.cache->scheme()->stats().totalRecoveries(), 0u);
+}
+
+TEST_P(SchemeConformance, ReportsNameAndArea)
+{
+    Harness h(smallGeometry(), GetParam().make());
+    EXPECT_FALSE(h.cache->scheme()->name().empty());
+    EXPECT_GT(h.cache->scheme()->codeBitsTotal(), 0u);
+    EXPECT_GE(h.cache->scheme()->bitlineOverheadFactor(), 1.0);
+}
+
+TEST_P(SchemeConformance, FlushAfterFaultRecoveryIsConsistent)
+{
+    Harness h(smallGeometry(), GetParam().make());
+    Rng rng(127);
+    std::map<Addr, uint64_t> golden;
+    for (int i = 0; i < 500; ++i) {
+        Addr a = rng.nextBelow(256) * 8;
+        uint64_t v = rng.next();
+        golden[a] = v;
+        h.cache->storeWord(a, v);
+    }
+    if (GetParam().dirty_fix == DirtyFix::Always) {
+        // Strike a few dirty rows and let loads repair them.
+        for (int rep = 0; rep < 10; ++rep) {
+            Row r = static_cast<Row>(rng.nextBelow(128));
+            if (!h.cache->rowValid(r) || !h.cache->rowDirty(r))
+                continue;
+            Addr a = h.cache->rowAddr(r);
+            h.cache->corruptBit(r,
+                                static_cast<unsigned>(rng.nextBelow(64)));
+            h.cache->load(a, 8, nullptr);
+        }
+    }
+    h.cache->flushAll();
+    for (const auto &[a, v] : golden) {
+        uint8_t buf[8];
+        h.mem.peek(a, buf, 8);
+        uint64_t got;
+        std::memcpy(&got, buf, 8);
+        ASSERT_EQ(got, v) << "addr " << a;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SchemeConformance,
+                         ::testing::ValuesIn(kSpecs),
+                         [](const auto &info) {
+                             return std::string(info.param.name);
+                         });
+
+} // namespace
+} // namespace cppc

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "protection/secded.hh"
+#include "test_helpers.hh"
+#include "util/rng.hh"
+
+namespace cppc {
+namespace {
+
+using test::Harness;
+using test::smallGeometry;
+
+Harness
+makeHarness(unsigned interleave = 8)
+{
+    return Harness(smallGeometry(),
+                   std::make_unique<SecdedScheme>(interleave));
+}
+
+TEST(Secded, CleanTrafficNeverDetects)
+{
+    Harness h = makeHarness();
+    Rng rng(51);
+    for (int i = 0; i < 3000; ++i) {
+        Addr a = rng.nextBelow(512) * 8;
+        if (rng.chance(0.4))
+            h.cache->storeWord(a, rng.next());
+        else
+            h.cache->loadWord(a);
+    }
+    EXPECT_EQ(h.cache->scheme()->stats().detections, 0u);
+}
+
+TEST(Secded, CorrectsSingleBitInDirtyWord)
+{
+    Harness h = makeHarness();
+    h.cache->storeWord(0x0, 0xfeedface);
+    h.cache->corruptBit(0, 29);
+    auto out = h.cache->load(0x0, 8, nullptr);
+    EXPECT_TRUE(out.fault_detected);
+    EXPECT_FALSE(out.due);
+    EXPECT_EQ(h.cache->loadWord(0x0), 0xfeedfaceull);
+    EXPECT_EQ(h.cache->scheme()->stats().corrected_dirty, 1u);
+}
+
+TEST(Secded, CorrectsSingleBitInCleanWordInPlace)
+{
+    Harness h = makeHarness();
+    uint8_t seed[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    h.mem.poke(0x0, seed, 8);
+    uint64_t good = h.cache->loadWord(0x0);
+    h.cache->corruptBit(0, 50);
+    h.cache->load(0x0, 8, nullptr);
+    EXPECT_EQ(h.cache->loadWord(0x0), good);
+    EXPECT_EQ(h.cache->scheme()->stats().corrected_clean, 1u);
+    EXPECT_EQ(h.mem.reads(), 1u); // corrected without a refetch
+}
+
+TEST(Secded, EverySingleBitPositionCorrectable)
+{
+    Harness h = makeHarness();
+    h.cache->storeWord(0x0, 0xa5a5a5a5a5a5a5a5ull);
+    for (unsigned bit = 0; bit < 64; ++bit) {
+        h.cache->corruptBit(0, bit);
+        auto out = h.cache->load(0x0, 8, nullptr);
+        ASSERT_TRUE(out.fault_detected) << "bit " << bit;
+        ASSERT_FALSE(out.due) << "bit " << bit;
+        ASSERT_EQ(h.cache->loadWord(0x0), 0xa5a5a5a5a5a5a5a5ull);
+    }
+}
+
+TEST(Secded, DoubleBitInDirtyWordIsDue)
+{
+    Harness h = makeHarness();
+    h.cache->storeWord(0x0, 0x1111);
+    h.cache->corruptBit(0, 3);
+    h.cache->corruptBit(0, 40);
+    auto out = h.cache->load(0x0, 8, nullptr);
+    EXPECT_TRUE(out.fault_detected);
+    EXPECT_TRUE(out.due);
+    EXPECT_EQ(h.cache->scheme()->stats().due, 1u);
+}
+
+TEST(Secded, DoubleBitInCleanWordRefetched)
+{
+    Harness h = makeHarness();
+    uint8_t seed[8] = {0x10, 0x20, 0x30, 0x40, 0x50, 0x60, 0x70, 0x80};
+    h.mem.poke(0x0, seed, 8);
+    uint64_t good = h.cache->loadWord(0x0);
+    h.cache->corruptBit(0, 0);
+    h.cache->corruptBit(0, 1);
+    auto out = h.cache->load(0x0, 8, nullptr);
+    EXPECT_FALSE(out.due);
+    EXPECT_EQ(h.cache->loadWord(0x0), good);
+    EXPECT_EQ(h.cache->scheme()->stats().refetched_clean, 1u);
+}
+
+TEST(Secded, OverwriteRefreshesCode)
+{
+    Harness h = makeHarness();
+    h.cache->storeWord(0x0, 1);
+    h.cache->storeWord(0x0, 2);
+    h.cache->storeWord(0x0, 3);
+    auto out = h.cache->load(0x0, 8, nullptr);
+    EXPECT_FALSE(out.fault_detected);
+}
+
+TEST(Secded, PartialStoreIsReadModifyWrite)
+{
+    Harness h = makeHarness();
+    uint8_t b = 0x9d;
+    auto out = h.cache->store(0x5, 1, &b);
+    EXPECT_TRUE(out.rbw);
+    EXPECT_EQ(h.cache->scheme()->stats().rbw_words, 1u);
+    // And the code still matches the merged word.
+    auto out2 = h.cache->load(0x0, 8, nullptr);
+    EXPECT_FALSE(out2.fault_detected);
+}
+
+TEST(Secded, InterleaveFactorReporting)
+{
+    Harness h8 = makeHarness(8);
+    EXPECT_EQ(h8.cache->scheme()->bitlineOverheadFactor(), 8.0);
+    Harness h1 = makeHarness(1);
+    EXPECT_EQ(h1.cache->scheme()->bitlineOverheadFactor(), 1.0);
+}
+
+TEST(Secded, AreaOverheadMatchesPaper)
+{
+    // 8 code bits per 64-bit word = 12.5%.
+    Harness h = makeHarness();
+    uint64_t code_bits = h.cache->scheme()->codeBitsTotal();
+    uint64_t data_bits = h.cache->geometry().dataBits();
+    EXPECT_DOUBLE_EQ(static_cast<double>(code_bits) /
+                         static_cast<double>(data_bits),
+                     0.125);
+}
+
+TEST(Secded, L2BlockGranularity)
+{
+    CacheGeometry g = smallGeometry(32); // 32-byte protection units
+    Harness h(g, std::make_unique<SecdedScheme>(8));
+    uint8_t block[32];
+    for (unsigned i = 0; i < 32; ++i)
+        block[i] = static_cast<uint8_t>(i);
+    h.cache->store(0x0, 32, block);
+    h.cache->corruptBit(0, 200);
+    auto out = h.cache->load(0x0, 32, nullptr);
+    EXPECT_TRUE(out.fault_detected);
+    EXPECT_FALSE(out.due);
+    uint8_t got[32];
+    h.cache->load(0x0, 32, got);
+    EXPECT_EQ(std::memcmp(block, got, 32), 0);
+}
+
+} // namespace
+} // namespace cppc

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "util/stats.hh"
+
+namespace cppc {
+namespace {
+
+TEST(RunningStat, Empty)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, KnownMoments)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12); // sample variance
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, SingleSample)
+{
+    RunningStat s;
+    s.add(3.5);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 3.5);
+    EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStat, Reset)
+{
+    RunningStat s;
+    s.add(1.0);
+    s.add(2.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    s.add(10.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 10.0);
+}
+
+TEST(RunningStat, NegativeValues)
+{
+    RunningStat s;
+    s.add(-5.0);
+    s.add(5.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), -5.0);
+}
+
+TEST(Histogram, Buckets)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(1.5);
+    h.add(1.7);
+    h.add(9.9);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(9), 1u);
+}
+
+TEST(Histogram, OutOfRange)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(-1.0);
+    h.add(10.0); // hi is exclusive
+    h.add(100.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, Weighted)
+{
+    Histogram h(0.0, 4.0, 4);
+    h.add(1.5, 10);
+    EXPECT_EQ(h.bucket(1), 10u);
+    EXPECT_EQ(h.count(), 10u);
+}
+
+TEST(Histogram, Percentile)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(i + 0.5);
+    EXPECT_NEAR(h.percentile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(h.percentile(0.9), 90.0, 1.5);
+    EXPECT_NEAR(h.percentile(0.0), 0.5, 1.0);
+}
+
+TEST(CounterSet, Basics)
+{
+    CounterSet c;
+    c["reads"] += 3;
+    c["writes"] += 1;
+    EXPECT_EQ(c.get("reads"), 3u);
+    EXPECT_EQ(c.get("missing"), 0u);
+    EXPECT_EQ(c.all().size(), 2u);
+}
+
+TEST(CounterSet, Merge)
+{
+    CounterSet a, b;
+    a["x"] = 2;
+    b["x"] = 3;
+    b["y"] = 1;
+    a.merge(b);
+    EXPECT_EQ(a.get("x"), 5u);
+    EXPECT_EQ(a.get("y"), 1u);
+}
+
+} // namespace
+} // namespace cppc

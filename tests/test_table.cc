@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.hh"
+
+namespace cppc {
+namespace {
+
+TEST(TextTable, AlignedOutput)
+{
+    TextTable t({"name", "value"});
+    t.row().add("alpha").add(uint64_t(42));
+    t.row().add("b").add(3.14159, 2);
+    std::ostringstream os;
+    t.print(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("42"), std::string::npos);
+    EXPECT_NE(s.find("3.14"), std::string::npos);
+    // Header rule present.
+    EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TextTable, Csv)
+{
+    TextTable t({"a", "b"});
+    t.row().add("x").add(uint64_t(1));
+    t.row().add("y").add(uint64_t(2));
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\nx,1\ny,2\n");
+}
+
+TEST(TextTable, ScientificCells)
+{
+    TextTable t({"mttf"});
+    t.row().addSci(8.02e21, 2);
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_NE(os.str().find("8.02e+21"), std::string::npos);
+}
+
+TEST(TextTable, RowCount)
+{
+    TextTable t({"c"});
+    EXPECT_EQ(t.numRows(), 0u);
+    t.row().add("1");
+    t.row().add("2");
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(TextTable, ImplicitFirstRow)
+{
+    TextTable t({"c"});
+    t.add("direct"); // add() without row() starts one
+    EXPECT_EQ(t.numRows(), 1u);
+}
+
+} // namespace
+} // namespace cppc

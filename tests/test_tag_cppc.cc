@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "cppc/tag_cppc.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace cppc {
+namespace {
+
+constexpr unsigned kEntries = 64;
+constexpr unsigned kEntryBits = 28; // tag + state bits
+
+TagCppc
+filledArray(uint64_t seed = 1)
+{
+    TagCppc tags(kEntries, kEntryBits);
+    Rng rng(seed);
+    for (unsigned i = 0; i < kEntries; ++i)
+        tags.fill(i, rng.next() & ((1ull << kEntryBits) - 1));
+    return tags;
+}
+
+TEST(TagCppc, FillReadRoundTrip)
+{
+    TagCppc tags(kEntries, kEntryBits);
+    tags.fill(3, 0xABCDE);
+    EXPECT_TRUE(tags.valid(3));
+    EXPECT_EQ(tags.read(3), 0xABCDEull);
+    EXPECT_FALSE(tags.valid(4));
+}
+
+TEST(TagCppc, ValueMaskedToEntryWidth)
+{
+    TagCppc tags(kEntries, 16);
+    tags.fill(0, 0xFFFFFFFFull);
+    EXPECT_EQ(tags.read(0), 0xFFFFull);
+}
+
+TEST(TagCppc, InvariantUnderFillReplaceInvalidate)
+{
+    TagCppc tags(kEntries, kEntryBits);
+    Rng rng(5);
+    // Mimic a live tag array: fills, replacements, invalidations.
+    for (int i = 0; i < 5000; ++i) {
+        unsigned idx = static_cast<unsigned>(rng.nextBelow(kEntries));
+        uint64_t v = rng.next() & ((1ull << kEntryBits) - 1);
+        if (!tags.valid(idx))
+            tags.fill(idx, v);
+        else if (rng.chance(0.8))
+            tags.replace(idx, v);
+        else
+            tags.invalidate(idx);
+        if (i % 500 == 0) {
+            ASSERT_TRUE(tags.invariantHolds()) << "iter " << i;
+        }
+    }
+    EXPECT_TRUE(tags.invariantHolds());
+}
+
+TEST(TagCppc, SingleBitFaultCorrectedEverywhere)
+{
+    TagCppc tags = filledArray();
+    Rng rng(7);
+    for (int rep = 0; rep < 200; ++rep) {
+        unsigned idx = static_cast<unsigned>(rng.nextBelow(kEntries));
+        unsigned bit = static_cast<unsigned>(rng.nextBelow(kEntryBits));
+        uint64_t good = tags.read(idx);
+        tags.corruptBit(idx, bit);
+        ASSERT_FALSE(tags.check(idx));
+        ASSERT_TRUE(tags.recover());
+        ASSERT_EQ(tags.read(idx), good);
+        ASSERT_TRUE(tags.invariantHolds());
+    }
+}
+
+TEST(TagCppc, MultiBitFaultInOneEntryCorrected)
+{
+    TagCppc tags = filledArray(11);
+    uint64_t good = tags.read(9);
+    tags.corruptBit(9, 1);
+    tags.corruptBit(9, 10);
+    tags.corruptBit(9, 20);
+    EXPECT_TRUE(tags.recover());
+    EXPECT_EQ(tags.read(9), good);
+}
+
+TEST(TagCppc, VerticalSpatialFaultCorrectedViaShifting)
+{
+    TagCppc tags = filledArray(13);
+    uint64_t g4 = tags.read(4), g5 = tags.read(5);
+    tags.corruptBit(4, 6);
+    tags.corruptBit(5, 6);
+    EXPECT_TRUE(tags.recover());
+    EXPECT_EQ(tags.read(4), g4);
+    EXPECT_EQ(tags.read(5), g5);
+    EXPECT_EQ(tags.stats().corrected, 2u);
+}
+
+TEST(TagCppc, VerticalFaultFailsWithoutShifting)
+{
+    TagCppc::Config cfg;
+    cfg.byte_shifting = false;
+    TagCppc tags(kEntries, kEntryBits, cfg);
+    Rng rng(17);
+    for (unsigned i = 0; i < kEntries; ++i)
+        tags.fill(i, rng.next() & ((1ull << kEntryBits) - 1));
+    tags.corruptBit(4, 6);
+    tags.corruptBit(5, 6);
+    EXPECT_FALSE(tags.recover());
+    EXPECT_EQ(tags.stats().due, 1u);
+}
+
+TEST(TagCppc, SameClassDoubleFaultIsDue)
+{
+    TagCppc tags = filledArray(19);
+    tags.corruptBit(2, 3);
+    tags.corruptBit(2 + 8, 3); // same rotation class
+    EXPECT_FALSE(tags.recover());
+}
+
+TEST(TagCppc, MorePairsSplitClasses)
+{
+    TagCppc::Config cfg;
+    cfg.pairs = 8;
+    cfg.byte_shifting = false;
+    TagCppc tags(kEntries, kEntryBits, cfg);
+    Rng rng(23);
+    for (unsigned i = 0; i < kEntries; ++i)
+        tags.fill(i, rng.next() & ((1ull << kEntryBits) - 1));
+    uint64_t g0 = tags.read(0), g1 = tags.read(1);
+    tags.corruptBit(0, 12);
+    tags.corruptBit(1, 12);
+    EXPECT_TRUE(tags.recover());
+    EXPECT_EQ(tags.read(0), g0);
+    EXPECT_EQ(tags.read(1), g1);
+}
+
+TEST(TagCppc, RecoveryAfterChurn)
+{
+    TagCppc tags(kEntries, kEntryBits);
+    Rng rng(29);
+    for (int i = 0; i < 3000; ++i) {
+        unsigned idx = static_cast<unsigned>(rng.nextBelow(kEntries));
+        uint64_t v = rng.next() & ((1ull << kEntryBits) - 1);
+        if (!tags.valid(idx))
+            tags.fill(idx, v);
+        else
+            tags.replace(idx, v);
+    }
+    unsigned idx = 37;
+    uint64_t good = tags.read(idx);
+    tags.corruptBit(idx, 22);
+    EXPECT_TRUE(tags.recover());
+    EXPECT_EQ(tags.read(idx), good);
+}
+
+TEST(TagCppc, OverheadAccounting)
+{
+    TagCppc tags(kEntries, kEntryBits);
+    // 64 entries x 8 parity bits + one pair of 64-bit registers (+2
+    // register parity bits).
+    EXPECT_EQ(tags.overheadBits(), 64u * 8 + 2 * 65);
+}
+
+TEST(TagCppc, RejectsBadConfigs)
+{
+    EXPECT_THROW(TagCppc(64, 0), FatalError);
+    EXPECT_THROW(TagCppc(64, 65), FatalError);
+    EXPECT_THROW(TagCppc(4, 28), FatalError); // fewer entries than classes
+    TagCppc::Config bad;
+    bad.pairs = 3;
+    EXPECT_THROW(TagCppc(64, 28, bad), FatalError);
+}
+
+} // namespace
+} // namespace cppc

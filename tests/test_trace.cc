@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/trace.hh"
+#include "util/logging.hh"
+
+namespace cppc {
+namespace {
+
+TEST(Profiles, FifteenSpec2000Names)
+{
+    const auto &ps = spec2000Profiles();
+    EXPECT_EQ(ps.size(), 15u);
+    std::set<std::string> names;
+    for (const auto &p : ps)
+        names.insert(p.name);
+    EXPECT_EQ(names.size(), 15u);
+    for (const char *expect :
+         {"gzip", "vpr", "gcc", "mcf", "crafty", "parser", "perlbmk",
+          "gap", "vortex", "bzip2", "twolf", "swim", "mgrid", "applu",
+          "art"})
+        EXPECT_TRUE(names.count(expect)) << expect;
+}
+
+TEST(Profiles, LookupByName)
+{
+    EXPECT_EQ(profileByName("mcf").name, "mcf");
+    EXPECT_THROW(profileByName("doom"), FatalError);
+}
+
+TEST(Profiles, SaneParameters)
+{
+    for (const auto &p : spec2000Profiles()) {
+        EXPECT_GT(p.load_frac, 0.0);
+        EXPECT_GT(p.store_frac, 0.0);
+        EXPECT_LT(p.load_frac + p.store_frac, 1.0) << p.name;
+        EXPECT_LE(p.stride_frac + p.chase_frac, 1.0) << p.name;
+        EXPECT_GE(p.hot_bytes, 8u << 10) << p.name;
+        EXPECT_GE(p.warm_bytes, p.hot_bytes) << p.name;
+        EXPECT_GE(p.cold_bytes, p.warm_bytes) << p.name;
+    }
+}
+
+TEST(Generator, Deterministic)
+{
+    const auto &p = profileByName("gcc");
+    TraceGenerator a(p, 7), b(p, 7);
+    for (int i = 0; i < 2000; ++i) {
+        TraceRecord ra = a.next(), rb = b.next();
+        EXPECT_EQ(ra.op, rb.op);
+        EXPECT_EQ(ra.addr, rb.addr);
+    }
+}
+
+TEST(Generator, SeedsDiffer)
+{
+    const auto &p = profileByName("gcc");
+    TraceGenerator a(p, 7), b(p, 8);
+    int same = 0;
+    for (int i = 0; i < 500; ++i)
+        if (a.next().addr == b.next().addr)
+            ++same;
+    EXPECT_LT(same, 400);
+}
+
+TEST(Generator, InstructionMixMatchesProfile)
+{
+    const auto &p = profileByName("vortex");
+    TraceGenerator gen(p, 1);
+    uint64_t loads = 0, stores = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        TraceRecord r = gen.next();
+        loads += r.op == Op::Load;
+        stores += r.op == Op::Store;
+    }
+    EXPECT_NEAR(static_cast<double>(loads) / n, p.load_frac, 0.01);
+    EXPECT_NEAR(static_cast<double>(stores) / n, p.store_frac, 0.01);
+}
+
+TEST(Generator, AddressesWordAlignedAndInFootprint)
+{
+    const auto &p = profileByName("swim");
+    TraceGenerator gen(p, 2);
+    for (int i = 0; i < 50000; ++i) {
+        TraceRecord r = gen.next();
+        if (r.op == Op::Alu)
+            continue;
+        EXPECT_EQ(r.addr % 8, 0u);
+        EXPECT_LT(r.addr, p.cold_bytes);
+    }
+}
+
+TEST(Generator, McfChasesPointers)
+{
+    // mcf must touch far more distinct lines than a cache-resident
+    // benchmark: that's where its L2 misses come from.
+    auto distinct_lines = [](const char *name) {
+        TraceGenerator gen(profileByName(name), 3);
+        std::set<Addr> lines;
+        for (int i = 0; i < 200000; ++i) {
+            TraceRecord r = gen.next();
+            if (r.op != Op::Alu)
+                lines.insert(r.addr / 32);
+        }
+        return lines.size();
+    };
+    EXPECT_GT(distinct_lines("mcf"), 4 * distinct_lines("crafty"));
+}
+
+TEST(Generator, StoreOverwritesCreateDirtyReuse)
+{
+    // A benchmark with high overwrite bias revisits stored words.
+    const auto &p = profileByName("gcc");
+    TraceGenerator gen(p, 4);
+    std::set<Addr> stored;
+    uint64_t revisits = 0, stores = 0;
+    for (int i = 0; i < 200000; ++i) {
+        TraceRecord r = gen.next();
+        if (r.op != Op::Store)
+            continue;
+        ++stores;
+        if (!stored.insert(r.addr).second)
+            ++revisits;
+    }
+    EXPECT_GT(static_cast<double>(revisits) / static_cast<double>(stores),
+              0.3);
+}
+
+TEST(Generator, StreamingProfilesStride)
+{
+    // swim's stride fraction shows up as sequential next-word accesses.
+    TraceGenerator gen(profileByName("swim"), 5);
+    Addr prev = 0;
+    uint64_t sequential = 0, mem_ops = 0;
+    for (int i = 0; i < 100000; ++i) {
+        TraceRecord r = gen.next();
+        if (r.op == Op::Alu)
+            continue;
+        ++mem_ops;
+        if (r.addr == prev + 8)
+            ++sequential;
+        prev = r.addr;
+    }
+    EXPECT_GT(static_cast<double>(sequential) /
+                  static_cast<double>(mem_ops),
+              0.4);
+}
+
+} // namespace
+} // namespace cppc

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "cpu/ooo_core.hh"
+#include "sim/paper_config.hh"
+#include "trace/trace_io.hh"
+#include "util/logging.hh"
+
+namespace cppc {
+namespace {
+
+std::string
+tempPath(const char *tag)
+{
+    return std::string(::testing::TempDir()) + "cppc_trace_" + tag +
+        ".trc";
+}
+
+TEST(TraceIo, RoundTrip)
+{
+    std::string path = tempPath("roundtrip");
+    const auto &p = profileByName("gcc");
+    TraceGenerator gen(p, 7);
+    std::vector<TraceRecord> original;
+    {
+        TraceWriter w(path);
+        for (int i = 0; i < 5000; ++i) {
+            TraceRecord r = gen.next();
+            original.push_back(r);
+            w.write(r);
+        }
+        w.close();
+        EXPECT_EQ(w.recordsWritten(), 5000u);
+    }
+    TraceReader r(path);
+    EXPECT_EQ(r.recordCount(), 5000u);
+    TraceRecord rec;
+    for (const TraceRecord &want : original) {
+        ASSERT_TRUE(r.read(rec));
+        EXPECT_EQ(rec.op, want.op);
+        EXPECT_EQ(rec.addr, want.addr);
+        EXPECT_EQ(rec.pc, want.pc);
+        EXPECT_EQ(rec.size, want.size);
+    }
+    EXPECT_FALSE(r.read(rec)); // end of trace
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, SourceWrapsAround)
+{
+    std::string path = tempPath("wrap");
+    {
+        TraceWriter w(path);
+        TraceRecord r;
+        r.op = Op::Load;
+        for (uint64_t i = 0; i < 10; ++i) {
+            r.addr = i * 8;
+            w.write(r);
+        }
+    } // destructor finalizes
+    TraceReader r(path);
+    for (int i = 0; i < 25; ++i) {
+        TraceRecord rec = r.next();
+        EXPECT_EQ(rec.addr, static_cast<Addr>((i % 10) * 8));
+    }
+    EXPECT_EQ(r.wraps(), 2u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, RewindRestarts)
+{
+    std::string path = tempPath("rewind");
+    {
+        TraceWriter w(path);
+        TraceRecord r;
+        r.op = Op::Store;
+        r.addr = 0x1234;
+        w.write(r);
+        r.addr = 0x5678;
+        w.write(r);
+    }
+    TraceReader r(path);
+    TraceRecord rec;
+    ASSERT_TRUE(r.read(rec));
+    EXPECT_EQ(rec.addr, 0x1234u);
+    r.rewind();
+    ASSERT_TRUE(r.read(rec));
+    EXPECT_EQ(rec.addr, 0x1234u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsGarbageFiles)
+{
+    std::string path = tempPath("garbage");
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        std::fputs("definitely not a trace", f);
+        std::fclose(f);
+    }
+    EXPECT_THROW(TraceReader r(path), FatalError);
+    std::remove(path.c_str());
+    EXPECT_THROW(TraceReader r("/nonexistent/dir/x.trc"), FatalError);
+}
+
+TEST(TraceIo, RejectsEmptyTrace)
+{
+    std::string path = tempPath("empty");
+    {
+        TraceWriter w(path);
+        w.close();
+    }
+    EXPECT_THROW(TraceReader r(path), FatalError);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, ReplayMatchesGeneratorExactly)
+{
+    // Recording a generator and replaying the file must produce the
+    // identical simulation: same cycles, same cache statistics.
+    std::string path = tempPath("replay");
+    const auto &p = profileByName("vortex");
+    const uint64_t n = 100000;
+    {
+        TraceGenerator gen(p, 11);
+        TraceWriter w(path);
+        for (uint64_t i = 0; i < n; ++i)
+            w.write(gen.next());
+    }
+
+    CoreResult live, replayed;
+    uint64_t live_l1_misses = 0, replay_l1_misses = 0;
+    {
+        Hierarchy h(SchemeKind::Cppc);
+        OooCoreModel core(PaperConfig::coreParams(), h.l1d.get(),
+                          h.l2.get(), h.l1i.get());
+        TraceGenerator gen(p, 11);
+        live = core.run(gen, n);
+        live_l1_misses = h.l1d->stats().misses();
+    }
+    {
+        Hierarchy h(SchemeKind::Cppc);
+        OooCoreModel core(PaperConfig::coreParams(), h.l1d.get(),
+                          h.l2.get(), h.l1i.get());
+        TraceReader reader(path);
+        replayed = core.run(reader, n);
+        replay_l1_misses = h.l1d->stats().misses();
+    }
+    EXPECT_EQ(live.cycles, replayed.cycles);
+    EXPECT_EQ(live.loads, replayed.loads);
+    EXPECT_EQ(live.stores, replayed.stores);
+    EXPECT_EQ(live_l1_misses, replay_l1_misses);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace cppc

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "protection/two_d_parity.hh"
+#include "test_helpers.hh"
+#include "util/rng.hh"
+
+namespace cppc {
+namespace {
+
+using test::Harness;
+using test::smallGeometry;
+
+Harness
+makeHarness()
+{
+    return Harness(smallGeometry(), std::make_unique<TwoDParityScheme>(8));
+}
+
+TwoDParityScheme *
+scheme(Harness &h)
+{
+    return static_cast<TwoDParityScheme *>(h.cache->scheme());
+}
+
+TEST(Parity2D, VerticalInvariantUnderRandomTraffic)
+{
+    Harness h = makeHarness();
+    Rng rng(61);
+    for (int i = 0; i < 5000; ++i) {
+        Addr a = rng.nextBelow(1024) * 8; // bigger than the cache
+        if (rng.chance(0.5))
+            h.cache->storeWord(a, rng.next());
+        else
+            h.cache->loadWord(a);
+        if (i % 500 == 0) {
+            EXPECT_EQ(scheme(h)->verticalParity(),
+                      scheme(h)->recomputeVertical())
+                << "iteration " << i;
+        }
+    }
+    EXPECT_EQ(scheme(h)->verticalParity(), scheme(h)->recomputeVertical());
+}
+
+TEST(Parity2D, CorrectsSingleBitInDirtyWord)
+{
+    Harness h = makeHarness();
+    h.cache->storeWord(0x0, 0xabcdef);
+    h.cache->storeWord(0x100, 0x123456); // more dirty data around
+    h.cache->corruptBit(0, 21);
+    auto out = h.cache->load(0x0, 8, nullptr);
+    EXPECT_TRUE(out.fault_detected);
+    EXPECT_FALSE(out.due);
+    EXPECT_EQ(h.cache->loadWord(0x0), 0xabcdefull);
+    EXPECT_EQ(h.cache->scheme()->stats().corrected_dirty, 1u);
+}
+
+TEST(Parity2D, CorrectsMultiBitHorizontalFaultInOneWord)
+{
+    // Up to 8 adjacent flips in one word: horizontal parity detects,
+    // the vertical row reconstructs.
+    Harness h = makeHarness();
+    h.cache->storeWord(0x0, 0x5555aaaa5555aaaaull);
+    for (unsigned j = 8; j < 14; ++j)
+        h.cache->corruptBit(0, j);
+    auto out = h.cache->load(0x0, 8, nullptr);
+    EXPECT_FALSE(out.due);
+    EXPECT_EQ(h.cache->loadWord(0x0), 0x5555aaaa5555aaaaull);
+}
+
+TEST(Parity2D, CleanFaultRefetched)
+{
+    Harness h = makeHarness();
+    uint8_t seed[8] = {7, 7, 7, 7, 7, 7, 7, 7};
+    h.mem.poke(0x0, seed, 8);
+    uint64_t good = h.cache->loadWord(0x0);
+    h.cache->corruptBit(0, 2);
+    auto out = h.cache->load(0x0, 8, nullptr);
+    EXPECT_FALSE(out.due);
+    EXPECT_EQ(h.cache->loadWord(0x0), good);
+    EXPECT_EQ(h.cache->scheme()->stats().refetched_clean, 1u);
+}
+
+TEST(Parity2D, TwoFaultyDirtyRowsAreDue)
+{
+    // One vertical parity row (the paper's configuration) cannot
+    // disentangle two faulty rows.
+    Harness h = makeHarness();
+    h.cache->storeWord(0x0, 1);
+    h.cache->storeWord(0x8, 2);
+    h.cache->corruptBit(0, 0);
+    h.cache->corruptBit(1, 5);
+    auto out = h.cache->load(0x0, 8, nullptr);
+    EXPECT_TRUE(out.due);
+}
+
+TEST(Parity2D, EveryStoreIsReadBeforeWrite)
+{
+    Harness h = makeHarness();
+    h.cache->storeWord(0x0, 1); // miss fill + store
+    auto out = h.cache->storeWord(0x8, 2);
+    EXPECT_TRUE(out.rbw);
+    // Two stores = two word RBWs (clean or dirty alike).
+    EXPECT_EQ(h.cache->scheme()->stats().rbw_words, 2u);
+}
+
+TEST(Parity2D, MissFillsOverCleanVictimsChargeLineRbw)
+{
+    CacheGeometry g = smallGeometry();
+    Harness h(g, std::make_unique<TwoDParityScheme>(8));
+    auto out1 = h.cache->load(0x0, 8, nullptr); // cold fill
+    EXPECT_TRUE(out1.fill_rbw);
+    auto out2 = h.cache->load(0x0 + g.size_bytes, 8, nullptr);
+    EXPECT_TRUE(out2.fill_rbw); // clean eviction
+    EXPECT_EQ(h.cache->scheme()->stats().rbw_lines, 2u);
+}
+
+TEST(Parity2D, MissFillsOverDirtyVictimsDoNot)
+{
+    CacheGeometry g = smallGeometry();
+    Harness h(g, std::make_unique<TwoDParityScheme>(8));
+    h.cache->storeWord(0x0, 5); // line becomes dirty (fill charged once)
+    uint64_t before = h.cache->scheme()->stats().rbw_lines;
+    auto out = h.cache->load(0x0 + g.size_bytes, 8, nullptr);
+    EXPECT_FALSE(out.fill_rbw); // dirty victim
+    EXPECT_EQ(h.cache->scheme()->stats().rbw_lines, before);
+}
+
+TEST(Parity2D, VerticalSurvivesEvictionsAndRefills)
+{
+    CacheGeometry g = smallGeometry();
+    Harness h(g, std::make_unique<TwoDParityScheme>(8));
+    Rng rng(67);
+    // Thrash two conflicting lines with dirty data.
+    for (int i = 0; i < 200; ++i) {
+        Addr a = (i % 2) ? 0x0 : 0x0 + g.size_bytes;
+        h.cache->storeWord(a, rng.next());
+    }
+    EXPECT_EQ(scheme(h)->verticalParity(), scheme(h)->recomputeVertical());
+}
+
+TEST(Parity2D, CorrectionAfterManyEvictions)
+{
+    CacheGeometry g = smallGeometry();
+    Harness h(g, std::make_unique<TwoDParityScheme>(8));
+    Rng rng(71);
+    for (int i = 0; i < 300; ++i)
+        h.cache->storeWord(rng.nextBelow(256) * 8, rng.next());
+    // Pick some dirty row and corrupt it.
+    Row victim = 0;
+    bool found = false;
+    h.cache->forEachValidRow([&](Row r, bool dirty) {
+        if (dirty && !found) {
+            victim = r;
+            found = true;
+        }
+    });
+    ASSERT_TRUE(found);
+    uint64_t good = h.cache->rowData(victim).toUint64();
+    h.cache->corruptBit(victim, 33);
+    Addr a = h.cache->rowAddr(victim);
+    auto out = h.cache->load(a, 8, nullptr);
+    EXPECT_FALSE(out.due);
+    EXPECT_EQ(h.cache->rowData(victim).toUint64(), good);
+}
+
+TEST(Parity2D, CodeBitsIncludeVerticalRow)
+{
+    Harness h = makeHarness();
+    EXPECT_EQ(h.cache->scheme()->codeBitsTotal(), 128u * 8 + 64u);
+}
+
+} // namespace
+} // namespace cppc

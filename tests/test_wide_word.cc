@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "util/rng.hh"
+#include "util/wide_word.hh"
+
+namespace cppc {
+namespace {
+
+TEST(WideWord, ConstructionAndConversion)
+{
+    WideWord w = WideWord::fromUint64(0xdeadbeefcafebabeull);
+    EXPECT_EQ(w.sizeBytes(), 8u);
+    EXPECT_EQ(w.sizeBits(), 64u);
+    EXPECT_EQ(w.toUint64(), 0xdeadbeefcafebabeull);
+    EXPECT_EQ(w.byte(0), 0xbe);
+    EXPECT_EQ(w.byte(7), 0xde);
+}
+
+TEST(WideWord, FromBytesRoundTrip)
+{
+    uint8_t buf[32];
+    for (unsigned i = 0; i < 32; ++i)
+        buf[i] = static_cast<uint8_t>(i * 7 + 3);
+    WideWord w = WideWord::fromBytes(buf, 32);
+    uint8_t out[32];
+    w.toBytes(out);
+    EXPECT_EQ(std::memcmp(buf, out, 32), 0);
+}
+
+TEST(WideWord, BitAccess)
+{
+    WideWord w(8);
+    EXPECT_TRUE(w.isZero());
+    w.setBit(0);
+    w.setBit(63);
+    EXPECT_TRUE(w.bit(0));
+    EXPECT_TRUE(w.bit(63));
+    EXPECT_FALSE(w.bit(32));
+    EXPECT_EQ(w.popcount(), 2u);
+    w.flipBit(0);
+    EXPECT_FALSE(w.bit(0));
+    EXPECT_EQ(w.popcount(), 1u);
+}
+
+TEST(WideWord, BitNumberingIsLittleEndianWithinBytes)
+{
+    WideWord w(8);
+    w.setBit(10); // byte 1, offset 2
+    EXPECT_EQ(w.byte(1), 0x04);
+    EXPECT_EQ(w.toUint64(), 1ull << 10);
+}
+
+TEST(WideWord, XorSelfInverse)
+{
+    Rng rng(7);
+    for (int i = 0; i < 50; ++i) {
+        WideWord a = WideWord::random(rng, 32);
+        WideWord b = WideWord::random(rng, 32);
+        WideWord c = a ^ b;
+        EXPECT_EQ(c ^ b, a);
+        EXPECT_EQ(c ^ a, b);
+        EXPECT_TRUE((a ^ a).isZero());
+    }
+}
+
+TEST(WideWord, RotationPaperConvention)
+{
+    // Figure 5: after rotating left by one byte, bit j of the result
+    // equals bit (j + 8) mod width of the original.
+    Rng rng(11);
+    WideWord w = WideWord::random(rng, 8);
+    WideWord r = w.rotatedLeft(1);
+    for (unsigned j = 0; j < 64; ++j)
+        EXPECT_EQ(r.bit(j), w.bit((j + 8) % 64)) << "bit " << j;
+}
+
+TEST(WideWord, RotationInverse)
+{
+    Rng rng(13);
+    for (unsigned bytes : {8u, 16u, 32u}) {
+        WideWord w = WideWord::random(rng, bytes);
+        for (unsigned k = 0; k <= bytes; ++k) {
+            EXPECT_EQ(w.rotatedLeft(k).rotatedRight(k), w);
+            EXPECT_EQ(w.rotatedRight(k).rotatedLeft(k), w);
+        }
+        EXPECT_EQ(w.rotatedLeft(bytes), w); // full rotation = identity
+    }
+}
+
+TEST(WideWord, RotationComposes)
+{
+    Rng rng(17);
+    WideWord w = WideWord::random(rng, 8);
+    EXPECT_EQ(w.rotatedLeft(3).rotatedLeft(2), w.rotatedLeft(5));
+    EXPECT_EQ(w.rotatedLeft(7).rotatedLeft(1), w);
+}
+
+TEST(WideWord, RotationPreservesParityClasses)
+{
+    // The property the whole spatial design rests on: byte rotation
+    // permutes bytes, so a bit's offset within its byte (its 8-way
+    // parity class) never changes.
+    Rng rng(19);
+    for (unsigned bytes : {8u, 32u}) {
+        WideWord w = WideWord::random(rng, bytes);
+        for (unsigned k = 0; k < bytes; ++k)
+            EXPECT_EQ(w.rotatedLeft(k).interleavedParity(8),
+                      w.interleavedParity(8));
+    }
+}
+
+TEST(WideWord, InterleavedParityMatchesNaive)
+{
+    Rng rng(23);
+    for (unsigned bytes : {8u, 16u, 32u}) {
+        for (int rep = 0; rep < 20; ++rep) {
+            WideWord w = WideWord::random(rng, bytes);
+            for (unsigned k : {1u, 2u, 4u, 8u, 16u}) {
+                uint64_t expect = 0;
+                for (unsigned j = 0; j < w.sizeBits(); ++j)
+                    if (w.bit(j))
+                        expect ^= 1ull << (j % k);
+                EXPECT_EQ(w.interleavedParity(k), expect);
+            }
+        }
+    }
+}
+
+TEST(WideWord, ParityBit)
+{
+    WideWord w(8);
+    EXPECT_EQ(w.parity(), 0u);
+    w.setBit(5);
+    EXPECT_EQ(w.parity(), 1u);
+    w.setBit(42);
+    EXPECT_EQ(w.parity(), 0u);
+}
+
+TEST(WideWord, XorLinearOverParity)
+{
+    Rng rng(29);
+    WideWord a = WideWord::random(rng, 32);
+    WideWord b = WideWord::random(rng, 32);
+    EXPECT_EQ((a ^ b).parity(), a.parity() ^ b.parity());
+    EXPECT_EQ((a ^ b).interleavedParity(8),
+              a.interleavedParity(8) ^ b.interleavedParity(8));
+}
+
+TEST(WideWord, ToHex)
+{
+    WideWord w = WideWord::fromUint64(0x00ff00aa12345678ull);
+    EXPECT_EQ(w.toHex(), "0x00ff00aa12345678");
+}
+
+TEST(WideWord, WidthMismatchEquality)
+{
+    WideWord a(8), b(16);
+    EXPECT_FALSE(a == b);
+    EXPECT_TRUE(a != b);
+}
+
+} // namespace
+} // namespace cppc

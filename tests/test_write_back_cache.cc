@@ -1,0 +1,321 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "protection/parity.hh"
+#include "util/logging.hh"
+#include "test_helpers.hh"
+#include "util/rng.hh"
+
+namespace cppc {
+namespace {
+
+using test::Harness;
+using test::smallGeometry;
+
+std::unique_ptr<ProtectionScheme>
+parity()
+{
+    return std::make_unique<OneDimParityScheme>(8);
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Harness h(smallGeometry(), parity());
+    auto out1 = h.cache->storeWord(0x100, 0xdead);
+    EXPECT_FALSE(out1.hit);
+    auto out2 = h.cache->storeWord(0x108, 0xbeef);
+    EXPECT_TRUE(out2.hit); // same 32-byte line
+    EXPECT_EQ(h.cache->loadWord(0x100), 0xdeadull);
+    EXPECT_EQ(h.cache->loadWord(0x108), 0xbeefull);
+    EXPECT_EQ(h.cache->stats().write_misses, 1u);
+    EXPECT_EQ(h.cache->stats().write_hits, 1u);
+    EXPECT_EQ(h.cache->stats().read_hits, 2u);
+}
+
+TEST(Cache, LoadReturnsStoredBytes)
+{
+    Harness h(smallGeometry(), parity());
+    uint8_t in[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    h.cache->store(0x40, 8, in);
+    uint8_t out[8] = {};
+    h.cache->load(0x40, 8, out);
+    EXPECT_EQ(std::memcmp(in, out, 8), 0);
+}
+
+TEST(Cache, PartialStoreMergesBytes)
+{
+    Harness h(smallGeometry(), parity());
+    h.cache->storeWord(0x80, 0x1111111111111111ull);
+    uint8_t b = 0xff;
+    h.cache->store(0x82, 1, &b); // overwrite byte 2
+    EXPECT_EQ(h.cache->loadWord(0x80), 0x11111111'11ff1111ull);
+}
+
+TEST(Cache, WriteBackOnEviction)
+{
+    CacheGeometry g = smallGeometry(); // 32 sets, direct-mapped
+    Harness h(g, parity());
+    Addr a = 0x0;
+    Addr conflict = a + g.size_bytes; // same set, different tag
+    h.cache->storeWord(a, 0xAAAA);
+    h.cache->storeWord(conflict, 0xBBBB); // evicts the dirty line
+    EXPECT_EQ(h.cache->stats().writebacks, 1u);
+
+    uint8_t out[8];
+    h.mem.peek(a, out, 8);
+    uint64_t v;
+    std::memcpy(&v, out, 8);
+    EXPECT_EQ(v, 0xAAAAull); // dirty data reached memory
+    // And loading it again round-trips through the refill.
+    EXPECT_EQ(h.cache->loadWord(a), 0xAAAAull);
+}
+
+TEST(Cache, CleanEvictionDoesNotWriteBack)
+{
+    CacheGeometry g = smallGeometry();
+    Harness h(g, parity());
+    uint8_t seed[8] = {9, 9, 9, 9, 9, 9, 9, 9};
+    h.mem.poke(0x0, seed, 8);
+    h.cache->loadWord(0x0);                  // clean fill
+    h.cache->loadWord(0x0 + g.size_bytes);   // evicts it
+    EXPECT_EQ(h.cache->stats().writebacks, 0u);
+    EXPECT_EQ(h.cache->stats().clean_evictions, 1u);
+}
+
+TEST(Cache, DirtyBitsPerUnit)
+{
+    CacheGeometry g = smallGeometry();
+    Harness h(g, parity());
+    h.cache->storeWord(0x20, 1); // unit 0 of line at 0x20
+    Row r0 = 4;                  // line 1, unit 0 (4 units per line)
+    EXPECT_TRUE(h.cache->rowDirty(r0));
+    EXPECT_FALSE(h.cache->rowDirty(r0 + 1));
+    EXPECT_FALSE(h.cache->rowDirty(r0 + 2));
+}
+
+TEST(Cache, LruVictimSelection)
+{
+    CacheGeometry g = smallGeometry();
+    g.assoc = 2;
+    g.size_bytes = 2048; // keep 32 sets
+    Harness h(g, parity());
+    Addr a = 0x0, b = a + 1024, c = b + 1024; // same set, 3 tags
+    h.cache->storeWord(a, 1);
+    h.cache->storeWord(b, 2);
+    h.cache->loadWord(a);     // a more recent than b
+    h.cache->storeWord(c, 3); // must evict b
+    EXPECT_TRUE(h.cache->loadWord(a) == 1 &&
+                h.cache->stats().read_misses == 0);
+    auto miss = h.cache->loadWord(b); // b was evicted
+    EXPECT_EQ(miss, 2u);
+    EXPECT_EQ(h.cache->stats().read_misses, 1u);
+}
+
+TEST(Cache, MissRateAccounting)
+{
+    Harness h(smallGeometry(), parity());
+    h.cache->loadWord(0x0);
+    h.cache->loadWord(0x0);
+    h.cache->loadWord(0x400); // different set -> miss
+    EXPECT_EQ(h.cache->stats().accesses(), 3u);
+    EXPECT_EQ(h.cache->stats().misses(), 2u);
+    EXPECT_NEAR(h.cache->stats().missRate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Cache, RowDataMatchesStoredValues)
+{
+    Harness h(smallGeometry(), parity());
+    h.cache->storeWord(0x0, 0x0123456789abcdefull);
+    WideWord w = h.cache->rowData(0);
+    EXPECT_EQ(w.toUint64(), 0x0123456789abcdefull);
+}
+
+TEST(Cache, RowAddrInverse)
+{
+    Harness h(smallGeometry(), parity());
+    h.dirtyAllRows();
+    const CacheGeometry &g = h.cache->geometry();
+    for (Row r = 0; r < g.numRows(); ++r) {
+        ASSERT_TRUE(h.cache->rowValid(r));
+        EXPECT_EQ(h.cache->rowAddr(r), h.addrOfRow(r));
+    }
+}
+
+TEST(Cache, CorruptBitFlipsData)
+{
+    Harness h(smallGeometry(), parity());
+    h.cache->storeWord(0x0, 0);
+    h.cache->corruptBit(0, 17);
+    EXPECT_EQ(h.cache->rowData(0).toUint64(), 1ull << 17);
+}
+
+TEST(Cache, RefetchRowRestoresCleanData)
+{
+    Harness h(smallGeometry(), parity());
+    uint8_t seed[8] = {0x42, 0, 0, 0, 0, 0, 0, 0};
+    h.mem.poke(0x0, seed, 8);
+    h.cache->loadWord(0x0);
+    h.cache->corruptBit(0, 0);
+    EXPECT_NE(h.cache->rowData(0).toUint64(), 0x42ull);
+    EXPECT_TRUE(h.cache->refetchRow(0));
+    EXPECT_EQ(h.cache->rowData(0).toUint64(), 0x42ull);
+}
+
+TEST(Cache, RefetchRowRefusesDirtyRows)
+{
+    Harness h(smallGeometry(), parity());
+    h.cache->storeWord(0x0, 7);
+    EXPECT_FALSE(h.cache->refetchRow(0));
+}
+
+TEST(Cache, FlushAllWritesEverythingBack)
+{
+    Harness h(smallGeometry(), parity());
+    h.cache->storeWord(0x0, 11);
+    h.cache->storeWord(0x20, 22);
+    h.cache->flushAll();
+    EXPECT_EQ(h.cache->stats().writebacks, 2u);
+    EXPECT_EQ(h.cache->dirtyUnitCount(), 0u);
+    uint8_t out[8];
+    h.mem.peek(0x20, out, 8);
+    uint64_t v;
+    std::memcpy(&v, out, 8);
+    EXPECT_EQ(v, 22ull);
+}
+
+TEST(Cache, DirtyFraction)
+{
+    Harness h(smallGeometry(), parity());
+    EXPECT_EQ(h.cache->dirtyFraction(), 0.0);
+    h.cache->storeWord(0x0, 1); // 1 dirty unit of 128
+    EXPECT_NEAR(h.cache->dirtyFraction(), 1.0 / 128.0, 1e-12);
+    h.dirtyAllRows();
+    EXPECT_EQ(h.cache->dirtyFraction(), 1.0);
+}
+
+TEST(Cache, CrossLineAccessRejected)
+{
+    Harness h(smallGeometry(), parity());
+    uint8_t buf[16] = {};
+    EXPECT_THROW(h.cache->store(0x18, 16, buf), FatalError);
+}
+
+TEST(Cache, TwoLevelHierarchyWriteBackChain)
+{
+    // L1 (tiny) -> L2 (small) -> memory: dirty data flows down level by
+    // level and survives.
+    CacheGeometry l2g = smallGeometry();
+    l2g.size_bytes = 4096;
+    l2g.assoc = 2;
+    l2g.unit_bytes = 32; // protection unit = L1 block (Section 3.5)
+    MainMemory mem;
+    WriteBackCache l2("L2", l2g, ReplacementKind::LRU, &mem,
+                      std::make_unique<OneDimParityScheme>(8));
+
+    CacheGeometry l1g = smallGeometry();
+    l1g.size_bytes = 256; // 8 lines, forces evictions
+    WriteBackCache l1("L1D", l1g, ReplacementKind::LRU, &l2,
+                      std::make_unique<OneDimParityScheme>(8));
+
+    Rng rng(5);
+    std::map<Addr, uint64_t> golden;
+    for (int i = 0; i < 2000; ++i) {
+        Addr a = (rng.nextBelow(256)) * 8; // 2 KiB working set
+        if (rng.chance(0.5)) {
+            uint64_t v = rng.next();
+            golden[a] = v;
+            l1.storeWord(a, v);
+        } else {
+            uint64_t expect = golden.count(a) ? golden[a] : l1.loadWord(a);
+            EXPECT_EQ(l1.loadWord(a), expect);
+        }
+    }
+    // Flush everything: memory must hold the golden image.
+    l1.flushAll();
+    l2.flushAll();
+    for (const auto &[a, v] : golden) {
+        uint8_t out[8];
+        mem.peek(a, out, 8);
+        uint64_t got;
+        std::memcpy(&got, out, 8);
+        EXPECT_EQ(got, v) << "addr 0x" << std::hex << a;
+    }
+}
+
+TEST(Cache, HasLineAndLineDirty)
+{
+    Harness h(smallGeometry(), parity());
+    EXPECT_FALSE(h.cache->hasLine(0x40));
+    h.cache->loadWord(0x40);
+    EXPECT_TRUE(h.cache->hasLine(0x40));
+    EXPECT_TRUE(h.cache->hasLine(0x58)); // same line
+    EXPECT_FALSE(h.cache->lineDirty(0x40));
+    h.cache->storeWord(0x48, 5);
+    EXPECT_TRUE(h.cache->lineDirty(0x40));
+}
+
+TEST(Cache, InvalidateLineWritesBackDirtyData)
+{
+    Harness h(smallGeometry(), parity());
+    h.cache->storeWord(0x40, 0x77);
+    EXPECT_TRUE(h.cache->invalidateLine(0x40));
+    EXPECT_FALSE(h.cache->hasLine(0x40));
+    EXPECT_EQ(h.cache->invalidations(), 1u);
+    uint8_t out[8];
+    h.mem.peek(0x40, out, 8);
+    uint64_t v;
+    std::memcpy(&v, out, 8);
+    EXPECT_EQ(v, 0x77ull);
+    // Invalidating a non-resident line is a no-op.
+    EXPECT_FALSE(h.cache->invalidateLine(0x1000));
+}
+
+TEST(Cache, DowngradeKeepsCleanCopy)
+{
+    Harness h(smallGeometry(), parity());
+    h.cache->storeWord(0x40, 0x88);
+    EXPECT_TRUE(h.cache->downgradeLine(0x40));
+    EXPECT_TRUE(h.cache->hasLine(0x40));
+    EXPECT_FALSE(h.cache->lineDirty(0x40));
+    EXPECT_EQ(h.cache->loadWord(0x40), 0x88ull);
+    uint8_t out[8];
+    h.mem.peek(0x40, out, 8);
+    uint64_t v;
+    std::memcpy(&v, out, 8);
+    EXPECT_EQ(v, 0x88ull); // reached memory
+    // A clean line has nothing to downgrade.
+    EXPECT_FALSE(h.cache->downgradeLine(0x40));
+}
+
+TEST(Cache, ScrubDirtyLinesWalksTheArray)
+{
+    Harness h(smallGeometry(), parity());
+    for (unsigned i = 0; i < 8; ++i)
+        h.cache->storeWord(i * 0x20, i);
+    EXPECT_EQ(h.cache->scrubDirtyLines(3), 3u);
+    EXPECT_EQ(h.cache->dirtyUnitCount(), 5u);
+    EXPECT_EQ(h.cache->scrubDirtyLines(100), 5u);
+    EXPECT_EQ(h.cache->dirtyUnitCount(), 0u);
+    EXPECT_EQ(h.cache->scrubDirtyLines(10), 0u); // nothing left
+    // Scrubbed lines stay resident.
+    EXPECT_TRUE(h.cache->hasLine(0x0));
+    EXPECT_EQ(h.cache->loadWord(0x20), 1ull);
+}
+
+TEST(Cache, ForEachValidRowSeesDirtyFlags)
+{
+    Harness h(smallGeometry(), parity());
+    h.cache->storeWord(0x0, 1);
+    unsigned valid = 0, dirty = 0;
+    h.cache->forEachValidRow([&](Row, bool d) {
+        ++valid;
+        dirty += d ? 1 : 0;
+    });
+    EXPECT_EQ(valid, 4u); // one filled line of 4 units
+    EXPECT_EQ(dirty, 1u);
+}
+
+} // namespace
+} // namespace cppc

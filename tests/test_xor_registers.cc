@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "cppc/xor_registers.hh"
+#include "util/rng.hh"
+
+namespace cppc {
+namespace {
+
+TEST(XorRegisters, StartZero)
+{
+    XorRegisterFile f(8, 2, 4);
+    EXPECT_EQ(f.numDomains(), 2u);
+    EXPECT_EQ(f.pairsPerDomain(), 4u);
+    for (unsigned d = 0; d < 2; ++d) {
+        for (unsigned p = 0; p < 4; ++p) {
+            EXPECT_TRUE(f.r1(d, p).isZero());
+            EXPECT_TRUE(f.r2(d, p).isZero());
+            EXPECT_TRUE(f.dirtyXor(d, p).isZero());
+        }
+    }
+}
+
+TEST(XorRegisters, StoreRemovalCancellation)
+{
+    // Store a word, then remove it: R1 ^ R2 returns to zero — the core
+    // "XOR of resident dirty data" property.
+    XorRegisterFile f(8, 1, 1);
+    Rng rng(77);
+    WideWord w = WideWord::random(rng, 8);
+    f.accumulateStore(0, 0, w);
+    EXPECT_EQ(f.dirtyXor(0, 0), w);
+    f.accumulateRemoval(0, 0, w);
+    EXPECT_TRUE(f.dirtyXor(0, 0).isZero());
+    EXPECT_FALSE(f.r1(0, 0).isZero()); // history remains in R1/R2
+    EXPECT_EQ(f.r1(0, 0), f.r2(0, 0));
+}
+
+TEST(XorRegisters, TracksMultisetOfResidentWords)
+{
+    XorRegisterFile f(8, 1, 1);
+    Rng rng(79);
+    WideWord a = WideWord::random(rng, 8);
+    WideWord b = WideWord::random(rng, 8);
+    WideWord c = WideWord::random(rng, 8);
+    f.accumulateStore(0, 0, a);
+    f.accumulateStore(0, 0, b);
+    f.accumulateStore(0, 0, c);
+    f.accumulateRemoval(0, 0, b);
+    EXPECT_EQ(f.dirtyXor(0, 0), a ^ c);
+}
+
+TEST(XorRegisters, PairsIndependent)
+{
+    XorRegisterFile f(8, 2, 2);
+    WideWord w = WideWord::fromUint64(0x1234);
+    f.accumulateStore(1, 0, w);
+    EXPECT_TRUE(f.dirtyXor(0, 0).isZero());
+    EXPECT_TRUE(f.dirtyXor(0, 1).isZero());
+    EXPECT_TRUE(f.dirtyXor(1, 1).isZero());
+    EXPECT_EQ(f.dirtyXor(1, 0), w);
+}
+
+TEST(XorRegisters, ParityMaintainedThroughUpdates)
+{
+    XorRegisterFile f(8, 1, 1);
+    Rng rng(83);
+    for (int i = 0; i < 200; ++i) {
+        if (rng.chance(0.5))
+            f.accumulateStore(0, 0, WideWord::random(rng, 8));
+        else
+            f.accumulateRemoval(0, 0, WideWord::random(rng, 8));
+        ASSERT_TRUE(f.allParityOk());
+    }
+}
+
+TEST(XorRegisters, InjectedFaultBreaksParity)
+{
+    XorRegisterFile f(8, 1, 2);
+    f.accumulateStore(0, 1, WideWord::fromUint64(0xff));
+    EXPECT_TRUE(f.allParityOk());
+    f.injectFault(0, 1, XorRegisterFile::Which::R1, 13);
+    EXPECT_FALSE(f.allParityOk());
+    EXPECT_FALSE(f.parityOk(0, 1, XorRegisterFile::Which::R1));
+    EXPECT_TRUE(f.parityOk(0, 1, XorRegisterFile::Which::R2));
+    EXPECT_TRUE(f.parityOk(0, 0, XorRegisterFile::Which::R1));
+}
+
+TEST(XorRegisters, SetRepairsParity)
+{
+    XorRegisterFile f(8, 1, 1);
+    f.injectFault(0, 0, XorRegisterFile::Which::R2, 5);
+    EXPECT_FALSE(f.allParityOk());
+    f.set(0, 0, XorRegisterFile::Which::R2, WideWord(8));
+    EXPECT_TRUE(f.allParityOk());
+    EXPECT_TRUE(f.r2(0, 0).isZero());
+}
+
+TEST(XorRegisters, WideUnits)
+{
+    // L2 CPPC: registers as wide as an L1 block (Section 3.5).
+    XorRegisterFile f(32, 1, 1);
+    Rng rng(89);
+    WideWord w = WideWord::random(rng, 32);
+    f.accumulateStore(0, 0, w);
+    EXPECT_EQ(f.dirtyXor(0, 0), w);
+    EXPECT_EQ(f.dirtyXor(0, 0).sizeBytes(), 32u);
+}
+
+TEST(XorRegisters, StorageBits)
+{
+    // 1 domain x 1 pair x 2 registers x (64 data + 1 parity).
+    XorRegisterFile f(8, 1, 1);
+    EXPECT_EQ(f.storageBits(), 2u * 65);
+    // 2 domains x 4 pairs of 256-bit registers.
+    XorRegisterFile g(32, 2, 4);
+    EXPECT_EQ(g.storageBits(), 16u * 257);
+}
+
+TEST(XorRegisters, Reset)
+{
+    XorRegisterFile f(8, 1, 1);
+    f.accumulateStore(0, 0, WideWord::fromUint64(0xdead));
+    f.reset();
+    EXPECT_TRUE(f.r1(0, 0).isZero());
+    EXPECT_TRUE(f.allParityOk());
+}
+
+} // namespace
+} // namespace cppc

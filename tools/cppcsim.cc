@@ -1,0 +1,286 @@
+/**
+ * @file
+ * cppcsim — the command-line driver for the CPPC simulation library.
+ *
+ * Subcommands:
+ *
+ *   run       replay a synthetic benchmark (or a recorded trace via
+ *             --trace=FILE) through the Table 1 hierarchy under a
+ *             protection scheme and report CPI, cache, energy and
+ *             dirty-residency metrics
+ *   record    write a synthetic benchmark's reference stream to a
+ *             trace file for external analysis or exact replay
+ *   campaign  fault-injection campaign against a populated L1
+ *   mttf      print the analytical MTTF table for given parameters
+ *   list      show available benchmarks and schemes
+ *
+ * Examples:
+ *   cppcsim run --benchmark=mcf --scheme=cppc --instructions=2000000
+ *   cppcsim run --benchmark=gcc --scheme=cppc --pairs=2 --domains=2
+ *   cppcsim campaign --scheme=secded --injections=20000 --multibit=0.5
+ *   cppcsim mttf --dirty=0.35 --tavg=378997 --size-kb=1024
+ *   cppcsim run ... --csv
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "energy/accountant.hh"
+#include "fault/campaign.hh"
+#include "trace/trace_io.hh"
+#include "reliability/mttf_model.hh"
+#include "sim/experiment.hh"
+#include "util/logging.hh"
+#include "util/options.hh"
+#include "util/rng.hh"
+#include "util/table.hh"
+
+using namespace cppc;
+
+namespace {
+
+int
+usage()
+{
+    std::cerr <<
+        "usage: cppcsim <run|record|campaign|mttf|list> [options]\n"
+        "  run:      --benchmark=NAME --scheme=KIND"
+        " [--instructions=N] [--seed=N]\n"
+        "            [--pairs=N] [--domains=N] [--no-shift]"
+        " [--paper-locator]\n"
+        "            [--trace=FILE] [--stats] [--csv]\n"
+        "  record:   --benchmark=NAME --out=FILE [--instructions=N]"
+        " [--seed=N]\n"
+        "  campaign: --scheme=KIND [--injections=N] [--multibit=F]\n"
+        "            [--interleave=N] [--dirty=F] [--seed=N]\n"
+        "  mttf:     [--size-kb=N] [--dirty=F] [--tavg=CYCLES]"
+        " [--fit=F] [--avf=F]\n"
+        "  list\n";
+    return 2;
+}
+
+CppcConfig
+cppcConfigFrom(const Options &opt)
+{
+    CppcConfig cfg;
+    cfg.pairs_per_domain =
+        static_cast<unsigned>(opt.getUint("pairs", 1));
+    cfg.num_domains = static_cast<unsigned>(opt.getUint("domains", 1));
+    cfg.byte_shifting = !opt.getBool("no-shift", false);
+    if (opt.getBool("paper-locator", false))
+        cfg.locator = CppcConfig::Locator::Paper;
+    return cfg;
+}
+
+int
+cmdRecord(const Options &opt)
+{
+    const BenchmarkProfile &profile =
+        profileByName(opt.getString("benchmark", "gzip"));
+    std::string out = opt.getString("out");
+    if (out.empty())
+        fatal("record needs --out=FILE");
+    uint64_t n = opt.getUint("instructions", 1'000'000);
+    TraceGenerator gen(profile, opt.getUint("seed", 42));
+    TraceWriter writer(out);
+    for (uint64_t i = 0; i < n; ++i)
+        writer.write(gen.next());
+    writer.close();
+    std::printf("wrote %llu records of %s to %s\n",
+                (unsigned long long)n, profile.name.c_str(),
+                out.c_str());
+    return 0;
+}
+
+int
+cmdRun(const Options &opt)
+{
+    const BenchmarkProfile &profile =
+        profileByName(opt.getString("benchmark", "gzip"));
+    SchemeKind kind = parseSchemeKind(opt.getString("scheme", "cppc"));
+
+    ExperimentOptions eopts;
+    eopts.instructions = opt.getUint("instructions", 2'000'000);
+    eopts.seed = opt.getUint("seed", 42);
+    eopts.profile_dirty = true;
+    eopts.dump_stats = opt.getBool("stats", false);
+    eopts.cppc_cfg = cppcConfigFrom(opt);
+
+    RunMetrics m;
+    std::string trace_path = opt.getString("trace");
+    if (!trace_path.empty()) {
+        // Replay a recorded trace through a fresh hierarchy.
+        Hierarchy h(kind, eopts.cppc_cfg);
+        OooCoreModel core(PaperConfig::coreParams(), h.l1d.get(),
+                          h.l2.get(), h.l1i.get());
+        TraceReader reader(trace_path);
+        DirtyProfiler l1p, l2p;
+        m.benchmark = trace_path;
+        m.kind = kind;
+        m.core = core.run(reader, eopts.instructions, &l1p, &l2p);
+        CactiModel l1_model(PaperConfig::l1dGeometry(),
+                            PaperConfig::kFeatureNm);
+        CactiModel l2_model(PaperConfig::l2Geometry(),
+                            PaperConfig::kFeatureNm);
+        m.l1_energy = EnergyAccountant(l1_model).compute(*h.l1d);
+        m.l2_energy = EnergyAccountant(l2_model).compute(*h.l2);
+        m.l1_miss_rate = h.l1d->stats().missRate();
+        m.l2_miss_rate = h.l2->stats().missRate();
+        m.l1_dirty_fraction = l1p.avgDirtyFraction();
+        m.l1_tavg_cycles = l1p.tavgCycles();
+        m.l2_dirty_fraction = l2p.avgDirtyFraction();
+        m.l2_tavg_cycles = l2p.tavgCycles();
+    } else {
+        m = runExperiment(profile, kind, eopts);
+    }
+
+    TextTable t({"metric", "value"});
+    t.row().add("benchmark").add(m.benchmark.empty() ? profile.name
+                                                     : m.benchmark);
+    t.row().add("scheme").add(schemeKindName(kind));
+    t.row().add("instructions").add(m.core.instructions);
+    t.row().add("CPI").add(m.core.cpi(), 4);
+    t.row().add("L1 miss rate").add(m.l1_miss_rate, 4);
+    t.row().add("L2 miss rate").add(m.l2_miss_rate, 4);
+    t.row().add("L1 RBW words").add(m.l1_energy.rbw_word_ops);
+    t.row().add("L1 RBW lines").add(m.l1_energy.rbw_line_ops);
+    t.row().add("L1 energy (pJ)").add(m.l1_energy.total(), 0);
+    t.row().add("L2 energy (pJ)").add(m.l2_energy.total(), 0);
+    t.row().add("L1 dirty fraction").add(m.l1_dirty_fraction, 4);
+    t.row().add("L1 Tavg (cycles)").add(m.l1_tavg_cycles, 0);
+    t.row().add("L2 dirty fraction").add(m.l2_dirty_fraction, 4);
+    t.row().add("L2 Tavg (cycles)").add(m.l2_tavg_cycles, 0);
+    if (opt.getBool("csv", false))
+        t.printCsv(std::cout);
+    else
+        t.print(std::cout);
+    if (!m.stats_dump.empty())
+        std::cout << "\n" << m.stats_dump;
+    return 0;
+}
+
+int
+cmdCampaign(const Options &opt)
+{
+    SchemeKind kind = parseSchemeKind(opt.getString("scheme", "cppc"));
+    CacheGeometry geom;
+    geom.size_bytes = 8 * 1024;
+    geom.assoc = 2;
+    geom.line_bytes = 32;
+    geom.unit_bytes = 8;
+
+    MainMemory mem;
+    WriteBackCache cache("L1D", geom, ReplacementKind::LRU, &mem,
+                         makeScheme(kind, cppcConfigFrom(opt)));
+    // Populate with the requested dirty fraction.
+    double dirty = opt.getDouble("dirty", 0.5);
+    Rng rng(opt.getUint("seed", 7));
+    for (Addr a = 0; a < geom.size_bytes; a += 8) {
+        if (rng.chance(dirty)) {
+            uint64_t v = rng.next();
+            uint8_t buf[8];
+            std::memcpy(buf, &v, 8);
+            cache.store(a, 8, buf);
+        } else {
+            cache.load(a, 8, nullptr);
+        }
+    }
+
+    Campaign::Config cc;
+    cc.injections = opt.getUint("injections", 10000);
+    cc.seed = opt.getUint("seed", 7);
+    double multibit = opt.getDouble("multibit", 0.5);
+    cc.shapes = multibit > 0.0
+        ? StrikeShapeDistribution::scaledTechnologyMix(multibit)
+        : StrikeShapeDistribution::singleBitOnly();
+    cc.physical_interleave =
+        static_cast<unsigned>(opt.getUint("interleave", 1));
+    CampaignResult r = Campaign(cache, cc).run();
+
+    TextTable t({"outcome", "count", "rate"});
+    t.row().add("benign").add(r.benign).add(r.rate(r.benign), 4);
+    t.row().add("corrected").add(r.corrected).add(r.rate(r.corrected), 4);
+    t.row().add("due").add(r.due).add(r.rate(r.due), 4);
+    t.row().add("sdc").add(r.sdc).add(r.rate(r.sdc), 4);
+    t.row().add("coverage").add(std::string("-")).add(r.coverage(), 4);
+    if (opt.getBool("csv", false))
+        t.printCsv(std::cout);
+    else
+        t.print(std::cout);
+    return 0;
+}
+
+int
+cmdMttf(const Options &opt)
+{
+    ReliabilityParams params;
+    params.fit_per_bit = opt.getDouble("fit", 0.001);
+    params.avf = opt.getDouble("avf", 0.7);
+    MttfModel model(params);
+
+    uint64_t bits = opt.getUint("size-kb", 32) * 1024 * 8;
+    double dirty = opt.getDouble("dirty", 0.16);
+    double tavg = opt.getDouble("tavg", 1828.0);
+
+    TextTable t({"scheme", "mttf_years"});
+    t.row().add("parity-1d").addSci(model.parityMttfYears(bits, dirty));
+    for (unsigned pairs : {1u, 2u, 4u, 8u}) {
+        t.row()
+            .add(strfmt("cppc %u pair(s)", pairs))
+            .addSci(model.cppcMttfYears(bits, dirty, 8, pairs, 1, tavg));
+    }
+    t.row().add("secded").addSci(
+        model.secdedMttfYears(bits, dirty, 64, tavg));
+    t.row().add("cppc aliasing (Sec 4.7)").addSci(
+        model.aliasingMttfYears(bits, dirty, 7, tavg));
+    if (opt.getBool("csv", false))
+        t.printCsv(std::cout);
+    else
+        t.print(std::cout);
+    return 0;
+}
+
+int
+cmdList()
+{
+    std::cout << "benchmarks:";
+    for (const auto &p : spec2000Profiles())
+        std::cout << " " << p.name;
+    std::cout << "\nschemes: parity1d secded parity2d cppc icr mmecc"
+              << "\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string cmd = argv[1];
+
+    Options opt({"benchmark", "scheme", "instructions", "seed", "pairs",
+                 "domains", "no-shift", "paper-locator", "csv",
+                 "injections", "multibit", "interleave", "dirty",
+                 "size-kb", "tavg", "fit", "avf", "stats", "trace",
+                 "out"});
+    try {
+        opt.parse(argc - 1, argv + 1);
+        if (cmd == "run")
+            return cmdRun(opt);
+        if (cmd == "record")
+            return cmdRecord(opt);
+        if (cmd == "campaign")
+            return cmdCampaign(opt);
+        if (cmd == "mttf")
+            return cmdMttf(opt);
+        if (cmd == "list")
+            return cmdList();
+    } catch (const FatalError &e) {
+        std::cerr << "fatal: " << e.what() << "\n";
+        return 1;
+    }
+    return usage();
+}
