@@ -29,14 +29,20 @@ main()
     MttfModel model;
     const uint64_t l1_bits = PaperConfig::l1dGeometry().dataBits();
 
+    const std::vector<std::string> names = {"gzip", "gcc", "mcf", "crafty",
+                                            "vortex", "swim", "art"};
+    std::vector<BenchmarkProfile> profiles;
+    for (const std::string &name : names)
+        profiles.push_back(profileByName(name));
+    SweepGrid grid = runSweepParallel(profiles, {SchemeKind::Parity1D},
+                                      opts, 0, bench::reportRun);
+
     TextTable t({"benchmark", "l1_dirty_pct", "l1_tavg_cyc",
                  "parity_mttf_yr", "cppc_mttf_yr", "cppc/parity"});
     double min_ratio = 1e308, max_ratio = 0;
     bool ok = true;
-    for (const char *name :
-         {"gzip", "gcc", "mcf", "crafty", "vortex", "swim", "art"}) {
-        RunMetrics m =
-            runExperiment(profileByName(name), SchemeKind::Parity1D, opts);
+    for (const std::string &name : names) {
+        const RunMetrics &m = grid.at(name).at(SchemeKind::Parity1D);
         double dirty = std::max(m.l1_dirty_fraction, 1e-4);
         double tavg = std::max(m.l1_tavg_cycles, 1.0);
         double parity = model.parityMttfYears(l1_bits, dirty);
@@ -52,7 +58,6 @@ main()
             .addSci(parity)
             .addSci(cppc)
             .addSci(ratio);
-        std::cerr << "  ran " << name << "\n";
     }
     t.print(std::cout);
 

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Sweep-engine timing harness: runs the same (benchmark x scheme) grid
+ * once serially and once on the worker pool, verifies the two grids are
+ * bit-identical, and emits BENCH_sweep.json so the wall-clock trajectory
+ * of the whole figure/table suite is tracked from PR to PR.
+ *
+ * Budget and fan-out come from the usual knobs:
+ *   CPPC_BENCH_INSTRUCTIONS  per-run instruction budget (default 500k)
+ *   CPPC_BENCH_JOBS          parallel worker count (default: all cores)
+ * Optional argv[1] overrides the JSON output path.
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace cppc;
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    const std::string json_path =
+        argc > 1 ? argv[1] : "BENCH_sweep.json";
+    const uint64_t budget = bench::instructionBudget(500'000);
+    const unsigned jobs = benchJobs();
+    const std::vector<SchemeKind> kinds = {SchemeKind::Parity1D,
+                                           SchemeKind::Cppc};
+    const size_t n_runs = spec2000Profiles().size() * kinds.size();
+    const double total_instr =
+        static_cast<double>(budget) * static_cast<double>(n_runs);
+
+    std::cout << "=== Sweep engine timing: serial vs " << jobs
+              << "-worker parallel ===\n";
+    std::cout << n_runs << " runs x " << budget
+              << " instructions\n\n";
+
+    ExperimentOptions opts;
+    opts.instructions = budget;
+
+    auto t0 = std::chrono::steady_clock::now();
+    bench::RunGrid serial = bench::runAll(kinds, opts);
+    double serial_s = secondsSince(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    bench::RunGrid parallel = bench::runAllParallel(kinds, opts, jobs);
+    double parallel_s = secondsSince(t0);
+
+    bool identical = gridsIdentical(serial, parallel);
+    double speedup = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+
+    TextTable t({"path", "seconds", "minstr_per_sec"});
+    t.row().add("serial").add(serial_s, 3).add(
+        total_instr / serial_s / 1e6, 2);
+    t.row().add(strfmt("parallel x%u", jobs)).add(parallel_s, 3).add(
+        total_instr / parallel_s / 1e6, 2);
+    t.print(std::cout);
+    std::cout << "\nspeedup: " << formatFixed(speedup, 2)
+              << "x, grids bit-identical: "
+              << (identical ? "PASS" : "FAIL") << "\n";
+
+    std::ofstream os(json_path);
+    if (!os) {
+        std::cerr << "error: cannot open " << json_path
+                  << " for writing\n";
+        return 1;
+    }
+    os << "{\n"
+       << "  \"benchmarks\": " << spec2000Profiles().size() << ",\n"
+       << "  \"schemes\": " << kinds.size() << ",\n"
+       << "  \"instructions_per_run\": " << budget << ",\n"
+       << "  \"jobs\": " << jobs << ",\n"
+       << "  \"serial_seconds\": " << formatFixed(serial_s, 6) << ",\n"
+       << "  \"parallel_seconds\": " << formatFixed(parallel_s, 6)
+       << ",\n"
+       << "  \"speedup\": " << formatFixed(speedup, 4) << ",\n"
+       << "  \"serial_instructions_per_second\": "
+       << formatFixed(total_instr / serial_s, 1) << ",\n"
+       << "  \"parallel_instructions_per_second\": "
+       << formatFixed(total_instr / parallel_s, 1) << ",\n"
+       << "  \"bit_identical\": " << (identical ? "true" : "false")
+       << "\n"
+       << "}\n";
+    os.close();
+    if (!os) {
+        std::cerr << "error: failed writing " << json_path << "\n";
+        return 1;
+    }
+    std::cout << "wrote " << json_path << "\n";
+
+    // Speedup is hardware-dependent (a 1-core CI box shows ~1x), so
+    // only determinism gates the exit code.
+    return identical ? 0 : 1;
+}

@@ -1,8 +1,8 @@
 /**
  * @file
  * Shared plumbing for the table/figure reproduction harnesses: run the
- * 15 benchmarks under the compared schemes and print paper-vs-measured
- * rows.
+ * 15 benchmarks under the compared schemes (serially or fanned out over
+ * a worker pool) and print paper-vs-measured rows.
  */
 
 #ifndef CPPC_BENCH_BENCH_UTIL_HH
@@ -12,10 +12,12 @@
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "sim/experiment.hh"
+#include "sim/sweep.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 
@@ -31,25 +33,50 @@ instructionBudget(uint64_t dflt = 2'000'000)
 }
 
 /** Results keyed by (benchmark, scheme). */
-using RunGrid = std::map<std::string, std::map<SchemeKind, RunMetrics>>;
+using RunGrid = SweepGrid;
 
 /**
- * Run every profile under @p kinds.  Deterministic: one fixed seed per
- * benchmark.
+ * Emit one whole progress line to std::cerr atomically (one locked
+ * write, flushed), so lines from concurrent sweep workers never
+ * interleave mid-line.
+ */
+inline void
+progressLine(const std::string &line)
+{
+    static std::mutex mu;
+    std::lock_guard<std::mutex> lock(mu);
+    std::cerr << (line + "\n") << std::flush;
+}
+
+/** The per-run progress reporter the harnesses hand to the sweeps. */
+inline void
+reportRun(const RunMetrics &m)
+{
+    progressLine("  ran " + m.benchmark + " [" +
+                 schemeKindName(m.kind) + "]");
+}
+
+/**
+ * Run every profile under @p kinds, serially.  Deterministic: one fixed
+ * seed per benchmark.  Kept as the bit-exact reference for
+ * runAllParallel (and for timing comparisons in bench_timing).
  */
 inline RunGrid
 runAll(const std::vector<SchemeKind> &kinds, const ExperimentOptions &base)
 {
-    RunGrid grid;
-    for (const auto &profile : spec2000Profiles()) {
-        for (SchemeKind kind : kinds) {
-            ExperimentOptions opts = base;
-            RunMetrics m = runExperiment(profile, kind, opts);
-            grid[profile.name][kind] = m;
-        }
-        std::cerr << "  ran " << profile.name << "\n";
-    }
-    return grid;
+    return runSweepSerial(spec2000Profiles(), kinds, base, reportRun);
+}
+
+/**
+ * The same grid computed on benchJobs() workers (CPPC_BENCH_JOBS
+ * overrides); bit-identical to runAll().
+ */
+inline RunGrid
+runAllParallel(const std::vector<SchemeKind> &kinds,
+               const ExperimentOptions &base, unsigned jobs = 0)
+{
+    return runSweepParallel(spec2000Profiles(), kinds, base, jobs,
+                            reportRun);
 }
 
 /** Geometric mean helper used for "average" rows. */

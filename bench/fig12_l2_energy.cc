@@ -26,7 +26,7 @@ main()
 
     ExperimentOptions opts;
     opts.instructions = bench::instructionBudget();
-    bench::RunGrid grid = bench::runAll(
+    bench::RunGrid grid = bench::runAllParallel(
         {SchemeKind::Parity1D, SchemeKind::Cppc, SchemeKind::Secded,
          SchemeKind::Parity2D},
         opts);

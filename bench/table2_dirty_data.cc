@@ -26,11 +26,15 @@ main()
     opts.instructions = bench::instructionBudget(4'000'000);
     opts.profile_dirty = true;
 
+    bench::RunGrid grid =
+        bench::runAllParallel({SchemeKind::Parity1D}, opts);
+
     TextTable t({"benchmark", "l1_dirty_pct", "l1_tavg_cyc", "l2_dirty_pct",
                  "l2_tavg_cyc"});
     RunningStat l1d, l1t, l2d, l2t;
+    // Rows (and the running averages) in the canonical profile order.
     for (const auto &profile : spec2000Profiles()) {
-        RunMetrics m = runExperiment(profile, SchemeKind::Parity1D, opts);
+        const RunMetrics &m = grid.at(profile.name).at(SchemeKind::Parity1D);
         l1d.add(m.l1_dirty_fraction * 100.0);
         l2d.add(m.l2_dirty_fraction * 100.0);
         l1t.add(m.l1_tavg_cycles);
@@ -41,7 +45,6 @@ main()
             .add(m.l1_tavg_cycles, 0)
             .add(m.l2_dirty_fraction * 100.0, 1)
             .add(m.l2_tavg_cycles, 0);
-        std::cerr << "  ran " << profile.name << "\n";
     }
     t.row()
         .add("AVERAGE")

@@ -23,6 +23,7 @@ WriteBackCache::WriteBackCache(std::string name, const CacheGeometry &geom,
         l.data.assign(geom_.line_bytes, 0);
         l.dirty.assign(geom_.unitsPerLine(), 0);
     }
+    load_scratch_.assign(geom_.line_bytes, 0);
     repl_ = ReplacementPolicy::create(repl, geom_.numSets(), geom_.assoc);
     if (scheme_)
         scheme_->attach(*this);
@@ -247,8 +248,9 @@ WriteBackCache::load(Addr addr, unsigned size, uint8_t *out)
 {
     if (out)
         return access(addr, size, out, nullptr);
-    std::vector<uint8_t> buf(size);
-    return access(addr, size, buf.data(), nullptr);
+    // access() rejects size > line_bytes, so the preallocated scratch
+    // always fits; access() never re-enters load() on this cache.
+    return access(addr, size, load_scratch_.data(), nullptr);
 }
 
 AccessOutcome

@@ -235,6 +235,10 @@ class WriteBackCache : public MemoryLevel, public CacheBackdoor
     unsigned scrub_cursor_ = 0;
     bool write_through_ = false;
     uint64_t write_throughs_ = 0;
+    /// Reusable sink for discarded load data (load() with a null out
+    /// pointer runs on every campaign probe and every verify-only
+    /// access; allocating it per call put malloc on the hot path).
+    std::vector<uint8_t> load_scratch_;
 
     /** Verify + write back a line's dirty units and mark them clean. */
     bool cleanLine(unsigned set, unsigned way);

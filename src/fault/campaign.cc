@@ -1,23 +1,34 @@
 #include "fault/campaign.hh"
 
 #include <algorithm>
-#include <set>
+
+#include "util/thread_pool.hh"
 
 namespace cppc {
 
 std::vector<Row>
 FaultInjector::apply(const Strike &strike)
 {
-    std::set<Row> rows;
+    std::vector<Row> rows;
+    apply(strike, rows);
+    return rows;
+}
+
+void
+FaultInjector::apply(const Strike &strike, std::vector<Row> &rows_out)
+{
+    rows_out.clear();
     for (const FaultBit &fb : strike.bits) {
         if (fb.row >= cache_->geometry().numRows())
             continue;
         if (!cache_->rowValid(fb.row))
             continue;
         cache_->corruptBit(fb.row, fb.bit);
-        rows.insert(fb.row);
+        rows_out.push_back(fb.row);
     }
-    return {rows.begin(), rows.end()};
+    std::sort(rows_out.begin(), rows_out.end());
+    rows_out.erase(std::unique(rows_out.begin(), rows_out.end()),
+                   rows_out.end());
 }
 
 Campaign::Campaign(WriteBackCache &cache, Config cfg)
@@ -25,18 +36,17 @@ Campaign::Campaign(WriteBackCache &cache, Config cfg)
 {
 }
 
-std::vector<WideWord>
-Campaign::snapshotRows() const
+void
+Campaign::snapshotRows(std::vector<WideWord> &out) const
 {
-    std::vector<WideWord> v;
     unsigned n = cache_->geometry().numRows();
-    v.reserve(n);
+    out.clear();
+    out.reserve(n);
     for (Row r = 0; r < n; ++r) {
-        v.push_back(cache_->rowValid(r)
-                        ? cache_->rowData(r)
-                        : WideWord(cache_->geometry().unit_bytes));
+        out.push_back(cache_->rowValid(r)
+                          ? cache_->rowData(r)
+                          : WideWord(cache_->geometry().unit_bytes));
     }
-    return v;
 }
 
 void
@@ -51,16 +61,16 @@ Campaign::restoreRows(const std::vector<WideWord> &golden)
 InjectionOutcome
 Campaign::runOne(const Strike &strike)
 {
-    std::vector<WideWord> golden = snapshotRows();
+    snapshotRows(golden_);
 
     FaultInjector injector(*cache_);
-    std::vector<Row> affected = injector.apply(strike);
-    if (affected.empty())
+    injector.apply(strike, affected_);
+    if (affected_.empty())
         return InjectionOutcome::Benign;
 
     // Probe: load every affected unit, the paper's detection point.
     bool due = false;
-    for (Row r : affected) {
+    for (Row r : affected_) {
         Addr a = cache_->rowAddr(r);
         auto out = cache_->load(a, cache_->geometry().unit_bytes, nullptr);
         due |= out.due;
@@ -71,10 +81,10 @@ Campaign::runOne(const Strike &strike)
     bool intact = true;
     unsigned n = cache_->geometry().numRows();
     for (Row r = 0; r < n && intact; ++r)
-        if (cache_->rowValid(r) && cache_->rowData(r) != golden[r])
+        if (cache_->rowValid(r) && cache_->rowData(r) != golden_[r])
             intact = false;
 
-    restoreRows(golden);
+    restoreRows(golden_);
 
     if (due)
         return InjectionOutcome::Due;
@@ -84,55 +94,129 @@ Campaign::runOne(const Strike &strike)
 }
 
 Strike
-Campaign::toLogical(const Strike &physical) const
+Campaign::toLogical(const Strike &physical, const CacheGeometry &geom,
+                    unsigned interleave)
 {
-    unsigned k = cfg_.physical_interleave;
+    unsigned k = interleave;
     if (k <= 1)
         return physical;
     // Physical row P holds bit b of logical row P*k + (c mod k) at
     // column c = b*k + (c mod k).
-    unsigned unit_bits = cache_->geometry().unit_bytes * 8;
+    unsigned unit_bits = geom.unit_bytes * 8;
     Strike logical;
     logical.bits.reserve(physical.bits.size());
     for (const FaultBit &fb : physical.bits) {
         Row lrow = fb.row * k + (fb.bit % k);
         unsigned lbit = fb.bit / k;
-        if (lrow < cache_->geometry().numRows() && lbit < unit_bits)
+        if (lrow < geom.numRows() && lbit < unit_bits)
             logical.bits.push_back({lrow, lbit});
     }
     return logical;
 }
 
+std::vector<Strike>
+Campaign::sampleStrikes(const CacheGeometry &geom, const Config &cfg)
+{
+    Rng rng(cfg.seed);
+    unsigned k = std::max(1u, cfg.physical_interleave);
+    // With k-way interleaving, k logical rows share one physical row
+    // of k * unit_bits cells.
+    StrikePlacer placer(geom.numRows() / k, geom.unit_bytes * 8 * k);
+    std::vector<Strike> strikes;
+    strikes.reserve(cfg.injections);
+    for (uint64_t i = 0; i < cfg.injections; ++i) {
+        const StrikeShape &shape = cfg.shapes.sample(rng);
+        strikes.push_back(toLogical(placer.place(shape, rng), geom,
+                                    cfg.physical_interleave));
+    }
+    return strikes;
+}
+
+void
+Campaign::reduceOutcome(CampaignResult &res, InjectionOutcome o)
+{
+    ++res.injections;
+    switch (o) {
+      case InjectionOutcome::Benign:
+        ++res.benign;
+        break;
+      case InjectionOutcome::Corrected:
+        ++res.corrected;
+        break;
+      case InjectionOutcome::Due:
+        ++res.due;
+        break;
+      case InjectionOutcome::Sdc:
+        ++res.sdc;
+        break;
+    }
+}
+
 CampaignResult
 Campaign::run()
 {
+    // run() and the parallel front-end share one sampling path so their
+    // strike sequences cannot drift apart.
+    std::vector<Strike> strikes =
+        sampleStrikes(cache_->geometry(), cfg_);
     CampaignResult res;
-    const CacheGeometry &g = cache_->geometry();
-    unsigned k = cfg_.physical_interleave;
-    // With k-way interleaving, k logical rows share one physical row
-    // of k * unit_bits cells.
-    StrikePlacer placer(g.numRows() / std::max(1u, k),
-                        g.unit_bytes * 8 * std::max(1u, k));
-    for (uint64_t i = 0; i < cfg_.injections; ++i) {
-        const StrikeShape &shape = cfg_.shapes.sample(rng_);
-        Strike s = toLogical(placer.place(shape, rng_));
-        InjectionOutcome o = runOne(s);
-        ++res.injections;
-        switch (o) {
-          case InjectionOutcome::Benign:
-            ++res.benign;
-            break;
-          case InjectionOutcome::Corrected:
-            ++res.corrected;
-            break;
-          case InjectionOutcome::Due:
-            ++res.due;
-            break;
-          case InjectionOutcome::Sdc:
-            ++res.sdc;
-            break;
-        }
+    for (const Strike &s : strikes)
+        reduceOutcome(res, runOne(s));
+    return res;
+}
+
+CampaignResult
+runCampaignParallel(const CampaignHostFactory &factory,
+                    const Campaign::Config &cfg, unsigned jobs)
+{
+    if (jobs == 0)
+        jobs = ThreadPool::defaultWorkerCount();
+
+    std::unique_ptr<CampaignHost> host0 = factory();
+    std::vector<Strike> strikes =
+        Campaign::sampleStrikes(host0->cache().geometry(), cfg);
+
+    if (jobs <= 1 || strikes.size() <= 1) {
+        Campaign c(host0->cache(), cfg);
+        CampaignResult res;
+        for (const Strike &s : strikes)
+            Campaign::reduceOutcome(res, c.runOne(s));
+        return res;
     }
+
+    unsigned n_workers = static_cast<unsigned>(
+        std::min<size_t>(jobs, strikes.size()));
+    // Hosts are built serially: factories are free to share state (an
+    // options object, a population RNG reseeded per call, ...).
+    std::vector<std::unique_ptr<CampaignHost>> hosts;
+    hosts.reserve(n_workers);
+    hosts.push_back(std::move(host0));
+    for (unsigned w = 1; w < n_workers; ++w)
+        hosts.push_back(factory());
+
+    std::vector<InjectionOutcome> outcomes(strikes.size());
+    ThreadPool pool(n_workers);
+    std::vector<std::future<void>> futs;
+    futs.reserve(n_workers);
+    size_t chunk = (strikes.size() + n_workers - 1) / n_workers;
+    for (unsigned w = 0; w < n_workers; ++w) {
+        size_t begin = static_cast<size_t>(w) * chunk;
+        size_t end = std::min(begin + chunk, strikes.size());
+        if (begin >= end)
+            break;
+        futs.push_back(pool.submit([&, begin, end, w] {
+            Campaign c(hosts[w]->cache(), cfg);
+            for (size_t i = begin; i < end; ++i)
+                outcomes[i] = c.runOne(strikes[i]);
+        }));
+    }
+    for (auto &f : futs)
+        f.get();
+
+    // Canonical-order reduction after the barrier.
+    CampaignResult res;
+    for (InjectionOutcome o : outcomes)
+        Campaign::reduceOutcome(res, o);
     return res;
 }
 

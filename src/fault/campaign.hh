@@ -9,6 +9,8 @@
 #define CPPC_FAULT_CAMPAIGN_HH
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -61,8 +63,11 @@ class FaultInjector
   public:
     explicit FaultInjector(WriteBackCache &cache) : cache_(&cache) {}
 
-    /** @return rows actually corrupted (deduplicated). */
+    /** @return rows actually corrupted (deduplicated, sorted). */
     std::vector<Row> apply(const Strike &strike);
+
+    /** Allocation-free variant: corrupted rows land in @p rows_out. */
+    void apply(const Strike &strike, std::vector<Row> &rows_out);
 
   private:
     WriteBackCache *cache_;
@@ -105,16 +110,64 @@ class Campaign
     /** Run a single injection of a fixed, pre-placed strike. */
     InjectionOutcome runOne(const Strike &strike);
 
+    /**
+     * The deterministic strike sequence a campaign with @p cfg executes
+     * against a cache of geometry @p geom — sampled exactly as run()
+     * samples it, so pre-sampling for a parallel fan-out reproduces the
+     * serial campaign bit-for-bit.
+     */
+    static std::vector<Strike> sampleStrikes(const CacheGeometry &geom,
+                                             const Config &cfg);
+
+    /** Fold a per-injection outcome into the aggregate counters. */
+    static void reduceOutcome(CampaignResult &res, InjectionOutcome o);
+
   private:
-    std::vector<WideWord> snapshotRows() const;
+    void snapshotRows(std::vector<WideWord> &out) const;
     void restoreRows(const std::vector<WideWord> &golden);
     /** Map a physically-placed strike to logical (row, bit) flips. */
-    Strike toLogical(const Strike &physical) const;
+    static Strike toLogical(const Strike &physical,
+                            const CacheGeometry &geom,
+                            unsigned interleave);
 
     WriteBackCache *cache_;
     Config cfg_;
     Rng rng_;
+    // Reused across injections: snapshotting every row used to allocate
+    // (and destroy) a numRows()-sized vector per trial.
+    std::vector<WideWord> golden_;
+    std::vector<Row> affected_;
 };
+
+/**
+ * Owns one worker's private copy of the campaign target (cache plus
+ * whatever backs it).  runCampaignParallel() builds one per worker
+ * through a factory; the factory must populate every copy identically
+ * (same geometry, same deterministic fill), or the parallel result is
+ * not comparable to the serial one.
+ */
+class CampaignHost
+{
+  public:
+    virtual ~CampaignHost() = default;
+    virtual WriteBackCache &cache() = 0;
+};
+
+using CampaignHostFactory =
+    std::function<std::unique_ptr<CampaignHost>()>;
+
+/**
+ * Parallel front-end for Campaign: pre-samples the full strike sequence
+ * (identical to the serial draw order), fans the trials out over
+ * @p jobs workers — each against its own factory-built cache — and
+ * reduces the per-injection outcomes in injection order after the
+ * barrier.  Bit-identical to Campaign::run() on a factory-built cache.
+ *
+ * @p jobs 0 means ThreadPool::defaultWorkerCount().
+ */
+CampaignResult runCampaignParallel(const CampaignHostFactory &factory,
+                                   const Campaign::Config &cfg,
+                                   unsigned jobs = 0);
 
 } // namespace cppc
 

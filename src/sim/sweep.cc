@@ -1,0 +1,150 @@
+#include "sim/sweep.hh"
+
+#include <cstring>
+#include <future>
+
+#include "util/thread_pool.hh"
+
+namespace cppc {
+
+namespace {
+
+struct SweepJob
+{
+    const BenchmarkProfile *profile;
+    SchemeKind kind;
+};
+
+std::vector<SweepJob>
+crossProduct(const std::vector<BenchmarkProfile> &profiles,
+             const std::vector<SchemeKind> &kinds)
+{
+    std::vector<SweepJob> jobs;
+    jobs.reserve(profiles.size() * kinds.size());
+    for (const BenchmarkProfile &p : profiles)
+        for (SchemeKind k : kinds)
+            jobs.push_back({&p, k});
+    return jobs;
+}
+
+RunMetrics
+runCell(const SweepJob &job, const ExperimentOptions &base,
+        const SweepProgressFn &progress)
+{
+    RunMetrics m = runExperiment(*job.profile, job.kind, base);
+    if (progress)
+        progress(m);
+    return m;
+}
+
+// Doubles are compared through memcmp so that a NaN produced by both
+// paths still counts as identical.
+bool
+bitEqual(double a, double b)
+{
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+} // namespace
+
+unsigned
+benchJobs()
+{
+    return ThreadPool::defaultWorkerCount();
+}
+
+SweepGrid
+runSweepSerial(const std::vector<BenchmarkProfile> &profiles,
+               const std::vector<SchemeKind> &kinds,
+               const ExperimentOptions &base,
+               const SweepProgressFn &progress)
+{
+    SweepGrid grid;
+    for (const SweepJob &job : crossProduct(profiles, kinds))
+        grid[job.profile->name][job.kind] = runCell(job, base, progress);
+    return grid;
+}
+
+SweepGrid
+runSweepParallel(const std::vector<BenchmarkProfile> &profiles,
+                 const std::vector<SchemeKind> &kinds,
+                 const ExperimentOptions &base, unsigned jobs,
+                 const SweepProgressFn &progress)
+{
+    if (jobs == 0)
+        jobs = benchJobs();
+    std::vector<SweepJob> cells = crossProduct(profiles, kinds);
+    if (jobs <= 1 || cells.size() <= 1)
+        return runSweepSerial(profiles, kinds, base, progress);
+
+    ThreadPool pool(std::min<size_t>(jobs, cells.size()));
+    std::vector<std::future<RunMetrics>> futs;
+    futs.reserve(cells.size());
+    for (const SweepJob &job : cells) {
+        futs.push_back(pool.submit(
+            [job, &base, &progress] {
+                return runCell(job, base, progress);
+            }));
+    }
+
+    // Barrier + canonical-order reduction: cells land in the grid in
+    // submission order regardless of which worker finished first.
+    SweepGrid grid;
+    for (size_t i = 0; i < cells.size(); ++i)
+        grid[cells[i].profile->name][cells[i].kind] = futs[i].get();
+    return grid;
+}
+
+bool
+metricsIdentical(const RunMetrics &a, const RunMetrics &b)
+{
+    return a.benchmark == b.benchmark && a.kind == b.kind &&
+        a.core.instructions == b.core.instructions &&
+        a.core.cycles == b.core.cycles && a.core.loads == b.core.loads &&
+        a.core.stores == b.core.stores &&
+        a.core.load_stall_cycles == b.core.load_stall_cycles &&
+        a.core.port_conflict_cycles == b.core.port_conflict_cycles &&
+        a.core.lsq_stall_cycles == b.core.lsq_stall_cycles &&
+        a.core.fetch_stall_cycles == b.core.fetch_stall_cycles &&
+        bitEqual(a.l1_energy.demand_pj, b.l1_energy.demand_pj) &&
+        bitEqual(a.l1_energy.rbw_word_pj, b.l1_energy.rbw_word_pj) &&
+        bitEqual(a.l1_energy.rbw_line_pj, b.l1_energy.rbw_line_pj) &&
+        a.l1_energy.demand_ops == b.l1_energy.demand_ops &&
+        a.l1_energy.rbw_word_ops == b.l1_energy.rbw_word_ops &&
+        a.l1_energy.rbw_line_ops == b.l1_energy.rbw_line_ops &&
+        bitEqual(a.l2_energy.demand_pj, b.l2_energy.demand_pj) &&
+        bitEqual(a.l2_energy.rbw_word_pj, b.l2_energy.rbw_word_pj) &&
+        bitEqual(a.l2_energy.rbw_line_pj, b.l2_energy.rbw_line_pj) &&
+        a.l2_energy.demand_ops == b.l2_energy.demand_ops &&
+        a.l2_energy.rbw_word_ops == b.l2_energy.rbw_word_ops &&
+        a.l2_energy.rbw_line_ops == b.l2_energy.rbw_line_ops &&
+        bitEqual(a.l1_miss_rate, b.l1_miss_rate) &&
+        bitEqual(a.l2_miss_rate, b.l2_miss_rate) &&
+        a.stats_dump == b.stats_dump &&
+        bitEqual(a.l1_dirty_fraction, b.l1_dirty_fraction) &&
+        bitEqual(a.l1_tavg_cycles, b.l1_tavg_cycles) &&
+        bitEqual(a.l2_dirty_fraction, b.l2_dirty_fraction) &&
+        bitEqual(a.l2_tavg_cycles, b.l2_tavg_cycles);
+}
+
+bool
+gridsIdentical(const SweepGrid &a, const SweepGrid &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (auto ita = a.begin(), itb = b.begin(); ita != a.end();
+         ++ita, ++itb) {
+        if (ita->first != itb->first ||
+            ita->second.size() != itb->second.size())
+            return false;
+        for (auto ra = ita->second.begin(), rb = itb->second.begin();
+             ra != ita->second.end(); ++ra, ++rb) {
+            if (ra->first != rb->first ||
+                !metricsIdentical(ra->second, rb->second))
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace cppc

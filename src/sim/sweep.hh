@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Deterministic (benchmark x scheme) sweep engine behind the figure and
+ * table harnesses.
+ *
+ * Every cell of a sweep is one runExperiment() call on a fresh
+ * hierarchy with a fixed seed, so the cells share no mutable state and
+ * fan out over a ThreadPool; the grid is assembled in a canonical order
+ * after the barrier, which makes the parallel result bit-identical to
+ * the serial one.
+ */
+
+#ifndef CPPC_SIM_SWEEP_HH
+#define CPPC_SIM_SWEEP_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "trace/trace.hh"
+
+namespace cppc {
+
+/** Results keyed by (benchmark, scheme). */
+using SweepGrid = std::map<std::string, std::map<SchemeKind, RunMetrics>>;
+
+/**
+ * Per-cell completion callback.  Under runSweepParallel it is invoked
+ * from worker threads and must be thread-safe (progressLine() in
+ * bench_util.hh is).
+ */
+using SweepProgressFn = std::function<void(const RunMetrics &)>;
+
+/**
+ * Sweep worker count: the CPPC_BENCH_JOBS environment variable if set,
+ * otherwise hardware_concurrency (always >= 1).
+ */
+unsigned benchJobs();
+
+/** Serial reference implementation: rows in order, schemes in order. */
+SweepGrid runSweepSerial(const std::vector<BenchmarkProfile> &profiles,
+                         const std::vector<SchemeKind> &kinds,
+                         const ExperimentOptions &base,
+                         const SweepProgressFn &progress = nullptr);
+
+/**
+ * Parallel sweep over the same (profile x kind) grid; @p jobs 0 means
+ * benchJobs().  Bit-identical to runSweepSerial.
+ */
+SweepGrid runSweepParallel(const std::vector<BenchmarkProfile> &profiles,
+                           const std::vector<SchemeKind> &kinds,
+                           const ExperimentOptions &base,
+                           unsigned jobs = 0,
+                           const SweepProgressFn &progress = nullptr);
+
+/** Exact (bitwise, including NaN) equality of two run results. */
+bool metricsIdentical(const RunMetrics &a, const RunMetrics &b);
+
+/** Exact equality of two whole grids (keys and every metric). */
+bool gridsIdentical(const SweepGrid &a, const SweepGrid &b);
+
+} // namespace cppc
+
+#endif // CPPC_SIM_SWEEP_HH

@@ -1,10 +1,41 @@
 #include "util/table.hh"
 
 #include <algorithm>
+#include <charconv>
 #include <cstdio>
 #include <ostream>
 
 namespace cppc {
+
+namespace {
+
+// std::to_chars is locale-independent by specification; snprintf("%f")
+// is not (it honours LC_NUMERIC's decimal separator).
+std::string
+formatChars(double v, std::chars_format fmt, int precision)
+{
+    char buf[128];
+    auto [end, ec] =
+        std::to_chars(buf, buf + sizeof(buf), v, fmt,
+                      precision < 0 ? 0 : precision);
+    if (ec != std::errc())
+        return "?";
+    return std::string(buf, end);
+}
+
+} // namespace
+
+std::string
+formatFixed(double v, int precision)
+{
+    return formatChars(v, std::chars_format::fixed, precision);
+}
+
+std::string
+formatSci(double v, int precision)
+{
+    return formatChars(v, std::chars_format::scientific, precision);
+}
 
 TextTable::TextTable(std::vector<std::string> headers)
     : headers_(std::move(headers))
@@ -30,9 +61,7 @@ TextTable::add(const std::string &cell)
 TextTable &
 TextTable::add(double v, int precision)
 {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
-    return add(std::string(buf));
+    return add(formatFixed(v, precision));
 }
 
 TextTable &
@@ -47,9 +76,7 @@ TextTable::add(uint64_t v)
 TextTable &
 TextTable::addSci(double v, int precision)
 {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
-    return add(std::string(buf));
+    return add(formatSci(v, precision));
 }
 
 void

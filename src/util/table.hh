@@ -15,6 +15,16 @@
 namespace cppc {
 
 /**
+ * Locale-independent "%.*f" rendering (always a '.' decimal point, no
+ * grouping), so tables, CSV dumps and BENCH_sweep.json parse the same
+ * regardless of the host locale.
+ */
+std::string formatFixed(double v, int precision = 3);
+
+/** Locale-independent "%.*e" rendering. */
+std::string formatSci(double v, int precision = 2);
+
+/**
  * Accumulates string cells and prints them with aligned columns.
  *
  * Numeric convenience setters keep the bench code terse.

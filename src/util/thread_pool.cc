@@ -1,0 +1,56 @@
+#include "util/thread_pool.hh"
+
+#include <cstdlib>
+
+namespace cppc {
+
+unsigned
+ThreadPool::defaultWorkerCount()
+{
+    if (const char *env = std::getenv("CPPC_BENCH_JOBS")) {
+        unsigned long n = std::strtoul(env, nullptr, 10);
+        return n >= 1 ? static_cast<unsigned>(n) : 1u;
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? hw : 1u;
+}
+
+ThreadPool::ThreadPool(unsigned n_workers)
+{
+    if (n_workers == 0)
+        n_workers = defaultWorkerCount();
+    workers_.reserve(n_workers);
+    for (unsigned i = 0; i < n_workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::packaged_task<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock,
+                     [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping and fully drained
+            task = std::move(queue_.front());
+            queue_.pop();
+        }
+        task();
+    }
+}
+
+} // namespace cppc

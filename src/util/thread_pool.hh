@@ -1,0 +1,87 @@
+/**
+ * @file
+ * A small fixed-size worker pool for the embarrassingly parallel parts
+ * of the evaluation: (benchmark x scheme) sweep runs and fault-injection
+ * trials share no mutable state, so they fan out as futures and reduce
+ * in a canonical order afterwards.
+ *
+ * Exceptions thrown by a submitted task are captured in its future and
+ * rethrown from future::get(), so worker failures surface at the
+ * reduction point instead of tearing down the process.
+ */
+
+#ifndef CPPC_UTIL_THREAD_POOL_HH
+#define CPPC_UTIL_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace cppc {
+
+class ThreadPool
+{
+  public:
+    /**
+     * Start @p n_workers threads; 0 means defaultWorkerCount().
+     */
+    explicit ThreadPool(unsigned n_workers = 0);
+
+    /** Drains every queued task, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Worker count used when none is given: the CPPC_BENCH_JOBS
+     * environment variable if set (clamped to >= 1), otherwise
+     * std::thread::hardware_concurrency().
+     */
+    static unsigned defaultWorkerCount();
+
+    unsigned
+    workerCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /**
+     * Queue @p fn for execution; the returned future yields its result
+     * or rethrows its exception.
+     */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<std::decay_t<F>>>
+    {
+        using R = std::invoke_result_t<std::decay_t<F>>;
+        std::packaged_task<R()> task(std::forward<F>(fn));
+        std::future<R> fut = task.get_future();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            queue_.emplace(
+                [t = std::move(task)]() mutable { t(); });
+        }
+        cv_.notify_one();
+        return fut;
+    }
+
+  private:
+    void workerLoop();
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    // packaged_task<void()> doubles as a move-only function wrapper, so
+    // tasks with move-only captures (the inner packaged_task) fit.
+    std::queue<std::packaged_task<void()>> queue_;
+    std::vector<std::thread> workers_;
+    bool stopping_ = false;
+};
+
+} // namespace cppc
+
+#endif // CPPC_UTIL_THREAD_POOL_HH

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <type_traits>
 
 #include "util/bits.hh"
 
@@ -295,6 +296,18 @@ class WideWord
     std::array<uint8_t, kMaxBytes> bytes_;
     unsigned size_;
 };
+
+// WideWord values are created and XOR-combined on every simulated
+// store and verify, from every sweep worker at once.  The steady-state
+// access loop must therefore never touch the heap: storage is a fixed
+// inline array (cache units are <= kMaxBytes), the type is trivially
+// copyable, and its footprint is exactly the inline buffer plus the
+// width (modulo padding).
+static_assert(std::is_trivially_copyable_v<WideWord>,
+              "WideWord must stay heap-free and memcpy-safe");
+static_assert(sizeof(WideWord) <=
+                  WideWord::kMaxBytes + 2 * sizeof(unsigned),
+              "WideWord must keep inline small-buffer storage only");
 
 } // namespace cppc
 

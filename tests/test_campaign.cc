@@ -188,6 +188,57 @@ TEST(Campaign, PhysicalInterleavingScattersStrikes)
     EXPECT_LT(without.coverage(), 0.5);
 }
 
+TEST(Campaign, ParallelFrontEndBitIdenticalToSerial)
+{
+    // Serial reference on one populated cache...
+    Harness serial_h(smallGeometry(), std::make_unique<CppcScheme>());
+    populate(serial_h);
+    Campaign::Config cc;
+    cc.injections = 400;
+    cc.seed = 31;
+    cc.shapes = StrikeShapeDistribution::scaledTechnologyMix(0.5);
+    CampaignResult serial = Campaign(*serial_h.cache, cc).run();
+
+    // ...must match the fan-out over factory-built identical copies.
+    struct Host : CampaignHost
+    {
+        Harness h;
+        Host() : h(smallGeometry(), std::make_unique<CppcScheme>())
+        {
+            populate(h);
+        }
+        WriteBackCache &cache() override { return *h.cache; }
+    };
+    for (unsigned jobs : {1u, 3u, 4u}) {
+        CampaignResult parallel = runCampaignParallel(
+            [] { return std::make_unique<Host>(); }, cc, jobs);
+        EXPECT_EQ(parallel.injections, serial.injections) << jobs;
+        EXPECT_EQ(parallel.benign, serial.benign) << jobs;
+        EXPECT_EQ(parallel.corrected, serial.corrected) << jobs;
+        EXPECT_EQ(parallel.due, serial.due) << jobs;
+        EXPECT_EQ(parallel.sdc, serial.sdc) << jobs;
+    }
+}
+
+TEST(Campaign, SampleStrikesMatchesConfiguredCount)
+{
+    Campaign::Config cc;
+    cc.injections = 123;
+    cc.seed = 5;
+    auto strikes = Campaign::sampleStrikes(smallGeometry(), cc);
+    EXPECT_EQ(strikes.size(), 123u);
+    // Same seed, same sequence.
+    auto again = Campaign::sampleStrikes(smallGeometry(), cc);
+    ASSERT_EQ(again.size(), strikes.size());
+    for (size_t i = 0; i < strikes.size(); ++i) {
+        ASSERT_EQ(again[i].bits.size(), strikes[i].bits.size());
+        for (size_t b = 0; b < strikes[i].bits.size(); ++b) {
+            EXPECT_EQ(again[i].bits[b].row, strikes[i].bits[b].row);
+            EXPECT_EQ(again[i].bits[b].bit, strikes[i].bits[b].bit);
+        }
+    }
+}
+
 TEST(Campaign, CoverageAccessorMath)
 {
     CampaignResult r;

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Determinism contract of the parallel sweep engine: fanning the
+ * (benchmark x scheme) grid out over workers must reproduce the serial
+ * grid bit for bit, because every cell owns a fresh hierarchy and a
+ * fixed seed and the reduction happens in canonical order.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "sim/sweep.hh"
+
+namespace cppc {
+namespace {
+
+std::vector<BenchmarkProfile>
+firstProfiles(size_t n)
+{
+    const auto &all = spec2000Profiles();
+    return {all.begin(), all.begin() + std::min(n, all.size())};
+}
+
+TEST(ParallelSweep, BitIdenticalToSerial)
+{
+    // 3 benchmarks x 2 schemes, with every optional metric enabled so
+    // the comparison covers dirty profiling and the stats dump too.
+    std::vector<BenchmarkProfile> profiles = firstProfiles(3);
+    std::vector<SchemeKind> kinds = {SchemeKind::Parity1D,
+                                     SchemeKind::Cppc};
+    ExperimentOptions opts;
+    opts.instructions = 30'000;
+    opts.profile_dirty = true;
+    opts.dump_stats = true;
+
+    SweepGrid serial = runSweepSerial(profiles, kinds, opts);
+    SweepGrid parallel = runSweepParallel(profiles, kinds, opts, 4);
+
+    ASSERT_EQ(parallel.size(), profiles.size());
+    EXPECT_TRUE(gridsIdentical(serial, parallel));
+
+    // Spot-check a couple of cells field by field, so a comparator bug
+    // can't silently pass the grid check.
+    const RunMetrics &s = serial.at(profiles[0].name).at(SchemeKind::Cppc);
+    const RunMetrics &p =
+        parallel.at(profiles[0].name).at(SchemeKind::Cppc);
+    EXPECT_EQ(s.core.cycles, p.core.cycles);
+    EXPECT_EQ(s.core.instructions, p.core.instructions);
+    EXPECT_EQ(s.l1_energy.rbw_word_ops, p.l1_energy.rbw_word_ops);
+    EXPECT_EQ(s.stats_dump, p.stats_dump);
+    EXPECT_EQ(s.l1_dirty_fraction, p.l1_dirty_fraction);
+}
+
+TEST(ParallelSweep, RepeatedParallelRunsAgree)
+{
+    std::vector<BenchmarkProfile> profiles = firstProfiles(2);
+    std::vector<SchemeKind> kinds = {SchemeKind::Cppc};
+    ExperimentOptions opts;
+    opts.instructions = 20'000;
+
+    SweepGrid a = runSweepParallel(profiles, kinds, opts, 3);
+    SweepGrid b = runSweepParallel(profiles, kinds, opts, 2);
+    EXPECT_TRUE(gridsIdentical(a, b));
+}
+
+TEST(ParallelSweep, ComparatorDetectsDifferences)
+{
+    std::vector<BenchmarkProfile> profiles = firstProfiles(1);
+    std::vector<SchemeKind> kinds = {SchemeKind::Parity1D};
+    ExperimentOptions opts;
+    opts.instructions = 10'000;
+
+    SweepGrid a = runSweepSerial(profiles, kinds, opts);
+    SweepGrid b = a;
+    b.begin()->second.begin()->second.core.cycles += 1;
+    EXPECT_FALSE(gridsIdentical(a, b));
+}
+
+TEST(ParallelSweep, ProgressCallbackFiresPerCell)
+{
+    std::vector<BenchmarkProfile> profiles = firstProfiles(2);
+    std::vector<SchemeKind> kinds = {SchemeKind::Parity1D,
+                                     SchemeKind::Cppc};
+    ExperimentOptions opts;
+    opts.instructions = 10'000;
+
+    std::atomic<int> cells{0};
+    runSweepParallel(profiles, kinds, opts, 2,
+                     [&cells](const RunMetrics &) { ++cells; });
+    EXPECT_EQ(cells.load(), 4);
+}
+
+} // namespace
+} // namespace cppc

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <sstream>
 
 #include "util/table.hh"
@@ -40,6 +41,42 @@ TEST(TextTable, ScientificCells)
     std::ostringstream os;
     t.printCsv(os);
     EXPECT_NE(os.str().find("8.02e+21"), std::string::npos);
+}
+
+TEST(TextTable, FormatHelpersAreExact)
+{
+    EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(formatFixed(2.0, 0), "2");
+    EXPECT_EQ(formatFixed(-0.5, 3), "-0.500");
+    EXPECT_EQ(formatSci(8.02e21, 2), "8.02e+21");
+    EXPECT_EQ(formatSci(1.5e-3, 1), "1.5e-03");
+}
+
+TEST(TextTable, NumbersAreLocaleIndependent)
+{
+    // Under a comma-decimal locale, snprintf("%f") would print "3,14"
+    // and break every CSV/JSON consumer; the to_chars-based formatting
+    // must not care.  Skip when the container has no such locale.
+    const char *old = std::setlocale(LC_NUMERIC, nullptr);
+    std::string saved = old ? old : "C";
+    bool have_locale =
+        std::setlocale(LC_NUMERIC, "de_DE.UTF-8") != nullptr ||
+        std::setlocale(LC_NUMERIC, "fr_FR.UTF-8") != nullptr;
+    if (!have_locale)
+        GTEST_SKIP() << "no comma-decimal locale installed";
+
+    std::string fixed = formatFixed(3.14159, 2);
+    std::string sci = formatSci(8.02e21, 2);
+    TextTable t({"v"});
+    t.row().add(1234.5, 1);
+    std::ostringstream os;
+    t.printCsv(os);
+    std::setlocale(LC_NUMERIC, saved.c_str());
+
+    EXPECT_EQ(fixed, "3.14");
+    EXPECT_EQ(sci, "8.02e+21");
+    EXPECT_NE(os.str().find("1234.5"), std::string::npos);
+    EXPECT_EQ(os.str().find("1234,5"), std::string::npos);
 }
 
 TEST(TextTable, RowCount)

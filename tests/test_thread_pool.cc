@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hh"
+
+namespace cppc {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsValues)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.workerCount(), 4u);
+    std::vector<std::future<int>> futs;
+    for (int i = 0; i < 100; ++i)
+        futs.push_back(pool.submit([i] { return i * i; }));
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(futs[i].get(), i * i);
+}
+
+TEST(ThreadPool, SubmitVoidTasks)
+{
+    std::atomic<int> counter{0};
+    ThreadPool pool(3);
+    std::vector<std::future<void>> futs;
+    for (int i = 0; i < 64; ++i)
+        futs.push_back(pool.submit([&counter] { ++counter; }));
+    for (auto &f : futs)
+        f.get();
+    EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture)
+{
+    ThreadPool pool(2);
+    auto ok = pool.submit([] { return 7; });
+    auto bad = pool.submit(
+        []() -> int { throw std::runtime_error("worker failed"); });
+    EXPECT_EQ(ok.get(), 7);
+    try {
+        bad.get();
+        FAIL() << "expected runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "worker failed");
+    }
+    // The pool survives a throwing task.
+    EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedTasks)
+{
+    std::atomic<int> ran{0};
+    std::vector<std::future<void>> futs;
+    {
+        ThreadPool pool(1); // single worker: tasks queue up behind it
+        for (int i = 0; i < 50; ++i)
+            futs.push_back(pool.submit([&ran] { ++ran; }));
+        // Destructor must complete every queued task, not drop them.
+    }
+    EXPECT_EQ(ran.load(), 50);
+    for (auto &f : futs)
+        EXPECT_NO_THROW(f.get());
+}
+
+TEST(ThreadPool, DefaultWorkerCountHonoursEnv)
+{
+    const char *saved = std::getenv("CPPC_BENCH_JOBS");
+    std::string saved_value = saved ? saved : "";
+
+    setenv("CPPC_BENCH_JOBS", "3", 1);
+    EXPECT_EQ(ThreadPool::defaultWorkerCount(), 3u);
+    setenv("CPPC_BENCH_JOBS", "0", 1); // nonsense clamps to 1
+    EXPECT_EQ(ThreadPool::defaultWorkerCount(), 1u);
+    unsetenv("CPPC_BENCH_JOBS");
+    EXPECT_GE(ThreadPool::defaultWorkerCount(), 1u);
+
+    if (saved)
+        setenv("CPPC_BENCH_JOBS", saved_value.c_str(), 1);
+}
+
+TEST(ThreadPool, ZeroWorkersMeansDefault)
+{
+    const char *saved = std::getenv("CPPC_BENCH_JOBS");
+    std::string saved_value = saved ? saved : "";
+    setenv("CPPC_BENCH_JOBS", "2", 1);
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.workerCount(), 2u);
+    if (saved)
+        setenv("CPPC_BENCH_JOBS", saved_value.c_str(), 1);
+    else
+        unsetenv("CPPC_BENCH_JOBS");
+}
+
+} // namespace
+} // namespace cppc

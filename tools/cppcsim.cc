@@ -24,6 +24,7 @@
 
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "energy/accountant.hh"
@@ -53,7 +54,7 @@ usage()
         "  record:   --benchmark=NAME --out=FILE [--instructions=N]"
         " [--seed=N]\n"
         "  campaign: --scheme=KIND [--injections=N] [--multibit=F]\n"
-        "            [--interleave=N] [--dirty=F] [--seed=N]\n"
+        "            [--interleave=N] [--dirty=F] [--seed=N] [--jobs=N]\n"
         "  mttf:     [--size-kb=N] [--dirty=F] [--tavg=CYCLES]"
         " [--fit=F] [--avf=F]\n"
         "  list\n";
@@ -160,43 +161,77 @@ cmdRun(const Options &opt)
     return 0;
 }
 
+/**
+ * One worker's private campaign target: an 8KB L1 in front of its own
+ * memory, populated to the requested dirty fraction with a fixed seed —
+ * so every copy the factory hands out is identical.
+ */
+class CampaignTarget : public CampaignHost
+{
+  public:
+    CampaignTarget(SchemeKind kind, const CppcConfig &cfg, double dirty,
+                   uint64_t seed)
+        : cache_("L1D", campaignGeometry(), ReplacementKind::LRU, &mem_,
+                 makeScheme(kind, cfg))
+    {
+        Rng rng(seed);
+        for (Addr a = 0; a < campaignGeometry().size_bytes; a += 8) {
+            if (rng.chance(dirty)) {
+                uint64_t v = rng.next();
+                uint8_t buf[8];
+                std::memcpy(buf, &v, 8);
+                cache_.store(a, 8, buf);
+            } else {
+                cache_.load(a, 8, nullptr);
+            }
+        }
+    }
+
+    WriteBackCache &cache() override { return cache_; }
+
+    static CacheGeometry
+    campaignGeometry()
+    {
+        CacheGeometry geom;
+        geom.size_bytes = 8 * 1024;
+        geom.assoc = 2;
+        geom.line_bytes = 32;
+        geom.unit_bytes = 8;
+        return geom;
+    }
+
+  private:
+    MainMemory mem_;
+    WriteBackCache cache_;
+};
+
 int
 cmdCampaign(const Options &opt)
 {
     SchemeKind kind = parseSchemeKind(opt.getString("scheme", "cppc"));
-    CacheGeometry geom;
-    geom.size_bytes = 8 * 1024;
-    geom.assoc = 2;
-    geom.line_bytes = 32;
-    geom.unit_bytes = 8;
-
-    MainMemory mem;
-    WriteBackCache cache("L1D", geom, ReplacementKind::LRU, &mem,
-                         makeScheme(kind, cppcConfigFrom(opt)));
-    // Populate with the requested dirty fraction.
     double dirty = opt.getDouble("dirty", 0.5);
-    Rng rng(opt.getUint("seed", 7));
-    for (Addr a = 0; a < geom.size_bytes; a += 8) {
-        if (rng.chance(dirty)) {
-            uint64_t v = rng.next();
-            uint8_t buf[8];
-            std::memcpy(buf, &v, 8);
-            cache.store(a, 8, buf);
-        } else {
-            cache.load(a, 8, nullptr);
-        }
-    }
+    uint64_t seed = opt.getUint("seed", 7);
+    CppcConfig cppc_cfg = cppcConfigFrom(opt);
 
     Campaign::Config cc;
     cc.injections = opt.getUint("injections", 10000);
-    cc.seed = opt.getUint("seed", 7);
+    cc.seed = seed;
     double multibit = opt.getDouble("multibit", 0.5);
     cc.shapes = multibit > 0.0
         ? StrikeShapeDistribution::scaledTechnologyMix(multibit)
         : StrikeShapeDistribution::singleBitOnly();
     cc.physical_interleave =
         static_cast<unsigned>(opt.getUint("interleave", 1));
-    CampaignResult r = Campaign(cache, cc).run();
+
+    // --jobs=0 means "all cores" (CPPC_BENCH_JOBS still overrides);
+    // the parallel front-end is bit-identical to the serial campaign.
+    unsigned jobs = static_cast<unsigned>(opt.getUint("jobs", 1));
+    CampaignResult r = runCampaignParallel(
+        [&]() -> std::unique_ptr<CampaignHost> {
+            return std::make_unique<CampaignTarget>(kind, cppc_cfg,
+                                                    dirty, seed);
+        },
+        cc, jobs);
 
     TextTable t({"outcome", "count", "rate"});
     t.row().add("benign").add(r.benign).add(r.rate(r.benign), 4);
@@ -265,7 +300,7 @@ main(int argc, char **argv)
                  "domains", "no-shift", "paper-locator", "csv",
                  "injections", "multibit", "interleave", "dirty",
                  "size-kb", "tavg", "fit", "avf", "stats", "trace",
-                 "out"});
+                 "out", "jobs"});
     try {
         opt.parse(argc - 1, argv + 1);
         if (cmd == "run")
