@@ -38,7 +38,13 @@ main(int argc, char **argv)
     const std::string json_path =
         argc > 1 ? argv[1] : "BENCH_sweep.json";
     const uint64_t budget = bench::instructionBudget(500'000);
-    const unsigned jobs = benchJobs();
+    unsigned jobs = 0;
+    try {
+        jobs = benchJobs();
+    } catch (const FatalError &e) {
+        std::cerr << "fatal: " << e.what() << "\n";
+        return 1;
+    }
     const std::vector<SchemeKind> kinds = {SchemeKind::Parity1D,
                                            SchemeKind::Cppc};
     const size_t n_runs = spec2000Profiles().size() * kinds.size();

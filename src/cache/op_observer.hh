@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Observation hook fired after state-mutating cache-hierarchy
+ * operations.
+ *
+ * The verify subsystem attaches an observer (src/verify's
+ * InvariantProbe) to a WriteBackCache, its ProtectionScheme and its
+ * WritebackBuffer; the components call back *after* each completed
+ * operation, at a point where the component's invariants are supposed
+ * to hold.  Observers must not drive traffic through the component
+ * from inside the callback — read-only introspection (backdoor reads,
+ * stats, register sweeps) only.
+ */
+
+#ifndef CPPC_CACHE_OP_OBSERVER_HH
+#define CPPC_CACHE_OP_OBSERVER_HH
+
+namespace cppc {
+
+class OpObserver
+{
+  public:
+    virtual ~OpObserver() = default;
+
+    /**
+     * @param source the notifying component ("cache", "scheme", ...)
+     * @param op     the operation that just completed ("access",
+     *               "flushAll", "recover", "drain", ...)
+     */
+    virtual void onOp(const char *source, const char *op) = 0;
+};
+
+} // namespace cppc
+
+#endif // CPPC_CACHE_OP_OBSERVER_HH

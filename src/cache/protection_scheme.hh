@@ -19,6 +19,7 @@
 #include <string>
 
 #include "cache/geometry.hh"
+#include "cache/op_observer.hh"
 #include "cache/types.hh"
 #include "util/wide_word.hh"
 
@@ -177,8 +178,24 @@ class ProtectionScheme
     const SchemeStats &stats() const { return stats_; }
     void resetStats() { stats_ = SchemeStats(); }
 
+    /**
+     * Attach a verification observer (not owned); pass nullptr to
+     * detach.  Schemes with internal recovery machinery notify it
+     * after each completed recovery step.
+     */
+    void attachObserver(OpObserver *observer) { observer_ = observer; }
+
   protected:
+    /** Notify the attached observer, if any. */
+    void
+    notifyOp(const char *source, const char *op)
+    {
+        if (observer_)
+            observer_->onOp(source, op);
+    }
+
     SchemeStats stats_;
+    OpObserver *observer_ = nullptr;
 };
 
 } // namespace cppc

@@ -240,6 +240,7 @@ WriteBackCache::access(Addr addr, unsigned size, uint8_t *read_out,
 
     if (read_out)
         std::memcpy(read_out, line.data.data() + off, size);
+    notifyObserver(write_in ? "store" : "load");
     return out;
 }
 
@@ -369,6 +370,7 @@ WriteBackCache::flushAll()
     for (unsigned set = 0; set < geom_.numSets(); ++set)
         for (unsigned way = 0; way < geom_.assoc; ++way)
             evictWay(set, way, dummy);
+    notifyObserver("flushAll");
 }
 
 bool
@@ -434,6 +436,7 @@ WriteBackCache::invalidateLine(Addr addr)
     AccessOutcome dummy;
     evictWay(set, static_cast<unsigned>(way), dummy);
     ++invalidations_;
+    notifyObserver("invalidateLine");
     return true;
 }
 
@@ -447,6 +450,7 @@ WriteBackCache::downgradeLine(Addr addr)
     bool cleaned = cleanLine(set, static_cast<unsigned>(way));
     if (cleaned)
         ++downgrades_;
+    notifyObserver("downgradeLine");
     return cleaned;
 }
 
@@ -467,6 +471,7 @@ WriteBackCache::scrubDirtyLines(unsigned max_lines)
             break;
         }
     }
+    notifyObserver("scrubDirtyLines");
     return cleaned;
 }
 

@@ -186,6 +186,16 @@ class WriteBackCache : public MemoryLevel, public CacheBackdoor
     VerifyOutcome lastVerify() const { return last_verify_; }
 
     /**
+     * Attach a verification observer (not owned); pass nullptr to
+     * detach.  Notified after every completed access, flush, line
+     * invalidation/downgrade and scrub — at points where the cache,
+     * its scheme and the level below are supposed to be consistent.
+     * Fault-injection backdoors (corruptBit, pokeRowData) deliberately
+     * do not notify: they exist to *break* invariants.
+     */
+    void attachObserver(OpObserver *observer) { observer_ = observer; }
+
+    /**
      * Attach a dirty-residency profiler (not owned) and keep its clock
      * current via setNow(); pass nullptr to detach.
      */
@@ -218,6 +228,13 @@ class WriteBackCache : public MemoryLevel, public CacheBackdoor
     AccessOutcome access(Addr addr, unsigned size, uint8_t *read_out,
                          const uint8_t *write_in);
 
+    void
+    notifyObserver(const char *op)
+    {
+        if (observer_)
+            observer_->onOp("cache", op);
+    }
+
     std::string name_;
     CacheGeometry geom_;
     std::vector<Line> lines_; // sets * assoc, row-major by set
@@ -228,6 +245,7 @@ class WriteBackCache : public MemoryLevel, public CacheBackdoor
     bool check_on_writeback_ = true;
     bool check_on_rbw_ = true;
     VerifyOutcome last_verify_ = VerifyOutcome::Ok;
+    OpObserver *observer_ = nullptr;
     class DirtyProfiler *profiler_ = nullptr;
     Cycle now_ = 0;
     uint64_t invalidations_ = 0;

@@ -97,6 +97,16 @@ WritebackBuffer::drain()
 {
     while (!fifo_.empty())
         evictOldest();
+    if (observer_)
+        observer_->onOp("wbbuf", "drain");
+}
+
+void
+WritebackBuffer::forEachEntry(
+    const std::function<void(Addr, const uint8_t *, unsigned)> &fn) const
+{
+    for (const Entry &e : fifo_)
+        fn(e.addr, e.data.data(), static_cast<unsigned>(e.data.size()));
 }
 
 } // namespace cppc

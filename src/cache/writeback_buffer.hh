@@ -16,9 +16,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "cache/memory_level.hh"
+#include "cache/op_observer.hh"
 
 namespace cppc {
 
@@ -44,6 +46,23 @@ class WritebackBuffer : public MemoryLevel
     {
         return static_cast<unsigned>(fifo_.size());
     }
+
+    /**
+     * Attach a verification observer (not owned); pass nullptr to
+     * detach.  Notified after drain() — the one buffer operation that
+     * completes with every level (cache above, memory below) in a
+     * mutually consistent state.  Per-line writeLine() calls land
+     * mid-eviction of the cache above and are deliberately silent.
+     */
+    void attachObserver(OpObserver *observer) { observer_ = observer; }
+
+    /** Iterate parked lines in FIFO order: fn(line_addr, data, len). */
+    void forEachEntry(
+        const std::function<void(Addr, const uint8_t *, unsigned)> &fn)
+        const;
+
+    /** True iff a line starting at @p line_addr is parked here. */
+    bool holdsLine(Addr line_addr) const { return find(line_addr) >= 0; }
     uint64_t hits() const { return hits_; }        ///< reads served here
     uint64_t coalesced() const { return coalesced_; } ///< rewrites merged
     uint64_t drained() const { return drained_; }  ///< lines sent below
@@ -62,6 +81,7 @@ class WritebackBuffer : public MemoryLevel
     unsigned capacity_;
     unsigned line_bytes_;
     MemoryLevel *next_;
+    OpObserver *observer_ = nullptr;
     std::deque<Entry> fifo_;
     uint64_t hits_ = 0;
     uint64_t coalesced_ = 0;

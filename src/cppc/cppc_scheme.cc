@@ -182,6 +182,7 @@ CppcScheme::scrubRegisters()
                       WideWord(cache_->geometry().unit_bytes));
         }
     }
+    notifyOp("CppcScheme", "scrubRegisters");
     return true;
 }
 
@@ -337,6 +338,7 @@ CppcScheme::recover(Row trigger)
         ok = ok && group_ok;
     }
 
+    notifyOp("CppcScheme", "recover");
     if (!ok) {
         ++stats_.due;
         return VerifyOutcome::Due;

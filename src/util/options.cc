@@ -70,6 +70,12 @@ Options::getUint(const std::string &key, uint64_t dflt) const
     auto it = values_.find(key);
     if (it == values_.end())
         return dflt;
+    // strtoull silently wraps "-1" to 2^64-1; an unsigned option must
+    // reject signs outright instead.
+    if (!it->second.empty() &&
+        (it->second[0] == '-' || it->second[0] == '+'))
+        fatal("option '--%s' expects a non-negative integer, got '%s'",
+              key.c_str(), it->second.c_str());
     char *end = nullptr;
     uint64_t v = std::strtoull(it->second.c_str(), &end, 0);
     if (end == it->second.c_str() || *end != '\0')

@@ -1,16 +1,39 @@
 #include "util/thread_pool.hh"
 
+#include <cctype>
 #include <cstdlib>
+
+#include "util/logging.hh"
 
 namespace cppc {
 
 unsigned
+ThreadPool::parseWorkerCount(const std::string &text, const char *source)
+{
+    if (text.empty())
+        fatal("%s: worker count is empty (expected 1..%u)", source,
+              kMaxWorkers);
+    uint64_t n = 0;
+    for (char c : text) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            fatal("%s: worker count '%s' is not a plain decimal integer",
+                  source, text.c_str());
+        n = n * 10 + static_cast<uint64_t>(c - '0');
+        if (n > kMaxWorkers)
+            fatal("%s: worker count '%s' exceeds the limit of %u", source,
+                  text.c_str(), kMaxWorkers);
+    }
+    if (n == 0)
+        fatal("%s: worker count must be >= 1, got '%s'", source,
+              text.c_str());
+    return static_cast<unsigned>(n);
+}
+
+unsigned
 ThreadPool::defaultWorkerCount()
 {
-    if (const char *env = std::getenv("CPPC_BENCH_JOBS")) {
-        unsigned long n = std::strtoul(env, nullptr, 10);
-        return n >= 1 ? static_cast<unsigned>(n) : 1u;
-    }
+    if (const char *env = std::getenv("CPPC_BENCH_JOBS"))
+        return parseWorkerCount(env, "CPPC_BENCH_JOBS");
     unsigned hw = std::thread::hardware_concurrency();
     return hw >= 1 ? hw : 1u;
 }

@@ -17,6 +17,7 @@
 #include <future>
 #include <mutex>
 #include <queue>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -26,6 +27,14 @@ namespace cppc {
 class ThreadPool
 {
   public:
+    /**
+     * Hard ceiling on a requested worker count.  Deliberately *not*
+     * tied to hardware_concurrency(): tests and CI routinely ask for
+     * small oversubscription (e.g. --jobs=3 on a 1-core container) and
+     * that is legitimate; four-digit worker counts are always a typo.
+     */
+    static constexpr unsigned kMaxWorkers = 256;
+
     /**
      * Start @p n_workers threads; 0 means defaultWorkerCount().
      */
@@ -38,8 +47,20 @@ class ThreadPool
     ThreadPool &operator=(const ThreadPool &) = delete;
 
     /**
+     * Parse a worker count from user input (the CPPC_BENCH_JOBS
+     * environment variable, a --jobs option).  Strict: the text must
+     * be a plain decimal integer in [1, kMaxWorkers]; anything else —
+     * empty, garbage, signed, trailing junk, zero, absurdly large —
+     * is rejected with fatal() naming @p source.  Never clamps
+     * silently.
+     */
+    static unsigned parseWorkerCount(const std::string &text,
+                                     const char *source);
+
+    /**
      * Worker count used when none is given: the CPPC_BENCH_JOBS
-     * environment variable if set (clamped to >= 1), otherwise
+     * environment variable if set (parsed strictly; a malformed value
+     * is fatal, not clamped), otherwise
      * std::thread::hardware_concurrency().
      */
     static unsigned defaultWorkerCount();

@@ -1,0 +1,672 @@
+#include "verify/fuzzer.hh"
+
+#include <cstring>
+#include <memory>
+
+#include "cache/memory_level.hh"
+#include "cache/replacement.hh"
+#include "cache/write_back_cache.hh"
+#include "cache/writeback_buffer.hh"
+#include "cppc/cppc_scheme.hh"
+#include "cppc/tag_cppc.hh"
+#include "fault/campaign.hh"
+#include "fault/fault_model.hh"
+#include "protection/icr.hh"
+#include "protection/memory_mapped_ecc.hh"
+#include "protection/parity.hh"
+#include "protection/replication_cache.hh"
+#include "protection/secded.hh"
+#include "protection/two_d_parity.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "verify/golden_model.hh"
+#include "verify/invariant_probe.hh"
+#include "verify/shrinker.hh"
+
+namespace cppc {
+
+namespace {
+
+const char *
+kindName(FuzzOp::Kind kind)
+{
+    switch (kind) {
+      case FuzzOp::Kind::Load: return "load";
+      case FuzzOp::Kind::Store: return "store";
+      case FuzzOp::Kind::Flush: return "flush";
+      case FuzzOp::Kind::Invalidate: return "invalidate";
+      case FuzzOp::Kind::Downgrade: return "downgrade";
+      case FuzzOp::Kind::Scrub: return "scrub";
+      case FuzzOp::Kind::Drain: return "drain";
+      case FuzzOp::Kind::StrikeBit: return "strike-bit";
+      case FuzzOp::Kind::StrikeSpatial: return "strike-spatial";
+      case FuzzOp::Kind::StrikeRegister: return "strike-register";
+    }
+    return "?";
+}
+
+/**
+ * The acceptance-test sabotage: drop the first dirty unit's flag on
+ * every eviction, so its word is never folded into R2.  The very next
+ * invariant sweep must see R1 ^ R2 diverge from the resident dirty
+ * XOR.
+ */
+class SkipR2Cppc : public CppcScheme
+{
+  public:
+    using CppcScheme::CppcScheme;
+
+    void
+    onEvict(Row row0, unsigned n_units, const uint8_t *data,
+            const uint8_t *dirty) override
+    {
+        uint8_t doctored[WideWord::kMaxBytes];
+        unsigned n = n_units < WideWord::kMaxBytes
+            ? n_units
+            : WideWord::kMaxBytes;
+        std::memcpy(doctored, dirty, n);
+        for (unsigned i = 0; i < n; ++i) {
+            if (doctored[i]) {
+                doctored[i] = 0;
+                break;
+            }
+        }
+        CppcScheme::onEvict(row0, n, data, doctored);
+    }
+};
+
+std::function<std::unique_ptr<ProtectionScheme>()>
+makeCppcFactory(unsigned pairs)
+{
+    return [pairs]() -> std::unique_ptr<ProtectionScheme> {
+        CppcConfig cfg;
+        cfg.pairs_per_domain = pairs;
+        return std::make_unique<CppcScheme>(cfg);
+    };
+}
+
+/** Expectation recorded for one corrupted row before its resolution. */
+struct StrikeExpect
+{
+    Row row;
+    Addr addr;
+    bool dirty;
+    WideWord want;
+};
+
+/** Everything one replay needs, built fresh per sequence. */
+struct ReplayRig
+{
+    CacheGeometry geom;
+    MainMemory mem;
+    WritebackBuffer buffer;
+    std::unique_ptr<WriteBackCache> cache;
+    GoldenModel golden;
+    InvariantProbe probe;
+
+    explicit ReplayRig(const FuzzSchemeSpec &spec)
+        : geom(fuzzGeometry()),
+          buffer(4, geom.line_bytes, &mem),
+          cache(std::make_unique<WriteBackCache>(
+              "fuzz", geom, ReplacementKind::LRU, &buffer, spec.make())),
+          golden(fuzzSpaceBytes()),
+          probe(*cache, &buffer, &mem, &golden)
+    {
+        cache->attachObserver(&probe);
+        buffer.attachObserver(&probe);
+        if (cache->scheme())
+            cache->scheme()->attachObserver(&probe);
+    }
+};
+
+} // namespace
+
+std::string
+formatOp(const FuzzOp &op)
+{
+    switch (op.kind) {
+      case FuzzOp::Kind::Load:
+        return strfmt("load  addr=0x%llx size=%u",
+                      static_cast<unsigned long long>(op.addr), op.size);
+      case FuzzOp::Kind::Store:
+        return strfmt("store addr=0x%llx size=%u value=0x%llx",
+                      static_cast<unsigned long long>(op.addr), op.size,
+                      static_cast<unsigned long long>(op.value));
+      case FuzzOp::Kind::Flush:
+        return "flush";
+      case FuzzOp::Kind::Invalidate:
+        return strfmt("invalidate addr=0x%llx",
+                      static_cast<unsigned long long>(op.addr));
+      case FuzzOp::Kind::Downgrade:
+        return strfmt("downgrade addr=0x%llx",
+                      static_cast<unsigned long long>(op.addr));
+      case FuzzOp::Kind::Scrub:
+        return strfmt("scrub count=%u", op.count);
+      case FuzzOp::Kind::Drain:
+        return "drain";
+      case FuzzOp::Kind::StrikeBit:
+        return strfmt("strike-bit row=%u bit=%u", op.row, op.bit);
+      case FuzzOp::Kind::StrikeSpatial:
+        return strfmt("strike-spatial row=%u bit=%u shape=%ux%u",
+                      op.row, op.bit, op.rows, op.cols);
+      case FuzzOp::Kind::StrikeRegister:
+        return strfmt("strike-register sel=%u which=%s bit=%u", op.row,
+                      (op.bit & 1) ? "R2" : "R1",
+                      static_cast<unsigned>(op.value % 64));
+    }
+    return kindName(op.kind);
+}
+
+std::string
+formatOps(const std::vector<FuzzOp> &ops)
+{
+    std::string out;
+    for (size_t i = 0; i < ops.size(); ++i)
+        out += strfmt("  [%zu] %s\n", i, formatOp(ops[i]).c_str());
+    return out;
+}
+
+const std::vector<FuzzSchemeSpec> &
+conformanceSchemes()
+{
+    static const std::vector<FuzzSchemeSpec> specs = {
+        {"parity1d",
+         [] { return std::make_unique<OneDimParityScheme>(8); },
+         DirtyFaultPolicy::Detects, true, false},
+        {"secded", [] { return std::make_unique<SecdedScheme>(8); },
+         DirtyFaultPolicy::Corrects, false, false},
+        {"parity2d", [] { return std::make_unique<TwoDParityScheme>(8); },
+         DirtyFaultPolicy::Corrects, true, false},
+        {"cppc", makeCppcFactory(1), DirtyFaultPolicy::Corrects, true,
+         true},
+        {"cppc2", makeCppcFactory(2), DirtyFaultPolicy::Corrects, true,
+         true},
+        {"cppc8", makeCppcFactory(8), DirtyFaultPolicy::Corrects, true,
+         true},
+        {"icr", [] { return std::make_unique<IcrScheme>(8); },
+         DirtyFaultPolicy::Mixed, true, false},
+        {"mmecc",
+         [] { return std::make_unique<MemoryMappedEccScheme>(8); },
+         DirtyFaultPolicy::Corrects, false, false},
+        {"replcache",
+         [] { return std::make_unique<ReplicationCacheScheme>(64, 8); },
+         DirtyFaultPolicy::Mixed, true, false},
+    };
+    return specs;
+}
+
+const FuzzSchemeSpec *
+findScheme(const std::string &name)
+{
+    for (const FuzzSchemeSpec &spec : conformanceSchemes())
+        if (spec.name == name)
+            return &spec;
+    return nullptr;
+}
+
+FuzzSchemeSpec
+sabotagedCppcSpec()
+{
+    return {"cppc-sabotaged",
+            [] { return std::make_unique<SkipR2Cppc>(); },
+            DirtyFaultPolicy::Corrects, true, true};
+}
+
+CacheGeometry
+fuzzGeometry()
+{
+    CacheGeometry g;
+    g.size_bytes = 1024; // 16 sets x 2 ways x 32 B lines, 128 rows
+    g.assoc = 2;
+    g.line_bytes = 32;
+    g.unit_bytes = 8;
+    return g;
+}
+
+Addr
+fuzzSpaceBytes()
+{
+    return 4 * fuzzGeometry().size_bytes;
+}
+
+std::vector<FuzzOp>
+generateOps(uint64_t seed, unsigned n_ops)
+{
+    const CacheGeometry g = fuzzGeometry();
+    const unsigned n_rows = g.numRows();
+    const unsigned row_bits = g.unit_bytes * 8;
+    const Addr n_units = fuzzSpaceBytes() / g.unit_bytes;
+
+    Rng rng(seed);
+    auto unitAddr = [&] { return rng.nextBelow(n_units) * g.unit_bytes; };
+
+    std::vector<FuzzOp> ops;
+    ops.reserve(n_ops);
+    for (unsigned i = 0; i < n_ops; ++i) {
+        FuzzOp op;
+        double r = rng.nextDouble();
+        if (r < 0.34) {
+            op.kind = FuzzOp::Kind::Store;
+            Addr base = unitAddr();
+            if (rng.chance(0.25)) {
+                // Partial store somewhere inside the unit.
+                op.size = 1 +
+                    static_cast<unsigned>(rng.nextBelow(g.unit_bytes));
+                op.addr = base +
+                    rng.nextBelow(g.unit_bytes - op.size + 1);
+            } else {
+                op.size = g.unit_bytes;
+                op.addr = base;
+            }
+            op.value = rng.next();
+        } else if (r < 0.64) {
+            op.kind = FuzzOp::Kind::Load;
+            Addr base = unitAddr();
+            if (rng.chance(0.25)) {
+                op.size = 1 +
+                    static_cast<unsigned>(rng.nextBelow(g.unit_bytes));
+                op.addr = base +
+                    rng.nextBelow(g.unit_bytes - op.size + 1);
+            } else {
+                op.size = g.unit_bytes;
+                op.addr = base;
+            }
+        } else if (r < 0.74) {
+            op.kind = FuzzOp::Kind::StrikeBit;
+            op.row = static_cast<Row>(rng.nextBelow(n_rows));
+            op.bit = static_cast<unsigned>(rng.nextBelow(row_bits));
+        } else if (r < 0.79) {
+            op.kind = FuzzOp::Kind::StrikeSpatial;
+            op.rows = 2 + static_cast<unsigned>(rng.nextBelow(7));
+            op.cols = 1 + static_cast<unsigned>(rng.nextBelow(8));
+            op.row = static_cast<Row>(
+                rng.nextBelow(n_rows - op.rows + 1));
+            op.bit = static_cast<unsigned>(
+                rng.nextBelow(row_bits - op.cols + 1));
+        } else if (r < 0.83) {
+            op.kind = FuzzOp::Kind::Invalidate;
+            op.addr = unitAddr();
+        } else if (r < 0.87) {
+            op.kind = FuzzOp::Kind::Downgrade;
+            op.addr = unitAddr();
+        } else if (r < 0.90) {
+            op.kind = FuzzOp::Kind::Scrub;
+            op.count = 1 + static_cast<unsigned>(rng.nextBelow(8));
+        } else if (r < 0.94) {
+            op.kind = FuzzOp::Kind::Drain;
+        } else if (r < 0.97) {
+            op.kind = FuzzOp::Kind::StrikeRegister;
+            op.row = static_cast<Row>(rng.next() & 0xffff);
+            op.bit = static_cast<unsigned>(rng.nextBelow(2));
+            op.value = rng.nextBelow(row_bits);
+        } else {
+            op.kind = FuzzOp::Kind::Flush;
+        }
+        ops.push_back(op);
+    }
+    return ops;
+}
+
+ReplayResult
+replaySequence(const FuzzSchemeSpec &spec, const std::vector<FuzzOp> &ops,
+               uint64_t seed)
+{
+    ReplayResult res;
+    ReplayRig rig(spec);
+    WriteBackCache &cache = *rig.cache;
+    const CacheGeometry &g = rig.geom;
+    const unsigned row_bits = g.unit_bytes * 8;
+
+    FaultInjector injector(cache);
+    StrikePlacer placer(g.numRows(), row_bits);
+    // Only consulted for sub-unity strike densities (never drawn at
+    // density 1.0), but seeded anyway so a replay is a pure function
+    // of (spec, ops, seed).
+    Rng strike_rng(seed ^ 0x5deece66dull);
+
+    auto *cppc = dynamic_cast<CppcScheme *>(cache.scheme());
+
+    auto fail = [&](size_t op_idx, std::string why) {
+        res.ok = false;
+        res.failing_op = op_idx;
+        res.violation = strfmt("op [%zu] %s: %s", op_idx,
+                               formatOp(ops[op_idx]).c_str(),
+                               why.c_str());
+    };
+
+    uint8_t io[WideWord::kMaxBytes];
+    uint8_t expect[WideWord::kMaxBytes];
+    std::vector<Row> struck;
+    std::vector<StrikeExpect> expects;
+
+    for (size_t i = 0; i < ops.size() && res.ok; ++i) {
+        const FuzzOp &op = ops[i];
+        switch (op.kind) {
+          case FuzzOp::Kind::Load: {
+            cache.load(op.addr, op.size, io);
+            rig.golden.read(op.addr, op.size, expect);
+            if (std::memcmp(io, expect, op.size) != 0)
+                fail(i, "load returned bytes that disagree with the "
+                        "golden model");
+            break;
+          }
+          case FuzzOp::Kind::Store: {
+            for (unsigned b = 0; b < op.size; ++b)
+                io[b] = static_cast<uint8_t>(op.value >> (8 * (b % 8)));
+            rig.golden.store(op.addr, op.size, io);
+            cache.store(op.addr, op.size, io);
+            break;
+          }
+          case FuzzOp::Kind::Flush:
+            cache.flushAll();
+            break;
+          case FuzzOp::Kind::Invalidate:
+            cache.invalidateLine(op.addr);
+            break;
+          case FuzzOp::Kind::Downgrade:
+            cache.downgradeLine(op.addr);
+            break;
+          case FuzzOp::Kind::Scrub:
+            cache.scrubDirtyLines(op.count);
+            break;
+          case FuzzOp::Kind::Drain:
+            rig.buffer.drain();
+            break;
+          case FuzzOp::Kind::StrikeBit:
+          case FuzzOp::Kind::StrikeSpatial: {
+            // Invariants are *supposed* to be broken between the
+            // strike and the end of its resolution: pause the probe.
+            rig.probe.arm(false);
+
+            StrikeShape shape;
+            if (op.kind == FuzzOp::Kind::StrikeSpatial &&
+                spec.spatial_safe) {
+                shape.rows = op.rows;
+                shape.bit_cols = op.cols;
+            }
+            // Schemes whose per-word code can alias under 3+ flips
+            // (SECDED-class) get the anchor bit only, keeping the
+            // never-silent contract assertable.
+            Row anchor = op.row;
+            if (anchor + shape.rows > g.numRows())
+                anchor = g.numRows() - shape.rows;
+            unsigned col = op.bit;
+            if (col + shape.bit_cols > row_bits)
+                col = row_bits - shape.bit_cols;
+            Strike strike =
+                placer.placeAt(shape, anchor, col, strike_rng);
+
+            unsigned applied_bits = 0;
+            for (const FaultBit &b : strike.bits)
+                if (cache.rowValid(b.row))
+                    ++applied_bits;
+            injector.apply(strike, struck);
+            if (struck.empty()) {
+                rig.probe.arm(true);
+                break; // landed entirely on invalid rows: benign
+            }
+            ++res.strikes;
+            const bool multi = applied_bits > 1;
+
+            expects.clear();
+            for (Row r : struck) {
+                StrikeExpect e;
+                e.row = r;
+                e.addr = cache.rowAddr(r);
+                e.dirty = cache.rowDirty(r);
+                rig.golden.read(e.addr, g.unit_bytes, expect);
+                e.want = WideWord::fromBytes(expect, g.unit_bytes);
+                expects.push_back(e);
+            }
+
+            for (const StrikeExpect &e : expects) {
+                if (!res.ok)
+                    break;
+                const ProtectionScheme *scheme = cache.scheme();
+                // A previous row's recovery sweep (CPPC repairs every
+                // faulty row of the array at once) may have resolved
+                // this one already.
+                if (cache.rowValid(e.row) && scheme->check(e.row) &&
+                    cache.rowData(e.row) == e.want) {
+                    ++res.corrected;
+                    continue;
+                }
+                if (cache.rowValid(e.row) && scheme->check(e.row)) {
+                    fail(i, strfmt("strike on row %u aliased into a "
+                                   "code-consistent wrong word "
+                                   "(silent corruption)",
+                                   e.row));
+                    break;
+                }
+                // Trigger the architectural detection point: a demand
+                // load of the faulty unit.
+                AccessOutcome out =
+                    cache.load(e.addr, g.unit_bytes, io);
+                VerifyOutcome vo = cache.lastVerify();
+
+                bool fixed = cache.rowValid(e.row) &&
+                    cache.scheme()->check(e.row) &&
+                    cache.rowData(e.row) == e.want;
+                if (fixed) {
+                    if (vo == VerifyOutcome::Refetched)
+                        ++res.refetched;
+                    else
+                        ++res.corrected;
+                    continue;
+                }
+                if (!cache.rowValid(e.row)) {
+                    if (e.dirty) {
+                        fail(i, strfmt("dirty faulty row %u was "
+                                       "invalidated: data lost",
+                                       e.row));
+                        break;
+                    }
+                    ++res.refetched; // clean fault-to-miss conversion
+                    continue;
+                }
+                if (out.due || vo == VerifyOutcome::Due) {
+                    // An honest DUE.  Allowed for any multi-bit
+                    // strike (outside-envelope ambiguity) and for
+                    // single-bit dirty faults under detection-only /
+                    // state-dependent schemes — never for a clean
+                    // single-bit fault, which is always refetchable.
+                    bool allowed = multi ||
+                        (e.dirty &&
+                         spec.dirty_policy != DirtyFaultPolicy::Corrects);
+                    if (!allowed) {
+                        fail(i, strfmt("unexpected DUE on a "
+                                       "single-bit %s fault (row %u)",
+                                       e.dirty ? "dirty" : "clean",
+                                       e.row));
+                        break;
+                    }
+                    ++res.dues;
+                    // Resynchronise the word behind the scheme's
+                    // back, as a machine-check handler restoring from
+                    // a higher-level checkpoint would, so the rest of
+                    // the sequence stays meaningful.
+                    cache.pokeRowData(e.row, e.want);
+                    continue;
+                }
+                fail(i, strfmt("strike on row %u resolved to a wrong "
+                               "word without a DUE: have %s want %s",
+                               e.row,
+                               cache.rowData(e.row).toHex().c_str(),
+                               e.want.toHex().c_str()));
+            }
+            if (!res.ok)
+                break;
+            rig.probe.arm(true);
+            if (!rig.probe.runChecks("fuzz", "strike-resolution"))
+                fail(i, rig.probe.violation());
+            break;
+          }
+          case FuzzOp::Kind::StrikeRegister: {
+            if (!cppc)
+                break; // meaningful only for CPPC variants
+            rig.probe.arm(false);
+            const CppcConfig &cfg = cppc->config();
+            unsigned domain = op.row % cfg.num_domains;
+            unsigned pair =
+                (op.row / cfg.num_domains) % cfg.pairs_per_domain;
+            auto which = (op.bit & 1) ? XorRegisterFile::Which::R2
+                                      : XorRegisterFile::Which::R1;
+            unsigned bit = static_cast<unsigned>(op.value % row_bits);
+            cppc->injectRegisterFault(domain, pair, which, bit);
+            ++res.strikes;
+            if (cppc->registersOk()) {
+                fail(i, "register upset not caught by the register "
+                        "parity bits");
+                break;
+            }
+            if (!cppc->scrubRegisters()) {
+                fail(i, "register scrub failed although no dirty word "
+                        "is faulty");
+                break;
+            }
+            ++res.corrected;
+            rig.probe.arm(true);
+            if (!rig.probe.runChecks("fuzz", "register-scrub"))
+                fail(i, rig.probe.violation());
+            break;
+          }
+        }
+        if (res.ok && rig.probe.failed())
+            fail(i, rig.probe.violation());
+    }
+    res.checks = rig.probe.checksRun();
+    return res;
+}
+
+FuzzOneResult
+fuzzOne(const FuzzSchemeSpec &spec, uint64_t seed, unsigned n_ops)
+{
+    FuzzOneResult result;
+    std::vector<FuzzOp> ops = generateOps(seed, n_ops);
+    result.replay = replaySequence(spec, ops, seed);
+    if (result.replay.ok)
+        return result;
+
+    std::function<bool(const std::vector<FuzzOp> &)> still_fails =
+        [&](const std::vector<FuzzOp> &candidate) {
+            return !replaySequence(spec, candidate, seed).ok;
+        };
+    result.minimal = shrinkOps<FuzzOp>(std::move(ops), still_fails);
+    // Replay the minimal sequence so the reported violation and
+    // failing-op index describe the transcript the user will see.
+    result.replay = replaySequence(spec, result.minimal, seed);
+    return result;
+}
+
+TagFuzzResult
+fuzzTagCppc(uint64_t seed, unsigned n_ops)
+{
+    TagFuzzResult res;
+    constexpr unsigned kEntries = 64;
+    constexpr unsigned kEntryBits = 40;
+    const uint64_t mask = (1ull << kEntryBits) - 1;
+
+    Rng rng(seed);
+    TagCppc tags(kEntries, kEntryBits, TagCppc::Config{});
+    std::vector<uint64_t> golden(kEntries, 0);
+    std::vector<uint8_t> valid(kEntries, 0);
+
+    auto fail = [&](size_t op_idx, const char *why) {
+        res.ok = false;
+        res.violation = strfmt("tag op %zu: %s", op_idx, why);
+    };
+    auto checkAll = [&](size_t op_idx) {
+        if (!tags.invariantHolds()) {
+            fail(op_idx, "tag XOR-register invariant broken");
+            return;
+        }
+        for (unsigned idx = 0; idx < kEntries; ++idx) {
+            if (!valid[idx])
+                continue;
+            if (!tags.check(idx)) {
+                fail(op_idx, "valid tag entry fails parity");
+                return;
+            }
+            if (tags.read(idx) != golden[idx]) {
+                fail(op_idx, "valid tag entry disagrees with golden");
+                return;
+            }
+        }
+    };
+
+    for (size_t i = 0; i < n_ops && res.ok; ++i) {
+        double r = rng.nextDouble();
+        unsigned idx = static_cast<unsigned>(rng.nextBelow(kEntries));
+        if (r < 0.35) {
+            uint64_t v = rng.next() & mask;
+            if (valid[idx])
+                tags.replace(idx, v);
+            else
+                tags.fill(idx, v);
+            golden[idx] = v;
+            valid[idx] = 1;
+        } else if (r < 0.50) {
+            if (valid[idx]) {
+                tags.invalidate(idx);
+                valid[idx] = 0;
+            }
+        } else if (r < 0.85) {
+            if (!valid[idx])
+                continue;
+            unsigned bit =
+                static_cast<unsigned>(rng.nextBelow(kEntryBits));
+            tags.corruptBit(idx, bit);
+            ++res.strikes;
+            if (tags.check(idx)) {
+                fail(i, "single-bit tag strike undetected");
+                break;
+            }
+            if (!tags.recover()) {
+                fail(i, "single-bit tag strike declared uncorrectable");
+                break;
+            }
+            ++res.corrected;
+        } else {
+            // Vertical spatial strike: one bit column across up to 8
+            // adjacent entries — the Figure 4 pattern byte shifting
+            // exists to resolve.
+            unsigned span = 2 + static_cast<unsigned>(rng.nextBelow(7));
+            unsigned anchor = static_cast<unsigned>(
+                rng.nextBelow(kEntries - span + 1));
+            unsigned bit =
+                static_cast<unsigned>(rng.nextBelow(kEntryBits));
+            unsigned hit = 0;
+            for (unsigned k = 0; k < span; ++k) {
+                if (valid[anchor + k]) {
+                    tags.corruptBit(anchor + k, bit);
+                    ++hit;
+                }
+            }
+            if (hit == 0)
+                continue;
+            ++res.strikes;
+            if (!tags.recover()) {
+                // Honest DUE: legal for multi-entry faults under the
+                // P=1 register file (Section 4.6 special cases).
+                // Verify honesty — nothing may be silently wrong —
+                // then end the run: a corrupted tag has no refetch or
+                // resync path.
+                for (unsigned k = 0; k < kEntries; ++k) {
+                    if (valid[k] && tags.check(k) &&
+                        tags.read(k) != golden[k]) {
+                        fail(i, "tag DUE left a code-consistent wrong "
+                                "entry (silent corruption)");
+                        break;
+                    }
+                }
+                ++res.dues;
+                return res;
+            }
+            ++res.corrected;
+        }
+        checkAll(i);
+    }
+    return res;
+}
+
+} // namespace cppc

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * The randomized operation + fault fuzz harness.
+ *
+ * A fuzz run draws a sequence of cache operations (loads, stores,
+ * flushes, coherence invalidations/downgrades, scrubs, buffer drains)
+ * interleaved with fault strikes (single bit, spatial multi-bit
+ * rectangles, CPPC register upsets) from a seeded Rng, replays it
+ * against a small protected hierarchy, and checks after every
+ * operation that
+ *
+ *  - every structural invariant holds (InvariantProbe), and
+ *  - every strike resolves according to the scheme's documented
+ *    detect/correct contract — never silently.
+ *
+ * Sequences are a pure function of (seed, n_ops) and are independent
+ * of the scheme under test, so the *same* sequence can be replayed
+ * through every ProtectionScheme as a cross-scheme conformance check.
+ * On failure, a ddmin shrinker reduces the sequence to a minimal
+ * failing op list that replays from the same seed.
+ */
+
+#ifndef CPPC_VERIFY_FUZZER_HH
+#define CPPC_VERIFY_FUZZER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/geometry.hh"
+#include "cache/protection_scheme.hh"
+#include "cache/types.hh"
+
+namespace cppc {
+
+/** One operation of a fuzzed sequence. */
+struct FuzzOp
+{
+    enum class Kind : uint8_t
+    {
+        Load,           ///< load @c size bytes at @c addr
+        Store,          ///< store @c size bytes of @c value at @c addr
+        Flush,          ///< flushAll()
+        Invalidate,     ///< coherence invalidation of @c addr's line
+        Downgrade,      ///< coherence downgrade of @c addr's line
+        Scrub,          ///< early write-back of up to @c count lines
+        Drain,          ///< drain the write-back buffer
+        StrikeBit,      ///< flip bit @c bit of row @c row
+        StrikeSpatial,  ///< @c rows x @c cols rectangle at (row, bit)
+        StrikeRegister, ///< upset a CPPC R1/R2 register bit
+    };
+
+    Kind kind = Kind::Load;
+    Addr addr = 0;      ///< Load/Store/Invalidate/Downgrade target
+    unsigned size = 8;  ///< Load/Store width (within one unit)
+    uint64_t value = 0; ///< Store payload / register-strike bit
+    Row row = 0;        ///< strike anchor row (or register selector)
+    unsigned bit = 0;   ///< strike anchor bit column
+    unsigned rows = 1;  ///< StrikeSpatial shape height
+    unsigned cols = 1;  ///< StrikeSpatial shape width
+    unsigned count = 1; ///< Scrub line budget
+};
+
+/** Human-readable one-line rendering ("store 0x128/8 = ..."). */
+std::string formatOp(const FuzzOp &op);
+/** Numbered transcript of a whole sequence. */
+std::string formatOps(const std::vector<FuzzOp> &ops);
+
+/** How a scheme handles a detected fault in *dirty* data. */
+enum class DirtyFaultPolicy
+{
+    Corrects, ///< guaranteed correction (SECDED, 2D parity, CPPC, ...)
+    Detects,  ///< detection only; an honest DUE (1D parity)
+    Mixed,    ///< corrected or DUE depending on state (ICR, replcache)
+};
+
+/** One scheme in the conformance registry. */
+struct FuzzSchemeSpec
+{
+    std::string name;
+    std::function<std::unique_ptr<ProtectionScheme>()> make;
+    DirtyFaultPolicy dirty_policy = DirtyFaultPolicy::Corrects;
+    /**
+     * True when the scheme's detection is guaranteed for every row of
+     * a <= 8-column adjacent spatial strike (8-way interleaved parity
+     * puts adjacent columns in distinct parity classes).  SECDED-coded
+     * words do not qualify: three or more flips in one word may alias.
+     * Spatial strikes are downgraded to their anchor bit for such
+     * schemes so the no-silent-corruption contract stays assertable.
+     */
+    bool spatial_safe = true;
+    /** True for CPPC variants (register strikes, strict clean fixes). */
+    bool is_cppc = false;
+};
+
+/**
+ * The registry the conformance mode iterates: parity1d, secded,
+ * parity2d, cppc with 1/2/8 register pairs per domain, icr, mmecc and
+ * replcache.
+ */
+const std::vector<FuzzSchemeSpec> &conformanceSchemes();
+
+/** Look up a registry entry by name; nullptr when unknown. */
+const FuzzSchemeSpec *findScheme(const std::string &name);
+
+/**
+ * A deliberately broken CPPC used to validate the harness end to end:
+ * its eviction path drops the first dirty unit's flag, so that unit's
+ * word is never XORed into R2 — exactly the class of bookkeeping bug
+ * the XOR-register invariant exists to catch.
+ */
+FuzzSchemeSpec sabotagedCppcSpec();
+
+/** The fuzzed hierarchy: 1 KB, 2-way, 32 B lines, 8 B units. */
+CacheGeometry fuzzGeometry();
+/** Fuzzed address space in bytes (4x the cache size). */
+Addr fuzzSpaceBytes();
+
+/** The sequence is a pure function of (seed, n_ops). */
+std::vector<FuzzOp> generateOps(uint64_t seed, unsigned n_ops);
+
+/** Counters and verdict of one replay. */
+struct ReplayResult
+{
+    bool ok = true;
+    std::string violation; ///< first contract breach, empty when ok
+    size_t failing_op = 0; ///< index of the op that tripped it
+    uint64_t checks = 0;   ///< invariant sweeps executed
+    uint64_t strikes = 0;  ///< strikes that corrupted >= 1 valid row
+    uint64_t corrected = 0;
+    uint64_t refetched = 0;
+    uint64_t dues = 0;     ///< honest detected-uncorrectable outcomes
+};
+
+/**
+ * Replay @p ops against a fresh hierarchy protected by @p spec,
+ * checking every invariant and strike contract.  Deterministic in
+ * (@p spec, @p ops, @p seed).
+ */
+ReplayResult replaySequence(const FuzzSchemeSpec &spec,
+                            const std::vector<FuzzOp> &ops,
+                            uint64_t seed);
+
+/** Verdict of one (scheme, seed) fuzz including shrinking. */
+struct FuzzOneResult
+{
+    ReplayResult replay;
+    /** Minimal failing subsequence; empty when the replay passed. */
+    std::vector<FuzzOp> minimal;
+
+    bool failed() const { return !replay.ok; }
+};
+
+/**
+ * Generate, replay and — on failure — shrink one seed against one
+ * scheme.  The minimal sequence still fails replaySequence() with the
+ * same seed, which is the replay recipe printed to the user.
+ */
+FuzzOneResult fuzzOne(const FuzzSchemeSpec &spec, uint64_t seed,
+                      unsigned n_ops);
+
+/** Verdict of a tag-array (TagCppc) fuzz run. */
+struct TagFuzzResult
+{
+    bool ok = true;
+    std::string violation;
+    uint64_t strikes = 0;
+    uint64_t corrected = 0;
+    uint64_t dues = 0; ///< honest multi-entry DUEs (ends the run)
+};
+
+/**
+ * Fuzz the Section 7 tag-array CPPC: random fills, replacements,
+ * invalidations and single/spatial strikes against a 64-entry array,
+ * asserting the XOR invariant after every operation and that
+ * recover() restores every single-bit fault exactly.  A multi-entry
+ * strike may be honestly uncorrectable under the P=1 register file
+ * (the Section 4.6 special cases); that ends the run — corrupted tags
+ * have no refetch path — after verifying no entry is *silently*
+ * wrong.
+ */
+TagFuzzResult fuzzTagCppc(uint64_t seed, unsigned n_ops);
+
+} // namespace cppc
+
+#endif // CPPC_VERIFY_FUZZER_HH

@@ -1,0 +1,50 @@
+#include "verify/golden_model.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace cppc {
+
+GoldenModel::GoldenModel(Addr space_bytes)
+{
+    if (space_bytes == 0)
+        fatal("golden model needs a non-empty address space");
+    bytes_.assign(space_bytes, 0);
+}
+
+void
+GoldenModel::store(Addr addr, unsigned size, const uint8_t *data)
+{
+    if (addr + size > bytes_.size())
+        panic("golden store at 0x%llx size %u outside the modelled space",
+              static_cast<unsigned long long>(addr), size);
+    std::memcpy(bytes_.data() + addr, data, size);
+}
+
+void
+GoldenModel::storeWord(Addr addr, uint64_t value)
+{
+    uint8_t buf[8];
+    std::memcpy(buf, &value, 8);
+    store(addr, 8, buf);
+}
+
+void
+GoldenModel::read(Addr addr, unsigned size, uint8_t *out) const
+{
+    if (addr + size > bytes_.size())
+        panic("golden read at 0x%llx size %u outside the modelled space",
+              static_cast<unsigned long long>(addr), size);
+    std::memcpy(out, bytes_.data() + addr, size);
+}
+
+bool
+GoldenModel::matches(Addr addr, const uint8_t *data, unsigned size) const
+{
+    if (addr + size > bytes_.size())
+        return false;
+    return std::memcmp(bytes_.data() + addr, data, size) == 0;
+}
+
+} // namespace cppc

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The architectural reference model the fuzz harness checks every
+ * protected hierarchy against.
+ *
+ * A GoldenModel is a flat byte image of the whole fuzzed address
+ * space, updated only by the *semantic* effect of each operation (a
+ * store changes bytes, nothing else does).  Because the protected
+ * hierarchy is functionally exact, every value observable through it
+ * — a load result, a resident row, a parked write-back line, a main
+ * memory word — must equal the golden image at all times, regardless
+ * of evictions, flushes, recoveries or scheme internals.
+ */
+
+#ifndef CPPC_VERIFY_GOLDEN_MODEL_HH
+#define CPPC_VERIFY_GOLDEN_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/types.hh"
+
+namespace cppc {
+
+class GoldenModel
+{
+  public:
+    /** All bytes start zero, matching MainMemory's unwritten state. */
+    explicit GoldenModel(Addr space_bytes);
+
+    Addr spaceBytes() const { return bytes_.size(); }
+
+    /** Record the effect of a store of @p size bytes at @p addr. */
+    void store(Addr addr, unsigned size, const uint8_t *data);
+    /** Record a 64-bit little-endian word store. */
+    void storeWord(Addr addr, uint64_t value);
+
+    uint8_t byteAt(Addr addr) const { return bytes_.at(addr); }
+
+    /** Copy @p size golden bytes at @p addr into @p out. */
+    void read(Addr addr, unsigned size, uint8_t *out) const;
+
+    /** True iff @p data matches the golden bytes at @p addr. */
+    bool matches(Addr addr, const uint8_t *data, unsigned size) const;
+
+  private:
+    std::vector<uint8_t> bytes_;
+};
+
+} // namespace cppc
+
+#endif // CPPC_VERIFY_GOLDEN_MODEL_HH

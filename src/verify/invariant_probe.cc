@@ -1,0 +1,165 @@
+#include "verify/invariant_probe.hh"
+
+#include <set>
+
+#include "cppc/cppc_scheme.hh"
+#include "util/logging.hh"
+
+namespace cppc {
+
+InvariantProbe::InvariantProbe(WriteBackCache &cache,
+                               WritebackBuffer *buffer, MainMemory *mem,
+                               const GoldenModel *golden)
+    : cache_(&cache), buffer_(buffer), mem_(mem), golden_(golden)
+{
+}
+
+void
+InvariantProbe::onOp(const char *source, const char *op)
+{
+    if (armed_)
+        runChecks(source, op);
+}
+
+bool
+InvariantProbe::runChecks(const char *source, const char *op)
+{
+    if (failed())
+        return false;
+    ++checks_;
+    std::string why;
+    if (!checkParity(&why) || !checkCppcRegisters(&why) ||
+        !checkGoldenCoherence(&why)) {
+        violation_ = strfmt("after %s.%s: %s", source, op, why.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+InvariantProbe::checkParity(std::string *why) const
+{
+    const ProtectionScheme *scheme = cache_->scheme();
+    if (!scheme)
+        return true;
+    unsigned n_rows = cache_->geometry().numRows();
+    for (Row r = 0; r < n_rows; ++r) {
+        if (cache_->rowValid(r) && !scheme->check(r)) {
+            *why = strfmt("row %u fails its parity/code check "
+                          "(dirty=%d, data=%s)",
+                          r, cache_->rowDirty(r) ? 1 : 0,
+                          cache_->rowData(r).toHex().c_str());
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+InvariantProbe::checkCppcRegisters(std::string *why) const
+{
+    const auto *cppc = dynamic_cast<const CppcScheme *>(cache_->scheme());
+    if (!cppc)
+        return true;
+    if (!cppc->registersOk()) {
+        *why = "an R1/R2 register fails its own parity bit";
+        return false;
+    }
+    const CppcConfig &cfg = cppc->config();
+    for (unsigned d = 0; d < cfg.num_domains; ++d) {
+        for (unsigned p = 0; p < cfg.pairs_per_domain; ++p) {
+            WideWord regs = cppc->registers().dirtyXor(d, p);
+            WideWord sweep = cppc->recomputeDirtyXor(d, p);
+            if (regs != sweep) {
+                *why = strfmt(
+                    "XOR-register invariant broken for domain %u pair "
+                    "%u: R1^R2=%s but resident dirty sweep=%s",
+                    d, p, regs.toHex().c_str(), sweep.toHex().c_str());
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+bool
+InvariantProbe::checkGoldenCoherence(std::string *why) const
+{
+    if (!golden_)
+        return true;
+    const CacheGeometry &g = cache_->geometry();
+
+    // Level 1: every valid resident row must equal the golden image
+    // (clean rows mirror the level below, dirty rows mirror the last
+    // store — both are the architectural value).
+    bool ok = true;
+    std::set<Addr> resident_lines;
+    cache_->forEachValidRow([&](Row r, bool dirty) {
+        if (!ok)
+            return;
+        Addr a = cache_->rowAddr(r);
+        resident_lines.insert(g.lineAddr(a));
+        if (a + g.unit_bytes > golden_->spaceBytes())
+            return; // outside the fuzzed window; nothing to compare
+        WideWord w = cache_->rowData(r);
+        uint8_t buf[WideWord::kMaxBytes];
+        w.toBytes(buf);
+        if (!golden_->matches(a, buf, g.unit_bytes)) {
+            *why = strfmt("resident row %u (addr 0x%llx, dirty=%d) holds "
+                          "%s but golden disagrees",
+                          r, static_cast<unsigned long long>(a),
+                          dirty ? 1 : 0, w.toHex().c_str());
+            ok = false;
+        }
+    });
+    if (!ok)
+        return false;
+
+    // Level 2: a line parked only in the write-back buffer is the
+    // freshest copy of its address range and must match golden.
+    std::set<Addr> buffered_lines;
+    if (buffer_) {
+        buffer_->forEachEntry([&](Addr addr, const uint8_t *data,
+                                  unsigned len) {
+            buffered_lines.insert(addr);
+            if (!ok || resident_lines.count(addr))
+                return; // the cache's copy supersedes this one
+            if (addr + len > golden_->spaceBytes())
+                return;
+            if (!golden_->matches(addr, data, len)) {
+                *why = strfmt("write-back buffer line 0x%llx disagrees "
+                              "with golden",
+                              static_cast<unsigned long long>(addr));
+                ok = false;
+            }
+        });
+    }
+    if (!ok)
+        return false;
+
+    // Level 3: everything neither resident nor parked lives in main
+    // memory and must match golden there.
+    if (mem_) {
+        uint8_t buf[64];
+        for (Addr a = 0; a < golden_->spaceBytes(); a += g.line_bytes) {
+            if (resident_lines.count(a) || buffered_lines.count(a))
+                continue;
+            for (unsigned off = 0; off < g.line_bytes;
+                 off += sizeof(buf)) {
+                unsigned n = g.line_bytes - off < sizeof(buf)
+                    ? g.line_bytes - off
+                    : static_cast<unsigned>(sizeof(buf));
+                mem_->peek(a + off, buf, n);
+                if (!golden_->matches(a + off, buf, n)) {
+                    *why = strfmt(
+                        "memory line 0x%llx disagrees with golden",
+                        static_cast<unsigned long long>(a));
+                    return false;
+                }
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace cppc

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The invariant probe: an OpObserver that re-derives every structural
+ * invariant of a protected hierarchy from scratch after each
+ * operation.
+ *
+ * Checks run, in order:
+ *
+ *  1. parity consistency — every valid row passes its scheme's
+ *     check();
+ *  2. the CPPC register invariant — R1 ^ R2 equals the XOR of the
+ *     rotated resident dirty words for every (domain, pair), and the
+ *     registers' own parity bits hold (when the scheme is CPPC);
+ *  3. data coherence against the golden model, by freshest-copy
+ *     precedence: a resident line must match golden; a line parked
+ *     only in the write-back buffer must match golden; everything
+ *     else must match golden in main memory.
+ *
+ * The probe never throws or asserts: the first violation is recorded
+ * with its operation context and sticks until reset(), which is what
+ * lets the shrinker replay candidate sequences cheaply.  disarm the
+ * probe around deliberate fault injection — invariants are *supposed*
+ * to fail between a strike and its resolution.
+ */
+
+#ifndef CPPC_VERIFY_INVARIANT_PROBE_HH
+#define CPPC_VERIFY_INVARIANT_PROBE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cache/op_observer.hh"
+#include "cache/write_back_cache.hh"
+#include "cache/writeback_buffer.hh"
+#include "verify/golden_model.hh"
+
+namespace cppc {
+
+class InvariantProbe : public OpObserver
+{
+  public:
+    /**
+     * @param cache  the protected cache under test
+     * @param buffer optional write-back buffer below it (may be null)
+     * @param mem    terminal memory (may be null to skip level 3)
+     * @param golden reference image (may be null to skip data checks)
+     */
+    InvariantProbe(WriteBackCache &cache, WritebackBuffer *buffer,
+                   MainMemory *mem, const GoldenModel *golden);
+
+    void onOp(const char *source, const char *op) override;
+
+    /**
+     * Run every check now, tagging any violation with
+     * "@p source.@p op".  @return true when all invariants hold.
+     * Once a violation is recorded, later calls are no-ops until
+     * reset().
+     */
+    bool runChecks(const char *source, const char *op);
+
+    /** Enable/disable checking from onOp() (fault-injection windows). */
+    void arm(bool on) { armed_ = on; }
+    bool armed() const { return armed_; }
+
+    bool failed() const { return !violation_.empty(); }
+    /** First violation's description, empty when none. */
+    const std::string &violation() const { return violation_; }
+
+    uint64_t checksRun() const { return checks_; }
+
+    void reset() { violation_.clear(); }
+
+  private:
+    bool checkParity(std::string *why) const;
+    bool checkCppcRegisters(std::string *why) const;
+    bool checkGoldenCoherence(std::string *why) const;
+
+    WriteBackCache *cache_;
+    WritebackBuffer *buffer_;
+    MainMemory *mem_;
+    const GoldenModel *golden_;
+    bool armed_ = true;
+    std::string violation_;
+    uint64_t checks_ = 0;
+};
+
+} // namespace cppc
+
+#endif // CPPC_VERIFY_INVARIANT_PROBE_HH

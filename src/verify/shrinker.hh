@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Delta-debugging shrinker for failing operation sequences.
+ *
+ * Classic ddmin over a concrete op vector: repeatedly try dropping
+ * chunks of the sequence, keeping any candidate that still fails,
+ * halving the chunk size when no chunk can be removed, and finishing
+ * with a one-at-a-time elimination pass.  The caller supplies the
+ * oracle — typically "replay these ops from the recorded seed and see
+ * whether the invariant probe still trips".
+ *
+ * The oracle must be deterministic for shrinking to converge; the
+ * fuzz harness guarantees that by rebuilding the whole hierarchy from
+ * the seed for every candidate replay.
+ */
+
+#ifndef CPPC_VERIFY_SHRINKER_HH
+#define CPPC_VERIFY_SHRINKER_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace cppc {
+
+/**
+ * Minimise @p failing under the predicate @p fails.
+ *
+ * @param failing a sequence for which @p fails returns true
+ * @param fails   the oracle: true iff the candidate still reproduces
+ * @return a subsequence of @p failing that still fails, from which no
+ *         single element can be removed without the failure vanishing
+ */
+template <typename Op>
+std::vector<Op>
+shrinkOps(std::vector<Op> failing,
+          const std::function<bool(const std::vector<Op> &)> &fails)
+{
+    // Phase 1: chunked removal, halving granularity as chunks stick.
+    size_t chunk = failing.size() / 2;
+    while (chunk >= 1 && failing.size() > 1) {
+        bool removed_any = false;
+        size_t start = 0;
+        while (start < failing.size()) {
+            std::vector<Op> candidate;
+            candidate.reserve(failing.size());
+            candidate.insert(candidate.end(), failing.begin(),
+                             failing.begin() + start);
+            size_t stop = start + chunk < failing.size()
+                ? start + chunk
+                : failing.size();
+            candidate.insert(candidate.end(), failing.begin() + stop,
+                             failing.end());
+            if (!candidate.empty() && fails(candidate)) {
+                failing = std::move(candidate);
+                removed_any = true;
+                // Re-test the same offset: the next chunk slid into it.
+            } else {
+                start += chunk;
+            }
+        }
+        if (!removed_any)
+            chunk /= 2;
+    }
+
+    // Phase 2: one-at-a-time sweep until a full pass removes nothing.
+    bool removed_any = true;
+    while (removed_any && failing.size() > 1) {
+        removed_any = false;
+        for (size_t i = 0; i < failing.size();) {
+            std::vector<Op> candidate = failing;
+            candidate.erase(candidate.begin() + i);
+            if (fails(candidate)) {
+                failing = std::move(candidate);
+                removed_any = true;
+            } else {
+                ++i;
+            }
+        }
+    }
+    return failing;
+}
+
+} // namespace cppc
+
+#endif // CPPC_VERIFY_SHRINKER_HH

@@ -1,21 +1,98 @@
 /**
  * @file
  * Shared fixtures for cache/protection tests: a small hierarchy with a
- * backing memory, deterministic data patterns, and row-addressing
- * helpers for fault-injection scenarios.
+ * backing memory, deterministic data patterns, row-addressing helpers
+ * for fault-injection scenarios, and seed-reporting assertion macros
+ * for randomized tests.
  */
 
 #ifndef CPPC_TESTS_TEST_HELPERS_HH
 #define CPPC_TESTS_TEST_HELPERS_HH
 
+#include <gtest/gtest.h>
+
 #include <cstring>
 #include <memory>
+#include <string>
 
 #include "cache/memory_level.hh"
 #include "cache/write_back_cache.hh"
 #include "util/rng.hh"
 
 namespace cppc::test {
+
+/**
+ * The RNG seed of the randomized scenario currently executing, so a
+ * failing assertion can print how to reproduce itself.  0 = none
+ * registered.
+ */
+inline uint64_t &
+activeSeed()
+{
+    static uint64_t seed = 0;
+    return seed;
+}
+
+/**
+ * RAII registration of a randomized test's seed.  Declare one right
+ * after seeding the Rng:
+ *
+ *   Rng rng(kSeed);
+ *   ScopedSeed scoped(kSeed);
+ *
+ * and use the CPPC_ASSERT_* / CPPC_EXPECT_* macros below; any failure
+ * then reports the seed alongside the failing expression.
+ */
+class ScopedSeed
+{
+  public:
+    explicit ScopedSeed(uint64_t seed) : prev_(activeSeed())
+    {
+        activeSeed() = seed;
+    }
+    ~ScopedSeed() { activeSeed() = prev_; }
+
+    ScopedSeed(const ScopedSeed &) = delete;
+    ScopedSeed &operator=(const ScopedSeed &) = delete;
+
+  private:
+    uint64_t prev_;
+};
+
+/**
+ * Context appended to a failing CPPC_* assertion: the expression as
+ * written at its source location, plus the active RNG seed (when a
+ * ScopedSeed is live) so the exact failing sequence can be replayed.
+ */
+inline std::string
+failureContext(const char *file, int line, const char *expr)
+{
+    std::string out = "\n  expression: ";
+    out += expr;
+    out += "\n  location:   ";
+    out += file;
+    out += ":";
+    out += std::to_string(line);
+    if (activeSeed() != 0) {
+        out += "\n  rng seed:   ";
+        out += std::to_string(activeSeed());
+        out += "  (re-run with this seed to reproduce)";
+    }
+    return out;
+}
+
+#define CPPC_ASSERT_TRUE(cond)                                          \
+    ASSERT_TRUE(cond) << cppc::test::failureContext(__FILE__, __LINE__, \
+                                                    #cond)
+#define CPPC_ASSERT_FALSE(cond)                                         \
+    ASSERT_FALSE(cond) << cppc::test::failureContext(__FILE__,          \
+                                                     __LINE__, #cond)
+#define CPPC_ASSERT_EQ(a, b)                                            \
+    ASSERT_EQ(a, b) << cppc::test::failureContext(__FILE__, __LINE__,   \
+                                                  #a " == " #b)
+#define CPPC_EXPECT_EQ(a, b)                                            \
+    EXPECT_EQ(a, b) << cppc::test::failureContext(__FILE__, __LINE__,   \
+                                                  #a " == " #b)
 
 /** A single cache in front of main memory. */
 struct Harness

@@ -91,6 +91,15 @@ TEST(Options, MalformedValuesRejected)
     EXPECT_THROW(parse({"--num=12junk"}).getUint("num"), FatalError);
 }
 
+TEST(Options, SignedValuesRejectedForUint)
+{
+    // strtoull would silently wrap "-1" to 2^64-1; the parser must
+    // reject signs instead of handing that count to a thread pool.
+    EXPECT_THROW(parse({"--num=-1"}).getUint("num"), FatalError);
+    EXPECT_THROW(parse({"--num=+5"}).getUint("num"), FatalError);
+    EXPECT_THROW(parse({"--num", "-1"}).getUint("num"), FatalError);
+}
+
 TEST(Options, StrayDashDashRejected)
 {
     EXPECT_THROW(parse({"--"}), FatalError);

@@ -26,6 +26,7 @@ namespace cppc {
 namespace {
 
 using test::Harness;
+using test::ScopedSeed;
 using test::smallGeometry;
 
 /** How a scheme handles a single-bit fault in dirty data. */
@@ -72,6 +73,7 @@ TEST_P(SchemeConformance, FunctionallyTransparent)
     // under arbitrary fault-free traffic.
     Harness h(smallGeometry(), GetParam().make());
     Rng rng(101);
+    ScopedSeed scoped(101);
     std::map<Addr, uint64_t> golden;
     for (int i = 0; i < 6000; ++i) {
         Addr a = rng.nextBelow(1024) * 8;
@@ -81,16 +83,17 @@ TEST_P(SchemeConformance, FunctionallyTransparent)
             h.cache->storeWord(a, v);
         } else {
             uint64_t expect = golden.count(a) ? golden[a] : 0;
-            ASSERT_EQ(h.cache->loadWord(a), expect) << "iter " << i;
+            CPPC_ASSERT_EQ(h.cache->loadWord(a), expect) << "iter " << i;
         }
     }
-    EXPECT_EQ(h.cache->scheme()->stats().detections, 0u);
+    CPPC_EXPECT_EQ(h.cache->scheme()->stats().detections, 0u);
 }
 
 TEST_P(SchemeConformance, PartialStoresTransparent)
 {
     Harness h(smallGeometry(), GetParam().make());
     Rng rng(103);
+    ScopedSeed scoped(103);
     std::map<Addr, uint8_t> golden;
     for (int i = 0; i < 3000; ++i) {
         Addr a = rng.nextBelow(1024 * 8);
@@ -102,7 +105,7 @@ TEST_P(SchemeConformance, PartialStoresTransparent)
             uint8_t out = 0;
             h.cache->load(a, 1, &out);
             uint8_t expect = golden.count(a) ? golden[a] : 0;
-            ASSERT_EQ(out, expect) << "iter " << i;
+            CPPC_ASSERT_EQ(out, expect) << "iter " << i;
         }
     }
     EXPECT_EQ(h.cache->scheme()->stats().detections, 0u);
@@ -115,12 +118,13 @@ TEST_P(SchemeConformance, CleanSingleBitFaultAlwaysHandled)
     h.mem.poke(0x0, seed, 8);
     uint64_t good = h.cache->loadWord(0x0);
     Rng rng(107);
+    ScopedSeed scoped(107);
     for (int rep = 0; rep < 30; ++rep) {
         h.cache->corruptBit(0, static_cast<unsigned>(rng.nextBelow(64)));
         auto out = h.cache->load(0x0, 8, nullptr);
-        ASSERT_TRUE(out.fault_detected);
-        ASSERT_FALSE(out.due);
-        ASSERT_EQ(h.cache->loadWord(0x0), good);
+        CPPC_ASSERT_TRUE(out.fault_detected);
+        CPPC_ASSERT_FALSE(out.due);
+        CPPC_ASSERT_EQ(h.cache->loadWord(0x0), good);
     }
 }
 
@@ -128,6 +132,7 @@ TEST_P(SchemeConformance, DirtySingleBitFaultNeverSilent)
 {
     Harness h(smallGeometry(), GetParam().make());
     Rng rng(109);
+    ScopedSeed scoped(109);
     for (int rep = 0; rep < 40; ++rep) {
         Addr a = rng.nextBelow(128) * 8;
         uint64_t v = rng.next();
@@ -140,17 +145,19 @@ TEST_P(SchemeConformance, DirtySingleBitFaultNeverSilent)
                 found = true;
             }
         });
-        ASSERT_TRUE(found);
+        CPPC_ASSERT_TRUE(found);
         h.cache->corruptBit(r, static_cast<unsigned>(rng.nextBelow(64)));
         auto out = h.cache->load(a, 8, nullptr);
-        ASSERT_TRUE(out.fault_detected) << "scheme " << GetParam().name;
+        CPPC_ASSERT_TRUE(out.fault_detected)
+            << "scheme " << GetParam().name;
         switch (GetParam().dirty_fix) {
           case DirtyFix::Always:
-            ASSERT_FALSE(out.due);
-            ASSERT_EQ(h.cache->loadWord(a), v);
+            CPPC_ASSERT_FALSE(out.due);
+            CPPC_ASSERT_EQ(h.cache->loadWord(a), v);
             break;
           case DirtyFix::Never:
-            ASSERT_TRUE(out.due); // detected-uncorrectable, not silent
+            // detected-uncorrectable, not silent
+            CPPC_ASSERT_TRUE(out.due);
             h.cache->pokeRowData(r, WideWord::fromUint64(v, 8));
             break;
           case DirtyFix::Sometimes:
@@ -159,7 +166,7 @@ TEST_P(SchemeConformance, DirtySingleBitFaultNeverSilent)
             if (out.due)
                 h.cache->pokeRowData(r, WideWord::fromUint64(v, 8));
             else
-                ASSERT_EQ(h.cache->loadWord(a), v);
+                CPPC_ASSERT_EQ(h.cache->loadWord(a), v);
             break;
         }
     }
@@ -172,6 +179,7 @@ TEST_P(SchemeConformance, EvictionChainsPreserveData)
     // Three-way conflict churn through every set.
     std::map<Addr, uint64_t> golden;
     Rng rng(113);
+    ScopedSeed scoped(113);
     for (int round = 0; round < 3; ++round) {
         for (Addr base = 0; base < g.size_bytes; base += 8) {
             Addr a = base + round * g.size_bytes;
@@ -181,8 +189,8 @@ TEST_P(SchemeConformance, EvictionChainsPreserveData)
         }
     }
     for (const auto &[a, v] : golden)
-        ASSERT_EQ(h.cache->loadWord(a), v);
-    EXPECT_EQ(h.cache->scheme()->stats().detections, 0u);
+        CPPC_ASSERT_EQ(h.cache->loadWord(a), v);
+    CPPC_EXPECT_EQ(h.cache->scheme()->stats().detections, 0u);
 }
 
 TEST_P(SchemeConformance, StatsResetWorks)
@@ -209,6 +217,7 @@ TEST_P(SchemeConformance, FlushAfterFaultRecoveryIsConsistent)
 {
     Harness h(smallGeometry(), GetParam().make());
     Rng rng(127);
+    ScopedSeed scoped(127);
     std::map<Addr, uint64_t> golden;
     for (int i = 0; i < 500; ++i) {
         Addr a = rng.nextBelow(256) * 8;
@@ -234,7 +243,7 @@ TEST_P(SchemeConformance, FlushAfterFaultRecoveryIsConsistent)
         h.mem.peek(a, buf, 8);
         uint64_t got;
         std::memcpy(&got, buf, 8);
-        ASSERT_EQ(got, v) << "addr " << a;
+        CPPC_ASSERT_EQ(got, v) << "addr " << a;
     }
 }
 

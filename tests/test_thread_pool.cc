@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/logging.hh"
 #include "util/thread_pool.hh"
 
 namespace cppc {
@@ -65,20 +66,95 @@ TEST(ThreadPool, ShutdownDrainsQueuedTasks)
         EXPECT_NO_THROW(f.get());
 }
 
+/** Save/restore CPPC_BENCH_JOBS around a test body. */
+class ScopedJobsEnv
+{
+  public:
+    ScopedJobsEnv()
+    {
+        const char *saved = std::getenv("CPPC_BENCH_JOBS");
+        had_ = saved != nullptr;
+        value_ = saved ? saved : "";
+    }
+    ~ScopedJobsEnv()
+    {
+        if (had_)
+            setenv("CPPC_BENCH_JOBS", value_.c_str(), 1);
+        else
+            unsetenv("CPPC_BENCH_JOBS");
+    }
+
+  private:
+    bool had_;
+    std::string value_;
+};
+
+TEST(ThreadPool, ParseWorkerCountAcceptsPlainDecimals)
+{
+    EXPECT_EQ(ThreadPool::parseWorkerCount("1", "test"), 1u);
+    EXPECT_EQ(ThreadPool::parseWorkerCount("8", "test"), 8u);
+    // Modest oversubscription is legitimate (CI containers routinely
+    // run --jobs=3 on one core); the ceiling is kMaxWorkers, not
+    // hardware_concurrency().
+    EXPECT_EQ(ThreadPool::parseWorkerCount("256", "test"),
+              ThreadPool::kMaxWorkers);
+}
+
+TEST(ThreadPool, ParseWorkerCountRejectsZero)
+{
+    EXPECT_THROW(ThreadPool::parseWorkerCount("0", "test"), FatalError);
+    EXPECT_THROW(ThreadPool::parseWorkerCount("00", "test"), FatalError);
+}
+
+TEST(ThreadPool, ParseWorkerCountRejectsSignsAndGarbage)
+{
+    // Rejected, never silently clamped or wrapped.
+    EXPECT_THROW(ThreadPool::parseWorkerCount("-2", "test"), FatalError);
+    EXPECT_THROW(ThreadPool::parseWorkerCount("+4", "test"), FatalError);
+    EXPECT_THROW(ThreadPool::parseWorkerCount("abc", "test"),
+                 FatalError);
+    EXPECT_THROW(ThreadPool::parseWorkerCount("3x", "test"), FatalError);
+    EXPECT_THROW(ThreadPool::parseWorkerCount("", "test"), FatalError);
+    EXPECT_THROW(ThreadPool::parseWorkerCount(" 4", "test"), FatalError);
+    EXPECT_THROW(ThreadPool::parseWorkerCount("4 ", "test"), FatalError);
+    EXPECT_THROW(ThreadPool::parseWorkerCount("true", "test"),
+                 FatalError);
+}
+
+TEST(ThreadPool, ParseWorkerCountRejectsAbsurdCounts)
+{
+    EXPECT_THROW(ThreadPool::parseWorkerCount("257", "test"),
+                 FatalError);
+    // Values far past any uint64 overflow point still fail cleanly.
+    EXPECT_THROW(
+        ThreadPool::parseWorkerCount("99999999999999999999999", "test"),
+        FatalError);
+}
+
 TEST(ThreadPool, DefaultWorkerCountHonoursEnv)
 {
-    const char *saved = std::getenv("CPPC_BENCH_JOBS");
-    std::string saved_value = saved ? saved : "";
+    ScopedJobsEnv guard;
 
     setenv("CPPC_BENCH_JOBS", "3", 1);
     EXPECT_EQ(ThreadPool::defaultWorkerCount(), 3u);
-    setenv("CPPC_BENCH_JOBS", "0", 1); // nonsense clamps to 1
-    EXPECT_EQ(ThreadPool::defaultWorkerCount(), 1u);
     unsetenv("CPPC_BENCH_JOBS");
     EXPECT_GE(ThreadPool::defaultWorkerCount(), 1u);
+}
 
-    if (saved)
-        setenv("CPPC_BENCH_JOBS", saved_value.c_str(), 1);
+TEST(ThreadPool, DefaultWorkerCountRejectsMalformedEnv)
+{
+    ScopedJobsEnv guard;
+
+    // A malformed CPPC_BENCH_JOBS is a loud configuration error, not
+    // a silent clamp to one worker.
+    setenv("CPPC_BENCH_JOBS", "0", 1);
+    EXPECT_THROW(ThreadPool::defaultWorkerCount(), FatalError);
+    setenv("CPPC_BENCH_JOBS", "-1", 1);
+    EXPECT_THROW(ThreadPool::defaultWorkerCount(), FatalError);
+    setenv("CPPC_BENCH_JOBS", "lots", 1);
+    EXPECT_THROW(ThreadPool::defaultWorkerCount(), FatalError);
+    setenv("CPPC_BENCH_JOBS", "1024", 1);
+    EXPECT_THROW(ThreadPool::defaultWorkerCount(), FatalError);
 }
 
 TEST(ThreadPool, ZeroWorkersMeansDefault)

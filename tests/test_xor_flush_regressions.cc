@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Regression pins for the R1/R2 XOR registers across flush, partial
+ * store and eviction orderings.
+ *
+ * Every test drives a CPPC-protected cache through a directed sequence
+ * in which dirty words enter and leave the array along different paths
+ * (conflict eviction, flushAll, coherence downgrade, scrubbing) and
+ * asserts the register invariant R1 ^ R2 == XOR of the rotated
+ * resident dirty words after every step.  These orderings are exactly
+ * where a missing or doubled R2 update hides; the fuzzer found-and-
+ * shrunk versions of these sequences are pinned here directed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "cppc/cppc_scheme.hh"
+#include "test_helpers.hh"
+#include "util/rng.hh"
+
+namespace cppc {
+namespace {
+
+using test::Harness;
+using test::ScopedSeed;
+using test::smallGeometry;
+
+std::unique_ptr<ProtectionScheme>
+makeCppc(unsigned pairs)
+{
+    CppcConfig cfg;
+    cfg.pairs_per_domain = pairs;
+    return std::make_unique<CppcScheme>(cfg);
+}
+
+CppcScheme *
+scheme(Harness &h)
+{
+    return dynamic_cast<CppcScheme *>(h.cache->scheme());
+}
+
+/** Every (domain, pair) register must read as all-zero dirty XOR. */
+void
+expectAllRegistersClear(Harness &h)
+{
+    CppcScheme *s = scheme(h);
+    const CppcConfig &cfg = s->config();
+    WideWord zero = WideWord::fromUint64(0, 8);
+    for (unsigned d = 0; d < cfg.num_domains; ++d)
+        for (unsigned p = 0; p < cfg.pairs_per_domain; ++p)
+            CPPC_ASSERT_EQ(s->registers().dirtyXor(d, p), zero);
+}
+
+class XorFlushRegression : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(XorFlushRegression, ConflictEvictionThenFlush)
+{
+    // store -> conflict eviction (dirty word leaves through onEvict)
+    // -> flush of the survivor.  A missed R2 update on either path
+    // leaves a stale word folded into the pair.
+    Harness h(smallGeometry(), makeCppc(GetParam()));
+    CppcScheme *s = scheme(h);
+    const Addr kConflict = smallGeometry().size_bytes; // same set, new tag
+
+    h.cache->storeWord(0x40, 0x1111111111111111ull);
+    CPPC_ASSERT_TRUE(s->invariantHolds());
+    h.cache->storeWord(0x40 + kConflict, 0x2222222222222222ull);
+    CPPC_ASSERT_TRUE(s->invariantHolds());
+    h.cache->flushAll();
+    CPPC_ASSERT_TRUE(s->invariantHolds());
+    expectAllRegistersClear(h);
+}
+
+TEST_P(XorFlushRegression, PartialStoreThenEvictionThenFlush)
+{
+    // A sub-unit store performs a read-modify-write against the old
+    // word; the follow-up eviction must remove the *merged* word from
+    // the registers, not the original.
+    Harness h(smallGeometry(), makeCppc(GetParam()));
+    CppcScheme *s = scheme(h);
+    const Addr kConflict = smallGeometry().size_bytes;
+
+    uint8_t b = 0xa5;
+    h.cache->store(0x63, 1, &b); // byte 3 of unit 0x60
+    CPPC_ASSERT_TRUE(s->invariantHolds());
+    b = 0x5a;
+    h.cache->store(0x60, 1, &b); // second partial merge, same unit
+    CPPC_ASSERT_TRUE(s->invariantHolds());
+    h.cache->storeWord(0x60 + kConflict, 0x3333333333333333ull);
+    CPPC_ASSERT_TRUE(s->invariantHolds());
+    h.cache->flushAll();
+    CPPC_ASSERT_TRUE(s->invariantHolds());
+    expectAllRegistersClear(h);
+}
+
+TEST_P(XorFlushRegression, PartialLineDirtyEviction)
+{
+    // Dirty exactly one unit of a four-unit line, then evict: the
+    // eviction's dirty mask is mixed, and only the dirty unit may be
+    // XORed into R2.
+    Harness h(smallGeometry(), makeCppc(GetParam()));
+    CppcScheme *s = scheme(h);
+    const CacheGeometry g = smallGeometry();
+    const Addr kLine = 3 * g.line_bytes;
+
+    h.cache->loadWord(kLine); // fill the line clean
+    h.cache->storeWord(kLine + 2 * g.unit_bytes, 0xdeadbeefcafef00dull);
+    CPPC_ASSERT_TRUE(s->invariantHolds());
+    h.cache->storeWord(kLine + g.size_bytes, 0x4444444444444444ull);
+    CPPC_ASSERT_TRUE(s->invariantHolds());
+    h.cache->flushAll();
+    CPPC_ASSERT_TRUE(s->invariantHolds());
+    expectAllRegistersClear(h);
+}
+
+TEST_P(XorFlushRegression, DowngradeRemovesDirtyWords)
+{
+    // A coherence downgrade writes dirty units back while the data
+    // stays resident: the onClean path must fold each cleaned word
+    // into R2 exactly once.
+    Harness h(smallGeometry(), makeCppc(GetParam()));
+    CppcScheme *s = scheme(h);
+    const CacheGeometry g = smallGeometry();
+
+    for (unsigned u = 0; u < g.unitsPerLine(); ++u)
+        h.cache->storeWord(u * g.unit_bytes, 0x1000 + u);
+    CPPC_ASSERT_TRUE(s->invariantHolds());
+    CPPC_ASSERT_TRUE(h.cache->downgradeLine(0x0));
+    CPPC_ASSERT_TRUE(s->invariantHolds());
+    expectAllRegistersClear(h);
+    // Downgraded data is still resident and loadable.
+    CPPC_ASSERT_EQ(h.cache->loadWord(0x0), 0x1000u);
+}
+
+TEST_P(XorFlushRegression, ScrubThenFlushOrderings)
+{
+    Harness h(smallGeometry(), makeCppc(GetParam()));
+    CppcScheme *s = scheme(h);
+    const CacheGeometry g = smallGeometry();
+
+    for (unsigned i = 0; i < 16; ++i)
+        h.cache->storeWord(i * g.line_bytes, 0xbeef0000 + i);
+    CPPC_ASSERT_TRUE(s->invariantHolds());
+    while (h.cache->scrubDirtyLines(3) > 0)
+        CPPC_ASSERT_TRUE(s->invariantHolds());
+    CPPC_ASSERT_EQ(h.cache->dirtyUnitCount(), 0u);
+    expectAllRegistersClear(h);
+    h.cache->flushAll();
+    CPPC_ASSERT_TRUE(s->invariantHolds());
+    expectAllRegistersClear(h);
+}
+
+TEST_P(XorFlushRegression, InterleavedEvictRefillOrderings)
+{
+    // Ping-pong two conflicting dirty lines so each eviction's R2
+    // update races a refill's R1 updates in program order, then flush.
+    Harness h(smallGeometry(), makeCppc(GetParam()));
+    CppcScheme *s = scheme(h);
+    const Addr kConflict = smallGeometry().size_bytes;
+
+    for (int round = 0; round < 6; ++round) {
+        Addr a = (round & 1) ? 0x80 + kConflict : 0x80;
+        h.cache->storeWord(a, 0x5000 + round);
+        CPPC_ASSERT_TRUE(s->invariantHolds());
+    }
+    CPPC_ASSERT_EQ(h.cache->loadWord(0x80 + kConflict), 0x5005u);
+    CPPC_ASSERT_TRUE(s->invariantHolds());
+    h.cache->flushAll();
+    CPPC_ASSERT_TRUE(s->invariantHolds());
+    expectAllRegistersClear(h);
+}
+
+TEST_P(XorFlushRegression, RandomizedChurnKeepsInvariant)
+{
+    constexpr uint64_t kSeed = 20260805;
+    Rng rng(kSeed);
+    ScopedSeed scoped(kSeed);
+
+    Harness h(smallGeometry(), makeCppc(GetParam()));
+    CppcScheme *s = scheme(h);
+    std::map<Addr, uint64_t> golden;
+    for (int i = 0; i < 2000; ++i) {
+        Addr a = rng.nextBelow(512) * 8; // 4x the cache in units
+        double r = rng.nextDouble();
+        if (r < 0.5) {
+            uint64_t v = rng.next();
+            golden[a] = v;
+            h.cache->storeWord(a, v);
+        } else if (r < 0.9) {
+            uint64_t expect = golden.count(a) ? golden[a] : 0;
+            CPPC_ASSERT_EQ(h.cache->loadWord(a), expect);
+        } else if (r < 0.95) {
+            h.cache->downgradeLine(a);
+        } else {
+            h.cache->flushAll();
+        }
+        if (i % 64 == 0)
+            CPPC_ASSERT_TRUE(s->invariantHolds());
+    }
+    h.cache->flushAll();
+    CPPC_ASSERT_TRUE(s->invariantHolds());
+    expectAllRegistersClear(h);
+    for (const auto &[a, v] : golden) {
+        uint8_t buf[8];
+        h.mem.peek(a, buf, 8);
+        uint64_t got;
+        std::memcpy(&got, buf, 8);
+        CPPC_ASSERT_EQ(got, v);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Pairs, XorFlushRegression,
+                         ::testing::Values(1u, 2u, 8u),
+                         [](const auto &info) {
+                             return "p" + std::to_string(info.param);
+                         });
+
+} // namespace
+} // namespace cppc

@@ -11,6 +11,9 @@
  *   record    write a synthetic benchmark's reference stream to a
  *             trace file for external analysis or exact replay
  *   campaign  fault-injection campaign against a populated L1
+ *   fuzz      randomized operation+fault sequences with invariant
+ *             checking, cross-scheme conformance and a delta-debugging
+ *             shrinker for failures
  *   mttf      print the analytical MTTF table for given parameters
  *   list      show available benchmarks and schemes
  *
@@ -18,6 +21,8 @@
  *   cppcsim run --benchmark=mcf --scheme=cppc --instructions=2000000
  *   cppcsim run --benchmark=gcc --scheme=cppc --pairs=2 --domains=2
  *   cppcsim campaign --scheme=secded --injections=20000 --multibit=0.5
+ *   cppcsim fuzz --scheme=all --seeds=1000 --jobs=4
+ *   cppcsim fuzz --scheme=sabotaged --seeds=8     # must fail + shrink
  *   cppcsim mttf --dirty=0.35 --tavg=378997 --size-kb=1024
  *   cppcsim run ... --csv
  */
@@ -26,6 +31,9 @@
 #include <iostream>
 #include <memory>
 #include <string>
+
+#include <future>
+#include <vector>
 
 #include "energy/accountant.hh"
 #include "fault/campaign.hh"
@@ -36,6 +44,8 @@
 #include "util/options.hh"
 #include "util/rng.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
+#include "verify/fuzzer.hh"
 
 using namespace cppc;
 
@@ -55,10 +65,26 @@ usage()
         " [--seed=N]\n"
         "  campaign: --scheme=KIND [--injections=N] [--multibit=F]\n"
         "            [--interleave=N] [--dirty=F] [--seed=N] [--jobs=N]\n"
+        "  fuzz:     [--scheme=all|tagcppc|sabotaged|NAME] [--seeds=N]\n"
+        "            [--seed=BASE] [--ops=N] [--jobs=N] [--csv]\n"
         "  mttf:     [--size-kb=N] [--dirty=F] [--tavg=CYCLES]"
         " [--fit=F] [--avf=F]\n"
         "  list\n";
     return 2;
+}
+
+/**
+ * The --jobs option, parsed strictly: a plain decimal in
+ * [1, ThreadPool::kMaxWorkers].  Zero, signs, garbage and trailing
+ * junk are fatal — never silently clamped or defaulted.
+ */
+unsigned
+jobsFrom(const Options &opt, unsigned dflt)
+{
+    if (!opt.has("jobs"))
+        return dflt;
+    return ThreadPool::parseWorkerCount(opt.getString("jobs"),
+                                        "--jobs");
 }
 
 CppcConfig
@@ -223,9 +249,8 @@ cmdCampaign(const Options &opt)
     cc.physical_interleave =
         static_cast<unsigned>(opt.getUint("interleave", 1));
 
-    // --jobs=0 means "all cores" (CPPC_BENCH_JOBS still overrides);
-    // the parallel front-end is bit-identical to the serial campaign.
-    unsigned jobs = static_cast<unsigned>(opt.getUint("jobs", 1));
+    // The parallel front-end is bit-identical to the serial campaign.
+    unsigned jobs = jobsFrom(opt, 1);
     CampaignResult r = runCampaignParallel(
         [&]() -> std::unique_ptr<CampaignHost> {
             return std::make_unique<CampaignTarget>(kind, cppc_cfg,
@@ -244,6 +269,141 @@ cmdCampaign(const Options &opt)
     else
         t.print(std::cout);
     return 0;
+}
+
+/** Print a shrunk failure with its replay recipe; returns 1. */
+int
+reportFuzzFailure(const std::string &scheme, uint64_t seed,
+                  unsigned n_ops, const FuzzOneResult &fr)
+{
+    std::cerr << "fuzz FAILED: scheme " << scheme << ", seed " << seed
+              << "\n  " << fr.replay.violation << "\n"
+              << "minimal reproducer (" << fr.minimal.size()
+              << " of " << n_ops << " ops):\n"
+              << formatOps(fr.minimal)
+              << "replay with:\n  cppcsim fuzz --scheme=" << scheme
+              << " --seed=" << seed << " --seeds=1 --ops=" << n_ops
+              << "\n";
+    return 1;
+}
+
+int
+cmdFuzz(const Options &opt)
+{
+    std::string which = opt.getString("scheme", "all");
+    uint64_t n_seeds = opt.getUint("seeds", 100);
+    if (n_seeds == 0)
+        fatal("--seeds must be >= 1 (a 0-seed fuzz checks nothing)");
+    uint64_t base_seed = opt.getUint("seed", 1);
+    unsigned n_ops = static_cast<unsigned>(opt.getUint("ops", 200));
+    unsigned jobs = jobsFrom(opt, 1);
+
+    std::vector<FuzzSchemeSpec> specs;
+    bool run_tag = false;
+    if (which == "all") {
+        specs = conformanceSchemes();
+        run_tag = true;
+    } else if (which == "tagcppc") {
+        run_tag = true;
+    } else if (which == "sabotaged" || which == "cppc-sabotaged") {
+        specs.push_back(sabotagedCppcSpec());
+    } else {
+        const FuzzSchemeSpec *spec = findScheme(which);
+        if (!spec)
+            fatal("unknown fuzz scheme '%s' (see 'cppcsim fuzz "
+                  "--scheme=all' schemes, or 'tagcppc'/'sabotaged')",
+                  which.c_str());
+        specs.push_back(*spec);
+    }
+
+    ThreadPool pool(jobs);
+    TextTable t({"scheme", "seeds", "strikes", "corrected", "refetched",
+                 "dues", "checks", "result"});
+    int rc = 0;
+
+    for (const FuzzSchemeSpec &spec : specs) {
+        std::vector<std::future<FuzzOneResult>> futs;
+        futs.reserve(n_seeds);
+        for (uint64_t s = 0; s < n_seeds; ++s) {
+            uint64_t seed = base_seed + s;
+            futs.push_back(pool.submit([&spec, seed, n_ops] {
+                return fuzzOne(spec, seed, n_ops);
+            }));
+        }
+        uint64_t strikes = 0, corrected = 0, refetched = 0, dues = 0;
+        uint64_t checks = 0, failures = 0;
+        for (uint64_t s = 0; s < n_seeds; ++s) {
+            FuzzOneResult fr = futs[s].get();
+            strikes += fr.replay.strikes;
+            corrected += fr.replay.corrected;
+            refetched += fr.replay.refetched;
+            dues += fr.replay.dues;
+            checks += fr.replay.checks;
+            if (fr.failed()) {
+                ++failures;
+                if (rc == 0)
+                    rc = reportFuzzFailure(spec.name, base_seed + s,
+                                           n_ops, fr);
+            }
+        }
+        t.row()
+            .add(spec.name)
+            .add(n_seeds)
+            .add(strikes)
+            .add(corrected)
+            .add(refetched)
+            .add(dues)
+            .add(checks)
+            .add(failures ? strfmt("FAIL (%llu)",
+                                   (unsigned long long)failures)
+                          : std::string("ok"));
+    }
+
+    if (run_tag) {
+        std::vector<std::future<TagFuzzResult>> futs;
+        futs.reserve(n_seeds);
+        for (uint64_t s = 0; s < n_seeds; ++s) {
+            uint64_t seed = base_seed + s;
+            futs.push_back(pool.submit(
+                [seed, n_ops] { return fuzzTagCppc(seed, n_ops); }));
+        }
+        uint64_t strikes = 0, corrected = 0, dues = 0, failures = 0;
+        for (uint64_t s = 0; s < n_seeds; ++s) {
+            TagFuzzResult tr = futs[s].get();
+            strikes += tr.strikes;
+            corrected += tr.corrected;
+            dues += tr.dues;
+            if (!tr.ok) {
+                ++failures;
+                if (rc == 0) {
+                    std::cerr << "fuzz FAILED: scheme tagcppc, seed "
+                              << (base_seed + s) << "\n  "
+                              << tr.violation << "\nreplay with:\n"
+                              << "  cppcsim fuzz --scheme=tagcppc"
+                              << " --seed=" << (base_seed + s)
+                              << " --seeds=1 --ops=" << n_ops << "\n";
+                    rc = 1;
+                }
+            }
+        }
+        t.row()
+            .add(std::string("tagcppc"))
+            .add(n_seeds)
+            .add(strikes)
+            .add(corrected)
+            .add(uint64_t(0))
+            .add(dues)
+            .add(uint64_t(0))
+            .add(failures ? strfmt("FAIL (%llu)",
+                                   (unsigned long long)failures)
+                          : std::string("ok"));
+    }
+
+    if (opt.getBool("csv", false))
+        t.printCsv(std::cout);
+    else
+        t.print(std::cout);
+    return rc;
 }
 
 int
@@ -300,7 +460,7 @@ main(int argc, char **argv)
                  "domains", "no-shift", "paper-locator", "csv",
                  "injections", "multibit", "interleave", "dirty",
                  "size-kb", "tavg", "fit", "avf", "stats", "trace",
-                 "out", "jobs"});
+                 "out", "jobs", "seeds", "ops"});
     try {
         opt.parse(argc - 1, argv + 1);
         if (cmd == "run")
@@ -309,6 +469,8 @@ main(int argc, char **argv)
             return cmdRecord(opt);
         if (cmd == "campaign")
             return cmdCampaign(opt);
+        if (cmd == "fuzz")
+            return cmdFuzz(opt);
         if (cmd == "mttf")
             return cmdMttf(opt);
         if (cmd == "list")
