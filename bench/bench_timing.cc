@@ -12,10 +12,11 @@
  */
 
 #include <chrono>
-#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "bench_util.hh"
+#include "util/atomic_file.hh"
 
 using namespace cppc;
 
@@ -80,12 +81,7 @@ main(int argc, char **argv)
               << "x, grids bit-identical: "
               << (identical ? "PASS" : "FAIL") << "\n";
 
-    std::ofstream os(json_path);
-    if (!os) {
-        std::cerr << "error: cannot open " << json_path
-                  << " for writing\n";
-        return 1;
-    }
+    std::ostringstream os;
     os << "{\n"
        << "  \"benchmarks\": " << spec2000Profiles().size() << ",\n"
        << "  \"schemes\": " << kinds.size() << ",\n"
@@ -102,11 +98,9 @@ main(int argc, char **argv)
        << "  \"bit_identical\": " << (identical ? "true" : "false")
        << "\n"
        << "}\n";
-    os.close();
-    if (!os) {
-        std::cerr << "error: failed writing " << json_path << "\n";
-        return 1;
-    }
+    // Durable + atomic: a crashed or killed bench run never leaves a
+    // torn BENCH_sweep.json for the trend tooling to choke on.
+    atomicWriteFile(json_path, os.str());
     std::cout << "wrote " << json_path << "\n";
 
     // Speedup is hardware-dependent (a 1-core CI box shows ~1x), so

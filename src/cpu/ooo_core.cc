@@ -17,7 +17,8 @@ OooCoreModel::OooCoreModel(const CoreParams &params, WriteBackCache *l1d,
 
 CoreResult
 OooCoreModel::run(TraceSource &source, uint64_t n_instructions,
-                  DirtyProfiler *l1_profiler, DirtyProfiler *l2_profiler)
+                  DirtyProfiler *l1_profiler, DirtyProfiler *l2_profiler,
+                  const std::atomic<bool> *cancel)
 {
     CoreResult res;
     res.instructions = n_instructions;
@@ -53,6 +54,15 @@ OooCoreModel::run(TraceSource &source, uint64_t n_instructions,
     const uint64_t fetch_hide = hide / 2;
 
     for (uint64_t i = 0; i < n_instructions; ++i) {
+        // Cooperative cancellation poll, cheap enough to sit in the
+        // hot loop: one relaxed load every 4096 instructions.
+        if (cancel && (i & 0xfffu) == 0 &&
+            cancel->load(std::memory_order_relaxed))
+            throw CancelledError(
+                strfmt("core run cancelled after %llu of %llu "
+                       "instructions",
+                       static_cast<unsigned long long>(i),
+                       static_cast<unsigned long long>(n_instructions)));
         TraceRecord rec = source.next();
         tick();
 

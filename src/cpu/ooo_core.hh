@@ -24,6 +24,7 @@
 #ifndef CPPC_CPU_OOO_CORE_HH
 #define CPPC_CPU_OOO_CORE_HH
 
+#include <atomic>
 #include <deque>
 
 #include "cache/dirty_profiler.hh"
@@ -102,19 +103,25 @@ class OooCoreModel
      * @param l1_profiler optional Table 2 profiler sampled every 1k
      *        instructions (occupancy) with the cache clock kept
      *        current.
+     * @param cancel optional cooperative cancel flag, polled every few
+     *        thousand instructions; when set the run throws
+     *        CancelledError (the harness watchdog's reaping point).
      */
     CoreResult run(TraceSource &source, uint64_t n_instructions,
                    DirtyProfiler *l1_profiler = nullptr,
-                   DirtyProfiler *l2_profiler = nullptr);
+                   DirtyProfiler *l2_profiler = nullptr,
+                   const std::atomic<bool> *cancel = nullptr);
 
     /** Convenience overload for the synthetic generator. */
     CoreResult
     run(TraceGenerator &gen, uint64_t n_instructions,
         DirtyProfiler *l1_profiler = nullptr,
-        DirtyProfiler *l2_profiler = nullptr)
+        DirtyProfiler *l2_profiler = nullptr,
+        const std::atomic<bool> *cancel = nullptr)
     {
         GeneratorSource src(gen);
-        return run(src, n_instructions, l1_profiler, l2_profiler);
+        return run(src, n_instructions, l1_profiler, l2_profiler,
+                   cancel);
     }
 
   private:

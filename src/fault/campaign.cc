@@ -196,22 +196,21 @@ runCampaignParallel(const CampaignHostFactory &factory,
 
     std::vector<InjectionOutcome> outcomes(strikes.size());
     ThreadPool pool(n_workers);
-    std::vector<std::future<void>> futs;
-    futs.reserve(n_workers);
     size_t chunk = (strikes.size() + n_workers - 1) / n_workers;
     for (unsigned w = 0; w < n_workers; ++w) {
         size_t begin = static_cast<size_t>(w) * chunk;
         size_t end = std::min(begin + chunk, strikes.size());
         if (begin >= end)
             break;
-        futs.push_back(pool.submit([&, begin, end, w] {
+        // Detached tasks + drain(): a throwing worker cancels the
+        // chunks still queued and rethrows at the join point.
+        pool.run([&, begin, end, w] {
             Campaign c(hosts[w]->cache(), cfg);
             for (size_t i = begin; i < end; ++i)
                 outcomes[i] = c.runOne(strikes[i]);
-        }));
+        });
     }
-    for (auto &f : futs)
-        f.get();
+    pool.drain();
 
     // Canonical-order reduction after the barrier.
     CampaignResult res;

@@ -1,0 +1,119 @@
+#include "harness/runners.hh"
+
+#include <algorithm>
+#include <mutex>
+
+#include "util/logging.hh"
+
+namespace cppc {
+
+std::string
+campaignShardKey(uint64_t first_injection)
+{
+    return strfmt("shard:%llu",
+                  static_cast<unsigned long long>(first_injection));
+}
+
+uint64_t
+campaignStrikesHash(const std::vector<Strike> &strikes)
+{
+    uint64_t h = 14695981039346656037ull;
+    auto mix = [&h](uint64_t v) {
+        for (unsigned i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    };
+    mix(strikes.size());
+    for (const Strike &s : strikes) {
+        mix(s.bits.size());
+        for (const FaultBit &b : s.bits) {
+            mix(b.row);
+            mix(b.bit);
+        }
+    }
+    return h;
+}
+
+std::string
+campaignConfigString(const Campaign::Config &cfg,
+                     const std::string &target, uint64_t strikes_hash)
+{
+    return strfmt(
+        "campaign:injections=%llu:seed=%llu:interleave=%u"
+        ":shard=%llu:strikes=%016llx:target=%s",
+        static_cast<unsigned long long>(cfg.injections),
+        static_cast<unsigned long long>(cfg.seed),
+        cfg.physical_interleave,
+        static_cast<unsigned long long>(kCampaignShardStrikes),
+        static_cast<unsigned long long>(strikes_hash), target.c_str());
+}
+
+CampaignHarnessResult
+runCampaignHarness(const CampaignHostFactory &factory,
+                   const Campaign::Config &cfg, const std::string &target,
+                   const HarnessOptions &hopts)
+{
+    // Pre-sample the full deterministic strike sequence once; shards
+    // index into it, so the decomposition is a pure function of the
+    // config (never of --jobs).
+    std::unique_ptr<CampaignHost> probe = factory();
+    const std::vector<Strike> strikes =
+        Campaign::sampleStrikes(probe->cache().geometry(), cfg);
+    probe.reset();
+
+    // Factories may share state (population RNGs, options objects), so
+    // worker-side host construction is serialized.
+    std::mutex factory_mu;
+
+    std::vector<WorkUnit> units;
+    for (size_t begin = 0; begin < strikes.size();
+         begin += kCampaignShardStrikes) {
+        size_t end = std::min(begin + kCampaignShardStrikes,
+                              strikes.size());
+        WorkUnit u;
+        u.key = campaignShardKey(begin);
+        u.work = [&factory, &factory_mu, &strikes, &cfg, begin,
+                  end](const std::atomic<bool> &cancel) {
+            std::unique_ptr<CampaignHost> host;
+            {
+                std::lock_guard<std::mutex> lock(factory_mu);
+                host = factory();
+            }
+            Campaign c(host->cache(), cfg);
+            CampaignResult res;
+            for (size_t i = begin; i < end; ++i) {
+                if (cancel.load(std::memory_order_relaxed))
+                    throw CancelledError(strfmt(
+                        "campaign shard cancelled after %zu of %zu "
+                        "injections",
+                        i - begin, end - begin));
+                Campaign::reduceOutcome(res, c.runOne(strikes[i]));
+            }
+            return encodeCampaignResult(res);
+        };
+        units.push_back(std::move(u));
+    }
+
+    RunController ctl(hopts, "campaign",
+                      campaignConfigString(cfg, target,
+                                           campaignStrikesHash(strikes)));
+    CampaignHarnessResult out;
+    out.report = ctl.run(units);
+
+    // Shard counts are commutative sums, so summing in key order is
+    // identical to the serial injection-order reduction.
+    for (const UnitResult &r : out.report.results) {
+        if (r.status != CellStatus::Ok)
+            continue;
+        CampaignResult shard = decodeCampaignResult(r.payload);
+        out.total.injections += shard.injections;
+        out.total.benign += shard.benign;
+        out.total.corrected += shard.corrected;
+        out.total.due += shard.due;
+        out.total.sdc += shard.sdc;
+    }
+    return out;
+}
+
+} // namespace cppc

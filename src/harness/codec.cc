@@ -1,0 +1,245 @@
+#include "harness/codec.hh"
+
+#include <cstring>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace cppc {
+
+namespace {
+
+const char kHexDigits[] = "0123456789abcdef";
+
+unsigned
+hexValue(char c)
+{
+    if (c >= '0' && c <= '9')
+        return static_cast<unsigned>(c - '0');
+    if (c >= 'a' && c <= 'f')
+        return static_cast<unsigned>(c - 'a' + 10);
+    fatal("invalid hex digit '%c' in journal payload", c);
+}
+
+std::vector<std::string>
+splitFields(const std::string &payload, size_t want, const char *what)
+{
+    std::vector<std::string> fields;
+    size_t start = 0;
+    while (true) {
+        size_t comma = payload.find(',', start);
+        if (comma == std::string::npos) {
+            fields.push_back(payload.substr(start));
+            break;
+        }
+        fields.push_back(payload.substr(start, comma - start));
+        start = comma + 1;
+    }
+    if (fields.size() != want)
+        fatal("journal %s payload has %zu fields, expected %zu — was "
+              "the journal written by an older build?",
+              what, fields.size(), want);
+    return fields;
+}
+
+uint64_t
+decodeU64(const std::string &s)
+{
+    if (s.empty())
+        fatal("empty integer field in journal payload");
+    uint64_t v = 0;
+    for (char c : s) {
+        if (c < '0' || c > '9')
+            fatal("invalid integer field '%s' in journal payload",
+                  s.c_str());
+        v = v * 10 + static_cast<uint64_t>(c - '0');
+    }
+    return v;
+}
+
+std::string
+encodeU64(uint64_t v)
+{
+    return strfmt("%llu", static_cast<unsigned long long>(v));
+}
+
+std::string
+encodeEnergy(const EnergyBreakdown &e)
+{
+    return encodeDouble(e.demand_pj) + "," + encodeDouble(e.rbw_word_pj) +
+        "," + encodeDouble(e.rbw_line_pj) + "," + encodeU64(e.demand_ops) +
+        "," + encodeU64(e.rbw_word_ops) + "," + encodeU64(e.rbw_line_ops);
+}
+
+} // namespace
+
+std::string
+hexEncode(const std::string &bytes)
+{
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (unsigned char c : bytes) {
+        out += kHexDigits[c >> 4];
+        out += kHexDigits[c & 0xf];
+    }
+    return out;
+}
+
+std::string
+hexDecode(const std::string &hex)
+{
+    if (hex.size() % 2)
+        fatal("odd-length hex string in journal payload");
+    std::string out;
+    out.reserve(hex.size() / 2);
+    for (size_t i = 0; i < hex.size(); i += 2)
+        out += static_cast<char>((hexValue(hex[i]) << 4) |
+                                 hexValue(hex[i + 1]));
+    return out;
+}
+
+std::string
+encodeDouble(double v)
+{
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+    std::memcpy(&bits, &v, sizeof(bits));
+    return strfmt("%016llx", static_cast<unsigned long long>(bits));
+}
+
+double
+decodeDouble(const std::string &hex)
+{
+    if (hex.size() != 16)
+        fatal("double field '%s' in journal payload is not 16 hex "
+              "digits",
+              hex.c_str());
+    uint64_t bits = 0;
+    for (char c : hex)
+        bits = (bits << 4) | hexValue(c);
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+std::string
+encodeRunMetrics(const RunMetrics &m)
+{
+    std::string out;
+    out += hexEncode(m.benchmark);
+    out += "," + encodeU64(static_cast<uint64_t>(m.kind));
+    out += "," + encodeU64(m.core.instructions);
+    out += "," + encodeU64(m.core.cycles);
+    out += "," + encodeU64(m.core.loads);
+    out += "," + encodeU64(m.core.stores);
+    out += "," + encodeU64(m.core.load_stall_cycles);
+    out += "," + encodeU64(m.core.port_conflict_cycles);
+    out += "," + encodeU64(m.core.lsq_stall_cycles);
+    out += "," + encodeU64(m.core.fetch_stall_cycles);
+    out += "," + encodeEnergy(m.l1_energy);
+    out += "," + encodeEnergy(m.l2_energy);
+    out += "," + encodeDouble(m.l1_miss_rate);
+    out += "," + encodeDouble(m.l2_miss_rate);
+    out += "," + hexEncode(m.stats_dump);
+    out += "," + encodeDouble(m.l1_dirty_fraction);
+    out += "," + encodeDouble(m.l1_tavg_cycles);
+    out += "," + encodeDouble(m.l2_dirty_fraction);
+    out += "," + encodeDouble(m.l2_tavg_cycles);
+    return out;
+}
+
+RunMetrics
+decodeRunMetrics(const std::string &payload)
+{
+    std::vector<std::string> f = splitFields(payload, 29, "RunMetrics");
+    RunMetrics m;
+    size_t i = 0;
+    m.benchmark = hexDecode(f[i++]);
+    m.kind = static_cast<SchemeKind>(decodeU64(f[i++]));
+    m.core.instructions = decodeU64(f[i++]);
+    m.core.cycles = decodeU64(f[i++]);
+    m.core.loads = decodeU64(f[i++]);
+    m.core.stores = decodeU64(f[i++]);
+    m.core.load_stall_cycles = decodeU64(f[i++]);
+    m.core.port_conflict_cycles = decodeU64(f[i++]);
+    m.core.lsq_stall_cycles = decodeU64(f[i++]);
+    m.core.fetch_stall_cycles = decodeU64(f[i++]);
+    for (EnergyBreakdown *e : {&m.l1_energy, &m.l2_energy}) {
+        e->demand_pj = decodeDouble(f[i++]);
+        e->rbw_word_pj = decodeDouble(f[i++]);
+        e->rbw_line_pj = decodeDouble(f[i++]);
+        e->demand_ops = decodeU64(f[i++]);
+        e->rbw_word_ops = decodeU64(f[i++]);
+        e->rbw_line_ops = decodeU64(f[i++]);
+    }
+    m.l1_miss_rate = decodeDouble(f[i++]);
+    m.l2_miss_rate = decodeDouble(f[i++]);
+    m.stats_dump = hexDecode(f[i++]);
+    m.l1_dirty_fraction = decodeDouble(f[i++]);
+    m.l1_tavg_cycles = decodeDouble(f[i++]);
+    m.l2_dirty_fraction = decodeDouble(f[i++]);
+    m.l2_tavg_cycles = decodeDouble(f[i++]);
+    return m;
+}
+
+std::string
+encodeCampaignResult(const CampaignResult &r)
+{
+    return encodeU64(r.injections) + "," + encodeU64(r.benign) + "," +
+        encodeU64(r.corrected) + "," + encodeU64(r.due) + "," +
+        encodeU64(r.sdc);
+}
+
+CampaignResult
+decodeCampaignResult(const std::string &payload)
+{
+    std::vector<std::string> f =
+        splitFields(payload, 5, "CampaignResult");
+    CampaignResult r;
+    r.injections = decodeU64(f[0]);
+    r.benign = decodeU64(f[1]);
+    r.corrected = decodeU64(f[2]);
+    r.due = decodeU64(f[3]);
+    r.sdc = decodeU64(f[4]);
+    return r;
+}
+
+bool
+fuzzBatchesIdentical(const FuzzBatchResult &a, const FuzzBatchResult &b)
+{
+    return a.seeds == b.seeds && a.failures == b.failures &&
+        a.checks == b.checks && a.strikes == b.strikes &&
+        a.corrected == b.corrected && a.refetched == b.refetched &&
+        a.dues == b.dues && a.first_fail_seed == b.first_fail_seed &&
+        a.first_violation == b.first_violation;
+}
+
+std::string
+encodeFuzzBatch(const FuzzBatchResult &r)
+{
+    return encodeU64(r.seeds) + "," + encodeU64(r.failures) + "," +
+        encodeU64(r.checks) + "," + encodeU64(r.strikes) + "," +
+        encodeU64(r.corrected) + "," + encodeU64(r.refetched) + "," +
+        encodeU64(r.dues) + "," + encodeU64(r.first_fail_seed) + "," +
+        hexEncode(r.first_violation);
+}
+
+FuzzBatchResult
+decodeFuzzBatch(const std::string &payload)
+{
+    std::vector<std::string> f =
+        splitFields(payload, 9, "FuzzBatchResult");
+    FuzzBatchResult r;
+    r.seeds = decodeU64(f[0]);
+    r.failures = decodeU64(f[1]);
+    r.checks = decodeU64(f[2]);
+    r.strikes = decodeU64(f[3]);
+    r.corrected = decodeU64(f[4]);
+    r.refetched = decodeU64(f[5]);
+    r.dues = decodeU64(f[6]);
+    r.first_fail_seed = decodeU64(f[7]);
+    r.first_violation = hexDecode(f[8]);
+    return r;
+}
+
+} // namespace cppc

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Bit-exact journal payload codecs.
+ *
+ * Journal payloads must be single whitespace-free tokens that decode
+ * back to *exactly* the value the worker produced — a resumed grid has
+ * to be byte-identical to an uninterrupted run, so doubles round-trip
+ * through their raw bit patterns (16 hex digits), never through
+ * decimal formatting.  Strings are hex-encoded byte-for-byte.  Fields
+ * are comma-separated inside the token; a decoder seeing the wrong
+ * field count fatal()s rather than guessing.
+ */
+
+#ifndef CPPC_HARNESS_CODEC_HH
+#define CPPC_HARNESS_CODEC_HH
+
+#include <cstdint>
+#include <string>
+
+#include "fault/campaign.hh"
+#include "sim/experiment.hh"
+
+namespace cppc {
+
+/** "deadbeef"-style lower-case hex of arbitrary bytes (may be empty). */
+std::string hexEncode(const std::string &bytes);
+/** Inverse of hexEncode(); fatal() on odd length or non-hex digits. */
+std::string hexDecode(const std::string &hex);
+
+/** The IEEE-754 bit pattern as 16 lower-case hex digits. */
+std::string encodeDouble(double v);
+double decodeDouble(const std::string &hex);
+
+/** RunMetrics <-> one journal payload token. */
+std::string encodeRunMetrics(const RunMetrics &m);
+RunMetrics decodeRunMetrics(const std::string &payload);
+
+/** CampaignResult (one shard's counts) <-> one journal payload token. */
+std::string encodeCampaignResult(const CampaignResult &r);
+CampaignResult decodeCampaignResult(const std::string &payload);
+
+/**
+ * Aggregate outcome of one fuzz seed-batch (one scheme x a contiguous
+ * seed range, or a tag-array batch).  Counters are commutative sums;
+ * the first failure keeps enough context to reproduce it (`cppcsim
+ * fuzz --scheme=<scheme> --seeds=... ` re-derives the shrunken
+ * sequence from the seed).
+ */
+struct FuzzBatchResult
+{
+    uint64_t seeds = 0;    ///< seeds replayed in this batch
+    uint64_t failures = 0; ///< seeds whose replay breached a contract
+    uint64_t checks = 0;
+    uint64_t strikes = 0;
+    uint64_t corrected = 0;
+    uint64_t refetched = 0;
+    uint64_t dues = 0;
+    uint64_t first_fail_seed = 0; ///< valid when failures > 0
+    std::string first_violation;  ///< first breach message, or empty
+};
+
+bool fuzzBatchesIdentical(const FuzzBatchResult &a,
+                          const FuzzBatchResult &b);
+
+/** FuzzBatchResult <-> one journal payload token. */
+std::string encodeFuzzBatch(const FuzzBatchResult &r);
+FuzzBatchResult decodeFuzzBatch(const std::string &payload);
+
+} // namespace cppc
+
+#endif // CPPC_HARNESS_CODEC_HH

@@ -1,0 +1,185 @@
+#include "harness/runners.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace cppc {
+
+namespace {
+
+constexpr const char *kTagScheme = "tagcppc";
+
+/** Batch decomposition of [base_seed, base_seed + n_seeds). */
+std::vector<std::pair<uint64_t, uint64_t>>
+seedBatches(uint64_t base_seed, uint64_t n_seeds)
+{
+    std::vector<std::pair<uint64_t, uint64_t>> batches;
+    for (uint64_t off = 0; off < n_seeds; off += kFuzzBatchSeeds) {
+        uint64_t count = std::min(kFuzzBatchSeeds, n_seeds - off);
+        batches.emplace_back(base_seed + off, count);
+    }
+    return batches;
+}
+
+void
+accumulate(FuzzBatchResult &total, const FuzzBatchResult &batch)
+{
+    // Batches are accumulated in ascending first-seed order, so the
+    // first failing batch seen holds the globally lowest-seed failure
+    // — independent of which worker finished first.
+    if (batch.failures && !total.failures) {
+        total.first_fail_seed = batch.first_fail_seed;
+        total.first_violation = batch.first_violation;
+    }
+    total.seeds += batch.seeds;
+    total.failures += batch.failures;
+    total.checks += batch.checks;
+    total.strikes += batch.strikes;
+    total.corrected += batch.corrected;
+    total.refetched += batch.refetched;
+    total.dues += batch.dues;
+}
+
+} // namespace
+
+std::string
+fuzzBatchKey(const std::string &scheme, uint64_t first_seed)
+{
+    return strfmt("%s:%llu", scheme.c_str(),
+                  static_cast<unsigned long long>(first_seed));
+}
+
+std::string
+fuzzConfigString(const std::vector<FuzzSchemeSpec> &specs, bool run_tag,
+                 uint64_t base_seed, uint64_t n_seeds, unsigned n_ops)
+{
+    std::string s = strfmt(
+        "fuzz:seed=%llu:seeds=%llu:ops=%u:batch=%llu:schemes=",
+        static_cast<unsigned long long>(base_seed),
+        static_cast<unsigned long long>(n_seeds), n_ops,
+        static_cast<unsigned long long>(kFuzzBatchSeeds));
+    for (size_t i = 0; i < specs.size(); ++i)
+        s += (i ? "+" : "") + specs[i].name;
+    if (run_tag)
+        s += std::string(specs.empty() ? "" : "+") + kTagScheme;
+    return s;
+}
+
+uint64_t
+FuzzHarnessResult::failures() const
+{
+    uint64_t n = 0;
+    for (const auto &kv : per_scheme)
+        n += kv.second.failures;
+    return n;
+}
+
+FuzzHarnessResult
+runFuzzHarness(const std::vector<FuzzSchemeSpec> &specs, bool run_tag,
+               uint64_t base_seed, uint64_t n_seeds, unsigned n_ops,
+               const HarnessOptions &hopts)
+{
+    const auto batches = seedBatches(base_seed, n_seeds);
+
+    std::vector<WorkUnit> units;
+    std::vector<std::string> scheme_order;
+    for (const FuzzSchemeSpec &spec : specs) {
+        scheme_order.push_back(spec.name);
+        for (const auto &batch : batches) {
+            uint64_t first = batch.first, count = batch.second;
+            WorkUnit u;
+            u.key = fuzzBatchKey(spec.name, first);
+            u.work = [&spec, first, count,
+                      n_ops](const std::atomic<bool> &cancel) {
+                FuzzBatchResult res;
+                for (uint64_t s = 0; s < count; ++s) {
+                    if (cancel.load(std::memory_order_relaxed))
+                        throw CancelledError(strfmt(
+                            "fuzz batch cancelled after %llu of %llu "
+                            "seeds",
+                            static_cast<unsigned long long>(s),
+                            static_cast<unsigned long long>(count)));
+                    // The flag is also polled inside the replay's op
+                    // loop, so a wedged sequence is reaped mid-seed.
+                    FuzzOneResult fr =
+                        fuzzOne(spec, first + s, n_ops, &cancel);
+                    ++res.seeds;
+                    res.checks += fr.replay.checks;
+                    res.strikes += fr.replay.strikes;
+                    res.corrected += fr.replay.corrected;
+                    res.refetched += fr.replay.refetched;
+                    res.dues += fr.replay.dues;
+                    if (fr.failed()) {
+                        if (!res.failures) {
+                            res.first_fail_seed = first + s;
+                            res.first_violation = fr.replay.violation;
+                        }
+                        ++res.failures;
+                    }
+                }
+                return encodeFuzzBatch(res);
+            };
+            units.push_back(std::move(u));
+        }
+    }
+    if (run_tag) {
+        scheme_order.push_back(kTagScheme);
+        for (const auto &batch : batches) {
+            uint64_t first = batch.first, count = batch.second;
+            WorkUnit u;
+            u.key = fuzzBatchKey(kTagScheme, first);
+            u.work = [first, count,
+                      n_ops](const std::atomic<bool> &cancel) {
+                FuzzBatchResult res;
+                for (uint64_t s = 0; s < count; ++s) {
+                    if (cancel.load(std::memory_order_relaxed))
+                        throw CancelledError(strfmt(
+                            "tag fuzz batch cancelled after %llu of "
+                            "%llu seeds",
+                            static_cast<unsigned long long>(s),
+                            static_cast<unsigned long long>(count)));
+                    TagFuzzResult tr =
+                        fuzzTagCppc(first + s, n_ops, &cancel);
+                    ++res.seeds;
+                    res.strikes += tr.strikes;
+                    res.corrected += tr.corrected;
+                    res.dues += tr.dues;
+                    if (!tr.ok) {
+                        if (!res.failures) {
+                            res.first_fail_seed = first + s;
+                            res.first_violation = tr.violation;
+                        }
+                        ++res.failures;
+                    }
+                }
+                return encodeFuzzBatch(res);
+            };
+            units.push_back(std::move(u));
+        }
+    }
+
+    RunController ctl(hopts, "fuzz",
+                      fuzzConfigString(specs, run_tag, base_seed,
+                                       n_seeds, n_ops));
+    FuzzHarnessResult out;
+    out.report = ctl.run(units);
+
+    // Units were built scheme-major with ascending batch starts, and
+    // report.results preserves unit order, so a single in-order pass
+    // aggregates each scheme deterministically.
+    size_t idx = 0;
+    for (const std::string &scheme : scheme_order) {
+        FuzzBatchResult total;
+        for (size_t b = 0; b < batches.size(); ++b, ++idx) {
+            const UnitResult &r = out.report.results[idx];
+            if (r.status != CellStatus::Ok)
+                continue;
+            accumulate(total, decodeFuzzBatch(r.payload));
+        }
+        out.per_scheme.emplace_back(scheme, total);
+    }
+    return out;
+}
+
+} // namespace cppc

@@ -1,0 +1,249 @@
+#include "harness/journal.hh"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/atomic_file.hh"
+#include "util/logging.hh"
+
+namespace cppc {
+
+namespace {
+
+constexpr const char *kMagic = "cppc-journal";
+constexpr const char *kVersion = "v1";
+
+uint32_t
+fnv1a32(const std::string &text)
+{
+    uint32_t h = 2166136261u;
+    for (unsigned char c : text) {
+        h ^= c;
+        h *= 16777619u;
+    }
+    return h;
+}
+
+bool
+hasWhitespace(const std::string &s)
+{
+    for (unsigned char c : s)
+        if (std::isspace(c))
+            return true;
+    return false;
+}
+
+/** Append " crc=XXXXXXXX" over the body. */
+std::string
+sealLine(const std::string &body)
+{
+    return strfmt("%s crc=%08x", body.c_str(), fnv1a32(body));
+}
+
+/**
+ * Split "body crc=XXXXXXXX" and verify; false on malformed or
+ * mismatching lines (the torn-tail case).
+ */
+bool
+unsealLine(const std::string &line, std::string &body_out)
+{
+    size_t at = line.rfind(" crc=");
+    if (at == std::string::npos || line.size() != at + 5 + 8)
+        return false;
+    std::string body = line.substr(0, at);
+    uint32_t want = 0;
+    for (size_t i = at + 5; i < line.size(); ++i) {
+        char c = line[i];
+        uint32_t digit;
+        if (c >= '0' && c <= '9')
+            digit = static_cast<uint32_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            digit = static_cast<uint32_t>(c - 'a' + 10);
+        else
+            return false;
+        want = want * 16 + digit;
+    }
+    if (fnv1a32(body) != want)
+        return false;
+    body_out = std::move(body);
+    return true;
+}
+
+std::vector<std::string>
+splitTokens(const std::string &body)
+{
+    std::vector<std::string> toks;
+    std::istringstream is(body);
+    std::string t;
+    while (is >> t)
+        toks.push_back(t);
+    return toks;
+}
+
+} // namespace
+
+const char *
+cellStatusName(CellStatus status)
+{
+    switch (status) {
+      case CellStatus::Ok: return "ok";
+      case CellStatus::Failed: return "failed";
+      case CellStatus::TimedOut: return "timed-out";
+      case CellStatus::Skipped: return "skipped";
+    }
+    return "?";
+}
+
+CellStatus
+parseCellStatus(const std::string &token)
+{
+    if (token == "ok")
+        return CellStatus::Ok;
+    if (token == "failed")
+        return CellStatus::Failed;
+    if (token == "timed-out")
+        return CellStatus::TimedOut;
+    if (token == "skipped")
+        return CellStatus::Skipped;
+    fatal("unknown cell status '%s' in journal", token.c_str());
+}
+
+uint64_t
+journalConfigHash(const std::string &text)
+{
+    uint64_t h = 14695981039346656037ull;
+    for (unsigned char c : text) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+Journal::Journal(std::string path, std::string kind, std::string config,
+                 Mode mode)
+    : path_(std::move(path)), kind_(std::move(kind)),
+      config_(std::move(config))
+{
+    if (kind_.empty() || hasWhitespace(kind_))
+        panic("journal kind '%s' must be a non-empty whitespace-free "
+              "token",
+              kind_.c_str());
+    if (config_.empty() || hasWhitespace(config_))
+        panic("journal config '%s' must be a non-empty whitespace-free "
+              "token",
+              config_.c_str());
+
+    const std::string header = sealLine(
+        strfmt("%s %s %s %016llx", kMagic, kVersion, kind_.c_str(),
+               static_cast<unsigned long long>(
+                   journalConfigHash(config_))));
+    const std::string config_line =
+        sealLine(strfmt("config %s", config_.c_str()));
+
+    std::ifstream is(path_);
+    if (is) {
+        if (mode == Mode::Fresh)
+            fatal("journal %s already exists; resume it with "
+                  "--resume=%s or delete it first",
+                  path_.c_str(), path_.c_str());
+
+        // Parse the existing journal, dropping an invalid tail.
+        std::vector<std::string> valid_lines;
+        std::string line, body;
+        bool tail_dropped = false;
+        while (std::getline(is, line)) {
+            if (!unsealLine(line, body)) {
+                tail_dropped = true;
+                break; // torn or truncated: everything after is void
+            }
+            std::vector<std::string> toks = splitTokens(body);
+            if (valid_lines.empty()) {
+                if (toks.size() != 4 || toks[0] != kMagic ||
+                    toks[1] != kVersion)
+                    fatal("%s is not a %s %s journal", path_.c_str(),
+                          kMagic, kVersion);
+                if (toks[2] != kind_)
+                    fatal("journal %s records a '%s' run; this is a "
+                          "'%s' run — refusing to mix them",
+                          path_.c_str(), toks[2].c_str(),
+                          kind_.c_str());
+            } else if (valid_lines.size() == 1) {
+                if (toks.size() != 2 || toks[0] != "config")
+                    fatal("journal %s has a malformed config line",
+                          path_.c_str());
+                if (toks[1] != config_)
+                    fatal("journal %s was written by a different "
+                          "configuration:\n  journal: %s\n  current: "
+                          "%s\nresuming would silently mix grids; use "
+                          "a fresh --journal or rerun with the "
+                          "journal's configuration",
+                          path_.c_str(), toks[1].c_str(),
+                          config_.c_str());
+            } else {
+                if (toks.size() != 5 || toks[0] != "cell") {
+                    tail_dropped = true;
+                    break;
+                }
+                JournalRecord rec;
+                rec.key = toks[1];
+                rec.status = parseCellStatus(toks[2]);
+                rec.attempts = static_cast<unsigned>(
+                    std::strtoul(toks[3].c_str(), nullptr, 10));
+                rec.payload = toks[4] == "-" ? std::string() : toks[4];
+                resumed_[rec.key] = rec;
+            }
+            valid_lines.push_back(line);
+        }
+        if (valid_lines.empty())
+            fatal("journal %s is empty or wholly corrupt; delete it "
+                  "and start a fresh run",
+                  path_.c_str());
+        if (tail_dropped)
+            warn("journal %s has a torn tail; the affected cells will "
+                 "be re-run",
+                 path_.c_str());
+
+        contents_.clear();
+        for (const std::string &l : valid_lines)
+            contents_ += l + "\n";
+        // Normalize the on-disk image (drops the torn tail durably).
+        if (tail_dropped)
+            atomicWriteFile(path_, contents_);
+        return;
+    }
+
+    // Fresh journal (also Resume pointed at a not-yet-existing file):
+    // persist the header immediately, so a kill before the first cell
+    // completes still leaves a valid, resumable journal.
+    contents_ = header + "\n" + config_line + "\n";
+    atomicWriteFile(path_, contents_);
+}
+
+std::string
+Journal::formatRecord(const JournalRecord &rec) const
+{
+    if (rec.key.empty() || hasWhitespace(rec.key))
+        panic("journal cell key '%s' must be a non-empty "
+              "whitespace-free token",
+              rec.key.c_str());
+    if (hasWhitespace(rec.payload))
+        panic("journal payload for '%s' contains whitespace; encode it "
+              "through harness/codec",
+              rec.key.c_str());
+    return sealLine(strfmt(
+        "cell %s %s %u %s", rec.key.c_str(),
+        cellStatusName(rec.status), rec.attempts,
+        rec.payload.empty() ? "-" : rec.payload.c_str()));
+}
+
+void
+Journal::append(const JournalRecord &rec)
+{
+    std::string line = formatRecord(rec);
+    std::lock_guard<std::mutex> lock(mu_);
+    contents_ += line + "\n";
+    atomicWriteFile(path_, contents_);
+}
+
+} // namespace cppc

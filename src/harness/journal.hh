@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The checkpoint journal behind `--journal` / `--resume`.
+ *
+ * A journal is a line-oriented text file.  Two header lines bind it to
+ * one experiment configuration, then every completed unit of work (a
+ * (benchmark x scheme) sweep cell, a campaign shard, a fuzz
+ * seed-batch) appends one self-describing record:
+ *
+ *   cppc-journal v1 <kind> <config-hash> crc=XXXXXXXX
+ *   config <config-string> crc=XXXXXXXX
+ *   cell <key> <status> <attempts> <payload> crc=XXXXXXXX
+ *   ...
+ *
+ * Every line carries a CRC of its body; tokens are whitespace-free
+ * (payloads encode through src/harness/codec.hh).  Appends are durable
+ * and atomic — the whole image is rewritten to a temp sibling, fsynced
+ * and renamed over the journal — so a SIGKILL at any instant leaves
+ * either the previous valid journal or the new one, never a torn file.
+ * The reader additionally drops an invalid tail (e.g. from a journal
+ * truncated by hand or a torn write on a non-atomic filesystem), which
+ * merely re-runs the affected cells.
+ *
+ * Resuming with a different configuration would silently mix grids;
+ * the header hash check makes it fatal(), naming both configs.
+ */
+
+#ifndef CPPC_HARNESS_JOURNAL_HH
+#define CPPC_HARNESS_JOURNAL_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cppc {
+
+/** Terminal state of one unit of work. */
+enum class CellStatus
+{
+    Ok,       ///< completed; payload holds its encoded result
+    Failed,   ///< threw after exhausting retries
+    TimedOut, ///< reaped by the watchdog after exhausting retries
+    Skipped,  ///< never started (stop requested first); not journaled
+};
+
+/** Stable lower-case token ("ok", "failed", "timed-out", "skipped"). */
+const char *cellStatusName(CellStatus status);
+
+/** Inverse of cellStatusName(); fatal() on unknown tokens. */
+CellStatus parseCellStatus(const std::string &token);
+
+/** One journaled unit outcome. */
+struct JournalRecord
+{
+    std::string key;      ///< unit key, unique within the run
+    CellStatus status = CellStatus::Failed;
+    unsigned attempts = 1;
+    std::string payload;  ///< codec-encoded result ("-" when empty)
+};
+
+/** FNV-1a 64 over @p text; the config-hash in the journal header. */
+uint64_t journalConfigHash(const std::string &text);
+
+/**
+ * An open journal.  Thread-safe appends (the run controller journals
+ * from worker completions).
+ */
+class Journal
+{
+  public:
+    enum class Mode
+    {
+        Fresh,  ///< create; fatal() if the file already exists
+        Resume, ///< load existing records; create if absent
+    };
+
+    /**
+     * @param kind   experiment family ("sweep", "campaign", "fuzz");
+     *               whitespace-free
+     * @param config whitespace-free config string (key=value pairs);
+     *               resuming a journal whose header carries a
+     *               different config is fatal(), naming both
+     */
+    Journal(std::string path, std::string kind, std::string config,
+            Mode mode);
+
+    /** Records loaded at open (Resume mode); last record per key wins. */
+    const std::map<std::string, JournalRecord> &resumed() const
+    {
+        return resumed_;
+    }
+
+    /** Durably append one record (temp + fsync + atomic rename). */
+    void append(const JournalRecord &rec);
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string formatRecord(const JournalRecord &rec) const;
+
+    std::string path_;
+    std::string kind_;
+    std::string config_;
+    std::string contents_; ///< full on-disk image
+    std::map<std::string, JournalRecord> resumed_;
+    std::mutex mu_;
+};
+
+} // namespace cppc
+
+#endif // CPPC_HARNESS_JOURNAL_HH

@@ -1,0 +1,291 @@
+#include "harness/run_controller.hh"
+
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "harness/stop_token.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/thread_pool.hh"
+
+namespace cppc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/**
+ * Registry of in-flight attempts, scanned by the watchdog thread.
+ * Each attempt registers its deadline and cancel flag before the work
+ * starts and unregisters after it returns or throws.
+ */
+class Watchdog
+{
+  public:
+    explicit Watchdog(double timeout_s) : timeout_s_(timeout_s)
+    {
+        if (enabled())
+            thread_ = std::thread([this] { loop(); });
+    }
+
+    ~Watchdog()
+    {
+        if (!enabled())
+            return;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            stopping_ = true;
+        }
+        cv_.notify_all();
+        thread_.join();
+    }
+
+    bool enabled() const { return timeout_s_ > 0.0; }
+
+    uint64_t
+    arm(std::atomic<bool> *cancel)
+    {
+        if (!enabled())
+            return 0;
+        std::lock_guard<std::mutex> lock(mu_);
+        uint64_t id = ++next_id_;
+        entries_[id] = {Clock::now() +
+                            std::chrono::duration_cast<Clock::duration>(
+                                std::chrono::duration<double>(timeout_s_)),
+                        cancel};
+        return id;
+    }
+
+    void
+    disarm(uint64_t id)
+    {
+        if (!enabled() || id == 0)
+            return;
+        std::lock_guard<std::mutex> lock(mu_);
+        entries_.erase(id);
+    }
+
+  private:
+    struct Entry
+    {
+        Clock::time_point deadline;
+        std::atomic<bool> *cancel;
+    };
+
+    void
+    loop()
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        while (!stopping_) {
+            Clock::time_point now = Clock::now();
+            for (auto &kv : entries_)
+                if (now >= kv.second.deadline)
+                    kv.second.cancel->store(true,
+                                            std::memory_order_relaxed);
+            cv_.wait_for(lock, std::chrono::milliseconds(20));
+        }
+    }
+
+    double timeout_s_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::map<uint64_t, Entry> entries_;
+    uint64_t next_id_ = 0;
+    bool stopping_ = false;
+    std::thread thread_;
+};
+
+uint64_t
+fnv64(const std::string &s)
+{
+    return journalConfigHash(s);
+}
+
+/**
+ * Sleep out the backoff before attempt @p next_attempt of @p key:
+ * base * 2^(failures so far), stretched by up to +50% deterministic
+ * jitter drawn from (key, attempt) — reruns back off identically, and
+ * no two cells thundering-herd on the same schedule.  Polls the stop
+ * flag so Ctrl-C is not held up by a sleeping retry.
+ *
+ * @return false when the sleep was cut short by a stop request.
+ */
+bool
+backoffSleep(const std::string &key, unsigned next_attempt, double base_s,
+             bool use_stop_token)
+{
+    Rng jitter_rng(fnv64(key) ^ next_attempt);
+    double factor = 1.0 + 0.5 * jitter_rng.nextDouble();
+    double delay_s =
+        base_s * static_cast<double>(1u << (next_attempt - 2)) * factor;
+    Clock::time_point until =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(delay_s));
+    while (Clock::now() < until) {
+        if (use_stop_token && stopRequested())
+            return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+HarnessReport::summary(const std::string &tool) const
+{
+    std::string s = strfmt(
+        "%s: %zu/%zu cells ok (%zu resumed), %zu failed, %zu timed "
+        "out, %zu skipped",
+        tool.c_str(), ok, results.size(), resumed_ok, failed, timed_out,
+        skipped);
+    if (stopped)
+        s += " — stop requested";
+    if (!complete() && !journal_path.empty())
+        s += strfmt("; resume with --resume=%s", journal_path.c_str());
+    return s;
+}
+
+RunController::RunController(HarnessOptions opts, std::string kind,
+                             std::string config)
+    : opts_(std::move(opts)), kind_(std::move(kind)),
+      config_(std::move(config))
+{
+}
+
+HarnessReport
+RunController::run(const std::vector<WorkUnit> &units)
+{
+    HarnessReport report;
+    report.results.resize(units.size());
+    report.journal_path = opts_.journal_path;
+
+    std::unique_ptr<Journal> journal;
+    if (!opts_.journal_path.empty())
+        journal = std::make_unique<Journal>(
+            opts_.journal_path, kind_, config_,
+            opts_.resume ? Journal::Mode::Resume : Journal::Mode::Fresh);
+
+    // Satisfy units from the journal first.  Only ok records skip
+    // re-execution: a resumed run gives previously failed or timed-out
+    // cells a fresh chance (their old records stay in the journal; the
+    // newest record per key wins on the next resume).
+    std::vector<size_t> pending;
+    for (size_t i = 0; i < units.size(); ++i) {
+        const WorkUnit &u = units[i];
+        if (u.key.empty())
+            panic("work unit %zu has an empty key", i);
+        UnitResult &r = report.results[i];
+        r.key = u.key;
+        if (journal) {
+            auto it = journal->resumed().find(u.key);
+            if (it != journal->resumed().end() &&
+                it->second.status == CellStatus::Ok) {
+                r.status = CellStatus::Ok;
+                r.attempts = it->second.attempts;
+                r.from_journal = true;
+                r.payload = it->second.payload;
+                continue;
+            }
+        }
+        pending.push_back(i);
+    }
+
+    Watchdog watchdog(opts_.cell_timeout_s);
+    std::mutex report_mu;
+
+    {
+        ThreadPool pool(opts_.jobs);
+        for (size_t idx : pending) {
+            const WorkUnit *unit = &units[idx];
+            UnitResult *result = &report.results[idx];
+            pool.run([this, unit, result, &watchdog, &report_mu,
+                      journal_ptr = journal.get()] {
+                UnitResult local;
+                local.key = unit->key;
+                unsigned max_attempts = opts_.retries + 1;
+
+                if (opts_.use_stop_token && stopRequested()) {
+                    // Never started: skipped, and deliberately NOT
+                    // journaled — a resume runs it from scratch.
+                    local.status = CellStatus::Skipped;
+                    local.error = "stop requested before start";
+                } else {
+                    for (unsigned attempt = 1; attempt <= max_attempts;
+                         ++attempt) {
+                        local.attempts = attempt;
+                        std::atomic<bool> cancel{false};
+                        uint64_t wd = watchdog.arm(&cancel);
+                        try {
+                            local.payload = unit->work(cancel);
+                            watchdog.disarm(wd);
+                            local.status = CellStatus::Ok;
+                            local.error.clear();
+                            break;
+                        } catch (const CancelledError &e) {
+                            watchdog.disarm(wd);
+                            local.status = CellStatus::TimedOut;
+                            local.error = e.what();
+                        } catch (const std::exception &e) {
+                            watchdog.disarm(wd);
+                            local.status = CellStatus::Failed;
+                            local.error = e.what();
+                        }
+                        if (attempt == max_attempts)
+                            break; // latched permanently
+                        if (opts_.use_stop_token && stopRequested())
+                            break; // don't retry into a shutdown
+                        warn("cell %s attempt %u/%u %s (%s); backing "
+                             "off before retry",
+                             local.key.c_str(), attempt, max_attempts,
+                             local.status == CellStatus::TimedOut
+                                 ? "timed out"
+                                 : "failed",
+                             local.error.c_str());
+                        if (!backoffSleep(local.key, attempt + 1,
+                                          opts_.backoff_base_s,
+                                          opts_.use_stop_token))
+                            break;
+                    }
+                }
+
+                // Journal in completion order, before publishing to the
+                // report: a crash right after this append loses nothing.
+                if (journal_ptr &&
+                    local.status != CellStatus::Skipped) {
+                    JournalRecord rec;
+                    rec.key = local.key;
+                    rec.status = local.status;
+                    rec.attempts = local.attempts;
+                    rec.payload = local.payload;
+                    journal_ptr->append(rec);
+                }
+
+                std::lock_guard<std::mutex> lock(report_mu);
+                *result = std::move(local);
+            });
+        }
+        pool.drain();
+    } // pool joins here; every result slot is final
+
+    for (const UnitResult &r : report.results) {
+        switch (r.status) {
+          case CellStatus::Ok:
+            ++report.ok;
+            if (r.from_journal)
+                ++report.resumed_ok;
+            break;
+          case CellStatus::Failed: ++report.failed; break;
+          case CellStatus::TimedOut: ++report.timed_out; break;
+          case CellStatus::Skipped: ++report.skipped; break;
+        }
+    }
+    report.stopped = opts_.use_stop_token && stopRequested();
+    return report;
+}
+
+} // namespace cppc

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Crash-safe run controller: the fan-out engine behind resumable
+ * sweeps, campaigns and fuzz runs.
+ *
+ * A run is a list of independent WorkUnits, each with a stable key.
+ * The controller executes them on a ThreadPool and layers four
+ * robustness mechanisms on top of the plain fan-out:
+ *
+ *  - **checkpoint journal** — every finished unit is appended durably
+ *    to the journal (src/harness/journal.hh); resuming skips units the
+ *    journal already records as ok and re-executes everything else, so
+ *    a resumed grid is bit-identical to an uninterrupted run.
+ *  - **watchdog** — with a per-cell deadline set, a monitor thread
+ *    flips the unit's cooperative cancel flag when it runs long; the
+ *    unit throws CancelledError at its next poll and is recorded as
+ *    timed out instead of wedging a worker forever.
+ *  - **retry with backoff** — a failed or timed-out attempt is retried
+ *    up to `retries` times with exponential backoff and deterministic
+ *    jitter (seeded from the unit key and attempt number, so reruns
+ *    sleep identically), then latched permanently failed.
+ *  - **graceful degradation** — once the global stop token flips
+ *    (SIGINT/SIGTERM), units not yet started are skipped, in-flight
+ *    units finish or time out, the journal holds every completed cell,
+ *    and the report carries a nonzero exit code plus a resume hint.
+ */
+
+#ifndef CPPC_HARNESS_RUN_CONTROLLER_HH
+#define CPPC_HARNESS_RUN_CONTROLLER_HH
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/journal.hh"
+
+namespace cppc {
+
+/** Knobs shared by every resumable front-end (CLI flags map 1:1). */
+struct HarnessOptions
+{
+    /** Journal file; empty disables checkpointing entirely. */
+    std::string journal_path;
+    /** Resume from an existing journal instead of requiring a fresh one. */
+    bool resume = false;
+    /** Per-attempt deadline in seconds; 0 disables the watchdog. */
+    double cell_timeout_s = 0.0;
+    /** Extra attempts after the first failure/timeout. */
+    unsigned retries = 0;
+    /** Worker threads; 0 means ThreadPool::defaultWorkerCount(). */
+    unsigned jobs = 0;
+    /** First backoff delay; doubles per retry (plus jitter). */
+    double backoff_base_s = 0.25;
+    /** Honor the global stop token (tests may opt out). */
+    bool use_stop_token = true;
+};
+
+/**
+ * One independent unit of work.  @c work runs on a pool thread; it
+ * must poll @c cancel at a reasonable cadence (the sweep plumbs it
+ * into the core's instruction loop; shard/batch runners poll between
+ * trials) and throw CancelledError when it flips.  Its return value is
+ * the journal payload: a whitespace-free token from harness/codec.hh.
+ */
+struct WorkUnit
+{
+    std::string key;
+    std::function<std::string(const std::atomic<bool> &cancel)> work;
+};
+
+/** Terminal outcome of one unit, journaled and reported. */
+struct UnitResult
+{
+    std::string key;
+    CellStatus status = CellStatus::Skipped;
+    unsigned attempts = 0;     ///< 0 when skipped or resumed
+    bool from_journal = false; ///< satisfied by a resumed ok record
+    std::string payload;       ///< codec token when status == Ok
+    std::string error;         ///< last failure message otherwise
+};
+
+/** Everything a front-end needs to emit partial results honestly. */
+struct HarnessReport
+{
+    /** One entry per input unit, in input order. */
+    std::vector<UnitResult> results;
+
+    size_t ok = 0;         ///< includes resumed_ok
+    size_t resumed_ok = 0; ///< satisfied from the journal
+    size_t failed = 0;
+    size_t timed_out = 0;
+    size_t skipped = 0;
+    bool stopped = false; ///< the stop token flipped during the run
+    std::string journal_path;
+
+    bool complete() const { return ok == results.size(); }
+
+    /**
+     * Process exit code contract: 0 when every unit completed ok,
+     * kExitIncomplete when the run is partial but resumable.
+     */
+    static constexpr int kExitIncomplete = 3;
+    int exitCode() const { return complete() ? 0 : kExitIncomplete; }
+
+    /**
+     * One-line run summary; when the run is partial and journaled it
+     * ends with the exact flag to resume it ("... resume with
+     * --resume=<journal>").  @p tool names the front-end command.
+     */
+    std::string summary(const std::string &tool) const;
+};
+
+/** Executes WorkUnits under the policy in HarnessOptions. */
+class RunController
+{
+  public:
+    /**
+     * @param kind   journal kind token ("sweep", "campaign", "fuzz")
+     * @param config whitespace-free config string bound into the
+     *               journal header; a --resume against a journal with
+     *               a different config is fatal()
+     */
+    RunController(HarnessOptions opts, std::string kind,
+                  std::string config);
+
+    /** Run every unit; blocks until all have a terminal status. */
+    HarnessReport run(const std::vector<WorkUnit> &units);
+
+  private:
+    HarnessOptions opts_;
+    std::string kind_;
+    std::string config_;
+};
+
+} // namespace cppc
+
+#endif // CPPC_HARNESS_RUN_CONTROLLER_HH

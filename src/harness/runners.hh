@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Resumable front-ends: the crash-safe RunController wrapped around
+ * the three experiment fan-outs (sweep, campaign, fuzz).
+ *
+ * Each front-end decomposes its run into WorkUnits with stable keys —
+ * a (benchmark x scheme) sweep cell, a fixed-size campaign shard, a
+ * fixed-size fuzz seed-batch — and a config string that pins every
+ * parameter affecting the result or the decomposition.  The worker
+ * count is deliberately *not* part of the config: shard and batch
+ * boundaries are independent of --jobs, so a run started with
+ * --jobs=8 resumes fine under --jobs=2.
+ *
+ * All three are bit-deterministic: resuming a partial journal and
+ * finishing produces exactly the result of an uninterrupted run.
+ */
+
+#ifndef CPPC_HARNESS_RUNNERS_HH
+#define CPPC_HARNESS_RUNNERS_HH
+
+#include <string>
+#include <vector>
+
+#include "fault/campaign.hh"
+#include "harness/codec.hh"
+#include "harness/run_controller.hh"
+#include "sim/sweep.hh"
+#include "verify/fuzzer.hh"
+
+namespace cppc {
+
+// ---------------------------------------------------------------- sweep
+
+struct SweepHarnessResult
+{
+    /** Cells that completed ok (possibly from the journal). */
+    SweepGrid grid;
+    HarnessReport report;
+};
+
+/** Journal key of one sweep cell: "<benchmark>:<scheme>". */
+std::string sweepCellKey(const std::string &benchmark, SchemeKind kind);
+
+/** Config string bound into a sweep journal header. */
+std::string sweepConfigString(
+    const std::vector<BenchmarkProfile> &profiles,
+    const std::vector<SchemeKind> &kinds, const ExperimentOptions &base);
+
+/**
+ * Crash-safe (benchmark x scheme) sweep.  Each cell is one
+ * runExperiment() with the cancel flag plumbed into the core loop;
+ * completed cells land in the journal and in @c grid.
+ */
+SweepHarnessResult
+runSweepHarness(const std::vector<BenchmarkProfile> &profiles,
+                const std::vector<SchemeKind> &kinds,
+                const ExperimentOptions &base,
+                const HarnessOptions &hopts,
+                const SweepProgressFn &progress = nullptr);
+
+// ------------------------------------------------------------- campaign
+
+/**
+ * Strikes per campaign shard.  Fixed (not derived from --jobs) so the
+ * shard decomposition — and with it the journal keys — survives a
+ * resume under a different worker count.
+ */
+constexpr uint64_t kCampaignShardStrikes = 512;
+
+struct CampaignHarnessResult
+{
+    /** Sum over shards that completed ok. */
+    CampaignResult total;
+    HarnessReport report;
+};
+
+/** Journal key of one shard: "shard:<first-injection-index>". */
+std::string campaignShardKey(uint64_t first_injection);
+
+/**
+ * FNV-1a 64 over the whole pre-sampled strike sequence — a fingerprint
+ * of (seed, shape distribution, interleave, geometry) combined, bound
+ * into the campaign journal header.
+ */
+uint64_t campaignStrikesHash(const std::vector<Strike> &strikes);
+
+/**
+ * Config string for a campaign journal.  @p target describes the
+ * campaign host (scheme, dirty fraction, populate seed, ...) since the
+ * controller cannot hash a factory.
+ */
+std::string campaignConfigString(const Campaign::Config &cfg,
+                                 const std::string &target,
+                                 uint64_t strikes_hash);
+
+/**
+ * Crash-safe fault-injection campaign: pre-samples the full strike
+ * sequence (identical to the serial draw), fans fixed-size shards out
+ * as WorkUnits — each against a private factory-built cache — and sums
+ * completed shard counts.  Workers poll the cancel flag between
+ * injections.
+ */
+CampaignHarnessResult
+runCampaignHarness(const CampaignHostFactory &factory,
+                   const Campaign::Config &cfg,
+                   const std::string &target,
+                   const HarnessOptions &hopts);
+
+// ----------------------------------------------------------------- fuzz
+
+/** Seeds per fuzz batch; fixed for the same reason as shard size. */
+constexpr uint64_t kFuzzBatchSeeds = 8;
+
+/** Journal key of one batch: "<scheme>:<first-seed>". */
+std::string fuzzBatchKey(const std::string &scheme, uint64_t first_seed);
+
+/** Config string for a fuzz journal. */
+std::string fuzzConfigString(const std::vector<FuzzSchemeSpec> &specs,
+                             bool run_tag, uint64_t base_seed,
+                             uint64_t n_seeds, unsigned n_ops);
+
+struct FuzzHarnessResult
+{
+    /**
+     * Aggregate per scheme, in registry order ("tagcppc" last when tag
+     * fuzzing is on), summed over batches that completed ok.  The
+     * first-failure fields come from the lowest-seed failing batch, so
+     * they are independent of completion order.
+     */
+    std::vector<std::pair<std::string, FuzzBatchResult>> per_scheme;
+    HarnessReport report;
+
+    /** Total contract breaches across every scheme. */
+    uint64_t failures() const;
+};
+
+/**
+ * Crash-safe fuzz sweep: every (scheme, seed-batch) is one WorkUnit
+ * replaying kFuzzBatchSeeds consecutive seeds (cancel polled between
+ * seeds).  @p run_tag appends the Section 7 tag-array fuzz as the
+ * pseudo-scheme "tagcppc".
+ */
+FuzzHarnessResult
+runFuzzHarness(const std::vector<FuzzSchemeSpec> &specs, bool run_tag,
+               uint64_t base_seed, uint64_t n_seeds, unsigned n_ops,
+               const HarnessOptions &hopts);
+
+} // namespace cppc
+
+#endif // CPPC_HARNESS_RUNNERS_HH

@@ -1,0 +1,61 @@
+#include "harness/stop_token.hh"
+
+#include <csignal>
+
+namespace cppc {
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+std::atomic<bool> g_handlers_installed{false};
+
+extern "C" void
+stopSignalHandler(int sig)
+{
+    if (g_stop.load(std::memory_order_relaxed)) {
+        // Second signal: the user wants out *now*.  Restore the
+        // default disposition and re-raise, so a wedged cell cannot
+        // hold the process hostage.
+        std::signal(sig, SIG_DFL);
+        std::raise(sig);
+        return;
+    }
+    g_stop.store(true, std::memory_order_relaxed);
+}
+
+} // namespace
+
+std::atomic<bool> &
+stopFlag()
+{
+    return g_stop;
+}
+
+bool
+stopRequested()
+{
+    return g_stop.load(std::memory_order_relaxed);
+}
+
+void
+requestStop()
+{
+    g_stop.store(true, std::memory_order_relaxed);
+}
+
+void
+clearStopRequest()
+{
+    g_stop.store(false, std::memory_order_relaxed);
+}
+
+void
+installStopSignalHandlers()
+{
+    if (g_handlers_installed.exchange(true))
+        return;
+    std::signal(SIGINT, stopSignalHandler);
+    std::signal(SIGTERM, stopSignalHandler);
+}
+
+} // namespace cppc

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Process-wide cooperative stop token for graceful degradation.
+ *
+ * SIGINT/SIGTERM flip a single atomic flag; the run controller polls
+ * it between work units (and before starting queued ones), lets
+ * in-flight cells finish or time out, flushes the checkpoint journal,
+ * and exits with the partial-result code plus a resume hint.  Nothing
+ * here is experiment state: the flag only ever moves false -> true
+ * during a run and is reset explicitly by tests.
+ */
+
+#ifndef CPPC_HARNESS_STOP_TOKEN_HH
+#define CPPC_HARNESS_STOP_TOKEN_HH
+
+#include <atomic>
+
+namespace cppc {
+
+/** The global stop flag (signal handlers store into it directly). */
+std::atomic<bool> &stopFlag();
+
+/** True once a stop has been requested (signal or requestStop()). */
+bool stopRequested();
+
+/** Flip the flag by hand (tests, embedders). */
+void requestStop();
+
+/** Reset the flag (tests only; a real run never un-stops). */
+void clearStopRequest();
+
+/**
+ * Route SIGINT and SIGTERM to requestStop().  Idempotent.  The
+ * handler is async-signal-safe: a single atomic store.  A *second*
+ * SIGINT restores the default disposition, so a user who has lost
+ * patience with a wedged cell can still kill the process outright.
+ */
+void installStopSignalHandlers();
+
+} // namespace cppc
+
+#endif // CPPC_HARNESS_STOP_TOKEN_HH

@@ -1,0 +1,77 @@
+#include "harness/runners.hh"
+
+#include "util/logging.hh"
+
+namespace cppc {
+
+std::string
+sweepCellKey(const std::string &benchmark, SchemeKind kind)
+{
+    return benchmark + ":" + schemeKindName(kind);
+}
+
+std::string
+sweepConfigString(const std::vector<BenchmarkProfile> &profiles,
+                  const std::vector<SchemeKind> &kinds,
+                  const ExperimentOptions &base)
+{
+    std::string s = strfmt(
+        "sweep:instructions=%llu:seed=%llu:dirty=%d:stats=%d"
+        ":pairs=%u:domains=%u:classes=%u:pways=%u:digit=%u:shift=%d"
+        ":locator=%d",
+        static_cast<unsigned long long>(base.instructions),
+        static_cast<unsigned long long>(base.seed),
+        base.profile_dirty ? 1 : 0, base.dump_stats ? 1 : 0,
+        base.cppc_cfg.pairs_per_domain, base.cppc_cfg.num_domains,
+        base.cppc_cfg.num_classes, base.cppc_cfg.parity_ways,
+        base.cppc_cfg.digit_bits, base.cppc_cfg.byte_shifting ? 1 : 0,
+        static_cast<int>(base.cppc_cfg.locator));
+    s += ":benchmarks=";
+    for (size_t i = 0; i < profiles.size(); ++i)
+        s += (i ? "+" : "") + profiles[i].name;
+    s += ":schemes=";
+    for (size_t i = 0; i < kinds.size(); ++i)
+        s += (i ? "+" : "") + schemeKindName(kinds[i]);
+    return s;
+}
+
+SweepHarnessResult
+runSweepHarness(const std::vector<BenchmarkProfile> &profiles,
+                const std::vector<SchemeKind> &kinds,
+                const ExperimentOptions &base, const HarnessOptions &hopts,
+                const SweepProgressFn &progress)
+{
+    std::vector<WorkUnit> units;
+    units.reserve(profiles.size() * kinds.size());
+    for (const BenchmarkProfile &profile : profiles) {
+        for (SchemeKind kind : kinds) {
+            WorkUnit u;
+            u.key = sweepCellKey(profile.name, kind);
+            u.work = [&profile, kind, &base,
+                      &progress](const std::atomic<bool> &cancel) {
+                ExperimentOptions opts = base;
+                opts.cancel = &cancel;
+                RunMetrics m = runExperiment(profile, kind, opts);
+                if (progress)
+                    progress(m);
+                return encodeRunMetrics(m);
+            };
+            units.push_back(std::move(u));
+        }
+    }
+
+    RunController ctl(hopts, "sweep",
+                      sweepConfigString(profiles, kinds, base));
+    SweepHarnessResult out;
+    out.report = ctl.run(units);
+
+    for (const UnitResult &r : out.report.results) {
+        if (r.status != CellStatus::Ok)
+            continue;
+        RunMetrics m = decodeRunMetrics(r.payload);
+        out.grid[m.benchmark][m.kind] = std::move(m);
+    }
+    return out;
+}
+
+} // namespace cppc

@@ -21,7 +21,8 @@ runExperiment(const BenchmarkProfile &profile, SchemeKind kind,
     m.kind = kind;
     m.core = core.run(gen, opts.instructions,
                       opts.profile_dirty ? &l1_prof : nullptr,
-                      opts.profile_dirty ? &l2_prof : nullptr);
+                      opts.profile_dirty ? &l2_prof : nullptr,
+                      opts.cancel);
 
     CactiModel l1_model(PaperConfig::l1dGeometry(), PaperConfig::kFeatureNm);
     CactiModel l2_model(PaperConfig::l2Geometry(), PaperConfig::kFeatureNm);

@@ -8,6 +8,7 @@
 #ifndef CPPC_SIM_EXPERIMENT_HH
 #define CPPC_SIM_EXPERIMENT_HH
 
+#include <atomic>
 #include <string>
 
 #include "energy/accountant.hh"
@@ -46,6 +47,14 @@ struct ExperimentOptions
     bool profile_dirty = false;
     bool dump_stats = false;
     CppcConfig cppc_cfg; ///< used when the scheme is CPPC
+    /**
+     * Optional cooperative cancel flag, polled inside the core's
+     * instruction loop.  When it flips to true the run throws
+     * CancelledError; the crash-safe harness's watchdog uses this to
+     * reap a cell that blew its --cell-timeout deadline without
+     * hanging the worker pool.  Null: never cancelled.
+     */
+    const std::atomic<bool> *cancel = nullptr;
 };
 
 /** Run one benchmark under one scheme on a fresh hierarchy. */

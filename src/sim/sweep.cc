@@ -1,7 +1,6 @@
 #include "sim/sweep.hh"
 
 #include <cstring>
-#include <future>
 
 #include "util/thread_pool.hh"
 
@@ -77,21 +76,24 @@ runSweepParallel(const std::vector<BenchmarkProfile> &profiles,
     if (jobs <= 1 || cells.size() <= 1)
         return runSweepSerial(profiles, kinds, base, progress);
 
+    // Detached tasks + drain(): a throwing cell cancels the cells
+    // still queued behind it and rethrows here, instead of burning the
+    // rest of the grid before the failure surfaces at a future.
     ThreadPool pool(std::min<size_t>(jobs, cells.size()));
-    std::vector<std::future<RunMetrics>> futs;
-    futs.reserve(cells.size());
-    for (const SweepJob &job : cells) {
-        futs.push_back(pool.submit(
-            [job, &base, &progress] {
-                return runCell(job, base, progress);
-            }));
+    std::vector<RunMetrics> results(cells.size());
+    for (size_t i = 0; i < cells.size(); ++i) {
+        pool.run([i, &cells, &results, &base, &progress] {
+            results[i] = runCell(cells[i], base, progress);
+        });
     }
+    pool.drain();
 
     // Barrier + canonical-order reduction: cells land in the grid in
     // submission order regardless of which worker finished first.
     SweepGrid grid;
     for (size_t i = 0; i < cells.size(); ++i)
-        grid[cells[i].profile->name][cells[i].kind] = futs[i].get();
+        grid[cells[i].profile->name][cells[i].kind] =
+            std::move(results[i]);
     return grid;
 }
 

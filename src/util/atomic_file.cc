@@ -1,0 +1,115 @@
+#include "util/atomic_file.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/logging.hh"
+
+namespace cppc {
+
+namespace {
+
+/** Directory component of @p path ("." when it has none). */
+std::string
+dirOf(const std::string &path)
+{
+    size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+/** fsync a directory so a rename inside it is durable; best-effort. */
+void
+syncDir(const std::string &dir)
+{
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return; // some filesystems refuse; the rename is still atomic
+    ::fsync(fd);
+    ::close(fd);
+}
+
+} // namespace
+
+std::string
+atomicTempPath(const std::string &path)
+{
+    return strfmt("%s.tmp.%ld", path.c_str(),
+                  static_cast<long>(::getpid()));
+}
+
+void
+atomicWriteFile(const std::string &path, const std::string &contents)
+{
+    const std::string tmp = atomicTempPath(path);
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        fatal("cannot create temp file %s: %s", tmp.c_str(),
+              std::strerror(errno));
+
+    size_t off = 0;
+    while (off < contents.size()) {
+        ssize_t n = ::write(fd, contents.data() + off,
+                            contents.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            int err = errno;
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            fatal("write to %s failed: %s", tmp.c_str(),
+                  std::strerror(err));
+        }
+        off += static_cast<size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+        int err = errno;
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        fatal("fsync of %s failed: %s", tmp.c_str(), std::strerror(err));
+    }
+    if (::close(fd) != 0) {
+        int err = errno;
+        ::unlink(tmp.c_str());
+        fatal("close of %s failed: %s", tmp.c_str(), std::strerror(err));
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        int err = errno;
+        ::unlink(tmp.c_str());
+        fatal("rename %s -> %s failed: %s", tmp.c_str(), path.c_str(),
+              std::strerror(err));
+    }
+    syncDir(dirOf(path));
+}
+
+void
+atomicPublishFile(const std::string &tmp_path, const std::string &path)
+{
+    int fd = ::open(tmp_path.c_str(), O_RDONLY);
+    if (fd < 0)
+        fatal("cannot open %s for publishing: %s", tmp_path.c_str(),
+              std::strerror(errno));
+    if (::fsync(fd) != 0) {
+        int err = errno;
+        ::close(fd);
+        fatal("fsync of %s failed: %s", tmp_path.c_str(),
+              std::strerror(err));
+    }
+    ::close(fd);
+    if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
+        int err = errno;
+        ::unlink(tmp_path.c_str());
+        fatal("rename %s -> %s failed: %s", tmp_path.c_str(),
+              path.c_str(), std::strerror(err));
+    }
+    syncDir(dirOf(path));
+}
+
+} // namespace cppc

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Crash-safe file writes for every result artefact (BENCH_*.json, CSV
+ * exports, checkpoint journals, recorded traces).
+ *
+ * The pattern is always write-to-temp + fsync + atomic rename: a
+ * reader (or a resumed run) either sees the previous complete file or
+ * the new complete file, never a torn one, no matter where a SIGKILL
+ * lands.
+ */
+
+#ifndef CPPC_UTIL_ATOMIC_FILE_HH
+#define CPPC_UTIL_ATOMIC_FILE_HH
+
+#include <string>
+
+namespace cppc {
+
+/**
+ * Replace @p path with @p contents atomically: write a sibling temp
+ * file, fsync it, and rename() it over @p path (then fsync the
+ * directory so the rename itself is durable).  fatal() on any I/O
+ * error, with the temp file removed.
+ */
+void atomicWriteFile(const std::string &path, const std::string &contents);
+
+/**
+ * Atomically publish an already-written temp file as @p path (fsync +
+ * rename + directory fsync).  For writers that stream incrementally
+ * (e.g. trace recording): stream into a temp sibling, close it, then
+ * publish.  fatal() on error.
+ */
+void atomicPublishFile(const std::string &tmp_path,
+                       const std::string &path);
+
+/**
+ * The conventional temp sibling for @p path ("<path>.tmp.<pid>", same
+ * directory so the rename stays atomic).
+ */
+std::string atomicTempPath(const std::string &path);
+
+} // namespace cppc
+
+#endif // CPPC_UTIL_ATOMIC_FILE_HH

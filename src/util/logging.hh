@@ -26,6 +26,20 @@ class FatalError : public std::runtime_error
     explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
 };
 
+/**
+ * Thrown by a unit of work whose cooperative cancel flag was set (a
+ * watchdog deadline, a shutdown request).  The crash-safe harness
+ * catches it and records the unit as timed out instead of failed.
+ */
+class CancelledError : public std::runtime_error
+{
+  public:
+    explicit CancelledError(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
+};
+
 /** Printf-style formatting into a std::string. */
 std::string strfmt(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));

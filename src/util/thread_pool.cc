@@ -56,13 +56,64 @@ ThreadPool::~ThreadPool()
     cv_.notify_all();
     for (std::thread &t : workers_)
         t.join();
+    if (first_error_) {
+        // A detached task failed and nobody called drain(): surface it
+        // loudly, but never throw from a destructor.
+        try {
+            std::rethrow_exception(first_error_);
+        } catch (const std::exception &e) {
+            warn("thread pool destroyed with an uncollected worker "
+                 "exception: %s",
+                 e.what());
+        } catch (...) {
+            warn("thread pool destroyed with an uncollected worker "
+                 "exception");
+        }
+    }
+}
+
+void
+ThreadPool::enqueue(Task task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_.push(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::cancelPending()
+{
+    std::queue<Task> dropped;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        dropped.swap(queue_);
+    }
+    // Destroyed outside the lock: dropping a submit() task breaks its
+    // promise, and a waiter notified by that must not need mu_.
+    idle_cv_.notify_all();
+}
+
+void
+ThreadPool::drain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock,
+                  [this] { return queue_.empty() && active_ == 0; });
+    if (first_error_) {
+        std::exception_ptr err = first_error_;
+        first_error_ = nullptr;
+        lock.unlock();
+        std::rethrow_exception(err);
+    }
 }
 
 void
 ThreadPool::workerLoop()
 {
     for (;;) {
-        std::packaged_task<void()> task;
+        Task task;
         {
             std::unique_lock<std::mutex> lock(mu_);
             cv_.wait(lock,
@@ -71,8 +122,30 @@ ThreadPool::workerLoop()
                 return; // stopping and fully drained
             task = std::move(queue_.front());
             queue_.pop();
+            ++active_;
         }
-        task();
+        // A submit() task routes its exception into its future; a
+        // detached run() task's exception lands here.  Latch the first
+        // one and cancel the queue so the fan-out stops instead of the
+        // worker thread terminating the process.
+        bool failed = false;
+        try {
+            task();
+        } catch (...) {
+            failed = true;
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                if (!first_error_)
+                    first_error_ = std::current_exception();
+            }
+        }
+        if (failed)
+            cancelPending();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --active_;
+        }
+        idle_cv_.notify_all();
     }
 }
 

@@ -5,9 +5,13 @@
  * trials share no mutable state, so they fan out as futures and reduce
  * in a canonical order afterwards.
  *
- * Exceptions thrown by a submitted task are captured in its future and
- * rethrown from future::get(), so worker failures surface at the
- * reduction point instead of tearing down the process.
+ * Exceptions thrown by a submit()ted task are captured in its future
+ * and rethrown from future::get(), so worker failures surface at the
+ * reduction point instead of tearing down the process.  Detached
+ * run() tasks have no future: an exception escaping one used to
+ * propagate out of the worker thread (std::terminate); now the first
+ * such exception is latched, the remaining queued work is cancelled,
+ * and drain() — the join point — rethrows it.
  */
 
 #ifndef CPPC_UTIL_THREAD_POOL_HH
@@ -15,6 +19,7 @@
 
 #include <condition_variable>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <string>
@@ -40,7 +45,11 @@ class ThreadPool
      */
     explicit ThreadPool(unsigned n_workers = 0);
 
-    /** Drains every queued task, then joins the workers. */
+    /**
+     * Drains every queued task, then joins the workers.  A latched
+     * run() exception that was never collected via drain() is reported
+     * with warn() — destructors must not throw.
+     */
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;
@@ -82,24 +91,86 @@ class ThreadPool
         using R = std::invoke_result_t<std::decay_t<F>>;
         std::packaged_task<R()> task(std::forward<F>(fn));
         std::future<R> fut = task.get_future();
-        {
-            std::lock_guard<std::mutex> lock(mu_);
-            queue_.emplace(
-                [t = std::move(task)]() mutable { t(); });
-        }
-        cv_.notify_one();
+        enqueue(Task([t = std::move(task)]() mutable { t(); }));
         return fut;
     }
 
+    /**
+     * Queue @p fn detached (no future).  If it throws, the first
+     * exception across all detached tasks is latched, every task still
+     * queued is cancelled, and the next drain() rethrows it.  The
+     * crash-safe harness runs its work units this way: completions are
+     * reported through its own journal/callbacks, and a worker failure
+     * must stop the fan-out instead of vanishing into a discarded
+     * future.
+     */
+    template <typename F>
+    void
+    run(F &&fn)
+    {
+        enqueue(Task(std::forward<F>(fn)));
+    }
+
+    /**
+     * Drop every task that has not started yet.  Tasks already on a
+     * worker finish normally.  A dropped submit() task's future
+     * reports std::future_error (broken_promise) — the queued work was
+     * cancelled, and that too surfaces at the join point.
+     */
+    void cancelPending();
+
+    /**
+     * Block until the queue is empty and every worker is idle, then
+     * rethrow the first latched run() exception, if any (clearing it).
+     * This is the join point for detached work.
+     */
+    void drain();
+
   private:
+    /** Move-only type-erased callable (tasks capture packaged_tasks). */
+    class Task
+    {
+      public:
+        Task() = default;
+        template <typename F>
+        explicit Task(F &&fn)
+            : impl_(std::make_unique<Impl<std::decay_t<F>>>(
+                  std::forward<F>(fn)))
+        {
+        }
+        explicit operator bool() const { return impl_ != nullptr; }
+        void operator()() { impl_->invoke(); }
+
+      private:
+        struct Base
+        {
+            virtual ~Base() = default;
+            virtual void invoke() = 0;
+        };
+        template <typename F>
+        struct Impl : Base
+        {
+            explicit Impl(F fn) : fn(std::move(fn)) {}
+            void
+            invoke() override
+            {
+                fn();
+            }
+            F fn;
+        };
+        std::unique_ptr<Base> impl_;
+    };
+
+    void enqueue(Task task);
     void workerLoop();
 
     std::mutex mu_;
-    std::condition_variable cv_;
-    // packaged_task<void()> doubles as a move-only function wrapper, so
-    // tasks with move-only captures (the inner packaged_task) fit.
-    std::queue<std::packaged_task<void()>> queue_;
+    std::condition_variable cv_;      ///< wakes workers
+    std::condition_variable idle_cv_; ///< wakes drain()
+    std::queue<Task> queue_;
     std::vector<std::thread> workers_;
+    unsigned active_ = 0; ///< tasks currently executing
+    std::exception_ptr first_error_;
     bool stopping_ = false;
 };
 

@@ -309,7 +309,7 @@ generateOps(uint64_t seed, unsigned n_ops)
 
 ReplayResult
 replaySequence(const FuzzSchemeSpec &spec, const std::vector<FuzzOp> &ops,
-               uint64_t seed)
+               uint64_t seed, const std::atomic<bool> *cancel)
 {
     ReplayResult res;
     ReplayRig rig(spec);
@@ -340,6 +340,10 @@ replaySequence(const FuzzSchemeSpec &spec, const std::vector<FuzzOp> &ops,
     std::vector<StrikeExpect> expects;
 
     for (size_t i = 0; i < ops.size() && res.ok; ++i) {
+        if (cancel && cancel->load(std::memory_order_relaxed))
+            throw CancelledError(strfmt(
+                "fuzz replay cancelled at op %zu of %zu", i,
+                ops.size()));
         const FuzzOp &op = ops[i];
         switch (op.kind) {
           case FuzzOp::Kind::Load: {
@@ -539,17 +543,18 @@ replaySequence(const FuzzSchemeSpec &spec, const std::vector<FuzzOp> &ops,
 }
 
 FuzzOneResult
-fuzzOne(const FuzzSchemeSpec &spec, uint64_t seed, unsigned n_ops)
+fuzzOne(const FuzzSchemeSpec &spec, uint64_t seed, unsigned n_ops,
+        const std::atomic<bool> *cancel)
 {
     FuzzOneResult result;
     std::vector<FuzzOp> ops = generateOps(seed, n_ops);
-    result.replay = replaySequence(spec, ops, seed);
+    result.replay = replaySequence(spec, ops, seed, cancel);
     if (result.replay.ok)
         return result;
 
     std::function<bool(const std::vector<FuzzOp> &)> still_fails =
         [&](const std::vector<FuzzOp> &candidate) {
-            return !replaySequence(spec, candidate, seed).ok;
+            return !replaySequence(spec, candidate, seed, cancel).ok;
         };
     result.minimal = shrinkOps<FuzzOp>(std::move(ops), still_fails);
     // Replay the minimal sequence so the reported violation and
@@ -559,7 +564,8 @@ fuzzOne(const FuzzSchemeSpec &spec, uint64_t seed, unsigned n_ops)
 }
 
 TagFuzzResult
-fuzzTagCppc(uint64_t seed, unsigned n_ops)
+fuzzTagCppc(uint64_t seed, unsigned n_ops,
+            const std::atomic<bool> *cancel)
 {
     TagFuzzResult res;
     constexpr unsigned kEntries = 64;
@@ -595,6 +601,9 @@ fuzzTagCppc(uint64_t seed, unsigned n_ops)
     };
 
     for (size_t i = 0; i < n_ops && res.ok; ++i) {
+        if (cancel && cancel->load(std::memory_order_relaxed))
+            throw CancelledError(strfmt(
+                "tag fuzz cancelled at op %zu of %u", i, n_ops));
         double r = rng.nextDouble();
         unsigned idx = static_cast<unsigned>(rng.nextBelow(kEntries));
         if (r < 0.35) {

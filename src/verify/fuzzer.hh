@@ -23,6 +23,7 @@
 #ifndef CPPC_VERIFY_FUZZER_HH
 #define CPPC_VERIFY_FUZZER_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -138,10 +139,16 @@ struct ReplayResult
  * Replay @p ops against a fresh hierarchy protected by @p spec,
  * checking every invariant and strike contract.  Deterministic in
  * (@p spec, @p ops, @p seed).
+ *
+ * @p cancel, when non-null, is polled between operations; a set flag
+ * throws CancelledError so a watchdog can reap a wedged replay
+ * mid-sequence rather than only between seeds.  Cancellation never
+ * affects the result of a replay that runs to completion.
  */
 ReplayResult replaySequence(const FuzzSchemeSpec &spec,
                             const std::vector<FuzzOp> &ops,
-                            uint64_t seed);
+                            uint64_t seed,
+                            const std::atomic<bool> *cancel = nullptr);
 
 /** Verdict of one (scheme, seed) fuzz including shrinking. */
 struct FuzzOneResult
@@ -159,7 +166,8 @@ struct FuzzOneResult
  * same seed, which is the replay recipe printed to the user.
  */
 FuzzOneResult fuzzOne(const FuzzSchemeSpec &spec, uint64_t seed,
-                      unsigned n_ops);
+                      unsigned n_ops,
+                      const std::atomic<bool> *cancel = nullptr);
 
 /** Verdict of a tag-array (TagCppc) fuzz run. */
 struct TagFuzzResult
@@ -181,7 +189,8 @@ struct TagFuzzResult
  * have no refetch path — after verifying no entry is *silently*
  * wrong.
  */
-TagFuzzResult fuzzTagCppc(uint64_t seed, unsigned n_ops);
+TagFuzzResult fuzzTagCppc(uint64_t seed, unsigned n_ops,
+                          const std::atomic<bool> *cancel = nullptr);
 
 } // namespace cppc
 

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * RunController behaviour tests: watchdog reaping, retry-with-backoff,
+ * permanent failure latching, stop-token skipping, and journaled
+ * completion in the face of all three.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include <unistd.h>
+
+#include "harness/run_controller.hh"
+#include "harness/stop_token.hh"
+#include "util/logging.hh"
+
+namespace cppc {
+namespace {
+
+class TempFile
+{
+  public:
+    explicit TempFile(const std::string &tag)
+        : path_(testing::TempDir() + "cppc_ctl_" + tag + "_" +
+                std::to_string(::getpid()))
+    {
+        std::remove(path_.c_str());
+    }
+    ~TempFile() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/** Options tuned for tests: fast backoff, no global stop token. */
+HarnessOptions
+testOptions()
+{
+    HarnessOptions h;
+    h.jobs = 2;
+    h.backoff_base_s = 0.01;
+    h.use_stop_token = false;
+    return h;
+}
+
+WorkUnit
+okUnit(const std::string &key, const std::string &payload)
+{
+    WorkUnit u;
+    u.key = key;
+    u.work = [payload](const std::atomic<bool> &) { return payload; };
+    return u;
+}
+
+TEST(RunController, AllUnitsSucceed)
+{
+    RunController ctl(testOptions(), "test", "cfg=1");
+    HarnessReport rep =
+        ctl.run({okUnit("a", "pa"), okUnit("b", "pb"), okUnit("c", "")});
+    EXPECT_TRUE(rep.complete());
+    EXPECT_EQ(rep.exitCode(), 0);
+    EXPECT_EQ(rep.ok, 3u);
+    EXPECT_EQ(rep.results[0].payload, "pa");
+    EXPECT_EQ(rep.results[1].payload, "pb");
+    EXPECT_EQ(rep.results[2].status, CellStatus::Ok);
+    // Results come back in input order regardless of completion order.
+    EXPECT_EQ(rep.results[0].key, "a");
+    EXPECT_EQ(rep.results[2].key, "c");
+}
+
+TEST(RunController, FailingUnitRetriedThenLatched)
+{
+    HarnessOptions h = testOptions();
+    h.retries = 2;
+    RunController ctl(h, "test", "cfg=1");
+    std::atomic<unsigned> calls{0};
+    WorkUnit u;
+    u.key = "flaky";
+    u.work = [&calls](const std::atomic<bool> &) -> std::string {
+        ++calls;
+        throw std::runtime_error("boom");
+    };
+    HarnessReport rep = ctl.run({u});
+    EXPECT_EQ(calls.load(), 3u); // 1 try + 2 retries
+    EXPECT_EQ(rep.failed, 1u);
+    EXPECT_EQ(rep.results[0].status, CellStatus::Failed);
+    EXPECT_EQ(rep.results[0].attempts, 3u);
+    EXPECT_EQ(rep.results[0].error, "boom");
+    EXPECT_EQ(rep.exitCode(), HarnessReport::kExitIncomplete);
+}
+
+TEST(RunController, RetrySucceedsAfterTransientFailure)
+{
+    HarnessOptions h = testOptions();
+    h.retries = 3;
+    RunController ctl(h, "test", "cfg=1");
+    std::atomic<unsigned> calls{0};
+    WorkUnit u;
+    u.key = "transient";
+    u.work = [&calls](const std::atomic<bool> &) -> std::string {
+        if (++calls < 3)
+            throw std::runtime_error("transient");
+        return "recovered";
+    };
+    HarnessReport rep = ctl.run({u});
+    EXPECT_TRUE(rep.complete());
+    EXPECT_EQ(rep.results[0].attempts, 3u);
+    EXPECT_EQ(rep.results[0].payload, "recovered");
+}
+
+TEST(RunController, WatchdogReapsHungUnit)
+{
+    HarnessOptions h = testOptions();
+    h.cell_timeout_s = 0.1;
+    RunController ctl(h, "test", "cfg=1");
+    WorkUnit hung;
+    hung.key = "hung";
+    hung.work = [](const std::atomic<bool> &cancel) -> std::string {
+        // A cooperative "infinite loop": spins until the watchdog
+        // flips the cancel flag.
+        while (!cancel.load())
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        throw CancelledError("unit observed cancel");
+    };
+    HarnessReport rep = ctl.run({hung, okUnit("fine", "p")});
+    EXPECT_EQ(rep.timed_out, 1u);
+    EXPECT_EQ(rep.results[0].status, CellStatus::TimedOut);
+    // The hang did not take the rest of the run down with it.
+    EXPECT_EQ(rep.results[1].status, CellStatus::Ok);
+    EXPECT_EQ(rep.exitCode(), HarnessReport::kExitIncomplete);
+}
+
+TEST(RunController, TimedOutUnitIsRetried)
+{
+    HarnessOptions h = testOptions();
+    h.cell_timeout_s = 0.1;
+    h.retries = 1;
+    RunController ctl(h, "test", "cfg=1");
+    std::atomic<unsigned> calls{0};
+    WorkUnit u;
+    u.key = "slow-then-fast";
+    u.work = [&calls](const std::atomic<bool> &cancel) -> std::string {
+        if (++calls == 1) {
+            while (!cancel.load())
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+            throw CancelledError("first attempt hung");
+        }
+        return "second attempt quick";
+    };
+    HarnessReport rep = ctl.run({u});
+    EXPECT_TRUE(rep.complete());
+    EXPECT_EQ(calls.load(), 2u);
+    EXPECT_EQ(rep.results[0].attempts, 2u);
+}
+
+TEST(RunController, StopTokenSkipsUnstartedUnits)
+{
+    HarnessOptions h = testOptions();
+    h.use_stop_token = true;
+    h.jobs = 1; // everything queues behind the first unit
+    clearStopRequest();
+    RunController ctl(h, "test", "cfg=1");
+    std::vector<WorkUnit> units;
+    WorkUnit first;
+    first.key = "stopper";
+    first.work = [](const std::atomic<bool> &) {
+        requestStop();
+        return std::string("done-before-stop-took-effect");
+    };
+    units.push_back(first);
+    for (int i = 0; i < 5; ++i)
+        units.push_back(okUnit(strfmt("later%d", i), "p"));
+    HarnessReport rep = ctl.run(units);
+    clearStopRequest();
+    // The in-flight unit finished; the queued ones were skipped.
+    EXPECT_EQ(rep.results[0].status, CellStatus::Ok);
+    EXPECT_EQ(rep.skipped, 5u);
+    EXPECT_TRUE(rep.stopped);
+    EXPECT_EQ(rep.exitCode(), HarnessReport::kExitIncomplete);
+    // The summary carries the resume hint only when journaled.
+    EXPECT_EQ(rep.summary("t").find("--resume"), std::string::npos);
+}
+
+TEST(RunController, JournaledRunSkipsOkCellsOnResume)
+{
+    TempFile tmp("resume");
+    HarnessOptions h = testOptions();
+    h.journal_path = tmp.path();
+
+    std::atomic<unsigned> calls{0};
+    auto counting = [&calls](const std::string &key) {
+        WorkUnit u;
+        u.key = key;
+        u.work = [&calls, key](const std::atomic<bool> &) {
+            ++calls;
+            return "payload-" + key;
+        };
+        return u;
+    };
+
+    {
+        RunController ctl(h, "test", "cfg=1");
+        HarnessReport rep = ctl.run({counting("a"), counting("b")});
+        EXPECT_TRUE(rep.complete());
+        EXPECT_EQ(calls.load(), 2u);
+    }
+
+    // Resume with one extra unit: only the new cell executes.
+    h.resume = true;
+    RunController ctl(h, "test", "cfg=1");
+    HarnessReport rep =
+        ctl.run({counting("a"), counting("b"), counting("c")});
+    EXPECT_TRUE(rep.complete());
+    EXPECT_EQ(calls.load(), 3u);
+    EXPECT_TRUE(rep.results[0].from_journal);
+    EXPECT_TRUE(rep.results[1].from_journal);
+    EXPECT_FALSE(rep.results[2].from_journal);
+    EXPECT_EQ(rep.results[0].payload, "payload-a");
+    EXPECT_EQ(rep.resumed_ok, 2u);
+}
+
+TEST(RunController, FailedCellsAreReRunOnResume)
+{
+    TempFile tmp("refail");
+    HarnessOptions h = testOptions();
+    h.journal_path = tmp.path();
+
+    std::atomic<bool> heal{false};
+    WorkUnit u;
+    u.key = "healing";
+    u.work = [&heal](const std::atomic<bool> &) -> std::string {
+        if (!heal.load())
+            throw std::runtime_error("not yet");
+        return "healed";
+    };
+
+    {
+        RunController ctl(h, "test", "cfg=1");
+        HarnessReport rep = ctl.run({u});
+        EXPECT_EQ(rep.failed, 1u);
+        EXPECT_FALSE(rep.summary("t").empty());
+    }
+
+    // A resumed run gives non-ok cells a fresh chance.
+    heal.store(true);
+    h.resume = true;
+    RunController ctl(h, "test", "cfg=1");
+    HarnessReport rep = ctl.run({u});
+    EXPECT_TRUE(rep.complete());
+    EXPECT_EQ(rep.results[0].payload, "healed");
+    EXPECT_FALSE(rep.results[0].from_journal);
+}
+
+TEST(RunController, SummaryNamesResumeFlagWhenPartial)
+{
+    TempFile tmp("hint");
+    HarnessOptions h = testOptions();
+    h.journal_path = tmp.path();
+    RunController ctl(h, "test", "cfg=1");
+    WorkUnit bad;
+    bad.key = "bad";
+    bad.work = [](const std::atomic<bool> &) -> std::string {
+        throw std::runtime_error("nope");
+    };
+    HarnessReport rep = ctl.run({bad});
+    std::string hint = "--resume=" + tmp.path();
+    EXPECT_NE(rep.summary("sweep").find(hint), std::string::npos);
+}
+
+TEST(RunController, EmptyRunIsCompleteAndExitsZero)
+{
+    RunController ctl(testOptions(), "test", "cfg=1");
+    HarnessReport rep = ctl.run({});
+    EXPECT_TRUE(rep.complete());
+    EXPECT_EQ(rep.exitCode(), 0);
+}
+
+} // namespace
+} // namespace cppc

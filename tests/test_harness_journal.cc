@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Checkpoint-journal unit tests: durable append, CRC-checked parse,
+ * torn-tail tolerance, config-hash binding and the payload codecs'
+ * bit-exact round-trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <string>
+
+#include <unistd.h>
+
+#include "harness/codec.hh"
+#include "harness/journal.hh"
+#include "sim/sweep.hh"
+#include "util/logging.hh"
+
+namespace cppc {
+namespace {
+
+/** A unique temp path, deleted on scope exit. */
+class TempFile
+{
+  public:
+    explicit TempFile(const std::string &tag)
+        : path_(testing::TempDir() + "cppc_journal_" + tag + "_" +
+                std::to_string(::getpid()))
+    {
+        std::remove(path_.c_str());
+    }
+    ~TempFile() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path);
+    return std::string(std::istreambuf_iterator<char>(is),
+                       std::istreambuf_iterator<char>());
+}
+
+TEST(Journal, FreshWritesHeaderImmediately)
+{
+    TempFile tmp("fresh");
+    Journal j(tmp.path(), "sweep", "cfg=a", Journal::Mode::Fresh);
+    std::string contents = slurp(tmp.path());
+    EXPECT_NE(contents.find("cppc-journal v1 sweep"), std::string::npos);
+    EXPECT_NE(contents.find("config cfg=a"), std::string::npos);
+    EXPECT_TRUE(j.resumed().empty());
+}
+
+TEST(Journal, FreshRefusesExistingFile)
+{
+    TempFile tmp("refuse");
+    { Journal j(tmp.path(), "sweep", "cfg=a", Journal::Mode::Fresh); }
+    EXPECT_THROW(
+        Journal(tmp.path(), "sweep", "cfg=a", Journal::Mode::Fresh),
+        FatalError);
+}
+
+TEST(Journal, AppendThenResumeRoundTrips)
+{
+    TempFile tmp("roundtrip");
+    {
+        Journal j(tmp.path(), "sweep", "cfg=a", Journal::Mode::Fresh);
+        j.append({"cell1", CellStatus::Ok, 1, "payload1"});
+        j.append({"cell2", CellStatus::Failed, 3, ""});
+        j.append({"cell3", CellStatus::TimedOut, 2, "partial"});
+    }
+    Journal j(tmp.path(), "sweep", "cfg=a", Journal::Mode::Resume);
+    ASSERT_EQ(j.resumed().size(), 3u);
+    const JournalRecord &c1 = j.resumed().at("cell1");
+    EXPECT_EQ(c1.status, CellStatus::Ok);
+    EXPECT_EQ(c1.attempts, 1u);
+    EXPECT_EQ(c1.payload, "payload1");
+    EXPECT_EQ(j.resumed().at("cell2").status, CellStatus::Failed);
+    EXPECT_EQ(j.resumed().at("cell2").payload, "");
+    EXPECT_EQ(j.resumed().at("cell3").attempts, 2u);
+}
+
+TEST(Journal, LastRecordPerKeyWins)
+{
+    TempFile tmp("lastwins");
+    {
+        Journal j(tmp.path(), "sweep", "cfg=a", Journal::Mode::Fresh);
+        j.append({"cell", CellStatus::Failed, 1, ""});
+        j.append({"cell", CellStatus::Ok, 2, "fixed"});
+    }
+    Journal j(tmp.path(), "sweep", "cfg=a", Journal::Mode::Resume);
+    EXPECT_EQ(j.resumed().at("cell").status, CellStatus::Ok);
+    EXPECT_EQ(j.resumed().at("cell").payload, "fixed");
+}
+
+TEST(Journal, ResumeRejectsMismatchedConfig)
+{
+    TempFile tmp("mismatch");
+    { Journal j(tmp.path(), "sweep", "cfg=a", Journal::Mode::Fresh); }
+    try {
+        Journal j(tmp.path(), "sweep", "cfg=b", Journal::Mode::Resume);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        // The error must name BOTH configurations.
+        EXPECT_NE(std::string(e.what()).find("cfg=a"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("cfg=b"),
+                  std::string::npos);
+    }
+}
+
+TEST(Journal, ResumeRejectsMismatchedKind)
+{
+    TempFile tmp("kind");
+    { Journal j(tmp.path(), "sweep", "cfg=a", Journal::Mode::Fresh); }
+    EXPECT_THROW(
+        Journal(tmp.path(), "campaign", "cfg=a", Journal::Mode::Resume),
+        FatalError);
+}
+
+TEST(Journal, TornTailIsDroppedNotFatal)
+{
+    TempFile tmp("torn");
+    {
+        Journal j(tmp.path(), "sweep", "cfg=a", Journal::Mode::Fresh);
+        j.append({"good", CellStatus::Ok, 1, "p"});
+    }
+    // Simulate a torn write: append half a record with no valid CRC.
+    {
+        std::ofstream os(tmp.path(), std::ios::app);
+        os << "cell half-written ok 1 xx";
+    }
+    Journal j(tmp.path(), "sweep", "cfg=a", Journal::Mode::Resume);
+    EXPECT_EQ(j.resumed().size(), 1u);
+    EXPECT_TRUE(j.resumed().count("good"));
+    // The reopened journal normalized the file: resuming again is
+    // clean and the torn line is gone for good.
+    EXPECT_EQ(slurp(tmp.path()).find("half-written"), std::string::npos);
+}
+
+TEST(Journal, CorruptedRecordTruncatesFromThere)
+{
+    TempFile tmp("corrupt");
+    {
+        Journal j(tmp.path(), "sweep", "cfg=a", Journal::Mode::Fresh);
+        j.append({"a", CellStatus::Ok, 1, "pa"});
+        j.append({"b", CellStatus::Ok, 1, "pb"});
+        j.append({"c", CellStatus::Ok, 1, "pc"});
+    }
+    // Flip a byte inside record "b": its CRC no longer matches, so b
+    // AND everything after it are dropped (a corrupt middle means the
+    // tail's provenance is unknowable).
+    std::string contents = slurp(tmp.path());
+    size_t at = contents.find(" pb ");
+    ASSERT_NE(at, std::string::npos);
+    contents[at + 1] = 'X';
+    {
+        std::ofstream os(tmp.path(), std::ios::trunc);
+        os << contents;
+    }
+    Journal j(tmp.path(), "sweep", "cfg=a", Journal::Mode::Resume);
+    EXPECT_EQ(j.resumed().size(), 1u);
+    EXPECT_TRUE(j.resumed().count("a"));
+}
+
+TEST(Journal, ResumeOnMissingFileStartsFresh)
+{
+    TempFile tmp("absent");
+    Journal j(tmp.path(), "sweep", "cfg=a", Journal::Mode::Resume);
+    EXPECT_TRUE(j.resumed().empty());
+    // And it is immediately durable/resumable.
+    Journal k(tmp.path(), "sweep", "cfg=a", Journal::Mode::Resume);
+    EXPECT_TRUE(k.resumed().empty());
+}
+
+TEST(JournalCodec, CellStatusNamesRoundTrip)
+{
+    for (CellStatus s :
+         {CellStatus::Ok, CellStatus::Failed, CellStatus::TimedOut,
+          CellStatus::Skipped})
+        EXPECT_EQ(parseCellStatus(cellStatusName(s)), s);
+    EXPECT_THROW(parseCellStatus("bogus"), FatalError);
+}
+
+TEST(JournalCodec, HexRoundTripsArbitraryBytes)
+{
+    std::string bytes;
+    for (int i = 0; i < 256; ++i)
+        bytes += static_cast<char>(i);
+    EXPECT_EQ(hexDecode(hexEncode(bytes)), bytes);
+    EXPECT_EQ(hexEncode(""), "");
+    EXPECT_EQ(hexDecode(""), "");
+    EXPECT_THROW(hexDecode("abc"), FatalError);  // odd length
+    EXPECT_THROW(hexDecode("zz"), FatalError);   // not hex
+}
+
+TEST(JournalCodec, DoubleRoundTripIsBitExact)
+{
+    // Decimal formatting would lose bits on these; the codec must not.
+    for (double v : {0.0, -0.0, 1.0 / 3.0, 6.02214076e23, 5e-324,
+                     std::nan("0x5ca1ab1e"),
+                     std::numeric_limits<double>::infinity()}) {
+        double back = decodeDouble(encodeDouble(v));
+        EXPECT_EQ(std::memcmp(&v, &back, sizeof v), 0)
+            << "double " << v << " did not round-trip bit-exactly";
+    }
+}
+
+TEST(JournalCodec, RunMetricsRoundTripsBitExactly)
+{
+    RunMetrics m;
+    m.benchmark = "mcf";
+    m.kind = SchemeKind::Cppc;
+    m.core.instructions = 123456789;
+    m.core.cycles = 987654321;
+    m.core.loads = 1;
+    m.core.stores = 2;
+    m.core.load_stall_cycles = 3;
+    m.core.port_conflict_cycles = 4;
+    m.core.lsq_stall_cycles = 5;
+    m.core.fetch_stall_cycles = 6;
+    m.l1_energy.demand_pj = 1.0 / 7.0;
+    m.l1_energy.rbw_word_pj = 2.0 / 7.0;
+    m.l1_energy.rbw_line_pj = 3.0 / 7.0;
+    m.l1_energy.demand_ops = 7;
+    m.l1_energy.rbw_word_ops = 8;
+    m.l1_energy.rbw_line_ops = 9;
+    m.l2_energy.demand_pj = 4.0 / 7.0;
+    m.l2_energy.demand_ops = 10;
+    m.l1_miss_rate = 0.1234567890123456789;
+    m.l2_miss_rate = 1e-300;
+    m.stats_dump = "l1d.hits 42\nl1d.misses 7\n";
+    m.l1_dirty_fraction = 0.16;
+    m.l1_tavg_cycles = 1828.0;
+    m.l2_dirty_fraction = 0.35;
+    m.l2_tavg_cycles = 378997.0;
+
+    std::string payload = encodeRunMetrics(m);
+    // Journal payloads must be single whitespace-free tokens.
+    EXPECT_EQ(payload.find(' '), std::string::npos);
+    EXPECT_EQ(payload.find('\n'), std::string::npos);
+
+    RunMetrics back = decodeRunMetrics(payload);
+    EXPECT_TRUE(metricsIdentical(m, back));
+    EXPECT_EQ(back.stats_dump, m.stats_dump);
+}
+
+TEST(JournalCodec, CampaignResultRoundTrips)
+{
+    CampaignResult r;
+    r.injections = 10000;
+    r.benign = 12;
+    r.corrected = 9900;
+    r.due = 80;
+    r.sdc = 8;
+    CampaignResult back = decodeCampaignResult(encodeCampaignResult(r));
+    EXPECT_EQ(back.injections, r.injections);
+    EXPECT_EQ(back.benign, r.benign);
+    EXPECT_EQ(back.corrected, r.corrected);
+    EXPECT_EQ(back.due, r.due);
+    EXPECT_EQ(back.sdc, r.sdc);
+}
+
+TEST(JournalCodec, FuzzBatchRoundTrips)
+{
+    FuzzBatchResult r;
+    r.seeds = 8;
+    r.failures = 2;
+    r.checks = 1600;
+    r.strikes = 90;
+    r.corrected = 70;
+    r.refetched = 15;
+    r.dues = 5;
+    r.first_fail_seed = 1003;
+    r.first_violation = "strike on row 3 resolved silently\n(detail)";
+    FuzzBatchResult back = decodeFuzzBatch(encodeFuzzBatch(r));
+    EXPECT_TRUE(fuzzBatchesIdentical(r, back));
+}
+
+TEST(JournalCodec, WrongFieldCountIsFatal)
+{
+    EXPECT_THROW(decodeCampaignResult("1,2,3"), FatalError);
+    EXPECT_THROW(decodeRunMetrics("deadbeef"), FatalError);
+    EXPECT_THROW(decodeFuzzBatch("1,2"), FatalError);
+}
+
+} // namespace
+} // namespace cppc

@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Checkpoint/resume determinism tests for the three crash-safe
+ * front-ends.  Each test runs the harness to completion once, rewrites
+ * the journal keeping only the first K cell records (the line-per-cell
+ * format makes truncation at line granularity exactly what a SIGKILL
+ * between appends leaves behind), resumes, and asserts the merged
+ * result is bit-identical to an uninterrupted serial reference.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "cppc/cppc_scheme.hh"
+#include "fault/campaign.hh"
+#include "harness/runners.hh"
+#include "sim/sweep.hh"
+#include "test_helpers.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace cppc {
+namespace {
+
+using test::Harness;
+using test::smallGeometry;
+
+class TempFile
+{
+  public:
+    explicit TempFile(const std::string &tag)
+        : path_(testing::TempDir() + "cppc_resume_" + tag + "_" +
+                std::to_string(::getpid()))
+    {
+        std::remove(path_.c_str());
+    }
+    ~TempFile() { std::remove(path_.c_str()); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/**
+ * Simulate a kill between journal appends: keep the header, the config
+ * line, and the first @p keep_cells cell records; drop the rest.
+ */
+void
+truncateJournal(const std::string &path, size_t keep_cells)
+{
+    std::ifstream is(path);
+    ASSERT_TRUE(is.good()) << "journal missing: " << path;
+    std::ostringstream kept;
+    std::string line;
+    size_t cells = 0;
+    while (std::getline(is, line)) {
+        bool is_cell = line.rfind("cell ", 0) == 0;
+        if (is_cell && cells >= keep_cells)
+            continue;
+        kept << line << "\n";
+        if (is_cell)
+            ++cells;
+    }
+    is.close();
+    ASSERT_GE(cells, keep_cells) << "journal had fewer cells than K";
+    std::ofstream os(path, std::ios::trunc);
+    os << kept.str();
+}
+
+size_t
+countCellLines(const std::string &path)
+{
+    std::ifstream is(path);
+    std::string line;
+    size_t n = 0;
+    while (std::getline(is, line))
+        if (line.rfind("cell ", 0) == 0)
+            ++n;
+    return n;
+}
+
+HarnessOptions
+journaledOptions(const std::string &path, bool resume)
+{
+    HarnessOptions h;
+    h.journal_path = path;
+    h.resume = resume;
+    h.jobs = 2;
+    h.use_stop_token = false;
+    return h;
+}
+
+// ---------------------------------------------------------------- sweep
+
+std::vector<BenchmarkProfile>
+smallProfiles()
+{
+    const auto &all = spec2000Profiles();
+    return {all[0], all[1]};
+}
+
+TEST(HarnessResume, SweepResumeMatchesSerialReference)
+{
+    TempFile tmp("sweep");
+    std::vector<BenchmarkProfile> profiles = smallProfiles();
+    std::vector<SchemeKind> kinds = {SchemeKind::Parity1D,
+                                     SchemeKind::Cppc};
+    ExperimentOptions base;
+    base.instructions = 30'000;
+
+    // Full journaled run, then "kill" it after 2 of the 4 cells.
+    {
+        SweepHarnessResult full = runSweepHarness(
+            profiles, kinds, base, journaledOptions(tmp.path(), false));
+        ASSERT_TRUE(full.report.complete());
+        ASSERT_EQ(countCellLines(tmp.path()), 4u);
+    }
+    truncateJournal(tmp.path(), 2);
+
+    SweepHarnessResult resumed = runSweepHarness(
+        profiles, kinds, base, journaledOptions(tmp.path(), true));
+    ASSERT_TRUE(resumed.report.complete());
+    // ok counts every good cell; resumed_ok is the subset replayed
+    // from the journal rather than re-executed.
+    EXPECT_EQ(resumed.report.ok, 4u);
+    EXPECT_EQ(resumed.report.resumed_ok, 2u);
+
+    // The merged grid — half decoded from the journal, half re-run —
+    // is bit-identical to an uninterrupted serial sweep.
+    SweepGrid reference = runSweepSerial(profiles, kinds, base);
+    EXPECT_TRUE(gridsIdentical(resumed.grid, reference));
+}
+
+TEST(HarnessResume, SweepJournalPayloadDecodesToOriginalMetrics)
+{
+    TempFile tmp("sweeproundtrip");
+    std::vector<BenchmarkProfile> profiles = {spec2000Profiles()[0]};
+    std::vector<SchemeKind> kinds = {SchemeKind::Cppc};
+    ExperimentOptions base;
+    base.instructions = 30'000;
+
+    SweepHarnessResult first = runSweepHarness(
+        profiles, kinds, base, journaledOptions(tmp.path(), false));
+    ASSERT_TRUE(first.report.complete());
+
+    // A resume with nothing left to do yields the same grid, entirely
+    // from the journal, without executing a single instruction.
+    SweepHarnessResult again = runSweepHarness(
+        profiles, kinds, base, journaledOptions(tmp.path(), true));
+    ASSERT_TRUE(again.report.complete());
+    EXPECT_EQ(again.report.resumed_ok, 1u);
+    EXPECT_EQ(again.report.ok, 1u);
+    EXPECT_TRUE(gridsIdentical(again.grid, first.grid));
+}
+
+// ------------------------------------------------------------- campaign
+
+void
+populate(Harness &h, double dirty_fraction = 0.5, uint64_t seed = 3)
+{
+    Rng rng(seed);
+    const CacheGeometry &g = h.cache->geometry();
+    for (Addr a = 0; a < g.size_bytes; a += 8) {
+        if (rng.chance(dirty_fraction)) {
+            uint64_t v = rng.next();
+            uint8_t buf[8];
+            std::memcpy(buf, &v, 8);
+            h.cache->store(a, 8, buf);
+        } else {
+            h.cache->load(a, 8, nullptr);
+        }
+    }
+}
+
+/** A factory-built campaign target wrapping the usual test harness. */
+struct TestHost : CampaignHost
+{
+    Harness h;
+    TestHost() : h(smallGeometry(), std::make_unique<CppcScheme>())
+    {
+        populate(h);
+    }
+    WriteBackCache &cache() override { return *h.cache; }
+};
+
+CampaignHostFactory
+testFactory()
+{
+    return [] { return std::make_unique<TestHost>(); };
+}
+
+TEST(HarnessResume, CampaignResumeMatchesSerialReference)
+{
+    TempFile tmp("campaign");
+    Campaign::Config cc;
+    cc.injections = 1200; // 3 shards of kCampaignShardStrikes = 512
+    cc.seed = 23;
+    cc.shapes = StrikeShapeDistribution::scaledTechnologyMix(0.5);
+
+    {
+        CampaignHarnessResult full = runCampaignHarness(
+            testFactory(), cc, "test-host",
+            journaledOptions(tmp.path(), false));
+        ASSERT_TRUE(full.report.complete());
+        ASSERT_EQ(countCellLines(tmp.path()), 3u);
+    }
+    truncateJournal(tmp.path(), 1);
+
+    CampaignHarnessResult resumed = runCampaignHarness(
+        testFactory(), cc, "test-host",
+        journaledOptions(tmp.path(), true));
+    ASSERT_TRUE(resumed.report.complete());
+    EXPECT_EQ(resumed.report.resumed_ok, 1u);
+
+    // Serial reference on a freshly built identical host.
+    TestHost ref;
+    CampaignResult serial = Campaign(ref.cache(), cc).run();
+    EXPECT_EQ(resumed.total.injections, serial.injections);
+    EXPECT_EQ(resumed.total.benign, serial.benign);
+    EXPECT_EQ(resumed.total.corrected, serial.corrected);
+    EXPECT_EQ(resumed.total.due, serial.due);
+    EXPECT_EQ(resumed.total.sdc, serial.sdc);
+}
+
+TEST(HarnessResume, CampaignResumeRejectsDifferentStrikeSequence)
+{
+    TempFile tmp("campaignseed");
+    Campaign::Config cc;
+    cc.injections = 600;
+    cc.seed = 23;
+
+    {
+        CampaignHarnessResult full = runCampaignHarness(
+            testFactory(), cc, "test-host",
+            journaledOptions(tmp.path(), false));
+        ASSERT_TRUE(full.report.complete());
+    }
+
+    // A different seed draws a different strike sequence; its hash no
+    // longer matches the journal's config line, so blending the two
+    // grids is refused loudly rather than silently mixed.
+    cc.seed = 24;
+    EXPECT_THROW(runCampaignHarness(testFactory(), cc, "test-host",
+                                    journaledOptions(tmp.path(), true)),
+                 FatalError);
+}
+
+// ----------------------------------------------------------------- fuzz
+
+std::vector<FuzzSchemeSpec>
+twoSchemes()
+{
+    const auto &all = conformanceSchemes();
+    std::vector<FuzzSchemeSpec> out;
+    for (const auto &s : all)
+        if (s.name == "parity1d" || s.name == "cppc")
+            out.push_back(s);
+    EXPECT_EQ(out.size(), 2u);
+    return out;
+}
+
+TEST(HarnessResume, FuzzResumeMatchesUninterruptedRun)
+{
+    const uint64_t base_seed = 9000;
+    const uint64_t n_seeds = 20; // 3 batches of kFuzzBatchSeeds = 8
+    const unsigned n_ops = 60;
+    std::vector<FuzzSchemeSpec> specs = twoSchemes();
+
+    // Uninterrupted reference (no journal at all).
+    HarnessOptions plain;
+    plain.jobs = 2;
+    plain.use_stop_token = false;
+    FuzzHarnessResult reference = runFuzzHarness(
+        specs, /*run_tag=*/true, base_seed, n_seeds, n_ops, plain);
+    ASSERT_TRUE(reference.report.complete());
+
+    // Journaled run killed after 4 of the 9 batches (2 schemes x 3
+    // batches + tagcppc x 3), then resumed.
+    TempFile tmp("fuzz");
+    {
+        FuzzHarnessResult full =
+            runFuzzHarness(specs, true, base_seed, n_seeds, n_ops,
+                           journaledOptions(tmp.path(), false));
+        ASSERT_TRUE(full.report.complete());
+        ASSERT_EQ(countCellLines(tmp.path()), 9u);
+    }
+    truncateJournal(tmp.path(), 4);
+
+    FuzzHarnessResult resumed =
+        runFuzzHarness(specs, true, base_seed, n_seeds, n_ops,
+                       journaledOptions(tmp.path(), true));
+    ASSERT_TRUE(resumed.report.complete());
+    EXPECT_EQ(resumed.report.resumed_ok, 4u);
+
+    // Identical per-scheme aggregates, including the tag pseudo-scheme,
+    // regardless of which batches came from the journal.
+    ASSERT_EQ(resumed.per_scheme.size(), reference.per_scheme.size());
+    for (size_t i = 0; i < resumed.per_scheme.size(); ++i) {
+        EXPECT_EQ(resumed.per_scheme[i].first,
+                  reference.per_scheme[i].first);
+        EXPECT_TRUE(fuzzBatchesIdentical(resumed.per_scheme[i].second,
+                                         reference.per_scheme[i].second))
+            << "scheme " << resumed.per_scheme[i].first;
+    }
+    EXPECT_EQ(resumed.failures(), reference.failures());
+}
+
+TEST(HarnessResume, FuzzConfigBindsEverySweepParameter)
+{
+    std::vector<FuzzSchemeSpec> specs = twoSchemes();
+    std::string a = fuzzConfigString(specs, true, 9000, 20, 60);
+    // Any parameter change must change the config string, or a resume
+    // could blend incompatible grids.
+    EXPECT_NE(a, fuzzConfigString(specs, false, 9000, 20, 60));
+    EXPECT_NE(a, fuzzConfigString(specs, true, 9001, 20, 60));
+    EXPECT_NE(a, fuzzConfigString(specs, true, 9000, 28, 60));
+    EXPECT_NE(a, fuzzConfigString(specs, true, 9000, 20, 61));
+    std::vector<FuzzSchemeSpec> one = {specs[0]};
+    EXPECT_NE(a, fuzzConfigString(one, true, 9000, 20, 60));
+}
+
+} // namespace
+} // namespace cppc

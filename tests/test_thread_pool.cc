@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "util/logging.hh"
@@ -155,6 +156,93 @@ TEST(ThreadPool, DefaultWorkerCountRejectsMalformedEnv)
     EXPECT_THROW(ThreadPool::defaultWorkerCount(), FatalError);
     setenv("CPPC_BENCH_JOBS", "1024", 1);
     EXPECT_THROW(ThreadPool::defaultWorkerCount(), FatalError);
+}
+
+TEST(ThreadPool, DetachedRunTasksExecute)
+{
+    std::atomic<int> ran{0};
+    ThreadPool pool(3);
+    for (int i = 0; i < 64; ++i)
+        pool.run([&ran] { ++ran; });
+    pool.drain();
+    EXPECT_EQ(ran.load(), 64);
+}
+
+// Regression: an exception escaping a detached run() task used to
+// propagate out of the worker thread (std::terminate, tearing down the
+// whole process).  Now the first exception is latched and rethrown at
+// the drain() join point, and the pool stays usable afterwards.
+TEST(ThreadPool, DetachedExceptionRethrownAtDrain)
+{
+    ThreadPool pool(2);
+    pool.run([] { throw std::runtime_error("detached failure"); });
+    try {
+        pool.drain();
+        FAIL() << "expected runtime_error from drain()";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "detached failure");
+    }
+    // The error was collected: the next drain() is clean and the pool
+    // still runs work.
+    std::atomic<int> ran{0};
+    pool.run([&ran] { ++ran; });
+    EXPECT_NO_THROW(pool.drain());
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, DetachedExceptionCancelsQueuedWork)
+{
+    std::atomic<int> ran{0};
+    ThreadPool pool(1); // single worker: everything queues behind it
+    pool.run([] { throw std::runtime_error("first failure"); });
+    for (int i = 0; i < 100; ++i)
+        pool.run([&ran] { ++ran; });
+    EXPECT_THROW(pool.drain(), std::runtime_error);
+    // The failing task cancelled the work queued behind it; at most
+    // the task already dequeued before the cancel ran.
+    EXPECT_LE(ran.load(), 1);
+}
+
+TEST(ThreadPool, FirstDetachedExceptionWins)
+{
+    ThreadPool pool(1);
+    pool.run([] { throw std::runtime_error("first"); });
+    pool.run([] { throw std::runtime_error("second"); });
+    try {
+        pool.drain();
+        FAIL() << "expected runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "first");
+    }
+}
+
+TEST(ThreadPool, CancelPendingDropsQueuedSubmits)
+{
+    std::atomic<bool> started{false};
+    std::atomic<bool> release{false};
+    std::atomic<int> ran{0};
+    ThreadPool pool(1);
+    auto blocker = pool.submit([&started, &release] {
+        started.store(true);
+        while (!release.load())
+            std::this_thread::yield();
+    });
+    // Wait for the worker to dequeue the blocker, so cancelPending()
+    // below can only ever see the tasks queued behind it.
+    while (!started.load())
+        std::this_thread::yield();
+    std::vector<std::future<void>> queued;
+    for (int i = 0; i < 20; ++i)
+        queued.push_back(pool.submit([&ran] { ++ran; }));
+    pool.cancelPending();
+    release.store(true);
+    blocker.get();
+    pool.drain();
+    EXPECT_EQ(ran.load(), 0);
+    // A dropped submit() future reports broken_promise rather than
+    // hanging its consumer.
+    for (auto &f : queued)
+        EXPECT_THROW(f.get(), std::future_error);
 }
 
 TEST(ThreadPool, ZeroWorkersMeansDefault)

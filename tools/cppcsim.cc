@@ -8,6 +8,8 @@
  *             --trace=FILE) through the Table 1 hierarchy under a
  *             protection scheme and report CPI, cache, energy and
  *             dirty-residency metrics
+ *   sweep     crash-safe (benchmark x scheme) grid of run cells with
+ *             checkpoint/resume, per-cell watchdogs and retries
  *   record    write a synthetic benchmark's reference stream to a
  *             trace file for external analysis or exact replay
  *   campaign  fault-injection campaign against a populated L1
@@ -17,9 +19,22 @@
  *   mttf      print the analytical MTTF table for given parameters
  *   list      show available benchmarks and schemes
  *
+ * The sweep, campaign and fuzz fan-outs share the crash-safety flags:
+ *
+ *   --journal=FILE       checkpoint every completed cell durably
+ *   --resume=FILE        skip cells the journal already records as ok
+ *   --cell-timeout=SECS  watchdog deadline per cell attempt
+ *   --retries=N          retry failed/timed-out cells with backoff
+ *
+ * Exit codes: 0 complete, 1 error, 2 usage, 3 partial-but-resumable
+ * (some cells failed, timed out or were skipped after Ctrl-C; rerun
+ * with --resume=<journal> to finish).
+ *
  * Examples:
  *   cppcsim run --benchmark=mcf --scheme=cppc --instructions=2000000
  *   cppcsim run --benchmark=gcc --scheme=cppc --pairs=2 --domains=2
+ *   cppcsim sweep --benchmarks=gzip,mcf --schemes=all --jobs=4 \
+ *       --journal=sweep.journal --out=sweep.csv
  *   cppcsim campaign --scheme=secded --injections=20000 --multibit=0.5
  *   cppcsim fuzz --scheme=all --seeds=1000 --jobs=4
  *   cppcsim fuzz --scheme=sabotaged --seeds=8     # must fail + shrink
@@ -30,16 +45,19 @@
 #include <cstring>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
-
-#include <future>
 #include <vector>
 
 #include "energy/accountant.hh"
 #include "fault/campaign.hh"
-#include "trace/trace_io.hh"
+#include "harness/runners.hh"
+#include "harness/stop_token.hh"
 #include "reliability/mttf_model.hh"
 #include "sim/experiment.hh"
+#include "sim/sweep.hh"
+#include "trace/trace_io.hh"
+#include "util/atomic_file.hh"
 #include "util/logging.hh"
 #include "util/options.hh"
 #include "util/rng.hh"
@@ -55,12 +73,16 @@ int
 usage()
 {
     std::cerr <<
-        "usage: cppcsim <run|record|campaign|mttf|list> [options]\n"
+        "usage: cppcsim <run|sweep|record|campaign|fuzz|mttf|list>"
+        " [options]\n"
         "  run:      --benchmark=NAME --scheme=KIND"
         " [--instructions=N] [--seed=N]\n"
         "            [--pairs=N] [--domains=N] [--no-shift]"
         " [--paper-locator]\n"
         "            [--trace=FILE] [--stats] [--csv]\n"
+        "  sweep:    [--benchmarks=all|A,B,..] [--schemes=all|X,Y,..]\n"
+        "            [--instructions=N] [--seed=N] [--jobs=N]"
+        " [--out=FILE] [--csv]\n"
         "  record:   --benchmark=NAME --out=FILE [--instructions=N]"
         " [--seed=N]\n"
         "  campaign: --scheme=KIND [--injections=N] [--multibit=F]\n"
@@ -69,7 +91,12 @@ usage()
         "            [--seed=BASE] [--ops=N] [--jobs=N] [--csv]\n"
         "  mttf:     [--size-kb=N] [--dirty=F] [--tavg=CYCLES]"
         " [--fit=F] [--avf=F]\n"
-        "  list\n";
+        "  list\n"
+        "crash-safety (sweep, campaign, fuzz):\n"
+        "  --journal=FILE --resume=FILE --cell-timeout=SECS"
+        " --retries=N\n"
+        "exit codes: 0 complete, 1 error, 2 usage, 3 partial"
+        " (resume with --resume)\n";
     return 2;
 }
 
@@ -100,6 +127,62 @@ cppcConfigFrom(const Options &opt)
     return cfg;
 }
 
+/**
+ * The shared crash-safety flags.  --journal starts a fresh journal
+ * (refusing to clobber an existing one); --resume loads one and skips
+ * completed cells.  Both at once is contradictory — --resume already
+ * names the journal it keeps appending to.
+ */
+HarnessOptions
+harnessFrom(const Options &opt)
+{
+    HarnessOptions h;
+    std::string journal = opt.getString("journal");
+    std::string resume = opt.getString("resume");
+    if (!journal.empty() && !resume.empty())
+        fatal("--journal=%s and --resume=%s are mutually exclusive; "
+              "--resume keeps appending to the journal it names",
+              journal.c_str(), resume.c_str());
+    if (!resume.empty()) {
+        h.journal_path = resume;
+        h.resume = true;
+    } else {
+        h.journal_path = journal;
+    }
+    h.cell_timeout_s = opt.getDouble("cell-timeout", 0.0);
+    if (h.cell_timeout_s < 0.0)
+        fatal("--cell-timeout must be >= 0 (0 disables the watchdog)");
+    h.retries = static_cast<unsigned>(opt.getUint("retries", 0));
+    h.jobs = jobsFrom(opt, 1);
+    return h;
+}
+
+/** Print @p t as text or CSV, and --out=FILE it atomically as CSV. */
+void
+emitTable(const Options &opt, const TextTable &t)
+{
+    if (opt.getBool("csv", false))
+        t.printCsv(std::cout);
+    else
+        t.print(std::cout);
+    std::string out = opt.getString("out");
+    if (!out.empty()) {
+        std::ostringstream os;
+        t.printCsv(os);
+        atomicWriteFile(out, os.str());
+    }
+}
+
+/** Finish a harness-backed command: summary line + exit code. */
+int
+finishHarness(const HarnessReport &report, const std::string &tool,
+              int rc_when_complete)
+{
+    if (!report.complete() || report.stopped)
+        std::cerr << report.summary(tool) << "\n";
+    return report.complete() ? rc_when_complete : report.exitCode();
+}
+
 int
 cmdRecord(const Options &opt)
 {
@@ -110,10 +193,16 @@ cmdRecord(const Options &opt)
         fatal("record needs --out=FILE");
     uint64_t n = opt.getUint("instructions", 1'000'000);
     TraceGenerator gen(profile, opt.getUint("seed", 42));
-    TraceWriter writer(out);
-    for (uint64_t i = 0; i < n; ++i)
-        writer.write(gen.next());
-    writer.close();
+    // Record to a temp sibling and rename into place, so a killed or
+    // failed recording never leaves a half-written trace at --out.
+    std::string tmp = atomicTempPath(out);
+    {
+        TraceWriter writer(tmp);
+        for (uint64_t i = 0; i < n; ++i)
+            writer.write(gen.next());
+        writer.close();
+    }
+    atomicPublishFile(tmp, out);
     std::printf("wrote %llu records of %s to %s\n",
                 (unsigned long long)n, profile.name.c_str(),
                 out.c_str());
@@ -178,13 +267,75 @@ cmdRun(const Options &opt)
     t.row().add("L1 Tavg (cycles)").add(m.l1_tavg_cycles, 0);
     t.row().add("L2 dirty fraction").add(m.l2_dirty_fraction, 4);
     t.row().add("L2 Tavg (cycles)").add(m.l2_tavg_cycles, 0);
-    if (opt.getBool("csv", false))
-        t.printCsv(std::cout);
-    else
-        t.print(std::cout);
+    emitTable(opt, t);
     if (!m.stats_dump.empty())
         std::cout << "\n" << m.stats_dump;
     return 0;
+}
+
+int
+cmdSweep(const Options &opt)
+{
+    std::vector<BenchmarkProfile> profiles;
+    std::string benchmarks = opt.getString("benchmarks", "all");
+    if (benchmarks == "all") {
+        profiles = spec2000Profiles();
+    } else {
+        std::istringstream is(benchmarks);
+        std::string name;
+        while (std::getline(is, name, ','))
+            profiles.push_back(profileByName(name));
+    }
+    if (profiles.empty())
+        fatal("--benchmarks selected nothing");
+
+    std::vector<SchemeKind> kinds;
+    std::string schemes = opt.getString("schemes", "all");
+    if (schemes == "all") {
+        kinds.assign(std::begin(kAllSchemes), std::end(kAllSchemes));
+    } else {
+        std::istringstream is(schemes);
+        std::string name;
+        while (std::getline(is, name, ','))
+            kinds.push_back(parseSchemeKind(name));
+    }
+    if (kinds.empty())
+        fatal("--schemes selected nothing");
+
+    ExperimentOptions eopts;
+    eopts.instructions = opt.getUint("instructions", 2'000'000);
+    eopts.seed = opt.getUint("seed", 42);
+    eopts.profile_dirty = true;
+    eopts.cppc_cfg = cppcConfigFrom(opt);
+
+    installStopSignalHandlers();
+    SweepHarnessResult res =
+        runSweepHarness(profiles, kinds, eopts, harnessFrom(opt));
+
+    TextTable t({"benchmark", "scheme", "status", "attempts", "CPI",
+                 "L1 miss", "L2 miss", "L1 pJ", "L2 pJ"});
+    for (const UnitResult &r : res.report.results) {
+        size_t colon = r.key.rfind(':');
+        std::string bench = r.key.substr(0, colon);
+        std::string scheme = r.key.substr(colon + 1);
+        auto &row = t.row().add(bench).add(scheme);
+        row.add(std::string(cellStatusName(r.status)))
+            .add(uint64_t(r.attempts));
+        if (r.status == CellStatus::Ok) {
+            const RunMetrics &m =
+                res.grid.at(bench).at(parseSchemeKind(scheme));
+            row.add(m.core.cpi(), 4)
+                .add(m.l1_miss_rate, 4)
+                .add(m.l2_miss_rate, 4)
+                .add(m.l1_energy.total(), 0)
+                .add(m.l2_energy.total(), 0);
+        } else {
+            for (int i = 0; i < 5; ++i)
+                row.add(std::string("-"));
+        }
+    }
+    emitTable(opt, t);
+    return finishHarness(res.report, "sweep", 0);
 }
 
 /**
@@ -249,14 +400,22 @@ cmdCampaign(const Options &opt)
     cc.physical_interleave =
         static_cast<unsigned>(opt.getUint("interleave", 1));
 
-    // The parallel front-end is bit-identical to the serial campaign.
-    unsigned jobs = jobsFrom(opt, 1);
-    CampaignResult r = runCampaignParallel(
+    std::string target = strfmt(
+        "scheme=%s,dirty=%g,populate-seed=%llu,pairs=%u,domains=%u,"
+        "shift=%d,multibit=%g",
+        schemeKindName(kind).c_str(), dirty,
+        static_cast<unsigned long long>(seed),
+        cppc_cfg.pairs_per_domain, cppc_cfg.num_domains,
+        cppc_cfg.byte_shifting ? 1 : 0, multibit);
+
+    installStopSignalHandlers();
+    CampaignHarnessResult res = runCampaignHarness(
         [&]() -> std::unique_ptr<CampaignHost> {
             return std::make_unique<CampaignTarget>(kind, cppc_cfg,
                                                     dirty, seed);
         },
-        cc, jobs);
+        cc, target, harnessFrom(opt));
+    const CampaignResult &r = res.total;
 
     TextTable t({"outcome", "count", "rate"});
     t.row().add("benign").add(r.benign).add(r.rate(r.benign), 4);
@@ -264,11 +423,8 @@ cmdCampaign(const Options &opt)
     t.row().add("due").add(r.due).add(r.rate(r.due), 4);
     t.row().add("sdc").add(r.sdc).add(r.rate(r.sdc), 4);
     t.row().add("coverage").add(std::string("-")).add(r.coverage(), 4);
-    if (opt.getBool("csv", false))
-        t.printCsv(std::cout);
-    else
-        t.print(std::cout);
-    return 0;
+    emitTable(opt, t);
+    return finishHarness(res.report, "campaign", 0);
 }
 
 /** Print a shrunk failure with its replay recipe; returns 1. */
@@ -296,7 +452,6 @@ cmdFuzz(const Options &opt)
         fatal("--seeds must be >= 1 (a 0-seed fuzz checks nothing)");
     uint64_t base_seed = opt.getUint("seed", 1);
     unsigned n_ops = static_cast<unsigned>(opt.getUint("ops", 200));
-    unsigned jobs = jobsFrom(opt, 1);
 
     std::vector<FuzzSchemeSpec> specs;
     bool run_tag = false;
@@ -316,94 +471,54 @@ cmdFuzz(const Options &opt)
         specs.push_back(*spec);
     }
 
-    ThreadPool pool(jobs);
+    installStopSignalHandlers();
+    FuzzHarnessResult res = runFuzzHarness(
+        specs, run_tag, base_seed, n_seeds, n_ops, harnessFrom(opt));
+
     TextTable t({"scheme", "seeds", "strikes", "corrected", "refetched",
                  "dues", "checks", "result"});
     int rc = 0;
-
-    for (const FuzzSchemeSpec &spec : specs) {
-        std::vector<std::future<FuzzOneResult>> futs;
-        futs.reserve(n_seeds);
-        for (uint64_t s = 0; s < n_seeds; ++s) {
-            uint64_t seed = base_seed + s;
-            futs.push_back(pool.submit([&spec, seed, n_ops] {
-                return fuzzOne(spec, seed, n_ops);
-            }));
-        }
-        uint64_t strikes = 0, corrected = 0, refetched = 0, dues = 0;
-        uint64_t checks = 0, failures = 0;
-        for (uint64_t s = 0; s < n_seeds; ++s) {
-            FuzzOneResult fr = futs[s].get();
-            strikes += fr.replay.strikes;
-            corrected += fr.replay.corrected;
-            refetched += fr.replay.refetched;
-            dues += fr.replay.dues;
-            checks += fr.replay.checks;
-            if (fr.failed()) {
-                ++failures;
-                if (rc == 0)
-                    rc = reportFuzzFailure(spec.name, base_seed + s,
-                                           n_ops, fr);
-            }
-        }
+    for (const auto &kv : res.per_scheme) {
+        const std::string &scheme = kv.first;
+        const FuzzBatchResult &agg = kv.second;
         t.row()
-            .add(spec.name)
-            .add(n_seeds)
-            .add(strikes)
-            .add(corrected)
-            .add(refetched)
-            .add(dues)
-            .add(checks)
-            .add(failures ? strfmt("FAIL (%llu)",
-                                   (unsigned long long)failures)
-                          : std::string("ok"));
-    }
-
-    if (run_tag) {
-        std::vector<std::future<TagFuzzResult>> futs;
-        futs.reserve(n_seeds);
-        for (uint64_t s = 0; s < n_seeds; ++s) {
-            uint64_t seed = base_seed + s;
-            futs.push_back(pool.submit(
-                [seed, n_ops] { return fuzzTagCppc(seed, n_ops); }));
-        }
-        uint64_t strikes = 0, corrected = 0, dues = 0, failures = 0;
-        for (uint64_t s = 0; s < n_seeds; ++s) {
-            TagFuzzResult tr = futs[s].get();
-            strikes += tr.strikes;
-            corrected += tr.corrected;
-            dues += tr.dues;
-            if (!tr.ok) {
-                ++failures;
-                if (rc == 0) {
-                    std::cerr << "fuzz FAILED: scheme tagcppc, seed "
-                              << (base_seed + s) << "\n  "
-                              << tr.violation << "\nreplay with:\n"
-                              << "  cppcsim fuzz --scheme=tagcppc"
-                              << " --seed=" << (base_seed + s)
-                              << " --seeds=1 --ops=" << n_ops << "\n";
-                    rc = 1;
+            .add(scheme)
+            .add(agg.seeds)
+            .add(agg.strikes)
+            .add(agg.corrected)
+            .add(agg.refetched)
+            .add(agg.dues)
+            .add(agg.checks)
+            .add(agg.failures
+                     ? strfmt("FAIL (%llu)",
+                              (unsigned long long)agg.failures)
+                     : std::string("ok"));
+        if (agg.failures && rc == 0) {
+            // Re-derive the shrunken reproducer for the lowest failing
+            // seed (batches keep only the violation text).
+            if (scheme == "tagcppc") {
+                std::cerr << "fuzz FAILED: scheme tagcppc, seed "
+                          << agg.first_fail_seed << "\n  "
+                          << agg.first_violation << "\nreplay with:\n"
+                          << "  cppcsim fuzz --scheme=tagcppc"
+                          << " --seed=" << agg.first_fail_seed
+                          << " --seeds=1 --ops=" << n_ops << "\n";
+                rc = 1;
+            } else {
+                for (const FuzzSchemeSpec &spec : specs) {
+                    if (spec.name != scheme)
+                        continue;
+                    FuzzOneResult fr =
+                        fuzzOne(spec, agg.first_fail_seed, n_ops);
+                    rc = reportFuzzFailure(scheme, agg.first_fail_seed,
+                                           n_ops, fr);
+                    break;
                 }
             }
         }
-        t.row()
-            .add(std::string("tagcppc"))
-            .add(n_seeds)
-            .add(strikes)
-            .add(corrected)
-            .add(uint64_t(0))
-            .add(dues)
-            .add(uint64_t(0))
-            .add(failures ? strfmt("FAIL (%llu)",
-                                   (unsigned long long)failures)
-                          : std::string("ok"));
     }
-
-    if (opt.getBool("csv", false))
-        t.printCsv(std::cout);
-    else
-        t.print(std::cout);
-    return rc;
+    emitTable(opt, t);
+    return finishHarness(res.report, "fuzz", rc);
 }
 
 int
@@ -429,10 +544,7 @@ cmdMttf(const Options &opt)
         model.secdedMttfYears(bits, dirty, 64, tavg));
     t.row().add("cppc aliasing (Sec 4.7)").addSci(
         model.aliasingMttfYears(bits, dirty, 7, tavg));
-    if (opt.getBool("csv", false))
-        t.printCsv(std::cout);
-    else
-        t.print(std::cout);
+    emitTable(opt, t);
     return 0;
 }
 
@@ -456,15 +568,18 @@ main(int argc, char **argv)
         return usage();
     std::string cmd = argv[1];
 
-    Options opt({"benchmark", "scheme", "instructions", "seed", "pairs",
-                 "domains", "no-shift", "paper-locator", "csv",
-                 "injections", "multibit", "interleave", "dirty",
-                 "size-kb", "tavg", "fit", "avf", "stats", "trace",
-                 "out", "jobs", "seeds", "ops"});
+    Options opt({"benchmark", "benchmarks", "scheme", "schemes",
+                 "instructions", "seed", "pairs", "domains", "no-shift",
+                 "paper-locator", "csv", "injections", "multibit",
+                 "interleave", "dirty", "size-kb", "tavg", "fit", "avf",
+                 "stats", "trace", "out", "jobs", "seeds", "ops",
+                 "journal", "resume", "cell-timeout", "retries"});
     try {
         opt.parse(argc - 1, argv + 1);
         if (cmd == "run")
             return cmdRun(opt);
+        if (cmd == "sweep")
+            return cmdSweep(opt);
         if (cmd == "record")
             return cmdRecord(opt);
         if (cmd == "campaign")
