@@ -100,7 +100,10 @@ main(int argc, char **argv)
        << "}\n";
     // Durable + atomic: a crashed or killed bench run never leaves a
     // torn BENCH_sweep.json for the trend tooling to choke on.
-    atomicWriteFile(json_path, os.str());
+    if (!atomicWriteFile(json_path, os.str())) {
+        std::cerr << "cannot write " << json_path << "\n";
+        return 1;
+    }
     std::cout << "wrote " << json_path << "\n";
 
     // Speedup is hardware-dependent (a 1-core CI box shows ~1x), so

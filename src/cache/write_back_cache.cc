@@ -153,6 +153,7 @@ WriteBackCache::ensureLine(Addr addr, AccessOutcome &out)
     return victim;
 }
 
+// cppc-lint: hot
 AccessOutcome
 WriteBackCache::access(Addr addr, unsigned size, uint8_t *read_out,
                        const uint8_t *write_in)
@@ -244,6 +245,7 @@ WriteBackCache::access(Addr addr, unsigned size, uint8_t *read_out,
     return out;
 }
 
+// cppc-lint: hot
 AccessOutcome
 WriteBackCache::load(Addr addr, unsigned size, uint8_t *out)
 {

@@ -14,6 +14,7 @@ FaultInjector::apply(const Strike &strike)
     return rows;
 }
 
+// cppc-lint: hot
 void
 FaultInjector::apply(const Strike &strike, std::vector<Row> &rows_out)
 {
@@ -24,6 +25,7 @@ FaultInjector::apply(const Strike &strike, std::vector<Row> &rows_out)
         if (!cache_->rowValid(fb.row))
             continue;
         cache_->corruptBit(fb.row, fb.bit);
+        // cppc-lint: allow(H1): appends into caller-retained capacity
         rows_out.push_back(fb.row);
     }
     std::sort(rows_out.begin(), rows_out.end());
@@ -58,6 +60,7 @@ Campaign::restoreRows(const std::vector<WideWord> &golden)
             cache_->pokeRowData(r, golden[r]);
 }
 
+// cppc-lint: hot
 InjectionOutcome
 Campaign::runOne(const Strike &strike)
 {

@@ -208,8 +208,9 @@ Journal::Journal(std::string path, std::string kind, std::string config,
         for (const std::string &l : valid_lines)
             contents_ += l + "\n";
         // Normalize the on-disk image (drops the torn tail durably).
-        if (tail_dropped)
-            atomicWriteFile(path_, contents_);
+        if (tail_dropped && !atomicWriteFile(path_, contents_))
+            fatal("cannot rewrite journal %s to drop its torn tail",
+                  path_.c_str());
         return;
     }
 
@@ -217,7 +218,8 @@ Journal::Journal(std::string path, std::string kind, std::string config,
     // persist the header immediately, so a kill before the first cell
     // completes still leaves a valid, resumable journal.
     contents_ = header + "\n" + config_line + "\n";
-    atomicWriteFile(path_, contents_);
+    if (!atomicWriteFile(path_, contents_))
+        fatal("cannot create journal %s", path_.c_str());
 }
 
 std::string
@@ -237,13 +239,21 @@ Journal::formatRecord(const JournalRecord &rec) const
         rec.payload.empty() ? "-" : rec.payload.c_str()));
 }
 
-void
+bool
 Journal::append(const JournalRecord &rec)
 {
     std::string line = formatRecord(rec);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
+    size_t before = contents_.size();
     contents_ += line + "\n";
-    atomicWriteFile(path_, contents_);
+    if (!atomicWriteFile(path_, contents_)) {
+        // Disk and memory must keep describing the same image: roll
+        // the line back so a later successful append cannot publish a
+        // record that was never durably acknowledged to our caller.
+        contents_.resize(before);
+        return false;
+    }
+    return true;
 }
 
 } // namespace cppc

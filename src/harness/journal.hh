@@ -30,9 +30,10 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/thread_annotations.hh"
 
 namespace cppc {
 
@@ -92,8 +93,17 @@ class Journal
         return resumed_;
     }
 
-    /** Durably append one record (temp + fsync + atomic rename). */
-    void append(const JournalRecord &rec);
+    /**
+     * Durably append one record (temp + fsync + atomic rename).
+     *
+     * @return true once the record is on disk.  On an I/O failure the
+     * in-memory image is rolled back (so a later successful append
+     * does not resurrect the lost line), a warn() names the cause, and
+     * false is returned — the caller decides whether a run that can no
+     * longer checkpoint should abort (the RunController's choice) or
+     * continue unjournaled.
+     */
+    [[nodiscard]] bool append(const JournalRecord &rec);
 
     const std::string &path() const { return path_; }
 
@@ -103,9 +113,9 @@ class Journal
     std::string path_;
     std::string kind_;
     std::string config_;
-    std::string contents_; ///< full on-disk image
+    std::string contents_ CPPC_GUARDED_BY(mu_); ///< full on-disk image
     std::map<std::string, JournalRecord> resumed_;
-    std::mutex mu_;
+    Mutex mu_;
 };
 
 } // namespace cppc

@@ -4,12 +4,12 @@
 #include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "harness/stop_token.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
+#include "util/thread_annotations.hh"
 #include "util/thread_pool.hh"
 
 namespace cppc {
@@ -37,7 +37,7 @@ class Watchdog
         if (!enabled())
             return;
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            MutexLock lock(mu_);
             stopping_ = true;
         }
         cv_.notify_all();
@@ -51,7 +51,7 @@ class Watchdog
     {
         if (!enabled())
             return 0;
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         uint64_t id = ++next_id_;
         entries_[id] = {Clock::now() +
                             std::chrono::duration_cast<Clock::duration>(
@@ -65,7 +65,7 @@ class Watchdog
     {
         if (!enabled() || id == 0)
             return;
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         entries_.erase(id);
     }
 
@@ -79,7 +79,7 @@ class Watchdog
     void
     loop()
     {
-        std::unique_lock<std::mutex> lock(mu_);
+        UniqueMutexLock lock(mu_);
         while (!stopping_) {
             Clock::time_point now = Clock::now();
             for (auto &kv : entries_)
@@ -91,11 +91,11 @@ class Watchdog
     }
 
     double timeout_s_;
-    std::mutex mu_;
-    std::condition_variable cv_;
-    std::map<uint64_t, Entry> entries_;
-    uint64_t next_id_ = 0;
-    bool stopping_ = false;
+    Mutex mu_;
+    std::condition_variable_any cv_;
+    std::map<uint64_t, Entry> entries_ CPPC_GUARDED_BY(mu_);
+    uint64_t next_id_ CPPC_GUARDED_BY(mu_) = 0;
+    bool stopping_ CPPC_GUARDED_BY(mu_) = false;
     std::thread thread_;
 };
 
@@ -196,7 +196,7 @@ RunController::run(const std::vector<WorkUnit> &units)
     }
 
     Watchdog watchdog(opts_.cell_timeout_s);
-    std::mutex report_mu;
+    Mutex report_mu;
 
     {
         ThreadPool pool(opts_.jobs);
@@ -262,10 +262,19 @@ RunController::run(const std::vector<WorkUnit> &units)
                     rec.status = local.status;
                     rec.attempts = local.attempts;
                     rec.payload = local.payload;
-                    journal_ptr->append(rec);
+                    // A run that can no longer checkpoint must not keep
+                    // burning work it cannot bank: the fatal() latches
+                    // into the pool, cancels the queued units, and
+                    // rethrows at drain().
+                    if (!journal_ptr->append(rec))
+                        fatal("cannot checkpoint cell %s to journal %s; "
+                              "aborting the run (completed cells up to "
+                              "the last durable append are resumable)",
+                              local.key.c_str(),
+                              journal_ptr->path().c_str());
                 }
 
-                std::lock_guard<std::mutex> lock(report_mu);
+                MutexLock lock(report_mu);
                 *result = std::move(local);
             });
         }

@@ -8,6 +8,12 @@
  * and exits with the partial-result code plus a resume hint.  Nothing
  * here is experiment state: the flag only ever moves false -> true
  * during a run and is reset explicitly by tests.
+ *
+ * Thread-safety annotations: none, deliberately.  This module holds
+ * no mutex-guarded state — a single std::atomic<bool> is the whole
+ * synchronization story (it must stay async-signal-safe, so a lock
+ * can never appear here).  It still compiles under -Wthread-safety
+ * -Werror=thread-safety with the rest of src/harness.
  */
 
 #ifndef CPPC_HARNESS_STOP_TOKEN_HH

@@ -45,14 +45,16 @@ atomicTempPath(const std::string &path)
                   static_cast<long>(::getpid()));
 }
 
-void
+bool
 atomicWriteFile(const std::string &path, const std::string &contents)
 {
     const std::string tmp = atomicTempPath(path);
     int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-    if (fd < 0)
-        fatal("cannot create temp file %s: %s", tmp.c_str(),
-              std::strerror(errno));
+    if (fd < 0) {
+        warn("cannot create temp file %s: %s", tmp.c_str(),
+             std::strerror(errno));
+        return false;
+    }
 
     size_t off = 0;
     while (off < contents.size()) {
@@ -64,8 +66,9 @@ atomicWriteFile(const std::string &path, const std::string &contents)
             int err = errno;
             ::close(fd);
             ::unlink(tmp.c_str());
-            fatal("write to %s failed: %s", tmp.c_str(),
-                  std::strerror(err));
+            warn("write to %s failed: %s", tmp.c_str(),
+                 std::strerror(err));
+            return false;
         }
         off += static_cast<size_t>(n);
     }
@@ -73,43 +76,52 @@ atomicWriteFile(const std::string &path, const std::string &contents)
         int err = errno;
         ::close(fd);
         ::unlink(tmp.c_str());
-        fatal("fsync of %s failed: %s", tmp.c_str(), std::strerror(err));
+        warn("fsync of %s failed: %s", tmp.c_str(), std::strerror(err));
+        return false;
     }
     if (::close(fd) != 0) {
         int err = errno;
         ::unlink(tmp.c_str());
-        fatal("close of %s failed: %s", tmp.c_str(), std::strerror(err));
+        warn("close of %s failed: %s", tmp.c_str(), std::strerror(err));
+        return false;
     }
     if (::rename(tmp.c_str(), path.c_str()) != 0) {
         int err = errno;
         ::unlink(tmp.c_str());
-        fatal("rename %s -> %s failed: %s", tmp.c_str(), path.c_str(),
-              std::strerror(err));
+        warn("rename %s -> %s failed: %s", tmp.c_str(), path.c_str(),
+             std::strerror(err));
+        return false;
     }
     syncDir(dirOf(path));
+    return true;
 }
 
-void
+bool
 atomicPublishFile(const std::string &tmp_path, const std::string &path)
 {
     int fd = ::open(tmp_path.c_str(), O_RDONLY);
-    if (fd < 0)
-        fatal("cannot open %s for publishing: %s", tmp_path.c_str(),
-              std::strerror(errno));
+    if (fd < 0) {
+        warn("cannot open %s for publishing: %s", tmp_path.c_str(),
+             std::strerror(errno));
+        return false;
+    }
     if (::fsync(fd) != 0) {
         int err = errno;
         ::close(fd);
-        fatal("fsync of %s failed: %s", tmp_path.c_str(),
-              std::strerror(err));
+        warn("fsync of %s failed: %s", tmp_path.c_str(),
+             std::strerror(err));
+        return false;
     }
     ::close(fd);
     if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
         int err = errno;
         ::unlink(tmp_path.c_str());
-        fatal("rename %s -> %s failed: %s", tmp_path.c_str(),
-              path.c_str(), std::strerror(err));
+        warn("rename %s -> %s failed: %s", tmp_path.c_str(),
+             path.c_str(), std::strerror(err));
+        return false;
     }
     syncDir(dirOf(path));
+    return true;
 }
 
 } // namespace cppc

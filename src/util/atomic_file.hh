@@ -19,19 +19,27 @@ namespace cppc {
 /**
  * Replace @p path with @p contents atomically: write a sibling temp
  * file, fsync it, and rename() it over @p path (then fsync the
- * directory so the rename itself is durable).  fatal() on any I/O
- * error, with the temp file removed.
+ * directory so the rename itself is durable).
+ *
+ * @return true on success.  On any I/O error the temp file is removed,
+ * a warn() names the failing step, and false is returned: the *caller*
+ * owns the failure policy (fatal() for a result nobody else will
+ * re-produce, degrade-and-report for a checkpoint).  The return value
+ * is [[nodiscard]] and lint rule E1 flags discarded calls, so an
+ * unchecked write cannot silently drop a result.
  */
-void atomicWriteFile(const std::string &path, const std::string &contents);
+[[nodiscard]] bool atomicWriteFile(const std::string &path,
+                                   const std::string &contents);
 
 /**
  * Atomically publish an already-written temp file as @p path (fsync +
  * rename + directory fsync).  For writers that stream incrementally
  * (e.g. trace recording): stream into a temp sibling, close it, then
- * publish.  fatal() on error.
+ * publish.  Same failure contract as atomicWriteFile(): warn() and
+ * return false, temp file removed.
  */
-void atomicPublishFile(const std::string &tmp_path,
-                       const std::string &path);
+[[nodiscard]] bool atomicPublishFile(const std::string &tmp_path,
+                                     const std::string &path);
 
 /**
  * The conventional temp sibling for @p path ("<path>.tmp.<pid>", same

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Clang Thread Safety Analysis annotations plus the annotated mutex
+ * wrappers the analysis needs to be useful with libstdc++.
+ *
+ * The macros expand to clang's capability attributes under clang and
+ * to nothing elsewhere, so annotated code stays portable.  libstdc++'s
+ * std::mutex and std::lock_guard carry no annotations, which would
+ * leave `-Wthread-safety` blind to every acquisition in the codebase;
+ * Mutex / MutexLock / UniqueMutexLock below are thin annotated
+ * wrappers that restore the analysis (the same approach as Abseil's
+ * absl::Mutex and Bitcoin Core's sync.h).
+ *
+ * Policy (see DESIGN.md "Invariants"): every field of a class that is
+ * touched from more than one thread is either a std::atomic or is
+ * declared CPPC_GUARDED_BY(its mutex); helper functions that expect a
+ * lock held say so with CPPC_REQUIRES.  src/util and src/harness build
+ * with `-Wthread-safety -Werror=thread-safety` whenever the compiler
+ * supports it, so a guard that drifts out of date is a compile error,
+ * not a TSan soak-test find.
+ */
+
+#ifndef CPPC_UTIL_THREAD_ANNOTATIONS_HH
+#define CPPC_UTIL_THREAD_ANNOTATIONS_HH
+
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define CPPC_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define CPPC_THREAD_ANNOTATION(x) // no-op outside clang
+#endif
+
+#define CPPC_CAPABILITY(x) CPPC_THREAD_ANNOTATION(capability(x))
+#define CPPC_SCOPED_CAPABILITY CPPC_THREAD_ANNOTATION(scoped_lockable)
+#define CPPC_GUARDED_BY(x) CPPC_THREAD_ANNOTATION(guarded_by(x))
+#define CPPC_PT_GUARDED_BY(x) CPPC_THREAD_ANNOTATION(pt_guarded_by(x))
+#define CPPC_REQUIRES(...) \
+    CPPC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define CPPC_ACQUIRE(...) \
+    CPPC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define CPPC_RELEASE(...) \
+    CPPC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define CPPC_TRY_ACQUIRE(...) \
+    CPPC_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define CPPC_EXCLUDES(...) \
+    CPPC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define CPPC_RETURN_CAPABILITY(x) CPPC_THREAD_ANNOTATION(lock_returned(x))
+#define CPPC_NO_THREAD_SAFETY_ANALYSIS \
+    CPPC_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace cppc {
+
+/** std::mutex with capability annotations the analysis can track. */
+class CPPC_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() CPPC_ACQUIRE() { m_.lock(); }
+    void unlock() CPPC_RELEASE() { m_.unlock(); }
+    bool try_lock() CPPC_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  private:
+    std::mutex m_;
+};
+
+/** Annotated std::lock_guard equivalent. */
+class CPPC_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mu) CPPC_ACQUIRE(mu) : mu_(mu)
+    {
+        mu_.lock();
+    }
+    ~MutexLock() CPPC_RELEASE() { mu_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mu_;
+};
+
+/**
+ * Annotated std::unique_lock equivalent: relockable, so it satisfies
+ * the BasicLockable requirement of std::condition_variable_any (the
+ * condvar flavour that accepts a user lock type).  Wait predicates
+ * that read guarded state should be annotated
+ * `[...]() CPPC_REQUIRES(mu) { ... }`.
+ */
+class CPPC_SCOPED_CAPABILITY UniqueMutexLock
+{
+  public:
+    explicit UniqueMutexLock(Mutex &mu) CPPC_ACQUIRE(mu) : mu_(mu)
+    {
+        mu_.lock();
+        owns_ = true;
+    }
+    ~UniqueMutexLock() CPPC_RELEASE()
+    {
+        if (owns_)
+            mu_.unlock();
+    }
+
+    void
+    lock() CPPC_ACQUIRE()
+    {
+        mu_.lock();
+        owns_ = true;
+    }
+    void
+    unlock() CPPC_RELEASE()
+    {
+        mu_.unlock();
+        owns_ = false;
+    }
+
+    UniqueMutexLock(const UniqueMutexLock &) = delete;
+    UniqueMutexLock &operator=(const UniqueMutexLock &) = delete;
+
+  private:
+    Mutex &mu_;
+    bool owns_ = false;
+};
+
+} // namespace cppc
+
+#endif // CPPC_UTIL_THREAD_ANNOTATIONS_HH

@@ -50,12 +50,15 @@ ThreadPool::ThreadPool(unsigned n_workers)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         stopping_ = true;
     }
     cv_.notify_all();
     for (std::thread &t : workers_)
         t.join();
+    // Workers are joined: mu_ is uncontended, but take it anyway so the
+    // guarded-by relationship stays unconditional.
+    MutexLock lock(mu_);
     if (first_error_) {
         // A detached task failed and nobody called drain(): surface it
         // loudly, but never throw from a destructor.
@@ -76,7 +79,7 @@ void
 ThreadPool::enqueue(Task task)
 {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         queue_.push(std::move(task));
     }
     cv_.notify_one();
@@ -87,7 +90,7 @@ ThreadPool::cancelPending()
 {
     std::queue<Task> dropped;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         dropped.swap(queue_);
     }
     // Destroyed outside the lock: dropping a submit() task breaks its
@@ -98,9 +101,10 @@ ThreadPool::cancelPending()
 void
 ThreadPool::drain()
 {
-    std::unique_lock<std::mutex> lock(mu_);
-    idle_cv_.wait(lock,
-                  [this] { return queue_.empty() && active_ == 0; });
+    UniqueMutexLock lock(mu_);
+    idle_cv_.wait(lock, [this]() CPPC_REQUIRES(mu_) {
+        return queue_.empty() && active_ == 0;
+    });
     if (first_error_) {
         std::exception_ptr err = first_error_;
         first_error_ = nullptr;
@@ -115,9 +119,10 @@ ThreadPool::workerLoop()
     for (;;) {
         Task task;
         {
-            std::unique_lock<std::mutex> lock(mu_);
-            cv_.wait(lock,
-                     [this] { return stopping_ || !queue_.empty(); });
+            UniqueMutexLock lock(mu_);
+            cv_.wait(lock, [this]() CPPC_REQUIRES(mu_) {
+                return stopping_ || !queue_.empty();
+            });
             if (queue_.empty())
                 return; // stopping and fully drained
             task = std::move(queue_.front());
@@ -134,7 +139,7 @@ ThreadPool::workerLoop()
         } catch (...) {
             failed = true;
             {
-                std::lock_guard<std::mutex> lock(mu_);
+                MutexLock lock(mu_);
                 if (!first_error_)
                     first_error_ = std::current_exception();
             }
@@ -142,7 +147,7 @@ ThreadPool::workerLoop()
         if (failed)
             cancelPending();
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            MutexLock lock(mu_);
             --active_;
         }
         idle_cv_.notify_all();

@@ -20,12 +20,13 @@
 #include <condition_variable>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <string>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "util/thread_annotations.hh"
 
 namespace cppc {
 
@@ -164,14 +165,17 @@ class ThreadPool
     void enqueue(Task task);
     void workerLoop();
 
-    std::mutex mu_;
-    std::condition_variable cv_;      ///< wakes workers
-    std::condition_variable idle_cv_; ///< wakes drain()
-    std::queue<Task> queue_;
+    Mutex mu_;
+    // condition_variable_any: the std::condition_variable flavour that
+    // waits on the annotated UniqueMutexLock instead of demanding a
+    // std::unique_lock<std::mutex>.
+    std::condition_variable_any cv_;      ///< wakes workers
+    std::condition_variable_any idle_cv_; ///< wakes drain()
+    std::queue<Task> queue_ CPPC_GUARDED_BY(mu_);
     std::vector<std::thread> workers_;
-    unsigned active_ = 0; ///< tasks currently executing
-    std::exception_ptr first_error_;
-    bool stopping_ = false;
+    unsigned active_ CPPC_GUARDED_BY(mu_) = 0; ///< tasks executing
+    std::exception_ptr first_error_ CPPC_GUARDED_BY(mu_);
+    bool stopping_ CPPC_GUARDED_BY(mu_) = false;
 };
 
 } // namespace cppc

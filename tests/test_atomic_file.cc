@@ -1,0 +1,112 @@
+/**
+ * @file
+ * atomicWriteFile / atomicPublishFile failure-contract tests: on a
+ * failing disk the writers must report false (temp file cleaned up,
+ * target untouched) instead of silently dropping a result — and the
+ * one journaled call site must propagate that verdict.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "harness/journal.hh"
+#include "util/atomic_file.hh"
+#include "util/logging.hh"
+
+namespace cppc {
+namespace {
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path);
+    return std::string(std::istreambuf_iterator<char>(is),
+                       std::istreambuf_iterator<char>());
+}
+
+/** A scratch directory we can delete out from under a writer. */
+class TempDir
+{
+  public:
+    explicit TempDir(const std::string &tag)
+        : path_(testing::TempDir() + "cppc_atomic_" + tag + "_" +
+                std::to_string(::getpid()))
+    {
+        ::mkdir(path_.c_str(), 0755);
+    }
+    ~TempDir()
+    {
+        // Best effort: tests that nuke the directory mid-way leave
+        // nothing to clean.
+        ::rmdir(path_.c_str());
+    }
+    std::string file(const std::string &name) const
+    {
+        return path_ + "/" + name;
+    }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+TEST(AtomicFile, WriteSucceedsAndIsReadable)
+{
+    TempDir dir("ok");
+    const std::string target = dir.file("result.json");
+    ASSERT_TRUE(atomicWriteFile(target, "{\"ok\":1}\n"));
+    EXPECT_EQ(slurp(target), "{\"ok\":1}\n");
+    ASSERT_TRUE(atomicWriteFile(target, "{\"ok\":2}\n"));
+    EXPECT_EQ(slurp(target), "{\"ok\":2}\n");
+    std::remove(target.c_str());
+}
+
+TEST(AtomicFile, FailingDiskReportsFalseNotFatal)
+{
+    // The target's directory does not exist, so the temp sibling can
+    // never be created: the write must fail *reported*, not abort the
+    // process and not leave droppings.
+    const std::string target =
+        testing::TempDir() + "cppc_no_such_dir_" +
+        std::to_string(::getpid()) + "/result.json";
+    EXPECT_FALSE(atomicWriteFile(target, "lost"));
+    EXPECT_FALSE(atomicPublishFile(atomicTempPath(target), target));
+    std::ifstream is(target);
+    EXPECT_FALSE(is.good());
+}
+
+TEST(AtomicFile, JournalAppendPropagatesDiskFailure)
+{
+    // The E1 call-site contract end to end: a Journal whose backing
+    // directory vanishes must report the failed checkpoint through
+    // append()'s return value, and must not let the in-memory image
+    // drift ahead of the disk.
+    TempDir dir("journal");
+    const std::string jpath = dir.file("run.journal");
+    Journal j(jpath, "sweep", "cfg=a", Journal::Mode::Fresh);
+    ASSERT_TRUE(j.append({"banked", CellStatus::Ok, 1, "p"}));
+
+    // Pull the disk out: remove the journal file and its directory.
+    ASSERT_EQ(std::remove(jpath.c_str()), 0);
+    ASSERT_EQ(::rmdir(dir.path().c_str()), 0);
+    EXPECT_FALSE(j.append({"lost", CellStatus::Ok, 1, "q"}));
+
+    // Disk restored: the next append must succeed and the rewritten
+    // image must carry the banked record but never the rolled-back one.
+    ASSERT_EQ(::mkdir(dir.path().c_str(), 0755), 0);
+    EXPECT_TRUE(j.append({"after", CellStatus::Ok, 1, "r"}));
+    std::string contents = slurp(jpath);
+    EXPECT_NE(contents.find("cell banked ok"), std::string::npos);
+    EXPECT_NE(contents.find("cell after ok"), std::string::npos);
+    EXPECT_EQ(contents.find("cell lost"), std::string::npos);
+    std::remove(jpath.c_str());
+}
+
+} // namespace
+} // namespace cppc

@@ -1,0 +1,809 @@
+#!/usr/bin/env python3
+"""cppc-lint: static enforcement of CPPC project invariants.
+
+The repo's correctness story rests on conventions no compiler checks:
+bit-exact determinism (serial vs --jobs=N, journal resume, IEEE-754
+payload codecs), allocation-free hot paths, and checked result writes.
+This tool turns those conventions into named, suppressible rules:
+
+  D1  no nondeterminism sources (rand, random_device, time, chrono
+      clock now(), getenv, ...) outside a whitelist (src/util/rng.*,
+      harness/bench timing code).
+  D2  no iteration over unordered containers in result-producing code
+      (sweep/campaign/fuzz/codec paths): iteration order is
+      implementation-defined, so a result reduced from it is not
+      bit-stable across libraries or hash seeds.
+  H1  no heap allocation (new, make_unique/make_shared, growing a
+      std::vector, local container declarations) inside functions
+      annotated `// cppc-lint: hot`.
+  E1  every atomicWriteFile / atomicPublishFile / Journal::append
+      result must be consumed: a discarded call silently drops a
+      result or checkpoint.
+
+Engines
+-------
+  regex  (default, zero dependencies): comment/string-stripped lexical
+         scan.  Deliberately conservative; suppress false positives
+         inline.
+  clang  (optional): resolves D1/E1 through the AST of each TU listed
+         in compile_commands.json (clang -Xclang -ast-dump=json).
+         D2/H1 remain lexical even here — they are annotation- and
+         declaration-driven by design.
+  auto   clang when a clang binary and a compilation database are
+         found, regex otherwise.
+
+Suppressions
+------------
+  // cppc-lint: allow(D1): reason         this line or the next one
+  // cppc-lint: allow-file(D1): reason    whole file
+  // cppc-lint: hot                       marks the next function for H1
+
+Exit codes: 0 clean, 1 findings, 2 usage/internal error.
+
+Self-check (`--self-check`): lints the seeded sabotage fixtures under
+tools/cppc_lint/fixtures/ — one violation per rule — and the clean
+fixture, mirroring the fuzz harness's sabotage philosophy: a checker
+that cannot catch a planted bug is worse than no checker.
+"""
+
+import argparse
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+try:
+    import tomllib
+except ImportError:  # pragma: no cover - Python < 3.11 fallback
+    tomllib = None
+
+TOOL_DIR = os.path.dirname(os.path.abspath(__file__))
+DEFAULT_ROOT = os.path.dirname(os.path.dirname(TOOL_DIR))
+CONFIG_PATH = os.path.join(TOOL_DIR, "cppc_lint.toml")
+FIXTURES_DIR = os.path.join(TOOL_DIR, "fixtures")
+
+RULES = ("D1", "D2", "H1", "E1")
+
+RULE_DOC = {
+    "D1": "nondeterminism source outside the whitelist",
+    "D2": "iteration over an unordered container in a result path",
+    "H1": "heap allocation in a `// cppc-lint: hot` function",
+    "E1": "discarded result of a checked write",
+}
+
+SOURCE_EXTS = (".cc", ".hh", ".cpp", ".h", ".hpp")
+
+DIRECTIVE_RE = re.compile(
+    r"//\s*cppc-lint:\s*"
+    r"(?P<kind>hot|allow|allow-file)"
+    r"(?:\s*\(\s*(?P<rules>[A-Z0-9,\s]+)\s*\))?"
+)
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return "%s:%d: %s: %s" % (self.path, self.line, self.rule,
+                                  self.message)
+
+
+class LintError(Exception):
+    """Usage or environment problem; maps to exit code 2."""
+
+
+# --------------------------------------------------------------- config
+
+
+class Config:
+    def __init__(self):
+        self.include = ["src", "bench", "tools", "examples"]
+        self.exclude = ["tools/cppc_lint"]
+        self.d1_whitelist = []
+        self.d2_paths = []
+
+    @staticmethod
+    def load(path):
+        cfg = Config()
+        if not os.path.exists(path):
+            return cfg
+        if tomllib is None:
+            raise LintError(
+                "config %s needs tomllib (Python >= 3.11)" % path)
+        with open(path, "rb") as f:
+            data = tomllib.load(f)
+        paths = data.get("paths", {})
+        cfg.include = paths.get("include", cfg.include)
+        cfg.exclude = paths.get("exclude", cfg.exclude)
+        rules = data.get("rules", {})
+        cfg.d1_whitelist = rules.get("D1", {}).get("whitelist", [])
+        cfg.d2_paths = rules.get("D2", {}).get("paths", [])
+        return cfg
+
+
+# ------------------------------------------------- source preprocessing
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments, string and char literals, preserving line
+    structure and column positions, so rule regexes never fire inside
+    them.  Handles //, /* */, "...", '...' and raw string literals."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            seg = text[i:j + 2]
+            out.append("".join("\n" if ch == "\n" else " " for ch in seg))
+            i = j + 2
+        elif c == "R" and nxt == '"':
+            m = re.match(r'R"([^(\s]*)\(', text[i:])
+            if not m:
+                out.append(c)
+                i += 1
+                continue
+            close = ")" + m.group(1) + '"'
+            j = text.find(close, i + m.end())
+            j = n - len(close) if j < 0 else j
+            seg = text[i:j + len(close)]
+            out.append("".join("\n" if ch == "\n" else " " for ch in seg))
+            i = j + len(close)
+        elif c == '"' or c == "'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            out.append(" " * (j + 1 - i))
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class SourceFile:
+    """One scanned file: raw lines (for directives), stripped lines
+    (for rules) and the directive maps."""
+
+    def __init__(self, path, rel, text):
+        self.path = path
+        self.rel = rel
+        self.raw_lines = text.splitlines()
+        self.lines = strip_comments_and_strings(text).splitlines()
+        # line no -> set of allowed rules; 0 -> whole file
+        self.allows = {}
+        self.file_allows = set()
+        self.hot_lines = []
+        for ln, raw in enumerate(self.raw_lines, 1):
+            m = DIRECTIVE_RE.search(raw)
+            if not m:
+                continue
+            kind = m.group("kind")
+            rules = set()
+            if m.group("rules"):
+                rules = {r.strip() for r in m.group("rules").split(",")
+                         if r.strip()}
+            if kind == "hot":
+                self.hot_lines.append(ln)
+            elif kind == "allow":
+                self.allows.setdefault(ln, set()).update(rules)
+            elif kind == "allow-file":
+                self.file_allows.update(rules)
+
+    def allowed(self, line, rule):
+        if rule in self.file_allows:
+            return True
+        # A directive suppresses its own line and the following line
+        # (the common `// cppc-lint: allow(X): why` - on - its - own -
+        # line layout).
+        for at in (line, line - 1):
+            if rule in self.allows.get(at, set()):
+                return True
+        return False
+
+
+def load_source(root, rel):
+    path = os.path.join(root, rel)
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        return SourceFile(path, rel, f.read())
+
+
+def collect_files(root, cfg, explicit_paths):
+    rels = []
+    if explicit_paths:
+        roots = explicit_paths
+    else:
+        roots = cfg.include
+    for top in roots:
+        top_abs = os.path.join(root, top)
+        if os.path.isfile(top_abs):
+            rels.append(os.path.relpath(top_abs, root))
+            continue
+        for dirpath, dirnames, filenames in os.walk(top_abs):
+            dirnames.sort()
+            rel_dir = os.path.relpath(dirpath, root)
+            if any(rel_dir == ex or rel_dir.startswith(ex + "/")
+                   for ex in cfg.exclude):
+                dirnames[:] = []
+                continue
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTS):
+                    rels.append(os.path.normpath(
+                        os.path.join(rel_dir, name)))
+    return rels
+
+
+# ---------------------------------------------------------------- rules
+
+# D1: each entry is (regex, human name).  The lookbehind keeps member
+# calls like `obj.time(...)` or `obj->rand(...)` out of scope: only
+# free functions / type names are nondeterminism sources.
+D1_PATTERNS = [
+    (re.compile(r"(?<![\w.:>])rand\s*\("), "rand()"),
+    (re.compile(r"(?<![\w.:>])srand\s*\("), "srand()"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"(?<![\w.>])time\s*\("), "time()"),
+    (re.compile(r"\bgettimeofday\b"), "gettimeofday()"),
+    (re.compile(r"\bclock_gettime\b"), "clock_gettime()"),
+    (re.compile(r"(?<![\w.:>])clock\s*\(\s*\)"), "clock()"),
+    (re.compile(r"\b(?:system_clock|steady_clock|high_resolution_clock)"
+                r"\b"), "std::chrono clock"),
+    (re.compile(r"(?<![\w.:>])getenv\s*\("), "getenv()"),
+]
+
+# Qualified forms (`std::rand`, a global-namespace `::rand`): the
+# lookbehind above rejects ':' to spare member calls, so these need
+# their own patterns.
+D1_QUALIFIED = [
+    (re.compile(r"\bstd\s*::\s*(?:rand|srand|time|getenv)\s*\("),
+     "std-qualified nondeterminism source"),
+    (re.compile(r"(?<![\w:])::\s*(?:rand|srand|time|getenv|clock)"
+                r"\s*\("), "global-qualified nondeterminism source"),
+]
+
+# Declarations including reference/pointer parameters: result reducers
+# usually take the container by const reference.
+UNORDERED_DECL_RE = re.compile(
+    r"unordered_(?:map|set|multimap|multiset)\s*<[^;{}()]*?>\s*"
+    r"[&*\s]*(?P<name>[A-Za-z_]\w*)\s*[;={(\[,)]")
+RANGE_FOR_RE = re.compile(
+    r"\bfor\s*\(\s*[^;)]*?:\s*(?P<range>[^)]+)\)")
+BEGIN_CALL_RE = re.compile(
+    r"(?P<name>[A-Za-z_]\w*)\s*\.\s*c?(?:begin|end|rbegin|rend)\s*\(")
+
+H1_PATTERNS = [
+    (re.compile(r"(?<![\w.:>])new\b(?!\s*\()"), "operator new"),
+    (re.compile(r"(?<![\w.:>])new\s*\("), "placement/operator new"),
+    (re.compile(r"\bmake_unique\b"), "std::make_unique"),
+    (re.compile(r"\bmake_shared\b"), "std::make_shared"),
+    (re.compile(r"\.\s*push_back\s*\("), "push_back (may grow)"),
+    (re.compile(r"\.\s*emplace_back\s*\("), "emplace_back (may grow)"),
+    (re.compile(r"\.\s*emplace\s*\("), "emplace (may allocate)"),
+    (re.compile(r"\.\s*insert\s*\("), "insert (may allocate)"),
+    (re.compile(r"\.\s*resize\s*\("), "resize (may grow)"),
+    (re.compile(r"\.\s*reserve\s*\("), "reserve (allocates)"),
+    (re.compile(r"\.\s*assign\s*\("), "assign (may grow)"),
+    (re.compile(r"\b(?:std\s*::\s*)?(?:vector|string|deque|list|map|set|"
+                r"unordered_map|unordered_set)\s*<[^;{}]*?>\s+"
+                r"[A-Za-z_]\w*\s*[;={(]"), "local container declaration"),
+]
+
+E1_DISCARD_RES = [
+    re.compile(r"^\s*(?:cppc\s*::\s*)?atomicWriteFile\s*\("),
+    re.compile(r"^\s*(?:cppc\s*::\s*)?atomicPublishFile\s*\("),
+]
+E1_APPEND_RE = re.compile(
+    r"^\s*(?P<obj>[A-Za-z_]\w*)\s*(?:\.|->)\s*append\s*\(")
+
+
+# Words that legitimately precede a call with only whitespace between.
+# Any other `identifier funcname(` shape is a declaration (the
+# identifier is its return type), not a use of the banned source.
+CALL_KEYWORDS = frozenset((
+    "return", "co_return", "co_yield", "co_await", "throw", "case",
+    "else", "do", "and", "or", "not",
+))
+
+
+def looks_like_declaration(line, match_start):
+    m = re.search(r"([A-Za-z_]\w*)\s+$", line[:match_start])
+    return bool(m) and m.group(1) not in CALL_KEYWORDS
+
+
+def rule_d1(src, cfg):
+    if src.rel in cfg.d1_whitelist:
+        return []
+    findings = []
+    for ln, line in enumerate(src.lines, 1):
+        for pat, name in D1_PATTERNS + D1_QUALIFIED:
+            m = pat.search(line)
+            if m and not looks_like_declaration(line, m.start()):
+                findings.append(Finding(
+                    src.rel, ln, "D1",
+                    "%s is a nondeterminism source; route randomness "
+                    "through src/util/rng and time through the harness "
+                    "whitelist" % name))
+    return findings
+
+
+def rule_d2(src, cfg):
+    if cfg.d2_paths and not any(
+            src.rel == p or src.rel.startswith(p.rstrip("/") + "/")
+            for p in cfg.d2_paths):
+        return []
+    unordered_vars = set()
+    for line in src.lines:
+        for m in UNORDERED_DECL_RE.finditer(line):
+            unordered_vars.add(m.group("name"))
+    findings = []
+    for ln, line in enumerate(src.lines, 1):
+        m = RANGE_FOR_RE.search(line)
+        if m:
+            rng = m.group("range").strip()
+            last = re.split(r"[.\->]+", rng)[-1].strip("()& ")
+            if "unordered_" in rng or last in unordered_vars:
+                findings.append(Finding(
+                    src.rel, ln, "D2",
+                    "range-for over unordered container '%s': iteration "
+                    "order is not bit-stable; reduce through a sorted "
+                    "or indexed container" % rng))
+                continue
+        for m in BEGIN_CALL_RE.finditer(line):
+            if m.group("name") in unordered_vars:
+                findings.append(Finding(
+                    src.rel, ln, "D2",
+                    "iterator over unordered container '%s': iteration "
+                    "order is not bit-stable" % m.group("name")))
+    return findings
+
+
+def function_body_span(src, hot_line):
+    """(start, end) line numbers of the function body following the
+    `// cppc-lint: hot` directive: from the first `{` at or after the
+    directive to its matching `}`."""
+    depth = 0
+    start = None
+    for ln in range(hot_line, len(src.lines) + 1):
+        line = src.lines[ln - 1]
+        for ch in line:
+            if ch == "{":
+                if depth == 0:
+                    start = ln
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                if depth == 0 and start is not None:
+                    return start, ln
+    return start, len(src.lines)
+
+
+def rule_h1(src, cfg):
+    findings = []
+    for hot in src.hot_lines:
+        start, end = function_body_span(src, hot)
+        if start is None:
+            findings.append(Finding(
+                src.rel, hot, "H1",
+                "`cppc-lint: hot` directive with no function body "
+                "after it"))
+            continue
+        for ln in range(start, end + 1):
+            line = src.lines[ln - 1]
+            for pat, name in H1_PATTERNS:
+                if pat.search(line):
+                    findings.append(Finding(
+                        src.rel, ln, "H1",
+                        "%s inside a hot function (annotated at line "
+                        "%d); preallocate in the constructor or reuse "
+                        "a scratch member" % (name, hot)))
+    return findings
+
+
+def statement_start(src, ln):
+    """True when line @p ln begins a statement: the previous non-blank
+    line ended one (`;`, `{`, `}`, `)`, a label's `:`), or there is no
+    previous line.  Filters out this repo's definition style, where the
+    return type sits alone on the line above the function name."""
+    for prev in range(ln - 2, -1, -1):
+        text = src.lines[prev].rstrip()
+        if not text:
+            continue
+        return text[-1] in ";{})" or text.endswith(":")
+    return True
+
+
+def rule_e1(src, cfg):
+    findings = []
+    for ln, line in enumerate(src.lines, 1):
+        if not statement_start(src, ln):
+            continue
+        for pat in E1_DISCARD_RES:
+            if pat.search(line):
+                findings.append(Finding(
+                    src.rel, ln, "E1",
+                    "discarded atomicWriteFile/atomicPublishFile "
+                    "result: a failed write must be handled, not "
+                    "dropped"))
+        m = E1_APPEND_RE.search(line)
+        if m and "journal" in m.group("obj").lower():
+            findings.append(Finding(
+                src.rel, ln, "E1",
+                "discarded Journal::append result on '%s': an "
+                "unacknowledged checkpoint is a silent data loss"
+                % m.group("obj")))
+    return findings
+
+
+RULE_FNS = {
+    "D1": rule_d1,
+    "D2": rule_d2,
+    "H1": rule_h1,
+    "E1": rule_e1,
+}
+
+
+# --------------------------------------------------------- clang engine
+
+
+def find_clang():
+    for name in ("clang++", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def find_compile_commands(root, explicit):
+    if explicit:
+        if not os.path.exists(explicit):
+            raise LintError("no compilation database at %s" % explicit)
+        return explicit
+    for rel in ("compile_commands.json", "build/compile_commands.json"):
+        path = os.path.join(root, rel)
+        if os.path.exists(path):
+            return path
+    return None
+
+
+def clang_ast(clang, entry):
+    """JSON AST for one compile_commands entry, or None on failure."""
+    if "arguments" in entry:
+        args = list(entry["arguments"])
+    else:
+        args = entry["command"].split()
+    # Rebuild the command line: keep includes/defines/standard, drop
+    # output/compile directives, ask for the syntax-only JSON dump.
+    out = [clang]
+    skip = False
+    for a in args[1:]:
+        if skip:
+            skip = False
+            continue
+        if a in ("-o", "-MF", "-MT", "-MQ"):
+            skip = True
+            continue
+        if a in ("-c", "-MD", "-MMD", "-MP") or a.startswith("-o"):
+            continue
+        out.append(a)
+    out += ["-fsyntax-only", "-Xclang", "-ast-dump=json", "-w"]
+    try:
+        proc = subprocess.run(out, cwd=entry.get("directory", "."),
+                              capture_output=True, text=True,
+                              timeout=300)
+    except (OSError, subprocess.TimeoutExpired) as e:
+        raise LintError("clang AST dump failed for %s: %s"
+                        % (entry.get("file", "?"), e))
+    if proc.returncode != 0 or not proc.stdout:
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+D1_BANNED_DECLS = {
+    "rand": "rand()", "srand": "srand()", "time": "time()",
+    "getenv": "getenv()", "gettimeofday": "gettimeofday()",
+    "clock_gettime": "clock_gettime()", "clock": "clock()",
+}
+D1_BANNED_TYPES = ("random_device", "system_clock", "steady_clock",
+                   "high_resolution_clock")
+E1_CHECKED_CALLS = ("atomicWriteFile", "atomicPublishFile", "append")
+
+
+def walk_ast(node, rel, findings, line_state, in_compound=False):
+    """Recursive AST walk: D1 banned decl refs / types, E1 calls whose
+    value is discarded (direct children of a CompoundStmt)."""
+    if not isinstance(node, dict):
+        return
+    loc = node.get("loc", {}) or {}
+    if "line" in loc:
+        line_state[0] = loc["line"]
+    line = line_state[0]
+
+    kind = node.get("kind")
+    if kind == "DeclRefExpr":
+        ref = node.get("referencedDecl", {}) or {}
+        name = ref.get("name", "")
+        if name in D1_BANNED_DECLS:
+            findings.append(Finding(
+                rel, line, "D1",
+                "%s is a nondeterminism source (AST)"
+                % D1_BANNED_DECLS[name]))
+        qual = (node.get("type", {}) or {}).get("qualType", "")
+        if any(t in qual for t in D1_BANNED_TYPES) or \
+                any(t in name for t in D1_BANNED_TYPES):
+            findings.append(Finding(
+                rel, line, "D1",
+                "use of %s (AST)" % (name or qual)))
+    if kind == "CallExpr" and in_compound:
+        callee = find_callee_name(node)
+        if callee in ("atomicWriteFile", "atomicPublishFile"):
+            findings.append(Finding(
+                rel, line, "E1",
+                "discarded %s result (AST)" % callee))
+    if kind == "CXXMemberCallExpr" and in_compound:
+        callee = find_callee_name(node)
+        qual = member_object_type(node)
+        if callee == "append" and "Journal" in qual:
+            findings.append(Finding(
+                rel, line, "E1",
+                "discarded Journal::append result (AST)"))
+
+    children = node.get("inner", []) or []
+    child_in_compound = kind == "CompoundStmt"
+    for child in children:
+        walk_ast(child, rel, findings, line_state, child_in_compound)
+
+
+def find_callee_name(call_node):
+    inner = call_node.get("inner", []) or []
+    if not inner:
+        return ""
+    head = inner[0]
+    while isinstance(head, dict):
+        if head.get("kind") in ("DeclRefExpr", "MemberExpr"):
+            if head.get("kind") == "MemberExpr":
+                return (head.get("name", "") or "").lstrip("->.")
+            return (head.get("referencedDecl", {}) or {}).get("name", "")
+        nxt = head.get("inner", []) or []
+        if not nxt:
+            return ""
+        head = nxt[0]
+    return ""
+
+
+def member_object_type(call_node):
+    inner = call_node.get("inner", []) or []
+    while inner:
+        head = inner[0]
+        if not isinstance(head, dict):
+            return ""
+        qual = (head.get("type", {}) or {}).get("qualType", "")
+        if qual:
+            return qual
+        inner = head.get("inner", []) or []
+    return ""
+
+
+def clang_engine_findings(root, cfg, rels, rules, compile_commands):
+    clang = find_clang()
+    if clang is None:
+        raise LintError("engine=clang requested but no clang binary "
+                        "found")
+    db_path = find_compile_commands(root, compile_commands)
+    if db_path is None:
+        raise LintError("engine=clang needs compile_commands.json "
+                        "(configure with CMAKE_EXPORT_COMPILE_COMMANDS "
+                        "or pass --compile-commands)")
+    with open(db_path, "r", encoding="utf-8") as f:
+        db = json.load(f)
+    by_file = {}
+    for entry in db:
+        by_file[os.path.normpath(os.path.join(
+            entry.get("directory", ""), entry["file"]))] = entry
+
+    findings = []
+    for rel in rels:
+        src = load_source(root, rel)
+        # D2/H1 are lexical by design (annotation/declaration driven).
+        for rule in ("D2", "H1"):
+            if rule in rules:
+                findings += apply_suppressions(
+                    src, RULE_FNS[rule](src, cfg))
+        ast_rules = [r for r in ("D1", "E1") if r in rules]
+        if not ast_rules:
+            continue
+        if "D1" in ast_rules and src.rel in cfg.d1_whitelist:
+            ast_rules.remove("D1")
+        entry = by_file.get(os.path.normpath(os.path.join(root, rel)))
+        if entry is None:
+            # Headers and un-built files fall back to the regex engine.
+            for rule in ast_rules:
+                findings += apply_suppressions(
+                    src, RULE_FNS[rule](src, cfg))
+            continue
+        ast = clang_ast(clang, entry)
+        if ast is None:
+            for rule in ast_rules:
+                findings += apply_suppressions(
+                    src, RULE_FNS[rule](src, cfg))
+            continue
+        raw = []
+        walk_ast(ast, rel, raw, [0])
+        raw = [f for f in raw if f.rule in ast_rules]
+        findings += apply_suppressions(src, raw)
+    return findings
+
+
+# -------------------------------------------------------------- driving
+
+
+def apply_suppressions(src, findings):
+    return [f for f in findings if not src.allowed(f.line, f.rule)]
+
+
+def regex_engine_findings(root, cfg, rels, rules):
+    findings = []
+    for rel in rels:
+        src = load_source(root, rel)
+        for rule in rules:
+            findings += apply_suppressions(src, RULE_FNS[rule](src, cfg))
+    return findings
+
+
+def run_lint(root, cfg, rels, rules, engine, compile_commands=None,
+             quiet=False):
+    if engine == "auto":
+        if find_clang() and find_compile_commands(root, None):
+            engine = "clang"
+        else:
+            engine = "regex"
+            if not quiet:
+                print("cppc-lint: no clang + compilation database; "
+                      "using the regex engine", file=sys.stderr)
+    if engine == "clang":
+        findings = clang_engine_findings(root, cfg, rels, rules,
+                                         compile_commands)
+    else:
+        findings = regex_engine_findings(root, cfg, rels, rules)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings, engine
+
+
+# ----------------------------------------------------------- self-check
+
+
+def self_check():
+    """Lint the sabotage fixtures: every seeded violation must be
+    caught, and the clean fixture must stay clean."""
+    cfg = Config()
+    cfg.include = ["."]
+    cfg.exclude = []
+    cfg.d1_whitelist = []
+    cfg.d2_paths = []  # empty: D2 applies everywhere in the fixtures
+
+    expectations = [
+        ("sabotage_d1.cc", "D1"),
+        ("sabotage_d2.cc", "D2"),
+        ("sabotage_h1.cc", "H1"),
+        ("sabotage_e1.cc", "E1"),
+    ]
+    ok = True
+    for name, rule in expectations:
+        path = os.path.join(FIXTURES_DIR, name)
+        if not os.path.exists(path):
+            print("self-check: FIXTURE MISSING %s" % path)
+            ok = False
+            continue
+        findings, _ = run_lint(FIXTURES_DIR, cfg, [name], RULES,
+                               "regex", quiet=True)
+        hit = [f for f in findings if f.rule == rule]
+        if hit:
+            print("self-check: %s -> caught %s (%d finding%s)"
+                  % (name, rule, len(hit), "s" if len(hit) > 1 else ""))
+        else:
+            print("self-check: %s -> MISSED %s: the %s detector is "
+                  "blind" % (name, rule, rule))
+            for f in findings:
+                print("  (saw only) %s" % f)
+            ok = False
+    clean = "clean.cc"
+    findings, _ = run_lint(FIXTURES_DIR, cfg, [clean], RULES, "regex",
+                           quiet=True)
+    if findings:
+        print("self-check: %s -> FALSE POSITIVES:" % clean)
+        for f in findings:
+            print("  %s" % f)
+        ok = False
+    else:
+        print("self-check: %s -> clean, as it must be" % clean)
+    print("self-check: %s" % ("ok" if ok else "FAILED"))
+    return 0 if ok else 1
+
+
+# ------------------------------------------------------------------ cli
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        prog="cppc-lint",
+        description="static enforcement of CPPC project invariants "
+                    "(rules D1 D2 H1 E1; see module docstring)")
+    ap.add_argument("paths", nargs="*",
+                    help="files or directories relative to --root "
+                         "(default: the configured include set)")
+    ap.add_argument("--root", default=DEFAULT_ROOT,
+                    help="repository root (default: %(default)s)")
+    ap.add_argument("--engine", choices=("auto", "regex", "clang"),
+                    default="regex",
+                    help="analysis engine (default: %(default)s; "
+                         "'auto' prefers clang when available)")
+    ap.add_argument("--compile-commands", default=None,
+                    help="compilation database for the clang engine")
+    ap.add_argument("--rules", default=",".join(RULES),
+                    help="comma-separated rule subset "
+                         "(default: %(default)s)")
+    ap.add_argument("--list-rules", action="store_true",
+                    help="print the rule catalogue and exit")
+    ap.add_argument("--self-check", action="store_true",
+                    help="lint the seeded sabotage fixtures; exit "
+                         "nonzero unless every seeded bug is caught")
+    ap.add_argument("-q", "--quiet", action="store_true",
+                    help="findings only, no summary")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            print("%s  %s" % (rule, RULE_DOC[rule]))
+        return 0
+    if args.self_check:
+        return self_check()
+
+    rules = tuple(r.strip().upper() for r in args.rules.split(",")
+                  if r.strip())
+    for r in rules:
+        if r not in RULES:
+            raise LintError("unknown rule %r (have: %s)"
+                            % (r, " ".join(RULES)))
+
+    root = os.path.abspath(args.root)
+    cfg = Config.load(CONFIG_PATH)
+    rels = collect_files(root, cfg, args.paths)
+    if not rels:
+        raise LintError("no source files under %s" % root)
+
+    findings, engine = run_lint(root, cfg, rels, rules, args.engine,
+                                args.compile_commands, args.quiet)
+    for f in findings:
+        print(f)
+    if not args.quiet:
+        print("cppc-lint (%s engine): %d file%s, %d finding%s"
+              % (engine, len(rels), "s" if len(rels) != 1 else "",
+                 len(findings), "s" if len(findings) != 1 else ""))
+        if findings:
+            print("suppress a justified case with "
+                  "`// cppc-lint: allow(RULE): reason`")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except LintError as e:
+        print("cppc-lint: error: %s" % e, file=sys.stderr)
+        sys.exit(2)

@@ -1,0 +1,84 @@
+// Clean fixture: determinism-correct code plus every borderline shape
+// the rules must NOT flag — checked results, ordered iteration,
+// preallocating constructors, member functions that merely share a
+// banned name, and a justified inline suppression.  Any finding in
+// this file is a false positive and fails the self-check.
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+[[nodiscard]] bool atomicWriteFile(const std::string &path,
+                                   const std::string &contents);
+
+struct Journal
+{
+    [[nodiscard]] bool append(const std::string &line);
+};
+
+struct Sampler
+{
+    // Member functions named like banned free functions are fine: the
+    // determinism contract is about the global sources.
+    unsigned rand() { return 4; }
+    long time(long t) { return t; }
+};
+
+class Probe
+{
+  public:
+    explicit Probe(unsigned row_bits) : scratch_(row_bits / 8, 0) {}
+
+    // cppc-lint: hot
+    uint64_t
+    probeRow()
+    {
+        uint64_t sum = 0;
+        for (uint8_t b : scratch_) // reused member scratch: no alloc
+            sum += b;
+        return sum;
+    }
+
+  private:
+    std::vector<uint8_t> scratch_;
+};
+
+inline double
+reduceGrid(const std::unordered_map<std::string, double> &cells,
+           const std::vector<std::string> &order)
+{
+    // The deterministic reduction pattern: point lookups in key order.
+    double total = 0.0;
+    for (const std::string &key : order)
+        total += cells.at(key);
+    return total;
+}
+
+inline double
+reduceSorted(const std::map<std::string, double> &sorted_cells)
+{
+    // std::map: iteration order is defined, so reducing over it is
+    // bit-stable.  (Named distinctly from the unordered parameter
+    // above: the regex engine tracks unordered names file-wide.)
+    double total = 0.0;
+    for (const auto &kv : sorted_cells)
+        total += kv.second;
+    return total;
+}
+
+inline bool
+finishRun(Journal &journal, const std::string &out, Sampler &s)
+{
+    if (!journal.append("cell a ok 1 -"))
+        return false;
+    bool wrote = atomicWriteFile(out, "results\n");
+    // cppc-lint: allow(D1): fixture exercises a justified suppression
+    unsigned salt = static_cast<unsigned>(::rand());
+    return wrote && (salt | s.rand()) != 0u && s.time(0) == 0;
+}
+
+} // namespace fixture

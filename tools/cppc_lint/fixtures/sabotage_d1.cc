@@ -1,0 +1,27 @@
+// Sabotage fixture for rule D1: a "sweep cell" that seeds its fault
+// pattern from rand() and stamps results with wall-clock time.  Either
+// one alone silently breaks bit-exact resume; cppc-lint must flag both.
+// The self-check fails if this file lints clean.
+
+#include <cstdlib>
+#include <ctime>
+
+namespace fixture {
+
+struct CellResult
+{
+    unsigned long faults;
+    long stamp;
+};
+
+CellResult
+runCell(unsigned rows)
+{
+    CellResult r{};
+    for (unsigned i = 0; i < rows; ++i)
+        r.faults += static_cast<unsigned long>(rand()) % 2; // D1: rand
+    r.stamp = time(nullptr);                                // D1: time
+    return r;
+}
+
+} // namespace fixture

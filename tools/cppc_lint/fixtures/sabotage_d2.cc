@@ -1,0 +1,21 @@
+// Sabotage fixture for rule D2: a result reducer that iterates an
+// unordered_map straight into its output.  The sums are order-
+// independent here, but the first person to append rows in iteration
+// order ships a hash-seed-dependent CSV; cppc-lint must flag the
+// iteration itself.
+
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+double
+reduceGrid(const std::unordered_map<std::string, double> &cells)
+{
+    double total = 0.0;
+    for (const auto &kv : cells) // D2: unordered iteration order
+        total += kv.second;
+    return total;
+}
+
+} // namespace fixture

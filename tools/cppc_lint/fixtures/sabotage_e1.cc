@@ -1,0 +1,25 @@
+// Sabotage fixture for rule E1: results and checkpoints written with
+// the return value dropped on the floor.  A full disk here loses the
+// run silently; cppc-lint must flag every discarded call.
+
+#include <string>
+
+namespace fixture {
+
+[[nodiscard]] bool atomicWriteFile(const std::string &path,
+                                   const std::string &contents);
+
+struct Journal
+{
+    [[nodiscard]] bool append(const std::string &line);
+};
+
+void
+finishRun(Journal &journal, const std::string &out)
+{
+    journal.append("cell a ok 1 -"); // E1: discarded checkpoint
+    (void)atomicWriteFile(out, "results\n");
+    atomicWriteFile(out, "results\n"); // E1: discarded write
+}
+
+} // namespace fixture

@@ -1,0 +1,26 @@
+// Sabotage fixture for rule H1: a function annotated hot that
+// allocates on every call — exactly the regression the PR-1 hot-path
+// de-allocation work exists to prevent.
+
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+class Probe
+{
+  public:
+    // cppc-lint: hot
+    uint64_t
+    probeRow(unsigned row_bits)
+    {
+        std::vector<uint8_t> scratch; // H1: local container
+        scratch.resize(row_bits / 8); // H1: grows per call
+        uint64_t sum = 0;
+        for (uint8_t b : scratch)
+            sum += b;
+        return sum;
+    }
+};
+
+} // namespace fixture

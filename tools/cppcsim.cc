@@ -169,7 +169,8 @@ emitTable(const Options &opt, const TextTable &t)
     if (!out.empty()) {
         std::ostringstream os;
         t.printCsv(os);
-        atomicWriteFile(out, os.str());
+        if (!atomicWriteFile(out, os.str()))
+            fatal("cannot write results to --out=%s", out.c_str());
     }
 }
 
@@ -202,7 +203,8 @@ cmdRecord(const Options &opt)
             writer.write(gen.next());
         writer.close();
     }
-    atomicPublishFile(tmp, out);
+    if (!atomicPublishFile(tmp, out))
+        fatal("cannot publish recorded trace to --out=%s", out.c_str());
     std::printf("wrote %llu records of %s to %s\n",
                 (unsigned long long)n, profile.name.c_str(),
                 out.c_str());
