@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Per-kernel throughput regression gate.  Times every WideWord hot
+ * operation (XOR, rotations, digit extract/insert, interleaved parity,
+ * popcount, zero test) at the widths the simulator actually uses, plus
+ * the journal line seal/verify path, and emits BENCH_kernels.json:
+ * ns/op and bytes/sec per kernel per width, stamped with the resolved
+ * SIMD backend.
+ *
+ * tools/check_bench_kernels.py compares the JSON against the committed
+ * bench/BENCH_kernels.baseline.json and fails CI on a >10% throughput
+ * drop.  Absolute ns/op is hardware-dependent, so the gate runs on
+ * each kernel's `rel_chain`: its best (minimum) ns/op over the rounds
+ * divided by the best ns/op of a serial-multiply calibration chain
+ * timed between every pair of kernel batches.  Preemption and shared-
+ * core contention only ever add time, so both minimums are de-noised
+ * floors, and a sustained frequency shift of the host scales both
+ * sides and cancels.  Kernels are measured round-robin so a slow
+ * machine phase lands on one round of *every* kernel instead of the
+ * whole budget of one kernel.
+ *
+ * Knobs:
+ *   CPPC_BENCH_KERNELS_MIN_MS  minimum timed batch length (default 10)
+ *   argv[1]                    output path (default BENCH_kernels.json)
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/journal.hh"
+#include "util/atomic_file.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/simd.hh"
+#include "util/table.hh"
+#include "util/wide_word.hh"
+
+using namespace cppc;
+
+namespace {
+
+constexpr int kRounds = 9;
+
+/** Keep a value (and the memory behind it) alive past the optimizer. */
+template <typename T>
+inline void
+keep(const T &v)
+{
+    asm volatile("" : : "g"(&v) : "memory");
+}
+
+double
+envMinMs()
+{
+    const char *s = std::getenv("CPPC_BENCH_KERNELS_MIN_MS");
+    if (!s || !*s)
+        return 10.0;
+    return std::strtod(s, nullptr);
+}
+
+/**
+ * The calibration workload: a serial multiply chain runs at a fixed
+ * cycles/op on any core, so its ns/op tracks the machine's momentary
+ * speed and nothing else.  Each kernel batch is timed back-to-back
+ * with a chain batch; their within-round ratio cancels whatever speed
+ * the machine was running at during that window.
+ */
+void
+chainRun(uint64_t n)
+{
+    uint64_t x = 0x9e3779b97f4a7c15ull;
+    for (uint64_t i = 0; i < n; ++i)
+        x = x * 0xd1342543de82ef95ull + 0x2545f4914f6cdd1dull;
+    keep(x);
+}
+
+using clock_type = std::chrono::steady_clock;
+
+template <typename F>
+double
+batchSeconds(F &&fn, uint64_t iters)
+{
+    auto t0 = clock_type::now();
+    fn(iters);
+    return std::chrono::duration<double>(clock_type::now() - t0).count();
+}
+
+/** Grow a batch size until one batch runs for at least min_s. */
+template <typename F>
+uint64_t
+calibrateIters(F &&fn, double min_s)
+{
+    uint64_t iters = 64;
+    double s = batchSeconds(fn, iters);
+    while (s < min_s && iters < (1ull << 30)) {
+        double scale = s > 0.0 ? min_s / s * 1.4 : 4.0;
+        if (scale < 2.0)
+            scale = 2.0;
+        iters = static_cast<uint64_t>(static_cast<double>(iters) * scale);
+        s = batchSeconds(fn, iters);
+    }
+    return iters;
+}
+
+struct Kernel
+{
+    std::string name;
+    unsigned bytes;                     ///< payload bytes per op
+    std::function<void(uint64_t)> fn;   ///< runs the op n times
+    uint64_t iters = 0;
+    double best_ns = 0.0;               ///< minimum over rounds
+};
+
+std::vector<Kernel> g_kernels;
+
+void
+kernel(std::string name, unsigned payload_bytes,
+       std::function<void(uint64_t)> fn)
+{
+    Kernel k;
+    k.name = std::move(name);
+    k.bytes = payload_bytes;
+    k.fn = std::move(fn);
+    g_kernels.push_back(std::move(k));
+}
+
+void
+registerWideWordKernels(unsigned bytes)
+{
+    Rng rng(1000 + bytes);
+    const WideWord a0 = WideWord::random(rng, bytes);
+    const WideWord b0 = WideWord::random(rng, bytes);
+    const std::string w = strfmt("w%u", bytes);
+
+    kernel(strfmt("xor/%s", w.c_str()), bytes, [a0, b0](uint64_t n) {
+        WideWord a = a0;
+        for (uint64_t i = 0; i < n; ++i)
+            a ^= b0;
+        keep(a);
+    });
+
+    kernel(strfmt("rotate_bytes/%s", w.c_str()), bytes,
+           [a0](uint64_t n) {
+               WideWord a = a0;
+               for (uint64_t i = 0; i < n; ++i)
+                   a = a.rotatedLeft(3);
+               keep(a);
+           });
+
+    kernel(strfmt("rotate_bits/%s", w.c_str()), bytes,
+           [a0](uint64_t n) {
+               WideWord a = a0;
+               for (uint64_t i = 0; i < n; ++i)
+                   a = a.rotatedLeftBits(13);
+               keep(a);
+           });
+
+    for (unsigned k : {2u, 4u, 8u, 16u}) {
+        kernel(strfmt("parity_k%u/%s", k, w.c_str()), bytes,
+               [a0, k](uint64_t n) {
+                   uint64_t acc = 0;
+                   for (uint64_t i = 0; i < n; ++i)
+                       acc ^= a0.interleavedParity(k);
+                   keep(acc);
+               });
+    }
+
+    kernel(strfmt("popcount/%s", w.c_str()), bytes, [a0](uint64_t n) {
+        uint64_t acc = 0;
+        for (uint64_t i = 0; i < n; ++i)
+            acc += a0.popcount();
+        keep(acc);
+    });
+
+    kernel(strfmt("is_zero/%s", w.c_str()), bytes, [a0](uint64_t n) {
+        uint64_t acc = 0;
+        for (uint64_t i = 0; i < n; ++i)
+            acc += a0.isZero() ? 1 : 0;
+        keep(acc);
+    });
+
+    const unsigned db = 6;
+    const unsigned n_digits = bytes * 8 / db;
+    kernel(strfmt("digit/%s", w.c_str()), bytes,
+           [a0, n_digits, db](uint64_t n) {
+               uint64_t acc = 0;
+               for (uint64_t i = 0; i < n; ++i)
+                   acc += a0.digit(static_cast<unsigned>(i % n_digits),
+                                   db);
+               keep(acc);
+           });
+
+    kernel(strfmt("set_digit/%s", w.c_str()), bytes,
+           [a0, n_digits, db](uint64_t n) {
+               WideWord a = a0;
+               for (uint64_t i = 0; i < n; ++i)
+                   a.setDigit(static_cast<unsigned>(i % n_digits), db,
+                              static_cast<uint32_t>(i) & 0x3f);
+               keep(a);
+           });
+}
+
+void
+registerJournalKernels()
+{
+    const std::string body =
+        "cell s1:gcc:cppc-k8-c8-p1-d1-shift ok 1 "
+        "AAAAAAABBBBBBBBCCCCCCCCDDDDDDDDEEEEEEEE";
+    kernel("journal_seal", static_cast<unsigned>(body.size()),
+           [body](uint64_t n) {
+               for (uint64_t i = 0; i < n; ++i) {
+                   std::string line = journalSealLine(body);
+                   keep(line);
+               }
+           });
+    const std::string sealed = journalSealLine(body);
+    kernel("journal_unseal", static_cast<unsigned>(sealed.size()),
+           [sealed](uint64_t n) {
+               std::string out;
+               uint64_t acc = 0;
+               for (uint64_t i = 0; i < n; ++i)
+                   acc += journalUnsealLine(sealed, out) ? 1 : 0;
+               keep(acc);
+           });
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string json_path =
+        argc > 1 ? argv[1] : "BENCH_kernels.json";
+    const double min_s = envMinMs() * 1e-3;
+
+    std::cout << "=== WideWord kernel throughput (backend: "
+              << simd::backendName() << ") ===\n";
+
+    // The chain is both the calibration reference and an (ungated)
+    // kernel of its own, so the JSON records the machine's speed.
+    kernel("calibration_chain", 8,
+           [](uint64_t n) { chainRun(n); });
+    for (unsigned bytes : {8u, 32u, 64u})
+        registerWideWordKernels(bytes);
+    registerJournalKernels();
+
+    const uint64_t chain_iters = calibrateIters(chainRun, min_s);
+    for (Kernel &k : g_kernels)
+        k.iters = calibrateIters(k.fn, min_s);
+
+    double chain_best_ns = 0.0;
+    for (int round = 0; round < kRounds; ++round) {
+        for (Kernel &k : g_kernels) {
+            double cal_s = batchSeconds(chainRun, chain_iters);
+            double s = batchSeconds(k.fn, k.iters);
+            double ns = s / static_cast<double>(k.iters) * 1e9;
+            double cal_ns =
+                cal_s / static_cast<double>(chain_iters) * 1e9;
+            if (round == 0 || ns < k.best_ns)
+                k.best_ns = ns;
+            if (cal_ns > 0.0 &&
+                (chain_best_ns == 0.0 || cal_ns < chain_best_ns))
+                chain_best_ns = cal_ns;
+        }
+    }
+
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"simd_backend\": \"" << simd::backendName() << "\",\n"
+       << "  \"kernels\": [\n";
+    for (size_t i = 0; i < g_kernels.size(); ++i) {
+        Kernel &k = g_kernels[i];
+        double rel = chain_best_ns > 0.0 ? k.best_ns / chain_best_ns
+                                         : 0.0;
+        double bps = k.best_ns > 0.0
+            ? static_cast<double>(k.bytes) / (k.best_ns * 1e-9)
+            : 0.0;
+        std::cout << "  " << k.name << ": "
+                  << formatFixed(k.best_ns, 3) << " ns/op, "
+                  << formatFixed(bps / 1e9, 3) << " GB/s, "
+                  << formatFixed(rel, 4) << "x chain\n";
+        os << "    {\"name\": \"" << k.name << "\", \"bytes\": "
+           << k.bytes << ", \"ns_per_op\": "
+           << formatFixed(k.best_ns, 6) << ", \"bytes_per_sec\": "
+           << formatFixed(bps, 1) << ", \"rel_chain\": "
+           << formatFixed(rel, 6) << "}"
+           << (i + 1 < g_kernels.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+
+    if (!atomicWriteFile(json_path, os.str())) {
+        std::cerr << "cannot write " << json_path << "\n";
+        return 1;
+    }
+    std::cout << "wrote " << json_path << " (" << g_kernels.size()
+              << " kernels)\n";
+    return 0;
+}

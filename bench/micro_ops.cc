@@ -12,6 +12,7 @@
 
 #include "cppc/cppc_scheme.hh"
 #include "cppc/fault_locator.hh"
+#include "harness/journal.hh"
 #include "protection/hamming.hh"
 #include "fault/campaign.hh"
 #include "sim/experiment.hh"
@@ -54,14 +55,100 @@ void
 BM_InterleavedParity(benchmark::State &state)
 {
     unsigned bytes = static_cast<unsigned>(state.range(0));
+    unsigned k = static_cast<unsigned>(state.range(1));
     Rng rng(3);
     WideWord a = WideWord::random(rng, bytes);
     for (auto _ : state) {
-        uint64_t p = a.interleavedParity(8);
+        uint64_t p = a.interleavedParity(k);
         benchmark::DoNotOptimize(p);
     }
 }
-BENCHMARK(BM_InterleavedParity)->Arg(8)->Arg(32);
+BENCHMARK(BM_InterleavedParity)
+    ->Args({8, 8})
+    ->Args({32, 8})
+    ->Args({8, 2})
+    ->Args({32, 2})
+    ->Args({32, 4})
+    ->Args({32, 16});
+
+void
+BM_WideWordRotateBits(benchmark::State &state)
+{
+    // Digit-granular (sub-byte) rotation: the Section 4 N-by-N data
+    // path at its non-byte-aligned worst case.
+    unsigned bytes = static_cast<unsigned>(state.range(0));
+    Rng rng(10);
+    WideWord a = WideWord::random(rng, bytes);
+    unsigned n = 13;
+    for (auto _ : state) {
+        WideWord r = a.rotatedLeftBits(n);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_WideWordRotateBits)->Arg(8)->Arg(32)->Arg(64);
+
+void
+BM_WideWordDigit(benchmark::State &state)
+{
+    unsigned bytes = static_cast<unsigned>(state.range(0));
+    Rng rng(11);
+    WideWord a = WideWord::random(rng, bytes);
+    unsigned n_digits = bytes * 8 / 6;
+    unsigned i = 0;
+    for (auto _ : state) {
+        uint32_t d = a.digit(i, 6);
+        benchmark::DoNotOptimize(d);
+        i = (i + 1) % n_digits;
+    }
+}
+BENCHMARK(BM_WideWordDigit)->Arg(8)->Arg(64);
+
+void
+BM_WideWordSetDigit(benchmark::State &state)
+{
+    unsigned bytes = static_cast<unsigned>(state.range(0));
+    Rng rng(12);
+    WideWord a = WideWord::random(rng, bytes);
+    unsigned n_digits = bytes * 8 / 6;
+    unsigned i = 0;
+    uint32_t v = 0;
+    for (auto _ : state) {
+        a.setDigit(i, 6, v & 0x3f);
+        benchmark::DoNotOptimize(a);
+        i = (i + 1) % n_digits;
+        ++v;
+    }
+}
+BENCHMARK(BM_WideWordSetDigit)->Arg(8)->Arg(64);
+
+void
+BM_JournalSealLine(benchmark::State &state)
+{
+    // The per-checkpoint cost of sealing one journal record.
+    std::string body =
+        "cell s1:gcc:cppc-k8-c8-p1-d1-shift ok 1 "
+        "AAAAAAABBBBBBBBCCCCCCCCDDDDDDDDEEEEEEEE";
+    for (auto _ : state) {
+        std::string line = journalSealLine(body);
+        benchmark::DoNotOptimize(line);
+    }
+}
+BENCHMARK(BM_JournalSealLine);
+
+void
+BM_JournalUnsealLine(benchmark::State &state)
+{
+    std::string line = journalSealLine(
+        "cell s1:gcc:cppc-k8-c8-p1-d1-shift ok 1 "
+        "AAAAAAABBBBBBBBCCCCCCCCDDDDDDDDEEEEEEEE");
+    std::string body;
+    for (auto _ : state) {
+        bool ok = journalUnsealLine(line, body);
+        benchmark::DoNotOptimize(ok);
+        benchmark::DoNotOptimize(body);
+    }
+}
+BENCHMARK(BM_JournalUnsealLine);
 
 void
 BM_SecdedEncode(benchmark::State &state)

@@ -158,6 +158,70 @@ AccessOutcome
 WriteBackCache::access(Addr addr, unsigned size, uint8_t *read_out,
                        const uint8_t *write_in)
 {
+    // Fast path: an aligned full-unit access that hits — the
+    // steady-state L1 operation.  One unit, no partial-store merge, no
+    // line-crossing possible, so the per-unit loop and its byte-range
+    // clamping are skipped entirely.  Every observable effect (stats,
+    // profiler, verify, scheme callbacks, write-through copy, observer
+    // notification) happens in exactly the general-path order; a miss
+    // falls through to the general path untouched.
+    const unsigned fast_ub = geom_.unit_bytes;
+    if (size == fast_ub && addr % fast_ub == 0) {
+        unsigned set = geom_.setIndex(addr);
+        int w = findWay(set, geom_.tagOf(addr));
+        if (w >= 0) {
+            AccessOutcome out;
+            out.hit = true;
+            unsigned way = static_cast<unsigned>(w);
+            Line &line = lineAt(set, way);
+            repl_->touch(set, way);
+            if (write_in)
+                ++stats_.write_hits;
+            else
+                ++stats_.read_hits;
+
+            unsigned off = static_cast<unsigned>(addr % geom_.line_bytes);
+            unsigned u = off / fast_ub;
+            Row row = geom_.rowOf(set, way, u);
+            if (profiler_)
+                profiler_->onAccess(addr, line.dirty[u] != 0, now_);
+
+            uint8_t *unit_ptr = line.data.data() + off;
+            if (!write_in) {
+                verifyUnit(row, out);
+                if (read_out)
+                    std::memcpy(read_out, unit_ptr, fast_ub);
+                notifyObserver("load");
+                return out;
+            }
+
+            bool was_dirty = line.dirty[u] != 0;
+            if (check_on_rbw_ && was_dirty)
+                verifyUnit(row, out);
+            WideWord old_data = WideWord::fromBytes(unit_ptr, fast_ub);
+            WideWord new_data = WideWord::fromBytes(write_in, fast_ub);
+            if (scheme_) {
+                StoreEffect eff = scheme_->onStore(row, old_data,
+                                                   new_data, was_dirty,
+                                                   /*partial=*/false);
+                out.rbw |= eff.rbw;
+            }
+            new_data.toBytes(unit_ptr);
+            if (write_through_) {
+                if (scheme_)
+                    scheme_->onClean(row, new_data);
+                next_->writeLine(addr, unit_ptr, fast_ub);
+                ++write_throughs_;
+            } else {
+                line.dirty[u] = 1;
+            }
+            if (read_out)
+                std::memcpy(read_out, unit_ptr, fast_ub);
+            notifyObserver("store");
+            return out;
+        }
+    }
+
     if (size == 0 || size > geom_.line_bytes)
         fatal("%s: access size %u invalid", name_.c_str(), size);
     if (geom_.lineAddr(addr) != geom_.lineAddr(addr + size - 1))

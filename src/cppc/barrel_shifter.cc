@@ -5,12 +5,18 @@
 
 namespace cppc {
 
-BarrelShifter::BarrelShifter(unsigned word_bits, double feature_nm)
-    : word_bits_(word_bits), feature_nm_(feature_nm)
+BarrelShifter::BarrelShifter(unsigned word_bits, double feature_nm,
+                             unsigned digit_bits)
+    : word_bits_(word_bits), feature_nm_(feature_nm),
+      digit_bits_(digit_bits)
 {
     if (word_bits_ < 8 || word_bits_ % 8 != 0)
         fatal("barrel shifter width %u must be a multiple of 8",
               word_bits_);
+    if (digit_bits_ < 1 || word_bits_ % digit_bits_ != 0)
+        fatal("barrel shifter digit size %u must divide the %u-bit "
+              "word",
+              digit_bits_, word_bits_);
 }
 
 ShifterCost

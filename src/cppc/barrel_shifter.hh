@@ -35,10 +35,14 @@ class BarrelShifter
     /**
      * @param word_bits    width of the rotated word
      * @param feature_nm   technology node for the cost scaling
+     * @param digit_bits   rotation granularity (Section 4's N-by-N
+     *                     construction; 8 = the Figure 6 byte shifter)
      */
-    explicit BarrelShifter(unsigned word_bits, double feature_nm = 90.0);
+    explicit BarrelShifter(unsigned word_bits, double feature_nm = 90.0,
+                           unsigned digit_bits = 8);
 
     unsigned wordBits() const { return word_bits_; }
+    unsigned digitBits() const { return digit_bits_; }
 
     /** Rotate left by @p bytes (the pre-R1/R2 direction). */
     WideWord
@@ -55,6 +59,27 @@ class BarrelShifter
     }
 
     /**
+     * Rotate left by @p digits rotation classes (digitBits() bits
+     * each): the data-path operation applied before every R1/R2 XOR.
+     * Delegates to the word-parallel WideWord rotation — the shifter
+     * owns the digit geometry so scheme code never multiplies widths.
+     */
+    // cppc-lint: hot
+    WideWord
+    rotateLeftDigits(const WideWord &w, unsigned digits) const
+    {
+        return w.rotatedLeftBits(digits * digit_bits_);
+    }
+
+    /** Inverse of rotateLeftDigits (recovery direction). */
+    // cppc-lint: hot
+    WideWord
+    rotateRightDigits(const WideWord &w, unsigned digits) const
+    {
+        return w.rotatedRightBits(digits * digit_bits_);
+    }
+
+    /**
      * Cost model calibrated to the Section 4.8 reference points: a
      * 32-bit shifter at 90 nm takes < 0.4 ns and ~1.5 pJ [9].  Delay
      * scales with stage count and linearly with feature size; energy
@@ -65,6 +90,7 @@ class BarrelShifter
   private:
     unsigned word_bits_;
     double feature_nm_;
+    unsigned digit_bits_;
 };
 
 } // namespace cppc

@@ -33,7 +33,7 @@ CppcScheme::attach(CacheBackdoor &cache)
     rows_per_domain_ = geom.numRows() / cfg_.num_domains;
     regs_ = XorRegisterFile(geom.unit_bytes, cfg_.num_domains,
                             cfg_.pairs_per_domain);
-    shifter_ = BarrelShifter(geom.unit_bytes * 8);
+    shifter_ = BarrelShifter(geom.unit_bytes * 8, 90.0, cfg_.digit_bits);
     if (cfg_.locator == CppcConfig::Locator::Paper) {
         locator_ = std::make_unique<PaperFaultLocator>(geom.unit_bytes,
                                                        cfg_.digit_bits);
@@ -74,11 +74,11 @@ CppcScheme::onEvict(Row row0, unsigned n_units, const uint8_t *data,
         Row row = row0 + u;
         regs_.accumulateRemoval(
             domainOf(row), pairOf(row),
-            unitAt(data, u).rotatedLeftBits(rotationOf(row) *
-                                            cfg_.digit_bits));
+            shifter_.rotateLeftDigits(unitAt(data, u), rotationOf(row)));
     }
 }
 
+// cppc-lint: hot
 StoreEffect
 CppcScheme::onStore(Row row, const WideWord &old_data,
                     const WideWord &new_data, bool was_dirty, bool partial)
@@ -91,7 +91,7 @@ CppcScheme::onStore(Row row, const WideWord &old_data,
     if (was_dirty) {
         // Overwriting dirty data removes it: read-before-write into R2.
         regs_.accumulateRemoval(
-            d, p, old_data.rotatedLeftBits(rot * cfg_.digit_bits));
+            d, p, shifter_.rotateLeftDigits(old_data, rot));
         eff.rbw = true;
     } else if (partial) {
         // A partial store to a clean word must read the whole old word
@@ -100,13 +100,14 @@ CppcScheme::onStore(Row row, const WideWord &old_data,
         eff.rbw = true;
     }
     regs_.accumulateStore(
-        d, p, new_data.rotatedLeftBits(rot * cfg_.digit_bits));
+        d, p, shifter_.rotateLeftDigits(new_data, rot));
     code_[row] = new_data.interleavedParity(cfg_.parity_ways);
     if (eff.rbw)
         ++stats_.rbw_words;
     return eff;
 }
 
+// cppc-lint: hot
 void
 CppcScheme::onClean(Row row, const WideWord &data)
 {
@@ -114,9 +115,10 @@ CppcScheme::onClean(Row row, const WideWord &data)
     // back): it leaves the XOR checkpoint exactly like an eviction.
     regs_.accumulateRemoval(
         domainOf(row), pairOf(row),
-        data.rotatedLeftBits(rotationOf(row) * cfg_.digit_bits));
+        shifter_.rotateLeftDigits(data, rotationOf(row)));
 }
 
+// cppc-lint: hot
 bool
 CppcScheme::check(Row row) const
 {
@@ -142,8 +144,8 @@ CppcScheme::recomputeDirtyXor(unsigned domain, unsigned pair) const
 {
     WideWord acc(cache_->geometry().unit_bytes);
     forEachScopedDirtyRow(domain, pair, [&](Row r) {
-        acc ^= cache_->rowData(r).rotatedLeftBits(rotationOf(r) *
-                                                  cfg_.digit_bits);
+        acc ^= shifter_.rotateLeftDigits(cache_->rowData(r),
+                                         rotationOf(r));
     });
     return acc;
 }
@@ -196,12 +198,11 @@ CppcScheme::recoverSingle(Row f)
     WideWord acc = regs_.dirtyXor(d, p);
     forEachScopedDirtyRow(d, p, [&](Row r) {
         if (r != f) {
-            acc ^= cache_->rowData(r).rotatedLeftBits(rotationOf(r) *
-                                                      cfg_.digit_bits);
+            acc ^= shifter_.rotateLeftDigits(cache_->rowData(r),
+                                             rotationOf(r));
         }
     });
-    WideWord corrected =
-        acc.rotatedRightBits(rotationOf(f) * cfg_.digit_bits);
+    WideWord corrected = shifter_.rotateRightDigits(acc, rotationOf(f));
     if (corrected.interleavedParity(cfg_.parity_ways) != code_[f])
         return false; // reconstruction contradicts the stored parity
     cache_->pokeRowData(f, corrected);
@@ -220,8 +221,8 @@ CppcScheme::recoverGroup(unsigned domain, unsigned pair,
     // ones — the rotated image of every flipped bit (Section 4.5).
     WideWord r3 = regs_.dirtyXor(domain, pair);
     forEachScopedDirtyRow(domain, pair, [&](Row r) {
-        r3 ^= cache_->rowData(r).rotatedLeftBits(rotationOf(r) *
-                                                 cfg_.digit_bits);
+        r3 ^= shifter_.rotateLeftDigits(cache_->rowData(r),
+                                        rotationOf(r));
     });
 
     std::vector<uint64_t> pmasks;
@@ -261,8 +262,8 @@ CppcScheme::recoverGroup(unsigned domain, unsigned pair,
             for (unsigned i = 0; i < rows.size(); ++i) {
                 Row f = rows[i];
                 WideWord corrected = cache_->rowData(f) ^
-                    rot_masks[i].rotatedRightBits(rotationOf(f) *
-                                                  cfg_.digit_bits);
+                    shifter_.rotateRightDigits(rot_masks[i],
+                                               rotationOf(f));
                 if (corrected.interleavedParity(k) != code_[f])
                     return false;
                 cache_->pokeRowData(f, corrected);

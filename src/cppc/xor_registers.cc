@@ -41,6 +41,7 @@ XorRegisterFile::r2(unsigned domain, unsigned pair) const
     return at(domain, pair, Which::R2).value;
 }
 
+// cppc-lint: hot
 void
 XorRegisterFile::accumulateStore(unsigned domain, unsigned pair,
                                  const WideWord &rotated_data)
@@ -50,6 +51,7 @@ XorRegisterFile::accumulateStore(unsigned domain, unsigned pair,
     r.parity ^= rotated_data.parity();
 }
 
+// cppc-lint: hot
 void
 XorRegisterFile::accumulateRemoval(unsigned domain, unsigned pair,
                                    const WideWord &rotated_data)

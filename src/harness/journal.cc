@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/atomic_file.hh"
+#include "util/fnv.hh"
 #include "util/logging.hh"
 
 namespace cppc {
@@ -13,17 +14,6 @@ namespace {
 
 constexpr const char *kMagic = "cppc-journal";
 constexpr const char *kVersion = "v1";
-
-uint32_t
-fnv1a32(const std::string &text)
-{
-    uint32_t h = 2166136261u;
-    for (unsigned char c : text) {
-        h ^= c;
-        h *= 16777619u;
-    }
-    return h;
-}
 
 bool
 hasWhitespace(const std::string &s)
@@ -34,19 +24,16 @@ hasWhitespace(const std::string &s)
     return false;
 }
 
-/** Append " crc=XXXXXXXX" over the body. */
+} // namespace
+
 std::string
-sealLine(const std::string &body)
+journalSealLine(const std::string &body)
 {
     return strfmt("%s crc=%08x", body.c_str(), fnv1a32(body));
 }
 
-/**
- * Split "body crc=XXXXXXXX" and verify; false on malformed or
- * mismatching lines (the torn-tail case).
- */
 bool
-unsealLine(const std::string &line, std::string &body_out)
+journalUnsealLine(const std::string &line, std::string &body_out)
 {
     size_t at = line.rfind(" crc=");
     if (at == std::string::npos || line.size() != at + 5 + 8)
@@ -69,6 +56,8 @@ unsealLine(const std::string &line, std::string &body_out)
     body_out = std::move(body);
     return true;
 }
+
+namespace {
 
 std::vector<std::string>
 splitTokens(const std::string &body)
@@ -112,12 +101,7 @@ parseCellStatus(const std::string &token)
 uint64_t
 journalConfigHash(const std::string &text)
 {
-    uint64_t h = 14695981039346656037ull;
-    for (unsigned char c : text) {
-        h ^= c;
-        h *= 1099511628211ull;
-    }
-    return h;
+    return fnv1a64(text);
 }
 
 Journal::Journal(std::string path, std::string kind, std::string config,
@@ -134,12 +118,12 @@ Journal::Journal(std::string path, std::string kind, std::string config,
               "token",
               config_.c_str());
 
-    const std::string header = sealLine(
+    const std::string header = journalSealLine(
         strfmt("%s %s %s %016llx", kMagic, kVersion, kind_.c_str(),
                static_cast<unsigned long long>(
                    journalConfigHash(config_))));
     const std::string config_line =
-        sealLine(strfmt("config %s", config_.c_str()));
+        journalSealLine(strfmt("config %s", config_.c_str()));
 
     std::ifstream is(path_);
     if (is) {
@@ -153,7 +137,7 @@ Journal::Journal(std::string path, std::string kind, std::string config,
         std::string line, body;
         bool tail_dropped = false;
         while (std::getline(is, line)) {
-            if (!unsealLine(line, body)) {
+            if (!journalUnsealLine(line, body)) {
                 tail_dropped = true;
                 break; // torn or truncated: everything after is void
             }
@@ -233,7 +217,7 @@ Journal::formatRecord(const JournalRecord &rec) const
         panic("journal payload for '%s' contains whitespace; encode it "
               "through harness/codec",
               rec.key.c_str());
-    return sealLine(strfmt(
+    return journalSealLine(strfmt(
         "cell %s %s %u %s", rec.key.c_str(),
         cellStatusName(rec.status), rec.attempts,
         rec.payload.empty() ? "-" : rec.payload.c_str()));

@@ -65,6 +65,19 @@ struct JournalRecord
 uint64_t journalConfigHash(const std::string &text);
 
 /**
+ * Seal a whitespace-free journal body: append " crc=XXXXXXXX"
+ * (fnv1a32 over the body, word-at-a-time fast path in util/fnv.hh —
+ * the on-disk format is durable and must never change).
+ */
+std::string journalSealLine(const std::string &body);
+
+/**
+ * Split "body crc=XXXXXXXX" and verify; false on malformed or
+ * mismatching lines (the torn-tail case).
+ */
+bool journalUnsealLine(const std::string &line, std::string &body_out);
+
+/**
  * An open journal.  Thread-safe appends (the run controller journals
  * from worker completions).
  */

@@ -64,6 +64,7 @@ IcrScheme::onEvict(Row row0, unsigned n_units, const uint8_t *,
     }
 }
 
+// cppc-lint: hot
 StoreEffect
 IcrScheme::onStore(Row row, const WideWord &, const WideWord &new_data,
                    bool, bool)
@@ -94,6 +95,7 @@ IcrScheme::onClean(Row row, const WideWord &)
     replica_valid_[row] = 0;
 }
 
+// cppc-lint: hot
 bool
 IcrScheme::check(Row row) const
 {

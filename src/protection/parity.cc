@@ -45,6 +45,7 @@ OneDimParityScheme::onEvict(Row, unsigned, const uint8_t *, const uint8_t *)
 {
 }
 
+// cppc-lint: hot
 StoreEffect
 OneDimParityScheme::onStore(Row row, const WideWord &,
                             const WideWord &new_data, bool, bool partial)
@@ -58,6 +59,7 @@ OneDimParityScheme::onStore(Row row, const WideWord &,
     return eff;
 }
 
+// cppc-lint: hot
 bool
 OneDimParityScheme::check(Row row) const
 {

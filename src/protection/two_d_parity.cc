@@ -64,6 +64,7 @@ TwoDParityScheme::onEvict(Row, unsigned n_units, const uint8_t *data,
         vertical_ ^= unitAt(data, u);
 }
 
+// cppc-lint: hot
 StoreEffect
 TwoDParityScheme::onStore(Row row, const WideWord &old_data,
                           const WideWord &new_data, bool, bool)
@@ -78,6 +79,7 @@ TwoDParityScheme::onStore(Row row, const WideWord &old_data,
     return eff;
 }
 
+// cppc-lint: hot
 bool
 TwoDParityScheme::check(Row row) const
 {

@@ -92,19 +92,28 @@ parity64(uint64_t v)
  * j mod k == i, matching Section 3.6 of the paper
  * (Parity[i] = XOR(data[i], data[i+k], ...)).
  *
+ * Computed with k-bit masked folds — 64/k word operations — rather
+ * than a per-bit sweep; for k dividing 64 the fold halves log-style.
+ *
  * @return a k-bit mask whose bit i is parity bit i.
  */
 constexpr uint64_t
 interleavedParity64(uint64_t v, unsigned k)
 {
     assert(k >= 1 && k <= 64);
-    uint64_t p = 0;
-    for (unsigned i = 0; i < k; ++i) {
-        uint64_t acc = 0;
-        for (unsigned j = i; j < 64; j += k)
-            acc ^= (v >> j) & 1;
-        p |= acc << i;
+    if (k == 64)
+        return v;
+    if (64 % k == 0) {
+        for (unsigned s = 64; s > k; ) {
+            s >>= 1;
+            v ^= v >> s;
+        }
+        return v & ((1ull << k) - 1);
     }
+    const uint64_t mask = (1ull << k) - 1;
+    uint64_t p = 0;
+    for (unsigned off = 0; off < 64; off += k)
+        p ^= (v >> off) & mask;
     return p;
 }
 

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * FNV-1a hashing with a word-at-a-time fast path.
+ *
+ * The harness journal seals every line with "crc=XXXXXXXX" (fnv1a32
+ * over the body) and binds configurations with fnv1a64; both formats
+ * are durable on disk, so the optimised loops here MUST produce the
+ * exact byte-sequential FNV-1a value — `--resume` reads journals
+ * written by older builds.  The speedup therefore comes not from a
+ * different hash but from feeding the same recurrence from an 8-byte
+ * register loaded once per lane (no per-byte memory reads, no bounds
+ * checks), with the multiply chain fully unrolled.
+ *
+ * tests/test_wide_word_simd.cc pins both against the reference
+ * byte-loop on randomized inputs.
+ */
+
+#ifndef CPPC_UTIL_FNV_HH
+#define CPPC_UTIL_FNV_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace cppc {
+
+namespace detail {
+
+/** One FNV-1a32 step for the byte in the low 8 bits of @p c. */
+inline uint32_t
+fnv1a32Step(uint32_t h, uint64_t c)
+{
+    return (h ^ static_cast<uint32_t>(c & 0xff)) * 16777619u;
+}
+
+inline uint64_t
+fnv1a64Step(uint64_t h, uint64_t c)
+{
+    return (h ^ (c & 0xff)) * 1099511628211ull;
+}
+
+} // namespace detail
+
+/** FNV-1a 32-bit over @p len bytes, word-at-a-time. */
+inline uint32_t
+fnv1a32(const void *data, size_t len)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    uint32_t h = 2166136261u;
+    size_t i = 0;
+    for (; i + 8 <= len; i += 8) {
+        uint64_t w;
+        std::memcpy(&w, p + i, 8); // single 64-bit load
+        h = detail::fnv1a32Step(h, w);
+        h = detail::fnv1a32Step(h, w >> 8);
+        h = detail::fnv1a32Step(h, w >> 16);
+        h = detail::fnv1a32Step(h, w >> 24);
+        h = detail::fnv1a32Step(h, w >> 32);
+        h = detail::fnv1a32Step(h, w >> 40);
+        h = detail::fnv1a32Step(h, w >> 48);
+        h = detail::fnv1a32Step(h, w >> 56);
+    }
+    for (; i < len; ++i)
+        h = detail::fnv1a32Step(h, p[i]);
+    return h;
+}
+
+inline uint32_t
+fnv1a32(const std::string &s)
+{
+    return fnv1a32(s.data(), s.size());
+}
+
+/** FNV-1a 64-bit over @p len bytes, word-at-a-time. */
+inline uint64_t
+fnv1a64(const void *data, size_t len)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    uint64_t h = 14695981039346656037ull;
+    size_t i = 0;
+    for (; i + 8 <= len; i += 8) {
+        uint64_t w;
+        std::memcpy(&w, p + i, 8);
+        h = detail::fnv1a64Step(h, w);
+        h = detail::fnv1a64Step(h, w >> 8);
+        h = detail::fnv1a64Step(h, w >> 16);
+        h = detail::fnv1a64Step(h, w >> 24);
+        h = detail::fnv1a64Step(h, w >> 32);
+        h = detail::fnv1a64Step(h, w >> 40);
+        h = detail::fnv1a64Step(h, w >> 48);
+        h = detail::fnv1a64Step(h, w >> 56);
+    }
+    for (; i < len; ++i)
+        h = detail::fnv1a64Step(h, p[i]);
+    return h;
+}
+
+inline uint64_t
+fnv1a64(const std::string &s)
+{
+    return fnv1a64(s.data(), s.size());
+}
+
+} // namespace cppc
+
+#endif // CPPC_UTIL_FNV_HH

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Build-time SIMD dispatch for the WideWord hot kernels.
+ *
+ * Exactly one backend is selected when the tree is configured
+ * (`-DCPPC_SIMD=avx2|neon|scalar`, auto-detected by default):
+ *
+ *   - CPPC_SIMD_AVX2: 256-bit AVX2 lanes plus PCLMULQDQ carryless
+ *     multiply (x86-64);
+ *   - CPPC_SIMD_NEON: 128-bit NEON lanes (AArch64), with PMULL when
+ *     the crypto extension is available;
+ *   - neither: portable uint64_t-lane loops (the *reference*
+ *     implementation — every backend must be bit-identical to it,
+ *     enforced by tests/test_wide_word_simd.cc and the CI
+ *     `CPPC_SIMD=scalar` build leg).
+ *
+ * All functions operate on the fixed 64-byte (8 x uint64_t) WideWord
+ * backing store; widths below 64 bytes rely on the tail-bytes-are-zero
+ * invariant maintained by WideWord, which makes full-width operations
+ * width-oblivious (XOR/OR/compare of zero tails is a no-op).
+ */
+
+#ifndef CPPC_UTIL_SIMD_HH
+#define CPPC_UTIL_SIMD_HH
+
+#include <bit>
+#include <cstdint>
+
+#if defined(CPPC_SIMD_AVX2)
+#include <immintrin.h>
+#elif defined(CPPC_SIMD_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace cppc {
+namespace simd {
+
+/** Words per full-width (64-byte) WideWord operand. */
+inline constexpr unsigned kLaneWords = 8;
+
+/** Human-readable backend name (stamped into BENCH_kernels.json). */
+inline constexpr const char *
+backendName()
+{
+#if defined(CPPC_SIMD_AVX2)
+    return "avx2";
+#elif defined(CPPC_SIMD_NEON)
+    return "neon";
+#else
+    return "scalar";
+#endif
+}
+
+/** dst[0..8) ^= src[0..8) over the full 64-byte lane. */
+inline void
+xorLanes(uint64_t *dst, const uint64_t *src)
+{
+#if defined(CPPC_SIMD_AVX2)
+    __m256i d0 = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(dst));
+    __m256i d1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(dst + 4));
+    __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(src));
+    __m256i s1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(src + 4));
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst),
+                        _mm256_xor_si256(d0, s0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + 4),
+                        _mm256_xor_si256(d1, s1));
+#elif defined(CPPC_SIMD_NEON)
+    for (unsigned i = 0; i < kLaneWords; i += 2) {
+        uint64x2_t d = vld1q_u64(dst + i);
+        uint64x2_t s = vld1q_u64(src + i);
+        vst1q_u64(dst + i, veorq_u64(d, s));
+    }
+#else
+    for (unsigned i = 0; i < kLaneWords; ++i)
+        dst[i] ^= src[i];
+#endif
+}
+
+/** True iff all 8 words are zero. */
+inline bool
+isZeroLanes(const uint64_t *p)
+{
+#if defined(CPPC_SIMD_AVX2)
+    __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(p));
+    __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(p + 4));
+    __m256i o = _mm256_or_si256(a, b);
+    return _mm256_testz_si256(o, o) != 0;
+#elif defined(CPPC_SIMD_NEON)
+    uint64x2_t acc = vorrq_u64(vld1q_u64(p), vld1q_u64(p + 2));
+    acc = vorrq_u64(acc, vld1q_u64(p + 4));
+    acc = vorrq_u64(acc, vld1q_u64(p + 6));
+    return (vgetq_lane_u64(acc, 0) | vgetq_lane_u64(acc, 1)) == 0;
+#else
+    uint64_t acc = 0;
+    for (unsigned i = 0; i < kLaneWords; ++i)
+        acc |= p[i];
+    return acc == 0;
+#endif
+}
+
+/** True iff the two 64-byte lanes are bytewise equal. */
+inline bool
+equalLanes(const uint64_t *a, const uint64_t *b)
+{
+#if defined(CPPC_SIMD_AVX2)
+    __m256i a0 = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(a));
+    __m256i a1 = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(a + 4));
+    __m256i b0 = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(b));
+    __m256i b1 = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(b + 4));
+    __m256i d = _mm256_or_si256(_mm256_xor_si256(a0, b0),
+                                _mm256_xor_si256(a1, b1));
+    return _mm256_testz_si256(d, d) != 0;
+#else
+    uint64_t acc = 0;
+    for (unsigned i = 0; i < kLaneWords; ++i)
+        acc |= a[i] ^ b[i];
+    return acc == 0;
+#endif
+}
+
+/** XOR-fold of all 8 words (feeds the parity-class folds). */
+inline uint64_t
+xorReduceLanes(const uint64_t *p)
+{
+#if defined(CPPC_SIMD_AVX2)
+    __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(p));
+    __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(p + 4));
+    __m256i x = _mm256_xor_si256(a, b);
+    __m128i lo = _mm256_castsi256_si128(x);
+    __m128i hi = _mm256_extracti128_si256(x, 1);
+    __m128i f = _mm_xor_si128(lo, hi);
+    return static_cast<uint64_t>(_mm_cvtsi128_si64(f)) ^
+        static_cast<uint64_t>(
+            _mm_cvtsi128_si64(_mm_unpackhi_epi64(f, f)));
+#elif defined(CPPC_SIMD_NEON)
+    uint64x2_t acc = veorq_u64(vld1q_u64(p), vld1q_u64(p + 2));
+    acc = veorq_u64(acc, vld1q_u64(p + 4));
+    acc = veorq_u64(acc, vld1q_u64(p + 6));
+    return vgetq_lane_u64(acc, 0) ^ vgetq_lane_u64(acc, 1);
+#else
+    uint64_t acc = 0;
+    for (unsigned i = 0; i < kLaneWords; ++i)
+        acc ^= p[i];
+    return acc;
+#endif
+}
+
+/** Total population count of the 8 words. */
+inline unsigned
+popcountLanes(const uint64_t *p)
+{
+    // Scalar popcount lowers to one instruction per word on every
+    // target; a vector Harley-Seal pass only pays off far above 64 B.
+    unsigned n = 0;
+    for (unsigned i = 0; i < kLaneWords; ++i)
+        n += static_cast<unsigned>(std::popcount(p[i]));
+    return n;
+}
+
+/** Whether clmul64() runs in hardware on this backend. */
+inline constexpr bool
+hasClmul()
+{
+#if defined(CPPC_SIMD_AVX2) ||                                             \
+    (defined(CPPC_SIMD_NEON) && defined(__ARM_FEATURE_AES))
+    return true;
+#else
+    return false;
+#endif
+}
+
+/**
+ * Low 64 bits of the GF(2)[x] carryless product a * b.
+ *
+ * One PCLMULQDQ/PMULL instruction where available; the shift-and-XOR
+ * fallback keeps the scalar build dependency-free and bit-identical.
+ */
+inline uint64_t
+clmul64(uint64_t a, uint64_t b)
+{
+#if defined(CPPC_SIMD_AVX2)
+    __m128i va = _mm_cvtsi64_si128(static_cast<long long>(a));
+    __m128i vb = _mm_cvtsi64_si128(static_cast<long long>(b));
+    return static_cast<uint64_t>(
+        _mm_cvtsi128_si64(_mm_clmulepi64_si128(va, vb, 0x00)));
+#elif defined(CPPC_SIMD_NEON) && defined(__ARM_FEATURE_AES)
+    poly128_t prod =
+        vmull_p64(static_cast<poly64_t>(a), static_cast<poly64_t>(b));
+    return static_cast<uint64_t>(prod);
+#else
+    uint64_t acc = 0;
+    while (b) {
+        acc ^= a * (b & 1); // branch-free conditional XOR
+        a <<= 1;
+        b >>= 1;
+    }
+    return acc;
+#endif
+}
+
+/**
+ * k-way interleaved parity classes of one 64-bit word, for k dividing
+ * 64: bit c of the result is the XOR of bits j of @p v with j % k == c.
+ *
+ * Via carryless multiply this is a single multiplication: with the
+ * comb mask M_k = sum of x^(j*k), the product bits [64-k, 64) are
+ * exactly the k parity classes (each column 64-k+c of the product sums
+ * v_i over i = c mod k).  This is the crc64.c-style clmul fold
+ * specialised to the polynomial x^k + 1.  The log-fold fallback is the
+ * classic word-parallel reduction; both are bit-identical.
+ */
+inline uint64_t
+parityClassesPow2(uint64_t v, unsigned k)
+{
+#if defined(CPPC_SIMD_AVX2) ||                                             \
+    (defined(CPPC_SIMD_NEON) && defined(__ARM_FEATURE_AES))
+    if (k == 64)
+        return v;
+    // Comb mask with ones every k bits: replicate bit 0 of the pattern.
+    const uint64_t comb = ~0ull / ((1ull << k) - 1);
+    return clmul64(v, comb) >> (64 - k);
+#else
+    for (unsigned s = 64; s > k; ) {
+        s >>= 1;
+        v ^= v >> s;
+    }
+    return k >= 64 ? v : v & ((1ull << k) - 1);
+#endif
+}
+
+} // namespace simd
+} // namespace cppc
+
+#endif // CPPC_UTIL_SIMD_HH

@@ -14,7 +14,7 @@ WideWord::toHex() const
     s += "0x";
     for (unsigned i = size_; i-- > 0;) {
         char buf[3];
-        std::snprintf(buf, sizeof(buf), "%02x", bytes_[i]);
+        std::snprintf(buf, sizeof(buf), "%02x", byte(i));
         s += buf;
     }
     return s;
@@ -23,9 +23,12 @@ WideWord::toHex() const
 WideWord
 WideWord::random(Rng &rng, unsigned n_bytes)
 {
+    // One rng.next() per byte, low 8 bits each: the draw order is part
+    // of the deterministic-replay contract (campaign and fuzz seeds
+    // reproduce bit-exactly), so it must not change with the storage.
     WideWord w(n_bytes);
     for (unsigned i = 0; i < n_bytes; ++i)
-        w.bytes_[i] = static_cast<uint8_t>(rng.next());
+        w.setByte(i, static_cast<uint8_t>(rng.next()));
     return w;
 }
 

@@ -11,12 +11,21 @@
  * Bit numbering: bit j lives in byte j/8 at offset j%8 (little-endian
  * within the word). "Rotate left by k bytes" follows the paper's Figure 5
  * convention: rotated bit j == original bit (j + 8k) mod width.
+ *
+ * Storage is eight uint64_t lanes (one full cache line) rather than a
+ * byte array: every hot operation — XOR, compare, popcount, parity
+ * folds, rotation, digit extraction — works word-at-a-time (or on
+ * 256/128-bit lanes through util/simd.hh), never byte- or bit-at-a-time.
+ * Lane words hold bit j of the word at bit j%64 of lane j/64, and all
+ * bits at or beyond sizeBits() are kept zero (the tail-zero invariant),
+ * which lets full-width lane operations ignore the configured width.
  */
 
 #ifndef CPPC_UTIL_WIDE_WORD_HH
 #define CPPC_UTIL_WIDE_WORD_HH
 
 #include <array>
+#include <bit>
 #include <cassert>
 #include <cstdint>
 #include <cstring>
@@ -24,6 +33,7 @@
 #include <type_traits>
 
 #include "util/bits.hh"
+#include "util/simd.hh"
 
 namespace cppc {
 
@@ -40,13 +50,15 @@ class WideWord
   public:
     /** Maximum supported width, bytes (an entire 64-byte cache line). */
     static constexpr unsigned kMaxBytes = 64;
+    /** Backing lanes (kMaxBytes / 8 words of 64 bits). */
+    static constexpr unsigned kMaxWords = kMaxBytes / 8;
 
     /** Construct a zero word of @p n_bytes bytes (default 8 = 64 bits). */
     explicit WideWord(unsigned n_bytes = 8)
         : size_(n_bytes)
     {
         assert(n_bytes >= 1 && n_bytes <= kMaxBytes);
-        bytes_.fill(0);
+        w_.fill(0);
     }
 
     /** Construct an n-byte word from the low bytes of @p value. */
@@ -54,8 +66,9 @@ class WideWord
     fromUint64(uint64_t value, unsigned n_bytes = 8)
     {
         WideWord w(n_bytes);
-        for (unsigned i = 0; i < n_bytes && i < 8; ++i)
-            w.bytes_[i] = static_cast<uint8_t>(value >> (8 * i));
+        w.w_[0] = n_bytes >= 8
+            ? value
+            : value & ((1ull << (8 * n_bytes)) - 1);
         return w;
     }
 
@@ -64,7 +77,12 @@ class WideWord
     fromBytes(const uint8_t *data, unsigned n_bytes)
     {
         WideWord w(n_bytes);
-        std::memcpy(w.bytes_.data(), data, n_bytes);
+        if constexpr (std::endian::native == std::endian::little) {
+            std::memcpy(w.w_.data(), data, n_bytes);
+        } else {
+            for (unsigned i = 0; i < n_bytes; ++i)
+                w.setByte(i, data[i]);
+        }
         return w;
     }
 
@@ -72,39 +90,49 @@ class WideWord
     unsigned sizeBytes() const { return size_; }
     /** Width in bits. */
     unsigned sizeBits() const { return size_ * 8; }
+    /** Active 64-bit lanes (ceil of sizeBytes / 8). */
+    unsigned sizeWords() const { return (size_ + 7) / 8; }
+
+    /** Lane access (bits [64i, 64i+64); tail bits read as zero). */
+    uint64_t word(unsigned i) const { assert(i < kMaxWords); return w_[i]; }
 
     /** Raw byte access. */
-    uint8_t byte(unsigned i) const { assert(i < size_); return bytes_[i]; }
+    uint8_t
+    byte(unsigned i) const
+    {
+        assert(i < size_);
+        return static_cast<uint8_t>(w_[i / 8] >> (8 * (i % 8)));
+    }
     void
     setByte(unsigned i, uint8_t v)
     {
         assert(i < size_);
-        bytes_[i] = v;
+        unsigned sh = 8 * (i % 8);
+        w_[i / 8] = (w_[i / 8] & ~(0xffull << sh)) |
+            (static_cast<uint64_t>(v) << sh);
     }
 
     /** Copy the word out to a raw buffer of sizeBytes() bytes. */
     void
     toBytes(uint8_t *out) const
     {
-        std::memcpy(out, bytes_.data(), size_);
+        if constexpr (std::endian::native == std::endian::little) {
+            std::memcpy(out, w_.data(), size_);
+        } else {
+            for (unsigned i = 0; i < size_; ++i)
+                out[i] = byte(i);
+        }
     }
 
     /** Low 64 bits as an integer (exact for words <= 8 bytes wide). */
-    uint64_t
-    toUint64() const
-    {
-        uint64_t v = 0;
-        for (unsigned i = 0; i < size_ && i < 8; ++i)
-            v |= static_cast<uint64_t>(bytes_[i]) << (8 * i);
-        return v;
-    }
+    uint64_t toUint64() const { return w_[0]; }
 
     /** Test bit @p j (0 <= j < sizeBits()). */
     bool
     bit(unsigned j) const
     {
         assert(j < sizeBits());
-        return (bytes_[j / 8] >> (j % 8)) & 1;
+        return (w_[j / 64] >> (j % 64)) & 1;
     }
 
     /** Set bit @p j to @p on. */
@@ -112,10 +140,11 @@ class WideWord
     setBit(unsigned j, bool on = true)
     {
         assert(j < sizeBits());
+        uint64_t m = 1ull << (j % 64);
         if (on)
-            bytes_[j / 8] |= uint8_t(1u << (j % 8));
+            w_[j / 64] |= m;
         else
-            bytes_[j / 8] &= uint8_t(~(1u << (j % 8)));
+            w_[j / 64] &= ~m;
     }
 
     /** Flip bit @p j (models a particle strike on one cell). */
@@ -123,36 +152,40 @@ class WideWord
     flipBit(unsigned j)
     {
         assert(j < sizeBits());
-        bytes_[j / 8] ^= uint8_t(1u << (j % 8));
+        w_[j / 64] ^= 1ull << (j % 64);
     }
 
     /** True iff every bit is zero. */
+    // cppc-lint: hot
     bool
     isZero() const
     {
-        for (unsigned i = 0; i < size_; ++i)
-            if (bytes_[i])
-                return false;
-        return true;
+        if (size_ <= 8)
+            return w_[0] == 0;
+        return simd::isZeroLanes(w_.data());
     }
 
     /** Number of set bits. */
     unsigned
     popcount() const
     {
-        unsigned n = 0;
-        for (unsigned i = 0; i < size_; ++i)
-            n += cppc::popcount(bytes_[i]);
-        return n;
+        if (size_ <= 8)
+            return static_cast<unsigned>(std::popcount(w_[0]));
+        return simd::popcountLanes(w_.data());
     }
 
     /** In-place XOR; widths must match. */
+    // cppc-lint: hot
     WideWord &
     operator^=(const WideWord &o)
     {
         assert(size_ == o.size_);
-        for (unsigned i = 0; i < size_; ++i)
-            bytes_[i] ^= o.bytes_[i];
+        // Zero tails XOR to zero, so the full-lane path needs no
+        // masking for widths between 9 and 63 bytes.
+        if (size_ <= 8)
+            w_[0] ^= o.w_[0];
+        else
+            simd::xorLanes(w_.data(), o.w_.data());
         return *this;
     }
 
@@ -163,11 +196,15 @@ class WideWord
         return a;
     }
 
+    // cppc-lint: hot
     bool
     operator==(const WideWord &o) const
     {
-        return size_ == o.size_ &&
-            std::memcmp(bytes_.data(), o.bytes_.data(), size_) == 0;
+        if (size_ != o.size_)
+            return false;
+        if (size_ <= 8)
+            return w_[0] == o.w_[0];
+        return simd::equalLanes(w_.data(), o.w_.data());
     }
     bool operator!=(const WideWord &o) const { return !(*this == o); }
 
@@ -178,12 +215,25 @@ class WideWord
      * into R1/R2 (paper Section 4.3); byte b of the result is byte
      * (b + k) mod sizeBytes() of the original.
      */
+    // cppc-lint: hot
     WideWord
     rotatedLeft(unsigned k) const
     {
+        k %= size_;
+        if (k == 0)
+            return *this;
         WideWord r(size_);
-        for (unsigned b = 0; b < size_; ++b)
-            r.bytes_[b] = bytes_[(b + k) % size_];
+        if constexpr (std::endian::native == std::endian::little) {
+            // Two block moves on the byte view of the lanes; the result
+            // tail stays zero because only size_ bytes are written.
+            const auto *src = reinterpret_cast<const uint8_t *>(w_.data());
+            auto *dst = reinterpret_cast<uint8_t *>(r.w_.data());
+            std::memcpy(dst, src + k, size_ - k);
+            std::memcpy(dst + (size_ - k), src, k);
+        } else {
+            for (unsigned b = 0; b < size_; ++b)
+                r.setByte(b, byte((b + k) % size_));
+        }
         return r;
     }
 
@@ -191,10 +241,8 @@ class WideWord
     WideWord
     rotatedRight(unsigned k) const
     {
-        WideWord r(size_);
-        for (unsigned b = 0; b < size_; ++b)
-            r.bytes_[(b + k) % size_] = bytes_[b];
-        return r;
+        k %= size_;
+        return rotatedLeft(size_ - k);
     }
 
     /**
@@ -203,17 +251,34 @@ class WideWord
      * digit sizes (Section 4's N-by-N construction rotates by N-bit
      * digits); rotatedLeftBits(8k) == rotatedLeft(k).
      */
+    // cppc-lint: hot
     WideWord
     rotatedLeftBits(unsigned n) const
     {
         n %= sizeBits();
-        if (n % 8 == 0)
-            return rotatedLeft(n / 8);
-        WideWord r(size_);
-        for (unsigned j = 0; j < sizeBits(); ++j)
-            if (bit((j + n) % sizeBits()))
-                r.setBit(j);
-        return r;
+        WideWord base = rotatedLeft(n / 8);
+        unsigned r = n % 8;
+        if (r == 0)
+            return base;
+        // Sub-byte part: funnel-shift neighbouring lanes (or bytes when
+        // the width is not lane-aligned) instead of moving single bits.
+        WideWord out(size_);
+        if (size_ % 8 == 0) {
+            unsigned nw = size_ / 8;
+            for (unsigned i = 0; i < nw; ++i) {
+                uint64_t lo = base.w_[i] >> r;
+                uint64_t hi = base.w_[(i + 1) % nw] << (64 - r);
+                out.w_[i] = lo | hi;
+            }
+        } else {
+            for (unsigned b = 0; b < size_; ++b) {
+                unsigned hi_src = (b + 1) % size_;
+                out.setByte(b, static_cast<uint8_t>(
+                                   (base.byte(b) >> r) |
+                                   (base.byte(hi_src) << (8 - r))));
+            }
+        }
+        return out;
     }
 
     /** Inverse of rotatedLeftBits. */
@@ -228,51 +293,77 @@ class WideWord
      * Extract digit @p i of @p digit_bits bits (digit 0 = bits
      * [0, digit_bits)).  @p digit_bits <= 32.
      */
+    // cppc-lint: hot
     uint32_t
     digit(unsigned i, unsigned digit_bits) const
     {
         assert(digit_bits >= 1 && digit_bits <= 32);
         assert((i + 1) * digit_bits <= sizeBits());
-        uint32_t v = 0;
-        for (unsigned b = 0; b < digit_bits; ++b)
-            if (bit(i * digit_bits + b))
-                v |= 1u << b;
-        return v;
+        unsigned p = i * digit_bits;
+        unsigned wi = p / 64;
+        unsigned off = p % 64;
+        uint64_t v = w_[wi] >> off;
+        if (off + digit_bits > 64)
+            v |= w_[wi + 1] << (64 - off);
+        return static_cast<uint32_t>(v & ((1ull << digit_bits) - 1));
     }
 
     /** Overwrite digit @p i of @p digit_bits bits with @p value. */
+    // cppc-lint: hot
     void
     setDigit(unsigned i, unsigned digit_bits, uint32_t value)
     {
         assert(digit_bits >= 1 && digit_bits <= 32);
         assert((i + 1) * digit_bits <= sizeBits());
-        for (unsigned b = 0; b < digit_bits; ++b)
-            setBit(i * digit_bits + b, (value >> b) & 1);
+        unsigned p = i * digit_bits;
+        unsigned wi = p / 64;
+        unsigned off = p % 64;
+        uint64_t mask = (1ull << digit_bits) - 1;
+        uint64_t val = static_cast<uint64_t>(value) & mask;
+        w_[wi] = (w_[wi] & ~(mask << off)) | (val << off);
+        if (off + digit_bits > 64) {
+            unsigned spill = off + digit_bits - 64;
+            uint64_t hmask = (1ull << spill) - 1;
+            w_[wi + 1] = (w_[wi + 1] & ~hmask) |
+                (val >> (digit_bits - spill));
+        }
     }
 
     /**
      * k-way interleaved parity (Section 3.6): parity bit i is the XOR of
      * all data bits j with j mod k == i.
      *
+     * For k dividing 64 (every power of two up to 64) the lanes XOR
+     * together first — bit positions keep their class across lanes —
+     * and one carryless multiply (or log-fold) reduces the combined
+     * lane to the k classes.  Other k fold each lane with k-bit masked
+     * shifts and rotate the per-lane classes into global position:
+     * O(words * 64/k) word operations, never per-bit.
+     *
      * @return mask whose low k bits are the parity bits.
      */
+    // cppc-lint: hot
     uint64_t
     interleavedParity(unsigned k) const
     {
         assert(k >= 1 && k <= 64);
-        if (k == 8) {
-            // Class i is the XOR of bit i of every byte: fold the bytes.
-            uint8_t fold = 0;
-            for (unsigned i = 0; i < size_; ++i)
-                fold ^= bytes_[i];
-            return fold;
+        if (64 % k == 0) {
+            uint64_t x = size_ <= 8 ? w_[0] : simd::xorReduceLanes(w_.data());
+            return simd::parityClassesPow2(x, k);
         }
-        if (k == 1)
-            return parity();
+        const uint64_t mask = (1ull << k) - 1;
         uint64_t p = 0;
-        for (unsigned j = 0; j < sizeBits(); ++j)
-            if (bit(j))
-                p ^= 1ull << (j % k);
+        const unsigned nw = sizeWords();
+        for (unsigned wi = 0; wi < nw; ++wi) {
+            uint64_t f = 0;
+            for (unsigned off = 0; off < 64; off += k)
+                f ^= (w_[wi] >> off) & mask;
+            // Local class c is global class (c + 64*wi) % k: rotate
+            // the fold within the k-bit ring.
+            unsigned rot = (64u * wi) % k;
+            f = ((f << rot) | (f >> (k - rot))) & mask;
+            p ^= f;
+        }
         return p;
     }
 
@@ -280,10 +371,8 @@ class WideWord
     unsigned
     parity() const
     {
-        unsigned acc = 0;
-        for (unsigned i = 0; i < size_; ++i)
-            acc ^= bytes_[i];
-        return cppc::popcount(acc) & 1u;
+        uint64_t x = size_ <= 8 ? w_[0] : simd::xorReduceLanes(w_.data());
+        return static_cast<unsigned>(std::popcount(x)) & 1u;
     }
 
     /** Hex string, most-significant byte first (for diagnostics). */
@@ -293,16 +382,16 @@ class WideWord
     static WideWord random(Rng &rng, unsigned n_bytes);
 
   private:
-    std::array<uint8_t, kMaxBytes> bytes_;
+    std::array<uint64_t, kMaxWords> w_;
     unsigned size_;
 };
 
 // WideWord values are created and XOR-combined on every simulated
 // store and verify, from every sweep worker at once.  The steady-state
 // access loop must therefore never touch the heap: storage is a fixed
-// inline array (cache units are <= kMaxBytes), the type is trivially
-// copyable, and its footprint is exactly the inline buffer plus the
-// width (modulo padding).
+// inline lane array (cache units are <= kMaxBytes), the type is
+// trivially copyable, and its footprint is exactly the inline buffer
+// plus the width (modulo padding).
 static_assert(std::is_trivially_copyable_v<WideWord>,
               "WideWord must stay heap-free and memcpy-safe");
 static_assert(sizeof(WideWord) <=

@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Per-kernel throughput regression gate.
+
+Compares a freshly measured BENCH_kernels.json against the committed
+baseline (bench/BENCH_kernels.baseline.json) and fails when any kernel's
+throughput dropped by more than the tolerance.
+
+Absolute ns/op depends on the machine, so the gate runs on each
+kernel's `rel_chain`: its best (minimum) ns/op over the measurement
+rounds divided by the best ns/op of the `calibration_chain` kernel
+timed between every pair of kernel batches — preemption only adds
+time, so both minimums are de-noised floors, and the ratio is a
+dimensionless per-op cost in "chain steps" that transfers between hosts
+of the same architecture.  A kernel regresses when its time ratio grows
+by more than the tolerance, with a small absolute slack so
+sub-nanosecond kernels sitting at the wall timer's noise floor do not
+flap:
+
+    current_rel - baseline_rel > max(tolerance * baseline_rel, REL_SLACK)
+
+Usage:
+    check_bench_kernels.py CURRENT.json [--baseline PATH] [--update]
+
+    --baseline PATH  baseline to compare against / rewrite
+                     (default bench/BENCH_kernels.baseline.json next to
+                     the repo root inferred from this script)
+    --update         overwrite the baseline with CURRENT.json and exit
+
+Environment:
+    CPPC_BENCH_TOLERANCE  allowed fractional drop (default 0.10);
+                          CI noise on shared runners may warrant more.
+
+Exit codes: 0 ok / baseline updated, 1 regression, 2 usage or I/O
+error, 3 kernel set mismatch (baseline needs a refresh via --update).
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "bench",
+                                "BENCH_kernels.baseline.json")
+CALIBRATION = "calibration_chain"
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+# Absolute rel_chain slack, in calibration-chain steps (one step is a
+# few cycles).  Kernels cheaper than ~one chain step (is_zero, popcount
+# at narrow widths) sit at the wall timer's noise floor where a ±2-cycle
+# wobble is a double-digit percentage; the slack keeps them from
+# flapping while staying negligible for the expensive kernels (rotate,
+# parity at width) whose rel_chain is 2-25 steps and which gate purely
+# on the fractional tolerance.  A real regression in a 2-cycle op that
+# matters would also shift its wider-width sibling, which is gated.
+REL_SLACK = 0.15
+
+
+def scores(doc, path):
+    """Map kernel name -> rel_chain (time vs calibration; lower=faster).
+
+    `rel_chain` is each kernel's best ns/op divided by the calibration
+    chain's best ns/op from the same run, so it is already
+    frequency-normalized and host-transferable.
+    """
+    kernels = {k["name"]: k for k in doc.get("kernels", [])}
+    if CALIBRATION not in kernels:
+        print(f"error: {path} has no '{CALIBRATION}' calibration kernel",
+              file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for name, k in kernels.items():
+        if name == CALIBRATION:
+            continue
+        rel = k.get("rel_chain", 0.0)
+        if rel <= 0:
+            print(f"error: {path} kernel {name} has no usable "
+                  f"rel_chain ({rel})", file=sys.stderr)
+            sys.exit(2)
+        out[name] = rel
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="fail on per-kernel throughput regressions")
+    ap.add_argument("current", help="freshly measured BENCH_kernels.json")
+    ap.add_argument("--baseline", default=DEFAULT_BASELINE)
+    ap.add_argument("--update", action="store_true",
+                    help="replace the baseline with the current run")
+    args = ap.parse_args()
+
+    if args.update:
+        load(args.current)  # refuse to commit an unreadable baseline
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    tol = float(os.environ.get("CPPC_BENCH_TOLERANCE", "0.10"))
+    cur_doc = load(args.current)
+    base_doc = load(args.baseline)
+
+    cur_backend = cur_doc.get("simd_backend", "?")
+    base_backend = base_doc.get("simd_backend", "?")
+    if cur_backend != base_backend:
+        # Cross-backend ratios are not comparable (the scalar leg would
+        # always "regress" against an avx2 baseline): informational pass.
+        print(f"backend mismatch (current {cur_backend}, baseline "
+              f"{base_backend}); skipping the throughput gate")
+        return 0
+
+    cur = scores(cur_doc, args.current)
+    base = scores(base_doc, args.baseline)
+
+    missing = sorted(set(base) - set(cur))
+    if missing:
+        print("error: kernels in the baseline but not the current run "
+              f"(refresh with --update?): {', '.join(missing)}",
+              file=sys.stderr)
+        return 3
+    added = sorted(set(cur) - set(base))
+    if added:
+        print(f"note: new kernels not yet in the baseline: "
+              f"{', '.join(added)} — run --update to start gating them")
+
+    regressions = []
+    for name in sorted(base):
+        b, c = base[name], cur[name]
+        slower = c - b  # rel_chain is time: positive = regression
+        allowed = max(tol * b, REL_SLACK)
+        drop = slower / b if b > 0 else 0.0
+        flag = "REGRESSED" if slower > allowed else "ok"
+        print(f"  {name:24s} baseline {b:9.5f}  current {c:9.5f}  "
+              f"slower {drop * 100:+7.2f}%  {flag}")
+        if slower > allowed:
+            regressions.append((name, drop))
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} kernel(s) dropped more than "
+              f"{tol * 100:.0f}% vs {args.baseline}:", file=sys.stderr)
+        for name, drop in regressions:
+            print(f"  {name}: {drop * 100:+.1f}% slower",
+                  file=sys.stderr)
+        print("intentional? refresh the baseline: "
+              "tools/check_bench_kernels.py NEW.json --update",
+              file=sys.stderr)
+        return 1
+
+    print(f"\nOK: {len(base)} kernels within {tol * 100:.0f}% of the "
+          "baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
