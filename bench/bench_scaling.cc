@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Campaign-fabric scaling curve: runs the same fault-injection campaign
+ * three ways — serial (jobs=1), all-cores in-process (the work-stealing
+ * ThreadPool), and two forked worker processes coordinated through a
+ * shared work ledger — verifies every topology produces a bit-identical
+ * shard grid, and emits BENCH_scaling.json so the multi-process fabric's
+ * wall-clock trajectory is tracked from PR to PR.
+ *
+ * Knobs:
+ *   CPPC_BENCH_INJECTIONS  campaign strike budget (default 20000,
+ *                          i.e. ~40 shards of 512 strikes)
+ *   CPPC_BENCH_JOBS        all-cores worker count (default: all cores)
+ * Optional argv[1] overrides the JSON output path.
+ */
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <dirent.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "bench_util.hh"
+#include "cache/memory_level.hh"
+#include "fault/campaign.hh"
+#include "harness/runners.hh"
+#include "util/atomic_file.hh"
+#include "util/rng.hh"
+
+using namespace cppc;
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+uint64_t
+injectionBudget(uint64_t dflt)
+{
+    if (const char *env = std::getenv("CPPC_BENCH_INJECTIONS"))
+        return std::strtoull(env, nullptr, 10);
+    return dflt;
+}
+
+/**
+ * The cppcsim campaign host: an 8KB 2-way L1 in front of its own
+ * memory, populated to a fixed dirty fraction with a fixed seed, so
+ * every copy the factory hands out is identical and every topology
+ * injects into the same state.
+ */
+class ScalingTarget : public CampaignHost
+{
+  public:
+    ScalingTarget()
+        : cache_("L1D", geometry(), ReplacementKind::LRU, &mem_,
+                 makeScheme(SchemeKind::Cppc))
+    {
+        Rng rng(7);
+        for (Addr a = 0; a < geometry().size_bytes; a += 8) {
+            if (rng.chance(0.5)) {
+                uint64_t v = rng.next();
+                uint8_t buf[8];
+                std::memcpy(buf, &v, 8);
+                cache_.store(a, 8, buf);
+            } else {
+                cache_.load(a, 8, nullptr);
+            }
+        }
+    }
+
+    WriteBackCache &cache() override { return cache_; }
+
+    static CacheGeometry
+    geometry()
+    {
+        CacheGeometry geom;
+        geom.size_bytes = 8 * 1024;
+        geom.assoc = 2;
+        geom.line_bytes = 32;
+        geom.unit_bytes = 8;
+        return geom;
+    }
+
+  private:
+    MainMemory mem_;
+    WriteBackCache cache_;
+};
+
+Campaign::Config
+campaignConfig(uint64_t injections)
+{
+    Campaign::Config cc;
+    cc.injections = injections;
+    cc.seed = 7;
+    cc.shapes = StrikeShapeDistribution::scaledTechnologyMix(0.5);
+    cc.physical_interleave = 1;
+    return cc;
+}
+
+CampaignHarnessResult
+runLeg(uint64_t injections, const HarnessOptions &hopts)
+{
+    return runCampaignHarness(
+        []() -> std::unique_ptr<CampaignHost> {
+            return std::make_unique<ScalingTarget>();
+        },
+        campaignConfig(injections), "bench_scaling", hopts);
+}
+
+/**
+ * Canonical fingerprint of a completed run: every shard's key and
+ * journal payload in unit order.  Two topologies agree iff these
+ * strings are byte-identical.
+ */
+std::string
+canonical(const CampaignHarnessResult &res)
+{
+    std::string s;
+    for (const UnitResult &r : res.report.results)
+        s += r.key + "=" + cellStatusName(r.status) + ":" + r.payload +
+             "\n";
+    return s;
+}
+
+/** Best-effort recursive scrub of a scratch ledger directory. */
+void
+removeLedgerDir(const std::string &dir)
+{
+    DIR *d = ::opendir(dir.c_str());
+    if (!d)
+        return;
+    while (struct dirent *ent = ::readdir(d)) {
+        std::string name = ent->d_name;
+        if (name == "." || name == "..")
+            continue;
+        ::unlink((dir + "/" + name).c_str());
+    }
+    ::closedir(d);
+    ::rmdir(dir.c_str());
+}
+
+/**
+ * The 2-process leg: fork two workers against a shared ledger, each
+ * running the campaign with half the cores; the parent then runs the
+ * same harness itself, which adopts every published cell (the merge
+ * pass) and re-executes anything a dead child left behind.
+ */
+CampaignHarnessResult
+runTwoProcess(uint64_t injections, const std::string &ledger_dir,
+              unsigned jobs_per_worker)
+{
+    std::cout.flush();
+    std::cerr.flush();
+    for (int i = 0; i < 2; ++i) {
+        pid_t pid = ::fork();
+        if (pid < 0)
+            fatal("fork: %s", std::strerror(errno));
+        if (pid == 0) {
+            int rc = 1;
+            try {
+                HarnessOptions h;
+                h.ledger_dir = ledger_dir;
+                h.worker_id = strfmt("bench.%d", i);
+                h.jobs = jobs_per_worker;
+                h.lease_timeout_s = 10.0;
+                h.use_stop_token = false;
+                CampaignHarnessResult r = runLeg(injections, h);
+                rc = r.report.complete() ? 0 : 3;
+            } catch (const std::exception &e) {
+                std::cerr << "bench worker " << i << ": " << e.what()
+                          << "\n";
+            }
+            std::cout.flush();
+            std::cerr.flush();
+            ::_exit(rc);
+        }
+    }
+    for (int i = 0; i < 2; ++i) {
+        int status = 0;
+        if (::wait(&status) < 0)
+            fatal("wait: %s", std::strerror(errno));
+        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0)
+            warn("bench worker exited abnormally (status %d)", status);
+    }
+    HarnessOptions h;
+    h.ledger_dir = ledger_dir;
+    h.worker_id = "bench.merge";
+    h.jobs = 1; // adoption is I/O, not compute
+    h.use_stop_token = false;
+    return runLeg(injections, h);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    const std::string json_path =
+        argc > 1 ? argv[1] : "BENCH_scaling.json";
+    const uint64_t injections = injectionBudget(20'000);
+    unsigned jobs = 0;
+    try {
+        jobs = benchJobs();
+    } catch (const FatalError &e) {
+        std::cerr << "fatal: " << e.what() << "\n";
+        return 1;
+    }
+    const unsigned jobs_per_worker = jobs > 1 ? (jobs + 1) / 2 : 1;
+    const std::string ledger_dir = json_path + ".ledger";
+
+    std::cout << "=== Campaign fabric scaling: 1 -> " << jobs
+              << " threads -> 2 processes ===\n"
+              << injections << " injections ("
+              << (injections + kCampaignShardStrikes - 1) /
+                     kCampaignShardStrikes
+              << " shards)\n\n";
+
+    HarnessOptions serial_opts;
+    serial_opts.jobs = 1;
+    serial_opts.use_stop_token = false;
+    auto t0 = std::chrono::steady_clock::now();
+    CampaignHarnessResult serial = runLeg(injections, serial_opts);
+    double serial_s = secondsSince(t0);
+
+    HarnessOptions threads_opts;
+    threads_opts.jobs = jobs;
+    threads_opts.use_stop_token = false;
+    t0 = std::chrono::steady_clock::now();
+    CampaignHarnessResult threads = runLeg(injections, threads_opts);
+    double threads_s = secondsSince(t0);
+
+    removeLedgerDir(ledger_dir);
+    t0 = std::chrono::steady_clock::now();
+    CampaignHarnessResult two_proc =
+        runTwoProcess(injections, ledger_dir, jobs_per_worker);
+    double two_proc_s = secondsSince(t0);
+    removeLedgerDir(ledger_dir);
+
+    const std::string ref = canonical(serial);
+    bool identical =
+        ref == canonical(threads) && ref == canonical(two_proc);
+    double threads_speedup = threads_s > 0.0 ? serial_s / threads_s : 0.0;
+    double two_proc_speedup =
+        two_proc_s > 0.0 ? serial_s / two_proc_s : 0.0;
+    double efficiency = jobs > 0
+        ? threads_speedup / static_cast<double>(jobs)
+        : 0.0;
+
+    TextTable t({"leg", "topology", "seconds", "speedup"});
+    t.row().add("serial").add("1 thread").add(serial_s, 3).add(1.0, 2);
+    t.row()
+        .add("threads")
+        .add(strfmt("%u threads", jobs))
+        .add(threads_s, 3)
+        .add(threads_speedup, 2);
+    t.row()
+        .add("2proc")
+        .add(strfmt("2 procs x %u threads", jobs_per_worker))
+        .add(two_proc_s, 3)
+        .add(two_proc_speedup, 2);
+    t.print(std::cout);
+    std::cout << "\nparallel efficiency: " << formatFixed(efficiency, 3)
+              << ", grids bit-identical: "
+              << (identical ? "PASS" : "FAIL") << "\n";
+
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"ncores\": " << jobs << ",\n"
+       << "  \"injections\": " << injections << ",\n"
+       << "  \"shards\": " << serial.report.results.size() << ",\n"
+       << "  \"curve\": [\n"
+       << "    {\"leg\": \"serial\", \"jobs\": 1, \"seconds\": "
+       << formatFixed(serial_s, 6) << ", \"speedup\": 1.0},\n"
+       << "    {\"leg\": \"threads\", \"jobs\": " << jobs
+       << ", \"seconds\": " << formatFixed(threads_s, 6)
+       << ", \"speedup\": " << formatFixed(threads_speedup, 4) << "},\n"
+       << "    {\"leg\": \"2proc\", \"jobs\": " << 2 * jobs_per_worker
+       << ", \"seconds\": " << formatFixed(two_proc_s, 6)
+       << ", \"speedup\": " << formatFixed(two_proc_speedup, 4) << "}\n"
+       << "  ],\n"
+       << "  \"efficiency\": " << formatFixed(efficiency, 4) << ",\n"
+       << "  \"bit_identical\": " << (identical ? "true" : "false")
+       << "\n"
+       << "}\n";
+    // Durable + atomic: a killed bench run never leaves a torn JSON
+    // for the trend tooling to choke on.
+    if (!atomicWriteFile(json_path, os.str())) {
+        std::cerr << "cannot write " << json_path << "\n";
+        return 1;
+    }
+    std::cout << "wrote " << json_path << "\n";
+
+    // Speedup is hardware-dependent (a 1-core CI box shows ~1x and a
+    // 2-process run there is pure overhead), so only determinism gates
+    // the exit code; tools/check_bench_scaling.py applies the
+    // efficiency floor against a matching-ncores baseline.
+    return identical ? 0 : 1;
+}

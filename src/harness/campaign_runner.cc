@@ -1,9 +1,9 @@
 #include "harness/runners.hh"
 
 #include <algorithm>
-#include <mutex>
 
 #include "util/logging.hh"
+#include "util/thread_annotations.hh"
 
 namespace cppc {
 
@@ -63,8 +63,10 @@ runCampaignHarness(const CampaignHostFactory &factory,
     probe.reset();
 
     // Factories may share state (population RNGs, options objects), so
-    // worker-side host construction is serialized.
-    std::mutex factory_mu;
+    // worker-side host construction is serialized.  The annotated
+    // Mutex keeps this under clang's -Werror=thread-safety like the
+    // rest of the harness.
+    Mutex factory_mu;
 
     std::vector<WorkUnit> units;
     for (size_t begin = 0; begin < strikes.size();
@@ -77,7 +79,7 @@ runCampaignHarness(const CampaignHostFactory &factory,
                   end](const std::atomic<bool> &cancel) {
             std::unique_ptr<CampaignHost> host;
             {
-                std::lock_guard<std::mutex> lock(factory_mu);
+                MutexLock lock(factory_mu);
                 host = factory();
             }
             Campaign c(host->cache(), cfg);

@@ -167,7 +167,8 @@ runFuzzHarness(const std::vector<FuzzSchemeSpec> &specs, bool run_tag,
 
     // Units were built scheme-major with ascending batch starts, and
     // report.results preserves unit order, so a single in-order pass
-    // aggregates each scheme deterministically.
+    // aggregates each scheme deterministically — including batches a
+    // ledger peer executed and this process merely adopted.
     size_t idx = 0;
     for (const std::string &scheme : scheme_order) {
         FuzzBatchResult total;

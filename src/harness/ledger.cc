@@ -1,0 +1,379 @@
+#include "harness/ledger.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "harness/codec.hh"
+#include "util/atomic_file.hh"
+#include "util/logging.hh"
+
+namespace cppc {
+
+namespace {
+
+constexpr const char *kMagic = "cppc-ledger";
+constexpr const char *kVersion = "v1";
+constexpr const char *kCellPrefix = "cell.";
+constexpr const char *kLeasePrefix = "lease.";
+
+bool
+hasWhitespace(const std::string &s)
+{
+    for (unsigned char c : s)
+        if (std::isspace(c))
+            return true;
+    return false;
+}
+
+std::vector<std::string>
+splitTokens(const std::string &body)
+{
+    std::vector<std::string> toks;
+    std::istringstream is(body);
+    std::string t;
+    while (is >> t)
+        toks.push_back(t);
+    return toks;
+}
+
+/** First line of @p path, sealed body verified; nullopt when torn. */
+std::optional<std::string>
+readSealedLine(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        return std::nullopt;
+    std::string line, body;
+    if (!std::getline(is, line) || !journalUnsealLine(line, body))
+        return std::nullopt;
+    return body;
+}
+
+/**
+ * True when @p s can be a hexEncode()d key.  Filters the directory
+ * scan: atomicWriteFile()'s in-flight temp siblings ("cell.<hex>.tmp.
+ * <pid>") share the record prefix but are not records.
+ */
+bool
+isHexToken(const std::string &s)
+{
+    if (s.empty() || s.size() % 2 != 0)
+        return false;
+    for (char c : s)
+        if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')))
+            return false;
+    return true;
+}
+
+std::optional<JournalRecord>
+parseCellBody(const std::string &body)
+{
+    std::vector<std::string> toks = splitTokens(body);
+    if (toks.size() != 5 || toks[0] != "cell")
+        return std::nullopt;
+    JournalRecord rec;
+    rec.key = toks[1];
+    rec.status = parseCellStatus(toks[2]);
+    rec.attempts =
+        static_cast<unsigned>(std::strtoul(toks[3].c_str(), nullptr, 10));
+    rec.payload = toks[4] == "-" ? std::string() : toks[4];
+    return rec;
+}
+
+/**
+ * Verify an existing manifest binds the same experiment; false when
+ * the file does not exist (yet), fatal() on any mismatch — silently
+ * mixing grids across workers must be impossible.
+ */
+bool
+verifyManifest(const std::string &dir, const std::string &manifest_path,
+               const std::string &kind, const std::string &config)
+{
+    std::ifstream is(manifest_path);
+    if (!is)
+        return false;
+    std::string line, body;
+    if (!std::getline(is, line) || !journalUnsealLine(line, body))
+        fatal("ledger manifest %s is corrupt; remove the ledger "
+              "directory and start fresh",
+              manifest_path.c_str());
+    std::vector<std::string> toks = splitTokens(body);
+    if (toks.size() != 4 || toks[0] != kMagic || toks[1] != kVersion)
+        fatal("%s is not a %s %s manifest", manifest_path.c_str(),
+              kMagic, kVersion);
+    if (toks[2] != kind)
+        fatal("ledger %s records a '%s' run; this is a '%s' run — "
+              "refusing to mix them",
+              dir.c_str(), toks[2].c_str(), kind.c_str());
+    if (!std::getline(is, line) || !journalUnsealLine(line, body))
+        fatal("ledger manifest %s has a corrupt config line",
+              manifest_path.c_str());
+    toks = splitTokens(body);
+    if (toks.size() != 2 || toks[0] != "config")
+        fatal("ledger manifest %s has a malformed config line",
+              manifest_path.c_str());
+    if (toks[1] != config)
+        fatal("ledger %s was written by a different "
+              "configuration:\n  ledger:  %s\n  current: %s\n"
+              "joining it would silently mix grids; use a fresh "
+              "--ledger directory or rerun with the ledger's "
+              "configuration",
+              dir.c_str(), toks[1].c_str(), config.c_str());
+    return true;
+}
+
+} // namespace
+
+WorkLedger::WorkLedger(std::string dir, std::string kind,
+                       std::string config, std::string worker)
+    : dir_(std::move(dir)), kind_(std::move(kind)),
+      config_(std::move(config)), worker_(std::move(worker))
+{
+    if (kind_.empty() || hasWhitespace(kind_))
+        panic("ledger kind '%s' must be a non-empty whitespace-free "
+              "token",
+              kind_.c_str());
+    if (config_.empty() || hasWhitespace(config_))
+        panic("ledger config '%s' must be a non-empty whitespace-free "
+              "token",
+              config_.c_str());
+    if (worker_.empty() || hasWhitespace(worker_))
+        panic("ledger worker id '%s' must be a non-empty "
+              "whitespace-free token",
+              worker_.c_str());
+
+    if (mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST)
+        fatal("cannot create ledger directory %s: %s", dir_.c_str(),
+              std::strerror(errno));
+
+    const std::string header = journalSealLine(
+        strfmt("%s %s %s %016llx", kMagic, kVersion, kind_.c_str(),
+               static_cast<unsigned long long>(
+                   journalConfigHash(config_))));
+    const std::string config_line =
+        journalSealLine(strfmt("config %s", config_.c_str()));
+    const std::string manifest_path = dir_ + "/manifest";
+
+    if (verifyManifest(dir_, manifest_path, kind_, config_))
+        return;
+
+    // First worker in: publish the manifest.  A racing peer process
+    // writes an identical image, so either rename wins harmlessly —
+    // but two controllers in the *same* process share
+    // atomicWriteFile's per-pid temp path, so losing that race can
+    // also surface as a failed write.  Either way the recovery is the
+    // same: a valid manifest must exist now; verify against it.
+    if (!atomicWriteFile(manifest_path,
+                         header + "\n" + config_line + "\n") &&
+        !verifyManifest(dir_, manifest_path, kind_, config_))
+        fatal("cannot create ledger manifest %s", manifest_path.c_str());
+}
+
+std::string
+WorkLedger::cellPath(const std::string &key) const
+{
+    return dir_ + "/" + kCellPrefix + hexEncode(key);
+}
+
+std::string
+WorkLedger::leasePath(const std::string &key) const
+{
+    return dir_ + "/" + kLeasePrefix + hexEncode(key);
+}
+
+std::string
+WorkLedger::leaseBody(const std::string &key, uint64_t beat) const
+{
+    return strfmt("lease %s %s %llu", key.c_str(), worker_.c_str(),
+                  static_cast<unsigned long long>(beat));
+}
+
+std::map<std::string, JournalRecord>
+WorkLedger::loadDone() const
+{
+    std::map<std::string, JournalRecord> done;
+    DIR *d = opendir(dir_.c_str());
+    if (!d) {
+        warn("cannot scan ledger directory %s: %s", dir_.c_str(),
+             std::strerror(errno));
+        return done;
+    }
+    // readdir order is filesystem-dependent; accumulating into the
+    // keyed map restores a deterministic order for every caller.
+    while (struct dirent *e = readdir(d)) {
+        std::string name = e->d_name;
+        if (name.rfind(kCellPrefix, 0) != 0)
+            continue;
+        std::string hex = name.substr(strlen(kCellPrefix));
+        if (!isHexToken(hex))
+            continue; // a temp sibling mid-write, not a record
+        std::optional<std::string> body = readSealedLine(dir_ + "/" + name);
+        if (!body) {
+            warn("ledger record %s/%s is torn or unreadable; treating "
+                 "the cell as unfinished",
+                 dir_.c_str(), name.c_str());
+            continue;
+        }
+        std::optional<JournalRecord> rec = parseCellBody(*body);
+        std::string key = hexDecode(hex);
+        if (!rec || rec->key != key) {
+            warn("ledger record %s/%s is malformed; treating the cell "
+                 "as unfinished",
+                 dir_.c_str(), name.c_str());
+            continue;
+        }
+        done[rec->key] = std::move(*rec);
+    }
+    closedir(d);
+    return done;
+}
+
+WorkLedger::Claim
+WorkLedger::tryClaim(const std::string &key)
+{
+    if (key.empty() || hasWhitespace(key))
+        panic("ledger cell key '%s' must be a non-empty whitespace-free "
+              "token",
+              key.c_str());
+    struct stat st;
+    if (stat(cellPath(key).c_str(), &st) == 0)
+        return Claim::Done;
+
+    // O_EXCL is the whole mutual exclusion: exactly one creator wins.
+    int fd = open(leasePath(key).c_str(),
+                  O_CREAT | O_EXCL | O_WRONLY | O_CLOEXEC, 0644);
+    if (fd < 0) {
+        if (errno == EEXIST)
+            return Claim::Busy;
+        fatal("cannot create lease %s: %s", leasePath(key).c_str(),
+              std::strerror(errno));
+    }
+    std::string line = journalSealLine(leaseBody(key, 1)) + "\n";
+    ssize_t wr = write(fd, line.data(), line.size());
+    bool ok = wr == static_cast<ssize_t>(line.size()) && fsync(fd) == 0;
+    close(fd);
+    if (!ok)
+        fatal("cannot write lease %s: %s", leasePath(key).c_str(),
+              std::strerror(errno));
+    MutexLock lock(mu_);
+    held_[key] = 1;
+    return Claim::Acquired;
+}
+
+bool
+WorkLedger::publish(const JournalRecord &rec)
+{
+    if (rec.key.empty() || hasWhitespace(rec.key))
+        panic("ledger cell key '%s' must be a non-empty whitespace-free "
+              "token",
+              rec.key.c_str());
+    if (hasWhitespace(rec.payload))
+        panic("ledger payload for '%s' contains whitespace; encode it "
+              "through harness/codec",
+              rec.key.c_str());
+    std::string line = journalSealLine(strfmt(
+        "cell %s %s %u %s", rec.key.c_str(), cellStatusName(rec.status),
+        rec.attempts, rec.payload.empty() ? "-" : rec.payload.c_str()));
+    // The atomic write of the cell file is the commit point; everything
+    // after is cleanup.
+    if (!atomicWriteFile(cellPath(rec.key), line + "\n"))
+        return false;
+
+    {
+        MutexLock lock(mu_);
+        held_.erase(rec.key);
+    }
+    // Only remove the lease if it is still ours: a peer that declared
+    // us dead may have reclaimed it (the TOCTOU window is benign — the
+    // worst case unlinks a live peer's lease and costs duplicate work).
+    std::optional<LeaseInfo> lease = readLease(rec.key);
+    if (lease && lease->worker == worker_)
+        unlink(leasePath(rec.key).c_str());
+    return true;
+}
+
+void
+WorkLedger::heartbeat()
+{
+    std::map<std::string, uint64_t> snapshot;
+    {
+        MutexLock lock(mu_);
+        snapshot = held_;
+    }
+    for (const auto &kv : snapshot) {
+        const std::string &key = kv.first;
+        std::optional<LeaseInfo> lease = readLease(key);
+        if (!lease || lease->worker != worker_) {
+            // A peer observed us stale and reclaimed the cell.  Our
+            // in-flight execution continues — its publish is duplicate
+            // work, never a conflict (cells are deterministic).
+            warn("worker %s lost its lease on cell %s (reclaimed by "
+                 "%s); continuing as duplicate work",
+                 worker_.c_str(), key.c_str(),
+                 lease ? lease->worker.c_str() : "nobody");
+            MutexLock lock(mu_);
+            held_.erase(key);
+            continue;
+        }
+        uint64_t beat = kv.second + 1;
+        if (!atomicWriteFile(leasePath(key),
+                             journalSealLine(leaseBody(key, beat)) +
+                                 "\n")) {
+            warn("cannot refresh lease on cell %s; will retry next "
+                 "heartbeat",
+                 key.c_str());
+            continue;
+        }
+        MutexLock lock(mu_);
+        auto it = held_.find(key);
+        if (it != held_.end())
+            it->second = beat;
+    }
+}
+
+std::optional<WorkLedger::LeaseInfo>
+WorkLedger::readLease(const std::string &key) const
+{
+    std::optional<std::string> body = readSealedLine(leasePath(key));
+    if (!body)
+        return std::nullopt;
+    std::vector<std::string> toks = splitTokens(*body);
+    if (toks.size() != 4 || toks[0] != "lease" || toks[1] != key)
+        return std::nullopt;
+    LeaseInfo info;
+    info.worker = toks[2];
+    info.beat = std::strtoull(toks[3].c_str(), nullptr, 10);
+    return info;
+}
+
+void
+WorkLedger::breakLease(const std::string &key)
+{
+    {
+        // No-op for a peer's lease; releases our own bookkeeping when
+        // we abandon a claim (e.g. a cell skipped on shutdown).
+        MutexLock lock(mu_);
+        held_.erase(key);
+    }
+    if (unlink(leasePath(key).c_str()) != 0 && errno != ENOENT)
+        warn("cannot break lease on cell %s: %s", key.c_str(),
+             std::strerror(errno));
+}
+
+size_t
+WorkLedger::heldCount() const
+{
+    MutexLock lock(mu_);
+    return held_.size();
+}
+
+} // namespace cppc

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Shared work ledger: the multi-process generalisation of the
+ * checkpoint journal (src/harness/journal.hh).
+ *
+ * A ledger is a directory shared by N cooperating `cppcsim` worker
+ * processes (same box today; the protocol deliberately never relies on
+ * shared memory, file locking, or synchronized wall clocks, so a TCP
+ * coordinator can replay the same record stream later):
+ *
+ *   <dir>/manifest        cppc-ledger v1 <kind> <config-hash> crc=…
+ *                         config <config-string> crc=…
+ *   <dir>/lease.<hexkey>  lease <key> <worker> <beat> crc=…
+ *   <dir>/cell.<hexkey>   cell <key> <status> <attempts> <payload> crc=…
+ *
+ * Every line is CRC-sealed exactly like a journal line, and the cell
+ * record body is byte-identical to the journal's `cell` record — a
+ * ledger is the journal's record stream sharded one-file-per-cell so
+ * that independent processes can append without coordinating.
+ *
+ * The protocol, per cell:
+ *
+ *  - **claim** — create `lease.<hexkey>` with O_CREAT|O_EXCL.  The
+ *    filesystem arbitrates: exactly one worker wins, everyone else
+ *    sees Busy.
+ *  - **heartbeat** — the holder periodically rewrites its lease with
+ *    an incremented beat counter (atomic temp+rename).  Liveness is a
+ *    *beat observed to change*, never a timestamp comparison: a peer
+ *    watches the beat over its own steady clock and declares the lease
+ *    abandoned only after seeing the same beat for the whole timeout
+ *    window.  Embedded or filesystem timestamps are never compared
+ *    across processes, so arbitrary clock skew (or an mtime set in the
+ *    future) cannot fake liveness or staleness.
+ *  - **publish** — write `cell.<hexkey>` atomically, then remove the
+ *    lease.  The cell file is the commit point; the lease is only an
+ *    optimisation that prevents duplicate work.
+ *  - **reclaim** — a peer that observed a stale lease unlinks it and
+ *    races for the O_EXCL re-create like any fresh claim.
+ *
+ * Safety never depends on the lease protocol being airtight: cells are
+ * deterministic functions of the run configuration, so the worst
+ * consequence of two workers executing the same cell (a reclaim racing
+ * a not-quite-dead holder) is wasted work — both publish byte-identical
+ * records, and the atomic rename makes either order indistinguishable.
+ * Merging re-reads every record from the ledger, so any worker
+ * topology — 1 process, N processes, serial — reports byte-identical
+ * results.
+ */
+
+#ifndef CPPC_HARNESS_LEDGER_HH
+#define CPPC_HARNESS_LEDGER_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "harness/journal.hh"
+#include "util/thread_annotations.hh"
+
+namespace cppc {
+
+/**
+ * One worker's handle on a shared ledger directory.  Thread-safe: the
+ * heartbeat thread refreshes leases while pool workers claim and
+ * publish.
+ */
+class WorkLedger
+{
+  public:
+    /**
+     * Open (creating if needed) the ledger at @p dir and bind it to
+     * one experiment configuration.  A manifest written by a different
+     * kind or config is fatal(), exactly like resuming a foreign
+     * journal — mixing grids across workers must be impossible.
+     *
+     * @param worker whitespace-free worker id, unique per process
+     *               (embedded in lease records so peers and humans can
+     *               see who holds what).
+     */
+    WorkLedger(std::string dir, std::string kind, std::string config,
+               std::string worker);
+
+    enum class Claim
+    {
+        Acquired, ///< we hold the lease; execute and publish
+        Busy,     ///< a peer holds a lease on this cell
+        Done,     ///< a published record already exists; adopt it
+    };
+
+    struct LeaseInfo
+    {
+        std::string worker;
+        uint64_t beat = 0;
+    };
+
+    /**
+     * All published cell records, re-read from disk (keyed map, so
+     * iteration order is deterministic regardless of readdir order).
+     * Unreadable or torn records are skipped with a warn() — the cell
+     * simply looks unfinished and gets re-run.
+     */
+    std::map<std::string, JournalRecord> loadDone() const;
+
+    /** Try to lease @p key (O_CREAT|O_EXCL on the lease file). */
+    Claim tryClaim(const std::string &key);
+
+    /**
+     * Durably publish @p rec as the cell's record (atomic write — this
+     * is the commit point), then release our lease on it.
+     *
+     * @return true once the record is on disk; false on an I/O failure
+     * (warn() names the cause; the caller owns the failure policy,
+     * and the RunController aborts a run that can no longer bank
+     * results, same as a journal append failure).
+     */
+    [[nodiscard]] bool publish(const JournalRecord &rec);
+
+    /**
+     * Rewrite every lease this worker holds with an incremented beat
+     * counter.  A lease that disappeared or now names another worker
+     * (a peer declared us dead and reclaimed it) is dropped from the
+     * held set with a warn(); our in-flight execution continues — its
+     * publish is merely duplicate work, never a conflict.
+     */
+    void heartbeat();
+
+    /** Read a peer's lease; nullopt when absent or torn mid-write. */
+    std::optional<LeaseInfo> readLease(const std::string &key) const;
+
+    /**
+     * Remove an abandoned lease so the cell can be re-claimed.  The
+     * caller is responsible for the staleness observation (same beat
+     * across its whole timeout window).  Racing breakers are fine:
+     * unlink is idempotent and the O_EXCL re-create arbitrates.
+     */
+    void breakLease(const std::string &key);
+
+    /** Leases currently held by this worker (for tests). */
+    size_t heldCount() const;
+
+    const std::string &dir() const { return dir_; }
+    const std::string &workerId() const { return worker_; }
+
+  private:
+    std::string cellPath(const std::string &key) const;
+    std::string leasePath(const std::string &key) const;
+    std::string leaseBody(const std::string &key, uint64_t beat) const;
+
+    std::string dir_;
+    std::string kind_;
+    std::string config_;
+    std::string worker_;
+
+    mutable Mutex mu_;
+    /** key -> last beat we wrote; the heartbeat thread's work list. */
+    std::map<std::string, uint64_t> held_ CPPC_GUARDED_BY(mu_);
+};
+
+} // namespace cppc
+
+#endif // CPPC_HARNESS_LEDGER_HH

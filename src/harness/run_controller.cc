@@ -1,11 +1,14 @@
 #include "harness/run_controller.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <map>
 #include <memory>
+#include <set>
 #include <thread>
 
+#include "harness/ledger.hh"
 #include "harness/stop_token.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
@@ -18,12 +21,62 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+uint64_t
+fnv64(const std::string &s)
+{
+    return journalConfigHash(s);
+}
+
+/**
+ * Sleep out the backoff before attempt @p next_attempt of @p key:
+ * base * 2^(failures so far), stretched by up to +50% deterministic
+ * jitter drawn from (key, attempt) — reruns back off identically, and
+ * no two cells thundering-herd on the same schedule.  Polls the stop
+ * flag so Ctrl-C is not held up by a sleeping retry.
+ *
+ * @return false when the sleep was cut short by a stop request.
+ */
+bool
+backoffSleep(const std::string &key, unsigned next_attempt, double base_s,
+             bool use_stop_token)
+{
+    Rng jitter_rng(fnv64(key) ^ next_attempt);
+    double factor = 1.0 + 0.5 * jitter_rng.nextDouble();
+    double delay_s =
+        base_s * static_cast<double>(1u << (next_attempt - 2)) * factor;
+    Clock::time_point until =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(delay_s));
+    while (Clock::now() < until) {
+        if (use_stop_token && stopRequested())
+            return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return true;
+}
+
+/** Sleep @p seconds in small slices, cut short by a stop request. */
+void
+pollSleep(double seconds, bool use_stop_token)
+{
+    Clock::time_point until =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(seconds));
+    while (Clock::now() < until) {
+        if (use_stop_token && stopRequested())
+            return;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+}
+
+} // namespace
+
 /**
  * Registry of in-flight attempts, scanned by the watchdog thread.
  * Each attempt registers its deadline and cancel flag before the work
  * starts and unregisters after it returns or throws.
  */
-class Watchdog
+class RunController::Watchdog
 {
   public:
     explicit Watchdog(double timeout_s) : timeout_s_(timeout_s)
@@ -99,42 +152,6 @@ class Watchdog
     std::thread thread_;
 };
 
-uint64_t
-fnv64(const std::string &s)
-{
-    return journalConfigHash(s);
-}
-
-/**
- * Sleep out the backoff before attempt @p next_attempt of @p key:
- * base * 2^(failures so far), stretched by up to +50% deterministic
- * jitter drawn from (key, attempt) — reruns back off identically, and
- * no two cells thundering-herd on the same schedule.  Polls the stop
- * flag so Ctrl-C is not held up by a sleeping retry.
- *
- * @return false when the sleep was cut short by a stop request.
- */
-bool
-backoffSleep(const std::string &key, unsigned next_attempt, double base_s,
-             bool use_stop_token)
-{
-    Rng jitter_rng(fnv64(key) ^ next_attempt);
-    double factor = 1.0 + 0.5 * jitter_rng.nextDouble();
-    double delay_s =
-        base_s * static_cast<double>(1u << (next_attempt - 2)) * factor;
-    Clock::time_point until =
-        Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                           std::chrono::duration<double>(delay_s));
-    while (Clock::now() < until) {
-        if (use_stop_token && stopRequested())
-            return false;
-        std::this_thread::sleep_for(std::chrono::milliseconds(5));
-    }
-    return true;
-}
-
-} // namespace
-
 std::string
 HarnessReport::summary(const std::string &tool) const
 {
@@ -157,8 +174,70 @@ RunController::RunController(HarnessOptions opts, std::string kind,
 {
 }
 
+UnitResult
+RunController::executeUnit(const WorkUnit &unit, Watchdog &watchdog)
+{
+    UnitResult local;
+    local.key = unit.key;
+    unsigned max_attempts = opts_.retries + 1;
+
+    if (opts_.use_stop_token && stopRequested()) {
+        // Never started: skipped, and deliberately NOT journaled — a
+        // resume runs it from scratch.
+        local.status = CellStatus::Skipped;
+        local.error = "stop requested before start";
+        return local;
+    }
+
+    for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
+        local.attempts = attempt;
+        std::atomic<bool> cancel{false};
+        uint64_t wd = watchdog.arm(&cancel);
+        try {
+            local.payload = unit.work(cancel);
+            watchdog.disarm(wd);
+            local.status = CellStatus::Ok;
+            local.error.clear();
+            break;
+        } catch (const CancelledError &e) {
+            watchdog.disarm(wd);
+            local.status = CellStatus::TimedOut;
+            local.error = e.what();
+        } catch (const std::exception &e) {
+            watchdog.disarm(wd);
+            local.status = CellStatus::Failed;
+            local.error = e.what();
+        }
+        if (attempt == max_attempts)
+            break; // latched permanently
+        if (opts_.use_stop_token && stopRequested())
+            break; // don't retry into a shutdown
+        warn("cell %s attempt %u/%u %s (%s); backing off before retry",
+             local.key.c_str(), attempt, max_attempts,
+             local.status == CellStatus::TimedOut ? "timed out"
+                                                  : "failed",
+             local.error.c_str());
+        if (!backoffSleep(local.key, attempt + 1, opts_.backoff_base_s,
+                          opts_.use_stop_token))
+            break;
+    }
+    return local;
+}
+
 HarnessReport
 RunController::run(const std::vector<WorkUnit> &units)
+{
+    if (!opts_.ledger_dir.empty()) {
+        if (!opts_.journal_path.empty())
+            panic("--ledger and --journal are mutually exclusive: the "
+                  "ledger is itself the checkpoint store");
+        return runLedger(units);
+    }
+    return runLocal(units);
+}
+
+HarnessReport
+RunController::runLocal(const std::vector<WorkUnit> &units)
 {
     HarnessReport report;
     report.results.resize(units.size());
@@ -205,53 +284,7 @@ RunController::run(const std::vector<WorkUnit> &units)
             UnitResult *result = &report.results[idx];
             pool.run([this, unit, result, &watchdog, &report_mu,
                       journal_ptr = journal.get()] {
-                UnitResult local;
-                local.key = unit->key;
-                unsigned max_attempts = opts_.retries + 1;
-
-                if (opts_.use_stop_token && stopRequested()) {
-                    // Never started: skipped, and deliberately NOT
-                    // journaled — a resume runs it from scratch.
-                    local.status = CellStatus::Skipped;
-                    local.error = "stop requested before start";
-                } else {
-                    for (unsigned attempt = 1; attempt <= max_attempts;
-                         ++attempt) {
-                        local.attempts = attempt;
-                        std::atomic<bool> cancel{false};
-                        uint64_t wd = watchdog.arm(&cancel);
-                        try {
-                            local.payload = unit->work(cancel);
-                            watchdog.disarm(wd);
-                            local.status = CellStatus::Ok;
-                            local.error.clear();
-                            break;
-                        } catch (const CancelledError &e) {
-                            watchdog.disarm(wd);
-                            local.status = CellStatus::TimedOut;
-                            local.error = e.what();
-                        } catch (const std::exception &e) {
-                            watchdog.disarm(wd);
-                            local.status = CellStatus::Failed;
-                            local.error = e.what();
-                        }
-                        if (attempt == max_attempts)
-                            break; // latched permanently
-                        if (opts_.use_stop_token && stopRequested())
-                            break; // don't retry into a shutdown
-                        warn("cell %s attempt %u/%u %s (%s); backing "
-                             "off before retry",
-                             local.key.c_str(), attempt, max_attempts,
-                             local.status == CellStatus::TimedOut
-                                 ? "timed out"
-                                 : "failed",
-                             local.error.c_str());
-                        if (!backoffSleep(local.key, attempt + 1,
-                                          opts_.backoff_base_s,
-                                          opts_.use_stop_token))
-                            break;
-                    }
-                }
+                UnitResult local = executeUnit(*unit, watchdog);
 
                 // Journal in completion order, before publishing to the
                 // report: a crash right after this append loses nothing.
@@ -280,6 +313,246 @@ RunController::run(const std::vector<WorkUnit> &units)
         }
         pool.drain();
     } // pool joins here; every result slot is final
+
+    for (const UnitResult &r : report.results) {
+        switch (r.status) {
+          case CellStatus::Ok:
+            ++report.ok;
+            if (r.from_journal)
+                ++report.resumed_ok;
+            break;
+          case CellStatus::Failed: ++report.failed; break;
+          case CellStatus::TimedOut: ++report.timed_out; break;
+          case CellStatus::Skipped: ++report.skipped; break;
+        }
+    }
+    report.stopped = opts_.use_stop_token && stopRequested();
+    return report;
+}
+
+HarnessReport
+RunController::runLedger(const std::vector<WorkUnit> &units)
+{
+    HarnessReport report;
+    report.results.resize(units.size());
+
+    WorkLedger ledger(opts_.ledger_dir, kind_, config_,
+                      opts_.worker_id);
+
+    std::map<std::string, size_t> index_of;
+    for (size_t i = 0; i < units.size(); ++i) {
+        if (units[i].key.empty())
+            panic("work unit %zu has an empty key", i);
+        if (!index_of.emplace(units[i].key, i).second)
+            panic("duplicate work unit key '%s'", units[i].key.c_str());
+        report.results[i].key = units[i].key;
+    }
+
+    Watchdog watchdog(opts_.cell_timeout_s);
+    Mutex report_mu;
+
+    // Heartbeat thread: refreshes every held lease well inside the
+    // peers' staleness window.
+    std::atomic<bool> hb_stop{false};
+    double hb_interval_s = std::max(opts_.lease_timeout_s / 4.0, 0.05);
+    /** Joins the heartbeat even when the run loop throws (fatal()). */
+    struct HeartbeatGuard
+    {
+        std::atomic<bool> &stop;
+        std::thread &thread;
+        ~HeartbeatGuard()
+        {
+            stop.store(true, std::memory_order_relaxed);
+            if (thread.joinable())
+                thread.join();
+        }
+    };
+    std::thread heartbeat([&ledger, &hb_stop, hb_interval_s] {
+        Clock::time_point next =
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(
+                                   hb_interval_s));
+        while (!hb_stop.load(std::memory_order_relaxed)) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+            if (Clock::now() < next)
+                continue;
+            ledger.heartbeat();
+            next += std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(hb_interval_s));
+        }
+    });
+    HeartbeatGuard hb_guard{hb_stop, heartbeat};
+
+    /** A peer's lease under observation for staleness. */
+    struct Watched
+    {
+        std::string worker;
+        uint64_t beat = 0;
+        Clock::time_point since;
+    };
+    std::map<std::string, Watched> watched;
+
+    // Indices without a terminal status yet (in the report or
+    // in-flight on our pool).
+    std::set<size_t> open;
+    for (size_t i = 0; i < units.size(); ++i)
+        open.insert(i);
+
+    {
+        ThreadPool pool(opts_.jobs);
+        // Claim only a small multiple of our own execution width:
+        // greedily leasing the whole grid would let the first worker
+        // in starve its peers (and a crash would strand every lease at
+        // once).  The headroom keeps the pool fed between polls.
+        const size_t claim_limit =
+            static_cast<size_t>(pool.workerCount()) * 2;
+        std::atomic<size_t> in_flight{0};
+
+        while (!open.empty()) {
+            bool stop = opts_.use_stop_token && stopRequested();
+            size_t claimed = 0;
+            std::map<std::string, JournalRecord> done = ledger.loadDone();
+
+            for (auto it = open.begin(); it != open.end();) {
+                size_t idx = *it;
+                const WorkUnit &unit = units[idx];
+                UnitResult &slot = report.results[idx];
+
+                auto rec = done.find(unit.key);
+                if (rec != done.end()) {
+                    // Adopt a published record (ours from an earlier
+                    // crash, or a peer's).
+                    MutexLock lock(report_mu);
+                    slot.status = rec->second.status;
+                    slot.attempts = rec->second.attempts;
+                    slot.payload = rec->second.payload;
+                    slot.from_journal = true;
+                    it = open.erase(it);
+                    continue;
+                }
+                if (stop) {
+                    MutexLock lock(report_mu);
+                    slot.status = CellStatus::Skipped;
+                    slot.error = "stop requested before start";
+                    it = open.erase(it);
+                    continue;
+                }
+
+                if (in_flight.load(std::memory_order_relaxed) >=
+                    claim_limit) {
+                    ++it; // pool is saturated; leave it for a peer
+                    continue;
+                }
+
+                WorkLedger::Claim claim = ledger.tryClaim(unit.key);
+                if (claim == WorkLedger::Claim::Done) {
+                    ++it; // published under us; adopt next round
+                    continue;
+                }
+                if (claim == WorkLedger::Claim::Acquired) {
+                    watched.erase(unit.key);
+                    ++claimed;
+                    in_flight.fetch_add(1, std::memory_order_relaxed);
+                    const WorkUnit *u = &unit;
+                    UnitResult *result = &slot;
+                    pool.run([this, u, result, &watchdog, &report_mu,
+                              &ledger, &in_flight] {
+                        UnitResult local = executeUnit(*u, watchdog);
+                        if (local.status == CellStatus::Skipped) {
+                            // Claimed but never started (shutdown):
+                            // give the cell back.
+                            ledger.breakLease(local.key);
+                        } else {
+                            JournalRecord rec;
+                            rec.key = local.key;
+                            rec.status = local.status;
+                            rec.attempts = local.attempts;
+                            rec.payload = local.payload;
+                            if (!ledger.publish(rec))
+                                fatal("cannot publish cell %s to ledger "
+                                      "%s; aborting the run (published "
+                                      "cells remain adoptable)",
+                                      local.key.c_str(),
+                                      ledger.dir().c_str());
+                        }
+                        {
+                            MutexLock lock(report_mu);
+                            *result = std::move(local);
+                        }
+                        in_flight.fetch_sub(1,
+                                            std::memory_order_relaxed);
+                    });
+                    it = open.erase(it);
+                    continue;
+                }
+
+                // Busy: watch the lease's beat on our own steady
+                // clock; a beat frozen for the whole timeout window
+                // means the holder is gone (a live holder refreshes
+                // every lease_timeout/4).
+                std::optional<WorkLedger::LeaseInfo> lease =
+                    ledger.readLease(unit.key);
+                if (!lease) {
+                    // Released or torn mid-write: retry next round.
+                    watched.erase(unit.key);
+                    ++it;
+                    continue;
+                }
+                Clock::time_point now = Clock::now();
+                auto w = watched.find(unit.key);
+                if (w == watched.end() ||
+                    w->second.worker != lease->worker ||
+                    w->second.beat != lease->beat) {
+                    watched[unit.key] = {lease->worker, lease->beat,
+                                         now};
+                } else if (std::chrono::duration<double>(
+                               now - w->second.since)
+                               .count() > opts_.lease_timeout_s) {
+                    warn("lease on cell %s by worker %s is stale (beat "
+                         "%llu unchanged for %.1fs); reclaiming",
+                         unit.key.c_str(), lease->worker.c_str(),
+                         static_cast<unsigned long long>(lease->beat),
+                         opts_.lease_timeout_s);
+                    ledger.breakLease(unit.key);
+                    watched.erase(unit.key);
+                }
+                ++it;
+            }
+
+            if (open.empty())
+                break;
+            if (claimed > 0)
+                continue; // the pool may have freed a slot already
+            // Saturated (waiting on our own pool) polls briskly;
+            // waiting on peers' leases polls at the configured cadence.
+            bool saturated = in_flight.load(std::memory_order_relaxed) >=
+                             claim_limit;
+            pollSleep(saturated
+                          ? std::min(opts_.ledger_poll_s, 0.02)
+                          : opts_.ledger_poll_s,
+                      opts_.use_stop_token);
+        }
+        pool.drain();
+    } // pool joins here; every result slot is final
+
+    hb_stop.store(true, std::memory_order_relaxed);
+    if (heartbeat.joinable())
+        heartbeat.join();
+
+    // Merge from the ledger: every worker re-reads the published
+    // records, so any topology (serial, N threads, N processes)
+    // reports byte-identical cells.  A cell a peer finished after we
+    // skipped it upgrades to its published outcome.
+    std::map<std::string, JournalRecord> done = ledger.loadDone();
+    for (UnitResult &r : report.results) {
+        auto rec = done.find(r.key);
+        if (rec == done.end())
+            continue;
+        r.status = rec->second.status;
+        r.attempts = rec->second.attempts;
+        r.payload = rec->second.payload;
+        r.error.clear();
+    }
 
     for (const UnitResult &r : report.results) {
         switch (r.status) {

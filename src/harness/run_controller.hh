@@ -54,6 +54,24 @@ struct HarnessOptions
     double backoff_base_s = 0.25;
     /** Honor the global stop token (tests may opt out). */
     bool use_stop_token = true;
+
+    /**
+     * Shared work-ledger directory (harness/ledger.hh); empty disables
+     * multi-process mode.  Mutually exclusive with journal_path: the
+     * ledger *is* a journal sharded one-file-per-cell, and it resumes
+     * implicitly (published cells are adopted, never re-run).
+     */
+    std::string ledger_dir;
+    /** This process's id in lease records (unique per worker). */
+    std::string worker_id = "w0";
+    /**
+     * Declare a peer's lease abandoned after its beat counter stays
+     * unchanged for this long on *our* steady clock (never a timestamp
+     * comparison, so peer clock skew is irrelevant).
+     */
+    double lease_timeout_s = 30.0;
+    /** Ledger poll cadence while peers hold cells we still need. */
+    double ledger_poll_s = 0.5;
 };
 
 /**
@@ -128,6 +146,15 @@ class RunController
     HarnessReport run(const std::vector<WorkUnit> &units);
 
   private:
+    class Watchdog;
+
+    /** One unit to a terminal status: retries, watchdog, backoff. */
+    UnitResult executeUnit(const WorkUnit &unit, Watchdog &watchdog);
+    /** The single-process path (optionally journaled). */
+    HarnessReport runLocal(const std::vector<WorkUnit> &units);
+    /** The multi-process path: lease/execute/adopt against a ledger. */
+    HarnessReport runLedger(const std::vector<WorkUnit> &units);
+
     HarnessOptions opts_;
     std::string kind_;
     std::string config_;

@@ -7,12 +7,14 @@
  * a (benchmark x scheme) sweep cell, a fixed-size campaign shard, a
  * fixed-size fuzz seed-batch — and a config string that pins every
  * parameter affecting the result or the decomposition.  The worker
- * count is deliberately *not* part of the config: shard and batch
- * boundaries are independent of --jobs, so a run started with
- * --jobs=8 resumes fine under --jobs=2.
+ * *topology* is deliberately not part of the config: shard and batch
+ * boundaries are independent of --jobs and --workers, so a run started
+ * with --jobs=8 resumes fine under --jobs=2, and a grid computed by N
+ * ledger worker processes merges identically to a serial run.
  *
- * All three are bit-deterministic: resuming a partial journal and
- * finishing produces exactly the result of an uninterrupted run.
+ * All three are bit-deterministic: resuming a partial journal,
+ * adopting a ledger peer's published cells, or finishing uninterrupted
+ * all produce exactly the same bytes.
  */
 
 #ifndef CPPC_HARNESS_RUNNERS_HH

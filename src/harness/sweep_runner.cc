@@ -65,6 +65,10 @@ runSweepHarness(const std::vector<BenchmarkProfile> &profiles,
     SweepHarnessResult out;
     out.report = ctl.run(units);
 
+    // The grid is rebuilt purely from encoded payloads in unit-key
+    // order — never from worker-local state — so a journal resume, a
+    // ledger adoption from a peer process, or a fresh serial run all
+    // produce byte-identical grids.
     for (const UnitResult &r : out.report.results) {
         if (r.status != CellStatus::Ok)
             continue;

@@ -42,16 +42,23 @@ ThreadPool::ThreadPool(unsigned n_workers)
 {
     if (n_workers == 0)
         n_workers = defaultWorkerCount();
+    rings_.reserve(n_workers);
+    for (unsigned i = 0; i < n_workers; ++i)
+        rings_.push_back(
+            std::make_unique<BoundedMpmcQueue<Task>>(kRingCapacity));
     workers_.reserve(n_workers);
     for (unsigned i = 0; i < n_workers; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
 {
+    stopping_.store(true, std::memory_order_seq_cst);
     {
+        // Empty critical section: serializes with workers that are
+        // between their pending_ re-check and the cv_ wait, so the
+        // broadcast below cannot land in that gap and be lost.
         MutexLock lock(mu_);
-        stopping_ = true;
     }
     cv_.notify_all();
     for (std::thread &t : workers_)
@@ -78,24 +85,63 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::enqueue(Task task)
 {
-    {
+    // An uncollected detached failure cancels the fan-out, including
+    // work still being submitted: drop it here (a submit() future
+    // reports broken_promise, same as cancelPending()).
+    if (has_error_.load(std::memory_order_seq_cst))
+        return;
+
+    // Count the task before it becomes visible in any ring, so a
+    // worker deciding to sleep can never observe "ring has work" as
+    // "pending_ == 0" (see the sleep-protocol comment in the header).
+    pending_.fetch_add(1, std::memory_order_seq_cst);
+
+    // Round-robin home ring, then a full lap over the others; the
+    // overflow list only sees bursts larger than every ring combined.
+    const size_t n = rings_.size();
+    size_t home = next_ring_.fetch_add(1, std::memory_order_relaxed) % n;
+    bool placed = false;
+    for (size_t i = 0; i < n && !placed; ++i)
+        placed = rings_[(home + i) % n]->tryPush(std::move(task));
+    if (!placed) {
         MutexLock lock(mu_);
-        queue_.push(std::move(task));
+        overflow_.push(std::move(task));
     }
-    cv_.notify_one();
+
+    if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+        // One task, one worker: wake a single sleeper (the herd of
+        // notify_all wakeups measurably serialized small-task
+        // fan-outs).  The empty lock round synchronizes with the
+        // sleeper's predicate re-check, closing the wakeup race.
+        {
+            MutexLock lock(mu_);
+        }
+        cv_.notify_one();
+    }
 }
 
 void
 ThreadPool::cancelPending()
 {
-    std::queue<Task> dropped;
+    // Drain every ring and the overflow list.  Dropped tasks are
+    // destroyed outside mu_: destroying a submit() task breaks its
+    // promise, and a waiter notified by that must not need mu_.
+    std::vector<Task> dropped;
+    Task t;
+    for (auto &ring : rings_)
+        while (ring->tryPop(t)) {
+            dropped.push_back(std::move(t));
+            pending_.fetch_sub(1, std::memory_order_seq_cst);
+        }
     {
         MutexLock lock(mu_);
-        dropped.swap(queue_);
+        while (!overflow_.empty()) {
+            dropped.push_back(std::move(overflow_.front()));
+            overflow_.pop();
+            pending_.fetch_sub(1, std::memory_order_seq_cst);
+        }
     }
-    // Destroyed outside the lock: dropping a submit() task breaks its
-    // promise, and a waiter notified by that must not need mu_.
-    idle_cv_.notify_all();
+    notifyIfIdle();
 }
 
 void
@@ -103,54 +149,106 @@ ThreadPool::drain()
 {
     UniqueMutexLock lock(mu_);
     idle_cv_.wait(lock, [this]() CPPC_REQUIRES(mu_) {
-        return queue_.empty() && active_ == 0;
+        return pending_.load(std::memory_order_seq_cst) == 0 &&
+               active_.load(std::memory_order_seq_cst) == 0;
     });
     if (first_error_) {
         std::exception_ptr err = first_error_;
         first_error_ = nullptr;
+        has_error_.store(false, std::memory_order_seq_cst);
         lock.unlock();
         std::rethrow_exception(err);
     }
 }
 
+bool
+ThreadPool::tryAcquire(unsigned self, Task &out)
+{
+    // Own ring first (cheap, usually hot in cache), then steal from
+    // the peers starting at the right-hand neighbour so concurrent
+    // thieves fan out instead of convoying on the same victim.
+    const size_t n = rings_.size();
+    for (size_t i = 0; i < n; ++i) {
+        BoundedMpmcQueue<Task> &ring = *rings_[(self + i) % n];
+        if (i > 0 && ring.emptyApprox())
+            continue;
+        if (ring.tryPop(out))
+            return true;
+    }
+    MutexLock lock(mu_);
+    if (!overflow_.empty()) {
+        out = std::move(overflow_.front());
+        overflow_.pop();
+        return true;
+    }
+    return false;
+}
+
 void
-ThreadPool::workerLoop()
+ThreadPool::runTask(Task &task)
+{
+    // A submit() task routes its exception into its future; a
+    // detached run() task's exception lands here.  Latch the first
+    // one and cancel the queue so the fan-out stops instead of the
+    // worker thread terminating the process.
+    bool failed = false;
+    try {
+        // A task that raced past enqueue's gate before the failure
+        // latched is still dropped here instead of executed.
+        if (!has_error_.load(std::memory_order_seq_cst))
+            task();
+    } catch (...) {
+        failed = true;
+        {
+            MutexLock lock(mu_);
+            if (!first_error_)
+                first_error_ = std::current_exception();
+        }
+        has_error_.store(true, std::memory_order_seq_cst);
+    }
+    if (failed)
+        cancelPending();
+    active_.fetch_sub(1, std::memory_order_seq_cst);
+    notifyIfIdle();
+}
+
+void
+ThreadPool::notifyIfIdle()
+{
+    // Only the transition *to* idle wakes drain(); notifying on every
+    // task completion was a notify_all herd of its own.
+    if (pending_.load(std::memory_order_seq_cst) == 0 &&
+        active_.load(std::memory_order_seq_cst) == 0) {
+        {
+            MutexLock lock(mu_);
+        }
+        idle_cv_.notify_all();
+    }
+}
+
+void
+ThreadPool::workerLoop(unsigned self)
 {
     for (;;) {
         Task task;
-        {
-            UniqueMutexLock lock(mu_);
-            cv_.wait(lock, [this]() CPPC_REQUIRES(mu_) {
-                return stopping_ || !queue_.empty();
-            });
-            if (queue_.empty())
-                return; // stopping and fully drained
-            task = std::move(queue_.front());
-            queue_.pop();
-            ++active_;
+        if (tryAcquire(self, task)) {
+            // Order matters for drain(): the task leaves pending_
+            // only after it is counted active_, so the idle predicate
+            // can never see it in neither.
+            active_.fetch_add(1, std::memory_order_seq_cst);
+            pending_.fetch_sub(1, std::memory_order_seq_cst);
+            runTask(task);
+            continue;
         }
-        // A submit() task routes its exception into its future; a
-        // detached run() task's exception lands here.  Latch the first
-        // one and cancel the queue so the fan-out stops instead of the
-        // worker thread terminating the process.
-        bool failed = false;
-        try {
-            task();
-        } catch (...) {
-            failed = true;
-            {
-                MutexLock lock(mu_);
-                if (!first_error_)
-                    first_error_ = std::current_exception();
-            }
-        }
-        if (failed)
-            cancelPending();
-        {
-            MutexLock lock(mu_);
-            --active_;
-        }
-        idle_cv_.notify_all();
+        if (stopping_.load(std::memory_order_seq_cst))
+            return; // stopping and fully drained
+        UniqueMutexLock lock(mu_);
+        sleepers_.fetch_add(1, std::memory_order_seq_cst);
+        cv_.wait(lock, [this]() CPPC_REQUIRES(mu_) {
+            return stopping_.load(std::memory_order_seq_cst) ||
+                   pending_.load(std::memory_order_seq_cst) > 0;
+        });
+        sleepers_.fetch_sub(1, std::memory_order_seq_cst);
     }
 }
 

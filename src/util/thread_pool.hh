@@ -1,9 +1,21 @@
 /**
  * @file
- * A small fixed-size worker pool for the embarrassingly parallel parts
- * of the evaluation: (benchmark x scheme) sweep runs and fault-injection
- * trials share no mutable state, so they fan out as futures and reduce
+ * A fixed-size worker pool for the embarrassingly parallel parts of
+ * the evaluation: (benchmark x scheme) sweep runs and fault-injection
+ * trials share no mutable state, so they fan out as tasks and reduce
  * in a canonical order afterwards.
+ *
+ * Internally the pool is a work-stealing scheduler, not a central
+ * queue: every worker owns a bounded lock-free MPMC ring
+ * (util/work_steal_queue.hh), submissions are distributed round-robin
+ * across the rings, and a worker whose own ring runs dry steals from
+ * its peers before it ever touches a lock.  Campaign shards and fuzz
+ * batches have wildly uneven runtimes, so a worker that drew short
+ * tasks drains its neighbours' backlogs instead of idling behind a
+ * serialized dispatch mutex.  A mutex-guarded overflow list absorbs
+ * submission bursts beyond the rings' capacity, and idle workers park
+ * on a condition variable that is woken one sleeper per submission
+ * (never a notify_all herd).
  *
  * Exceptions thrown by a submit()ted task are captured in its future
  * and rethrown from future::get(), so worker failures surface at the
@@ -17,6 +29,7 @@
 #ifndef CPPC_UTIL_THREAD_POOL_HH
 #define CPPC_UTIL_THREAD_POOL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <future>
 #include <memory>
@@ -27,6 +40,7 @@
 #include <vector>
 
 #include "util/thread_annotations.hh"
+#include "util/work_steal_queue.hh"
 
 namespace cppc {
 
@@ -40,6 +54,9 @@ class ThreadPool
      * that is legitimate; four-digit worker counts are always a typo.
      */
     static constexpr unsigned kMaxWorkers = 256;
+
+    /** Slots per worker ring before submissions spill to overflow. */
+    static constexpr size_t kRingCapacity = 512;
 
     /**
      * Start @p n_workers threads; 0 means defaultWorkerCount().
@@ -163,19 +180,50 @@ class ThreadPool
     };
 
     void enqueue(Task task);
-    void workerLoop();
+    void workerLoop(unsigned self);
+    /** Own ring, then steal sweep, then overflow; false when dry. */
+    bool tryAcquire(unsigned self, Task &out);
+    /** Run one task, routing a detached exception into the latch. */
+    void runTask(Task &task);
+    void notifyIfIdle();
+
+    /** One bounded lock-free ring per worker (fixed after ctor). */
+    std::vector<std::unique_ptr<BoundedMpmcQueue<Task>>> rings_;
+    /** Round-robin submission cursor over the rings. */
+    std::atomic<size_t> next_ring_{0};
+    /**
+     * Tasks queued (ring or overflow) but not yet picked up.  The
+     * sleep protocol pairs this with sleepers_: a worker publishes
+     * its intent to sleep (sleepers_++ under mu_, seq_cst) and then
+     * re-checks pending_; a submitter bumps pending_ (seq_cst) and
+     * then checks sleepers_.  Whichever ran second sees the other's
+     * store, so either the worker skips the sleep or the submitter
+     * sends the (single) wakeup — a lost-wakeup needs both loads to
+     * miss both stores, which seq_cst ordering forbids.
+     */
+    std::atomic<size_t> pending_{0};
+    std::atomic<unsigned> sleepers_{0};
+    std::atomic<unsigned> active_{0}; ///< tasks currently executing
+    std::atomic<bool> stopping_{false};
+    /**
+     * Mirrors "first_error_ != nullptr" without taking mu_.  While an
+     * uncollected detached failure is latched the pool refuses new
+     * work and skips tasks it dequeues — the fan-out stops at the
+     * failure instead of racing the cancel.  drain() clears it when it
+     * collects the error.
+     */
+    std::atomic<bool> has_error_{false};
 
     Mutex mu_;
     // condition_variable_any: the std::condition_variable flavour that
     // waits on the annotated UniqueMutexLock instead of demanding a
     // std::unique_lock<std::mutex>.
-    std::condition_variable_any cv_;      ///< wakes workers
+    std::condition_variable_any cv_;      ///< parks idle workers
     std::condition_variable_any idle_cv_; ///< wakes drain()
-    std::queue<Task> queue_ CPPC_GUARDED_BY(mu_);
-    std::vector<std::thread> workers_;
-    unsigned active_ CPPC_GUARDED_BY(mu_) = 0; ///< tasks executing
+    /** Burst spill-over once every ring is full; rarely touched. */
+    std::queue<Task> overflow_ CPPC_GUARDED_BY(mu_);
     std::exception_ptr first_error_ CPPC_GUARDED_BY(mu_);
-    bool stopping_ CPPC_GUARDED_BY(mu_) = false;
+    std::vector<std::thread> workers_;
 };
 
 } // namespace cppc

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Bounded lock-free MPMC ring queue — the per-worker building block of
+ * the ThreadPool's work-stealing scheduler.
+ *
+ * The algorithm is the classic bounded MPMC queue of Dmitry Vyukov:
+ * each cell carries a sequence number that encodes, relative to the
+ * head/tail cursors, whether the cell is empty, full, or in transit.
+ * Producers claim a cell by CAS on the tail cursor and publish the
+ * element with a release store of `seq = pos + 1`; consumers claim with
+ * a CAS on the head cursor and free the cell with a release store of
+ * `seq = pos + capacity`.  Sequence numbers grow monotonically (they
+ * are never reused at the same value), which is what makes wraparound
+ * ABA-safe: a stale cursor always sees a sequence number from a past
+ * epoch and retries, it can never mistake a recycled cell for a fresh
+ * one.  Every value handoff is ordered by the acquire/release pair on
+ * the cell's sequence number, so the queue is clean under TSan without
+ * any fence gymnastics.
+ *
+ * Both operations are non-blocking: tryPush() fails when the ring is
+ * full, tryPop() when it is empty.  Callers that need unbounded
+ * capacity or blocking layer those policies on top (the ThreadPool
+ * spills to a mutex-guarded overflow list and parks idle workers on a
+ * condition variable).
+ */
+
+#ifndef CPPC_UTIL_WORK_STEAL_QUEUE_HH
+#define CPPC_UTIL_WORK_STEAL_QUEUE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace cppc {
+
+template <typename T>
+class BoundedMpmcQueue
+{
+  public:
+    /**
+     * @param capacity requested slot count; rounded up to the next
+     * power of two (minimum 2) so index masking stays branch-free.
+     */
+    explicit BoundedMpmcQueue(size_t capacity)
+    {
+        size_t cap = 2;
+        while (cap < capacity)
+            cap <<= 1;
+        mask_ = cap - 1;
+        cells_ = std::make_unique<Cell[]>(cap);
+        for (size_t i = 0; i < cap; ++i)
+            cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+
+    BoundedMpmcQueue(const BoundedMpmcQueue &) = delete;
+    BoundedMpmcQueue &operator=(const BoundedMpmcQueue &) = delete;
+
+    size_t capacity() const { return mask_ + 1; }
+
+    /** Non-blocking enqueue; false when the ring is full. */
+    bool
+    tryPush(T &&v)
+    {
+        Cell *cell;
+        size_t pos = tail_.load(std::memory_order_relaxed);
+        for (;;) {
+            cell = &cells_[pos & mask_];
+            size_t seq = cell->seq.load(std::memory_order_acquire);
+            intptr_t dif = static_cast<intptr_t>(seq) -
+                           static_cast<intptr_t>(pos);
+            if (dif == 0) {
+                // The cell is free in this epoch: claim it by moving
+                // the tail cursor past it.
+                if (tail_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed))
+                    break;
+            } else if (dif < 0) {
+                // The cell still holds an element from one full lap
+                // ago: the ring is full.
+                return false;
+            } else {
+                // Another producer claimed this position; reload.
+                pos = tail_.load(std::memory_order_relaxed);
+            }
+        }
+        cell->value = std::move(v);
+        cell->seq.store(pos + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Non-blocking dequeue; false when the ring is empty. */
+    bool
+    tryPop(T &out)
+    {
+        Cell *cell;
+        size_t pos = head_.load(std::memory_order_relaxed);
+        for (;;) {
+            cell = &cells_[pos & mask_];
+            size_t seq = cell->seq.load(std::memory_order_acquire);
+            intptr_t dif = static_cast<intptr_t>(seq) -
+                           static_cast<intptr_t>(pos + 1);
+            if (dif == 0) {
+                if (head_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed))
+                    break;
+            } else if (dif < 0) {
+                // The producer for this position has not published
+                // yet (or never will this epoch): empty.
+                return false;
+            } else {
+                pos = head_.load(std::memory_order_relaxed);
+            }
+        }
+        out = std::move(cell->value);
+        // Free the cell for the producer one lap ahead.
+        cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Racy emptiness probe for steal heuristics; a false negative or
+     * positive only costs a wasted tryPop()/scan, never correctness.
+     */
+    bool
+    emptyApprox() const
+    {
+        return head_.load(std::memory_order_relaxed) ==
+               tail_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct Cell
+    {
+        std::atomic<size_t> seq;
+        T value;
+    };
+
+    // Cursors on separate cache lines: producers hammer tail_,
+    // consumers hammer head_, and false sharing between them would
+    // serialize exactly the two paths this queue exists to decouple.
+    alignas(64) std::atomic<size_t> head_{0};
+    alignas(64) std::atomic<size_t> tail_{0};
+    std::unique_ptr<Cell[]> cells_;
+    size_t mask_ = 0;
+};
+
+} // namespace cppc
+
+#endif // CPPC_UTIL_WORK_STEAL_QUEUE_HH

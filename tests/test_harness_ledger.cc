@@ -1,0 +1,348 @@
+/**
+ * @file
+ * WorkLedger unit and integration tests: manifest binding, the
+ * claim/heartbeat/publish/reclaim lease protocol, dead-worker lease
+ * recovery, clock-skew immunity (liveness is a beat observed to
+ * change, never a timestamp), tolerance of in-flight temp siblings and
+ * torn records, and two concurrent RunControllers merging one ledger
+ * bit-identically.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#include <utime.h>
+
+#include "harness/ledger.hh"
+#include "harness/run_controller.hh"
+#include "util/logging.hh"
+
+namespace cppc {
+namespace {
+
+/** A unique scratch ledger directory, scrubbed on scope exit. */
+class TempLedgerDir
+{
+  public:
+    explicit TempLedgerDir(const std::string &tag)
+        : path_(testing::TempDir() + "cppc_ledger_" + tag + "_" +
+                std::to_string(::getpid()))
+    {
+        scrub();
+    }
+    ~TempLedgerDir() { scrub(); }
+    const std::string &path() const { return path_; }
+
+  private:
+    void
+    scrub()
+    {
+        DIR *d = ::opendir(path_.c_str());
+        if (d) {
+            while (struct dirent *ent = ::readdir(d)) {
+                std::string name = ent->d_name;
+                if (name != "." && name != "..")
+                    ::unlink((path_ + "/" + name).c_str());
+            }
+            ::closedir(d);
+        }
+        ::rmdir(path_.c_str());
+    }
+
+    std::string path_;
+};
+
+JournalRecord
+okRecord(const std::string &key, const std::string &payload)
+{
+    JournalRecord rec;
+    rec.key = key;
+    rec.status = CellStatus::Ok;
+    rec.attempts = 1;
+    rec.payload = payload;
+    return rec;
+}
+
+TEST(Ledger, ManifestBindsKindAndConfig)
+{
+    TempLedgerDir tmp("manifest");
+    WorkLedger a(tmp.path(), "sweep", "cfg=a", "w1");
+    // Same binding reopens fine (a second worker joining).
+    WorkLedger b(tmp.path(), "sweep", "cfg=a", "w2");
+    EXPECT_TRUE(b.loadDone().empty());
+    // A different config or kind is a foreign grid: joining must be
+    // impossible, exactly like resuming a foreign journal.
+    EXPECT_THROW(WorkLedger(tmp.path(), "sweep", "cfg=b", "w3"),
+                 FatalError);
+    EXPECT_THROW(WorkLedger(tmp.path(), "campaign", "cfg=a", "w3"),
+                 FatalError);
+}
+
+TEST(Ledger, ClaimLifecycle)
+{
+    TempLedgerDir tmp("claim");
+    WorkLedger mine(tmp.path(), "sweep", "cfg", "w1");
+    WorkLedger peer(tmp.path(), "sweep", "cfg", "w2");
+
+    EXPECT_EQ(mine.tryClaim("cell:a"), WorkLedger::Claim::Acquired);
+    EXPECT_EQ(mine.heldCount(), 1u);
+    // The filesystem arbitrates: the peer (and a re-claim by the
+    // holder itself) sees Busy.
+    EXPECT_EQ(peer.tryClaim("cell:a"), WorkLedger::Claim::Busy);
+    EXPECT_EQ(mine.tryClaim("cell:a"), WorkLedger::Claim::Busy);
+
+    auto lease = peer.readLease("cell:a");
+    ASSERT_TRUE(lease.has_value());
+    EXPECT_EQ(lease->worker, "w1");
+    EXPECT_EQ(lease->beat, 1u);
+
+    ASSERT_TRUE(mine.publish(okRecord("cell:a", "payload=1")));
+    EXPECT_EQ(mine.heldCount(), 0u);
+    // Publishing released the lease and committed the record.
+    EXPECT_FALSE(peer.readLease("cell:a").has_value());
+    EXPECT_EQ(peer.tryClaim("cell:a"), WorkLedger::Claim::Done);
+
+    auto done = peer.loadDone();
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done.at("cell:a").status, CellStatus::Ok);
+    EXPECT_EQ(done.at("cell:a").payload, "payload=1");
+}
+
+TEST(Ledger, HeartbeatAdvancesBeat)
+{
+    TempLedgerDir tmp("beat");
+    WorkLedger mine(tmp.path(), "sweep", "cfg", "w1");
+    WorkLedger peer(tmp.path(), "sweep", "cfg", "w2");
+
+    ASSERT_EQ(mine.tryClaim("cell:a"), WorkLedger::Claim::Acquired);
+    ASSERT_EQ(peer.readLease("cell:a")->beat, 1u);
+    mine.heartbeat();
+    EXPECT_EQ(peer.readLease("cell:a")->beat, 2u);
+    mine.heartbeat();
+    EXPECT_EQ(peer.readLease("cell:a")->beat, 3u);
+}
+
+TEST(Ledger, DeadWorkerLeaseIsReclaimable)
+{
+    TempLedgerDir tmp("reclaim");
+    WorkLedger peer(tmp.path(), "sweep", "cfg", "rescuer");
+    {
+        // The victim claims a cell and "dies": its WorkLedger goes out
+        // of scope without publishing, so the lease file stays behind
+        // with a frozen beat — exactly what a SIGKILL leaves.
+        WorkLedger victim(tmp.path(), "sweep", "cfg", "victim");
+        ASSERT_EQ(victim.tryClaim("cell:a"),
+                  WorkLedger::Claim::Acquired);
+    }
+    ASSERT_EQ(peer.tryClaim("cell:a"), WorkLedger::Claim::Busy);
+    auto lease = peer.readLease("cell:a");
+    ASSERT_TRUE(lease.has_value());
+    EXPECT_EQ(lease->worker, "victim");
+
+    // The staleness *observation* (unchanged beat over the timeout
+    // window) belongs to the controller; once made, the reclaim is a
+    // break + ordinary O_EXCL race.
+    peer.breakLease("cell:a");
+    EXPECT_EQ(peer.tryClaim("cell:a"), WorkLedger::Claim::Acquired);
+    ASSERT_TRUE(peer.publish(okRecord("cell:a", "payload=2")));
+    EXPECT_EQ(peer.loadDone().at("cell:a").payload, "payload=2");
+}
+
+TEST(Ledger, ReclaimedHolderDropsLeaseOnNextHeartbeat)
+{
+    TempLedgerDir tmp("dropped");
+    WorkLedger slow(tmp.path(), "sweep", "cfg", "slow");
+    WorkLedger fast(tmp.path(), "sweep", "cfg", "fast");
+
+    ASSERT_EQ(slow.tryClaim("cell:a"), WorkLedger::Claim::Acquired);
+    // A peer declares `slow` dead (it was merely descheduled) and
+    // takes the cell over.
+    fast.breakLease("cell:a");
+    ASSERT_EQ(fast.tryClaim("cell:a"), WorkLedger::Claim::Acquired);
+
+    // The not-actually-dead holder notices at its next heartbeat and
+    // stops refreshing a lease that is no longer its own.
+    EXPECT_EQ(slow.heldCount(), 1u);
+    slow.heartbeat();
+    EXPECT_EQ(slow.heldCount(), 0u);
+    EXPECT_EQ(fast.readLease("cell:a")->worker, "fast");
+
+    // Both may still publish; the records are byte-identical by
+    // determinism, so either order commits the same bytes.
+    ASSERT_TRUE(slow.publish(okRecord("cell:a", "payload=x")));
+    ASSERT_TRUE(fast.publish(okRecord("cell:a", "payload=x")));
+    EXPECT_EQ(fast.loadDone().at("cell:a").payload, "payload=x");
+}
+
+TEST(Ledger, ClockSkewCannotFakeLiveness)
+{
+    TempLedgerDir tmp("skew");
+    WorkLedger peer(tmp.path(), "sweep", "cfg", "rescuer");
+    {
+        WorkLedger victim(tmp.path(), "sweep", "cfg", "victim");
+        ASSERT_EQ(victim.tryClaim("cell:a"),
+                  WorkLedger::Claim::Acquired);
+    }
+    // A peer with a wildly skewed clock stamped the lease file a day
+    // into the future.  Liveness is a beat observed to change on the
+    // watcher's own steady clock — mtimes are never consulted — so
+    // the abandoned lease is still detected and reclaimed.
+    std::string lease_file = tmp.path() + "/";
+    {
+        DIR *d = ::opendir(tmp.path().c_str());
+        ASSERT_NE(d, nullptr);
+        while (struct dirent *ent = ::readdir(d)) {
+            std::string name = ent->d_name;
+            if (name.rfind("lease.", 0) == 0)
+                lease_file += name;
+        }
+        ::closedir(d);
+    }
+    struct stat st{};
+    ASSERT_EQ(::stat(lease_file.c_str(), &st), 0);
+    struct utimbuf future{};
+    future.actime = st.st_atime + 86'400;
+    future.modtime = st.st_mtime + 86'400;
+    ASSERT_EQ(::utime(lease_file.c_str(), &future), 0);
+
+    auto lease = peer.readLease("cell:a");
+    ASSERT_TRUE(lease.has_value());
+    EXPECT_EQ(lease->beat, 1u) << "beat, not mtime, carries liveness";
+    peer.breakLease("cell:a");
+    EXPECT_EQ(peer.tryClaim("cell:a"), WorkLedger::Claim::Acquired);
+}
+
+TEST(Ledger, LoadDoneIgnoresTempSiblingsAndTornRecords)
+{
+    TempLedgerDir tmp("junk");
+    WorkLedger ledger(tmp.path(), "sweep", "cfg", "w1");
+    ASSERT_EQ(ledger.tryClaim("cell:a"), WorkLedger::Claim::Acquired);
+    ASSERT_TRUE(ledger.publish(okRecord("cell:a", "payload=1")));
+
+    // An atomicWriteFile temp sibling caught mid-write shares the
+    // "cell." prefix but has a non-hex suffix; readers must skip it.
+    std::ofstream(tmp.path() + "/cell.6365: ab.tmp.123") << "partial";
+    std::ofstream(tmp.path() + "/cell.православие") << "junk";
+    // A torn record: valid name, body cut mid-line (bad CRC).
+    std::ofstream(tmp.path() + "/cell.6365")
+        << "cell ce ok 1 payload=9 crc=0000";
+
+    auto done = ledger.loadDone();
+    ASSERT_EQ(done.size(), 1u) << "only the sealed record survives";
+    EXPECT_EQ(done.at("cell:a").payload, "payload=1");
+}
+
+// ------------------------------------------------- controller integration
+
+std::vector<WorkUnit>
+tenUnits(std::atomic<int> *executions = nullptr)
+{
+    std::vector<WorkUnit> units;
+    for (int i = 0; i < 10; ++i) {
+        WorkUnit u;
+        u.key = strfmt("unit:%d", i);
+        u.work = [i, executions](const std::atomic<bool> &) {
+            if (executions)
+                executions->fetch_add(1, std::memory_order_relaxed);
+            return strfmt("value=%d", i * i);
+        };
+        units.push_back(std::move(u));
+    }
+    return units;
+}
+
+HarnessOptions
+ledgerOptions(const std::string &dir, const std::string &worker)
+{
+    HarnessOptions h;
+    h.ledger_dir = dir;
+    h.worker_id = worker;
+    h.jobs = 2;
+    h.use_stop_token = false;
+    h.ledger_poll_s = 0.02;
+    return h;
+}
+
+std::string
+fingerprint(const HarnessReport &report)
+{
+    std::string s;
+    for (const UnitResult &r : report.results)
+        s += r.key + "=" + cellStatusName(r.status) + ":" + r.payload +
+             "\n";
+    return s;
+}
+
+TEST(Ledger, ConcurrentControllersMergeBitIdentically)
+{
+    TempLedgerDir tmp("controllers");
+
+    // Reference: the same units through a plain in-process run.
+    HarnessOptions plain;
+    plain.jobs = 2;
+    plain.use_stop_token = false;
+    RunController ref_ctl(plain, "sweep", "cfg");
+    std::string ref = fingerprint(ref_ctl.run(tenUnits()));
+
+    // Two controllers race on one ledger from separate threads; both
+    // must complete every unit (executing some, adopting the rest) and
+    // report the identical byte sequence.
+    HarnessReport rep_a, rep_b;
+    std::thread ta([&] {
+        RunController ctl(ledgerOptions(tmp.path(), "wa"), "sweep",
+                          "cfg");
+        rep_a = ctl.run(tenUnits());
+    });
+    std::thread tb([&] {
+        RunController ctl(ledgerOptions(tmp.path(), "wb"), "sweep",
+                          "cfg");
+        rep_b = ctl.run(tenUnits());
+    });
+    ta.join();
+    tb.join();
+
+    EXPECT_TRUE(rep_a.complete());
+    EXPECT_TRUE(rep_b.complete());
+    EXPECT_EQ(fingerprint(rep_a), ref);
+    EXPECT_EQ(fingerprint(rep_b), ref);
+}
+
+TEST(Ledger, ControllerReclaimsDeadWorkersCells)
+{
+    TempLedgerDir tmp("controller_reclaim");
+
+    // A "worker" that died mid-cell: it claimed two cells, heartbeat
+    // stopped forever (its process is gone), nothing was published.
+    {
+        WorkLedger victim(tmp.path(), "sweep",
+                          "cfg:units=10", "victim");
+        ASSERT_EQ(victim.tryClaim("unit:3"),
+                  WorkLedger::Claim::Acquired);
+        ASSERT_EQ(victim.tryClaim("unit:7"),
+                  WorkLedger::Claim::Acquired);
+    }
+
+    std::atomic<int> executions{0};
+    HarnessOptions h = ledgerOptions(tmp.path(), "rescuer");
+    h.lease_timeout_s = 0.2; // observe the frozen beat quickly
+    RunController ctl(h, "sweep", "cfg:units=10");
+    HarnessReport report = ctl.run(tenUnits(&executions));
+
+    EXPECT_TRUE(report.complete());
+    EXPECT_EQ(executions.load(), 10)
+        << "the rescuer re-ran the abandoned cells itself";
+    for (const UnitResult &r : report.results)
+        EXPECT_EQ(r.status, CellStatus::Ok) << r.key;
+}
+
+} // namespace
+} // namespace cppc

@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Campaign-fabric scaling regression gate.
+
+Compares a freshly measured BENCH_scaling.json (from bench_scaling)
+against the committed baseline (bench/BENCH_scaling.baseline.json) and
+fails when the fabric lost parallel scaling.
+
+Three gates, strongest first:
+
+  1. **Determinism** — `bit_identical` must be true: every topology
+     (serial, all-cores threads, 2-process ledger) produced the same
+     shard grid.  A false here is a correctness bug, never noise.
+  2. **Efficiency floor** — the all-cores leg's speedup must reach
+     `floor * ncores` (default floor 0.6, per the acceptance bar).
+     On a 1-core host this is trivially ~1x, which is the point: the
+     floor scales with the hardware it runs on.
+  3. **Relative curve** — per-leg speedups must not drop by more than
+     the tolerance vs the baseline.  Speedups are dimensionless ratios,
+     so they transfer between hosts *with the same core count*; when
+     `ncores` differs from the baseline the relative gate is skipped
+     (informational pass, like the kernel gate's backend-mismatch
+     skip) and only gates 1 and 2 apply.
+
+Usage:
+    check_bench_scaling.py CURRENT.json [--baseline PATH] [--update]
+
+    --baseline PATH  baseline to compare against / rewrite
+                     (default bench/BENCH_scaling.baseline.json next to
+                     the repo root inferred from this script)
+    --update         overwrite the baseline with CURRENT.json and exit
+
+Environment:
+    CPPC_BENCH_TOLERANCE          allowed fractional speedup drop vs
+                                  the baseline (default 0.10)
+    CPPC_SCALING_EFFICIENCY_FLOOR all-cores speedup floor as a fraction
+                                  of ncores (default 0.6)
+
+Exit codes: 0 ok / baseline updated, 1 regression or determinism
+failure, 2 usage or I/O error, 3 curve shape mismatch (baseline needs
+a refresh via --update).
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "bench",
+                                "BENCH_scaling.baseline.json")
+
+# Absolute speedup slack.  Sub-second legs on a loaded shared runner
+# wobble by tenths of a speedup unit; the slack keeps the gate from
+# flapping there while staying far below any real loss of scaling on a
+# multi-core host (where speedups are measured in whole cores).
+SPEEDUP_SLACK = 0.15
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def curve(doc, path):
+    """Map leg name -> speedup (higher = better)."""
+    out = {}
+    for leg in doc.get("curve", []):
+        name = leg.get("leg")
+        speedup = leg.get("speedup", 0.0)
+        if not name or speedup <= 0:
+            print(f"error: {path} has a malformed curve entry: {leg}",
+                  file=sys.stderr)
+            sys.exit(2)
+        out[name] = speedup
+    if "serial" not in out or "threads" not in out:
+        print(f"error: {path} curve lacks the serial/threads legs",
+              file=sys.stderr)
+        sys.exit(2)
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="fail on campaign-fabric scaling regressions")
+    ap.add_argument("current", help="freshly measured BENCH_scaling.json")
+    ap.add_argument("--baseline", default=DEFAULT_BASELINE)
+    ap.add_argument("--update", action="store_true",
+                    help="replace the baseline with the current run")
+    args = ap.parse_args()
+
+    if args.update:
+        doc = load(args.current)  # refuse an unreadable baseline
+        if not doc.get("bit_identical", False):
+            print("error: refusing to baseline a non-deterministic run",
+                  file=sys.stderr)
+            return 2
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    tol = float(os.environ.get("CPPC_BENCH_TOLERANCE", "0.10"))
+    floor = float(
+        os.environ.get("CPPC_SCALING_EFFICIENCY_FLOOR", "0.6"))
+    cur_doc = load(args.current)
+    base_doc = load(args.baseline)
+    cur = curve(cur_doc, args.current)
+
+    # Gate 1: determinism is unconditional.
+    if not cur_doc.get("bit_identical", False):
+        print("FAIL: topologies disagree (bit_identical=false) — a "
+              "worker topology changed the results", file=sys.stderr)
+        return 1
+
+    # Gate 2: the all-cores leg must clear the efficiency floor.
+    ncores = int(cur_doc.get("ncores", 0))
+    if ncores <= 0:
+        print(f"error: {args.current} has no usable ncores",
+              file=sys.stderr)
+        return 2
+    required = floor * ncores
+    threads_speedup = cur["threads"]
+    print(f"  all-cores speedup {threads_speedup:.3f}x on {ncores} "
+          f"core(s); floor {required:.3f}x")
+    if threads_speedup < required:
+        print(f"\nFAIL: all-cores speedup {threads_speedup:.2f}x is "
+              f"below {floor:.0%} of {ncores} cores "
+              f"({required:.2f}x)", file=sys.stderr)
+        return 1
+
+    # Gate 3: per-leg speedups vs the baseline, same core count only.
+    base_ncores = int(base_doc.get("ncores", -1))
+    if base_ncores != ncores:
+        print(f"ncores mismatch (current {ncores}, baseline "
+              f"{base_ncores}); skipping the relative curve gate")
+        return 0
+    base = curve(base_doc, args.baseline)
+
+    missing = sorted(set(base) - set(cur))
+    if missing:
+        print("error: legs in the baseline but not the current run "
+              f"(refresh with --update?): {', '.join(missing)}",
+              file=sys.stderr)
+        return 3
+
+    regressions = []
+    for name in sorted(base):
+        b, c = base[name], cur[name]
+        lost = b - c  # speedup: lower = regression
+        allowed = max(tol * b, SPEEDUP_SLACK)
+        drop = lost / b if b > 0 else 0.0
+        flag = "REGRESSED" if lost > allowed else "ok"
+        print(f"  {name:10s} baseline {b:7.3f}x  current {c:7.3f}x  "
+              f"lost {drop * 100:+7.2f}%  {flag}")
+        if lost > allowed:
+            regressions.append((name, drop))
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} leg(s) lost more than "
+              f"{tol * 100:.0f}% speedup vs {args.baseline}:",
+              file=sys.stderr)
+        for name, drop in regressions:
+            print(f"  {name}: {drop * 100:+.1f}% slower",
+                  file=sys.stderr)
+        print("intentional? refresh the baseline: "
+              "tools/check_bench_scaling.py NEW.json --update",
+              file=sys.stderr)
+        return 1
+
+    print(f"\nOK: scaling curve within {tol * 100:.0f}% of the "
+          "baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

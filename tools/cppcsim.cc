@@ -42,12 +42,16 @@
  *   cppcsim run ... --csv
  */
 
+#include <cerrno>
 #include <cstring>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "energy/accountant.hh"
 #include "fault/campaign.hh"
@@ -95,6 +99,15 @@ usage()
         "crash-safety (sweep, campaign, fuzz):\n"
         "  --journal=FILE --resume=FILE --cell-timeout=SECS"
         " --retries=N\n"
+        "multi-process (sweep, campaign, fuzz):\n"
+        "  --ledger=DIR         shared work ledger (replaces --journal;"
+        " resumes implicitly)\n"
+        "  --workers=N          fork N worker processes against the"
+        " ledger, then merge\n"
+        "  --worker-id=ID       this worker's lease id (default:"
+        " w<pid>)\n"
+        "  --lease-timeout=SECS reclaim a peer's lease after its"
+        " heartbeat stalls this long\n"
         "exit codes: 0 complete, 1 error, 2 usage, 3 partial"
         " (resume with --resume)\n";
     return 2;
@@ -128,10 +141,20 @@ cppcConfigFrom(const Options &opt)
 }
 
 /**
+ * Set in forked --workers children: suffixes the worker id (".<i>")
+ * and suppresses table/--out emission (the parent's merge pass owns
+ * the user-facing output).
+ */
+std::string g_worker_suffix;
+bool g_quiet_tables = false;
+
+/**
  * The shared crash-safety flags.  --journal starts a fresh journal
  * (refusing to clobber an existing one); --resume loads one and skips
  * completed cells.  Both at once is contradictory — --resume already
- * names the journal it keeps appending to.
+ * names the journal it keeps appending to.  --ledger replaces both:
+ * the shared ledger directory is itself the checkpoint store, and
+ * joining it implicitly adopts every published cell.
  */
 HarnessOptions
 harnessFrom(const Options &opt)
@@ -139,15 +162,35 @@ harnessFrom(const Options &opt)
     HarnessOptions h;
     std::string journal = opt.getString("journal");
     std::string resume = opt.getString("resume");
+    std::string ledger = opt.getString("ledger");
     if (!journal.empty() && !resume.empty())
         fatal("--journal=%s and --resume=%s are mutually exclusive; "
               "--resume keeps appending to the journal it names",
               journal.c_str(), resume.c_str());
+    if (!ledger.empty() && (!journal.empty() || !resume.empty()))
+        fatal("--ledger=%s replaces --journal/--resume: the ledger "
+              "directory is itself the checkpoint store and resumes "
+              "implicitly",
+              ledger.c_str());
+    if (ledger.empty() &&
+        (opt.has("worker-id") || opt.has("lease-timeout")))
+        fatal("--worker-id and --lease-timeout only make sense with "
+              "--ledger=DIR");
     if (!resume.empty()) {
         h.journal_path = resume;
         h.resume = true;
     } else {
         h.journal_path = journal;
+    }
+    if (!ledger.empty()) {
+        h.ledger_dir = ledger;
+        h.worker_id =
+            opt.getString("worker-id",
+                          strfmt("w%d", static_cast<int>(getpid()))) +
+            g_worker_suffix;
+        h.lease_timeout_s = opt.getDouble("lease-timeout", 30.0);
+        if (h.lease_timeout_s <= 0.0)
+            fatal("--lease-timeout must be > 0");
     }
     h.cell_timeout_s = opt.getDouble("cell-timeout", 0.0);
     if (h.cell_timeout_s < 0.0)
@@ -161,6 +204,8 @@ harnessFrom(const Options &opt)
 void
 emitTable(const Options &opt, const TextTable &t)
 {
+    if (g_quiet_tables)
+        return; // a forked worker; the parent's merge pass emits
     if (opt.getBool("csv", false))
         t.printCsv(std::cout);
     else
@@ -182,6 +227,69 @@ finishHarness(const HarnessReport &report, const std::string &tool,
     if (!report.complete() || report.stopped)
         std::cerr << report.summary(tool) << "\n";
     return report.complete() ? rc_when_complete : report.exitCode();
+}
+
+/**
+ * Run a harness-backed subcommand, honoring --workers=N: fork N
+ * worker processes against the shared ledger (forking strictly before
+ * any thread exists), wait for them, then run the command once more in
+ * this process as the merge pass — it adopts every published cell,
+ * finishes any leftovers a dead worker abandoned, and emits the
+ * user-facing table.  Any topology prints byte-identical cells: the
+ * merge re-reads all records from the ledger.
+ */
+int
+runHarnessCmd(const Options &opt, int (*fn)(const Options &))
+{
+    unsigned workers = 1;
+    if (opt.has("workers"))
+        workers = ThreadPool::parseWorkerCount(opt.getString("workers"),
+                                               "--workers");
+    if (workers > 1 && opt.getString("ledger").empty())
+        fatal("--workers=%u needs --ledger=DIR (the shared work "
+              "ledger the workers coordinate through)",
+              workers);
+
+    std::vector<pid_t> kids;
+    for (unsigned i = 0; workers > 1 && i < workers; ++i) {
+        std::cout.flush();
+        std::cerr.flush();
+        pid_t pid = fork();
+        if (pid < 0)
+            fatal("cannot fork worker %u: %s", i, std::strerror(errno));
+        if (pid == 0) {
+            g_worker_suffix = strfmt(".%u", i);
+            g_quiet_tables = true;
+            int rc = 1;
+            try {
+                rc = fn(opt);
+            } catch (const FatalError &e) {
+                std::cerr << "fatal: " << e.what() << "\n";
+            }
+            std::cout.flush();
+            std::cerr.flush();
+            _exit(rc);
+        }
+        kids.push_back(pid);
+    }
+    for (size_t i = 0; i < kids.size(); ++i) {
+        int status = 0;
+        if (waitpid(kids[i], &status, 0) < 0) {
+            warn("waitpid(worker %zu): %s", i, std::strerror(errno));
+            continue;
+        }
+        // A crashed or incomplete worker is not fatal: its leases go
+        // stale and the merge pass (or a surviving peer) finishes its
+        // cells.
+        if (WIFSIGNALED(status))
+            warn("worker %zu died on signal %d; its cells will be "
+                 "reclaimed",
+                 i, WTERMSIG(status));
+        else if (WIFEXITED(status) && WEXITSTATUS(status) != 0)
+            warn("worker %zu exited with status %d", i,
+                 WEXITSTATUS(status));
+    }
+    return fn(opt);
 }
 
 int
@@ -575,19 +683,20 @@ main(int argc, char **argv)
                  "paper-locator", "csv", "injections", "multibit",
                  "interleave", "dirty", "size-kb", "tavg", "fit", "avf",
                  "stats", "trace", "out", "jobs", "seeds", "ops",
-                 "journal", "resume", "cell-timeout", "retries"});
+                 "journal", "resume", "cell-timeout", "retries",
+                 "ledger", "workers", "worker-id", "lease-timeout"});
     try {
         opt.parse(argc - 1, argv + 1);
         if (cmd == "run")
             return cmdRun(opt);
         if (cmd == "sweep")
-            return cmdSweep(opt);
+            return runHarnessCmd(opt, cmdSweep);
         if (cmd == "record")
             return cmdRecord(opt);
         if (cmd == "campaign")
-            return cmdCampaign(opt);
+            return runHarnessCmd(opt, cmdCampaign);
         if (cmd == "fuzz")
-            return cmdFuzz(opt);
+            return runHarnessCmd(opt, cmdFuzz);
         if (cmd == "mttf")
             return cmdMttf(opt);
         if (cmd == "list")
