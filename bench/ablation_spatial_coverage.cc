@@ -89,7 +89,8 @@ main()
         {"cppc 8 pairs, no shift", SchemeKind::Cppc, eight_pairs},
     };
 
-    TextTable t({"configuration", "corrected", "due", "sdc", "coverage"});
+    TextTable t({"configuration", "corrected", "due", "sdc",
+                 "misrepair", "coverage"});
     double cov_basic = 0, cov_1p = 0, cov_2p = 0, cov_8p = 0, cov_par = 0;
     for (const ConfigSpec &cs : configs) {
         MainMemory mem;
@@ -113,6 +114,7 @@ main()
             .add(r.corrected)
             .add(r.due)
             .add(r.sdc)
+            .add(r.misrepair)
             .add(r.coverage(), 4);
         if (std::string(cs.name).find("basic") != std::string::npos)
             cov_basic = r.coverage();

@@ -1,0 +1,313 @@
+/**
+ * @file
+ * The misrepair showdown: SECDED vs LDPC vs chiprepair under
+ * exhaustive and sampled multi-bit faults.
+ *
+ * For every error weight w the harness injects either *all* C(n, w)
+ * bit patterns (exhaustive, w <= 3 by default) or a deterministic
+ * sample (w = 4..8), decodes, and classifies the outcome:
+ *
+ *   repaired    data restored exactly
+ *   detected    honest uncorrectable (DUE / refetch territory)
+ *   misrepaired decoder committed to a *wrong* repair
+ *   silent      decoder saw a zero syndrome on wrong data
+ *
+ * The headline table this reproduces: LDPC (27 code bits per 256-bit
+ * line) repairs 100% of weight-1/2/3 faults with zero misrepair, while
+ * word-local SECDED (32 code bits per line) misrepairs ~76% of
+ * weight-3 faults.  SECDED and chiprepair are measured over one 64-bit
+ * protection unit, LDPC over its 256-bit line block; weights are
+ * *data* bits (strikes never hit stored code, matching the campaign's
+ * fault model).
+ *
+ * Emits BENCH_showdown.json, validated by tools/check_bench_showdown.py
+ * (pure count invariants — no timing, so no baseline file is needed).
+ *
+ * Usage: bench_showdown [OUT.json] [--smoke]
+ *   --smoke  exhaustive weights <= 2 only and smaller samples, for CI.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cache/write_back_cache.hh"
+#include "protection/chiprepair.hh"
+#include "protection/hamming.hh"
+#include "protection/ldpc.hh"
+#include "util/atomic_file.hh"
+#include "util/rng.hh"
+#include "util/wide_word.hh"
+
+using namespace cppc;
+
+namespace {
+
+struct Tally
+{
+    uint64_t patterns = 0;
+    uint64_t repaired = 0;
+    uint64_t detected = 0;
+    uint64_t misrepaired = 0;
+    uint64_t silent = 0;
+};
+
+struct RowOut
+{
+    std::string scheme;
+    unsigned weight;
+    bool exhaustive;
+    Tally t;
+};
+
+/**
+ * Drive @p fn over every weight-@p w bit pattern of an @p n-bit block
+ * (exhaustive) or over @p samples deterministic draws.  @p fn receives
+ * the sorted flip list.
+ */
+template <typename Fn>
+Tally
+forPatterns(unsigned n, unsigned w, bool exhaustive, uint64_t samples,
+            uint64_t seed, Fn fn)
+{
+    Tally t;
+    std::vector<unsigned> bits(w);
+    if (exhaustive) {
+        for (unsigned i = 0; i < w; ++i)
+            bits[i] = i;
+        while (true) {
+            ++t.patterns;
+            fn(bits, t);
+            // next combination
+            int i = static_cast<int>(w) - 1;
+            while (i >= 0 &&
+                   bits[static_cast<unsigned>(i)] ==
+                       n - w + static_cast<unsigned>(i))
+                --i;
+            if (i < 0)
+                break;
+            ++bits[static_cast<unsigned>(i)];
+            for (unsigned j = static_cast<unsigned>(i) + 1; j < w; ++j)
+                bits[j] = bits[j - 1] + 1;
+        }
+    } else {
+        Rng rng(seed);
+        for (uint64_t s = 0; s < samples; ++s) {
+            bits.clear();
+            while (bits.size() < w) {
+                unsigned b = static_cast<unsigned>(rng.nextBelow(n));
+                if (std::find(bits.begin(), bits.end(), b) == bits.end())
+                    bits.push_back(b);
+            }
+            std::sort(bits.begin(), bits.end());
+            ++t.patterns;
+            fn(bits, t);
+        }
+    }
+    return t;
+}
+
+/** SECDED over one 64-bit word, data-only faults. */
+void
+runSecded(std::vector<RowOut> &rows, unsigned max_exh, uint64_t samples)
+{
+    const HammingSecded codec(64);
+    const uint64_t golden = 0xfeedfacecafef00dull;
+    const WideWord gw = WideWord::fromUint64(golden, 8);
+    const uint32_t code = codec.encode(gw);
+
+    for (unsigned w = 1; w <= 8; ++w) {
+        bool exh = w <= max_exh;
+        Tally t = forPatterns(
+            64, w, exh, samples, 0x5d05ull,
+            [&](const std::vector<unsigned> &bits, Tally &tt) {
+                uint64_t v = golden;
+                for (unsigned b : bits)
+                    v ^= 1ull << b;
+                auto d = codec.decode(WideWord::fromUint64(v, 8), code);
+                switch (d.status) {
+                  case HammingSecded::Status::Clean:
+                    ++tt.silent;
+                    break;
+                  case HammingSecded::Status::CorrectedData:
+                    if (bits.size() == 1 && d.bit == bits[0])
+                        ++tt.repaired;
+                    else
+                        ++tt.misrepaired;
+                    break;
+                  case HammingSecded::Status::CorrectedCode:
+                    // Decoder blames the stored code and accepts the
+                    // (wrong) data as-is.
+                    ++tt.misrepaired;
+                    break;
+                  case HammingSecded::Status::Detected:
+                    ++tt.detected;
+                    break;
+                }
+            });
+        rows.push_back({"secded", w, exh, t});
+    }
+}
+
+/** LDPC over one 256-bit line block; syndromes are linear in flips. */
+void
+runLdpc(std::vector<RowOut> &rows, unsigned max_exh, uint64_t samples)
+{
+    auto codec = LdpcCodec::get(256);
+
+    for (unsigned w = 1; w <= 8; ++w) {
+        bool exh = w <= max_exh;
+        Tally t = forPatterns(
+            256, w, exh, samples, 0x5d05ull + 1,
+            [&](const std::vector<unsigned> &bits, Tally &tt) {
+                uint64_t syn = 0;
+                for (unsigned b : bits)
+                    syn ^= codec->column(b);
+                auto d = codec->decode(syn);
+                switch (d.status) {
+                  case LdpcCodec::Decode::Status::Clean:
+                    ++tt.silent;
+                    break;
+                  case LdpcCodec::Decode::Status::Detected:
+                    ++tt.detected;
+                    break;
+                  case LdpcCodec::Decode::Status::Repaired:
+                  case LdpcCodec::Decode::Status::BeyondGuarantee: {
+                    // Exact iff the flip set equals the injected set.
+                    std::vector<unsigned> got(
+                        d.flips.begin(), d.flips.begin() + d.n_flips);
+                    std::sort(got.begin(), got.end());
+                    bool exact = got.size() == bits.size() &&
+                        std::equal(got.begin(), got.end(), bits.begin());
+                    if (exact)
+                        ++tt.repaired;
+                    else
+                        ++tt.misrepaired;
+                    break;
+                  }
+                }
+            });
+        rows.push_back({"ldpc", w, exh, t});
+    }
+}
+
+/**
+ * Chiprepair over one 64-bit unit, measured end to end through a real
+ * protected cache: corrupt a dirty word, check/recover, audit against
+ * golden.  Dirty data means an undecodable fault is an honest DUE
+ * (detected), never a refetch.
+ */
+void
+runChipRepair(std::vector<RowOut> &rows, unsigned max_exh,
+              uint64_t samples)
+{
+    CacheGeometry g;
+    g.size_bytes = 1024;
+    g.assoc = 1;
+    g.line_bytes = 32;
+    g.unit_bytes = 8;
+
+    MainMemory mem;
+    WriteBackCache cache("showdown", g, ReplacementKind::LRU, &mem,
+                         std::make_unique<ChipRepairScheme>(8));
+    const uint64_t golden = 0x0123456789abcdefull;
+    const WideWord gw = WideWord::fromUint64(golden, 8);
+    cache.storeWord(0x0, golden); // row 0, dirty
+    ProtectionScheme *scheme = cache.scheme();
+
+    for (unsigned w = 1; w <= 8; ++w) {
+        bool exh = w <= max_exh;
+        Tally t = forPatterns(
+            64, w, exh, samples, 0x5d05ull + 2,
+            [&](const std::vector<unsigned> &bits, Tally &tt) {
+                for (unsigned b : bits)
+                    cache.corruptBit(0, b);
+                if (scheme->check(0)) {
+                    ++tt.silent; // zero syndrome on wrong data
+                } else {
+                    VerifyOutcome vo = scheme->recover(0);
+                    if (vo == VerifyOutcome::Due)
+                        ++tt.detected;
+                    else if (cache.rowData(0) == gw)
+                        ++tt.repaired;
+                    else
+                        ++tt.misrepaired;
+                }
+                cache.pokeRowData(0, gw); // stored code still matches
+            });
+        rows.push_back({"chiprepair", w, exh, t});
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_showdown.json";
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--smoke") {
+            smoke = true;
+        } else if (a.rfind("--", 0) == 0) {
+            std::cerr << "unknown option " << a
+                      << " (usage: bench_showdown [OUT.json] [--smoke])\n";
+            return 1;
+        } else {
+            out_path = a;
+        }
+    }
+
+    const unsigned max_exh = smoke ? 2 : 3;
+    const uint64_t samples = smoke ? 2000 : 20000;
+
+    std::vector<RowOut> rows;
+    runSecded(rows, max_exh, samples);
+    runLdpc(rows, max_exh, samples);
+    runChipRepair(rows, max_exh, samples);
+
+    std::ostringstream os;
+    os << "{\n  \"version\": 1,\n  \"smoke\": "
+       << (smoke ? "true" : "false") << ",\n  \"rows\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const RowOut &r = rows[i];
+        os << "    {\"scheme\": \"" << r.scheme << "\", \"weight\": "
+           << r.weight << ", \"mode\": \""
+           << (r.exhaustive ? "exhaustive" : "sampled")
+           << "\", \"patterns\": " << r.t.patterns << ", \"repaired\": "
+           << r.t.repaired << ", \"detected\": " << r.t.detected
+           << ", \"misrepaired\": " << r.t.misrepaired
+           << ", \"silent\": " << r.t.silent << "}"
+           << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+
+    if (!atomicWriteFile(out_path, os.str())) {
+        std::cerr << "cannot write " << out_path << "\n";
+        return 1;
+    }
+
+    // Console table for humans.
+    std::cout << "scheme      w  mode        patterns  repaired  "
+                 "detected  misrepaired  silent\n";
+    for (const RowOut &r : rows) {
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "%-11s %u  %-10s %9llu %9llu %9llu %12llu %7llu\n",
+                      r.scheme.c_str(), r.weight,
+                      r.exhaustive ? "exhaustive" : "sampled",
+                      (unsigned long long)r.t.patterns,
+                      (unsigned long long)r.t.repaired,
+                      (unsigned long long)r.t.detected,
+                      (unsigned long long)r.t.misrepaired,
+                      (unsigned long long)r.t.silent);
+        std::cout << line;
+    }
+    std::cout << "wrote " << out_path << "\n";
+    return 0;
+}

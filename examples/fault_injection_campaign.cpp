@@ -80,7 +80,8 @@ main(int argc, char **argv)
 
     for (const Env &env : envs) {
         std::printf("--- %s ---\n", env.name);
-        TextTable t({"scheme", "corrected", "due", "sdc", "coverage"});
+        TextTable t({"scheme", "corrected", "due", "sdc", "misrepair",
+                     "coverage"});
         for (SchemeKind kind : kAllSchemes) {
             MainMemory mem;
             WriteBackCache cache("L1D", smallL1(), ReplacementKind::LRU,
@@ -99,6 +100,7 @@ main(int argc, char **argv)
                 .add(r.corrected)
                 .add(r.due)
                 .add(r.sdc)
+                .add(r.misrepair)
                 .add(r.coverage(), 4);
         }
         t.print(std::cout);

@@ -59,7 +59,18 @@ enum class VerifyOutcome
     Ok,        ///< no fault detected
     Refetched, ///< clean fault converted to a miss and refetched
     Corrected, ///< fault corrected in place via the scheme's code
-    Due        ///< detected but uncorrectable (machine-check)
+    Due,       ///< detected but uncorrectable (machine-check)
+
+    /**
+     * The scheme applied a repair *beyond its guarantee window* (e.g.
+     * an iterative LDPC decode converging on a weight-4+ pattern) and
+     * cannot prove the repaired word equals the original.  The cache
+     * treats this like Corrected — data was rewritten and the code now
+     * matches — but campaign/fuzz accounting audits it against golden
+     * memory and counts a mismatch as *misrepair*, not silent
+     * corruption.
+     */
+    Miscorrected
 };
 
 /** What a store did beyond the data write (for timing and energy). */
@@ -88,11 +99,13 @@ struct SchemeStats
     uint64_t corrected_dirty = 0;
     uint64_t corrected_code = 0;  ///< faults in the code bits themselves
     uint64_t due = 0;
+    /// repairs applied beyond the code's guarantee (may be misrepairs)
+    uint64_t miscorrected = 0;
 
     uint64_t totalRecoveries() const
     {
         return refetched_clean + corrected_clean + corrected_dirty +
-            corrected_code + due;
+            corrected_code + due + miscorrected;
     }
 };
 
@@ -165,8 +178,32 @@ class ProtectionScheme
      */
     virtual VerifyOutcome recover(Row row) = 0;
 
+    /**
+     * Backdoor notification that @c row's data array was just restored
+     * to a trusted image (campaign golden-state restore).  Schemes that
+     * keep per-row derived code which recover() may rewrite from
+     * then-suspect data (SECDED's corrected-code path) must rebuild it
+     * here from the now-trusted data, or trials stop being independent:
+     * one misdecode would poison every later injection.  Schemes whose
+     * stored code is only ever written from trusted data need not
+     * override (the default is a no-op).
+     */
+    virtual void resyncRow(Row row) { (void)row; }
+
     /** Total code-storage overhead in bits (area comparison, Sec 5.1). */
     virtual uint64_t codeBitsTotal() const = 0;
+
+    /**
+     * Width of the scheme's decode block in protection units.  Word-
+     * local codes (parity, SECDED, ICR, CPPC) decode one row at a time
+     * and return 1 (the default).  Non-word-local codes — LDPC over a
+     * whole line — return the number of consecutive rows a single
+     * recover() may rewrite; callers that resynchronize state after a
+     * repair (the fuzz harness) must treat all rows of the block
+     * row0 = (row / span) * span .. row0 + span as potentially
+     * modified.  Rows of one decode block never straddle a line.
+     */
+    virtual unsigned decodeSpanUnits() const { return 1; }
 
     /**
      * Relative dynamic bitline-energy factor for data accesses.

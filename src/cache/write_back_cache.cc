@@ -613,6 +613,7 @@ WriteBackCache::dumpStats(std::ostream &os) const
         emit("scheme.corrected_dirty", s.corrected_dirty);
         emit("scheme.corrected_code", s.corrected_code);
         emit("scheme.due", s.due);
+        emit("scheme.miscorrected", s.miscorrected);
         emit("scheme.code_bits", scheme_->codeBitsTotal());
     }
 }

@@ -55,9 +55,16 @@ void
 Campaign::restoreRows(const std::vector<WideWord> &golden)
 {
     unsigned n = cache_->geometry().numRows();
-    for (Row r = 0; r < n; ++r)
-        if (cache_->rowValid(r))
-            cache_->pokeRowData(r, golden[r]);
+    ProtectionScheme *scheme = cache_->scheme();
+    for (Row r = 0; r < n; ++r) {
+        if (!cache_->rowValid(r))
+            continue;
+        cache_->pokeRowData(r, golden[r]);
+        // A recover() during the trial may have rewritten stored code
+        // from suspect data; rebuild it so trials stay independent.
+        if (scheme)
+            scheme->resyncRow(r);
+    }
 }
 
 // cppc-lint: hot
@@ -73,10 +80,12 @@ Campaign::runOne(const Strike &strike)
 
     // Probe: load every affected unit, the paper's detection point.
     bool due = false;
+    bool detected = false;
     for (Row r : affected_) {
         Addr a = cache_->rowAddr(r);
         auto out = cache_->load(a, cache_->geometry().unit_bytes, nullptr);
         due |= out.due;
+        detected |= out.fault_detected;
     }
 
     // Compare the whole array against the golden image: recovery may
@@ -91,8 +100,13 @@ Campaign::runOne(const Strike &strike)
 
     if (due)
         return InjectionOutcome::Due;
-    if (!intact)
-        return InjectionOutcome::Sdc;
+    if (!intact) {
+        // Wrong data after a *detected* fault is a misrepair (the
+        // scheme saw the fault and repaired the wrong thing); wrong
+        // data with no detection at all is classic SDC.
+        return detected ? InjectionOutcome::Misrepair
+                        : InjectionOutcome::Sdc;
+    }
     return InjectionOutcome::Corrected;
 }
 
@@ -151,6 +165,9 @@ Campaign::reduceOutcome(CampaignResult &res, InjectionOutcome o)
         break;
       case InjectionOutcome::Sdc:
         ++res.sdc;
+        break;
+      case InjectionOutcome::Misrepair:
+        ++res.misrepair;
         break;
     }
 }

@@ -26,6 +26,16 @@ enum class InjectionOutcome
     Corrected, ///< detected and repaired exactly (incl. refetches)
     Due,       ///< detected but declared uncorrectable
     Sdc,       ///< wrong or missing repair: silent data corruption
+
+    /**
+     * The scheme *detected* the fault and applied a repair, but the
+     * repaired data does not match golden: a visible wrong repair
+     * (LDPC beyond-guarantee convergence, a chiprepair locator aliased
+     * by a multi-chip error, SECDED "correcting" a triple error).
+     * Distinct from Sdc, where the corruption was never detected at
+     * all — misrepair is a failure of *correction*, not of detection.
+     */
+    Misrepair,
 };
 
 /** Aggregate counts over a campaign. */
@@ -36,6 +46,7 @@ struct CampaignResult
     uint64_t corrected = 0;
     uint64_t due = 0;
     uint64_t sdc = 0;
+    uint64_t misrepair = 0;
 
     double
     rate(uint64_t n) const
@@ -46,7 +57,7 @@ struct CampaignResult
     }
     double coverage() const
     {
-        uint64_t visible = corrected + due + sdc;
+        uint64_t visible = corrected + due + sdc + misrepair;
         return visible ? static_cast<double>(corrected) /
                 static_cast<double>(visible)
                        : 1.0;

@@ -114,6 +114,7 @@ runCampaignHarness(const CampaignHostFactory &factory,
         out.total.corrected += shard.corrected;
         out.total.due += shard.due;
         out.total.sdc += shard.sdc;
+        out.total.misrepair += shard.misrepair;
     }
     return out;
 }

@@ -187,20 +187,21 @@ encodeCampaignResult(const CampaignResult &r)
 {
     return encodeU64(r.injections) + "," + encodeU64(r.benign) + "," +
         encodeU64(r.corrected) + "," + encodeU64(r.due) + "," +
-        encodeU64(r.sdc);
+        encodeU64(r.sdc) + "," + encodeU64(r.misrepair);
 }
 
 CampaignResult
 decodeCampaignResult(const std::string &payload)
 {
     std::vector<std::string> f =
-        splitFields(payload, 5, "CampaignResult");
+        splitFields(payload, 6, "CampaignResult");
     CampaignResult r;
     r.injections = decodeU64(f[0]);
     r.benign = decodeU64(f[1]);
     r.corrected = decodeU64(f[2]);
     r.due = decodeU64(f[3]);
     r.sdc = decodeU64(f[4]);
+    r.misrepair = decodeU64(f[5]);
     return r;
 }
 
@@ -210,7 +211,8 @@ fuzzBatchesIdentical(const FuzzBatchResult &a, const FuzzBatchResult &b)
     return a.seeds == b.seeds && a.failures == b.failures &&
         a.checks == b.checks && a.strikes == b.strikes &&
         a.corrected == b.corrected && a.refetched == b.refetched &&
-        a.dues == b.dues && a.first_fail_seed == b.first_fail_seed &&
+        a.dues == b.dues && a.misrepairs == b.misrepairs &&
+        a.first_fail_seed == b.first_fail_seed &&
         a.first_violation == b.first_violation;
 }
 
@@ -220,7 +222,8 @@ encodeFuzzBatch(const FuzzBatchResult &r)
     return encodeU64(r.seeds) + "," + encodeU64(r.failures) + "," +
         encodeU64(r.checks) + "," + encodeU64(r.strikes) + "," +
         encodeU64(r.corrected) + "," + encodeU64(r.refetched) + "," +
-        encodeU64(r.dues) + "," + encodeU64(r.first_fail_seed) + "," +
+        encodeU64(r.dues) + "," + encodeU64(r.misrepairs) + "," +
+        encodeU64(r.first_fail_seed) + "," +
         hexEncode(r.first_violation);
 }
 
@@ -228,7 +231,7 @@ FuzzBatchResult
 decodeFuzzBatch(const std::string &payload)
 {
     std::vector<std::string> f =
-        splitFields(payload, 9, "FuzzBatchResult");
+        splitFields(payload, 10, "FuzzBatchResult");
     FuzzBatchResult r;
     r.seeds = decodeU64(f[0]);
     r.failures = decodeU64(f[1]);
@@ -237,8 +240,9 @@ decodeFuzzBatch(const std::string &payload)
     r.corrected = decodeU64(f[4]);
     r.refetched = decodeU64(f[5]);
     r.dues = decodeU64(f[6]);
-    r.first_fail_seed = decodeU64(f[7]);
-    r.first_violation = hexDecode(f[8]);
+    r.misrepairs = decodeU64(f[7]);
+    r.first_fail_seed = decodeU64(f[8]);
+    r.first_violation = hexDecode(f[9]);
     return r;
 }
 

@@ -55,6 +55,7 @@ struct FuzzBatchResult
     uint64_t corrected = 0;
     uint64_t refetched = 0;
     uint64_t dues = 0;
+    uint64_t misrepairs = 0; ///< counted wrong repairs (allowed schemes)
     uint64_t first_fail_seed = 0; ///< valid when failures > 0
     std::string first_violation;  ///< first breach message, or empty
 };

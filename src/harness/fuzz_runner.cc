@@ -39,6 +39,7 @@ accumulate(FuzzBatchResult &total, const FuzzBatchResult &batch)
     total.corrected += batch.corrected;
     total.refetched += batch.refetched;
     total.dues += batch.dues;
+    total.misrepairs += batch.misrepairs;
 }
 
 } // namespace
@@ -110,6 +111,7 @@ runFuzzHarness(const std::vector<FuzzSchemeSpec> &specs, bool run_tag,
                     res.corrected += fr.replay.corrected;
                     res.refetched += fr.replay.refetched;
                     res.dues += fr.replay.dues;
+                    res.misrepairs += fr.replay.misrepairs;
                     if (fr.failed()) {
                         if (!res.failures) {
                             res.first_fail_seed = first + s;

@@ -1,0 +1,211 @@
+#include "protection/chiprepair.hh"
+
+#include <map>
+#include <mutex>
+
+#include "util/logging.hh"
+
+namespace cppc {
+
+namespace {
+
+struct GfTables
+{
+    std::vector<uint32_t> log;     // index: field element (log[0] unused)
+    std::vector<uint32_t> antilog; // index: exponent 0..2^b-2
+};
+
+/**
+ * Shared log/antilog tables for GF(2^b).  Built once per width;
+ * primitivity of the generator is asserted during construction.
+ */
+const GfTables &
+gfTables(unsigned bits)
+{
+    static std::mutex mu;
+    static std::map<unsigned, GfTables> cache;
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find(bits);
+    if (it != cache.end())
+        return it->second;
+
+    uint32_t poly;
+    switch (bits) {
+      case 8: poly = 0x11D; break;
+      case 16: poly = 0x1100B; break;
+      default:
+        fatal("chiprepair symbol width must be 8 or 16 bits, not %u",
+              bits);
+    }
+
+    const uint32_t period = (1u << bits) - 1;
+    GfTables t;
+    t.log.assign(size_t{1} << bits, 0);
+    t.antilog.assign(period, 0);
+    uint32_t x = 1;
+    for (uint32_t i = 0; i < period; ++i) {
+        if (x == 1 && i != 0)
+            panic("GF(2^%u) poly %#x is not primitive (period %u)",
+                  bits, poly, i);
+        t.antilog[i] = x;
+        t.log[x] = i;
+        x <<= 1;
+        if (x & (1u << bits))
+            x ^= poly;
+    }
+    if (x != 1)
+        panic("GF(2^%u) poly %#x is not primitive", bits, poly);
+    return cache.emplace(bits, std::move(t)).first->second;
+}
+
+} // namespace
+
+ChipRepairScheme::ChipRepairScheme(unsigned symbol_bits)
+    : bits_(symbol_bits), field_max_((1u << symbol_bits) - 1)
+{
+    if (bits_ != 8 && bits_ != 16)
+        fatal("chiprepair symbol width must be 8 or 16 bits, not %u",
+              bits_);
+}
+
+std::string
+ChipRepairScheme::name() const
+{
+    return strfmt("chiprepair-b%u", bits_);
+}
+
+uint32_t
+ChipRepairScheme::gfPowMul(unsigned exp, uint32_t v) const
+{
+    if (v == 0)
+        return 0;
+    return antilog_[(exp + log_[v]) % field_max_];
+}
+
+void
+ChipRepairScheme::attach(CacheBackdoor &cache)
+{
+    cache_ = &cache;
+    const CacheGeometry &g = cache.geometry();
+    const unsigned unit_bits = g.unit_bytes * 8;
+    if (unit_bits % bits_ != 0)
+        fatal("chiprepair: %u-bit units are not a whole number of "
+              "%u-bit symbols",
+              unit_bits, bits_);
+    n_sym_ = unit_bits / bits_;
+    if (n_sym_ < 2)
+        fatal("chiprepair needs >= 2 symbols per unit (%u-bit unit, "
+              "%u-bit symbols)",
+              unit_bits, bits_);
+    if (n_sym_ > field_max_)
+        fatal("chiprepair: %u symbols exceed the GF(2^%u) locator "
+              "range",
+              n_sym_, bits_);
+    const GfTables &t = gfTables(bits_);
+    log_ = t.log.data();
+    antilog_ = t.antilog.data();
+    code_.assign(g.numRows(), Code{});
+}
+
+ChipRepairScheme::Code
+ChipRepairScheme::encodeUnit(const WideWord &data) const
+{
+    Code c;
+    for (unsigned i = 0; i < n_sym_; ++i) {
+        uint32_t v = data.digit(i, bits_);
+        c.p ^= v;
+        c.q ^= gfPowMul(i, v);
+    }
+    return c;
+}
+
+FillEffect
+ChipRepairScheme::onFill(Row row0, unsigned n_units,
+                         const uint8_t *data, bool)
+{
+    const unsigned ub = cache_->geometry().unit_bytes;
+    for (unsigned u = 0; u < n_units; ++u)
+        code_[row0 + u] =
+            encodeUnit(WideWord::fromBytes(data + u * ub, ub));
+    return {};
+}
+
+void
+ChipRepairScheme::onEvict(Row, unsigned, const uint8_t *,
+                          const uint8_t *)
+{
+}
+
+StoreEffect
+ChipRepairScheme::onStore(Row row, const WideWord &,
+                          const WideWord &new_data, bool, bool partial)
+{
+    code_[row] = encodeUnit(new_data);
+    StoreEffect eff;
+    eff.rbw = partial;
+    if (partial)
+        ++stats_.rbw_words;
+    return eff;
+}
+
+// cppc-lint: hot
+bool
+ChipRepairScheme::check(Row row) const
+{
+    if (!cache_->rowValid(row))
+        return true;
+    Code c = encodeUnit(cache_->rowData(row));
+    return c.p == code_[row].p && c.q == code_[row].q;
+}
+
+VerifyOutcome
+ChipRepairScheme::recover(Row row)
+{
+    ++stats_.detections;
+    WideWord data = cache_->rowData(row);
+    Code c = encodeUnit(data);
+    const uint32_t sp = c.p ^ code_[row].p;
+    const uint32_t sq = c.q ^ code_[row].q;
+
+    if (sp != 0 && sq != 0) {
+        // Single-symbol hypothesis: SP = e, SQ = alpha^k * e.
+        const unsigned k =
+            (log_[sq] + field_max_ - log_[sp]) % field_max_;
+        if (k < n_sym_) {
+            data.setDigit(k, bits_, data.digit(k, bits_) ^ sp);
+            cache_->pokeRowData(row, data);
+            if (cache_->rowDirty(row))
+                ++stats_.corrected_dirty;
+            else
+                ++stats_.corrected_clean;
+            notifyOp("chiprepair", "correct");
+            return VerifyOutcome::Corrected;
+        }
+    }
+
+    // Not explainable as one failed chip: clean data can be refetched.
+    if (!cache_->rowDirty(row) && cache_->refetchRow(row)) {
+        code_[row] = encodeUnit(cache_->rowData(row));
+        ++stats_.refetched_clean;
+        notifyOp("chiprepair", "refetch");
+        return VerifyOutcome::Refetched;
+    }
+    ++stats_.due;
+    notifyOp("chiprepair", "due");
+    return VerifyOutcome::Due;
+}
+
+void
+ChipRepairScheme::resyncRow(Row row)
+{
+    if (cache_->rowValid(row))
+        code_[row] = encodeUnit(cache_->rowData(row));
+}
+
+uint64_t
+ChipRepairScheme::codeBitsTotal() const
+{
+    return static_cast<uint64_t>(code_.size()) * 2 * bits_;
+}
+
+} // namespace cppc

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Chip-repair protection scheme: byte/word-aligned symbol repair
+ * (Reed-Solomon class, SNIPPETS.md §2).
+ *
+ * Each protection unit is split into symbols of a configurable chip
+ * width b (8 or 16 bits — one DRAM/SRAM chip's contribution to the
+ * word).  Two GF(2^b) checks are stored per unit:
+ *
+ *   P = d_0 ^ d_1 ^ ... ^ d_{k-1}          (chip-parity)
+ *   Q = alpha^0·d_0 ^ alpha^1·d_1 ^ ...    (chip-locator)
+ *
+ * A corruption confined to one symbol — any of the 2^b - 1 wrong
+ * values a failed chip can produce — yields syndromes SP = e and
+ * SQ = alpha^i·e, so i = log(SQ) - log(SP) locates the chip and SP
+ * repairs it exactly: an exhaustive single-symbol syndrome decode.
+ *
+ * Multi-symbol errors either fall outside the decodable region
+ * (refetch clean / DUE dirty) or alias into a wrong single-symbol
+ * repair; the latter is a misrepair, counted by the campaign/fuzz
+ * golden audit (misrepair_allowed in the conformance battery).
+ *
+ * Invariant: recover() never rewrites stored P/Q from possibly
+ * corrupted data; stored code always equals encode(original data)
+ * except across a clean refetch.
+ */
+
+#ifndef CPPC_PROTECTION_CHIPREPAIR_HH
+#define CPPC_PROTECTION_CHIPREPAIR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/protection_scheme.hh"
+
+namespace cppc {
+
+class ChipRepairScheme : public ProtectionScheme
+{
+  public:
+    /** @param symbol_bits chip width in bits; 8 or 16. */
+    explicit ChipRepairScheme(unsigned symbol_bits = 8);
+
+    std::string name() const override;
+    void attach(CacheBackdoor &cache) override;
+
+    FillEffect onFill(Row row0, unsigned n_units, const uint8_t *data,
+                      bool victim_was_dirty) override;
+    void onEvict(Row row0, unsigned n_units, const uint8_t *data,
+                 const uint8_t *dirty) override;
+    StoreEffect onStore(Row row, const WideWord &old_data,
+                        const WideWord &new_data, bool was_dirty,
+                        bool partial) override;
+
+    bool check(Row row) const override;
+    VerifyOutcome recover(Row row) override;
+    void resyncRow(Row row) override;
+
+    uint64_t codeBitsTotal() const override;
+
+    unsigned symbolBits() const { return bits_; }
+    unsigned symbolsPerUnit() const { return n_sym_; }
+
+    /** P and Q syndome pair for one unit. */
+    struct Code
+    {
+        uint32_t p = 0;
+        uint32_t q = 0;
+    };
+
+    /** Compute P/Q of a unit (exposed for tests). */
+    Code encodeUnit(const WideWord &data) const;
+
+  private:
+    uint32_t gfMul(uint32_t a, uint32_t b) const;
+    uint32_t gfPowMul(unsigned exp, uint32_t v) const;
+
+    unsigned bits_;       ///< symbol (chip) width in bits
+    uint32_t field_max_;  ///< 2^bits - 1
+    unsigned n_sym_ = 0;  ///< symbols per protection unit
+    CacheBackdoor *cache_ = nullptr;
+
+    /// Shared per-width log/antilog tables (borrowed, never freed).
+    const uint32_t *log_ = nullptr;
+    const uint32_t *antilog_ = nullptr;
+
+    std::vector<Code> code_; ///< one P/Q pair per row
+};
+
+} // namespace cppc
+
+#endif // CPPC_PROTECTION_CHIPREPAIR_HH

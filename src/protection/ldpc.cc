@@ -1,0 +1,504 @@
+#include "protection/ldpc.hh"
+
+#include <bit>
+#include <map>
+#include <mutex>
+
+#include "util/gf2.hh"
+#include "util/logging.hh"
+
+namespace cppc {
+
+namespace {
+
+/**
+ * Primitive polynomials (feedback masks including the x^m term) for
+ * the GF(2^m) degrees the codec supports.
+ */
+uint32_t
+primitivePoly(unsigned m)
+{
+    switch (m) {
+      case 3: return 0xB;
+      case 4: return 0x13;
+      case 5: return 0x25;
+      case 6: return 0x43;
+      case 7: return 0x89;
+      case 8: return 0x11D;
+      case 9: return 0x211;
+      case 10: return 0x409;
+      case 11: return 0x805;
+      case 12: return 0x1053;
+      case 13: return 0x201B;
+      case 14: return 0x4443;
+      case 15: return 0x8003;
+      case 16: return 0x1100B;
+    }
+    fatal("LDPC: no primitive polynomial for GF(2^%u)", m);
+}
+
+/** Powers alpha^0 .. alpha^(2^m-2); asserts alpha has full period. */
+std::vector<uint32_t>
+buildAntilog(unsigned m)
+{
+    const uint32_t poly = primitivePoly(m);
+    const uint32_t period = (1u << m) - 1;
+    std::vector<uint32_t> antilog(period);
+    uint32_t x = 1;
+    for (uint32_t i = 0; i < period; ++i) {
+        antilog[i] = x;
+        if (x == 1 && i != 0)
+            panic("GF(2^%u) poly %#x is not primitive (period %u)", m,
+                  poly, i);
+        x <<= 1;
+        if (x & (1u << m))
+            x ^= poly;
+    }
+    if (x != 1)
+        panic("GF(2^%u) poly %#x is not primitive", m, poly);
+    return antilog;
+}
+
+constexpr uint64_t kEmptyKey = ~0ull;
+constexpr uint64_t kHashMult = 0x9E3779B97F4A7C15ull;
+constexpr unsigned kGreedyIters = 12;
+
+unsigned
+slotOf(uint64_t key, unsigned shift)
+{
+    return static_cast<unsigned>((key * kHashMult) >> shift);
+}
+
+/** Smallest power of two >= 4 * want, as (size, hash shift). */
+std::pair<size_t, unsigned>
+tableSize(size_t want)
+{
+    unsigned bits = 4;
+    while ((size_t{1} << bits) < 4 * want)
+        ++bits;
+    return {size_t{1} << bits, 64 - bits};
+}
+
+void
+insertOrDie(std::vector<uint64_t> &keys, std::vector<uint32_t> &vals,
+            unsigned shift, uint64_t key, uint32_t val, const char *what)
+{
+    unsigned idx = slotOf(key, shift);
+    const size_t mask = keys.size() - 1;
+    while (keys[idx] != kEmptyKey) {
+        if (keys[idx] == key)
+            panic("LDPC: duplicate %s syndrome %#llx — weight-<=3 "
+                  "decode would not be unique",
+                  what, static_cast<unsigned long long>(key));
+        idx = static_cast<unsigned>((idx + 1) & mask);
+    }
+    keys[idx] = key;
+    vals[idx] = val;
+}
+
+bool
+lookup(const std::vector<uint64_t> &keys,
+       const std::vector<uint32_t> &vals, unsigned shift, uint64_t key,
+       uint32_t &val)
+{
+    unsigned idx = slotOf(key, shift);
+    const size_t mask = keys.size() - 1;
+    while (keys[idx] != kEmptyKey) {
+        if (keys[idx] == key) {
+            val = vals[idx];
+            return true;
+        }
+        idx = static_cast<unsigned>((idx + 1) & mask);
+    }
+    return false;
+}
+
+} // namespace
+
+LdpcCodec::LdpcCodec(unsigned data_bits) : n_(data_bits)
+{
+    if (n_ < 8 || n_ % 8 != 0)
+        fatal("LDPC block must be a positive multiple of 8 bits, not %u",
+              n_);
+
+    // Smallest extension field whose multiplicative group can index
+    // every data bit (n <= 2^m - 1); BCH roots alpha^1..alpha^5 (plus
+    // implied even powers) then give designed distance 7.
+    m_ = 3;
+    while (((1u << m_) - 1) < n_)
+        ++m_;
+    r_ = 3 * m_;
+    if (r_ > 63)
+        fatal("LDPC block of %u bits needs %u code bits (> 63)", n_, r_);
+
+    const std::vector<uint32_t> antilog = buildAntilog(m_);
+    const uint32_t period = (1u << m_) - 1;
+
+    cols_.resize(n_);
+    for (unsigned i = 0; i < n_; ++i) {
+        uint64_t c1 = antilog[i % period];
+        uint64_t c3 = antilog[(3ull * i) % period];
+        uint64_t c5 = antilog[(5ull * i) % period];
+        cols_[i] = c1 | (c3 << m_) | (c5 << (2 * m_));
+    }
+
+    const unsigned nb = n_ / 8;
+    byte_tables_.resize(nb);
+    for (unsigned b = 0; b < nb; ++b) {
+        byte_tables_[b][0] = 0;
+        for (unsigned v = 1; v < 256; ++v) {
+            unsigned low = static_cast<unsigned>(
+                std::countr_zero(v));
+            byte_tables_[b][v] =
+                byte_tables_[b][v & (v - 1)] ^ cols_[8 * b + low];
+        }
+    }
+
+    auto [ssize, sshift] = tableSize(n_);
+    single_keys_.assign(ssize, kEmptyKey);
+    single_vals_.assign(ssize, 0);
+    single_shift_ = sshift;
+    for (unsigned i = 0; i < n_; ++i)
+        insertOrDie(single_keys_, single_vals_, single_shift_, cols_[i],
+                    i, "weight-1");
+
+    auto [psize, pshift] =
+        tableSize(size_t{n_} * (n_ - 1) / 2);
+    pair_keys_.assign(psize, kEmptyKey);
+    pair_vals_.assign(psize, 0);
+    pair_shift_ = pshift;
+    for (unsigned i = 0; i < n_; ++i) {
+        for (unsigned j = i + 1; j < n_; ++j) {
+            uint64_t s = cols_[i] ^ cols_[j];
+            unsigned dummy;
+            if (s == 0 || lookupSingle(s, dummy))
+                panic("LDPC: weight-2 syndrome aliases weight<=1 "
+                      "(columns %u,%u)",
+                      i, j);
+            insertOrDie(pair_keys_, pair_vals_, pair_shift_, s,
+                        (i << 16) | j, "weight-2");
+        }
+    }
+
+    verifyColumnIndependence();
+}
+
+std::shared_ptr<const LdpcCodec>
+LdpcCodec::get(unsigned data_bits)
+{
+    static std::mutex mu;
+    static std::map<unsigned, std::shared_ptr<const LdpcCodec>> cache;
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find(data_bits);
+    if (it == cache.end())
+        it = cache
+                 .emplace(data_bits,
+                          std::make_shared<const LdpcCodec>(data_bits))
+                 .first;
+    return it->second;
+}
+
+/**
+ * Spot-check the distance-7 property with the GF(2) solver: a
+ * deterministic sample of 6-column subsets must be linearly
+ * independent (the homogeneous system has only the zero solution).
+ * The exhaustive weight-1/2 collision checks above plus this sample
+ * back the BCH argument empirically without enumerating C(n, 6).
+ */
+void
+LdpcCodec::verifyColumnIndependence() const
+{
+    auto checkSubset = [&](const std::array<unsigned, 6> &subset) {
+        Gf2System sys(6);
+        for (unsigned row = 0; row < r_; ++row) {
+            std::vector<unsigned> vars;
+            for (unsigned k = 0; k < 6; ++k)
+                if ((cols_[subset[k]] >> row) & 1)
+                    vars.push_back(k);
+            sys.addEquation(vars, false);
+        }
+        std::vector<bool> sol;
+        if (sys.solve(sol) != Gf2System::Solvability::Unique)
+            panic("LDPC: 6-column subset {%u,%u,%u,%u,%u,%u} is "
+                  "linearly dependent — distance < 7",
+                  subset[0], subset[1], subset[2], subset[3], subset[4],
+                  subset[5]);
+        for (bool v : sol)
+            if (v)
+                panic("LDPC: homogeneous GF(2) system has a nonzero "
+                      "solution");
+    };
+
+    // Sliding windows and wide strides across the block.
+    for (unsigned base = 0; base + 6 <= n_; base += 7)
+        checkSubset({base, base + 1, base + 2, base + 3, base + 4,
+                     base + 5});
+    const unsigned stride = n_ > 6 ? (n_ - 1) / 6 : 1;
+    if (stride >= 1 && 5 * stride < n_)
+        checkSubset({0, stride, 2 * stride, 3 * stride, 4 * stride,
+                     5 * stride});
+}
+
+bool
+LdpcCodec::lookupSingle(uint64_t syndrome, unsigned &bit) const
+{
+    uint32_t v;
+    if (!lookup(single_keys_, single_vals_, single_shift_, syndrome, v))
+        return false;
+    bit = v;
+    return true;
+}
+
+bool
+LdpcCodec::lookupPair(uint64_t syndrome, unsigned &i, unsigned &j) const
+{
+    uint32_t v;
+    if (!lookup(pair_keys_, pair_vals_, pair_shift_, syndrome, v))
+        return false;
+    i = v >> 16;
+    j = v & 0xFFFF;
+    return true;
+}
+
+// cppc-lint: hot
+LdpcCodec::Decode
+LdpcCodec::decode(uint64_t syndrome) const
+{
+    Decode d;
+    if (syndrome == 0) {
+        d.status = Decode::Status::Clean;
+        return d;
+    }
+
+    unsigned b0;
+    if (lookupSingle(syndrome, b0)) {
+        d.status = Decode::Status::Repaired;
+        d.flips[d.n_flips++] = static_cast<uint16_t>(b0);
+        return d;
+    }
+
+    unsigned pi, pj;
+    if (lookupPair(syndrome, pi, pj)) {
+        d.status = Decode::Status::Repaired;
+        d.flips[d.n_flips++] = static_cast<uint16_t>(pi);
+        d.flips[d.n_flips++] = static_cast<uint16_t>(pj);
+        return d;
+    }
+
+    // Weight 3: peel one candidate column; the remainder must be a
+    // known pair syndrome.  Distance 7 makes the first hit the unique
+    // weight-<=3 explanation.
+    for (unsigned c = 0; c < n_; ++c) {
+        uint64_t rest = syndrome ^ cols_[c];
+        if (lookupPair(rest, pi, pj) && pi != c && pj != c) {
+            d.status = Decode::Status::Repaired;
+            d.flips[d.n_flips++] = static_cast<uint16_t>(pi);
+            d.flips[d.n_flips++] = static_cast<uint16_t>(pj);
+            d.flips[d.n_flips++] = static_cast<uint16_t>(c);
+            return d;
+        }
+    }
+
+    // Bounded greedy bit-flip: repeatedly flip the bit whose column
+    // best cancels the residual syndrome.  Convergence repairs the
+    // block but cannot be proven correct -> BeyondGuarantee.
+    uint64_t cur = syndrome;
+    for (unsigned iter = 0; iter < kGreedyIters && cur != 0; ++iter) {
+        unsigned cur_pop = static_cast<unsigned>(std::popcount(cur));
+        unsigned best_bit = n_;
+        unsigned best_pop = cur_pop;
+        for (unsigned i = 0; i < n_; ++i) {
+            unsigned p = static_cast<unsigned>(
+                std::popcount(cur ^ cols_[i]));
+            if (p < best_pop) {
+                best_pop = p;
+                best_bit = i;
+            }
+        }
+        if (best_bit == n_)
+            break; // no progress: give up, report Detected
+        cur ^= cols_[best_bit];
+        // Toggle membership in the flip set (flipping twice = never).
+        bool removed = false;
+        for (unsigned k = 0; k < d.n_flips; ++k) {
+            if (d.flips[k] == best_bit) {
+                d.flips[k] = d.flips[--d.n_flips];
+                removed = true;
+                break;
+            }
+        }
+        if (!removed) {
+            if (d.n_flips == kMaxFlips)
+                break; // flip budget exhausted
+            d.flips[d.n_flips++] = static_cast<uint16_t>(best_bit);
+        }
+    }
+    if (cur == 0 && d.n_flips > 0) {
+        d.status = Decode::Status::BeyondGuarantee;
+        return d;
+    }
+    d.status = Decode::Status::Detected;
+    d.n_flips = 0;
+    return d;
+}
+
+std::string
+LdpcScheme::name() const
+{
+    if (!codec_)
+        return "ldpc";
+    return strfmt("ldpc-n%u-r%u", codec_->dataBits(),
+                  codec_->codeBits());
+}
+
+void
+LdpcScheme::attach(CacheBackdoor &cache)
+{
+    cache_ = &cache;
+    const CacheGeometry &g = cache.geometry();
+    upl_ = g.unitsPerLine();
+    unit_bytes_ = g.unit_bytes;
+    codec_ = LdpcCodec::get(g.line_bytes * 8);
+    code_.assign(g.numRows() / upl_, 0);
+}
+
+FillEffect
+LdpcScheme::onFill(Row row0, unsigned n_units, const uint8_t *data,
+                   bool)
+{
+    if (n_units != upl_)
+        panic("LDPC fill of %u units (line is %u)", n_units, upl_);
+    code_[row0 / upl_] = codec_->encode(data);
+    return {};
+}
+
+void
+LdpcScheme::onEvict(Row, unsigned, const uint8_t *, const uint8_t *)
+{
+}
+
+StoreEffect
+LdpcScheme::onStore(Row row, const WideWord &old_data,
+                    const WideWord &new_data, bool, bool)
+{
+    // The line code is updated from the store's bit delta, which needs
+    // the old word: every store is a read-before-write for a
+    // line-level code (the honest cost of non-word-local protection).
+    const unsigned base = (row % upl_) * unit_bytes_;
+    uint64_t delta_code = 0;
+    WideWord delta = old_data ^ new_data;
+    for (unsigned b = 0; b < unit_bytes_; ++b)
+        delta_code ^= codec_->encodeByteDelta(base + b, delta.byte(b));
+    code_[row / upl_] ^= delta_code;
+    ++stats_.rbw_words;
+    StoreEffect eff;
+    eff.rbw = true;
+    return eff;
+}
+
+void
+LdpcScheme::gatherLine(Row line, uint8_t *buf) const
+{
+    const Row row0 = line * upl_;
+    for (unsigned u = 0; u < upl_; ++u)
+        cache_->rowData(row0 + u).toBytes(buf + u * unit_bytes_);
+}
+
+// cppc-lint: hot
+bool
+LdpcScheme::check(Row row) const
+{
+    if (!cache_->rowValid(row))
+        return true;
+    uint8_t buf[WideWord::kMaxBytes];
+    const Row line = row / upl_;
+    gatherLine(line, buf);
+    return (codec_->encode(buf) ^ code_[line]) == 0;
+}
+
+VerifyOutcome
+LdpcScheme::recover(Row row)
+{
+    ++stats_.detections;
+    const Row line = row / upl_;
+    const Row row0 = line * upl_;
+    uint8_t buf[WideWord::kMaxBytes];
+    gatherLine(line, buf);
+    const uint64_t syndrome = codec_->encode(buf) ^ code_[line];
+
+    LdpcCodec::Decode d = codec_->decode(syndrome);
+    if (d.status == LdpcCodec::Decode::Status::Repaired ||
+        d.status == LdpcCodec::Decode::Status::BeyondGuarantee) {
+        // Apply the repair to the gathered block, then write back only
+        // the touched units.  Stored code is NOT recomputed: it still
+        // describes the original data, which is exactly what the
+        // repair restored (or approximated, beyond the guarantee).
+        bool touched[WideWord::kMaxBytes] = {};
+        bool any_dirty = false;
+        for (unsigned k = 0; k < d.n_flips; ++k) {
+            unsigned bit = d.flips[k];
+            buf[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+            touched[bit / (unit_bytes_ * 8)] = true;
+        }
+        for (unsigned u = 0; u < upl_; ++u) {
+            if (!touched[u])
+                continue;
+            cache_->pokeRowData(
+                row0 + u,
+                WideWord::fromBytes(buf + u * unit_bytes_,
+                                    unit_bytes_));
+            any_dirty = any_dirty || cache_->rowDirty(row0 + u);
+        }
+        if (d.status == LdpcCodec::Decode::Status::BeyondGuarantee) {
+            ++stats_.miscorrected;
+            notifyOp("ldpc", "miscorrect");
+            return VerifyOutcome::Miscorrected;
+        }
+        if (any_dirty)
+            ++stats_.corrected_dirty;
+        else
+            ++stats_.corrected_clean;
+        notifyOp("ldpc", "correct");
+        return VerifyOutcome::Corrected;
+    }
+
+    // Undecodable: a fully clean line can be refetched from below.
+    bool line_dirty = false;
+    for (unsigned u = 0; u < upl_; ++u)
+        line_dirty = line_dirty || cache_->rowDirty(row0 + u);
+    if (!line_dirty) {
+        bool refetched_all = true;
+        for (unsigned u = 0; u < upl_; ++u)
+            refetched_all = cache_->refetchRow(row0 + u) &&
+                refetched_all;
+        if (refetched_all) {
+            gatherLine(line, buf);
+            code_[line] = codec_->encode(buf);
+            ++stats_.refetched_clean;
+            notifyOp("ldpc", "refetch");
+            return VerifyOutcome::Refetched;
+        }
+    }
+    ++stats_.due;
+    notifyOp("ldpc", "due");
+    return VerifyOutcome::Due;
+}
+
+void
+LdpcScheme::resyncRow(Row row)
+{
+    if (!cache_->rowValid(row))
+        return;
+    uint8_t buf[WideWord::kMaxBytes];
+    const Row line = row / upl_;
+    gatherLine(line, buf);
+    code_[line] = codec_->encode(buf);
+}
+
+uint64_t
+LdpcScheme::codeBitsTotal() const
+{
+    return static_cast<uint64_t>(code_.size()) * codec_->codeBits();
+}
+
+} // namespace cppc

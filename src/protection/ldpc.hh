@@ -1,0 +1,177 @@
+/**
+ * @file
+ * LDPC line-level protection scheme (triple-error repair on SECDED's
+ * parity budget).
+ *
+ * The code is a binary BCH-structured parity-check matrix over one
+ * whole cache line: bit i's column is the GF(2^m) triple
+ * (alpha^i, alpha^3i, alpha^5i), giving r = 3m code bits per line and
+ * designed minimum distance 7 — every error of weight <= 3 has a
+ * unique syndrome and is repaired exactly.  For a 256-bit line m = 9,
+ * so r = 27 bits/line versus SECDED's 4 x 8 = 32 bits/line, while
+ * SECDED misrepairs ~76% of triple errors (SNIPPETS.md §1).
+ *
+ * Decode is *not* word-local: a single recover() may rewrite any unit
+ * of the line, which is why ProtectionScheme::decodeSpanUnits() exists.
+ * Beyond weight 3 a bounded greedy bit-flip decoder runs; when it
+ * converges the repair cannot be proven correct, so the scheme reports
+ * VerifyOutcome::Miscorrected and campaign/fuzz accounting audits the
+ * result against golden memory (misrepair as a measured category).
+ *
+ * Invariant: recover() never rewrites stored code from (possibly
+ * corrupted) data — stored code always equals encode(original data),
+ * except across a clean refetch, where the data itself is restored
+ * from the next level first.
+ */
+
+#ifndef CPPC_PROTECTION_LDPC_HH
+#define CPPC_PROTECTION_LDPC_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/protection_scheme.hh"
+
+namespace cppc {
+
+/**
+ * Syndrome-table codec for one LDPC block of data_bits bits.
+ *
+ * Construction builds per-byte encode tables plus open-addressed
+ * weight-1 and weight-2 syndrome maps; decode of weight <= 2 is O(1),
+ * weight 3 is O(n) probes, and anything heavier falls back to a
+ * bounded greedy bit-flip search.  Instances are immutable after
+ * construction and shared between schemes via get().
+ */
+class LdpcCodec
+{
+  public:
+    /** @param data_bits block size in bits; must be a multiple of 8. */
+    explicit LdpcCodec(unsigned data_bits);
+
+    /** Shared immutable codec for a block size (thread-safe). */
+    static std::shared_ptr<const LdpcCodec> get(unsigned data_bits);
+
+    unsigned dataBits() const { return n_; }
+    /** Code bits per block (3m). */
+    unsigned codeBits() const { return r_; }
+    /** GF(2^m) extension degree. */
+    unsigned fieldDegree() const { return m_; }
+
+    /** Parity-check column of data bit @p i, as an r-bit mask. */
+    uint64_t
+    column(unsigned i) const
+    {
+        return cols_[i];
+    }
+
+    /** Code word of a block of dataBits()/8 raw bytes. */
+    // cppc-lint: hot
+    uint64_t
+    encode(const uint8_t *block) const
+    {
+        uint64_t code = 0;
+        const unsigned nb = n_ / 8;
+        for (unsigned b = 0; b < nb; ++b)
+            code ^= byte_tables_[b][block[b]];
+        return code;
+    }
+
+    /**
+     * Incremental re-encode: contribution of flipping exactly the set
+     * bits of @p delta_byte at byte position @p byte_idx.  XOR the
+     * result into a stored code word to track a store's old^new delta.
+     */
+    uint64_t
+    encodeByteDelta(unsigned byte_idx, uint8_t delta_byte) const
+    {
+        return byte_tables_[byte_idx][delta_byte];
+    }
+
+    static constexpr unsigned kMaxFlips = 16;
+
+    struct Decode
+    {
+        enum class Status
+        {
+            Clean,           ///< zero syndrome
+            Repaired,        ///< unique weight <= 3 pattern, exact
+            BeyondGuarantee, ///< bit-flip search converged (unproven)
+            Detected         ///< no repair found
+        };
+        Status status = Status::Detected;
+        unsigned n_flips = 0;
+        std::array<uint16_t, kMaxFlips> flips{};
+    };
+
+    /** Syndrome-only decode; allocation-free. */
+    Decode decode(uint64_t syndrome) const;
+
+  private:
+    bool lookupSingle(uint64_t syndrome, unsigned &bit) const;
+    bool lookupPair(uint64_t syndrome, unsigned &i, unsigned &j) const;
+    void verifyColumnIndependence() const;
+
+    unsigned n_; ///< data bits per block
+    unsigned m_; ///< GF(2^m) degree
+    unsigned r_; ///< code bits per block (3m)
+
+    std::vector<uint64_t> cols_; ///< n_ parity-check columns
+
+    /// Per-byte encode tables: byte_tables_[b][v] = XOR of columns
+    /// 8b..8b+7 selected by the bits of v.
+    std::vector<std::array<uint64_t, 256>> byte_tables_;
+
+    /// Open-addressed syndrome maps (key ~0 = empty slot).
+    std::vector<uint64_t> single_keys_;
+    std::vector<uint32_t> single_vals_;
+    unsigned single_shift_ = 0;
+    std::vector<uint64_t> pair_keys_;
+    std::vector<uint32_t> pair_vals_;
+    unsigned pair_shift_ = 0;
+};
+
+/**
+ * ProtectionScheme wrapper: one LDPC block per cache line.
+ */
+class LdpcScheme : public ProtectionScheme
+{
+  public:
+    LdpcScheme() = default;
+
+    std::string name() const override;
+    void attach(CacheBackdoor &cache) override;
+
+    FillEffect onFill(Row row0, unsigned n_units, const uint8_t *data,
+                      bool victim_was_dirty) override;
+    void onEvict(Row row0, unsigned n_units, const uint8_t *data,
+                 const uint8_t *dirty) override;
+    StoreEffect onStore(Row row, const WideWord &old_data,
+                        const WideWord &new_data, bool was_dirty,
+                        bool partial) override;
+
+    bool check(Row row) const override;
+    VerifyOutcome recover(Row row) override;
+    void resyncRow(Row row) override;
+
+    uint64_t codeBitsTotal() const override;
+    unsigned decodeSpanUnits() const override { return upl_; }
+
+    const LdpcCodec &codec() const { return *codec_; }
+
+  private:
+    /** Gather the line containing @p row into @p buf (line_bytes). */
+    void gatherLine(Row line, uint8_t *buf) const;
+
+    CacheBackdoor *cache_ = nullptr;
+    std::shared_ptr<const LdpcCodec> codec_;
+    unsigned upl_ = 1;        ///< units per line
+    unsigned unit_bytes_ = 8; ///< bytes per protection unit
+    std::vector<uint64_t> code_; ///< one code word per line
+};
+
+} // namespace cppc
+
+#endif // CPPC_PROTECTION_LDPC_HH

@@ -99,6 +99,16 @@ SecdedScheme::recover(Row row)
     return VerifyOutcome::Due;
 }
 
+void
+SecdedScheme::resyncRow(Row row)
+{
+    // The CorrectedCode branch of recover() re-encodes from data that
+    // a misdecoded multi-bit fault may have left corrupt; after a
+    // trusted-data restore the stored code must be rebuilt to match.
+    if (cache_->rowValid(row))
+        code_[row] = codec_->encode(cache_->rowData(row));
+}
+
 uint64_t
 SecdedScheme::codeBitsTotal() const
 {

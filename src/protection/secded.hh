@@ -43,6 +43,7 @@ class SecdedScheme : public ProtectionScheme
 
     bool check(Row row) const override;
     VerifyOutcome recover(Row row) override;
+    void resyncRow(Row row) override;
 
     uint64_t codeBitsTotal() const override;
     double bitlineOverheadFactor() const override

@@ -1,7 +1,9 @@
 #include "sim/paper_config.hh"
 
 #include "cppc/cppc_scheme.hh"
+#include "protection/chiprepair.hh"
 #include "protection/icr.hh"
+#include "protection/ldpc.hh"
 #include "protection/memory_mapped_ecc.hh"
 #include "protection/parity.hh"
 #include "protection/secded.hh"
@@ -28,6 +30,10 @@ schemeKindName(SchemeKind kind)
         return "icr";
       case SchemeKind::MmEcc:
         return "mmecc";
+      case SchemeKind::Ldpc:
+        return "ldpc";
+      case SchemeKind::ChipRepair:
+        return "chiprepair";
     }
     panic("unreachable scheme kind");
 }
@@ -38,12 +44,12 @@ parseSchemeKind(const std::string &name)
     for (SchemeKind k :
          {SchemeKind::None, SchemeKind::Parity1D, SchemeKind::Secded,
           SchemeKind::Parity2D, SchemeKind::Cppc, SchemeKind::Icr,
-          SchemeKind::MmEcc}) {
+          SchemeKind::MmEcc, SchemeKind::Ldpc, SchemeKind::ChipRepair}) {
         if (schemeKindName(k) == name)
             return k;
     }
     fatal("unknown scheme '%s' (try parity1d|secded|parity2d|cppc|"
-          "icr|mmecc|none)",
+          "icr|mmecc|ldpc|chiprepair|none)",
           name.c_str());
 }
 
@@ -66,6 +72,10 @@ makeScheme(SchemeKind kind, const CppcConfig &cppc_cfg,
         return std::make_unique<IcrScheme>(8);
       case SchemeKind::MmEcc:
         return std::make_unique<MemoryMappedEccScheme>(8);
+      case SchemeKind::Ldpc:
+        return std::make_unique<LdpcScheme>();
+      case SchemeKind::ChipRepair:
+        return std::make_unique<ChipRepairScheme>(8);
     }
     panic("unreachable scheme kind");
 }

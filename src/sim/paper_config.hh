@@ -26,6 +26,8 @@ enum class SchemeKind
     Cppc,     ///< this paper
     Icr,      ///< In-Cache Replication (related work [24])
     MmEcc,    ///< memory-mapped ECC (related work [23])
+    Ldpc,     ///< line-spanning GF(2) LDPC/BCH, 3-bit guarantee
+    ChipRepair, ///< per-word two-symbol GF(2^8) chip repair
 };
 
 /** Display name ("parity1d", "secded", ...). */

@@ -94,6 +94,16 @@ struct FuzzSchemeSpec
     bool spatial_safe = true;
     /** True for CPPC variants (register strikes, strict clean fixes). */
     bool is_cppc = false;
+    /**
+     * True for schemes whose guarantee table admits *wrong but
+     * code-consistent* repairs of multi-bit faults (LDPC beyond the
+     * weight-3 window, chiprepair under multi-chip errors).  The
+     * replay then counts such outcomes as misrepairs and resynchronises
+     * the whole decode span from golden instead of failing.  Single-bit
+     * faults must still repair exactly — misrepair of a single-bit
+     * fault always fails the run.
+     */
+    bool misrepair_allowed = false;
 };
 
 /**
@@ -133,6 +143,8 @@ struct ReplayResult
     uint64_t corrected = 0;
     uint64_t refetched = 0;
     uint64_t dues = 0;     ///< honest detected-uncorrectable outcomes
+    /// wrong-but-counted repairs of multi-bit faults (allowed schemes)
+    uint64_t misrepairs = 0;
 };
 
 /**

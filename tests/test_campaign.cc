@@ -163,6 +163,46 @@ TEST(Campaign, DetectsSdcOnUnprotectedBlindSpot)
     EXPECT_EQ(c.runOne(s), InjectionOutcome::Sdc);
 }
 
+TEST(Campaign, ClassifiesDetectedWrongRepairAsMisrepair)
+{
+    // SECDED decodes most 3-bit faults as a plausible 1-bit repair:
+    // the fault *is* detected, the data ends up wrong — that must be
+    // classified Misrepair, never Sdc, and counted toward the visible
+    // denominator.
+    Harness h(smallGeometry(),
+              std::make_unique<SecdedScheme>(1)); // no interleaving
+    populate(h, 1.0);
+    Campaign::Config cc;
+    Campaign c(*h.cache, cc);
+    CampaignResult res;
+    Rng rng(31);
+    int misrepairs = 0;
+    for (int rep = 0; rep < 200; ++rep) {
+        // Three distinct bits in one word.
+        unsigned b0 = static_cast<unsigned>(rng.nextBelow(64));
+        unsigned b1 = (b0 + 1 + static_cast<unsigned>(rng.nextBelow(62)))
+            % 64;
+        unsigned b2 = b1;
+        while (b2 == b0 || b2 == b1)
+            b2 = static_cast<unsigned>(rng.nextBelow(64));
+        Strike s;
+        s.bits = {{6, b0}, {6, b1}, {6, b2}};
+        InjectionOutcome o = c.runOne(s);
+        Campaign::reduceOutcome(res, o);
+        // A weight-3 strike is never silent under SECDED: the syndrome
+        // is always nonzero, so a wrong outcome must be a misrepair.
+        EXPECT_NE(o, InjectionOutcome::Sdc);
+        if (o == InjectionOutcome::Misrepair)
+            ++misrepairs;
+    }
+    // ~76% of weight-3 patterns alias into a wrong single-bit repair.
+    EXPECT_GT(misrepairs, 100);
+    EXPECT_EQ(res.misrepair, static_cast<uint64_t>(misrepairs));
+    // Every trial is either a misrepair or a detected-uncorrectable.
+    EXPECT_EQ(res.sdc, 0u);
+    EXPECT_EQ(res.misrepair + res.due, 200u);
+}
+
 TEST(Campaign, PhysicalInterleavingScattersStrikes)
 {
     // With 8-way interleaving an 8-bit horizontal strike hits 8

@@ -314,12 +314,14 @@ TEST(JournalCodec, CampaignResultRoundTrips)
     r.corrected = 9900;
     r.due = 80;
     r.sdc = 8;
+    r.misrepair = 3;
     CampaignResult back = decodeCampaignResult(encodeCampaignResult(r));
     EXPECT_EQ(back.injections, r.injections);
     EXPECT_EQ(back.benign, r.benign);
     EXPECT_EQ(back.corrected, r.corrected);
     EXPECT_EQ(back.due, r.due);
     EXPECT_EQ(back.sdc, r.sdc);
+    EXPECT_EQ(back.misrepair, r.misrepair);
 }
 
 TEST(JournalCodec, FuzzBatchRoundTrips)
@@ -332,6 +334,7 @@ TEST(JournalCodec, FuzzBatchRoundTrips)
     r.corrected = 70;
     r.refetched = 15;
     r.dues = 5;
+    r.misrepairs = 4;
     r.first_fail_seed = 1003;
     r.first_violation = "strike on row 3 resolved silently\n(detail)";
     FuzzBatchResult back = decodeFuzzBatch(encodeFuzzBatch(r));

@@ -13,7 +13,9 @@
 #include <map>
 
 #include "cppc/cppc_scheme.hh"
+#include "protection/chiprepair.hh"
 #include "protection/icr.hh"
+#include "protection/ldpc.hh"
 #include "protection/memory_mapped_ecc.hh"
 #include "protection/parity.hh"
 #include "protection/replication_cache.hh"
@@ -61,6 +63,13 @@ const SchemeSpec kSpecs[] = {
     {"replcache",
      [] { return std::make_unique<ReplicationCacheScheme>(64, 8); },
      DirtyFix::Sometimes},
+    // Both new schemes guarantee exact repair of any single-bit fault
+    // (LDPC's distance-7 window, chiprepair's single-symbol decode),
+    // so they face the full Always battery.
+    {"ldpc", [] { return std::make_unique<LdpcScheme>(); },
+     DirtyFix::Always},
+    {"chiprepair", [] { return std::make_unique<ChipRepairScheme>(8); },
+     DirtyFix::Always},
 };
 
 class SchemeConformance : public ::testing::TestWithParam<SchemeSpec>

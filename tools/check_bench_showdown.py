@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Misrepair-showdown gate.
+
+Validates BENCH_showdown.json (emitted by bench/bench_showdown) against
+the guarantee table of each scheme.  Counts are deterministic (fixed
+seeds, exhaustive enumeration), so there is no baseline file and no
+tolerance for timing noise — the invariants are exact except for the
+SECDED weight-3 misrepair fraction, which gets the analytically
+expected window.
+
+Checked invariants:
+  * every (scheme, weight) row for schemes x weights 1..8 is present
+    and its outcome counts sum to `patterns`;
+  * secded w1 repairs everything; w2 is always detected (distance 4);
+    w3 is never silent and misrepairs 70-82% of patterns (the measured
+    exhaustive value is 76.2%);
+  * ldpc w1-3 repairs everything with zero misrepair and zero silent
+    (the distance-7 guarantee window), and stays non-silent through w6;
+  * chiprepair w1 repairs everything (single-bit faults are always
+    symbol-confined).
+
+Usage:
+    check_bench_showdown.py CURRENT.json
+
+Exit codes: 0 ok, 1 invariant violated, 2 usage or I/O error,
+3 row-set mismatch (bench and checker disagree on the table shape).
+"""
+
+import json
+import sys
+
+SCHEMES = ("secded", "ldpc", "chiprepair")
+WEIGHTS = range(1, 9)
+SECDED_W3_LO = 0.70
+SECDED_W3_HI = 0.82
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    doc = load(sys.argv[1])
+
+    rows = {}
+    for r in doc.get("rows", []):
+        rows[(r["scheme"], r["weight"])] = r
+
+    missing = [(s, w) for s in SCHEMES for w in WEIGHTS
+               if (s, w) not in rows]
+    if missing:
+        print(f"row-set mismatch: missing {missing}", file=sys.stderr)
+        return 3
+
+    failures = []
+
+    def check(cond, msg):
+        if not cond:
+            failures.append(msg)
+
+    for (s, w), r in sorted(rows.items()):
+        total = (r["repaired"] + r["detected"] + r["misrepaired"]
+                 + r["silent"])
+        check(r["patterns"] > 0, f"{s} w{w}: zero patterns")
+        check(total == r["patterns"],
+              f"{s} w{w}: outcomes sum to {total}, "
+              f"expected {r['patterns']}")
+
+    sec1, sec2, sec3 = (rows[("secded", w)] for w in (1, 2, 3))
+    check(sec1["repaired"] == sec1["patterns"],
+          f"secded w1: {sec1['repaired']}/{sec1['patterns']} repaired")
+    check(sec2["detected"] == sec2["patterns"],
+          f"secded w2: {sec2['detected']}/{sec2['patterns']} detected")
+    check(sec3["silent"] == 0,
+          f"secded w3: {sec3['silent']} silent (distance-4 code can "
+          "never alias a weight-3 error to a clean syndrome)")
+    frac = sec3["misrepaired"] / sec3["patterns"]
+    check(SECDED_W3_LO <= frac <= SECDED_W3_HI,
+          f"secded w3 misrepair fraction {frac:.4f} outside "
+          f"[{SECDED_W3_LO}, {SECDED_W3_HI}]")
+
+    for w in (1, 2, 3):
+        r = rows[("ldpc", w)]
+        check(r["repaired"] == r["patterns"],
+              f"ldpc w{w}: {r['repaired']}/{r['patterns']} repaired "
+              "(guarantee window demands 100%)")
+        check(r["misrepaired"] == 0,
+              f"ldpc w{w}: {r['misrepaired']} misrepairs inside the "
+              "guarantee window")
+        check(r["silent"] == 0, f"ldpc w{w}: {r['silent']} silent")
+    for w in (4, 5, 6):
+        r = rows[("ldpc", w)]
+        check(r["silent"] == 0,
+              f"ldpc w{w}: {r['silent']} silent (weight < 7 cannot be "
+              "a codeword of a distance-7 code)")
+
+    chip1 = rows[("chiprepair", 1)]
+    check(chip1["repaired"] == chip1["patterns"],
+          f"chiprepair w1: {chip1['repaired']}/{chip1['patterns']} "
+          "repaired")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"showdown ok: {len(rows)} rows, secded w3 misrepair "
+          f"fraction {frac:.4f}, ldpc w1-3 exact")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -532,6 +532,7 @@ cmdCampaign(const Options &opt)
     t.row().add("corrected").add(r.corrected).add(r.rate(r.corrected), 4);
     t.row().add("due").add(r.due).add(r.rate(r.due), 4);
     t.row().add("sdc").add(r.sdc).add(r.rate(r.sdc), 4);
+    t.row().add("misrepair").add(r.misrepair).add(r.rate(r.misrepair), 4);
     t.row().add("coverage").add(std::string("-")).add(r.coverage(), 4);
     emitTable(opt, t);
     return finishHarness(res.report, "campaign", 0);
@@ -586,7 +587,7 @@ cmdFuzz(const Options &opt)
         specs, run_tag, base_seed, n_seeds, n_ops, harnessFrom(opt));
 
     TextTable t({"scheme", "seeds", "strikes", "corrected", "refetched",
-                 "dues", "checks", "result"});
+                 "dues", "misrepairs", "checks", "result"});
     int rc = 0;
     for (const auto &kv : res.per_scheme) {
         const std::string &scheme = kv.first;
@@ -598,6 +599,7 @@ cmdFuzz(const Options &opt)
             .add(agg.corrected)
             .add(agg.refetched)
             .add(agg.dues)
+            .add(agg.misrepairs)
             .add(agg.checks)
             .add(agg.failures
                      ? strfmt("FAIL (%llu)",
@@ -665,6 +667,7 @@ cmdList()
     for (const auto &p : spec2000Profiles())
         std::cout << " " << p.name;
     std::cout << "\nschemes: parity1d secded parity2d cppc icr mmecc"
+                 " ldpc chiprepair"
               << "\n";
     return 0;
 }
