@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Save-state benchmark: times snapshotting a warm ReplaySession (the
+ * full fuzz rig — cache + scheme, write-back buffer, memory, golden
+ * model, probe and RNG streams) through the versioned save-state
+ * format, and measures the shrinker's snapshot-resume saving over the
+ * replay-from-seed-zero ddmin baseline.  Emits BENCH_state.json,
+ * compared against bench/BENCH_state.baseline.json by
+ * tools/check_bench_state.py in CI.
+ *
+ * The shrink leg and the snapshot size are deterministic (fixed seeds,
+ * fixed op counts); only the MB/s figures depend on the host.
+ *
+ * Knobs:
+ *   CPPC_BENCH_STATE_MIN_MS  minimum wall time per timed loop
+ *                            (default 50)
+ * Optional argv[1] overrides the JSON output path.
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/atomic_file.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+#include "verify/fuzzer.hh"
+
+using namespace cppc;
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+double
+minSeconds()
+{
+    if (const char *env = std::getenv("CPPC_BENCH_STATE_MIN_MS"))
+        return std::strtod(env, nullptr) / 1000.0;
+    return 0.050;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    const std::string json_path =
+        argc > 1 ? argv[1] : "BENCH_state.json";
+    const double min_s = minSeconds();
+
+    // ---- snapshot save/load throughput on a warm session ----------
+    const FuzzSchemeSpec *spec = findScheme("cppc");
+    if (!spec) {
+        std::cerr << "no 'cppc' scheme in the conformance registry\n";
+        return 1;
+    }
+    const uint64_t seed = 5;
+    const unsigned warm_ops = 400;
+    std::vector<FuzzOp> ops = generateOps(seed, warm_ops);
+    ReplaySession warm(*spec, seed);
+    if (!warm.run(ops, ops.size())) {
+        std::cerr << "warm replay failed: " << warm.result().violation
+                  << "\n";
+        return 1;
+    }
+    const std::string snap = warm.saveState();
+
+    uint64_t save_iters = 0;
+    double save_s = 0.0;
+    auto t0 = std::chrono::steady_clock::now();
+    do {
+        std::string again = warm.saveState();
+        if (again.size() != snap.size()) {
+            std::cerr << "saveState is not stable: " << snap.size()
+                      << " vs " << again.size() << " bytes\n";
+            return 1;
+        }
+        ++save_iters;
+        save_s = secondsSince(t0);
+    } while (save_s < min_s);
+
+    ReplaySession sink(*spec, seed);
+    uint64_t load_iters = 0;
+    double load_s = 0.0;
+    t0 = std::chrono::steady_clock::now();
+    do {
+        sink.loadState(snap);
+        ++load_iters;
+        load_s = secondsSince(t0);
+    } while (load_s < min_s);
+    if (sink.position() != warm.position()) {
+        std::cerr << "loadState landed at op " << sink.position()
+                  << ", expected " << warm.position() << "\n";
+        return 1;
+    }
+
+    const double mb = static_cast<double>(snap.size()) / 1e6;
+    const double save_mb_s =
+        save_s > 0.0 ? static_cast<double>(save_iters) * mb / save_s : 0.0;
+    const double load_mb_s =
+        load_s > 0.0 ? static_cast<double>(load_iters) * mb / load_s : 0.0;
+
+    // ---- shrinker snapshot-resume saving (deterministic) -----------
+    FuzzSchemeSpec sab = sabotagedCppcSpec();
+    ShrinkStats total;
+    unsigned failures = 0;
+    for (uint64_t s = 1; s <= 10; ++s) {
+        FuzzOneResult r = fuzzOne(sab, s, 300);
+        if (!r.failed())
+            continue;
+        ++failures;
+        total.ops_replayed += r.shrink.ops_replayed;
+        total.ops_replayed_baseline += r.shrink.ops_replayed_baseline;
+        total.snapshots_taken += r.shrink.snapshots_taken;
+        total.snapshots_resumed += r.shrink.snapshots_resumed;
+    }
+    const double reduction = total.ops_replayed_baseline > 0
+        ? 1.0 -
+            static_cast<double>(total.ops_replayed) /
+                static_cast<double>(total.ops_replayed_baseline)
+        : 0.0;
+
+    std::cout << "=== Save-state benchmark ===\n";
+    TextTable t({"metric", "value"});
+    t.row().add("snapshot bytes").add(strfmt("%zu", snap.size()));
+    t.row().add("save MB/s").add(save_mb_s, 1);
+    t.row().add("load MB/s").add(load_mb_s, 1);
+    t.row().add("shrink seeds failing").add(strfmt("%u/10", failures));
+    t.row()
+        .add("ops replayed")
+        .add(strfmt("%llu (baseline %llu)",
+                    static_cast<unsigned long long>(total.ops_replayed),
+                    static_cast<unsigned long long>(
+                        total.ops_replayed_baseline)));
+    t.row().add("replay-op reduction").add(reduction * 100.0, 1);
+    t.row()
+        .add("snapshots taken/resumed")
+        .add(strfmt("%llu/%llu",
+                    static_cast<unsigned long long>(
+                        total.snapshots_taken),
+                    static_cast<unsigned long long>(
+                        total.snapshots_resumed)));
+    t.print(std::cout);
+
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"snapshot\": {\n"
+       << "    \"warm_ops\": " << warm_ops << ",\n"
+       << "    \"bytes\": " << snap.size() << ",\n"
+       << "    \"save_mb_s\": " << formatFixed(save_mb_s, 3) << ",\n"
+       << "    \"load_mb_s\": " << formatFixed(load_mb_s, 3) << "\n"
+       << "  },\n"
+       << "  \"shrink\": {\n"
+       << "    \"seeds\": 10,\n"
+       << "    \"n_ops\": 300,\n"
+       << "    \"failing_seeds\": " << failures << ",\n"
+       << "    \"ops_replayed\": " << total.ops_replayed << ",\n"
+       << "    \"ops_replayed_baseline\": "
+       << total.ops_replayed_baseline << ",\n"
+       << "    \"reduction\": " << formatFixed(reduction, 4) << ",\n"
+       << "    \"snapshots_taken\": " << total.snapshots_taken << ",\n"
+       << "    \"snapshots_resumed\": " << total.snapshots_resumed
+       << "\n"
+       << "  }\n"
+       << "}\n";
+    if (!atomicWriteFile(json_path, os.str())) {
+        std::cerr << "cannot write " << json_path << "\n";
+        return 1;
+    }
+    std::cout << "wrote " << json_path << "\n";
+
+    // Throughput is hardware-dependent; only the deterministic shrink
+    // contract gates the exit code.  tools/check_bench_state.py applies
+    // the size / reduction / throughput-floor gates against the
+    // committed baseline.
+    const bool ok = failures > 0 && total.snapshots_resumed > 0 &&
+        total.ops_replayed < total.ops_replayed_baseline;
+    if (!ok)
+        std::cerr << "FAIL: snapshot-resume shrink saved nothing\n";
+    return ok ? 0 : 1;
+}

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "state/state_io.hh"
+
 namespace cppc {
 
 std::vector<uint8_t> &
@@ -50,6 +52,38 @@ MainMemory::peek(Addr addr, uint8_t *out, unsigned len) const
             std::memset(out + done, 0, chunk);
         done += chunk;
     }
+}
+
+void
+MainMemory::saveState(StateWriter &w) const
+{
+    w.begin(stateTag("MEMY"), 1);
+    w.u64(reads_);
+    w.u64(writes_);
+    w.u64(pages_.size());
+    for (const auto &[page, bytes] : pages_) {
+        w.u64(page);
+        w.vecU8(bytes);
+    }
+    w.end();
+}
+
+void
+MainMemory::loadState(StateReader &r)
+{
+    r.enter(stateTag("MEMY"));
+    reads_ = r.u64();
+    writes_ = r.u64();
+    const uint64_t n_pages = r.u64();
+    pages_.clear();
+    for (uint64_t i = 0; i < n_pages; ++i) {
+        Addr page = r.u64();
+        std::vector<uint8_t> bytes = r.vecU8();
+        if (bytes.size() != kPageBytes)
+            throw StateError("memory page has wrong size");
+        pages_.emplace(page, std::move(bytes));
+    }
+    r.leave();
 }
 
 void

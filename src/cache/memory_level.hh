@@ -16,6 +16,9 @@
 
 namespace cppc {
 
+class StateWriter;
+class StateReader;
+
 /**
  * Anything an upper cache level can fetch lines from and write lines
  * back to.  Implemented by WriteBackCache and MainMemory.
@@ -55,6 +58,11 @@ class MainMemory : public MemoryLevel
 
     uint64_t reads() const { return reads_; }
     uint64_t writes() const { return writes_; }
+
+    /** Serialise all pages and access counters as one "MEMY" section. */
+    void saveState(StateWriter &w) const;
+    /** Inverse of saveState(); replaces all current content. */
+    void loadState(StateReader &r);
 
   private:
     static constexpr unsigned kPageShift = 12;

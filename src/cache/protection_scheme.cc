@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Scheme save-state framing shared by every protection scheme.
+ *
+ * The wrapper owns the "SCHM" section: it binds the section to the
+ * scheme's name (so a cppc image cannot silently restore into a secded
+ * instance), carries the stats counters, and delegates the scheme's own
+ * dynamic members to saveBody()/loadBody().
+ */
+
+#include "cache/protection_scheme.hh"
+
+#include "state/state_io.hh"
+#include "util/logging.hh"
+
+namespace cppc {
+
+namespace {
+
+constexpr uint32_t kSchemeTag = stateTag("SCHM");
+constexpr uint32_t kSchemeVersion = 1;
+
+} // namespace
+
+void
+ProtectionScheme::saveState(StateWriter &w) const
+{
+    w.begin(kSchemeTag, kSchemeVersion);
+    w.str(name());
+    w.u64(stats_.rbw_words);
+    w.u64(stats_.rbw_lines);
+    w.u64(stats_.detections);
+    w.u64(stats_.refetched_clean);
+    w.u64(stats_.corrected_clean);
+    w.u64(stats_.corrected_dirty);
+    w.u64(stats_.corrected_code);
+    w.u64(stats_.due);
+    w.u64(stats_.miscorrected);
+    saveBody(w);
+    w.end();
+}
+
+void
+ProtectionScheme::loadState(StateReader &r)
+{
+    r.enter(kSchemeTag);
+    const std::string saved_name = r.str();
+    if (saved_name != name())
+        throw StateError(strfmt("scheme section is '%s', this scheme "
+                                "is '%s'",
+                                saved_name.c_str(), name().c_str()));
+    stats_.rbw_words = r.u64();
+    stats_.rbw_lines = r.u64();
+    stats_.detections = r.u64();
+    stats_.refetched_clean = r.u64();
+    stats_.corrected_clean = r.u64();
+    stats_.corrected_dirty = r.u64();
+    stats_.corrected_code = r.u64();
+    stats_.due = r.u64();
+    stats_.miscorrected = r.u64();
+    loadBody(r);
+    r.leave();
+}
+
+} // namespace cppc

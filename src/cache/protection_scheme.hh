@@ -25,6 +25,9 @@
 
 namespace cppc {
 
+class StateWriter;
+class StateReader;
+
 /** Raw row-level access into a cache's data array. */
 class CacheBackdoor
 {
@@ -216,6 +219,23 @@ class ProtectionScheme
     void resetStats() { stats_ = SchemeStats(); }
 
     /**
+     * Serialise the complete scheme state — stats plus every per-row
+     * code and internal register the subclass keeps — as one tagged
+     * "SCHM" section (src/state).  The instance must already be
+     * attach()ed; configuration (interleave degree, pairs, domains) is
+     * NOT serialised: a loader constructs an identically-configured
+     * instance first and loadState() restores its dynamic state.
+     */
+    void saveState(StateWriter &w) const;
+
+    /**
+     * Inverse of saveState().  @throws StateError when the section is
+     * missing, corrupted, or was written by a differently-named
+     * scheme.
+     */
+    void loadState(StateReader &r);
+
+    /**
      * Attach a verification observer (not owned); pass nullptr to
      * detach.  Schemes with internal recovery machinery notify it
      * after each completed recovery step.
@@ -223,6 +243,15 @@ class ProtectionScheme
     void attachObserver(OpObserver *observer) { observer_ = observer; }
 
   protected:
+    /**
+     * Per-scheme serialisation body.  The saveState()/loadState()
+     * wrappers own the section framing, the name binding and the
+     * stats; subclasses (de)serialise exactly their own dynamic
+     * members, in one fixed order, using the writer's primitives.
+     */
+    virtual void saveBody(StateWriter &w) const = 0;
+    virtual void loadBody(StateReader &r) = 0;
+
     /** Notify the attached observer, if any. */
     void
     notifyOp(const char *source, const char *op)

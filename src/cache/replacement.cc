@@ -1,5 +1,6 @@
 #include "cache/replacement.hh"
 
+#include "state/state_io.hh"
 #include "util/bits.hh"
 #include "util/logging.hh"
 
@@ -58,6 +59,23 @@ LruPolicy::victim(unsigned set)
     return best;
 }
 
+void
+LruPolicy::savePayload(StateWriter &w) const
+{
+    w.u64(clock_);
+    w.vecU64(stamps_);
+}
+
+void
+LruPolicy::loadPayload(StateReader &r)
+{
+    clock_ = r.u64();
+    std::vector<uint64_t> stamps = r.vecU64();
+    if (stamps.size() != stamps_.size())
+        throw StateError("lru stamp count mismatch");
+    stamps_ = std::move(stamps);
+}
+
 TreePlruPolicy::TreePlruPolicy(unsigned sets, unsigned assoc)
     : assoc_(assoc),
       bits_(static_cast<size_t>(sets) * (assoc > 1 ? assoc - 1 : 1), 0)
@@ -105,6 +123,21 @@ TreePlruPolicy::victim(unsigned set)
     return way;
 }
 
+void
+TreePlruPolicy::savePayload(StateWriter &w) const
+{
+    w.vecU8(bits_);
+}
+
+void
+TreePlruPolicy::loadPayload(StateReader &r)
+{
+    std::vector<uint8_t> bits = r.vecU8();
+    if (bits.size() != bits_.size())
+        throw StateError("plru tree-bit count mismatch");
+    bits_ = std::move(bits);
+}
+
 RandomPolicy::RandomPolicy(unsigned assoc, uint64_t seed)
     : assoc_(assoc), rng_(seed)
 {
@@ -119,6 +152,22 @@ unsigned
 RandomPolicy::victim(unsigned)
 {
     return static_cast<unsigned>(rng_.nextBelow(assoc_));
+}
+
+void
+RandomPolicy::savePayload(StateWriter &w) const
+{
+    for (uint64_t word : rng_.state())
+        w.u64(word);
+}
+
+void
+RandomPolicy::loadPayload(StateReader &r)
+{
+    std::array<uint64_t, 4> s;
+    for (uint64_t &word : s)
+        word = r.u64();
+    rng_.setState(s);
 }
 
 } // namespace cppc

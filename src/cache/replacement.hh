@@ -15,6 +15,9 @@
 
 namespace cppc {
 
+class StateWriter;
+class StateReader;
+
 /** Which replacement policy a cache uses. */
 enum class ReplacementKind { LRU, TreePLRU, Random };
 
@@ -41,6 +44,15 @@ class ReplacementPolicy
 
     virtual std::string name() const = 0;
 
+    /**
+     * (De)serialise the policy's dynamic state as raw payload bytes
+     * inside the caller's already-open section (the cache's "CACH"
+     * section owns the framing).  Both sides must be constructed with
+     * identical sets/assoc.
+     */
+    virtual void savePayload(StateWriter &w) const = 0;
+    virtual void loadPayload(StateReader &r) = 0;
+
     /** Factory. @p seed only matters for the random policy. */
     static std::unique_ptr<ReplacementPolicy>
     create(ReplacementKind kind, unsigned sets, unsigned assoc,
@@ -55,6 +67,8 @@ class LruPolicy : public ReplacementPolicy
     void touch(unsigned set, unsigned way) override;
     unsigned victim(unsigned set) override;
     std::string name() const override { return "lru"; }
+    void savePayload(StateWriter &w) const override;
+    void loadPayload(StateReader &r) override;
 
   private:
     unsigned assoc_;
@@ -70,6 +84,8 @@ class TreePlruPolicy : public ReplacementPolicy
     void touch(unsigned set, unsigned way) override;
     unsigned victim(unsigned set) override;
     std::string name() const override { return "plru"; }
+    void savePayload(StateWriter &w) const override;
+    void loadPayload(StateReader &r) override;
 
   private:
     unsigned assoc_;
@@ -84,6 +100,8 @@ class RandomPolicy : public ReplacementPolicy
     void touch(unsigned set, unsigned way) override;
     unsigned victim(unsigned set) override;
     std::string name() const override { return "random"; }
+    void savePayload(StateWriter &w) const override;
+    void loadPayload(StateReader &r) override;
 
   private:
     unsigned assoc_;

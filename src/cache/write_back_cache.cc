@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "cache/dirty_profiler.hh"
+#include "state/state_io.hh"
 #include "util/logging.hh"
 
 namespace cppc {
@@ -582,6 +583,95 @@ WriteBackCache::resetStats()
     stats_ = CacheStats();
     if (scheme_)
         scheme_->resetStats();
+}
+
+void
+WriteBackCache::saveState(StateWriter &w) const
+{
+    w.begin(stateTag("CACH"), 1);
+    // Geometry fingerprint: a loader must be configured identically.
+    w.u64(geom_.size_bytes);
+    w.u32(geom_.assoc);
+    w.u32(geom_.line_bytes);
+    w.u32(geom_.unit_bytes);
+    w.str(repl_->name());
+    repl_->savePayload(w);
+    w.u64(lines_.size());
+    for (const Line &l : lines_) {
+        w.u8(l.valid ? 1 : 0);
+        if (!l.valid)
+            continue;
+        w.u64(l.tag);
+        w.vecU8(l.data);
+        w.vecU8(l.dirty);
+    }
+    w.u64(stats_.read_hits);
+    w.u64(stats_.read_misses);
+    w.u64(stats_.write_hits);
+    w.u64(stats_.write_misses);
+    w.u64(stats_.writebacks);
+    w.u64(stats_.clean_evictions);
+    w.u64(stats_.fills);
+    w.u8(static_cast<uint8_t>(last_verify_));
+    w.u64(invalidations_);
+    w.u64(downgrades_);
+    w.u32(scrub_cursor_);
+    w.u64(write_throughs_);
+    w.u64(now_);
+    w.end();
+    if (scheme_)
+        scheme_->saveState(w);
+}
+
+void
+WriteBackCache::loadState(StateReader &r)
+{
+    r.enter(stateTag("CACH"));
+    if (r.u64() != geom_.size_bytes || r.u32() != geom_.assoc ||
+        r.u32() != geom_.line_bytes || r.u32() != geom_.unit_bytes)
+        throw StateError(strfmt("cache section geometry does not match "
+                                "%s's configuration",
+                                name_.c_str()));
+    const std::string repl_name = r.str();
+    if (repl_name != repl_->name())
+        throw StateError(strfmt("cache section replacement policy '%s' "
+                                "does not match '%s'",
+                                repl_name.c_str(),
+                                repl_->name().c_str()));
+    repl_->loadPayload(r);
+    if (r.u64() != lines_.size())
+        throw StateError("cache section line count mismatch");
+    for (Line &l : lines_) {
+        l.valid = r.u8() != 0;
+        if (!l.valid) {
+            std::fill(l.data.begin(), l.data.end(), 0);
+            std::fill(l.dirty.begin(), l.dirty.end(), 0);
+            continue;
+        }
+        l.tag = r.u64();
+        std::vector<uint8_t> data = r.vecU8();
+        std::vector<uint8_t> dirty = r.vecU8();
+        if (data.size() != l.data.size() || dirty.size() != l.dirty.size())
+            throw StateError("cache line payload has wrong size");
+        l.data = std::move(data);
+        l.dirty = std::move(dirty);
+    }
+    stats_.read_hits = r.u64();
+    stats_.read_misses = r.u64();
+    stats_.write_hits = r.u64();
+    stats_.write_misses = r.u64();
+    stats_.writebacks = r.u64();
+    stats_.clean_evictions = r.u64();
+    stats_.fills = r.u64();
+    last_verify_ = static_cast<VerifyOutcome>(r.u8());
+    invalidations_ = r.u64();
+    downgrades_ = r.u64();
+    scrub_cursor_ = r.u32();
+    write_throughs_ = r.u64();
+    now_ = r.u64();
+    r.leave();
+    if (scheme_)
+        scheme_->loadState(r);
 }
 
 void

@@ -155,6 +155,18 @@ class WriteBackCache : public MemoryLevel, public CacheBackdoor
     const CacheStats &stats() const { return stats_; }
     void resetStats();
 
+    /**
+     * Serialise the cache's complete dynamic state — every line (tag,
+     * data, dirty bits), replacement state, stats and coherence
+     * counters — as one "CACH" section, followed by the attached
+     * scheme's own "SCHM" section.  Configuration (geometry,
+     * replacement kind, write-through and check flags) is not stored;
+     * loadState() restores into an identically-configured instance and
+     * throws StateError on a geometry or policy mismatch.
+     */
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
+
     /** gem5-flavoured stats dump: "<name>.<stat> <value>" per line. */
     void dumpStats(std::ostream &os) const;
 

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "state/state_io.hh"
 #include "util/bits.hh"
 #include "util/logging.hh"
 
@@ -99,6 +100,43 @@ WritebackBuffer::drain()
         evictOldest();
     if (observer_)
         observer_->onOp("wbbuf", "drain");
+}
+
+void
+WritebackBuffer::saveState(StateWriter &w) const
+{
+    w.begin(stateTag("WBUF"), 1);
+    w.u64(hits_);
+    w.u64(coalesced_);
+    w.u64(drained_);
+    w.u64(fifo_.size());
+    for (const Entry &e : fifo_) {
+        w.u64(e.addr);
+        w.vecU8(e.data);
+    }
+    w.end();
+}
+
+void
+WritebackBuffer::loadState(StateReader &r)
+{
+    r.enter(stateTag("WBUF"));
+    hits_ = r.u64();
+    coalesced_ = r.u64();
+    drained_ = r.u64();
+    const uint64_t n = r.u64();
+    if (n > capacity_)
+        throw StateError("write-back buffer section exceeds capacity");
+    fifo_.clear();
+    for (uint64_t i = 0; i < n; ++i) {
+        Entry e;
+        e.addr = r.u64();
+        e.data = r.vecU8();
+        if (e.data.size() != line_bytes_)
+            throw StateError("write-back buffer entry has wrong size");
+        fifo_.push_back(std::move(e));
+    }
+    r.leave();
 }
 
 void

@@ -24,6 +24,9 @@
 
 namespace cppc {
 
+class StateWriter;
+class StateReader;
+
 class WritebackBuffer : public MemoryLevel
 {
   public:
@@ -66,6 +69,11 @@ class WritebackBuffer : public MemoryLevel
     uint64_t hits() const { return hits_; }        ///< reads served here
     uint64_t coalesced() const { return coalesced_; } ///< rewrites merged
     uint64_t drained() const { return drained_; }  ///< lines sent below
+
+    /** Serialise parked lines and counters as one "WBUF" section. */
+    void saveState(StateWriter &w) const;
+    /** Inverse of saveState(); replaces all parked lines. */
+    void loadState(StateReader &r);
 
   private:
     struct Entry

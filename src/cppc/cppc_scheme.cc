@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "state/state_io.hh"
 #include "util/logging.hh"
 
 namespace cppc {
@@ -352,6 +353,23 @@ CppcScheme::codeBitsTotal() const
 {
     return static_cast<uint64_t>(code_.size()) * cfg_.parity_ways +
         regs_.storageBits();
+}
+
+void
+CppcScheme::saveBody(StateWriter &w) const
+{
+    regs_.savePayload(w);
+    w.vecU64(code_);
+}
+
+void
+CppcScheme::loadBody(StateReader &r)
+{
+    regs_.loadPayload(r);
+    std::vector<uint64_t> code = r.vecU64();
+    if (code.size() != code_.size())
+        throw StateError("cppc code size mismatch");
+    code_ = std::move(code);
 }
 
 } // namespace cppc

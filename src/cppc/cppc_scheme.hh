@@ -110,6 +110,10 @@ class CppcScheme : public ProtectionScheme
     /** Stored parity mask of a row (tests). */
     uint64_t storedParity(Row row) const { return code_.at(row); }
 
+  protected:
+    void saveBody(StateWriter &w) const override;
+    void loadBody(StateReader &r) override;
+
   private:
     WideWord unitAt(const uint8_t *data, unsigned idx) const;
     /** Rows of (domain, pair) holding dirty data, in row order. */

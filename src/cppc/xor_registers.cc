@@ -1,5 +1,6 @@
 #include "cppc/xor_registers.hh"
 
+#include "state/state_io.hh"
 #include "util/logging.hh"
 
 namespace cppc {
@@ -104,6 +105,30 @@ XorRegisterFile::storageBits() const
 {
     // Data bits plus one parity bit per register.
     return static_cast<uint64_t>(regs_.size()) * (unit_bytes_ * 8 + 1);
+}
+
+void
+XorRegisterFile::savePayload(StateWriter &w) const
+{
+    w.u64(regs_.size());
+    for (const Reg &r : regs_) {
+        w.wide(r.value);
+        w.u8(static_cast<uint8_t>(r.parity & 1));
+    }
+}
+
+void
+XorRegisterFile::loadPayload(StateReader &r)
+{
+    if (r.u64() != regs_.size())
+        throw StateError("XOR register file size mismatch");
+    for (Reg &reg : regs_) {
+        WideWord value = r.wide();
+        if (value.sizeBytes() != unit_bytes_)
+            throw StateError("XOR register width mismatch");
+        reg.value = value;
+        reg.parity = r.u8() & 1;
+    }
 }
 
 void

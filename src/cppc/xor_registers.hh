@@ -22,6 +22,9 @@
 
 namespace cppc {
 
+class StateWriter;
+class StateReader;
+
 class XorRegisterFile
 {
   public:
@@ -65,6 +68,14 @@ class XorRegisterFile
     uint64_t storageBits() const;
 
     void reset();
+
+    /**
+     * (De)serialise every register's value *and* stored parity bit as
+     * raw payload inside the caller's open section, so an injected
+     * register fault (value/parity mismatch) survives a round-trip.
+     */
+    void savePayload(StateWriter &w) const;
+    void loadPayload(StateReader &r);
 
   private:
     struct Reg

@@ -2,10 +2,68 @@
 
 #include <algorithm>
 
+#include "state/state_io.hh"
 #include "util/logging.hh"
 #include "util/thread_annotations.hh"
 
 namespace cppc {
+
+namespace {
+
+/** Mid-shard checkpoint section: cursor + partial counts. */
+constexpr uint32_t kCampaignCkptTag = stateTag("CCKP");
+constexpr uint32_t kCampaignCkptVersion = 1;
+
+/** Snapshot image: cursor, partial shard counts, full cache state. */
+std::string
+encodeShardSnapshot(uint64_t next_injection, const CampaignResult &res,
+                    const WriteBackCache &cache)
+{
+    StateWriter w;
+    w.begin(kCampaignCkptTag, kCampaignCkptVersion);
+    w.u64(next_injection);
+    w.u64(res.injections);
+    w.u64(res.benign);
+    w.u64(res.corrected);
+    w.u64(res.due);
+    w.u64(res.sdc);
+    w.u64(res.misrepair);
+    w.end();
+    cache.saveState(w);
+    return w.image();
+}
+
+/**
+ * Restore a mid-shard snapshot into @p cache.  @throws StateError on
+ * corruption, a foreign section, or a cursor outside [begin, end) —
+ * the caller treats any throw as "no usable snapshot" and restarts
+ * the shard cold (rebuilding the cache, since a failed load may have
+ * applied some sections already).
+ */
+void
+decodeShardSnapshot(const std::string &image, size_t begin, size_t end,
+                    uint64_t &next_injection, CampaignResult &res,
+                    WriteBackCache &cache)
+{
+    StateReader r(image);
+    r.enter(kCampaignCkptTag);
+    next_injection = r.u64();
+    res.injections = r.u64();
+    res.benign = r.u64();
+    res.corrected = r.u64();
+    res.due = r.u64();
+    res.sdc = r.u64();
+    res.misrepair = r.u64();
+    r.leave();
+    if (next_injection <= begin || next_injection >= end)
+        throw StateError(strfmt(
+            "snapshot cursor %llu is outside shard (%zu, %zu)",
+            static_cast<unsigned long long>(next_injection), begin,
+            end));
+    cache.loadState(r);
+}
+
+} // namespace
 
 std::string
 campaignShardKey(uint64_t first_injection)
@@ -76,21 +134,53 @@ runCampaignHarness(const CampaignHostFactory &factory,
         WorkUnit u;
         u.key = campaignShardKey(begin);
         u.work = [&factory, &factory_mu, &strikes, &cfg, begin,
-                  end](const std::atomic<bool> &cancel) {
+                  end](const CellContext &ctx) {
             std::unique_ptr<CampaignHost> host;
             {
                 MutexLock lock(factory_mu);
                 host = factory();
             }
-            Campaign c(host->cache(), cfg);
             CampaignResult res;
-            for (size_t i = begin; i < end; ++i) {
-                if (cancel.load(std::memory_order_relaxed))
+            size_t i = begin;
+
+            // Resume from the last mid-shard snapshot, if one exists:
+            // an earlier attempt of ours (watchdog/retry), a killed
+            // process being --resume'd, or a dead ledger peer whose
+            // cell we reclaimed.  An unusable snapshot only costs the
+            // warm start — the shard restarts cold on a pristine host.
+            if (std::optional<std::string> snap = ctx.loadSnapshot()) {
+                try {
+                    uint64_t next = 0;
+                    decodeShardSnapshot(*snap, begin, end, next, res,
+                                        host->cache());
+                    i = static_cast<size_t>(next);
+                    inform("shard %s resuming warm at injection %zu "
+                           "of [%zu, %zu)",
+                           ctx.key().c_str(), i, begin, end);
+                } catch (const StateError &e) {
+                    warn("ignoring unusable snapshot for shard %s "
+                         "(%s); restarting the shard cold",
+                         ctx.key().c_str(), e.what());
+                    MutexLock lock(factory_mu);
+                    host = factory(); // a failed load may half-apply
+                    res = CampaignResult();
+                    i = begin;
+                }
+            }
+
+            Campaign c(host->cache(), cfg);
+            for (; i < end; ++i) {
+                if (ctx.cancelled())
                     throw CancelledError(strfmt(
                         "campaign shard cancelled after %zu of %zu "
                         "injections",
                         i - begin, end - begin));
                 Campaign::reduceOutcome(res, c.runOne(strikes[i]));
+                const uint64_t done = i + 1 - begin;
+                if (ctx.checkpointing() && i + 1 < end &&
+                    done % kCampaignCheckpointStride == 0)
+                    ctx.saveSnapshot(encodeShardSnapshot(
+                        i + 1, res, host->cache()));
             }
             return encodeCampaignResult(res);
         };

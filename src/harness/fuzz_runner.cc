@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "state/state_io.hh"
 #include "util/logging.hh"
 
 namespace cppc {
@@ -9,6 +10,83 @@ namespace cppc {
 namespace {
 
 constexpr const char *kTagScheme = "tagcppc";
+
+/** Mid-batch checkpoint section: seed cursor + partial batch counts. */
+constexpr uint32_t kFuzzCkptTag = stateTag("FCKP");
+constexpr uint32_t kFuzzCkptVersion = 1;
+
+std::string
+encodeBatchSnapshot(uint64_t next_offset, const FuzzBatchResult &res)
+{
+    StateWriter w;
+    w.begin(kFuzzCkptTag, kFuzzCkptVersion);
+    w.u64(next_offset);
+    w.u64(res.seeds);
+    w.u64(res.failures);
+    w.u64(res.checks);
+    w.u64(res.strikes);
+    w.u64(res.corrected);
+    w.u64(res.refetched);
+    w.u64(res.dues);
+    w.u64(res.misrepairs);
+    w.u64(res.first_fail_seed);
+    w.str(res.first_violation);
+    w.end();
+    return w.image();
+}
+
+/**
+ * Restore a mid-batch snapshot.  @throws StateError on corruption or
+ * a cursor outside (0, count) — the caller restarts the batch cold.
+ */
+void
+decodeBatchSnapshot(const std::string &image, uint64_t count,
+                    uint64_t &next_offset, FuzzBatchResult &res)
+{
+    StateReader r(image);
+    r.enter(kFuzzCkptTag);
+    next_offset = r.u64();
+    res.seeds = r.u64();
+    res.failures = r.u64();
+    res.checks = r.u64();
+    res.strikes = r.u64();
+    res.corrected = r.u64();
+    res.refetched = r.u64();
+    res.dues = r.u64();
+    res.misrepairs = r.u64();
+    res.first_fail_seed = r.u64();
+    res.first_violation = r.str();
+    r.leave();
+    if (next_offset == 0 || next_offset >= count)
+        throw StateError(strfmt(
+            "snapshot cursor %llu is outside batch (0, %llu)",
+            static_cast<unsigned long long>(next_offset),
+            static_cast<unsigned long long>(count)));
+}
+
+/** Warm-start a batch from its last snapshot; 0 / reset on none. */
+uint64_t
+resumeBatch(const CellContext &ctx, uint64_t count, FuzzBatchResult &res)
+{
+    std::optional<std::string> snap = ctx.loadSnapshot();
+    if (!snap)
+        return 0;
+    try {
+        uint64_t next = 0;
+        decodeBatchSnapshot(*snap, count, next, res);
+        inform("fuzz batch %s resuming warm at seed %llu of %llu",
+               ctx.key().c_str(),
+               static_cast<unsigned long long>(next),
+               static_cast<unsigned long long>(count));
+        return next;
+    } catch (const StateError &e) {
+        warn("ignoring unusable snapshot for fuzz batch %s (%s); "
+             "restarting the batch cold",
+             ctx.key().c_str(), e.what());
+        res = FuzzBatchResult();
+        return 0;
+    }
+}
 
 /** Batch decomposition of [base_seed, base_seed + n_seeds). */
 std::vector<std::pair<uint64_t, uint64_t>>
@@ -92,10 +170,11 @@ runFuzzHarness(const std::vector<FuzzSchemeSpec> &specs, bool run_tag,
             WorkUnit u;
             u.key = fuzzBatchKey(spec.name, first);
             u.work = [&spec, first, count,
-                      n_ops](const std::atomic<bool> &cancel) {
+                      n_ops](const CellContext &ctx) {
                 FuzzBatchResult res;
-                for (uint64_t s = 0; s < count; ++s) {
-                    if (cancel.load(std::memory_order_relaxed))
+                for (uint64_t s = resumeBatch(ctx, count, res);
+                     s < count; ++s) {
+                    if (ctx.cancelled())
                         throw CancelledError(strfmt(
                             "fuzz batch cancelled after %llu of %llu "
                             "seeds",
@@ -104,7 +183,7 @@ runFuzzHarness(const std::vector<FuzzSchemeSpec> &specs, bool run_tag,
                     // The flag is also polled inside the replay's op
                     // loop, so a wedged sequence is reaped mid-seed.
                     FuzzOneResult fr =
-                        fuzzOne(spec, first + s, n_ops, &cancel);
+                        fuzzOne(spec, first + s, n_ops, &ctx.cancel());
                     ++res.seeds;
                     res.checks += fr.replay.checks;
                     res.strikes += fr.replay.strikes;
@@ -119,6 +198,12 @@ runFuzzHarness(const std::vector<FuzzSchemeSpec> &specs, bool run_tag,
                         }
                         ++res.failures;
                     }
+                    // One seed (possibly including an expensive
+                    // shrink) is the checkpoint quantum: a killed or
+                    // migrated batch never replays a finished seed.
+                    if (ctx.checkpointing() && s + 1 < count)
+                        ctx.saveSnapshot(encodeBatchSnapshot(s + 1,
+                                                             res));
                 }
                 return encodeFuzzBatch(res);
             };
@@ -131,18 +216,18 @@ runFuzzHarness(const std::vector<FuzzSchemeSpec> &specs, bool run_tag,
             uint64_t first = batch.first, count = batch.second;
             WorkUnit u;
             u.key = fuzzBatchKey(kTagScheme, first);
-            u.work = [first, count,
-                      n_ops](const std::atomic<bool> &cancel) {
+            u.work = [first, count, n_ops](const CellContext &ctx) {
                 FuzzBatchResult res;
-                for (uint64_t s = 0; s < count; ++s) {
-                    if (cancel.load(std::memory_order_relaxed))
+                for (uint64_t s = resumeBatch(ctx, count, res);
+                     s < count; ++s) {
+                    if (ctx.cancelled())
                         throw CancelledError(strfmt(
                             "tag fuzz batch cancelled after %llu of "
                             "%llu seeds",
                             static_cast<unsigned long long>(s),
                             static_cast<unsigned long long>(count)));
                     TagFuzzResult tr =
-                        fuzzTagCppc(first + s, n_ops, &cancel);
+                        fuzzTagCppc(first + s, n_ops, &ctx.cancel());
                     ++res.seeds;
                     res.strikes += tr.strikes;
                     res.corrected += tr.corrected;
@@ -154,6 +239,9 @@ runFuzzHarness(const std::vector<FuzzSchemeSpec> &specs, bool run_tag,
                         }
                         ++res.failures;
                     }
+                    if (ctx.checkpointing() && s + 1 < count)
+                        ctx.saveSnapshot(encodeBatchSnapshot(s + 1,
+                                                             res));
                 }
                 return encodeFuzzBatch(res);
             };

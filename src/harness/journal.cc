@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/atomic_file.hh"
+#include "util/crash_point.hh"
 #include "util/fnv.hh"
 #include "util/logging.hh"
 
@@ -158,12 +159,20 @@ Journal::Journal(std::string path, std::string kind, std::string config,
                           path_.c_str());
                 if (toks[1] != config_)
                     fatal("journal %s was written by a different "
-                          "configuration:\n  journal: %s\n  current: "
-                          "%s\nresuming would silently mix grids; use "
-                          "a fresh --journal or rerun with the "
-                          "journal's configuration",
+                          "configuration:\n"
+                          "  journal: %s (hash %016llx)\n"
+                          "  current: %s (hash %016llx)\n"
+                          "resuming would silently mix grids; rerun "
+                          "with the journal's configuration and "
+                          "--resume=%s, or start over with a fresh "
+                          "--journal",
                           path_.c_str(), toks[1].c_str(),
-                          config_.c_str());
+                          static_cast<unsigned long long>(
+                              journalConfigHash(toks[1])),
+                          config_.c_str(),
+                          static_cast<unsigned long long>(
+                              journalConfigHash(config_)),
+                          path_.c_str());
             } else {
                 if (toks.size() != 5 || toks[0] != "cell") {
                     tail_dropped = true;
@@ -227,6 +236,7 @@ bool
 Journal::append(const JournalRecord &rec)
 {
     std::string line = formatRecord(rec);
+    crashPoint("journal.append");
     MutexLock lock(mu_);
     size_t before = contents_.size();
     contents_ += line + "\n";

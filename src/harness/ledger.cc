@@ -14,6 +14,7 @@
 
 #include "harness/codec.hh"
 #include "util/atomic_file.hh"
+#include "util/crash_point.hh"
 #include "util/logging.hh"
 
 namespace cppc {
@@ -257,6 +258,9 @@ WorkLedger::tryClaim(const std::string &key)
         fatal("cannot create lease %s: %s", leasePath(key).c_str(),
               std::strerror(errno));
     }
+    // A kill here leaves an empty lease file: peers see it torn, watch
+    // it across their staleness window, and reclaim the cell.
+    crashPoint("ledger.claim");
     std::string line = journalSealLine(leaseBody(key, 1)) + "\n";
     ssize_t wr = write(fd, line.data(), line.size());
     bool ok = wr == static_cast<ssize_t>(line.size()) && fsync(fd) == 0;
@@ -285,6 +289,7 @@ WorkLedger::publish(const JournalRecord &rec)
         rec.attempts, rec.payload.empty() ? "-" : rec.payload.c_str()));
     // The atomic write of the cell file is the commit point; everything
     // after is cleanup.
+    crashPoint("ledger.publish");
     if (!atomicWriteFile(cellPath(rec.key), line + "\n"))
         return false;
 

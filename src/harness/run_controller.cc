@@ -1,15 +1,25 @@
 #include "harness/run_controller.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <condition_variable>
+#include <cstring>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <set>
+#include <sstream>
 #include <thread>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "harness/codec.hh"
 #include "harness/ledger.hh"
 #include "harness/stop_token.hh"
+#include "util/atomic_file.hh"
+#include "util/crash_point.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 #include "util/thread_annotations.hh"
@@ -70,6 +80,59 @@ pollSleep(double seconds, bool use_stop_token)
 }
 
 } // namespace
+
+SnapshotStore::SnapshotStore(std::string dir, std::string prefix)
+    : dir_(std::move(dir)), prefix_(std::move(prefix))
+{
+}
+
+std::string
+SnapshotStore::path(const std::string &key) const
+{
+    return dir_ + "/" + prefix_ + hexEncode(key);
+}
+
+std::optional<std::string>
+SnapshotStore::load(const std::string &key) const
+{
+    std::ifstream is(path(key), std::ios::binary);
+    if (!is)
+        return std::nullopt;
+    std::ostringstream os;
+    os << is.rdbuf();
+    if (!is.good() && !is.eof())
+        return std::nullopt;
+    return os.str();
+}
+
+bool
+SnapshotStore::save(const std::string &key,
+                    const std::string &image) const
+{
+    // The directory may not exist yet (first snapshot of a journaled
+    // run creates `<journal>.snaps/`); mkdir is idempotent.
+    if (mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST) {
+        warn("cannot create snapshot directory %s: %s", dir_.c_str(),
+             std::strerror(errno));
+        return false;
+    }
+    crashPoint("snapshot.save");
+    if (!atomicWriteFile(path(key), image)) {
+        warn("cannot checkpoint cell %s snapshot; continuing without "
+             "(the cell resumes from an older snapshot, or cold)",
+             key.c_str());
+        return false;
+    }
+    return true;
+}
+
+void
+SnapshotStore::drop(const std::string &key) const
+{
+    if (unlink(path(key).c_str()) != 0 && errno != ENOENT)
+        warn("cannot remove completed cell %s's snapshot: %s",
+             key.c_str(), std::strerror(errno));
+}
 
 /**
  * Registry of in-flight attempts, scanned by the watchdog thread.
@@ -193,8 +256,9 @@ RunController::executeUnit(const WorkUnit &unit, Watchdog &watchdog)
         local.attempts = attempt;
         std::atomic<bool> cancel{false};
         uint64_t wd = watchdog.arm(&cancel);
+        CellContext ctx(cancel, snaps_.get(), unit.key);
         try {
-            local.payload = unit.work(cancel);
+            local.payload = unit.work(ctx);
             watchdog.disarm(wd);
             local.status = CellStatus::Ok;
             local.error.clear();
@@ -244,10 +308,15 @@ RunController::runLocal(const std::vector<WorkUnit> &units)
     report.journal_path = opts_.journal_path;
 
     std::unique_ptr<Journal> journal;
-    if (!opts_.journal_path.empty())
+    if (!opts_.journal_path.empty()) {
         journal = std::make_unique<Journal>(
             opts_.journal_path, kind_, config_,
             opts_.resume ? Journal::Mode::Resume : Journal::Mode::Fresh);
+        // Mid-cell snapshots live next to the journal; without a
+        // journal there is no durable run identity to key them on.
+        snaps_ = std::make_unique<SnapshotStore>(
+            opts_.journal_path + ".snaps", "");
+    }
 
     // Satisfy units from the journal first.  Only ok records skip
     // re-execution: a resumed run gives previously failed or timed-out
@@ -305,6 +374,10 @@ RunController::runLocal(const std::vector<WorkUnit> &units)
                               "the last durable append are resumable)",
                               local.key.c_str(),
                               journal_ptr->path().c_str());
+                    // The terminal record is durable; the cell's
+                    // mid-cell snapshot is now garbage.
+                    if (snaps_ && local.status == CellStatus::Ok)
+                        snaps_->drop(local.key);
                 }
 
                 MutexLock lock(report_mu);
@@ -338,6 +411,10 @@ RunController::runLedger(const std::vector<WorkUnit> &units)
 
     WorkLedger ledger(opts_.ledger_dir, kind_, config_,
                       opts_.worker_id);
+    // Snapshots live inside the shared ledger directory, keyed by cell
+    // (not by worker): a peer that reclaims a dead worker's cell
+    // adopts its last published snapshot and resumes it warm.
+    snaps_ = std::make_unique<SnapshotStore>(opts_.ledger_dir, "snap.");
 
     std::map<std::string, size_t> index_of;
     for (size_t i = 0; i < units.size(); ++i) {
@@ -421,7 +498,10 @@ RunController::runLedger(const std::vector<WorkUnit> &units)
                 auto rec = done.find(unit.key);
                 if (rec != done.end()) {
                     // Adopt a published record (ours from an earlier
-                    // crash, or a peer's).
+                    // crash, or a peer's).  Its mid-cell snapshot, if
+                    // any survived, is garbage now.
+                    if (rec->second.status == CellStatus::Ok)
+                        snaps_->drop(unit.key);
                     MutexLock lock(report_mu);
                     slot.status = rec->second.status;
                     slot.attempts = rec->second.attempts;
@@ -474,6 +554,8 @@ RunController::runLedger(const std::vector<WorkUnit> &units)
                                       "cells remain adoptable)",
                                       local.key.c_str(),
                                       ledger.dir().c_str());
+                            if (local.status == CellStatus::Ok)
+                                snaps_->drop(local.key);
                         }
                         {
                             MutexLock lock(report_mu);
@@ -489,30 +571,39 @@ RunController::runLedger(const std::vector<WorkUnit> &units)
                 // Busy: watch the lease's beat on our own steady
                 // clock; a beat frozen for the whole timeout window
                 // means the holder is gone (a live holder refreshes
-                // every lease_timeout/4).
+                // every lease_timeout/4).  A lease file that stays
+                // *torn* for the whole window (a claimer killed
+                // between creating and writing it) is watched the same
+                // way under a sentinel observation — left alone it
+                // would block its cell forever, since the O_EXCL
+                // create keeps every fresh claim Busy.  An *absent*
+                // lease also lands here harmlessly: the next round's
+                // tryClaim arbitrates before the window can elapse.
                 std::optional<WorkLedger::LeaseInfo> lease =
                     ledger.readLease(unit.key);
-                if (!lease) {
-                    // Released or torn mid-write: retry next round.
-                    watched.erase(unit.key);
-                    ++it;
-                    continue;
-                }
+                const std::string holder =
+                    lease ? lease->worker : std::string();
+                const uint64_t beat = lease ? lease->beat : 0;
                 Clock::time_point now = Clock::now();
                 auto w = watched.find(unit.key);
-                if (w == watched.end() ||
-                    w->second.worker != lease->worker ||
-                    w->second.beat != lease->beat) {
-                    watched[unit.key] = {lease->worker, lease->beat,
-                                         now};
+                if (w == watched.end() || w->second.worker != holder ||
+                    w->second.beat != beat) {
+                    watched[unit.key] = {holder, beat, now};
                 } else if (std::chrono::duration<double>(
                                now - w->second.since)
                                .count() > opts_.lease_timeout_s) {
-                    warn("lease on cell %s by worker %s is stale (beat "
-                         "%llu unchanged for %.1fs); reclaiming",
-                         unit.key.c_str(), lease->worker.c_str(),
-                         static_cast<unsigned long long>(lease->beat),
-                         opts_.lease_timeout_s);
+                    if (lease)
+                        warn("lease on cell %s by worker %s is stale "
+                             "(beat %llu unchanged for %.1fs); "
+                             "reclaiming",
+                             unit.key.c_str(), holder.c_str(),
+                             static_cast<unsigned long long>(beat),
+                             opts_.lease_timeout_s);
+                    else
+                        warn("lease on cell %s has been torn for "
+                             "%.1fs (its claimer died mid-write); "
+                             "reclaiming",
+                             unit.key.c_str(), opts_.lease_timeout_s);
                     ledger.breakLease(unit.key);
                     watched.erase(unit.key);
                 }

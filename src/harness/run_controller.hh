@@ -30,6 +30,8 @@
 
 #include <atomic>
 #include <functional>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -75,16 +77,111 @@ struct HarnessOptions
 };
 
 /**
+ * Durable store for mid-cell snapshots, shared by every cell of one
+ * run.  Snapshots are save-state images (src/state/state_io.hh) keyed
+ * by cell key; each lives in its own file (atomic temp + rename), so
+ * a SIGKILL leaves either the previous snapshot or the new one.
+ *
+ * Two placements exist: `<journal>.snaps/<hexkey>` next to a journal
+ * (single-process --resume and retry-after-watchdog), and
+ * `<ledger_dir>/snap.<hexkey>` inside a shared ledger — keyed by cell,
+ * not by worker, so a peer that reclaims a dead worker's cell adopts
+ * its last published snapshot and resumes the cell warm.
+ */
+class SnapshotStore
+{
+  public:
+    /** Snapshot files are @p dir / @p prefix + hexEncode(key). */
+    SnapshotStore(std::string dir, std::string prefix);
+
+    /** Last published snapshot of @p key; nullopt when none. */
+    std::optional<std::string> load(const std::string &key) const;
+
+    /**
+     * Durably publish @p image as @p key's snapshot, replacing any
+     * previous one.  @return false on an I/O failure (warn() names the
+     * cause) — checkpointing is best-effort: the cell keeps running
+     * and simply resumes from an older snapshot, or cold, on the next
+     * attempt.
+     */
+    [[nodiscard]] bool save(const std::string &key,
+                            const std::string &image) const;
+
+    /** Remove @p key's snapshot (the cell completed; it is garbage). */
+    void drop(const std::string &key) const;
+
+    const std::string &dir() const { return dir_; }
+
+  private:
+    std::string path(const std::string &key) const;
+
+    std::string dir_;
+    std::string prefix_;
+};
+
+/**
+ * What a cell's work function sees of the controller: the cooperative
+ * cancel flag plus the cell's slot in the run's snapshot store.  The
+ * implicit conversion keeps plain `const std::atomic<bool> &cancel`
+ * work functions (the sweep, tests) compiling unchanged; runners that
+ * checkpoint mid-cell take the context itself.
+ */
+class CellContext
+{
+  public:
+    CellContext(const std::atomic<bool> &cancel,
+                const SnapshotStore *snaps, std::string key)
+        : cancel_(&cancel), snaps_(snaps), key_(std::move(key))
+    {
+    }
+
+    operator const std::atomic<bool> &() const { return *cancel_; }
+    const std::atomic<bool> &cancel() const { return *cancel_; }
+    bool cancelled() const
+    {
+        return cancel_->load(std::memory_order_relaxed);
+    }
+
+    /** False when the run has nowhere durable to put snapshots. */
+    bool checkpointing() const { return snaps_ != nullptr; }
+
+    /** This cell's last published snapshot; nullopt when none/disabled. */
+    std::optional<std::string> loadSnapshot() const
+    {
+        return snaps_ ? snaps_->load(key_) : std::nullopt;
+    }
+
+    /** Best-effort durable snapshot publish (see SnapshotStore::save). */
+    bool saveSnapshot(const std::string &image) const
+    {
+        return snaps_ ? snaps_->save(key_, image) : false;
+    }
+
+    const std::string &key() const { return key_; }
+
+  private:
+    const std::atomic<bool> *cancel_;
+    const SnapshotStore *snaps_;
+    std::string key_;
+};
+
+/**
  * One independent unit of work.  @c work runs on a pool thread; it
- * must poll @c cancel at a reasonable cadence (the sweep plumbs it
- * into the core's instruction loop; shard/batch runners poll between
- * trials) and throw CancelledError when it flips.  Its return value is
- * the journal payload: a whitespace-free token from harness/codec.hh.
+ * must poll the context's cancel flag at a reasonable cadence (the
+ * sweep plumbs it into the core's instruction loop; shard/batch
+ * runners poll between trials) and throw CancelledError when it flips.
+ * Its return value is the journal payload: a whitespace-free token
+ * from harness/codec.hh.
+ *
+ * A work function may additionally checkpoint through the context:
+ * saveSnapshot() at clean internal boundaries, loadSnapshot() on entry
+ * to resume a previous attempt's progress (its own earlier attempt, a
+ * --resume of a killed process, or a dead ledger peer's).
  */
 struct WorkUnit
 {
     std::string key;
-    std::function<std::string(const std::atomic<bool> &cancel)> work;
+    std::function<std::string(const CellContext &ctx)> work;
 };
 
 /** Terminal outcome of one unit, journaled and reported. */
@@ -158,6 +255,8 @@ class RunController
     HarnessOptions opts_;
     std::string kind_;
     std::string config_;
+    /** Mid-cell snapshot store; null when the run has no durable home. */
+    std::unique_ptr<SnapshotStore> snaps_;
 };
 
 } // namespace cppc

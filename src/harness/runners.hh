@@ -69,6 +69,15 @@ runSweepHarness(const std::vector<BenchmarkProfile> &profiles,
  */
 constexpr uint64_t kCampaignShardStrikes = 512;
 
+/**
+ * Injections between mid-shard snapshots (CellContext::saveSnapshot).
+ * A killed, timed-out or migrated shard resumes from its last
+ * snapshot, losing at most this many trials instead of the whole
+ * shard.  Purely a progress-loss/IO trade-off: the shard's result is
+ * bit-identical with or without snapshots at any stride.
+ */
+constexpr uint64_t kCampaignCheckpointStride = 128;
+
 struct CampaignHarnessResult
 {
     /** Sum over shards that completed ok. */

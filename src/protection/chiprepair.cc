@@ -3,6 +3,7 @@
 #include <map>
 #include <mutex>
 
+#include "state/state_io.hh"
 #include "util/logging.hh"
 
 namespace cppc {
@@ -206,6 +207,27 @@ uint64_t
 ChipRepairScheme::codeBitsTotal() const
 {
     return static_cast<uint64_t>(code_.size()) * 2 * bits_;
+}
+
+void
+ChipRepairScheme::saveBody(StateWriter &w) const
+{
+    w.u64(code_.size());
+    for (const Code &c : code_) {
+        w.u32(c.p);
+        w.u32(c.q);
+    }
+}
+
+void
+ChipRepairScheme::loadBody(StateReader &r)
+{
+    if (r.u64() != code_.size())
+        throw StateError("chiprepair code size mismatch");
+    for (Code &c : code_) {
+        c.p = r.u32();
+        c.q = r.u32();
+    }
 }
 
 } // namespace cppc

@@ -71,6 +71,10 @@ class ChipRepairScheme : public ProtectionScheme
     /** Compute P/Q of a unit (exposed for tests). */
     Code encodeUnit(const WideWord &data) const;
 
+  protected:
+    void saveBody(StateWriter &w) const override;
+    void loadBody(StateReader &r) override;
+
   private:
     uint32_t gfMul(uint32_t a, uint32_t b) const;
     uint32_t gfPowMul(unsigned exp, uint32_t v) const;

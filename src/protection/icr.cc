@@ -1,5 +1,6 @@
 #include "protection/icr.hh"
 
+#include "state/state_io.hh"
 #include "util/logging.hh"
 
 namespace cppc {
@@ -130,6 +131,39 @@ IcrScheme::codeBitsTotal() const
     // Parity plus one replica-valid bit per row; the replicas
     // themselves occupy existing data-array lines.
     return static_cast<uint64_t>(code_.size()) * (ways_ + 1);
+}
+
+void
+IcrScheme::saveBody(StateWriter &w) const
+{
+    w.vecU64(code_);
+    w.vecU8(replica_valid_);
+    w.u64(replicas_.size());
+    for (const WideWord &rep : replicas_)
+        w.wide(rep);
+    w.u64(replica_writes_);
+    w.u64(unprotected_stores_);
+}
+
+void
+IcrScheme::loadBody(StateReader &r)
+{
+    std::vector<uint64_t> code = r.vecU64();
+    std::vector<uint8_t> valid = r.vecU8();
+    if (code.size() != code_.size() ||
+        valid.size() != replica_valid_.size())
+        throw StateError("icr code size mismatch");
+    if (r.u64() != replicas_.size())
+        throw StateError("icr replica count mismatch");
+    std::vector<WideWord> replicas;
+    replicas.reserve(replicas_.size());
+    for (size_t i = 0; i < replicas_.size(); ++i)
+        replicas.push_back(r.wide());
+    code_ = std::move(code);
+    replica_valid_ = std::move(valid);
+    replicas_ = std::move(replicas);
+    replica_writes_ = r.u64();
+    unprotected_stores_ = r.u64();
 }
 
 } // namespace cppc

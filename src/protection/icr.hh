@@ -58,6 +58,10 @@ class IcrScheme : public ProtectionScheme
     /** True iff @p row currently holds a live replica for its peer. */
     bool holdsReplica(Row row) const { return replica_valid_.at(row); }
 
+  protected:
+    void saveBody(StateWriter &w) const override;
+    void loadBody(StateReader &r) override;
+
   private:
     unsigned ways_;
     CacheBackdoor *cache_ = nullptr;

@@ -4,6 +4,7 @@
 #include <map>
 #include <mutex>
 
+#include "state/state_io.hh"
 #include "util/gf2.hh"
 #include "util/logging.hh"
 
@@ -499,6 +500,21 @@ uint64_t
 LdpcScheme::codeBitsTotal() const
 {
     return static_cast<uint64_t>(code_.size()) * codec_->codeBits();
+}
+
+void
+LdpcScheme::saveBody(StateWriter &w) const
+{
+    w.vecU64(code_);
+}
+
+void
+LdpcScheme::loadBody(StateReader &r)
+{
+    std::vector<uint64_t> code = r.vecU64();
+    if (code.size() != code_.size())
+        throw StateError("ldpc code size mismatch");
+    code_ = std::move(code);
 }
 
 } // namespace cppc

@@ -161,6 +161,10 @@ class LdpcScheme : public ProtectionScheme
 
     const LdpcCodec &codec() const { return *codec_; }
 
+  protected:
+    void saveBody(StateWriter &w) const override;
+    void loadBody(StateReader &r) override;
+
   private:
     /** Gather the line containing @p row into @p buf (line_bytes). */
     void gatherLine(Row line, uint8_t *buf) const;

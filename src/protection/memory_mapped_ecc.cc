@@ -1,5 +1,6 @@
 #include "protection/memory_mapped_ecc.hh"
 
+#include "state/state_io.hh"
 #include "util/logging.hh"
 
 namespace cppc {
@@ -100,6 +101,28 @@ MemoryMappedEccScheme::codeBitsTotal() const
 {
     // Only the detection parity lives on-chip.
     return static_cast<uint64_t>(parity_.size()) * ways_;
+}
+
+void
+MemoryMappedEccScheme::saveBody(StateWriter &w) const
+{
+    w.vecU64(parity_);
+    w.vecU32(ecc_);
+    w.u64(mem_code_writes_);
+    w.u64(mem_code_reads_);
+}
+
+void
+MemoryMappedEccScheme::loadBody(StateReader &r)
+{
+    std::vector<uint64_t> parity = r.vecU64();
+    std::vector<uint32_t> ecc = r.vecU32();
+    if (parity.size() != parity_.size() || ecc.size() != ecc_.size())
+        throw StateError("mmecc code size mismatch");
+    parity_ = std::move(parity);
+    ecc_ = std::move(ecc);
+    mem_code_writes_ = r.u64();
+    mem_code_reads_ = r.u64();
 }
 
 } // namespace cppc

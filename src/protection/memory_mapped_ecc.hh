@@ -48,6 +48,10 @@ class MemoryMappedEccScheme : public ProtectionScheme
     uint64_t memCodeWrites() const { return mem_code_writes_; }
     uint64_t memCodeReads() const { return mem_code_reads_; }
 
+  protected:
+    void saveBody(StateWriter &w) const override;
+    void loadBody(StateReader &r) override;
+
   private:
     unsigned ways_;
     CacheBackdoor *cache_ = nullptr;

@@ -1,5 +1,6 @@
 #include "protection/parity.hh"
 
+#include "state/state_io.hh"
 #include "util/logging.hh"
 
 namespace cppc {
@@ -85,6 +86,21 @@ uint64_t
 OneDimParityScheme::codeBitsTotal() const
 {
     return static_cast<uint64_t>(code_.size()) * ways_;
+}
+
+void
+OneDimParityScheme::saveBody(StateWriter &w) const
+{
+    w.vecU64(code_);
+}
+
+void
+OneDimParityScheme::loadBody(StateReader &r)
+{
+    std::vector<uint64_t> code = r.vecU64();
+    if (code.size() != code_.size())
+        throw StateError("parity code size mismatch");
+    code_ = std::move(code);
 }
 
 } // namespace cppc

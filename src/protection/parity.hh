@@ -45,6 +45,9 @@ class OneDimParityScheme : public ProtectionScheme
     uint64_t storedParity(Row row) const { return code_.at(row); }
 
   protected:
+    void saveBody(StateWriter &w) const override;
+    void loadBody(StateReader &r) override;
+
     WideWord unitAt(const uint8_t *data, unsigned idx) const;
 
     unsigned ways_;

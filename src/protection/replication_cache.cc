@@ -1,5 +1,6 @@
 #include "protection/replication_cache.hh"
 
+#include "state/state_io.hh"
 #include "util/bits.hh"
 #include "util/logging.hh"
 
@@ -132,6 +133,40 @@ ReplicationCacheScheme::codeBitsTotal() const
     unsigned tag_bits = ceilLog2(cache_->geometry().numRows()) + 1;
     return static_cast<uint64_t>(code_.size()) * ways_ +
         static_cast<uint64_t>(capacity_) * (unit_bits + tag_bits);
+}
+
+void
+ReplicationCacheScheme::saveBody(StateWriter &w) const
+{
+    w.vecU64(code_);
+    w.u64(lru_.size());
+    for (const Entry &e : lru_) { // front (MRU) to back
+        w.u64(e.row);
+        w.wide(e.data);
+    }
+    w.u64(replica_evictions_);
+}
+
+void
+ReplicationCacheScheme::loadBody(StateReader &r)
+{
+    std::vector<uint64_t> code = r.vecU64();
+    if (code.size() != code_.size())
+        throw StateError("replcache code size mismatch");
+    const uint64_t n = r.u64();
+    if (n > capacity_)
+        throw StateError("replcache replica count exceeds capacity");
+    code_ = std::move(code);
+    lru_.clear();
+    index_.clear();
+    for (uint64_t i = 0; i < n; ++i) {
+        Entry e;
+        e.row = static_cast<Row>(r.u64());
+        e.data = r.wide();
+        lru_.push_back(std::move(e));
+        index_[lru_.back().row] = std::prev(lru_.end());
+    }
+    replica_evictions_ = r.u64();
 }
 
 } // namespace cppc

@@ -60,6 +60,10 @@ class ReplicationCacheScheme : public ProtectionScheme
     /** Dirty words currently resident without a replica. */
     uint64_t replicaEvictions() const { return replica_evictions_; }
 
+  protected:
+    void saveBody(StateWriter &w) const override;
+    void loadBody(StateReader &r) override;
+
   private:
     struct Entry
     {

@@ -1,5 +1,6 @@
 #include "protection/secded.hh"
 
+#include "state/state_io.hh"
 #include "util/logging.hh"
 
 namespace cppc {
@@ -113,6 +114,21 @@ uint64_t
 SecdedScheme::codeBitsTotal() const
 {
     return static_cast<uint64_t>(code_.size()) * codec_->codeBits();
+}
+
+void
+SecdedScheme::saveBody(StateWriter &w) const
+{
+    w.vecU32(code_);
+}
+
+void
+SecdedScheme::loadBody(StateReader &r)
+{
+    std::vector<uint32_t> code = r.vecU32();
+    if (code.size() != code_.size())
+        throw StateError("secded code size mismatch");
+    code_ = std::move(code);
 }
 
 } // namespace cppc

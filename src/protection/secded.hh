@@ -54,6 +54,10 @@ class SecdedScheme : public ProtectionScheme
     unsigned interleaveFactor() const { return interleave_; }
     const HammingSecded &codec() const { return *codec_; }
 
+  protected:
+    void saveBody(StateWriter &w) const override;
+    void loadBody(StateReader &r) override;
+
   private:
     unsigned interleave_;
     CacheBackdoor *cache_ = nullptr;

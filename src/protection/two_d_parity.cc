@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "state/state_io.hh"
 #include "util/logging.hh"
 
 namespace cppc {
@@ -159,6 +160,26 @@ TwoDParityScheme::codeBitsTotal() const
 {
     return static_cast<uint64_t>(hcode_.size()) * ways_ +
         vertical_.sizeBits();
+}
+
+void
+TwoDParityScheme::saveBody(StateWriter &w) const
+{
+    w.vecU64(hcode_);
+    w.wide(vertical_);
+}
+
+void
+TwoDParityScheme::loadBody(StateReader &r)
+{
+    std::vector<uint64_t> hcode = r.vecU64();
+    if (hcode.size() != hcode_.size())
+        throw StateError("2D parity code size mismatch");
+    WideWord vertical = r.wide();
+    if (vertical.sizeBytes() != vertical_.sizeBytes())
+        throw StateError("2D vertical parity width mismatch");
+    hcode_ = std::move(hcode);
+    vertical_ = vertical;
 }
 
 } // namespace cppc

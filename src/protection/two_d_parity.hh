@@ -50,6 +50,10 @@ class TwoDParityScheme : public ProtectionScheme
      *  fault-free (invariant checks in tests). */
     WideWord recomputeVertical() const;
 
+  protected:
+    void saveBody(StateWriter &w) const override;
+    void loadBody(StateReader &r) override;
+
   private:
     WideWord unitAt(const uint8_t *data, unsigned idx) const;
 

@@ -1,0 +1,420 @@
+#include "state/state_io.hh"
+
+#include <cassert>
+#include <cstring>
+
+#include "util/fnv.hh"
+#include "util/logging.hh"
+
+namespace cppc {
+
+const char kStateMagic[] = "cppcstate v1\n";
+namespace {
+constexpr size_t kMagicLen = sizeof(kStateMagic) - 1;
+constexpr size_t kSectionHeader = 4 + 4 + 8; ///< tag + version + length
+} // namespace
+
+std::string
+stateTagName(uint32_t tag)
+{
+    std::string out(4, '.');
+    for (unsigned i = 0; i < 4; ++i) {
+        char c = static_cast<char>(tag >> (8 * i));
+        if (c >= 0x20 && c < 0x7f)
+            out[i] = c;
+    }
+    return out;
+}
+
+// --- StateWriter ------------------------------------------------------
+
+StateWriter::StateWriter() { buf_.assign(kStateMagic, kMagicLen); }
+
+namespace {
+
+void
+putU32(std::string &buf, uint32_t v)
+{
+    char b[4];
+    for (unsigned i = 0; i < 4; ++i)
+        b[i] = static_cast<char>(v >> (8 * i));
+    buf.append(b, 4);
+}
+
+void
+putU64(std::string &buf, uint64_t v)
+{
+    char b[8];
+    for (unsigned i = 0; i < 8; ++i)
+        b[i] = static_cast<char>(v >> (8 * i));
+    buf.append(b, 8);
+}
+
+void
+patchU64(std::string &buf, size_t at, uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i)
+        buf[at + i] = static_cast<char>(v >> (8 * i));
+}
+
+} // namespace
+
+void
+StateWriter::begin(uint32_t tag, uint32_t version)
+{
+    assert(!open_ && "state sections do not nest");
+    open_ = true;
+    putU32(buf_, tag);
+    putU32(buf_, version);
+    putU64(buf_, 0); // payload length, patched by end()
+    payload_at_ = buf_.size();
+}
+
+void
+StateWriter::end()
+{
+    assert(open_ && "end() without begin()");
+    open_ = false;
+    const size_t len = buf_.size() - payload_at_;
+    patchU64(buf_, payload_at_ - 8, len);
+    putU32(buf_, fnv1a32(buf_.data() + payload_at_, len));
+}
+
+void
+StateWriter::u8(uint8_t v)
+{
+    assert(open_);
+    buf_.push_back(static_cast<char>(v));
+}
+
+void
+StateWriter::u32(uint32_t v)
+{
+    assert(open_);
+    putU32(buf_, v);
+}
+
+void
+StateWriter::u64(uint64_t v)
+{
+    assert(open_);
+    putU64(buf_, v);
+}
+
+void
+StateWriter::f64(double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    u64(bits);
+}
+
+void
+StateWriter::blob(const void *data, size_t n)
+{
+    assert(open_);
+    buf_.append(static_cast<const char *>(data), n);
+}
+
+void
+StateWriter::str(const std::string &s)
+{
+    u64(s.size());
+    blob(s.data(), s.size());
+}
+
+void
+StateWriter::wide(const WideWord &w)
+{
+    uint8_t bytes[WideWord::kMaxBytes];
+    w.toBytes(bytes);
+    u32(w.sizeBytes());
+    blob(bytes, w.sizeBytes());
+}
+
+void
+StateWriter::vecU8(const std::vector<uint8_t> &v)
+{
+    u64(v.size());
+    blob(v.data(), v.size());
+}
+
+void
+StateWriter::vecU32(const std::vector<uint32_t> &v)
+{
+    u64(v.size());
+    for (uint32_t x : v)
+        u32(x);
+}
+
+void
+StateWriter::vecU64(const std::vector<uint64_t> &v)
+{
+    u64(v.size());
+    for (uint64_t x : v)
+        u64(x);
+}
+
+const std::string &
+StateWriter::image() const
+{
+    assert(!open_ && "image() with a section still open");
+    return buf_;
+}
+
+// --- StateReader ------------------------------------------------------
+
+namespace {
+
+uint32_t
+getU32(const std::string &buf, size_t at)
+{
+    uint32_t v = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(static_cast<uint8_t>(buf[at + i]))
+            << (8 * i);
+    return v;
+}
+
+uint64_t
+getU64(const std::string &buf, size_t at)
+{
+    uint64_t v = 0;
+    for (unsigned i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(static_cast<uint8_t>(buf[at + i]))
+            << (8 * i);
+    return v;
+}
+
+} // namespace
+
+StateReader::StateReader(const std::string &image) : buf_(image)
+{
+    if (buf_.size() < kMagicLen ||
+        std::memcmp(buf_.data(), kStateMagic, kMagicLen) != 0)
+        throw StateError("save-state image lacks the cppcstate magic "
+                         "header (not a save-state, or truncated)");
+    cursor_ = kMagicLen;
+}
+
+uint32_t
+StateReader::enter(uint32_t tag)
+{
+    uint32_t version = 0;
+    if (!tryEnter(tag, &version))
+        throw StateError(strfmt(
+            "save-state has no '%s' section past offset %zu",
+            stateTagName(tag).c_str(), cursor_));
+    return version;
+}
+
+bool
+StateReader::tryEnter(uint32_t tag, uint32_t *version)
+{
+    assert(!in_section_ && "enter() while already inside a section");
+    size_t at = cursor_;
+    while (at < buf_.size()) {
+        if (buf_.size() - at < kSectionHeader)
+            throw StateError(strfmt(
+                "truncated section header at offset %zu", at));
+        const uint32_t sec_tag = getU32(buf_, at);
+        const uint32_t sec_ver = getU32(buf_, at + 4);
+        const uint64_t len = getU64(buf_, at + 8);
+        const size_t payload = at + kSectionHeader;
+        if (len > buf_.size() || payload + len + 4 > buf_.size())
+            throw StateError(strfmt(
+                "section '%s' at offset %zu claims %llu payload bytes "
+                "but the image ends first (truncated)",
+                stateTagName(sec_tag).c_str(), at,
+                static_cast<unsigned long long>(len)));
+        if (sec_tag != tag) {
+            // Unknown (or merely uninteresting) section: skip whole.
+            at = payload + len + 4;
+            continue;
+        }
+        const uint32_t want = getU32(buf_, payload + len);
+        const uint32_t got = fnv1a32(buf_.data() + payload, len);
+        if (want != got)
+            throw StateError(strfmt(
+                "section '%s' at offset %zu fails its CRC "
+                "(stored %08x, computed %08x): corrupted save-state",
+                stateTagName(sec_tag).c_str(), at, want, got));
+        cursor_ = payload;
+        section_end_ = payload + len;
+        in_section_ = true;
+        if (version)
+            *version = sec_ver;
+        return true;
+    }
+    return false;
+}
+
+void
+StateReader::leave()
+{
+    assert(in_section_ && "leave() without enter()");
+    cursor_ = section_end_ + 4; // skip unread payload + the CRC
+    in_section_ = false;
+}
+
+void
+StateReader::need(size_t n) const
+{
+    if (!in_section_)
+        throw StateError("payload read outside any section");
+    if (cursor_ + n > section_end_)
+        throw StateError(strfmt(
+            "section over-read: %zu bytes wanted, %zu remain "
+            "(format mismatch or truncated section)",
+            n, section_end_ - cursor_));
+}
+
+uint8_t
+StateReader::u8()
+{
+    need(1);
+    return static_cast<uint8_t>(buf_[cursor_++]);
+}
+
+uint32_t
+StateReader::u32()
+{
+    need(4);
+    uint32_t v = getU32(buf_, cursor_);
+    cursor_ += 4;
+    return v;
+}
+
+uint64_t
+StateReader::u64()
+{
+    need(8);
+    uint64_t v = getU64(buf_, cursor_);
+    cursor_ += 8;
+    return v;
+}
+
+double
+StateReader::f64()
+{
+    uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, 8);
+    return v;
+}
+
+void
+StateReader::blob(void *out, size_t n)
+{
+    need(n);
+    std::memcpy(out, buf_.data() + cursor_, n);
+    cursor_ += n;
+}
+
+std::string
+StateReader::str()
+{
+    const uint64_t n = u64();
+    need(n);
+    std::string s(buf_.data() + cursor_, n);
+    cursor_ += n;
+    return s;
+}
+
+WideWord
+StateReader::wide()
+{
+    const uint32_t n = u32();
+    if (n < 1 || n > WideWord::kMaxBytes)
+        throw StateError(strfmt(
+            "WideWord width %u out of range [1, %u]", n,
+            WideWord::kMaxBytes));
+    uint8_t bytes[WideWord::kMaxBytes];
+    blob(bytes, n);
+    return WideWord::fromBytes(bytes, n);
+}
+
+std::vector<uint8_t>
+StateReader::vecU8()
+{
+    const uint64_t n = u64();
+    need(n);
+    std::vector<uint8_t> v(n);
+    if (n)
+        blob(v.data(), n);
+    return v;
+}
+
+std::vector<uint32_t>
+StateReader::vecU32()
+{
+    const uint64_t n = u64();
+    need(n * 4);
+    std::vector<uint32_t> v(n);
+    for (uint64_t i = 0; i < n; ++i)
+        v[i] = u32();
+    return v;
+}
+
+std::vector<uint64_t>
+StateReader::vecU64()
+{
+    const uint64_t n = u64();
+    need(n * 8);
+    std::vector<uint64_t> v(n);
+    for (uint64_t i = 0; i < n; ++i)
+        v[i] = u64();
+    return v;
+}
+
+size_t
+StateReader::remaining() const
+{
+    return in_section_ ? section_end_ - cursor_ : 0;
+}
+
+// --- inspectState -----------------------------------------------------
+
+StateInspectReport
+inspectState(const std::string &image)
+{
+    StateInspectReport rep;
+    if (image.size() < kMagicLen ||
+        std::memcmp(image.data(), kStateMagic, kMagicLen) != 0) {
+        rep.error = "missing or wrong magic header";
+        return rep;
+    }
+    rep.magic_ok = true;
+    size_t at = kMagicLen;
+    while (at < image.size()) {
+        if (image.size() - at < kSectionHeader) {
+            rep.error = strfmt("trailing garbage: %zu bytes at offset "
+                               "%zu are too short for a section header",
+                               image.size() - at, at);
+            return rep;
+        }
+        StateSectionInfo info;
+        info.tag = getU32(image, at);
+        info.tag_name = stateTagName(info.tag);
+        info.version = getU32(image, at + 4);
+        info.payload_bytes = getU64(image, at + 8);
+        const size_t payload = at + kSectionHeader;
+        if (info.payload_bytes > image.size() ||
+            payload + info.payload_bytes + 4 > image.size()) {
+            rep.sections.push_back(info);
+            rep.error = strfmt(
+                "section '%s' at offset %zu is truncated",
+                info.tag_name.c_str(), at);
+            return rep;
+        }
+        const uint32_t want =
+            getU32(image, payload + info.payload_bytes);
+        info.crc_ok = want ==
+            fnv1a32(image.data() + payload, info.payload_bytes);
+        rep.sections.push_back(info);
+        at = payload + info.payload_bytes + 4;
+    }
+    return rep;
+}
+
+} // namespace cppc

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Versioned, CRC-sealed binary save-states (ROADMAP item 5).
+ *
+ * A save-state is a flat sequence of tagged sections behind a small
+ * magic header:
+ *
+ *   "cppcstate v1\n"
+ *   [ tag:u32 | version:u32 | payload_len:u64 | payload | crc:u32 ] ...
+ *
+ * Every integer is little-endian and fixed-width; the trailing crc is
+ * fnv1a32 over the payload bytes (the same durable hash the journal
+ * seals lines with).  The format is evolution-safe by construction:
+ *
+ *  - readers locate sections by tag and *skip* tags they do not know,
+ *    so a newer writer can add sections without breaking old readers;
+ *  - each section carries its own version, so a reader can branch on
+ *    it (or refuse versions from the future);
+ *  - a reader that consumes fewer bytes than a section holds simply
+ *    leaves the remainder behind on leave() — newer writers may append
+ *    fields to a section without a version bump as long as old fields
+ *    keep their meaning and order.
+ *
+ * Corruption is never silent: a bad magic, a truncated section, a CRC
+ * mismatch or an over-read all throw StateError, and callers decide
+ * whether that means "cold-start the cell" (the harness) or "fail the
+ * test" (the conformance battery).  DESIGN.md "Save-state format &
+ * evolution rules" is the normative description.
+ */
+
+#ifndef CPPC_STATE_STATE_IO_HH
+#define CPPC_STATE_STATE_IO_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/wide_word.hh"
+
+namespace cppc {
+
+/** Any structural defect in a save-state: truncation, bad CRC, wrong
+ *  magic, over-read, or a semantic mismatch a loader detects. */
+struct StateError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/** Four-character section tag packed little-endian ("CACH" etc.). */
+constexpr uint32_t
+stateTag(const char (&s)[5])
+{
+    return static_cast<uint32_t>(static_cast<uint8_t>(s[0])) |
+        static_cast<uint32_t>(static_cast<uint8_t>(s[1])) << 8 |
+        static_cast<uint32_t>(static_cast<uint8_t>(s[2])) << 16 |
+        static_cast<uint32_t>(static_cast<uint8_t>(s[3])) << 24;
+}
+
+/** Tag rendered back to 4 printable chars ('.' for non-printable). */
+std::string stateTagName(uint32_t tag);
+
+/** The magic header every save-state image starts with. */
+extern const char kStateMagic[];
+
+/**
+ * Serialises sections into an in-memory image.  Usage:
+ *
+ *   StateWriter w;
+ *   w.begin(stateTag("CACH"), 1);
+ *   w.u32(sets); ... payload primitives ...
+ *   w.end();
+ *   ... more sections ...
+ *   std::string image = w.image();
+ *
+ * Sections are flat (begin() inside an open section asserts); composite
+ * objects emit several consecutive sections instead of nesting.
+ */
+class StateWriter
+{
+  public:
+    StateWriter();
+
+    /** Open a section; exactly one may be open at a time. */
+    void begin(uint32_t tag, uint32_t version);
+    /** Close the open section: patch its length, append its CRC. */
+    void end();
+
+    // --- payload primitives (only valid inside an open section) ------
+    void u8(uint8_t v);
+    void u32(uint32_t v);
+    void u64(uint64_t v);
+    void f64(double v); ///< raw IEEE-754 bits, bit-exact round-trip
+    void blob(const void *data, size_t n);
+    /** Length-prefixed string (u64 length + raw bytes). */
+    void str(const std::string &s);
+    /** Width-prefixed WideWord (u32 sizeBytes + raw bytes). */
+    void wide(const WideWord &w);
+    void vecU8(const std::vector<uint8_t> &v);
+    void vecU32(const std::vector<uint32_t> &v);
+    void vecU64(const std::vector<uint64_t> &v);
+
+    /** The complete image (magic + all closed sections). */
+    const std::string &image() const;
+
+  private:
+    std::string buf_;
+    size_t payload_at_ = 0; ///< payload start of the open section
+    bool open_ = false;
+};
+
+/**
+ * Reads an image written by StateWriter.  enter(tag) scans forward
+ * from the cursor, skipping (and CRC-ignoring) sections with other
+ * tags; the entered section's CRC is verified before any payload read.
+ * All payload reads bounds-check against the section end and throw
+ * StateError on over-read; leave() discards any unread remainder.
+ */
+class StateReader
+{
+  public:
+    /** @throws StateError on a missing or wrong magic header. */
+    explicit StateReader(const std::string &image);
+
+    /**
+     * Enter the next section tagged @p tag at or after the cursor,
+     * skipping unknown sections.  @return the section's version.
+     * @throws StateError when no such section remains or its CRC or
+     * framing is bad.
+     */
+    uint32_t enter(uint32_t tag);
+
+    /** Like enter(), but returns false instead of throwing when the
+     *  tag is absent; other defects still throw. */
+    bool tryEnter(uint32_t tag, uint32_t *version = nullptr);
+
+    /** Leave the current section, skipping unread payload. */
+    void leave();
+
+    // --- payload primitives (only valid inside an entered section) ---
+    uint8_t u8();
+    uint32_t u32();
+    uint64_t u64();
+    double f64();
+    void blob(void *out, size_t n);
+    std::string str();
+    WideWord wide();
+    std::vector<uint8_t> vecU8();
+    std::vector<uint32_t> vecU32();
+    std::vector<uint64_t> vecU64();
+
+    /** Unread payload bytes of the current section. */
+    size_t remaining() const;
+
+  private:
+    void need(size_t n) const; ///< throw unless n payload bytes remain
+
+    const std::string &buf_;
+    size_t cursor_ = 0;      ///< next unread byte
+    size_t section_end_ = 0; ///< payload end of the entered section
+    bool in_section_ = false;
+};
+
+/** One section as seen by the inspector. */
+struct StateSectionInfo
+{
+    uint32_t tag = 0;
+    std::string tag_name;
+    uint32_t version = 0;
+    uint64_t payload_bytes = 0;
+    bool crc_ok = false;
+};
+
+/** Structural report over a whole image (for `cppcsim state inspect`). */
+struct StateInspectReport
+{
+    bool magic_ok = false;
+    /// Empty when the image parses end to end; otherwise the defect.
+    std::string error;
+    std::vector<StateSectionInfo> sections;
+
+    bool ok() const
+    {
+        if (!magic_ok || !error.empty())
+            return false;
+        for (const StateSectionInfo &s : sections)
+            if (!s.crc_ok)
+                return false;
+        return true;
+    }
+};
+
+/** Walk every section of @p image, verifying framing and CRCs.  Never
+ *  throws: defects land in the report. */
+StateInspectReport inspectState(const std::string &image);
+
+} // namespace cppc
+
+#endif // CPPC_STATE_STATE_IO_HH

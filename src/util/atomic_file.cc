@@ -7,6 +7,8 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "util/crash_point.hh"
+#include "util/fs_fault.hh"
 #include "util/logging.hh"
 
 namespace cppc {
@@ -57,11 +59,19 @@ atomicWriteFile(const std::string &path, const std::string &contents)
     }
 
     size_t off = 0;
+    bool first_chunk = true;
     while (off < contents.size()) {
-        ssize_t n = ::write(fd, contents.data() + off,
-                            contents.size() - off);
+        size_t want = contents.size() - off;
+        // Mid-write crash site: split the first write so a kill here
+        // provably leaves a torn temp sibling, never a torn target.
+        if (first_chunk && want > 1)
+            want /= 2;
+        const size_t budget = fsFaultWriteBudget(want);
+        ssize_t n = budget == 0
+            ? -1
+            : ::write(fd, contents.data() + off, budget);
         if (n < 0) {
-            if (errno == EINTR)
+            if (budget != 0 && errno == EINTR)
                 continue;
             int err = errno;
             ::close(fd);
@@ -71,6 +81,10 @@ atomicWriteFile(const std::string &path, const std::string &contents)
             return false;
         }
         off += static_cast<size_t>(n);
+        if (first_chunk) {
+            first_chunk = false;
+            crashPoint("atomic.midwrite");
+        }
     }
     if (::fsync(fd) != 0) {
         int err = errno;
@@ -85,6 +99,15 @@ atomicWriteFile(const std::string &path, const std::string &contents)
         warn("close of %s failed: %s", tmp.c_str(), std::strerror(err));
         return false;
     }
+    crashPoint("atomic.rename.pre");
+    if (fsFaultFailRename()) {
+        // The injected crash-between-write-and-rename: the complete
+        // temp sibling is deliberately left behind, as a real crash
+        // would leave it, so resume paths must tolerate droppings.
+        warn("rename %s -> %s failed: %s (fault injected)", tmp.c_str(),
+             path.c_str(), std::strerror(errno));
+        return false;
+    }
     if (::rename(tmp.c_str(), path.c_str()) != 0) {
         int err = errno;
         ::unlink(tmp.c_str());
@@ -93,6 +116,7 @@ atomicWriteFile(const std::string &path, const std::string &contents)
         return false;
     }
     syncDir(dirOf(path));
+    crashPoint("atomic.rename.post");
     return true;
 }
 
@@ -113,6 +137,12 @@ atomicPublishFile(const std::string &tmp_path, const std::string &path)
         return false;
     }
     ::close(fd);
+    crashPoint("atomic.rename.pre");
+    if (fsFaultFailRename()) {
+        warn("rename %s -> %s failed: %s (fault injected)",
+             tmp_path.c_str(), path.c_str(), std::strerror(errno));
+        return false;
+    }
     if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
         int err = errno;
         ::unlink(tmp_path.c_str());
@@ -121,6 +151,7 @@ atomicPublishFile(const std::string &tmp_path, const std::string &path)
         return false;
     }
     syncDir(dirOf(path));
+    crashPoint("atomic.rename.post");
     return true;
 }
 

@@ -1,0 +1,106 @@
+#include "util/crash_point.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace cppc {
+
+namespace {
+
+struct CrashConfig
+{
+    bool armed = false;       ///< either env var present
+    std::string kill_site;    ///< empty = trace-only
+    unsigned long kill_at = 0;
+    std::string trace_path;
+};
+
+const CrashConfig &
+config()
+{
+    static const CrashConfig cfg = [] {
+        CrashConfig c;
+        // CPPC_CRASH_AT lives in the environment by contract; it
+        // kills the process, never feeds a result.
+        // cppc-lint: allow(D1): env-armed crash injector
+        if (const char *at = std::getenv("CPPC_CRASH_AT")) {
+            const char *colon = std::strrchr(at, ':');
+            if (colon && colon != at) {
+                c.kill_site.assign(at, colon - at);
+                c.kill_at = std::strtoul(colon + 1, nullptr, 10);
+                if (c.kill_at == 0)
+                    c.kill_at = 1;
+                c.armed = true;
+            }
+        }
+        // CPPC_CRASH_TRACE is the chaos driver's site-discovery
+        // channel; trace output is not a result payload.
+        // cppc-lint: allow(D1): env-armed crash tracer
+        if (const char *tr = std::getenv("CPPC_CRASH_TRACE")) {
+            c.trace_path = tr;
+            c.armed = true;
+        }
+        return c;
+    }();
+    return cfg;
+}
+
+/** Cheap disarmed fast path: one relaxed load after first call. */
+std::atomic<int> g_armed{-1};
+
+void
+traceSite(const char *site)
+{
+    static std::mutex mu;
+    static std::set<std::string> seen;
+    std::lock_guard<std::mutex> lock(mu);
+    if (!seen.insert(site).second)
+        return;
+    // O_APPEND per line so a kill right after the hit still leaves the
+    // site on disk for the chaos driver.
+    int fd = ::open(config().trace_path.c_str(),
+                    O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0)
+        return;
+    std::string line = std::string(site) + "\n";
+    ssize_t ignored = ::write(fd, line.data(), line.size());
+    (void)ignored;
+    ::close(fd);
+}
+
+} // namespace
+
+void
+crashPoint(const char *site)
+{
+    int armed = g_armed.load(std::memory_order_relaxed);
+    if (armed == 0)
+        return;
+    if (armed < 0) {
+        armed = config().armed ? 1 : 0;
+        g_armed.store(armed, std::memory_order_relaxed);
+        if (!armed)
+            return;
+    }
+    const CrashConfig &cfg = config();
+    if (!cfg.trace_path.empty())
+        traceSite(site);
+    if (!cfg.kill_site.empty() && cfg.kill_site == site) {
+        static std::atomic<unsigned long> hits{0};
+        if (hits.fetch_add(1, std::memory_order_relaxed) + 1 ==
+            cfg.kill_at) {
+            // Die like a SIGKILL: no flushes, no destructors, no
+            // atexit.  Anything not already durable is lost.
+            _exit(kCrashExitCode);
+        }
+    }
+}
+
+} // namespace cppc

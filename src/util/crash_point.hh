@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Deterministic crash-point injection for the chaos battery.
+ *
+ * Durability code calls crashPoint("site") at every instant where a
+ * SIGKILL would be interesting — mid-temp-write, before and after the
+ * committing rename, before a journal append, before a ledger publish.
+ * In normal operation the call is a no-op costing one relaxed atomic
+ * load.  Two environment variables arm it:
+ *
+ *   CPPC_CRASH_AT=<site>:<n>  _exit(kCrashExitCode) the n-th time
+ *                             (1-based) <site> is reached — the
+ *                             process dies as abruptly as a SIGKILL,
+ *                             with no destructors, flushes or atexit
+ *                             handlers.
+ *   CPPC_CRASH_TRACE=<file>   append every distinct site name (one per
+ *                             line, first hit only) to <file>, so a
+ *                             chaos driver discovers the site registry
+ *                             from a clean reference run instead of
+ *                             hard-coding it.
+ *
+ * tools/chaos_resume.py iterates every traced site and asserts that a
+ * run killed there resumes bit-identically.
+ */
+
+#ifndef CPPC_UTIL_CRASH_POINT_HH
+#define CPPC_UTIL_CRASH_POINT_HH
+
+namespace cppc {
+
+/** Exit status of an injected crash (distinguishable from real rc). */
+constexpr int kCrashExitCode = 86;
+
+/**
+ * Registered crash site.  No-op unless CPPC_CRASH_AT / CPPC_CRASH_TRACE
+ * is set (checked once).  Thread-safe.
+ */
+void crashPoint(const char *site);
+
+} // namespace cppc
+
+#endif // CPPC_UTIL_CRASH_POINT_HH

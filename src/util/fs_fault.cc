@@ -1,0 +1,122 @@
+#include "util/fs_fault.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace cppc {
+
+namespace {
+
+std::atomic<int> g_mode{-1}; ///< -1 = env not yet consulted
+std::atomic<unsigned> g_skip{0};
+std::atomic<unsigned> g_ops{0};
+/// ShortWrite: half-write delivered, next write must fail.
+std::atomic<bool> g_short_fired{false};
+
+FsFaultMode
+envMode()
+{
+    // CPPC_FS_FAULT lives in the environment by contract; it injects
+    // I/O failures, never feeds a result.
+    // cppc-lint: allow(D1): env-armed filesystem fault shim
+    const char *env = std::getenv("CPPC_FS_FAULT");
+    if (!env || !*env)
+        return FsFaultMode::None;
+    std::string spec(env);
+    unsigned skip = 0;
+    size_t colon = spec.rfind(':');
+    if (colon != std::string::npos) {
+        skip = static_cast<unsigned>(
+            std::strtoul(spec.c_str() + colon + 1, nullptr, 10));
+        spec.resize(colon);
+    }
+    FsFaultMode mode = FsFaultMode::None;
+    if (spec == "enospc")
+        mode = FsFaultMode::Enospc;
+    else if (spec == "short-write")
+        mode = FsFaultMode::ShortWrite;
+    else if (spec == "torn-rename")
+        mode = FsFaultMode::TornRename;
+    if (mode != FsFaultMode::None)
+        g_skip.store(skip, std::memory_order_relaxed);
+    return mode;
+}
+
+FsFaultMode
+mode()
+{
+    int m = g_mode.load(std::memory_order_relaxed);
+    if (m < 0) {
+        m = static_cast<int>(envMode());
+        g_mode.store(m, std::memory_order_relaxed);
+    }
+    return static_cast<FsFaultMode>(m);
+}
+
+/** Count one gated op; true once the skip budget is exhausted. */
+bool
+engaged()
+{
+    unsigned op = g_ops.fetch_add(1, std::memory_order_relaxed);
+    return op >= g_skip.load(std::memory_order_relaxed);
+}
+
+} // namespace
+
+void
+fsFaultArm(FsFaultMode m, unsigned skip_ops)
+{
+    g_skip.store(skip_ops, std::memory_order_relaxed);
+    g_ops.store(0, std::memory_order_relaxed);
+    g_short_fired.store(false, std::memory_order_relaxed);
+    g_mode.store(static_cast<int>(m), std::memory_order_relaxed);
+}
+
+void
+fsFaultClear()
+{
+    fsFaultArm(FsFaultMode::None, 0);
+}
+
+FsFaultMode
+fsFaultMode()
+{
+    return mode();
+}
+
+size_t
+fsFaultWriteBudget(size_t want)
+{
+    switch (mode()) {
+      case FsFaultMode::None:
+      case FsFaultMode::TornRename:
+        return want;
+      case FsFaultMode::Enospc:
+        if (!engaged())
+            return want;
+        errno = ENOSPC;
+        return 0;
+      case FsFaultMode::ShortWrite:
+        if (!engaged())
+            return want;
+        if (!g_short_fired.exchange(true, std::memory_order_relaxed))
+            return want > 1 ? want / 2 : want; // torn half on disk
+        errno = ENOSPC;
+        return 0;
+    }
+    return want;
+}
+
+bool
+fsFaultFailRename()
+{
+    if (mode() != FsFaultMode::TornRename || !engaged())
+        return false;
+    errno = EIO;
+    return true;
+}
+
+} // namespace cppc

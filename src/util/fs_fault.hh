@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Filesystem fault shim: a reusable failing disk for durability tests.
+ *
+ * Generalises the ad-hoc "delete the directory out from under the
+ * writer" trick of tests/test_atomic_file.cc into injectable fault
+ * modes that atomic_file.cc consults on its write and rename steps:
+ *
+ *   Enospc      every write() fails immediately with ENOSPC
+ *   ShortWrite  the first write() stores only half the buffer, the
+ *               next fails with ENOSPC — a disk filling up mid-file,
+ *               leaving a torn temp sibling for cleanup to remove
+ *   TornRename  the committing rename() fails with EIO and the temp
+ *               file is deliberately left behind — the on-disk layout
+ *               a crash between write and rename produces
+ *
+ * Arm programmatically (FsFaultScope in tests) or via the environment
+ * (CPPC_FS_FAULT=enospc|short-write|torn-rename[:<skip>], where <skip>
+ * write/rename operations succeed before the fault engages) for
+ * cross-process chaos runs.  Thread-safe; disarmed is one relaxed
+ * atomic load.
+ */
+
+#ifndef CPPC_UTIL_FS_FAULT_HH
+#define CPPC_UTIL_FS_FAULT_HH
+
+#include <cstddef>
+
+namespace cppc {
+
+enum class FsFaultMode
+{
+    None,
+    Enospc,
+    ShortWrite,
+    TornRename,
+};
+
+/** Arm the shim: fault engages after @p skip_ops successful ops. */
+void fsFaultArm(FsFaultMode mode, unsigned skip_ops = 0);
+
+/** Disarm and reset counters. */
+void fsFaultClear();
+
+/** Currently armed mode (env var folded in on first query). */
+FsFaultMode fsFaultMode();
+
+// --- consulted by atomic_file.cc -------------------------------------
+
+/**
+ * Gate one write() of @p want bytes.  @return the byte budget for this
+ * call: @p want (no fault), a smaller count (short write), or 0 with
+ * errno set (the write must fail).
+ */
+size_t fsFaultWriteBudget(size_t want);
+
+/**
+ * Gate the committing rename().  @return true when the rename must
+ * fail (errno set); the caller leaves the temp file behind, exactly
+ * like a crash between write and rename.
+ */
+bool fsFaultFailRename();
+
+/** RAII arm/clear for tests. */
+class FsFaultScope
+{
+  public:
+    explicit FsFaultScope(FsFaultMode mode, unsigned skip_ops = 0)
+    {
+        fsFaultArm(mode, skip_ops);
+    }
+    ~FsFaultScope() { fsFaultClear(); }
+    FsFaultScope(const FsFaultScope &) = delete;
+    FsFaultScope &operator=(const FsFaultScope &) = delete;
+};
+
+} // namespace cppc
+
+#endif // CPPC_UTIL_FS_FAULT_HH

@@ -10,6 +10,7 @@
 #ifndef CPPC_UTIL_RNG_HH
 #define CPPC_UTIL_RNG_HH
 
+#include <array>
 #include <cassert>
 #include <cstdint>
 
@@ -58,6 +59,22 @@ class Rng
      * lambda, normal approximation above 64).
      */
     uint64_t poisson(double lambda);
+
+    /**
+     * The full generator state, for save-states: restoring it with
+     * setState() resumes the stream exactly where state() captured it.
+     */
+    std::array<uint64_t, 4>
+    state() const
+    {
+        return {s_[0], s_[1], s_[2], s_[3]};
+    }
+    void
+    setState(const std::array<uint64_t, 4> &s)
+    {
+        for (unsigned i = 0; i < 4; ++i)
+            s_[i] = s[i];
+    }
 
     /** Geometric-like reuse-distance draw in [0, n) biased toward 0. */
     uint64_t

@@ -1,6 +1,8 @@
 #include "verify/fuzzer.hh"
 
+#include <array>
 #include <cstring>
+#include <map>
 #include <memory>
 
 #include "cache/memory_level.hh"
@@ -19,6 +21,7 @@
 #include "protection/replication_cache.hh"
 #include "protection/secded.hh"
 #include "protection/two_d_parity.hh"
+#include "state/state_io.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 #include "verify/golden_model.hh"
@@ -320,24 +323,47 @@ generateOps(uint64_t seed, unsigned n_ops)
     return ops;
 }
 
-ReplayResult
-replaySequence(const FuzzSchemeSpec &spec, const std::vector<FuzzOp> &ops,
-               uint64_t seed, const std::atomic<bool> *cancel)
+/**
+ * The resumable replay state behind ReplaySession: the rig, the strike
+ * RNG, the op cursor and the accumulated result counters — everything
+ * the replay loop carries from one op to the next.
+ */
+struct ReplaySession::Impl
 {
-    ReplayResult res;
-    ReplayRig rig(spec);
-    WriteBackCache &cache = *rig.cache;
-    const CacheGeometry &g = rig.geom;
-    const unsigned row_bits = g.unit_bytes * 8;
-
-    FaultInjector injector(cache);
-    StrikePlacer placer(g.numRows(), row_bits);
+    FuzzSchemeSpec spec;
+    uint64_t seed;
+    ReplayRig rig;
+    FaultInjector injector;
+    StrikePlacer placer;
     // Only consulted for sub-unity strike densities (never drawn at
     // density 1.0), but seeded anyway so a replay is a pure function
     // of (spec, ops, seed).
-    Rng strike_rng(seed ^ 0x5deece66dull);
+    Rng strike_rng;
+    CppcScheme *cppc;
+    ReplayResult res;
+    size_t pos = 0;
 
-    auto *cppc = dynamic_cast<CppcScheme *>(cache.scheme());
+    Impl(const FuzzSchemeSpec &s, uint64_t sd)
+        : spec(s), seed(sd), rig(spec), injector(*rig.cache),
+          placer(rig.geom.numRows(), rig.geom.unit_bytes * 8),
+          strike_rng(sd ^ 0x5deece66dull),
+          cppc(dynamic_cast<CppcScheme *>(rig.cache->scheme()))
+    {
+    }
+
+    bool run(const std::vector<FuzzOp> &ops, size_t stop,
+             const std::atomic<bool> *cancel);
+    std::string save() const;
+    void load(const std::string &image);
+};
+
+bool
+ReplaySession::Impl::run(const std::vector<FuzzOp> &ops, size_t stop,
+                         const std::atomic<bool> *cancel)
+{
+    WriteBackCache &cache = *rig.cache;
+    const CacheGeometry &g = rig.geom;
+    const unsigned row_bits = g.unit_bytes * 8;
 
     auto fail = [&](size_t op_idx, std::string why) {
         res.ok = false;
@@ -352,7 +378,9 @@ replaySequence(const FuzzSchemeSpec &spec, const std::vector<FuzzOp> &ops,
     std::vector<Row> struck;
     std::vector<StrikeExpect> expects;
 
-    for (size_t i = 0; i < ops.size() && res.ok; ++i) {
+    if (stop > ops.size())
+        stop = ops.size();
+    for (size_t i = pos; i < stop && res.ok; ++i, pos = i) {
         if (cancel && cancel->load(std::memory_order_relaxed))
             throw CancelledError(strfmt(
                 "fuzz replay cancelled at op %zu of %zu", i,
@@ -594,8 +622,120 @@ replaySequence(const FuzzSchemeSpec &spec, const std::vector<FuzzOp> &ops,
         if (res.ok && rig.probe.failed())
             fail(i, rig.probe.violation());
     }
-    res.checks = rig.probe.checksRun();
-    return res;
+    return res.ok;
+}
+
+std::string
+ReplaySession::Impl::save() const
+{
+    StateWriter w;
+    w.begin(stateTag("SESS"), 1);
+    w.u64(seed);
+    w.u64(pos);
+    for (uint64_t word : strike_rng.state())
+        w.u64(word);
+    w.u64(res.strikes);
+    w.u64(res.corrected);
+    w.u64(res.refetched);
+    w.u64(res.dues);
+    w.u64(res.misrepairs);
+    w.end();
+    rig.cache->saveState(w);
+    rig.buffer.saveState(w);
+    rig.mem.saveState(w);
+    rig.golden.saveState(w);
+    rig.probe.saveState(w);
+    return w.image();
+}
+
+void
+ReplaySession::Impl::load(const std::string &image)
+{
+    StateReader r(image);
+    r.enter(stateTag("SESS"));
+    if (r.u64() != seed)
+        throw StateError("replay snapshot was taken under a different "
+                         "seed");
+    const uint64_t snap_pos = r.u64();
+    std::array<uint64_t, 4> rng_state;
+    for (uint64_t &word : rng_state)
+        word = r.u64();
+    ReplayResult restored;
+    restored.strikes = r.u64();
+    restored.corrected = r.u64();
+    restored.refetched = r.u64();
+    restored.dues = r.u64();
+    restored.misrepairs = r.u64();
+    r.leave();
+    rig.cache->loadState(r);
+    rig.buffer.loadState(r);
+    rig.mem.loadState(r);
+    rig.golden.loadState(r);
+    rig.probe.loadState(r);
+    // Commit only after every section parsed cleanly.
+    pos = snap_pos;
+    strike_rng.setState(rng_state);
+    res = restored;
+}
+
+ReplaySession::ReplaySession(const FuzzSchemeSpec &spec, uint64_t seed)
+    : impl_(std::make_unique<Impl>(spec, seed))
+{
+}
+
+ReplaySession::~ReplaySession() = default;
+
+size_t
+ReplaySession::position() const
+{
+    return impl_->pos;
+}
+
+bool
+ReplaySession::failed() const
+{
+    return !impl_->res.ok;
+}
+
+bool
+ReplaySession::run(const std::vector<FuzzOp> &ops, size_t stop,
+                   const std::atomic<bool> *cancel)
+{
+    return impl_->run(ops, stop, cancel);
+}
+
+ReplayResult
+ReplaySession::result() const
+{
+    ReplayResult out = impl_->res;
+    out.checks = impl_->rig.probe.checksRun();
+    return out;
+}
+
+std::string
+ReplaySession::saveState() const
+{
+    return impl_->save();
+}
+
+void
+ReplaySession::loadState(const std::string &image)
+{
+    // Strong guarantee: restore into a freshly built twin and swap it
+    // in only on success, so a corrupt or truncated image can never
+    // leave this session half-applied.
+    auto fresh = std::make_unique<Impl>(impl_->spec, impl_->seed);
+    fresh->load(image);
+    impl_ = std::move(fresh);
+}
+
+ReplayResult
+replaySequence(const FuzzSchemeSpec &spec, const std::vector<FuzzOp> &ops,
+               uint64_t seed, const std::atomic<bool> *cancel)
+{
+    ReplaySession session(spec, seed);
+    session.run(ops, ops.size(), cancel);
+    return session.result();
 }
 
 FuzzOneResult
@@ -608,11 +748,47 @@ fuzzOne(const FuzzSchemeSpec &spec, uint64_t seed, unsigned n_ops,
     if (result.replay.ok)
         return result;
 
-    std::function<bool(const std::vector<FuzzOp> &)> still_fails =
-        [&](const std::vector<FuzzOp> &candidate) {
-            return !replaySequence(spec, candidate, seed, cancel).ok;
-        };
-    result.minimal = shrinkOps<FuzzOp>(std::move(ops), still_fails);
+    // Snapshot-driven shrink: mid-sequence save-states taken at stride
+    // boundaries inside each candidate's shared prefix let the next
+    // candidate resume from the deepest one at or before *its* prefix
+    // instead of replaying from seed zero.  Verdicts are unchanged —
+    // a resumed session is bit-identical to a from-scratch one — so
+    // the minimal sequence matches plain ddmin; only replay effort
+    // differs.
+    constexpr size_t kSnapStride = 16;
+    std::map<size_t, std::string> snaps;
+    ShrinkStats &stats = result.shrink;
+
+    auto fails = [&](const std::vector<FuzzOp> &candidate,
+                     size_t shared_prefix) {
+        ReplaySession session(spec, seed);
+        auto it = snaps.upper_bound(shared_prefix);
+        if (it != snaps.begin()) {
+            session.loadState(std::prev(it)->second);
+            ++stats.snapshots_resumed;
+        }
+        const size_t resumed_at = session.position();
+        size_t next = resumed_at - resumed_at % kSnapStride + kSnapStride;
+        for (; next <= shared_prefix; next += kSnapStride) {
+            if (!session.run(candidate, next, cancel))
+                break;
+            if (!snaps.count(next)) {
+                snaps[next] = session.saveState();
+                ++stats.snapshots_taken;
+            }
+        }
+        session.run(candidate, candidate.size(), cancel);
+        stats.ops_replayed += session.position() - resumed_at;
+        stats.ops_replayed_baseline += session.position();
+        return session.failed();
+    };
+    auto rebased = [&](size_t new_prefix) {
+        // Snapshots beyond the new base's shared prefix describe the
+        // old sequence; drop them.
+        snaps.erase(snaps.upper_bound(new_prefix), snaps.end());
+    };
+    result.minimal = shrinkOpsPrefix<FuzzOp>(std::move(ops), fails,
+                                             rebased);
     // Replay the minimal sequence so the reported violation and
     // failing-op index describe the transcript the user will see.
     result.replay = replaySequence(spec, result.minimal, seed);

@@ -162,12 +162,83 @@ ReplayResult replaySequence(const FuzzSchemeSpec &spec,
                             uint64_t seed,
                             const std::atomic<bool> *cancel = nullptr);
 
+/**
+ * The replay loop of replaySequence() as a resumable object: the whole
+ * rig (cache + scheme, write-back buffer, main memory, golden model,
+ * invariant probe), the strike RNG, the op cursor and the result
+ * counters live across run() calls, and saveState()/loadState()
+ * round-trip all of it through the versioned save-state format.
+ *
+ * Two sessions built from the same (spec, seed) that execute the same
+ * ops produce bit-identical results whether they run straight through
+ * or snapshot/restore at any clean op boundary — the property the
+ * snapshot-driven shrinker and the harness fuzz checkpoints rely on.
+ */
+class ReplaySession
+{
+  public:
+    ReplaySession(const FuzzSchemeSpec &spec, uint64_t seed);
+    ~ReplaySession();
+
+    ReplaySession(const ReplaySession &) = delete;
+    ReplaySession &operator=(const ReplaySession &) = delete;
+
+    /** Index of the next op to execute. */
+    size_t position() const;
+
+    /** True once a contract violation has stopped the session. */
+    bool failed() const;
+
+    /**
+     * Execute ops [position(), @p stop) of @p ops, stopping early on a
+     * violation.  Repeated calls must pass the same sequence (with the
+     * executed prefix unchanged).  @return true while still clean.
+     */
+    bool run(const std::vector<FuzzOp> &ops, size_t stop,
+             const std::atomic<bool> *cancel = nullptr);
+
+    /** Result so far; checks reflects invariant sweeps executed. */
+    ReplayResult result() const;
+
+    /**
+     * Snapshot the complete session.  Only meaningful at a clean op
+     * boundary (no recorded violation).
+     */
+    std::string saveState() const;
+
+    /**
+     * Restore a snapshot taken by a session built from the same
+     * (spec, seed).  @throws StateError on corruption or mismatch —
+     * with the strong guarantee: a throwing load leaves the session
+     * exactly as it was.
+     */
+    void loadState(const std::string &image);
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/** Replay-effort accounting of a snapshot-driven shrink. */
+struct ShrinkStats
+{
+    /// ops actually executed across all candidate replays
+    uint64_t ops_replayed = 0;
+    /// ops a from-seed-zero ddmin would have executed for the same
+    /// candidates (the saving is purely the snapshot prefix skip)
+    uint64_t ops_replayed_baseline = 0;
+    uint64_t snapshots_taken = 0;
+    uint64_t snapshots_resumed = 0;
+};
+
 /** Verdict of one (scheme, seed) fuzz including shrinking. */
 struct FuzzOneResult
 {
     ReplayResult replay;
     /** Minimal failing subsequence; empty when the replay passed. */
     std::vector<FuzzOp> minimal;
+    /** Shrink replay effort (zero when the replay passed). */
+    ShrinkStats shrink;
 
     bool failed() const { return !replay.ok; }
 };
@@ -176,6 +247,13 @@ struct FuzzOneResult
  * Generate, replay and — on failure — shrink one seed against one
  * scheme.  The minimal sequence still fails replaySequence() with the
  * same seed, which is the replay recipe printed to the user.
+ *
+ * Shrinking replays candidates through snapshot-resumed
+ * ReplaySessions: candidates sharing a prefix with the current base
+ * resume from the deepest cached snapshot instead of seed zero.  The
+ * oracle's verdicts — and hence the minimal sequence — are identical
+ * to a from-scratch ddmin; only the replay effort differs (reported
+ * in FuzzOneResult::shrink).
  */
 FuzzOneResult fuzzOne(const FuzzSchemeSpec &spec, uint64_t seed,
                       unsigned n_ops,

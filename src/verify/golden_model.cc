@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "state/state_io.hh"
 #include "util/logging.hh"
 
 namespace cppc {
@@ -37,6 +38,25 @@ GoldenModel::read(Addr addr, unsigned size, uint8_t *out) const
         panic("golden read at 0x%llx size %u outside the modelled space",
               static_cast<unsigned long long>(addr), size);
     std::memcpy(out, bytes_.data() + addr, size);
+}
+
+void
+GoldenModel::saveState(StateWriter &w) const
+{
+    w.begin(stateTag("GOLD"), 1);
+    w.vecU8(bytes_);
+    w.end();
+}
+
+void
+GoldenModel::loadState(StateReader &r)
+{
+    r.enter(stateTag("GOLD"));
+    std::vector<uint8_t> bytes = r.vecU8();
+    if (bytes.size() != bytes_.size())
+        throw StateError("golden model space size mismatch");
+    bytes_ = std::move(bytes);
+    r.leave();
 }
 
 bool

@@ -22,6 +22,9 @@
 
 namespace cppc {
 
+class StateWriter;
+class StateReader;
+
 class GoldenModel
 {
   public:
@@ -42,6 +45,11 @@ class GoldenModel
 
     /** True iff @p data matches the golden bytes at @p addr. */
     bool matches(Addr addr, const uint8_t *data, unsigned size) const;
+
+    /** Serialise the whole image as one "GOLD" section. */
+    void saveState(StateWriter &w) const;
+    /** Inverse of saveState(); the space size must match. */
+    void loadState(StateReader &r);
 
   private:
     std::vector<uint8_t> bytes_;

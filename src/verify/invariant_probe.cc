@@ -3,6 +3,7 @@
 #include <set>
 
 #include "cppc/cppc_scheme.hh"
+#include "state/state_io.hh"
 #include "util/logging.hh"
 
 namespace cppc {
@@ -160,6 +161,26 @@ InvariantProbe::checkGoldenCoherence(std::string *why) const
         }
     }
     return true;
+}
+
+void
+InvariantProbe::saveState(StateWriter &w) const
+{
+    w.begin(stateTag("PROB"), 1);
+    w.u64(checks_);
+    w.u8(armed_ ? 1 : 0);
+    w.str(violation_);
+    w.end();
+}
+
+void
+InvariantProbe::loadState(StateReader &r)
+{
+    r.enter(stateTag("PROB"));
+    checks_ = r.u64();
+    armed_ = r.u8() != 0;
+    violation_ = r.str();
+    r.leave();
 }
 
 } // namespace cppc

@@ -36,6 +36,9 @@
 
 namespace cppc {
 
+class StateWriter;
+class StateReader;
+
 class InvariantProbe : public OpObserver
 {
   public:
@@ -69,6 +72,15 @@ class InvariantProbe : public OpObserver
     uint64_t checksRun() const { return checks_; }
 
     void reset() { violation_.clear(); }
+
+    /**
+     * Serialise the probe's dynamic state (checks counter, armed flag,
+     * recorded violation) as one "PROB" section.  Restoring the checks
+     * counter keeps ReplayResult::checks bit-identical across a
+     * snapshot/resume boundary.
+     */
+    void saveState(StateWriter &w) const;
+    void loadState(StateReader &r);
 
   private:
     bool checkParity(std::string *why) const;

@@ -81,6 +81,79 @@ shrinkOps(std::vector<Op> failing,
     return failing;
 }
 
+/**
+ * Prefix-aware ddmin: the same candidate schedule and convergence
+ * guarantee as shrinkOps(), but every oracle call is told how many
+ * leading ops the candidate shares with the *current base* sequence,
+ * and the oracle learns when the base changes.  A snapshot-replaying
+ * oracle can then resume each candidate from a cached mid-sequence
+ * save-state instead of seed zero — candidates only ever mutate the
+ * sequence at or after the shared prefix, so any snapshot taken at an
+ * op index <= shared_prefix is valid for the candidate too.
+ *
+ * @param failing a sequence for which the oracle returns true
+ * @param fails   fails(candidate, shared_prefix): true iff the
+ *                candidate still reproduces; its first shared_prefix
+ *                ops are identical to the base's first shared_prefix
+ * @param rebased rebased(new_prefix): the candidate was accepted as
+ *                the new base; snapshots taken at indices beyond
+ *                new_prefix no longer describe it and must be dropped
+ */
+template <typename Op>
+std::vector<Op>
+shrinkOpsPrefix(
+    std::vector<Op> failing,
+    const std::function<bool(const std::vector<Op> &, size_t)> &fails,
+    const std::function<void(size_t)> &rebased)
+{
+    // Phase 1: chunked removal, halving granularity as chunks stick.
+    size_t chunk = failing.size() / 2;
+    while (chunk >= 1 && failing.size() > 1) {
+        bool removed_any = false;
+        size_t start = 0;
+        while (start < failing.size()) {
+            std::vector<Op> candidate;
+            candidate.reserve(failing.size());
+            candidate.insert(candidate.end(), failing.begin(),
+                             failing.begin() + start);
+            size_t stop = start + chunk < failing.size()
+                ? start + chunk
+                : failing.size();
+            candidate.insert(candidate.end(), failing.begin() + stop,
+                             failing.end());
+            // Ops [0, start) are untouched: that is the shared prefix.
+            if (!candidate.empty() && fails(candidate, start)) {
+                failing = std::move(candidate);
+                removed_any = true;
+                rebased(start);
+                // Re-test the same offset: the next chunk slid into it.
+            } else {
+                start += chunk;
+            }
+        }
+        if (!removed_any)
+            chunk /= 2;
+    }
+
+    // Phase 2: one-at-a-time sweep until a full pass removes nothing.
+    bool removed_any = true;
+    while (removed_any && failing.size() > 1) {
+        removed_any = false;
+        for (size_t i = 0; i < failing.size();) {
+            std::vector<Op> candidate = failing;
+            candidate.erase(candidate.begin() + i);
+            if (fails(candidate, i)) {
+                failing = std::move(candidate);
+                removed_any = true;
+                rebased(i);
+            } else {
+                ++i;
+            }
+        }
+    }
+    return failing;
+}
+
 } // namespace cppc
 
 #endif // CPPC_VERIFY_SHRINKER_HH

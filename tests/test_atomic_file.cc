@@ -17,6 +17,7 @@
 
 #include "harness/journal.hh"
 #include "util/atomic_file.hh"
+#include "util/fs_fault.hh"
 #include "util/logging.hh"
 
 namespace cppc {
@@ -103,6 +104,103 @@ TEST(AtomicFile, JournalAppendPropagatesDiskFailure)
     EXPECT_TRUE(j.append({"after", CellStatus::Ok, 1, "r"}));
     std::string contents = slurp(jpath);
     EXPECT_NE(contents.find("cell banked ok"), std::string::npos);
+    EXPECT_NE(contents.find("cell after ok"), std::string::npos);
+    EXPECT_EQ(contents.find("cell lost"), std::string::npos);
+    std::remove(jpath.c_str());
+}
+
+TEST(FsFault, EnospcFailsReportedWithNoDroppings)
+{
+    TempDir dir("enospc");
+    const std::string target = dir.file("result.json");
+    {
+        FsFaultScope fault(FsFaultMode::Enospc);
+        EXPECT_FALSE(atomicWriteFile(target, "doomed payload"));
+    }
+    // A full disk must not abort, must not touch the target, and must
+    // not leave a temp sibling behind.
+    std::ifstream is(target);
+    EXPECT_FALSE(is.good());
+    std::ifstream tmp(atomicTempPath(target));
+    EXPECT_FALSE(tmp.good());
+
+    // Disarmed, the very same write succeeds.
+    ASSERT_TRUE(atomicWriteFile(target, "healthy"));
+    EXPECT_EQ(slurp(target), "healthy");
+    std::remove(target.c_str());
+}
+
+TEST(FsFault, ShortWriteTearsTempButNeverTarget)
+{
+    TempDir dir("short");
+    const std::string target = dir.file("result.json");
+    const std::string payload(256, 'x');
+    {
+        FsFaultScope fault(FsFaultMode::ShortWrite);
+        EXPECT_FALSE(atomicWriteFile(target, payload));
+    }
+    // The disk filled mid-file: half the temp landed, then ENOSPC.
+    // The writer must report failure, clean the torn temp, and the
+    // target must never exist in a torn form.
+    std::ifstream is(target);
+    EXPECT_FALSE(is.good());
+    std::ifstream tmp(atomicTempPath(target));
+    EXPECT_FALSE(tmp.good());
+}
+
+TEST(FsFault, TornRenameLeavesCompleteTempBehind)
+{
+    TempDir dir("torn");
+    const std::string target = dir.file("result.json");
+    {
+        FsFaultScope fault(FsFaultMode::TornRename);
+        EXPECT_FALSE(atomicWriteFile(target, "committed bytes"));
+    }
+    // The crash-between-write-and-rename layout: no target, but the
+    // fully written temp sibling is still there for resume paths to
+    // tolerate (and for this test to clean up).
+    std::ifstream is(target);
+    EXPECT_FALSE(is.good());
+    const std::string tmp = atomicTempPath(target);
+    EXPECT_EQ(slurp(tmp), "committed bytes");
+    std::remove(tmp.c_str());
+}
+
+TEST(FsFault, SkipBudgetDelaysTheFault)
+{
+    TempDir dir("skip");
+    const std::string a = dir.file("a.json");
+    const std::string b = dir.file("b.json");
+    {
+        // One rename succeeds before the fault engages: the first
+        // write commits, the second tears.
+        FsFaultScope fault(FsFaultMode::TornRename, 1);
+        EXPECT_TRUE(atomicWriteFile(a, "first"));
+        EXPECT_FALSE(atomicWriteFile(b, "second"));
+    }
+    EXPECT_EQ(slurp(a), "first");
+    std::ifstream is(b);
+    EXPECT_FALSE(is.good());
+    std::remove(a.c_str());
+    std::remove(atomicTempPath(b).c_str());
+}
+
+TEST(FsFault, JournalSurvivesTransientEnospc)
+{
+    // End to end through the journal: an append under ENOSPC reports
+    // false and rolls back; once the disk recovers, the journal image
+    // carries everything except the rolled-back record.
+    TempDir dir("journal_enospc");
+    const std::string jpath = dir.file("run.journal");
+    Journal j(jpath, "sweep", "cfg=b", Journal::Mode::Fresh);
+    ASSERT_TRUE(j.append({"before", CellStatus::Ok, 1, "p"}));
+    {
+        FsFaultScope fault(FsFaultMode::Enospc);
+        EXPECT_FALSE(j.append({"lost", CellStatus::Ok, 1, "q"}));
+    }
+    EXPECT_TRUE(j.append({"after", CellStatus::Ok, 1, "r"}));
+    std::string contents = slurp(jpath);
+    EXPECT_NE(contents.find("cell before ok"), std::string::npos);
     EXPECT_NE(contents.find("cell after ok"), std::string::npos);
     EXPECT_EQ(contents.find("cell lost"), std::string::npos);
     std::remove(jpath.c_str());

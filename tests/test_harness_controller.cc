@@ -15,6 +15,11 @@
 
 #include <unistd.h>
 
+#include <fstream>
+
+#include <sys/stat.h>
+
+#include "harness/codec.hh"
 #include "harness/run_controller.hh"
 #include "harness/stop_token.hh"
 #include "util/logging.hh"
@@ -272,6 +277,177 @@ TEST(RunController, SummaryNamesResumeFlagWhenPartial)
     HarnessReport rep = ctl.run({bad});
     std::string hint = "--resume=" + tmp.path();
     EXPECT_NE(rep.summary("sweep").find(hint), std::string::npos);
+}
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+TEST(CellContext, NoDurableHomeMeansNoCheckpointing)
+{
+    // Without a journal or ledger there is nowhere durable to put
+    // snapshots: the context must say so, and both snapshot calls must
+    // degrade to harmless no-ops.
+    RunController ctl(testOptions(), "test", "cfg=1");
+    WorkUnit u;
+    u.key = "plain";
+    u.work = [](const CellContext &ctx) -> std::string {
+        EXPECT_FALSE(ctx.checkpointing());
+        EXPECT_FALSE(ctx.loadSnapshot().has_value());
+        EXPECT_FALSE(ctx.saveSnapshot("ignored"));
+        return "ran";
+    };
+    HarnessReport rep = ctl.run({u});
+    EXPECT_TRUE(rep.complete());
+    EXPECT_EQ(rep.results[0].payload, "ran");
+}
+
+TEST(CellContext, SnapshotSurvivesRetryAndIsDroppedOnSuccess)
+{
+    // Mid-cell progress must carry across a retry of the same cell:
+    // attempt 1 checkpoints and dies, attempt 2 resumes from the
+    // checkpoint — and once the cell lands ok in the journal, its
+    // snapshot is garbage and must be cleaned up.
+    TempFile tmp("snapretry");
+    HarnessOptions h = testOptions();
+    h.journal_path = tmp.path();
+    h.retries = 1;
+    RunController ctl(h, "test", "cfg=1");
+
+    std::atomic<unsigned> calls{0};
+    WorkUnit u;
+    u.key = "cell";
+    u.work = [&calls](const CellContext &ctx) -> std::string {
+        EXPECT_TRUE(ctx.checkpointing());
+        if (++calls == 1) {
+            EXPECT_FALSE(ctx.loadSnapshot().has_value());
+            EXPECT_TRUE(ctx.saveSnapshot("progress-token"));
+            throw std::runtime_error("died mid-cell");
+        }
+        std::optional<std::string> snap = ctx.loadSnapshot();
+        EXPECT_TRUE(snap.has_value());
+        return snap ? *snap : "cold";
+    };
+    HarnessReport rep = ctl.run({u});
+    EXPECT_TRUE(rep.complete());
+    EXPECT_EQ(calls.load(), 2u);
+    EXPECT_EQ(rep.results[0].payload, "progress-token");
+    // Drop-on-ok: the snapshot file is gone.
+    EXPECT_FALSE(
+        fileExists(tmp.path() + ".snaps/" + hexEncode("cell")));
+    ::rmdir((tmp.path() + ".snaps").c_str());
+}
+
+TEST(CellContext, SnapshotSurvivesProcessDeathViaResume)
+{
+    // The --resume shape of the same property: the first "process"
+    // checkpoints and fails; a second controller resuming the same
+    // journal hands the new attempt the old snapshot.
+    TempFile tmp("snapresume");
+    HarnessOptions h = testOptions();
+    h.journal_path = tmp.path();
+
+    {
+        RunController ctl(h, "test", "cfg=1");
+        WorkUnit u;
+        u.key = "cell";
+        u.work = [](const CellContext &ctx) -> std::string {
+            EXPECT_TRUE(ctx.saveSnapshot("banked-progress"));
+            throw std::runtime_error("simulated kill");
+        };
+        HarnessReport rep = ctl.run({u});
+        EXPECT_EQ(rep.failed, 1u);
+    }
+    ASSERT_TRUE(
+        fileExists(tmp.path() + ".snaps/" + hexEncode("cell")));
+
+    h.resume = true;
+    RunController ctl(h, "test", "cfg=1");
+    WorkUnit u;
+    u.key = "cell";
+    u.work = [](const CellContext &ctx) -> std::string {
+        std::optional<std::string> snap = ctx.loadSnapshot();
+        return snap ? *snap : "cold";
+    };
+    HarnessReport rep = ctl.run({u});
+    EXPECT_TRUE(rep.complete());
+    EXPECT_EQ(rep.results[0].payload, "banked-progress");
+    EXPECT_FALSE(
+        fileExists(tmp.path() + ".snaps/" + hexEncode("cell")));
+    ::rmdir((tmp.path() + ".snaps").c_str());
+}
+
+/** A scratch ledger directory. */
+class TempLedger
+{
+  public:
+    explicit TempLedger(const std::string &tag)
+        : path_(testing::TempDir() + "cppc_ctl_ledger_" + tag + "_" +
+                std::to_string(::getpid()))
+    {
+        ::mkdir(path_.c_str(), 0755);
+    }
+    ~TempLedger()
+    {
+        // Tests remove their own files; best-effort rmdir.
+        ::rmdir(path_.c_str());
+    }
+    std::string file(const std::string &name) const
+    {
+        return path_ + "/" + name;
+    }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+TEST(RunController, LedgerBreaksTornLeaseAndAdoptsSnapshot)
+{
+    // A peer died between creating its lease file (O_EXCL) and writing
+    // the lease body: the cell looks Busy forever with an unreadable
+    // lease.  The survivor must break the torn lease after the
+    // timeout, reclaim the cell, and adopt the dead peer's published
+    // snapshot — the warm-migration path end to end.
+    TempLedger ledger("torn");
+    const std::string key = "cell";
+
+    // The dead peer's droppings: an empty lease file and a snapshot.
+    {
+        std::ofstream torn(ledger.file("lease." + hexEncode(key)));
+        ASSERT_TRUE(torn.good());
+    }
+    {
+        std::ofstream snap(ledger.file("snap." + hexEncode(key)));
+        snap << "migrated-progress";
+        ASSERT_TRUE(snap.good());
+    }
+
+    HarnessOptions h = testOptions();
+    h.ledger_dir = ledger.path();
+    h.worker_id = "survivor";
+    h.lease_timeout_s = 0.2;
+    h.ledger_poll_s = 0.05;
+    RunController ctl(h, "test", "cfg=1");
+
+    WorkUnit u;
+    u.key = key;
+    u.work = [](const CellContext &ctx) -> std::string {
+        std::optional<std::string> snap = ctx.loadSnapshot();
+        return snap ? *snap : "cold";
+    };
+    HarnessReport rep = ctl.run({u});
+    EXPECT_TRUE(rep.complete());
+    EXPECT_EQ(rep.results[0].payload, "migrated-progress");
+    // Snapshot dropped once the cell published ok.
+    EXPECT_FALSE(fileExists(ledger.file("snap." + hexEncode(key))));
+
+    // Clean the ledger's own files so the TempLedger rmdir succeeds.
+    std::remove(ledger.file("cell." + hexEncode(key)).c_str());
+    std::remove(ledger.file("lease." + hexEncode(key)).c_str());
 }
 
 TEST(RunController, EmptyRunIsCompleteAndExitsZero)

@@ -11,8 +11,10 @@
 #include <cstring>
 #include <functional>
 #include <map>
+#include <string>
 
 #include "cppc/cppc_scheme.hh"
+#include "state/state_io.hh"
 #include "protection/chiprepair.hh"
 #include "protection/icr.hh"
 #include "protection/ldpc.hh"
@@ -254,6 +256,125 @@ TEST_P(SchemeConformance, FlushAfterFaultRecoveryIsConsistent)
         std::memcpy(&got, buf, 8);
         CPPC_ASSERT_EQ(got, v) << "addr " << a;
     }
+}
+
+TEST_P(SchemeConformance, SaveStateRoundTripsWithIdenticalDecode)
+{
+    // Serialise a populated cache + scheme, restore into a freshly
+    // constructed identically-configured pair, and require the clone
+    // to be behaviourally indistinguishable — same contents, and the
+    // same detect/correct decisions on the same injected faults.
+    //
+    // Traffic stays inside the direct-mapped footprint (no evictions),
+    // so the entire dynamic state lives in the cache + scheme and the
+    // backing memories of original and clone both remain empty.
+    Harness h1(smallGeometry(), GetParam().make());
+    Rng rng(131);
+    ScopedSeed scoped(131);
+    std::map<Addr, uint64_t> golden;
+    for (int i = 0; i < 1500; ++i) {
+        Addr a = rng.nextBelow(128) * 8;
+        uint64_t v = rng.next();
+        golden[a] = v;
+        h1.cache->storeWord(a, v);
+    }
+
+    StateWriter w;
+    h1.cache->saveState(w);
+
+    Harness h2(smallGeometry(), GetParam().make());
+    StateReader r(w.image());
+    h2.cache->loadState(r);
+
+    for (const auto &[a, v] : golden)
+        CPPC_ASSERT_EQ(h2.cache->loadWord(a), v);
+    CPPC_EXPECT_EQ(h1.cache->scheme()->stats().detections,
+                   h2.cache->scheme()->stats().detections);
+
+    // Identical decode behaviour: the same strike against original and
+    // clone must produce the same verdict and the same final word.
+    for (int rep = 0; rep < 12; ++rep) {
+        Row row = static_cast<Row>(rng.nextBelow(128));
+        unsigned bit = static_cast<unsigned>(rng.nextBelow(64));
+        CPPC_ASSERT_TRUE(h1.cache->rowValid(row));
+        Addr a = h1.cache->rowAddr(row);
+        h1.cache->corruptBit(row, bit);
+        h2.cache->corruptBit(row, bit);
+        auto o1 = h1.cache->load(a, 8, nullptr);
+        auto o2 = h2.cache->load(a, 8, nullptr);
+        CPPC_ASSERT_EQ(o1.fault_detected, o2.fault_detected);
+        CPPC_ASSERT_EQ(o1.due, o2.due);
+        CPPC_ASSERT_EQ(h1.cache->loadWord(a), h2.cache->loadWord(a));
+        // Heal any DUE the same way on both sides so later strikes in
+        // this loop start from aligned state again.
+        if (o1.due) {
+            WideWord fix = WideWord::fromUint64(golden[a], 8);
+            h1.cache->pokeRowData(row, fix);
+            h2.cache->pokeRowData(row, fix);
+        }
+    }
+    CPPC_EXPECT_EQ(h1.cache->scheme()->stats().detections,
+                   h2.cache->scheme()->stats().detections);
+}
+
+TEST_P(SchemeConformance, SaveStateRejectsTruncationAndCorruption)
+{
+    Harness h(smallGeometry(), GetParam().make());
+    Rng rng(139);
+    ScopedSeed scoped(139);
+    for (int i = 0; i < 200; ++i)
+        h.cache->storeWord(rng.nextBelow(128) * 8, rng.next());
+    StateWriter w;
+    h.cache->saveState(w);
+    const std::string image = w.image();
+    const size_t magic_len = std::strlen(kStateMagic);
+    ASSERT_GT(image.size(), magic_len + 64);
+
+    // Truncation anywhere must fail loudly, never half-load silently.
+    // Sampled stride keeps the quadratic substr cost in check.
+    for (size_t n = magic_len; n < image.size(); n += 61) {
+        std::string cut = image.substr(0, n);
+        Harness fresh(smallGeometry(), GetParam().make());
+        EXPECT_THROW(
+            {
+                StateReader r(cut);
+                fresh.cache->loadState(r);
+            },
+            StateError)
+            << "truncated to " << n << " of " << image.size();
+    }
+
+    // Bit flips deep inside the image land in CRC-sealed payload; the
+    // seal must catch every one of them.
+    for (int permille : {300, 500, 700, 900}) {
+        std::string bad = image;
+        size_t pos = magic_len +
+            (image.size() - magic_len) * permille / 1000;
+        bad[pos] ^= 0x10;
+        Harness fresh(smallGeometry(), GetParam().make());
+        EXPECT_THROW(
+            {
+                StateReader r(bad);
+                fresh.cache->loadState(r);
+            },
+            StateError)
+            << "bit flip at byte " << pos << " not detected";
+    }
+}
+
+TEST(SchemeState, RejectsForeignSchemeSection)
+{
+    // A SCHM section written by one scheme must refuse to load into a
+    // differently-named one even when both parse structurally.
+    Harness parity(smallGeometry(),
+                   std::make_unique<OneDimParityScheme>(8));
+    parity.cache->storeWord(0x0, 42);
+    StateWriter w;
+    parity.cache->scheme()->saveState(w);
+
+    Harness secded(smallGeometry(), std::make_unique<SecdedScheme>(8));
+    StateReader r(w.image());
+    EXPECT_THROW(secded.cache->scheme()->loadState(r), StateError);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSchemes, SchemeConformance,

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * The save-state container itself: primitive round-trips, section
+ * framing, the evolution rules (unknown sections are skipped, unread
+ * payload tails are legal), and the corruption contract — truncation,
+ * bit flips and over-reads all throw StateError, and inspectState()
+ * reports the same defects without throwing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "state/state_io.hh"
+#include "util/wide_word.hh"
+
+namespace cppc {
+namespace {
+
+constexpr uint32_t kTagA = stateTag("AAAA");
+constexpr uint32_t kTagB = stateTag("BBBB");
+constexpr uint32_t kTagNew = stateTag("NEWS");
+
+TEST(StateIo, PrimitivesRoundTrip)
+{
+    StateWriter w;
+    w.begin(kTagA, 3);
+    w.u8(0xab);
+    w.u32(0xdeadbeef);
+    w.u64(0x0123456789abcdefull);
+    w.f64(-1234.5e-7);
+    w.str("hello state");
+    w.str(""); // empty strings must survive too
+    WideWord ww = WideWord::fromUint64(0x1122334455667788ull, 8);
+    w.wide(ww);
+    w.vecU8({1, 2, 3});
+    w.vecU32({0x10, 0x20000000});
+    w.vecU64({0xffffffffffffffffull, 0});
+    uint8_t raw[5] = {9, 8, 7, 6, 5};
+    w.blob(raw, sizeof(raw));
+    w.end();
+
+    StateReader r(w.image());
+    EXPECT_EQ(r.enter(kTagA), 3u);
+    EXPECT_EQ(r.u8(), 0xab);
+    EXPECT_EQ(r.u32(), 0xdeadbeefu);
+    EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+    EXPECT_EQ(r.f64(), -1234.5e-7);
+    EXPECT_EQ(r.str(), "hello state");
+    EXPECT_EQ(r.str(), "");
+    WideWord back = r.wide();
+    EXPECT_EQ(back.sizeBytes(), ww.sizeBytes());
+    EXPECT_EQ(back.toUint64(), ww.toUint64());
+    EXPECT_EQ(r.vecU8(), (std::vector<uint8_t>{1, 2, 3}));
+    EXPECT_EQ(r.vecU32(), (std::vector<uint32_t>{0x10, 0x20000000}));
+    EXPECT_EQ(r.vecU64(),
+              (std::vector<uint64_t>{0xffffffffffffffffull, 0}));
+    uint8_t out[5] = {};
+    r.blob(out, sizeof(out));
+    EXPECT_EQ(std::memcmp(raw, out, sizeof(raw)), 0);
+    EXPECT_EQ(r.remaining(), 0u);
+    r.leave();
+}
+
+TEST(StateIo, MultipleSectionsInOrder)
+{
+    StateWriter w;
+    w.begin(kTagA, 1);
+    w.u32(111);
+    w.end();
+    w.begin(kTagB, 2);
+    w.u32(222);
+    w.end();
+
+    StateReader r(w.image());
+    EXPECT_EQ(r.enter(kTagA), 1u);
+    EXPECT_EQ(r.u32(), 111u);
+    r.leave();
+    EXPECT_EQ(r.enter(kTagB), 2u);
+    EXPECT_EQ(r.u32(), 222u);
+    r.leave();
+}
+
+TEST(StateIo, UnknownSectionsAreSkipped)
+{
+    // The evolution rule: a reader looking for B must silently hop
+    // over a section tagged NEWS it has never heard of.
+    StateWriter w;
+    w.begin(kTagNew, 7);
+    w.str("from the future");
+    w.vecU64({1, 2, 3, 4});
+    w.end();
+    w.begin(kTagB, 1);
+    w.u64(42);
+    w.end();
+
+    StateReader r(w.image());
+    EXPECT_EQ(r.enter(kTagB), 1u);
+    EXPECT_EQ(r.u64(), 42u);
+    r.leave();
+}
+
+TEST(StateIo, UnreadTailIsLegal)
+{
+    // A newer writer appended a field; an old reader consumes the
+    // prefix it knows and leave() discards the rest — then reads the
+    // next section normally.
+    StateWriter w;
+    w.begin(kTagA, 1);
+    w.u32(5);
+    w.u64(0x999); // field the "old" reader does not know
+    w.end();
+    w.begin(kTagB, 1);
+    w.u32(6);
+    w.end();
+
+    StateReader r(w.image());
+    r.enter(kTagA);
+    EXPECT_EQ(r.u32(), 5u);
+    EXPECT_GT(r.remaining(), 0u);
+    r.leave();
+    r.enter(kTagB);
+    EXPECT_EQ(r.u32(), 6u);
+    r.leave();
+}
+
+TEST(StateIo, MissingSectionThrowsAndTryEnterReturnsFalse)
+{
+    StateWriter w;
+    w.begin(kTagA, 1);
+    w.u32(1);
+    w.end();
+
+    StateReader r1(w.image());
+    EXPECT_THROW(r1.enter(kTagB), StateError);
+
+    StateReader r2(w.image());
+    uint32_t version = 0;
+    EXPECT_FALSE(r2.tryEnter(kTagB, &version));
+    // A failed tryEnter leaves the cursor where it was: A is still
+    // reachable.
+    EXPECT_EQ(r2.enter(kTagA), 1u);
+    EXPECT_EQ(r2.u32(), 1u);
+    r2.leave();
+}
+
+TEST(StateIo, BadMagicThrows)
+{
+    EXPECT_THROW(StateReader r(""), StateError);
+    EXPECT_THROW(StateReader r("not a state image"), StateError);
+
+    StateWriter w;
+    w.begin(kTagA, 1);
+    w.end();
+    std::string image = w.image();
+    image[0] ^= 0x20;
+    EXPECT_THROW(StateReader r(image), StateError);
+}
+
+TEST(StateIo, TruncationThrows)
+{
+    StateWriter w;
+    w.begin(kTagA, 1);
+    w.u64(0xabcdef);
+    w.str("payload");
+    w.end();
+    const std::string image = w.image();
+
+    // Every proper prefix that still has a valid magic must fail
+    // loudly somewhere: at enter(), at a payload read, or as a CRC
+    // mismatch — never succeed silently.
+    for (size_t n = std::strlen(kStateMagic); n < image.size(); ++n) {
+        std::string cut = image.substr(0, n);
+        StateReader r(cut);
+        EXPECT_THROW(
+            {
+                r.enter(kTagA);
+                r.u64();
+                r.str();
+                r.leave();
+            },
+            StateError)
+            << "truncated to " << n << " of " << image.size();
+    }
+}
+
+TEST(StateIo, PayloadBitFlipFailsCrc)
+{
+    StateWriter w;
+    w.begin(kTagA, 1);
+    w.u64(0x1234);
+    w.end();
+    std::string image = w.image();
+
+    // Flip one bit of the u64 payload (it sits right after magic +
+    // tag/version/length framing).
+    size_t payload_at = std::strlen(kStateMagic) + 4 + 4 + 8;
+    ASSERT_LT(payload_at, image.size());
+    image[payload_at] ^= 0x01;
+
+    StateReader r(image);
+    EXPECT_THROW(r.enter(kTagA), StateError);
+}
+
+TEST(StateIo, OverReadThrows)
+{
+    StateWriter w;
+    w.begin(kTagA, 1);
+    w.u32(7);
+    w.end();
+
+    StateReader r(w.image());
+    r.enter(kTagA);
+    EXPECT_EQ(r.u32(), 7u);
+    EXPECT_THROW(r.u32(), StateError);
+}
+
+TEST(StateIo, InspectReportsCleanImage)
+{
+    StateWriter w;
+    w.begin(kTagA, 1);
+    w.u32(1);
+    w.end();
+    w.begin(kTagB, 9);
+    w.str("x");
+    w.end();
+
+    StateInspectReport rep = inspectState(w.image());
+    EXPECT_TRUE(rep.ok());
+    EXPECT_TRUE(rep.magic_ok);
+    EXPECT_TRUE(rep.error.empty());
+    ASSERT_EQ(rep.sections.size(), 2u);
+    EXPECT_EQ(rep.sections[0].tag, kTagA);
+    EXPECT_EQ(rep.sections[0].tag_name, "AAAA");
+    EXPECT_EQ(rep.sections[0].version, 1u);
+    EXPECT_TRUE(rep.sections[0].crc_ok);
+    EXPECT_EQ(rep.sections[1].tag, kTagB);
+    EXPECT_EQ(rep.sections[1].version, 9u);
+    EXPECT_TRUE(rep.sections[1].crc_ok);
+}
+
+TEST(StateIo, InspectFlagsCorruptionWithoutThrowing)
+{
+    StateWriter w;
+    w.begin(kTagA, 1);
+    w.u64(0xfeed);
+    w.end();
+    std::string image = w.image();
+
+    // Bad magic.
+    {
+        std::string bad = image;
+        bad[2] ^= 0xff;
+        StateInspectReport rep = inspectState(bad);
+        EXPECT_FALSE(rep.ok());
+        EXPECT_FALSE(rep.magic_ok);
+    }
+    // Payload bit flip → CRC failure on the section.
+    {
+        std::string bad = image;
+        bad[std::strlen(kStateMagic) + 16] ^= 0x40;
+        StateInspectReport rep = inspectState(bad);
+        EXPECT_FALSE(rep.ok());
+        EXPECT_TRUE(rep.magic_ok);
+        ASSERT_EQ(rep.sections.size(), 1u);
+        EXPECT_FALSE(rep.sections[0].crc_ok);
+    }
+    // Truncated mid-section → framing error recorded, no throw.
+    {
+        std::string bad = image.substr(0, image.size() - 3);
+        StateInspectReport rep = inspectState(bad);
+        EXPECT_FALSE(rep.ok());
+        EXPECT_TRUE(rep.magic_ok);
+        EXPECT_FALSE(rep.error.empty());
+    }
+    // Empty-but-valid image (just the magic) is intact.
+    {
+        StateInspectReport rep =
+            inspectState(std::string(kStateMagic));
+        EXPECT_TRUE(rep.ok());
+        EXPECT_TRUE(rep.sections.empty());
+    }
+}
+
+TEST(StateIo, TagNameRendersPrintableAndNot)
+{
+    EXPECT_EQ(stateTagName(stateTag("CACH")), "CACH");
+    EXPECT_EQ(stateTagName(0x01020304), "....");
+}
+
+} // namespace
+} // namespace cppc

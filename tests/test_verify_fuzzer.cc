@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "cppc/cppc_scheme.hh"
+#include "state/state_io.hh"
 #include "test_helpers.hh"
 #include "verify/fuzzer.hh"
 #include "verify/golden_model.hh"
@@ -143,6 +144,109 @@ TEST(Fuzzer, SabotagedCppcIsCaughtAndShrunk)
     }
     ASSERT_TRUE(caught)
         << "sabotaged CPPC survived 10 fuzz seeds undetected";
+}
+
+void
+expectSameReplay(const ReplayResult &x, const ReplayResult &y)
+{
+    EXPECT_EQ(x.ok, y.ok);
+    EXPECT_EQ(x.violation, y.violation);
+    EXPECT_EQ(x.checks, y.checks);
+    EXPECT_EQ(x.strikes, y.strikes);
+    EXPECT_EQ(x.corrected, y.corrected);
+    EXPECT_EQ(x.refetched, y.refetched);
+    EXPECT_EQ(x.dues, y.dues);
+    EXPECT_EQ(x.misrepairs, y.misrepairs);
+}
+
+TEST(ReplaySession, SnapshotRoundTripIsBitIdentical)
+{
+    // The property the snapshot shrinker and the harness checkpoints
+    // rest on: running straight through, and snapshot/restoring at a
+    // clean boundary, end in indistinguishable results.
+    const FuzzSchemeSpec *spec = findScheme("cppc");
+    ASSERT_NE(spec, nullptr);
+    const uint64_t seed = 5;
+    std::vector<FuzzOp> ops = generateOps(seed, 150);
+
+    ReplayResult ref = replaySequence(*spec, ops, seed);
+    ASSERT_TRUE(ref.ok);
+
+    ReplaySession a(*spec, seed);
+    ASSERT_TRUE(a.run(ops, 75));
+    EXPECT_EQ(a.position(), 75u);
+    std::string snap = a.saveState();
+    ASSERT_TRUE(a.run(ops, ops.size()));
+
+    ReplaySession b(*spec, seed);
+    b.loadState(snap);
+    EXPECT_EQ(b.position(), 75u);
+    ASSERT_TRUE(b.run(ops, ops.size()));
+
+    expectSameReplay(a.result(), ref);
+    expectSameReplay(b.result(), ref);
+}
+
+TEST(ReplaySession, RejectsForeignOrCorruptSnapshots)
+{
+    const FuzzSchemeSpec *spec = findScheme("secded");
+    ASSERT_NE(spec, nullptr);
+    std::vector<FuzzOp> ops = generateOps(9, 60);
+    ReplaySession a(*spec, 9);
+    ASSERT_TRUE(a.run(ops, 40));
+    const std::string snap = a.saveState();
+
+    // A snapshot binds its seed: a session fuzzing a different seed
+    // must refuse it instead of silently diverging.
+    ReplaySession wrong_seed(*spec, 10);
+    EXPECT_THROW(wrong_seed.loadState(snap), StateError);
+
+    // A flipped payload bit fails the section CRC.
+    std::string bad = snap;
+    bad[bad.size() / 2] ^= 0x04;
+    ReplaySession corrupt(*spec, 9);
+    EXPECT_THROW(corrupt.loadState(bad), StateError);
+
+    // A truncated image fails framing.
+    ReplaySession cut(*spec, 9);
+    EXPECT_THROW(cut.loadState(snap.substr(0, snap.size() / 2)),
+                 StateError);
+
+    // And a failed load must not have moved the session: it still
+    // replays from op 0 with the reference verdict.
+    EXPECT_EQ(cut.position(), 0u);
+    ASSERT_TRUE(cut.run(ops, ops.size()));
+    expectSameReplay(cut.result(), replaySequence(*spec, ops, 9));
+}
+
+TEST(Shrinker, SnapshotResumeCutsReplayEffort)
+{
+    // Acceptance: the snapshot-driven ddmin must measurably beat the
+    // replay-from-seed-zero baseline on the sabotaged CPPC, while
+    // still producing minimal sequences that reproduce.
+    FuzzSchemeSpec sab = sabotagedCppcSpec();
+    ShrinkStats total;
+    bool caught = false;
+    for (uint64_t seed = 1; seed <= 10; ++seed) {
+        ScopedSeed scoped(seed);
+        FuzzOneResult r = fuzzOne(sab, seed, 300);
+        if (!r.failed())
+            continue;
+        caught = true;
+        // Never more work than the baseline, for any seed.
+        CPPC_ASSERT_TRUE(r.shrink.ops_replayed <=
+                         r.shrink.ops_replayed_baseline);
+        total.ops_replayed += r.shrink.ops_replayed;
+        total.ops_replayed_baseline += r.shrink.ops_replayed_baseline;
+        total.snapshots_taken += r.shrink.snapshots_taken;
+        total.snapshots_resumed += r.shrink.snapshots_resumed;
+    }
+    ASSERT_TRUE(caught)
+        << "sabotaged CPPC survived 10 fuzz seeds undetected";
+    EXPECT_GT(total.snapshots_taken, 0u);
+    EXPECT_GT(total.snapshots_resumed, 0u);
+    // Strictly fewer ops overall: the prefix skip is real.
+    EXPECT_LT(total.ops_replayed, total.ops_replayed_baseline);
 }
 
 std::unique_ptr<ProtectionScheme>

@@ -1,0 +1,229 @@
+#!/usr/bin/env python3
+"""Crash-point chaos battery: kill at every registered site, resume,
+and require bit-identical results.
+
+The simulator's durability code registers crash sites via
+crashPoint("site") (src/util/crash_point.hh).  This driver:
+
+  1. runs one clean journaled campaign and one clean ledger campaign
+     with CPPC_CRASH_TRACE set, discovering the site registry of each
+     mode from what the reference runs actually reached (never from a
+     hard-coded list that silently rots);
+  2. for every traced site and kill ordinal n in 1..K, reruns the same
+     campaign with CPPC_CRASH_AT=<site>:<n> — the process _exit(86)s
+     mid-durability-operation, as abruptly as a SIGKILL;
+  3. resumes the killed run (--resume for journals; implicit adoption
+     plus lease reclaim for ledgers) and asserts the final CSV is
+     byte-identical to the clean reference.
+
+A site traced by the reference run MUST crash when armed at n=1 — if
+it does not, the registry and the battery have drifted apart and the
+run fails.  Higher ordinals that are never reached (the site fired
+fewer than n times) count as completed runs and are still checked for
+bit-identical output.
+
+Usage:
+    chaos_resume.py --cppcsim PATH [--workdir DIR] [--injections N]
+                    [--kills K] [--scheme NAME] [--seed N]
+
+Exit codes: 0 all sites resume bit-identically, 1 any mismatch,
+unexpected exit code or undischarged site, 2 usage/setup error.
+"""
+
+import argparse
+import filecmp
+import os
+import shutil
+import subprocess
+import sys
+
+CRASH_EXIT = 86          # kCrashExitCode in src/util/crash_point.hh
+RUN_TIMEOUT_S = 300
+
+
+def run(cmd, env_extra=None, timeout=RUN_TIMEOUT_S):
+    env = os.environ.copy()
+    env.pop("CPPC_CRASH_AT", None)
+    env.pop("CPPC_CRASH_TRACE", None)
+    if env_extra:
+        env.update(env_extra)
+    try:
+        proc = subprocess.run(cmd, env=env, timeout=timeout,
+                              stdout=subprocess.DEVNULL,
+                              stderr=subprocess.PIPE)
+    except subprocess.TimeoutExpired:
+        print(f"error: timed out: {' '.join(cmd)}", file=sys.stderr)
+        sys.exit(2)
+    return proc
+
+
+def read_sites(trace_path):
+    if not os.path.exists(trace_path):
+        return []
+    with open(trace_path, "r", encoding="utf-8") as f:
+        return [ln.strip() for ln in f if ln.strip()]
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="kill at every crash site, resume, diff")
+    ap.add_argument("--cppcsim", required=True,
+                    help="path to the cppcsim binary")
+    ap.add_argument("--workdir", default="chaos_resume.work")
+    ap.add_argument("--injections", type=int, default=1200)
+    ap.add_argument("--kills", type=int, default=1,
+                    help="kill ordinals 1..K per site")
+    ap.add_argument("--scheme", default="secded")
+    ap.add_argument("--seed", type=int, default=7)
+    args = ap.parse_args()
+
+    if not os.access(args.cppcsim, os.X_OK):
+        print(f"error: {args.cppcsim} is not executable",
+              file=sys.stderr)
+        return 2
+
+    wd = os.path.abspath(args.workdir)
+    shutil.rmtree(wd, ignore_errors=True)
+    os.makedirs(wd)
+
+    base = [args.cppcsim, "campaign", f"--scheme={args.scheme}",
+            f"--injections={args.injections}", f"--seed={args.seed}",
+            "--jobs=2"]
+
+    def path(name):
+        return os.path.join(wd, name)
+
+    # ---- clean references, one per mode, tracing the site registry --
+    ref_csv = path("ref.csv")
+    trace_j = path("trace_journal.txt")
+    proc = run(base + [f"--journal={path('ref.journal')}",
+                       f"--out={ref_csv}"],
+               {"CPPC_CRASH_TRACE": trace_j})
+    if proc.returncode != 0:
+        sys.stderr.buffer.write(proc.stderr)
+        print("error: journaled reference run failed", file=sys.stderr)
+        return 2
+
+    ref_ledger_csv = path("ref_ledger.csv")
+    trace_l = path("trace_ledger.txt")
+    proc = run(base + [f"--ledger={path('ref.ledger')}",
+                       f"--out={ref_ledger_csv}"],
+               {"CPPC_CRASH_TRACE": trace_l})
+    if proc.returncode != 0:
+        sys.stderr.buffer.write(proc.stderr)
+        print("error: ledger reference run failed", file=sys.stderr)
+        return 2
+
+    if not filecmp.cmp(ref_csv, ref_ledger_csv, shallow=False):
+        print("FAIL: journal and ledger reference runs disagree "
+              "before any fault was injected", file=sys.stderr)
+        return 1
+
+    sites_j = read_sites(trace_j)
+    sites_l = read_sites(trace_l)
+    if not sites_j or not sites_l:
+        print("error: reference runs traced no crash sites — is the "
+              "binary built with crashPoint()?", file=sys.stderr)
+        return 2
+    print(f"journal-mode sites: {', '.join(sites_j)}")
+    print(f"ledger-mode sites:  {', '.join(sites_l)}")
+
+    failures = []
+    checked = 0
+
+    def verdict(tag, ok, why=""):
+        nonlocal checked
+        checked += 1
+        mark = "ok" if ok else "FAIL"
+        print(f"  [{mark}] {tag}{(': ' + why) if why else ''}")
+        if not ok:
+            failures.append(f"{tag}: {why}")
+
+    # ---- journal mode: kill, then --resume ---------------------------
+    for site in sites_j:
+        for n in range(1, args.kills + 1):
+            tag = f"journal {site}:{n}"
+            jpath = path("kill.journal")
+            out = path("kill.csv")
+            for p in (jpath, out):
+                if os.path.exists(p):
+                    os.remove(p)
+            shutil.rmtree(jpath + ".snaps", ignore_errors=True)
+            proc = run(base + [f"--journal={jpath}", f"--out={out}"],
+                       {"CPPC_CRASH_AT": f"{site}:{n}"})
+            if proc.returncode not in (0, CRASH_EXIT):
+                verdict(tag, False,
+                        f"killed run exited {proc.returncode}")
+                continue
+            if n == 1 and proc.returncode != CRASH_EXIT:
+                verdict(tag, False,
+                        "traced site never crashed when armed")
+                continue
+            if proc.returncode == CRASH_EXIT:
+                # The abrupt death may predate the journal: resume
+                # then starts fresh, which is itself part of the
+                # contract (nothing durable means cold start).
+                resume = run(base + [f"--resume={jpath}",
+                                     f"--out={out}"])
+                if resume.returncode != 0:
+                    sys.stderr.buffer.write(resume.stderr)
+                    verdict(tag, False,
+                            f"resume exited {resume.returncode}")
+                    continue
+            if not filecmp.cmp(ref_csv, out, shallow=False):
+                verdict(tag, False, "resumed CSV differs from clean run")
+                continue
+            verdict(tag, True)
+
+    # ---- ledger mode: kill a worker, a rescuer reclaims --------------
+    for site in sites_l:
+        for n in range(1, args.kills + 1):
+            tag = f"ledger {site}:{n}"
+            ldir = path("kill.ledger")
+            out = path("kill_ledger.csv")
+            shutil.rmtree(ldir, ignore_errors=True)
+            if os.path.exists(out):
+                os.remove(out)
+            proc = run(base + [f"--ledger={ldir}",
+                               "--worker-id=victim", f"--out={out}"],
+                       {"CPPC_CRASH_AT": f"{site}:{n}"})
+            if proc.returncode not in (0, CRASH_EXIT):
+                verdict(tag, False,
+                        f"killed worker exited {proc.returncode}")
+                continue
+            if n == 1 and proc.returncode != CRASH_EXIT:
+                verdict(tag, False,
+                        "traced site never crashed when armed")
+                continue
+            if proc.returncode == CRASH_EXIT:
+                # The rescuer adopts published cells, breaks the dead
+                # victim's leases (torn ones included) after the
+                # shortened timeout, and picks up its snapshots.
+                rescue = run(base + [f"--ledger={ldir}",
+                                     "--worker-id=rescuer",
+                                     "--lease-timeout=1",
+                                     f"--out={out}"])
+                if rescue.returncode != 0:
+                    sys.stderr.buffer.write(rescue.stderr)
+                    verdict(tag, False,
+                            f"rescuer exited {rescue.returncode}")
+                    continue
+            if not filecmp.cmp(ref_csv, out, shallow=False):
+                verdict(tag, False,
+                        "reclaimed CSV differs from clean run")
+                continue
+            verdict(tag, True)
+
+    print(f"\n{checked} kill/resume scenario(s) checked")
+    if failures:
+        print(f"FAIL: {len(failures)} scenario(s) broke the "
+              "bit-identical resume contract:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("OK: every crash site resumes bit-identically")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

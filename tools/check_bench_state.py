@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Save-state benchmark regression gate.
+
+Compares a freshly measured BENCH_state.json (from bench_state)
+against the committed baseline (bench/BENCH_state.baseline.json) and
+fails when the save-state layer regressed.
+
+Four gates, strongest first:
+
+  1. **Shrink contract** — the snapshot-driven ddmin must actually
+     resume snapshots and replay strictly fewer ops than the
+     from-seed-zero baseline.  Deterministic; a failure here is a
+     correctness bug, never noise.
+  2. **Snapshot size** — the warm-session snapshot must not grow by
+     more than the tolerance vs the baseline.  The byte count is a
+     pure function of the format, so growth is always a format change:
+     intentional ones refresh the baseline via --update.
+  3. **Replay-op reduction** — the shrinker's saving (also
+     deterministic) must not fall by more than the tolerance.
+  4. **Throughput floor** — save/load MB/s must clear an absolute
+     sanity floor.  Raw MB/s does not transfer between hosts, so the
+     floor is deliberately low: it exists to catch a catastrophic
+     serialization slowdown, not CI noise.
+
+Usage:
+    check_bench_state.py CURRENT.json [--baseline PATH] [--update]
+
+    --baseline PATH  baseline to compare against / rewrite
+                     (default bench/BENCH_state.baseline.json next to
+                     the repo root inferred from this script)
+    --update         overwrite the baseline with CURRENT.json and exit
+
+Environment:
+    CPPC_BENCH_TOLERANCE   allowed fractional drift for the size and
+                           reduction gates (default 0.10)
+    CPPC_STATE_MIN_MBPS    save/load throughput floor (default 5.0)
+
+Exit codes: 0 ok / baseline updated, 1 regression or contract failure,
+2 usage or I/O error, 3 document shape mismatch (baseline needs a
+refresh via --update).
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "bench",
+                                "BENCH_state.baseline.json")
+
+# Absolute reduction slack, in reduction percentage points.  The saving
+# is a deterministic single-digit fraction; the slack keeps a small
+# intentional rebalance of the snapshot stride from tripping the
+# relative gate while still catching the saving collapsing to zero.
+REDUCTION_SLACK = 0.02
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def fields(doc, path):
+    """Pull the gated fields, exiting 3 when the shape is stale."""
+    try:
+        snap = doc["snapshot"]
+        shrink = doc["shrink"]
+        return {
+            "bytes": int(snap["bytes"]),
+            "save_mb_s": float(snap["save_mb_s"]),
+            "load_mb_s": float(snap["load_mb_s"]),
+            "reduction": float(shrink["reduction"]),
+            "ops_replayed": int(shrink["ops_replayed"]),
+            "ops_replayed_baseline": int(
+                shrink["ops_replayed_baseline"]),
+            "snapshots_resumed": int(shrink["snapshots_resumed"]),
+        }
+    except (KeyError, TypeError, ValueError) as e:
+        print(f"error: {path} lacks a gated field ({e}) — refresh "
+              "with --update?", file=sys.stderr)
+        sys.exit(3)
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="fail on save-state benchmark regressions")
+    ap.add_argument("current", help="freshly measured BENCH_state.json")
+    ap.add_argument("--baseline", default=DEFAULT_BASELINE)
+    ap.add_argument("--update", action="store_true",
+                    help="replace the baseline with the current run")
+    args = ap.parse_args()
+
+    if args.update:
+        doc = load(args.current)
+        cur = fields(doc, args.current)
+        if cur["snapshots_resumed"] <= 0 or \
+                cur["ops_replayed"] >= cur["ops_replayed_baseline"]:
+            print("error: refusing to baseline a run whose shrinker "
+                  "saved nothing", file=sys.stderr)
+            return 2
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    tol = float(os.environ.get("CPPC_BENCH_TOLERANCE", "0.10"))
+    min_mbps = float(os.environ.get("CPPC_STATE_MIN_MBPS", "5.0"))
+    cur = fields(load(args.current), args.current)
+    base = fields(load(args.baseline), args.baseline)
+
+    failures = []
+
+    # Gate 1: the shrink contract is unconditional.
+    print(f"  shrink: {cur['ops_replayed']} ops replayed vs "
+          f"{cur['ops_replayed_baseline']} baseline, "
+          f"{cur['snapshots_resumed']} snapshot(s) resumed")
+    if cur["snapshots_resumed"] <= 0:
+        failures.append("the shrinker never resumed a snapshot")
+    if cur["ops_replayed"] >= cur["ops_replayed_baseline"]:
+        failures.append(
+            "snapshot-resume shrink replayed no fewer ops than the "
+            "from-seed-zero baseline")
+
+    # Gate 2: snapshot size growth.
+    grew = cur["bytes"] - base["bytes"]
+    allowed = tol * base["bytes"]
+    flag = "REGRESSED" if grew > allowed else "ok"
+    print(f"  snapshot bytes: baseline {base['bytes']}  current "
+          f"{cur['bytes']}  grew {grew:+d}  {flag}")
+    if grew > allowed:
+        failures.append(
+            f"snapshot grew {grew} bytes "
+            f"({grew / base['bytes']:.1%} > {tol:.0%})")
+
+    # Gate 3: replay-op reduction.
+    lost = base["reduction"] - cur["reduction"]
+    allowed = max(tol * base["reduction"], REDUCTION_SLACK)
+    flag = "REGRESSED" if lost > allowed else "ok"
+    print(f"  replay-op reduction: baseline {base['reduction']:.4f}  "
+          f"current {cur['reduction']:.4f}  lost {lost:+.4f}  {flag}")
+    if lost > allowed:
+        failures.append(
+            f"shrink reduction fell {lost:.4f} below the baseline "
+            f"{base['reduction']:.4f}")
+
+    # Gate 4: throughput sanity floor.
+    for name in ("save_mb_s", "load_mb_s"):
+        v = cur[name]
+        flag = "REGRESSED" if v < min_mbps else "ok"
+        print(f"  {name}: {v:.1f} MB/s (floor {min_mbps:.1f})  {flag}")
+        if v < min_mbps:
+            failures.append(f"{name} {v:.1f} MB/s is below the "
+                            f"{min_mbps:.1f} MB/s floor")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} save-state gate(s) tripped vs "
+              f"{args.baseline}:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        print("intentional format change? refresh the baseline: "
+              "tools/check_bench_state.py NEW.json --update",
+              file=sys.stderr)
+        return 1
+
+    print(f"\nOK: save-state benchmark within {tol * 100:.0f}% of the "
+          "baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
