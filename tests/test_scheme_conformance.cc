@@ -46,13 +46,18 @@ struct SchemeSpec
     const char *name;
     std::function<std::unique_ptr<ProtectionScheme>()> make;
     DirtyFix dirty_fix;
+    // True when resyncRow() fully re-keys the row's stored code from
+    // current data — the schemes whose recover() or store path rewrites
+    // stored code and which therefore override the default no-op.
+    // Only these can restore an image older than the last store.
+    bool full_rekey_resync = false;
 };
 
 const SchemeSpec kSpecs[] = {
     {"parity1d", [] { return std::make_unique<OneDimParityScheme>(8); },
      DirtyFix::Never},
     {"secded", [] { return std::make_unique<SecdedScheme>(8); },
-     DirtyFix::Always},
+     DirtyFix::Always, /*full_rekey_resync=*/true},
     {"parity2d", [] { return std::make_unique<TwoDParityScheme>(8); },
      DirtyFix::Always},
     {"cppc", [] { return std::make_unique<CppcScheme>(); },
@@ -69,9 +74,9 @@ const SchemeSpec kSpecs[] = {
     // (LDPC's distance-7 window, chiprepair's single-symbol decode),
     // so they face the full Always battery.
     {"ldpc", [] { return std::make_unique<LdpcScheme>(); },
-     DirtyFix::Always},
+     DirtyFix::Always, /*full_rekey_resync=*/true},
     {"chiprepair", [] { return std::make_unique<ChipRepairScheme>(8); },
-     DirtyFix::Always},
+     DirtyFix::Always, /*full_rekey_resync=*/true},
 };
 
 class SchemeConformance : public ::testing::TestWithParam<SchemeSpec>
@@ -360,6 +365,75 @@ TEST_P(SchemeConformance, SaveStateRejectsTruncationAndCorruption)
             StateError)
             << "bit flip at byte " << pos << " not detected";
     }
+}
+
+TEST_P(SchemeConformance, RestoreWithResyncKeepsTrialsIndependent)
+{
+    // The campaign contract behind ProtectionScheme::resyncRow():
+    // after a strike and whatever recover() did with it, poking the
+    // trusted golden data back and calling resyncRow() must leave
+    // every row self-consistent.  Any scheme whose recover() rewrites
+    // stored code from suspect data (SECDED's CorrectedCode branch
+    // re-encodes a misdecoded multi-bit word) or whose stored code can
+    // drift from the restore image between snapshot and restore (LDPC
+    // and chiprepair re-key on every store) must override resyncRow(),
+    // or trial N's misrepair leaks into trial N+1.  This test is the
+    // behavioural anchor for cppc-analyze rule S1's companion check:
+    // deleting any resyncRow override must fail here.
+    Harness h(smallGeometry(), GetParam().make());
+    Rng rng(149);
+    ScopedSeed scoped(149);
+    std::map<Addr, uint64_t> golden_words;
+    for (int i = 0; i < 400; ++i) {
+        Addr a = rng.nextBelow(128) * 8;
+        uint64_t v = rng.next();
+        golden_words[a] = v;
+        h.cache->storeWord(a, v);
+    }
+    ProtectionScheme *scheme = h.cache->scheme();
+    for (int trial = 0; trial < 120; ++trial) {
+        std::vector<std::pair<Row, WideWord>> golden;
+        h.cache->forEachValidRow([&](Row row, bool) {
+            golden.emplace_back(row, h.cache->rowData(row));
+        });
+        ASSERT_FALSE(golden.empty());
+        Row r = golden[rng.nextBelow(golden.size())].first;
+        unsigned nbits = 1 + static_cast<unsigned>(rng.nextBelow(3));
+        for (unsigned b = 0; b < nbits; ++b)
+            h.cache->corruptBit(r,
+                                static_cast<unsigned>(rng.nextBelow(64)));
+        // Let the scheme detect / correct / misrepair as it will.
+        h.cache->load(h.cache->rowAddr(r), 8, nullptr);
+        // For schemes whose resyncRow() fully re-keys stored code,
+        // push further: post-snapshot stores move both the data and the
+        // code away from the golden image (the versioned save-state
+        // shape, where the restore target is older than the current
+        // contents).  Schemes with the no-op default only guarantee
+        // restore-to-latest, so they skip this.
+        if (GetParam().full_rekey_resync) {
+            for (int s = 0; s < 3; ++s) {
+                auto it = golden_words.begin();
+                std::advance(it,
+                             static_cast<long>(
+                                 rng.nextBelow(golden_words.size())));
+                h.cache->storeWord(it->first, rng.next());
+            }
+        }
+        // Restore exactly the way Campaign::restoreRows does.
+        for (const auto &[row, data] : golden) {
+            h.cache->pokeRowData(row, data);
+            scheme->resyncRow(row);
+        }
+        h.cache->forEachValidRow([&](Row row, bool) {
+            CPPC_ASSERT_TRUE(scheme->check(row))
+                << "scheme " << GetParam().name << " trial " << trial
+                << " row " << row
+                << " left inconsistent after restore+resync";
+        });
+    }
+    // With every trial unwound, reads must be transparent again.
+    for (const auto &[a, v] : golden_words)
+        CPPC_ASSERT_EQ(h.cache->loadWord(a), v);
 }
 
 TEST(SchemeState, RejectsForeignSchemeSection)

@@ -1,0 +1,26 @@
+"""Shared scaffolding for the CPPC static-analysis tools.
+
+Two tools build on this package:
+
+  tools/cppc_lint/cppc_lint.py      per-line invariant rules (D1 D2 H1 E1)
+  tools/cppc_analyze/cppc_analyze.py  interprocedural rules (S1 C1 H2 X1 CP1)
+
+The package owns everything both need to agree on: comment/string
+stripping, the `// cppc-lint:` directive language (allow / allow-file /
+allow-begin / allow-end / hot), suppression semantics, file collection,
+and the SARIF emitter.  A fix to directive parsing lands in both tools
+at once; a divergence between the two would mean the same annotation
+suppresses one tool but not the other.
+"""
+
+from .source import (  # noqa: F401
+    Finding,
+    SourceFile,
+    ToolError,
+    apply_suppressions,
+    collect_files,
+    load_source,
+    normalize_newlines,
+    strip_comments_and_strings,
+)
+from .sarif import findings_to_sarif, write_sarif  # noqa: F401

@@ -1,0 +1,399 @@
+"""Lexical C++ structure recovery for the interprocedural rules.
+
+Works on the comment- and string-blanked text of a SourceFile (column
+positions preserved), recovering just enough structure for the
+cppc_analyze rule families:
+
+  * function definitions (qualified name, parameter list, body span)
+  * call sites inside a body (simple callee names)
+  * enum definitions with their enumerator lists and enclosing scope
+  * switch statements with their case labels
+  * class/struct/namespace scope spans
+
+This is deliberately not a C++ parser.  It is an over-approximation
+tuned to this repo's style (function name at column start, no macro
+soup in signatures) plus the usual defences: keyword filtering, brace
+and paren matching, constructor-initializer-list handling.  When the
+optional libclang engine is available (`import clang.cindex`), the
+analyzer cross-checks these spans against the real AST; everywhere
+else this model is the engine.
+"""
+
+import bisect
+import re
+
+# Identifiers followed by '(' that are never function definitions or
+# calls of interest.
+NOT_A_FUNCTION = frozenset((
+    "if", "for", "while", "switch", "catch", "return", "sizeof",
+    "alignof", "decltype", "noexcept", "throw", "else", "do", "case",
+    "default", "new", "delete", "defined", "assert", "static_assert",
+    "alignas", "typedef", "using", "template", "typename", "operator",
+    "co_await", "co_return", "co_yield", "and", "or", "not", "requires",
+))
+
+CANDIDATE_RE = re.compile(r"(~?[A-Za-z_]\w*)\s*\(")
+QUALIFIER_RE = re.compile(
+    r"((?:[A-Za-z_]\w*(?:<[^<>]*>)?\s*::\s*)+)$")
+TRAILER_QUAL_RE = re.compile(
+    r"(const|noexcept|override|final|mutable|throw)\b")
+INIT_NAME_RE = re.compile(
+    r"[A-Za-z_]\w*(?:\s*::\s*[A-Za-z_]\w*)*(?:<[^<>]*>)?")
+ENUM_RE = re.compile(
+    r"\benum\s+(?:class\s+|struct\s+)?(?P<name>[A-Za-z_]\w*)\s*"
+    r"(?::\s*[A-Za-z_][\w:\s]*?)?\{")
+SCOPE_RE = re.compile(
+    r"\b(?P<kind>class|struct|namespace)\s+(?P<name>[A-Za-z_]\w*)"
+    r"(?:\s+final)?\s*(?::[^;{]*)?\{")
+SWITCH_RE = re.compile(r"\bswitch\s*\(")
+# The label may be scope-qualified: '::' is part of the label, a lone
+# ':' terminates it.
+CASE_RE = re.compile(
+    r"\bcase\s+(?P<label>(?:[^:;{}]|::)+?)\s*:(?!:)")
+DEFAULT_RE = re.compile(r"\bdefault\s*:")
+
+
+class LineMap:
+    def __init__(self, text):
+        self.starts = [0]
+        for m in re.finditer(r"\n", text):
+            self.starts.append(m.end())
+
+    def line(self, offset):
+        return bisect.bisect_right(self.starts, offset)
+
+
+def skip_ws(text, i):
+    n = len(text)
+    while i < n and text[i] in " \t\n":
+        i += 1
+    return i
+
+
+def match_bracket(text, i, open_ch, close_ch):
+    """Offset of the bracket matching text[i] (which must be open_ch),
+    or -1 when unbalanced.  Assumes comment/string-blanked text."""
+    depth = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == open_ch:
+            depth += 1
+        elif c == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return -1
+
+
+def match_paren(text, i):
+    return match_bracket(text, i, "(", ")")
+
+
+def match_brace(text, i):
+    return match_bracket(text, i, "{", "}")
+
+
+class Function:
+    """One function definition found in a file."""
+
+    def __init__(self, name, qualifier, sig_start, params_start,
+                 params_end, body_start, body_end):
+        self.name = name                  # simple name, e.g. loadBody
+        self.qualifier = qualifier        # e.g. "SecdedScheme" or ""
+        self.sig_start = sig_start        # offset of the name token
+        self.params_start = params_start  # offset of '('
+        self.params_end = params_end      # offset of ')'
+        self.body_start = body_start      # offset of '{'
+        self.body_end = body_end          # offset of matching '}'
+
+    @property
+    def qualified(self):
+        return (self.qualifier + "::" + self.name if self.qualifier
+                else self.name)
+
+    def params_text(self, text):
+        return text[self.params_start + 1:self.params_end]
+
+    def body_text(self, text):
+        return text[self.body_start + 1:self.body_end]
+
+
+def _parse_trailer(text, pos):
+    """Classify what follows a candidate's closing paren.
+
+    Returns ('def', body_open_offset) for a function definition,
+    ('skip', None) otherwise (declaration, expression, macro use...).
+    """
+    n = len(text)
+    i = skip_ws(text, pos)
+    while True:
+        m = TRAILER_QUAL_RE.match(text, i)
+        if not m:
+            break
+        i = skip_ws(text, m.end())
+        if i < n and text[i] == "(":   # noexcept(...), throw()
+            close = match_paren(text, i)
+            if close < 0:
+                return ("skip", None)
+            i = skip_ws(text, close + 1)
+    if text[i:i + 2] == "->":
+        depth = 0
+        i += 2
+        while i < n:
+            c = text[i]
+            if c in "(<[":
+                depth += 1
+            elif c in ")>]":
+                depth -= 1
+            elif c == "{" and depth <= 0:
+                return ("def", i)
+            elif c == ";" and depth <= 0:
+                return ("skip", None)
+            i += 1
+        return ("skip", None)
+    if i < n and text[i] == "{":
+        return ("def", i)
+    if i < n and text[i] == ":" and text[i:i + 2] != "::":
+        # Constructor initializer list: member(expr) or member{expr}
+        # pairs separated by commas, then the body brace.
+        i += 1
+        while i < n:
+            i = skip_ws(text, i)
+            m = INIT_NAME_RE.match(text, i)
+            if not m:
+                return ("skip", None)
+            i = skip_ws(text, m.end())
+            if i < n and text[i] == "(":
+                close = match_paren(text, i)
+            elif i < n and text[i] == "{":
+                close = match_brace(text, i)
+            else:
+                return ("skip", None)
+            if close < 0:
+                return ("skip", None)
+            i = skip_ws(text, close + 1)
+            if i < n and text[i] == ",":
+                i += 1
+                continue
+            if i < n and text[i] == "{":
+                return ("def", i)
+            return ("skip", None)
+    return ("skip", None)
+
+
+def extract_functions(text):
+    """All function definitions in comment/string-blanked text."""
+    functions = []
+    for m in CANDIDATE_RE.finditer(text):
+        name = m.group(1)
+        if name in NOT_A_FUNCTION:
+            continue
+        open_paren = m.end() - 1
+        before = text[:m.start()]
+        qm = QUALIFIER_RE.search(before)
+        qualifier = ""
+        if qm:
+            qualifier = re.sub(r"\s+", "", qm.group(1)).rstrip(":")
+            if qualifier.split("::")[-1] == "operator":
+                continue
+        close_paren = match_paren(text, open_paren)
+        if close_paren < 0:
+            continue
+        kind, body_open = _parse_trailer(text, close_paren + 1)
+        if kind != "def":
+            continue
+        body_close = match_brace(text, body_open)
+        if body_close < 0:
+            continue
+        functions.append(Function(
+            name, qualifier, m.start(), open_paren, close_paren,
+            body_open, body_close))
+    # Drop "definitions" nested inside another definition's parameter
+    # list (e.g. a candidate inside a lambda passed as an argument was
+    # already scanned on its own; a control construct never reaches
+    # here thanks to the keyword filter).
+    return functions
+
+
+def calls_in_span(text, start, end):
+    """(name, offset) for each call-shaped candidate in [start, end)."""
+    out = []
+    for m in CANDIDATE_RE.finditer(text, start, end):
+        name = m.group(1)
+        if name in NOT_A_FUNCTION or name.startswith("~"):
+            continue
+        out.append((name, m.start()))
+    return out
+
+
+def scope_spans(text):
+    """(start, end, kind, name) spans of class/struct/namespace bodies.
+
+    `start` is the offset of the opening brace.  Forward declarations
+    (`class X;`) never match because the regex requires the brace.
+    """
+    spans = []
+    for m in SCOPE_RE.finditer(text):
+        open_brace = m.end() - 1
+        close = match_brace(text, open_brace)
+        if close < 0:
+            continue
+        spans.append((open_brace, close, m.group("kind"),
+                      m.group("name")))
+    return spans
+
+
+def scope_path(spans, offset):
+    """Names of the scopes enclosing @p offset, outermost first."""
+    return [name for start, end, _kind, name in spans
+            if start < offset < end]
+
+
+class EnumDef:
+    def __init__(self, name, path, enumerators, offset):
+        self.name = name          # simple name, e.g. Status
+        self.path = path          # qualified, e.g. HammingSecded::Status
+        self.enumerators = enumerators
+        self.offset = offset
+
+
+def extract_enums(text):
+    spans = scope_spans(text)
+    enums = []
+    for m in ENUM_RE.finditer(text):
+        open_brace = m.end() - 1
+        close = match_brace(text, open_brace)
+        if close < 0:
+            continue
+        body = text[open_brace + 1:close]
+        enumerators = []
+        for item in split_top_level(body, ","):
+            em = re.match(r"\s*([A-Za-z_]\w*)", item)
+            if em:
+                enumerators.append(em.group(1))
+        path = "::".join(scope_path(spans, m.start())
+                         + [m.group("name")])
+        enums.append(EnumDef(m.group("name"), path, enumerators,
+                             m.start()))
+    return enums
+
+
+def split_top_level(text, sep):
+    """Split on @p sep at bracket depth 0."""
+    parts = []
+    depth = 0
+    cur = []
+    for c in text:
+        if c in "({[<":
+            depth += 1
+        elif c in ")}]>":
+            depth -= 1
+        if c == sep and depth <= 0:
+            parts.append("".join(cur))
+            cur = []
+        else:
+            cur.append(c)
+    if cur:
+        parts.append("".join(cur))
+    return parts
+
+
+class SwitchStmt:
+    def __init__(self, offset, subject, body_start, body_end, labels,
+                 has_default, default_offset):
+        self.offset = offset
+        self.subject = subject
+        self.body_start = body_start
+        self.body_end = body_end
+        self.labels = labels              # [(label_text, offset)]
+        self.has_default = has_default
+        self.default_offset = default_offset
+
+
+def extract_switches(text):
+    switches = []
+    for m in SWITCH_RE.finditer(text):
+        open_paren = m.end() - 1
+        close_paren = match_paren(text, open_paren)
+        if close_paren < 0:
+            continue
+        body_open = skip_ws(text, close_paren + 1)
+        if body_open >= len(text) or text[body_open] != "{":
+            continue
+        body_close = match_brace(text, body_open)
+        if body_close < 0:
+            continue
+        labels = []
+        has_default = False
+        default_offset = -1
+        # Only labels at this switch's own nesting level count: a
+        # nested switch's cases must not mask a missing enumerator.
+        depth = 0
+        i = body_open + 1
+        while i < body_close:
+            c = text[i]
+            if c == "{":
+                depth += 1
+            elif c == "}":
+                depth -= 1
+            elif depth == 0:
+                cm = CASE_RE.match(text, i)
+                if cm:
+                    labels.append((cm.group("label").strip(),
+                                   cm.start()))
+                    i = cm.end()
+                    continue
+                dm = DEFAULT_RE.match(text, i)
+                if dm and (i == 0 or not re.match(
+                        r"[\w:]", text[i - 1])):
+                    has_default = True
+                    default_offset = i
+                    i = dm.end()
+                    continue
+            i += 1
+        switches.append(SwitchStmt(
+            m.start(), text[open_paren + 1:close_paren].strip(),
+            body_open, body_close, labels, has_default,
+            default_offset))
+    return switches
+
+
+def braced_range_for_spans(text, start, end):
+    """Spans of `for (x : {a, b, ...})` loop bodies with the element
+    count of the braced list — decode-side codecs use this shape to
+    read one record per initializer, so C1 multiplies events inside
+    the body by the count.
+
+    Returns [(body_start, body_end, count)].
+    """
+    spans = []
+    for m in re.finditer(r"\bfor\s*\(", text[start:end]):
+        open_paren = start + m.end() - 1
+        close_paren = match_paren(text, open_paren)
+        if close_paren < 0 or close_paren > end:
+            continue
+        head = text[open_paren + 1:close_paren]
+        cm = re.search(r":\s*\{", head)
+        if not cm:
+            continue
+        brace_off = open_paren + 1 + cm.end() - 1
+        brace_close = match_brace(text, brace_off)
+        if brace_close < 0:
+            continue
+        count = len(split_top_level(
+            text[brace_off + 1:brace_close], ","))
+        body_open = skip_ws(text, close_paren + 1)
+        if body_open >= len(text) or text[body_open] != "{":
+            # Single-statement body: span to the next ';'.
+            semi = text.find(";", body_open)
+            if semi < 0:
+                continue
+            spans.append((body_open, semi + 1, count))
+            continue
+        body_close = match_brace(text, body_open)
+        if body_close < 0:
+            continue
+        spans.append((body_open, body_close + 1, count))
+    return spans

@@ -1,0 +1,66 @@
+"""SARIF 2.1.0 emission shared by cppc_lint and cppc_analyze.
+
+One emitter for both tools so CI uploads render identically as inline
+annotations.  Output is deterministic: results arrive pre-sorted from
+the drivers, rule metadata is emitted in catalogue order, and no
+timestamps or absolute paths leak into the document (paths are
+SRCROOT-relative so the log is reproducible across checkouts).
+"""
+
+import json
+
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemas/sarif-schema-2.1.0.json")
+
+
+def findings_to_sarif(tool_name, rule_order, rule_doc, findings):
+    """Build a SARIF document (as a dict) from Finding objects.
+
+    rule_order: iterable of rule ids, catalogue order.
+    rule_doc:   rule id -> one-line description.
+    """
+    rules = [{
+        "id": rule,
+        "shortDescription": {"text": rule_doc.get(rule, rule)},
+        "defaultConfiguration": {"level": "error"},
+    } for rule in rule_order]
+    rule_index = {rule: i for i, rule in enumerate(rule_order)}
+
+    results = []
+    for f in findings:
+        result = {
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": f.path.replace("\\", "/"),
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": max(1, f.line)},
+                },
+            }],
+        }
+        if f.rule in rule_index:
+            result["ruleIndex"] = rule_index[f.rule]
+        results.append(result)
+
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": tool_name,
+                "rules": rules,
+            }},
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:./"}},
+            "results": results,
+        }],
+    }
+
+
+def write_sarif(path, doc):
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")

@@ -1,0 +1,239 @@
+"""Source scanning, directive parsing and suppression semantics.
+
+This module is the single definition of how the `// cppc-lint:`
+annotation language is read.  Both tools (cppc_lint, cppc_analyze)
+import it, so a suppression means the same thing to both.
+
+Hardening over the original in-tool implementation:
+
+  * CRLF / lone-CR files are normalized before any scanning, so a
+    directive at the end of a CRLF line still parses and column-based
+    heuristics do not see a trailing '\r'.
+  * Directives are scanned on a *string-blanked* view of the file
+    (comments kept, string/char/raw-string literals blanked), so a
+    `// cppc-lint:` sequence inside a raw string or string literal —
+    e.g. a tool embedding its own documentation — never registers as a
+    live suppression.
+  * Several directives on one line all register (finditer, not search).
+  * Block suppressions `allow-begin(R): reason` / `allow-end(R)` nest:
+    each end pops the innermost open begin for that rule.  A dangling
+    begin or an end with no begin is itself reported as a finding
+    (rule DIR), because a suppression that silently covers the rest of
+    the file — or covers nothing — is exactly the kind of latent
+    defect these tools exist to catch.
+"""
+
+import os
+import re
+
+SOURCE_EXTS = (".cc", ".hh", ".cpp", ".h", ".hpp")
+
+DIRECTIVE_RE = re.compile(
+    r"//\s*cppc-lint:\s*"
+    r"(?P<kind>hot|allow-file|allow-begin|allow-end|allow)"
+    r"(?:\s*\(\s*(?P<rules>[A-Z0-9,\s]+)\s*\))?"
+)
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return "%s:%d: %s: %s" % (self.path, self.line, self.rule,
+                                  self.message)
+
+
+class ToolError(Exception):
+    """Usage or environment problem; maps to exit code 2."""
+
+
+def normalize_newlines(text):
+    """Fold CRLF and lone CR to LF.  Every later stage (line splitting,
+    column-preserving blanking, end-of-line regexes) assumes LF."""
+    return text.replace("\r\n", "\n").replace("\r", "\n")
+
+
+def strip_comments_and_strings(text, blank_comments=True,
+                               blank_strings=True):
+    """Blank out comments and/or string, char and raw-string literals,
+    preserving line structure and column positions, so rule regexes
+    never fire inside them.
+
+    With blank_comments=False, comments are copied verbatim — that view
+    is what directive scanning uses: directives live in comments, but a
+    directive-shaped sequence inside a string literal must not count.
+    """
+    out = []
+    i, n = 0, len(text)
+
+    def blank(seg, do_blank):
+        if do_blank:
+            return "".join("\n" if ch == "\n" else " " for ch in seg)
+        return seg
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(blank(text[i:j], blank_comments))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            out.append(blank(text[i:j + 2], blank_comments))
+            i = j + 2
+        elif c == "R" and nxt == '"':
+            m = re.match(r'R"([^(\s]*)\(', text[i:])
+            if not m:
+                out.append(c)
+                i += 1
+                continue
+            close = ")" + m.group(1) + '"'
+            j = text.find(close, i + m.end())
+            j = n - len(close) if j < 0 else j
+            out.append(blank(text[i:j + len(close)], blank_strings))
+            i = j + len(close)
+        elif c == '"' or c == "'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            out.append(blank(text[i:j + 1], blank_strings))
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class SourceFile:
+    """One scanned file.
+
+    raw_lines       the file as written (reasons, literals)
+    lines           comment- and string-blanked (rule scanning)
+    directive_lines string-blanked only (directive scanning)
+    """
+
+    def __init__(self, path, rel, text):
+        text = normalize_newlines(text)
+        self.path = path
+        self.rel = rel
+        self.text = text
+        self.raw_lines = text.splitlines()
+        self.stripped = strip_comments_and_strings(text)
+        self.lines = self.stripped.splitlines()
+        directive_text = strip_comments_and_strings(
+            text, blank_comments=False, blank_strings=True)
+        self.directive_lines = directive_text.splitlines()
+
+        # line no -> set of rules allowed on that line (and the next)
+        self.allows = {}
+        self.file_allows = set()
+        self.hot_lines = []
+        # closed allow-begin/allow-end spans: (first, last, ruleset)
+        self.allow_ranges = []
+        # (line, message) for malformed directive structure
+        self.directive_problems = []
+
+        open_blocks = []  # stack of [line, ruleset]
+        for ln, dline in enumerate(self.directive_lines, 1):
+            for m in DIRECTIVE_RE.finditer(dline):
+                kind = m.group("kind")
+                rules = set()
+                if m.group("rules"):
+                    rules = {r.strip()
+                             for r in m.group("rules").split(",")
+                             if r.strip()}
+                if kind == "hot":
+                    self.hot_lines.append(ln)
+                elif kind == "allow":
+                    self.allows.setdefault(ln, set()).update(rules)
+                elif kind == "allow-file":
+                    self.file_allows.update(rules)
+                elif kind == "allow-begin":
+                    if not rules:
+                        self.directive_problems.append(
+                            (ln, "allow-begin names no rules"))
+                        continue
+                    open_blocks.append([ln, rules])
+                elif kind == "allow-end":
+                    matched = None
+                    for idx in range(len(open_blocks) - 1, -1, -1):
+                        if not rules or open_blocks[idx][1] & rules:
+                            matched = idx
+                            break
+                    if matched is None:
+                        self.directive_problems.append(
+                            (ln, "allow-end with no matching "
+                                 "allow-begin"))
+                        continue
+                    start, block_rules = open_blocks.pop(matched)
+                    ended = block_rules & rules if rules else block_rules
+                    self.allow_ranges.append((start, ln, ended))
+                    left = block_rules - ended
+                    if left:
+                        # Partial close keeps the rest of the block open.
+                        open_blocks.insert(matched, [start, left])
+        for start, rules in open_blocks:
+            self.directive_problems.append(
+                (start, "allow-begin(%s) never closed; it would "
+                        "silently suppress to end of file"
+                        % ",".join(sorted(rules))))
+
+    def allowed(self, line, rule):
+        if rule in self.file_allows:
+            return True
+        # A directive suppresses its own line and the following line
+        # (the common `// cppc-lint: allow(X): why` - on - its - own -
+        # line layout).
+        for at in (line, line - 1):
+            if rule in self.allows.get(at, set()):
+                return True
+        for start, end, rules in self.allow_ranges:
+            if start <= line <= end and rule in rules:
+                return True
+        return False
+
+    def directive_findings(self):
+        return [Finding(self.rel, ln, "DIR",
+                        "malformed suppression: %s" % msg)
+                for ln, msg in self.directive_problems]
+
+
+def load_source(root, rel):
+    path = os.path.join(root, rel)
+    with open(path, "r", encoding="utf-8", errors="replace",
+              newline="") as f:
+        return SourceFile(path, rel, f.read())
+
+
+def collect_files(root, include, exclude, explicit_paths=None):
+    rels = []
+    roots = explicit_paths if explicit_paths else include
+    for top in roots:
+        top_abs = os.path.join(root, top)
+        if os.path.isfile(top_abs):
+            rels.append(os.path.relpath(top_abs, root))
+            continue
+        for dirpath, dirnames, filenames in os.walk(top_abs):
+            dirnames.sort()
+            rel_dir = os.path.relpath(dirpath, root)
+            if any(rel_dir == ex or rel_dir.startswith(ex + "/")
+                   for ex in exclude):
+                dirnames[:] = []
+                continue
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTS):
+                    rels.append(os.path.normpath(
+                        os.path.join(rel_dir, name)))
+    return rels
+
+
+def apply_suppressions(src, findings):
+    return [f for f in findings if not src.allowed(f.line, f.rule)]

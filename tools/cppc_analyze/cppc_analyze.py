@@ -1,0 +1,1206 @@
+#!/usr/bin/env python3
+"""cppc-analyze: interprocedural invariant analysis for CPPC.
+
+cppc_lint (PR 5) enforces *per-line* conventions.  Three bug classes
+that grew with PRs 8-9 are invisible to it because they live in the
+relationship *between* functions: a field serialized by saveState but
+never restored by loadState, a journal codec whose decode consumes
+fields in a different order than encode produced them, a rename
+durability site with no crash-point instrumentation.  This tool builds
+a whole-program lexical model (functions, call graph, enums, switches)
+and checks five rule families across it:
+
+  S1  save/load symmetry: every state-writing function (saveState,
+      saveBody, savePayload, save, encode*Snapshot — anything holding
+      a StateWriter) must have a load counterpart whose primitive
+      sequence (u8/u32/u64/f64/str/wide/blob/vecU8/vecU32/vecU64,
+      begin/end, nested save calls) matches kind-for-kind in order;
+      section tags must match; every `_`-suffixed member the save side
+      serializes must appear on the load side; a load-side local read
+      from the reader but never used again is dead-restored state.
+  C1  codec symmetry: each textual journal codec pair
+      (encodeX/decodeX over encodeU64/encodeDouble/hexEncode) must
+      touch the same fields in the same order and count, with the
+      decode-side splitFields(_, N, _) literal equal to the expanded
+      field count (helper encoders are inlined; a decode-side
+      `for (x : {a, b})` multiplies its body's events).
+  H2  transitive hot-path purity: from every `// cppc-lint: hot`
+      function, walk the call graph; no path may reach allocation
+      (beyond depth 0, which H1 already owns), throwing, locking, or
+      I/O.  Frontier functions (config, each with a written reason)
+      stop the walk.
+  X1  exhaustive outcome switches: a switch over a configured enum
+      (VerifyOutcome, InjectionOutcome, ...) must name every
+      enumerator and must not carry a `default:` that would silently
+      swallow a future enumerator.
+  CP1 crash-point coverage: every raw ::rename/std::rename durability
+      site must be bracketed by crashPoint() calls in the same
+      function, and the set of crashPoint("...") site names in the
+      tree must exactly equal the registered site list in
+      cppc_analyze.toml (the CPPC_CRASH_TRACE contract) — both
+      directions.
+
+Engines
+-------
+  syntactic (default, zero dependencies): the lexical model above,
+      over every file in the include set; compile_commands.json, when
+      present, contributes its TU list to the scanned set.
+  libclang (optional): when the `clang.cindex` Python bindings are
+      importable, each TU in compile_commands.json is parsed and the
+      lexical function spans are cross-checked against real AST
+      extents (lexical functions with no AST counterpart are dropped).
+      The rules themselves run on the same model either way.
+  auto: libclang when bindings and a compilation database exist,
+      syntactic otherwise.  This container-friendly gating mirrors
+      cppc_lint's regex/clang split: the gating is the point — the
+      tool must stay green on a box with no clang at all.
+
+Suppressions are shared with cppc_lint via tools/analysis_common
+(allow / allow-file / allow-begin / allow-end, annotations inside
+string literals never register).  Exit codes: 0 clean, 1 findings,
+2 usage/internal error.  --sarif writes SARIF 2.1.0 for CI inline
+annotations.
+
+Self-check (`--self-check`): runs every rule against its sabotage
+fixture under tools/cppc_analyze/fixtures/ and the clean fixture; a
+rule that cannot catch its planted bug fails the check.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+try:
+    import tomllib
+except ImportError:  # pragma: no cover - Python < 3.11 fallback
+    tomllib = None
+
+TOOL_DIR = os.path.dirname(os.path.abspath(__file__))
+TOOLS_DIR = os.path.dirname(TOOL_DIR)
+DEFAULT_ROOT = os.path.dirname(TOOLS_DIR)
+CONFIG_PATH = os.path.join(TOOL_DIR, "cppc_analyze.toml")
+FIXTURES_DIR = os.path.join(TOOL_DIR, "fixtures")
+
+sys.path.insert(0, TOOLS_DIR)
+
+from analysis_common import (  # noqa: E402
+    Finding,
+    ToolError,
+    apply_suppressions,
+    collect_files,
+    findings_to_sarif,
+    load_source,
+    write_sarif,
+)
+from analysis_common.cxx import (  # noqa: E402
+    LineMap,
+    braced_range_for_spans,
+    calls_in_span,
+    extract_enums,
+    extract_functions,
+    extract_switches,
+    match_paren,
+    split_top_level,
+)
+
+RULES = ("S1", "C1", "H2", "X1", "CP1")
+
+RULE_DOC = {
+    "S1": "save/load state symmetry violation",
+    "C1": "journal codec encode/decode asymmetry",
+    "H2": "hot path transitively reaches an impure operation",
+    "X1": "non-exhaustive (or default-carrying) outcome switch",
+    "CP1": "durability site without registered crash-point coverage",
+    "DIR": "malformed suppression directive",
+}
+
+STATE_PRIMS = ("u8", "u16", "u32", "u64", "f64", "str", "wide", "blob",
+               "vecU8", "vecU16", "vecU32", "vecU64")
+
+
+# --------------------------------------------------------------- config
+
+
+class Config:
+    def __init__(self):
+        self.include = ["src", "bench", "tools", "examples", "tests"]
+        self.exclude = ["tools/cppc_lint", "tools/cppc_analyze"]
+        self.s1_pairs = []      # extra [save_name, load_name] pairs
+        self.c1_paths = []      # files holding textual journal codecs
+        self.h2_frontier = {}   # callee name -> reason the walk stops
+        self.x1_enums = []      # enum paths (suffix-matched)
+        self.cp1_sites = []     # the registered crash-point site names
+
+    @staticmethod
+    def load(path):
+        cfg = Config()
+        if not os.path.exists(path):
+            return cfg
+        if tomllib is None:
+            raise ToolError(
+                "config %s needs tomllib (Python >= 3.11)" % path)
+        with open(path, "rb") as f:
+            data = tomllib.load(f)
+        paths = data.get("paths", {})
+        cfg.include = paths.get("include", cfg.include)
+        cfg.exclude = paths.get("exclude", cfg.exclude)
+        rules = data.get("rules", {})
+        cfg.s1_pairs = [list(p) for p in
+                        rules.get("S1", {}).get("pairs", [])]
+        cfg.c1_paths = rules.get("C1", {}).get("paths", [])
+        cfg.h2_frontier = dict(rules.get("H2", {}).get("frontier", {}))
+        cfg.x1_enums = rules.get("X1", {}).get("enums", [])
+        cfg.cp1_sites = rules.get("CP1", {}).get("sites", [])
+        return cfg
+
+
+# ---------------------------------------------------------------- model
+
+
+class FileModel:
+    """Per-file lexical structure, built once and shared by all rules."""
+
+    def __init__(self, src):
+        self.src = src
+        self.text = src.stripped        # column-aligned with src.text
+        self.linemap = LineMap(self.text)
+        self.functions = extract_functions(self.text)
+        self.enums = extract_enums(self.text)
+        self.switches = extract_switches(self.text)
+
+    def line(self, offset):
+        return self.linemap.line(offset)
+
+    def raw(self, a, b):
+        """Original text for [a, b): literal recovery (tags, sites)."""
+        return self.src.text[a:b]
+
+
+class Model:
+    def __init__(self, root, rels):
+        self.root = root
+        self.files = {}
+        self.fn_index = {}   # simple name -> [(rel, Function)]
+        for rel in rels:
+            fm = FileModel(load_source(root, rel))
+            self.files[rel] = fm
+            for fn in fm.functions:
+                self.fn_index.setdefault(fn.name, []).append((rel, fn))
+
+
+# ------------------------------------------------- S1 save/load symmetry
+
+SAVE_TO_LOAD_SUBS = (("save", "load"), ("Save", "Load"),
+                     ("encode", "decode"), ("Encode", "Decode"))
+
+
+def load_counterpart_name(name, extra_pairs):
+    for save_name, load_name in extra_pairs:
+        if name == save_name:
+            return load_name
+    for a, b in SAVE_TO_LOAD_SUBS:
+        if a in name:
+            return name.replace(a, b)
+    return None
+
+
+def find_var(pattern, fm, fn):
+    m = re.search(pattern, fn.params_text(fm.text))
+    if m:
+        return m.group(1)
+    m = re.search(pattern, fn.body_text(fm.text))
+    if m:
+        return m.group(1)
+    return None
+
+
+def writer_var(fm, fn):
+    return find_var(r"\bStateWriter\s*&?\s*(\w+)\b", fm, fn)
+
+
+def reader_var(fm, fn):
+    return find_var(r"\bStateReader\s*&?\s*(\w+)\b", fm, fn)
+
+
+class StateEvent:
+    def __init__(self, kind, offset, arg=""):
+        self.kind = kind      # a primitive, "begin", "end", or "call:X"
+        self.offset = offset
+        self.arg = arg        # raw first-argument text, for messages
+
+
+def first_arg_raw(fm, open_paren):
+    close = match_paren(fm.text, open_paren)
+    if close < 0:
+        return ""
+    args = split_top_level(fm.text[open_paren + 1:close], ",")
+    if not args:
+        return ""
+    length = len(args[0])
+    raw = fm.raw(open_paren + 1, open_paren + 1 + length)
+    return re.sub(r"\s+", " ", raw).strip()
+
+
+def state_events(fm, fn, var, side, extra_pairs):
+    """Ordered normalized state-I/O events in @p fn's body.
+
+    Call events are normalized to the load-side name, so
+    `saveBody(w)` on the save side and `loadBody(r)` on the load side
+    both become "call:loadBody" and compare equal.
+    """
+    events = []
+    start, end = fn.body_start + 1, fn.body_end
+    prim_re = re.compile(
+        r"\b%s\s*\.\s*(\w+)\s*\(" % re.escape(var))
+    for m in prim_re.finditer(fm.text, start, end):
+        meth = m.group(1)
+        open_paren = m.end() - 1
+        if meth in STATE_PRIMS:
+            events.append(StateEvent(
+                meth, m.start(), first_arg_raw(fm, open_paren)))
+        elif meth in ("begin", "enter"):
+            events.append(StateEvent(
+                "begin", m.start(), first_arg_raw(fm, open_paren)))
+        elif meth in ("end", "leave"):
+            events.append(StateEvent("end", m.start()))
+    # Calls that hand the writer/reader to another state function:
+    # saveBody(w), repl_->savePayload(w), cache.saveState(w), ...
+    call_re = re.compile(
+        r"\b(\w+)\s*\(\s*%s\s*\)" % re.escape(var))
+    for m in call_re.finditer(fm.text, start, end):
+        callee = m.group(1)
+        if callee in ("StateWriter", "StateReader"):
+            continue
+        if side == "save":
+            normalized = load_counterpart_name(callee, extra_pairs)
+            if normalized is None:
+                continue
+        else:
+            normalized = callee
+        events.append(StateEvent("call:" + normalized, m.start()))
+    events.sort(key=lambda e: e.offset)
+    return events
+
+
+LOAD_LOCAL_RE_TMPL = (
+    r"(?:const\s+)?[A-Za-z_][\w:<>,\s]*?[&\s]\s*(\w+)\s*=\s*"
+    r"%s\s*\.\s*(?:%s)\s*\(")
+
+
+def rule_s1(model, cfg):
+    findings = []
+    paired_loads = set()
+    load_names = set()
+    for rel, fm in sorted(model.files.items()):
+        for fn in fm.functions:
+            if reader_var(fm, fn):
+                load_names.add((rel, fn.qualified))
+
+    for rel, fm in sorted(model.files.items()):
+        for fn in fm.functions:
+            wvar = writer_var(fm, fn)
+            if not wvar:
+                continue
+            counterpart = load_counterpart_name(fn.name, cfg.s1_pairs)
+            if counterpart is None or counterpart == fn.name:
+                continue
+            load_fn, load_rel = find_load_fn(model, rel, fn,
+                                             counterpart)
+            save_line = fm.line(fn.sig_start)
+            if load_fn is None:
+                findings.append(Finding(
+                    rel, save_line, "S1",
+                    "%s serializes state but no %s counterpart was "
+                    "found: saved fields can never be restored"
+                    % (fn.qualified, counterpart)))
+                continue
+            load_fm = model.files[load_rel]
+            rvar = reader_var(load_fm, load_fn)
+            if not rvar:
+                continue
+            paired_loads.add((load_rel, load_fn.qualified))
+            findings += check_s1_pair(fm, fn, wvar, load_fm, load_fn,
+                                      rvar, cfg)
+    # Load functions with a reader but no save counterpart found:
+    # restored-but-never-saved is the same drift, mirrored.
+    save_equivs = {}
+    for rel, fm in sorted(model.files.items()):
+        for fn in fm.functions:
+            if writer_var(fm, fn):
+                counterpart = load_counterpart_name(fn.name,
+                                                    cfg.s1_pairs)
+                if counterpart:
+                    save_equivs.setdefault(counterpart, []).append(fn)
+    for rel, fm in sorted(model.files.items()):
+        for fn in fm.functions:
+            rvar = reader_var(fm, fn)
+            if not rvar:
+                continue
+            if (rel, fn.qualified) in paired_loads:
+                continue
+            if fn.name not in save_equivs:
+                continue
+            findings.append(Finding(
+                rel, fm.line(fn.sig_start), "S1",
+                "%s restores state but was not reached from any "
+                "matching save function (name or signature drift?)"
+                % fn.qualified))
+    return findings
+
+
+def find_load_fn(model, rel, save_fn, counterpart):
+    """The load counterpart: same file + same qualifier first, then
+    same file any qualifier, then any file with the same qualifier."""
+    fm = model.files[rel]
+    same_file = [f for f in fm.functions if f.name == counterpart]
+    for f in same_file:
+        if f.qualifier == save_fn.qualifier:
+            return f, rel
+    if same_file:
+        return same_file[0], rel
+    for other_rel, f in model.fn_index.get(counterpart, []):
+        if f.qualifier == save_fn.qualifier:
+            return f, other_rel
+    return None, None
+
+
+def check_s1_pair(save_fm, save_fn, wvar, load_fm, load_fn, rvar, cfg):
+    findings = []
+    save_events = state_events(save_fm, save_fn, wvar, "save",
+                               cfg.s1_pairs)
+    load_events = state_events(load_fm, load_fn, rvar, "load",
+                               cfg.s1_pairs)
+    pair = "%s/%s" % (save_fn.qualified, load_fn.qualified)
+
+    # S1a: primitive kind sequences must match position by position.
+    for i, (se, le) in enumerate(zip(save_events, load_events)):
+        if se.kind != le.kind:
+            findings.append(Finding(
+                load_fm.src.rel, load_fm.line(le.offset), "S1",
+                "%s: state event %d diverges: save does %s(%s) at "
+                "%s:%d but load does %s" % (
+                    pair, i + 1, se.kind, se.arg, save_fm.src.rel,
+                    save_fm.line(se.offset), le.kind)))
+            break
+    else:
+        if len(save_events) != len(load_events):
+            longer_is_save = len(save_events) > len(load_events)
+            fm = save_fm if longer_is_save else load_fm
+            extra = (save_events if longer_is_save
+                     else load_events)[min(len(save_events),
+                                           len(load_events))]
+            findings.append(Finding(
+                fm.src.rel, fm.line(extra.offset), "S1",
+                "%s: save produces %d state events but load consumes "
+                "%d; first unmatched: %s(%s)" % (
+                    pair, len(save_events), len(load_events),
+                    extra.kind, extra.arg)))
+
+    # S1b: section tags (and versions, when both sides carry one).
+    save_tags = [e for e in save_events if e.kind == "begin"]
+    load_tags = [e for e in load_events if e.kind == "begin"]
+    for se, le in zip(save_tags, load_tags):
+        if tag_token(se.arg) != tag_token(le.arg):
+            findings.append(Finding(
+                load_fm.src.rel, load_fm.line(le.offset), "S1",
+                "%s: section tag mismatch: save opens %s but load "
+                "opens %s" % (pair, se.arg, le.arg)))
+
+    # S1c: members the save side serializes must appear on the load
+    # side (`_`-suffixed identifiers only: repo member convention).
+    save_body = save_fm.text[save_fn.body_start:save_fn.body_end]
+    load_body = load_fm.text[load_fn.body_start:load_fn.body_end]
+    save_members = set(re.findall(r"\b([A-Za-z]\w*_)\b", save_body))
+    for member in sorted(save_members):
+        if not re.search(r"\b%s\b" % re.escape(member), load_body):
+            findings.append(Finding(
+                save_fm.src.rel, save_fm.line(save_fn.sig_start), "S1",
+                "%s: member %s is serialized by save but never "
+                "mentioned by load: saved state silently dropped on "
+                "restore" % (pair, member)))
+
+    # S1d: a load-side local initialized from the reader but never
+    # *consumed* is state that was read and then dropped.  Consumption
+    # means the local's value flows somewhere — assignment RHS, call
+    # argument, comparison, return.  An occurrence followed by . / ->
+    # / [ only probes the local's attributes (code.size() in a
+    # validation guard) and does not count: that is exactly the shape
+    # left behind when the `member_ = std::move(local)` line is lost.
+    local_re = re.compile(LOAD_LOCAL_RE_TMPL
+                          % (re.escape(rvar), "|".join(STATE_PRIMS)))
+    for m in local_re.finditer(load_fm.text, load_fn.body_start,
+                               load_fn.body_end):
+        name = m.group(1)
+        decl_off = m.start(1)
+        use_re = re.compile(
+            r"\b%s\b(?!\s*(?:\.|->|\[))" % re.escape(name))
+        consumed = any(
+            load_fn.body_start + um.start() != decl_off
+            for um in use_re.finditer(load_body))
+        if not consumed:
+            findings.append(Finding(
+                load_fm.src.rel, load_fm.line(m.start()), "S1",
+                "%s: local '%s' is read from the state image but "
+                "its value is never consumed: restored state "
+                "silently dropped" % (pair, name)))
+    return findings
+
+
+def tag_token(arg):
+    return re.sub(r"\s+", "", arg)
+
+
+# --------------------------------------------------- C1 codec symmetry
+
+C1_ENC_PRIMS = {"encodeU64": "u64", "encodeDouble": "f64",
+                "hexEncode": "hex"}
+C1_DEC_PRIMS = {"decodeU64": "u64", "decodeDouble": "f64",
+                "hexDecode": "hex"}
+
+
+class CodecEvent:
+    def __init__(self, kind, field, offset):
+        self.kind = kind
+        self.field = field
+        self.offset = offset
+
+
+def field_of_expr(expr):
+    """The struct field a codec expression touches: the last .x / ->x
+    component, else the bare identifier."""
+    parts = re.findall(r"(?:\.|->)\s*([A-Za-z_]\w*)", expr)
+    if parts:
+        return parts[-1]
+    m = re.search(r"([A-Za-z_]\w*)\s*$", expr.strip())
+    return m.group(1) if m else expr.strip()
+
+
+def statement_begin(text, offset):
+    for i in range(offset - 1, -1, -1):
+        if text[i] in ";{}":
+            return i + 1
+    return 0
+
+
+def decode_target(fm, offset):
+    """Assignment LHS of the statement containing @p offset."""
+    begin = statement_begin(fm.text, offset)
+    stmt = fm.text[begin:offset]
+    m = re.search(r"([\w.\[\]>-]+)\s*=[^=]\s*[^;]*$", stmt)
+    return m.group(1) if m else ""
+
+
+def codec_events(fm, fn, side, local_defs, depth=0):
+    """Expanded codec events for one encode/decode function: helper
+    calls are inlined, decode-side braced range-fors multiply."""
+    if depth > 8:
+        return []
+    prims = C1_ENC_PRIMS if side == "encode" else C1_DEC_PRIMS
+    start, end = fn.body_start + 1, fn.body_end
+    raw_events = []
+    for name, off in calls_in_span(fm.text, start, end):
+        if name in prims:
+            open_paren = fm.text.index("(", off)
+            if side == "encode":
+                field = field_of_expr(first_arg_raw(fm, open_paren))
+            else:
+                field = field_of_expr(decode_target(fm, off))
+            raw_events.append((off, [CodecEvent(prims[name], field,
+                                                off)]))
+        elif name in local_defs and name != fn.name:
+            callee = local_defs[name]
+            sub = codec_events(fm, callee, side, local_defs, depth + 1)
+            raw_events.append((off, sub))
+    raw_events.sort(key=lambda p: p[0])
+
+    spans = braced_range_for_spans(fm.text, start, end)
+    events = []
+    i = 0
+    while i < len(raw_events):
+        off = raw_events[i][0]
+        span = next(((s, e, k) for s, e, k in spans if s <= off < e),
+                    None)
+        if span is None:
+            events += raw_events[i][1]
+            i += 1
+            continue
+        block = []
+        while i < len(raw_events) and \
+                span[0] <= raw_events[i][0] < span[1]:
+            block += raw_events[i][1]
+            i += 1
+        events += block * span[2]
+    return events
+
+
+def split_fields_want(fm, fn):
+    """(count, offset) of the splitFields(_, N, _) literal, if any."""
+    m = re.search(r"\bsplitFields\s*\(", fm.text[fn.body_start:
+                                                 fn.body_end])
+    if not m:
+        return None, None
+    open_paren = fn.body_start + m.end() - 1
+    close = match_paren(fm.text, open_paren)
+    args = split_top_level(fm.text[open_paren + 1:close], ",")
+    if len(args) < 2:
+        return None, None
+    lit = args[1].strip()
+    if not re.fullmatch(r"\d+", lit):
+        return None, None
+    return int(lit), fn.body_start + m.start()
+
+
+def rule_c1(model, cfg):
+    findings = []
+    c1_files = [rel for rel in sorted(model.files)
+                if not cfg.c1_paths or any(
+                    rel == p or rel.startswith(p.rstrip("/") + "/")
+                    for p in cfg.c1_paths)]
+    for rel in c1_files:
+        fm = model.files[rel]
+        enc_defs = {f.name: f for f in fm.functions
+                    if f.name.startswith("encode")}
+        dec_defs = {f.name: f for f in fm.functions
+                    if f.name.startswith("decode")}
+        # Helpers consumed by another same-side codec are exempt from
+        # the pairing requirement (their twin is inlined structure on
+        # the other side, like decodeRunMetrics's energy loop).
+        helper_enc = called_within(fm, enc_defs)
+        helper_dec = called_within(fm, dec_defs)
+
+        for name in sorted(enc_defs):
+            enc = enc_defs[name]
+            dec_name = "decode" + name[len("encode"):]
+            dec = dec_defs.get(dec_name)
+            if dec is None:
+                if name in helper_enc or name in C1_ENC_PRIMS:
+                    continue
+                findings.append(Finding(
+                    rel, fm.line(enc.sig_start), "C1",
+                    "%s has no %s counterpart: journal records it "
+                    "writes can never be read back" % (name,
+                                                       dec_name)))
+                continue
+            findings += check_c1_pair(fm, enc, dec, enc_defs,
+                                      dec_defs)
+        for name in sorted(dec_defs):
+            if name in C1_DEC_PRIMS or name in helper_dec:
+                continue
+            enc_name = "encode" + name[len("decode"):]
+            if enc_name not in enc_defs:
+                findings.append(Finding(
+                    rel, fm.line(dec_defs[name].sig_start), "C1",
+                    "%s has no %s counterpart: it parses records "
+                    "nothing in this tree produces" % (name,
+                                                       enc_name)))
+    return findings
+
+
+def called_within(fm, defs):
+    called = set()
+    for fn in defs.values():
+        for name, _off in calls_in_span(fm.text, fn.body_start + 1,
+                                        fn.body_end):
+            if name in defs and name != fn.name:
+                called.add(name)
+    return called
+
+
+def check_c1_pair(fm, enc, dec, enc_defs, dec_defs):
+    findings = []
+    rel = fm.src.rel
+    enc_events = codec_events(fm, enc, "encode", enc_defs)
+    dec_events = codec_events(fm, dec, "decode", dec_defs)
+    pair = "%s/%s" % (enc.name, dec.name)
+
+    for i, (ee, de) in enumerate(zip(enc_events, dec_events)):
+        if ee.kind != de.kind:
+            findings.append(Finding(
+                rel, fm.line(de.offset), "C1",
+                "%s: field %d kind mismatch: encode writes %s(%s) "
+                "at line %d but decode reads %s(%s)" % (
+                    pair, i + 1, ee.kind, ee.field,
+                    fm.line(ee.offset), de.kind, de.field)))
+            break
+        if ee.field and de.field and ee.field != de.field:
+            findings.append(Finding(
+                rel, fm.line(de.offset), "C1",
+                "%s: field %d order drift: encode writes '%s' at "
+                "line %d but decode stores into '%s'" % (
+                    pair, i + 1, ee.field, fm.line(ee.offset),
+                    de.field)))
+            break
+    else:
+        if len(enc_events) != len(dec_events):
+            findings.append(Finding(
+                rel, fm.line(dec.sig_start), "C1",
+                "%s: encode produces %d fields but decode consumes "
+                "%d" % (pair, len(enc_events), len(dec_events))))
+
+    want, off = split_fields_want(fm, dec)
+    if want is not None:
+        if want != len(dec_events):
+            findings.append(Finding(
+                rel, fm.line(off), "C1",
+                "%s: splitFields expects %d fields but decode "
+                "consumes %d" % (pair, want, len(dec_events))))
+        elif want != len(enc_events):
+            findings.append(Finding(
+                rel, fm.line(off), "C1",
+                "%s: splitFields expects %d fields but encode "
+                "produces %d" % (pair, want, len(enc_events))))
+    return findings
+
+
+# -------------------------------------------- H2 transitive hot purity
+
+H2_ALLOC_PATTERNS = [
+    (re.compile(r"(?<![\w.:>])new\b"), "operator new"),
+    (re.compile(r"\bmake_unique\b"), "std::make_unique"),
+    (re.compile(r"\bmake_shared\b"), "std::make_shared"),
+    (re.compile(r"(?:\.|->)\s*push_back\s*\("), "push_back"),
+    (re.compile(r"(?:\.|->)\s*emplace_back\s*\("), "emplace_back"),
+    (re.compile(r"(?:\.|->)\s*resize\s*\("), "resize"),
+    (re.compile(r"(?:\.|->)\s*reserve\s*\("), "reserve"),
+    (re.compile(r"\b(?:std\s*::\s*)?(?:vector|string|deque|list|map|"
+                r"set|unordered_map|unordered_set)\s*<[^;{}]*?>\s+"
+                r"[A-Za-z_]\w*\s*[;={(]"), "local container"),
+]
+H2_SIN_PATTERNS = [
+    ("throws", re.compile(r"\bthrow\b")),
+    ("locks", re.compile(
+        r"\b(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+        r"|(?:\.|->)\s*lock\s*\(|\bpthread_mutex_lock\b")),
+    ("does I/O", re.compile(
+        r"\b(?:fopen|fclose|fread|fwrite|fprintf|fscanf|fflush|fsync"
+        r"|fputs|fgets|fseek)\s*\("
+        r"|\bstd\s*::\s*(?:cout|cerr|clog|ofstream|ifstream|fstream"
+        r"|getline)\b"
+        r"|(?<![\w.>])::\s*(?:open|read|write|close|rename|unlink)"
+        r"\s*\(")),
+]
+
+
+def function_sins(fm, fn, depth):
+    sins = []
+    body_start, body_end = fn.body_start + 1, fn.body_end
+    for verb, pat in H2_SIN_PATTERNS:
+        for m in pat.finditer(fm.text, body_start, body_end):
+            sins.append((verb, m.start(), m.group(0).strip()))
+    if depth > 0:
+        # Depth 0 allocation is H1's intraprocedural job; H2 owns the
+        # transitive closure beyond it.
+        for pat, name in H2_ALLOC_PATTERNS:
+            for m in pat.finditer(fm.text, body_start, body_end):
+                sins.append(("allocates", m.start(), name))
+    return sins
+
+
+def hot_roots(model):
+    roots = []
+    for rel, fm in sorted(model.files.items()):
+        for hot_line in fm.src.hot_lines:
+            hot_off = fm.linemap.starts[min(
+                hot_line, len(fm.linemap.starts) - 1)]
+            candidates = [f for f in fm.functions
+                          if f.body_start >= hot_off]
+            if not candidates:
+                continue
+            roots.append((rel, min(candidates,
+                                   key=lambda f: f.body_start)))
+    return roots
+
+
+def rule_h2(model, cfg):
+    findings = []
+    reported = set()
+    for root_rel, root_fn in hot_roots(model):
+        visited = set()
+        stack = [(root_rel, root_fn, (root_fn.name,), 0)]
+        while stack:
+            rel, fn, path, depth = stack.pop()
+            key = (rel, fn.body_start)
+            if key in visited or depth > 64:
+                continue
+            visited.add(key)
+            fm = model.files[rel]
+            for verb, off, what in function_sins(fm, fn, depth):
+                sig = (root_rel, root_fn.name, rel, fm.line(off))
+                if sig in reported:
+                    continue
+                reported.add(sig)
+                findings.append(Finding(
+                    rel, fm.line(off), "H2",
+                    "hot path %s (%s) transitively %s here (%s) via "
+                    "%s" % (root_fn.qualified, root_rel, verb, what,
+                            " -> ".join(path))))
+            for name, _off in calls_in_span(fm.text, fn.body_start + 1,
+                                            fn.body_end):
+                if name in cfg.h2_frontier or name == fn.name:
+                    continue
+                for callee_rel, callee in resolve_callees(model, rel,
+                                                          name):
+                    stack.append((callee_rel, callee, path + (name,),
+                                  depth + 1))
+    return findings
+
+
+# Method names that collide with the standard container/string/stream
+# surface.  A lexical walk cannot tell `buf.append(...)` from
+# `journal.append(...)` without types, and binding every `.end()` to
+# StateWriter::end chains unrelated subsystems into nonsense paths.
+# These names never resolve across files; a definition in the calling
+# file still wins (a file that defines its own end() means it).
+GENERIC_METHOD_NAMES = frozenset((
+    "begin", "end", "rbegin", "rend", "size", "empty", "clear",
+    "data", "front", "back", "at", "find", "count", "insert",
+    "erase", "emplace", "push_back", "emplace_back", "pop_back",
+    "push", "pop", "top", "reset", "release", "swap", "append",
+    "assign", "resize", "reserve", "substr", "c_str", "str", "get",
+    "put", "open", "close", "read", "write", "flush", "min", "max",
+    "value", "first", "second", "copy", "fill", "test", "set", "any",
+    "none", "all",
+))
+
+
+def resolve_callees(model, rel, name):
+    """Definitions a call to @p name from file @p rel may reach.
+
+    Lexical resolution has no types, so an unconstrained walk chains
+    every same-named method across unrelated classes (end, get, load,
+    access...) into nonsense paths.  Constrain it: a definition in the
+    calling file wins; otherwise follow the name only when it is not a
+    generic container-surface name and the whole tree defines it
+    exactly once.  Ambiguous cross-file names are left to the libclang
+    engine, which resolves them for real."""
+    defs = model.fn_index.get(name, [])
+    same_file = [(r, f) for r, f in defs if r == rel]
+    if same_file:
+        return same_file
+    if name in GENERIC_METHOD_NAMES:
+        return []
+    if len(defs) == 1:
+        return defs
+    return []
+
+
+# -------------------------------------------- X1 exhaustive switches
+
+
+def rule_x1(model, cfg):
+    if not cfg.x1_enums:
+        return []
+    enums = []
+    for rel, fm in sorted(model.files.items()):
+        for e in fm.enums:
+            for wanted in cfg.x1_enums:
+                if e.path == wanted or e.path.endswith("::" + wanted):
+                    enums.append(e)
+                    break
+    findings = []
+    for rel, fm in sorted(model.files.items()):
+        for sw in fm.switches:
+            candidates = switch_candidates(sw, enums)
+            if not candidates:
+                continue
+            if sw.has_default:
+                findings.append(Finding(
+                    rel, fm.line(sw.default_offset), "X1",
+                    "switch over %s has a default: a future "
+                    "enumerator would be silently swallowed — name "
+                    "every case instead" % candidates[0].path))
+            covered = {enumerator_of(lbl) for lbl, _off in sw.labels}
+            if any(set(e.enumerators) <= covered for e in candidates):
+                continue
+            best = max(candidates,
+                       key=lambda e: len(set(e.enumerators) & covered))
+            missing = [en for en in best.enumerators
+                       if en not in covered]
+            findings.append(Finding(
+                rel, fm.line(sw.offset), "X1",
+                "switch over %s does not name enumerator%s %s: a "
+                "missing outcome is silently ignored" % (
+                    best.path, "s" if len(missing) != 1 else "",
+                    ", ".join(missing))))
+    return findings
+
+
+def enumerator_of(label):
+    return label.split("::")[-1].strip()
+
+
+def switch_candidates(sw, enums):
+    """Enums every one of this switch's labels is consistent with."""
+    if not sw.labels:
+        return []
+    out = []
+    for e in enums:
+        ok = True
+        for label, _off in sw.labels:
+            parts = [p.strip() for p in label.split("::")]
+            if parts[-1] not in e.enumerators:
+                ok = False
+                break
+            qual = "::".join(parts[:-1])
+            if qual and not (e.path == qual
+                             or e.path.endswith("::" + qual)
+                             or qual.endswith(e.name)):
+                ok = False
+                break
+        if ok:
+            out.append(e)
+    return out
+
+
+# ---------------------------------------- CP1 crash-point coverage
+
+RENAME_RE = re.compile(
+    r"(?<![\w.>])(?:std\s*::\s*|::\s*)rename\s*\(")
+CRASH_POINT_RE = re.compile(r"\bcrashPoint\s*\(")
+
+
+def rule_cp1(model, cfg):
+    findings = []
+    seen_sites = {}   # site name -> (rel, line) of first registration
+    for rel, fm in sorted(model.files.items()):
+        for m in CRASH_POINT_RE.finditer(fm.text):
+            open_paren = m.end() - 1
+            close = match_paren(fm.text, open_paren)
+            if close < 0:
+                continue
+            raw_arg = fm.raw(open_paren + 1, close).strip()
+            lm = re.fullmatch(r'"([^"]*)"', raw_arg)
+            if not lm:
+                continue   # non-literal argument (the definition etc.)
+            site = lm.group(1)
+            seen_sites.setdefault(site, (rel, fm.line(m.start())))
+            if site not in cfg.cp1_sites:
+                findings.append(Finding(
+                    rel, fm.line(m.start()), "CP1",
+                    "crash point site \"%s\" is not in the registered "
+                    "site list (rules.CP1.sites): the chaos battery "
+                    "will never schedule it" % site))
+        # Raw rename durability sites must be crash-point bracketed.
+        for fn in fm.functions:
+            body_start, body_end = fn.body_start + 1, fn.body_end
+            points = [m.start() for m in CRASH_POINT_RE.finditer(
+                fm.text, body_start, body_end)]
+            for m in RENAME_RE.finditer(fm.text, body_start, body_end):
+                off = m.start()
+                has_pre = any(p < off for p in points)
+                has_post = any(p > off for p in points)
+                if not (has_pre and has_post):
+                    side = ("before and after" if not points
+                            else "before" if not has_pre else "after")
+                    findings.append(Finding(
+                        rel, fm.line(off), "CP1",
+                        "rename durability site in %s has no crash "
+                        "point %s it: a crash here is invisible to "
+                        "the chaos battery" % (fn.qualified, side)))
+    for site in cfg.cp1_sites:
+        if site not in seen_sites:
+            findings.append(Finding(
+                "tools/cppc_analyze/cppc_analyze.toml", 1, "CP1",
+                "registered crash point site \"%s\" no longer exists "
+                "in the tree: remove it from rules.CP1.sites or "
+                "restore the instrumentation" % site))
+    return findings
+
+
+RULE_FNS = {
+    "S1": rule_s1,
+    "C1": rule_c1,
+    "H2": rule_h2,
+    "X1": rule_x1,
+    "CP1": rule_cp1,
+}
+
+
+# ------------------------------------------------------ libclang engine
+
+
+def libclang_available():
+    try:
+        import clang.cindex  # noqa: F401
+        return True
+    except Exception:
+        return False
+
+
+def find_compile_commands(root, explicit):
+    if explicit:
+        if not os.path.exists(explicit):
+            raise ToolError("no compilation database at %s" % explicit)
+        return explicit
+    for rel in ("compile_commands.json", "build/compile_commands.json"):
+        path = os.path.join(root, rel)
+        if os.path.exists(path):
+            return path
+    return None
+
+
+def compile_db_files(root, db_path):
+    with open(db_path, "r", encoding="utf-8") as f:
+        db = json.load(f)
+    rels = []
+    for entry in db:
+        path = os.path.normpath(os.path.join(
+            entry.get("directory", root), entry["file"]))
+        if path.startswith(root + os.sep):
+            rels.append(os.path.relpath(path, root))
+    return rels
+
+
+def libclang_refine(model, root, db_path):
+    """Cross-check lexical function spans against libclang AST extents
+    for every TU in the compilation database; drop lexical functions
+    the AST does not confirm.  Only runs when clang.cindex imports."""
+    import clang.cindex as ci
+    try:
+        index = ci.Index.create()
+    except Exception as e:  # pragma: no cover - env-specific
+        raise ToolError("libclang engine unavailable: %s" % e)
+    with open(db_path, "r", encoding="utf-8") as f:
+        db = json.load(f)
+    for entry in db:
+        path = os.path.normpath(os.path.join(
+            entry.get("directory", root), entry["file"]))
+        rel = os.path.relpath(path, root)
+        if rel not in model.files:
+            continue
+        args = entry.get("arguments") or entry.get("command",
+                                                   "").split()
+        args = [a for a in args[1:] if a not in ("-c", "-o")]
+        try:
+            tu = index.parse(path, args=args)
+        except Exception:
+            continue
+        ast_lines = set()
+        def walk(cursor):
+            if cursor.kind.name in ("CXX_METHOD", "FUNCTION_DECL",
+                                    "CONSTRUCTOR", "DESTRUCTOR",
+                                    "FUNCTION_TEMPLATE") and \
+                    cursor.is_definition():
+                if cursor.location.file and \
+                        os.path.samefile(str(cursor.location.file),
+                                         path):
+                    ast_lines.add((cursor.spelling,
+                                   cursor.extent.start.line))
+            for child in cursor.get_children():
+                walk(child)
+        walk(tu.cursor)
+        fm = model.files[rel]
+        fm.functions = [
+            fn for fn in fm.functions
+            if any(name == fn.name and
+                   abs(line - fm.line(fn.sig_start)) <= 2
+                   for name, line in ast_lines)]
+        model.fn_index = {}
+        for r, f in model.files.items():
+            for fn in f.functions:
+                model.fn_index.setdefault(fn.name, []).append((r, fn))
+    return model
+
+
+# -------------------------------------------------------------- driving
+
+
+def run_analyze(root, cfg, rels, rules, engine="syntactic",
+                compile_commands=None, quiet=False):
+    db_path = find_compile_commands(root, compile_commands)
+    if engine == "auto":
+        engine = ("libclang" if libclang_available() and db_path
+                  else "syntactic")
+        if engine == "syntactic" and not quiet:
+            print("cppc-analyze: no libclang bindings + compilation "
+                  "database; using the syntactic engine",
+                  file=sys.stderr)
+    if db_path:
+        # The compilation database drives TU discovery: any built TU
+        # under an include path joins the scanned set.
+        extra = [r for r in compile_db_files(root, db_path)
+                 if r not in rels and any(
+                     r == top or r.startswith(top.rstrip("/") + "/")
+                     for top in cfg.include)
+                 and not any(r == ex or r.startswith(ex + "/")
+                             for ex in cfg.exclude)]
+        rels = sorted(set(rels) | set(extra))
+    model = Model(root, rels)
+    if engine == "libclang":
+        if not libclang_available():
+            raise ToolError("engine=libclang requested but the "
+                            "clang.cindex bindings are not importable")
+        if not db_path:
+            raise ToolError("engine=libclang needs "
+                            "compile_commands.json")
+        model = libclang_refine(model, root, db_path)
+
+    findings = []
+    for rel in sorted(model.files):
+        findings += model.files[rel].src.directive_findings()
+    for rule in rules:
+        raw = RULE_FNS[rule](model, cfg)
+        for f in raw:
+            fm = model.files.get(f.path)
+            if fm is not None and fm.src.allowed(f.line, f.rule):
+                continue
+            findings.append(f)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return findings, engine
+
+
+# ----------------------------------------------------------- self-check
+
+
+def fixture_config(**overrides):
+    cfg = Config()
+    cfg.include = ["."]
+    cfg.exclude = []
+    cfg.c1_paths = []
+    cfg.x1_enums = ["FixtureOutcome", "SabotageOutcome"]
+    # Empty by default: each fixture is analyzed alone, and a site
+    # registered here but absent from the file under test would be a
+    # spurious stale-registry CP1 finding.
+    cfg.cp1_sites = []
+    for key, value in overrides.items():
+        setattr(cfg, key, value)
+    return cfg
+
+
+def self_check():
+    """Every rule must fire on its sabotage fixture and stay silent on
+    the clean one — a checker that cannot catch a planted bug is worse
+    than no checker."""
+    expectations = [
+        ("sabotage_s1.cc", "S1", fixture_config()),
+        ("sabotage_c1.cc", "C1", fixture_config()),
+        ("sabotage_h2.cc", "H2", fixture_config()),
+        ("sabotage_x1.cc", "X1", fixture_config()),
+        ("sabotage_cp1.cc", "CP1", fixture_config(
+            cp1_sites=["sabotage.stale"])),
+    ]
+    ok = True
+    for name, rule, cfg in expectations:
+        path = os.path.join(FIXTURES_DIR, name)
+        if not os.path.exists(path):
+            print("self-check: FIXTURE MISSING %s" % path)
+            ok = False
+            continue
+        findings, _ = run_analyze(FIXTURES_DIR, cfg, [name], RULES,
+                                  "syntactic", quiet=True)
+        hit = [f for f in findings if f.rule == rule]
+        wrong = [f for f in findings if f.rule not in (rule, "DIR")]
+        if hit and not wrong:
+            print("self-check: %s -> caught %s (%d finding%s)"
+                  % (name, rule, len(hit),
+                     "s" if len(hit) > 1 else ""))
+        elif not hit:
+            print("self-check: %s -> MISSED %s: the %s detector is "
+                  "blind" % (name, rule, rule))
+            for f in findings:
+                print("  (saw only) %s" % f)
+            ok = False
+        else:
+            print("self-check: %s -> cross-rule false positives:"
+                  % name)
+            for f in wrong:
+                print("  %s" % f)
+            ok = False
+    cfg = fixture_config(
+        cp1_sites=["fixture.rename.pre", "fixture.rename.post"])
+    findings, _ = run_analyze(FIXTURES_DIR, cfg, ["clean.cc"], RULES,
+                              "syntactic", quiet=True)
+    if findings:
+        print("self-check: clean.cc -> FALSE POSITIVES:")
+        for f in findings:
+            print("  %s" % f)
+        ok = False
+    else:
+        print("self-check: clean.cc -> clean, as it must be")
+    print("self-check: %s" % ("ok" if ok else "FAILED"))
+    return 0 if ok else 1
+
+
+# ------------------------------------------------------------------ cli
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        prog="cppc-analyze",
+        description="interprocedural invariant analysis for CPPC "
+                    "(rules S1 C1 H2 X1 CP1; see module docstring)")
+    ap.add_argument("paths", nargs="*",
+                    help="files or directories relative to --root "
+                         "(default: the configured include set)")
+    ap.add_argument("--root", default=DEFAULT_ROOT,
+                    help="repository root (default: %(default)s)")
+    ap.add_argument("--engine",
+                    choices=("auto", "syntactic", "libclang"),
+                    default="auto",
+                    help="analysis engine (default: %(default)s; "
+                         "'auto' prefers libclang when the bindings "
+                         "and a compilation database exist)")
+    ap.add_argument("--compile-commands", default=None,
+                    help="compilation database (drives TU discovery; "
+                         "required for the libclang engine)")
+    ap.add_argument("--rules", default=",".join(RULES),
+                    help="comma-separated rule subset "
+                         "(default: %(default)s)")
+    ap.add_argument("--sarif", default=None, metavar="PATH",
+                    help="also write findings as SARIF 2.1.0 to PATH")
+    ap.add_argument("--list-rules", action="store_true",
+                    help="print the rule catalogue and exit")
+    ap.add_argument("--self-check", action="store_true",
+                    help="run every rule against its sabotage "
+                         "fixture; exit nonzero unless each planted "
+                         "bug is caught")
+    ap.add_argument("-q", "--quiet", action="store_true",
+                    help="findings only, no summary")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES + ("DIR",):
+            print("%s  %s" % (rule, RULE_DOC[rule]))
+        return 0
+    if args.self_check:
+        return self_check()
+
+    rules = tuple(r.strip().upper() for r in args.rules.split(",")
+                  if r.strip())
+    for r in rules:
+        if r not in RULES:
+            raise ToolError("unknown rule %r (have: %s)"
+                            % (r, " ".join(RULES)))
+
+    root = os.path.abspath(args.root)
+    cfg = Config.load(CONFIG_PATH)
+    rels = collect_files(root, cfg.include, cfg.exclude, args.paths)
+    if not rels:
+        raise ToolError("no source files under %s" % root)
+
+    findings, engine = run_analyze(root, cfg, rels, rules,
+                                   args.engine, args.compile_commands,
+                                   args.quiet)
+    for f in findings:
+        print(f)
+    if args.sarif:
+        write_sarif(args.sarif, findings_to_sarif(
+            "cppc-analyze", RULES + ("DIR",), RULE_DOC, findings))
+    if not args.quiet:
+        print("cppc-analyze (%s engine): %d file%s, %d finding%s"
+              % (engine, len(rels), "s" if len(rels) != 1 else "",
+                 len(findings), "s" if len(findings) != 1 else ""))
+        if findings:
+            print("suppress a justified case with "
+                  "`// cppc-lint: allow(RULE): reason`")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except ToolError as e:
+        print("cppc-analyze: error: %s" % e, file=sys.stderr)
+        sys.exit(2)

@@ -1,0 +1,198 @@
+// Clean fixture: one well-formed specimen of every construct the five
+// rule families inspect.  The self-check runs all rules over this file
+// and demands zero findings — a detector that fires here is reporting
+// noise, not invariants.  Never compiled; shaped like the real tree.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+// --- state I/O surface (mirrors src/util/state_io.hh) ---------------
+
+struct StateWriter {
+    void begin(unsigned tag, unsigned version);
+    void end();
+    void u64(unsigned long v);
+    void str(const std::string &s);
+};
+
+struct StateReader {
+    void enter(unsigned tag);
+    void leave();
+    unsigned long u64();
+    std::string str();
+};
+
+constexpr unsigned kBoxTag = 0x424f5858;    // "BOXX"
+constexpr unsigned kCrateTag = 0x43525445;  // "CRTE"
+
+// --- S1: symmetric save/load pair -----------------------------------
+
+class Box {
+public:
+    void
+    save(StateWriter &w) const
+    {
+        w.begin(kBoxTag, 1);
+        w.u64(count_);
+        w.str(label_);
+        w.end();
+    }
+
+    void
+    load(StateReader &r)
+    {
+        r.enter(kBoxTag);
+        count_ = r.u64();
+        label_ = r.str();
+        r.leave();
+    }
+
+private:
+    unsigned long count_ = 0;
+    std::string label_;
+};
+
+// S1 with a nested state call: save hands the writer to the member,
+// load hands the reader to its counterpart — both normalize to the
+// same event.
+class Crate {
+public:
+    void
+    saveState(StateWriter &w) const
+    {
+        w.begin(kCrateTag, 1);
+        w.u64(epoch_);
+        box_.save(w);
+        w.end();
+    }
+
+    void
+    loadState(StateReader &r)
+    {
+        r.enter(kCrateTag);
+        epoch_ = r.u64();
+        box_.load(r);
+        r.leave();
+    }
+
+private:
+    unsigned long epoch_ = 0;
+    Box box_;
+};
+
+// --- C1: symmetric textual codec ------------------------------------
+
+std::string encodeU64(unsigned long v);
+std::string encodeDouble(double v);
+unsigned long decodeU64(const std::string &f);
+double decodeDouble(const std::string &f);
+std::vector<std::string> splitFields(const std::string &payload,
+                                     std::size_t want,
+                                     const char *what);
+
+struct Sub {
+    unsigned long lo = 0;
+    unsigned long hi = 0;
+};
+
+struct Rec {
+    unsigned long seeds = 0;
+    double volts = 0.0;
+    Sub a;
+    Sub b;
+};
+
+static std::string
+encodeSub(const Sub &s)
+{
+    std::string out;
+    out += encodeU64(s.lo);
+    out += encodeU64(s.hi);
+    return out;
+}
+
+std::string
+encodeRec(const Rec &r)
+{
+    std::string out;
+    out += encodeU64(r.seeds);
+    out += encodeDouble(r.volts);
+    out += encodeSub(r.a);
+    out += encodeSub(r.b);
+    return out;
+}
+
+Rec
+decodeRec(const std::string &payload)
+{
+    std::vector<std::string> f = splitFields(payload, 6, "Rec");
+    std::size_t i = 0;
+    Rec r;
+    r.seeds = decodeU64(f[i++]);
+    r.volts = decodeDouble(f[i++]);
+    for (Sub *s : {&r.a, &r.b}) {
+        s->lo = decodeU64(f[i++]);
+        s->hi = decodeU64(f[i++]);
+    }
+    return r;
+}
+
+// --- H2: hot root whose transitive closure stays pure ---------------
+
+static unsigned long
+mixStep(unsigned long x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdUL;
+    x ^= x >> 29;
+    return x;
+}
+
+// cppc-lint: hot
+unsigned long
+hotSum(const unsigned long *xs, unsigned long n)
+{
+    unsigned long acc = 0;
+    for (unsigned long i = 0; i < n; ++i) {
+        acc += mixStep(xs[i]);
+    }
+    return acc;
+}
+
+// --- X1: exhaustive switch, no default ------------------------------
+
+enum class FixtureOutcome { Benign, Corrected, Fatal };
+
+const char *
+outcomeName(FixtureOutcome o)
+{
+    switch (o) {
+    case FixtureOutcome::Benign:
+        return "benign";
+    case FixtureOutcome::Corrected:
+        return "corrected";
+    case FixtureOutcome::Fatal:
+        return "fatal";
+    }
+    return "?";
+}
+
+// --- CP1: bracketed durability site, registered names ---------------
+
+void crashPoint(const char *site);
+
+bool
+commitFixture(const std::string &tmp, const std::string &path)
+{
+    crashPoint("fixture.rename.pre");
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        return false;
+    }
+    crashPoint("fixture.rename.post");
+    return true;
+}
+
+} // namespace fixture

@@ -1,0 +1,88 @@
+// Sabotage fixture for rule C1 (journal codec symmetry).  Three
+// planted asymmetries, modeled on the src/harness/codec.cc bug
+// surface:
+//   1. Stats: decode consumes hits/misses in the opposite order to
+//      encode — every archived record silently transposes the two.
+//   2. Tally: encode writes four fields, decode reads three and the
+//      splitFields literal still claims four — spilled is lost and
+//      the arity check lies.
+//   3. encodeOrphan: no decodeOrphan exists, so its records are
+//      write-only.
+// The self-check requires C1 findings here and nothing but C1.
+
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+std::string encodeU64(unsigned long v);
+std::string encodeDouble(double v);
+unsigned long decodeU64(const std::string &f);
+double decodeDouble(const std::string &f);
+std::vector<std::string> splitFields(const std::string &payload,
+                                     std::size_t want,
+                                     const char *what);
+
+struct Stats {
+    unsigned long hits = 0;
+    unsigned long misses = 0;
+    double ratio = 0.0;
+};
+
+std::string
+encodeStats(const Stats &s)
+{
+    std::string out;
+    out += encodeU64(s.hits);
+    out += encodeU64(s.misses);
+    out += encodeDouble(s.ratio);
+    return out;
+}
+
+Stats
+decodeStats(const std::string &payload)
+{
+    std::vector<std::string> f = splitFields(payload, 3, "Stats");
+    Stats s;
+    s.misses = decodeU64(f[0]);
+    s.hits = decodeU64(f[1]);
+    s.ratio = decodeDouble(f[2]);
+    return s;
+}
+
+struct Tally {
+    unsigned long seen = 0;
+    unsigned long kept = 0;
+    unsigned long dropped = 0;
+    unsigned long spilled = 0;
+};
+
+std::string
+encodeTally(const Tally &t)
+{
+    std::string out;
+    out += encodeU64(t.seen);
+    out += encodeU64(t.kept);
+    out += encodeU64(t.dropped);
+    out += encodeU64(t.spilled);
+    return out;
+}
+
+Tally
+decodeTally(const std::string &payload)
+{
+    std::vector<std::string> f = splitFields(payload, 4, "Tally");
+    Tally t;
+    t.seen = decodeU64(f[0]);
+    t.kept = decodeU64(f[1]);
+    t.dropped = decodeU64(f[2]);
+    return t;
+}
+
+std::string
+encodeOrphan(unsigned long v)
+{
+    return encodeU64(v);
+}
+
+} // namespace fixture

@@ -1,0 +1,31 @@
+// Sabotage fixture for rule CP1 (crash-point coverage).  Three planted
+// defects (the third lives in the self-check's registry, which lists a
+// site this file does not contain):
+//   1. commitUnbracketed commits with ::rename but registers no crash
+//      points around it — a crash at the worst instant is invisible to
+//      the chaos battery.
+//   2. probeUnregistered names a crash-point site the registry does
+//      not know, so no chaos schedule will ever trigger it.
+//   3. The registry lists "sabotage.stale", which no code reaches.
+// The self-check requires CP1 findings here and nothing but CP1.
+
+#include <cstdio>
+#include <string>
+
+namespace fixture {
+
+void crashPoint(const char *site);
+
+bool
+commitUnbracketed(const std::string &tmp, const std::string &path)
+{
+    return ::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+void
+probeUnregistered()
+{
+    crashPoint("sabotage.unregistered");
+}
+
+} // namespace fixture

@@ -1,0 +1,51 @@
+// Sabotage fixture for rule H2 (transitive hot-path purity).  The hot
+// root itself is spotless — every sin hides one or two calls down,
+// exactly where the intraprocedural H1 rule cannot see it:
+//   hotLookup -> auditValue        throws at depth 1
+//   hotLookup -> chaseLink -> growBacklog   push_back allocation at depth 2
+// The self-check requires H2 findings here and nothing but H2.
+
+#include <vector>
+
+namespace fixture {
+
+struct Backlog {
+    std::vector<unsigned long> items;
+};
+
+static void
+growBacklog(Backlog &b, unsigned long v)
+{
+    b.items.push_back(v);
+}
+
+static unsigned long
+chaseLink(Backlog &b, unsigned long v)
+{
+    if (v == 0) {
+        growBacklog(b, v);
+    }
+    return v * 2654435761UL;
+}
+
+static unsigned long
+auditValue(unsigned long v)
+{
+    if (v > 1000) {
+        throw v;
+    }
+    return v;
+}
+
+// cppc-lint: hot
+unsigned long
+hotLookup(Backlog &b, const unsigned long *xs, unsigned long n)
+{
+    unsigned long acc = 0;
+    for (unsigned long i = 0; i < n; ++i) {
+        acc += chaseLink(b, auditValue(xs[i]));
+    }
+    return acc;
+}
+
+} // namespace fixture

@@ -1,0 +1,91 @@
+// Sabotage fixture for rule S1 (save/load state symmetry).  Four
+// planted asymmetries, each a real bug class from the PR 9 save-state
+// work:
+//   1. Drifted: load opens a different section tag than save wrote,
+//      and save serializes cursor_ that load never restores (the
+//      primitive sequences diverge at event 3).
+//   2. Dropper: load reads the seed from the image into a local and
+//      then forgets to apply it — restored state silently dropped.
+//   3. Orphan: savePayload has no loadPayload counterpart anywhere.
+// The self-check requires S1 findings here and nothing but S1.
+
+#include <string>
+
+namespace fixture {
+
+struct StateWriter {
+    void begin(unsigned tag, unsigned version);
+    void end();
+    void u64(unsigned long v);
+    void str(const std::string &s);
+};
+
+struct StateReader {
+    void enter(unsigned tag);
+    void leave();
+    unsigned long u64();
+    std::string str();
+};
+
+constexpr unsigned kDriftTagA = 0x44524654;  // "DRFT"
+constexpr unsigned kDriftTagB = 0x44524946;  // "DRIF"
+
+class Drifted {
+public:
+    void
+    save(StateWriter &w) const
+    {
+        w.begin(kDriftTagA, 2);
+        w.u64(epoch_);
+        w.u64(cursor_);
+        w.str(label_);
+        w.end();
+    }
+
+    void
+    load(StateReader &r)
+    {
+        r.enter(kDriftTagB);
+        epoch_ = r.u64();
+        label_ = r.str();
+        r.leave();
+    }
+
+private:
+    unsigned long epoch_ = 0;
+    unsigned long cursor_ = 0;
+    std::string label_;
+};
+
+class Dropper {
+public:
+    void
+    save(StateWriter &w) const
+    {
+        w.u64(seed_);
+    }
+
+    void
+    load(StateReader &r)
+    {
+        unsigned long seed = r.u64();
+        // ... and seed_ is never assigned: the restore is a no-op.
+    }
+
+private:
+    unsigned long seed_ = 1;
+};
+
+class Orphan {
+public:
+    void
+    savePayload(StateWriter &w) const
+    {
+        w.u64(shards_);
+    }
+
+private:
+    unsigned long shards_ = 0;
+};
+
+} // namespace fixture

@@ -1,0 +1,45 @@
+// Sabotage fixture for rule X1 (exhaustive outcome switches).  Two
+// planted defects over the same four-state outcome enum:
+//   1. partialName names only three of the four enumerators and has
+//      no default — Sdc falls straight through.
+//   2. swallowedCount names all four but carries a default, so the
+//      *next* enumerator added to the enum will be silently absorbed
+//      instead of failing to compile.
+// The self-check requires X1 findings here and nothing but X1.
+
+namespace fixture {
+
+enum class SabotageOutcome { Benign, Corrected, Due, Sdc };
+
+const char *
+partialName(SabotageOutcome o)
+{
+    switch (o) {
+    case SabotageOutcome::Benign:
+        return "benign";
+    case SabotageOutcome::Corrected:
+        return "corrected";
+    case SabotageOutcome::Due:
+        return "due";
+    }
+    return "?";
+}
+
+int
+swallowedCount(SabotageOutcome o)
+{
+    switch (o) {
+    case SabotageOutcome::Benign:
+        return 0;
+    case SabotageOutcome::Corrected:
+        return 1;
+    case SabotageOutcome::Due:
+        return 2;
+    case SabotageOutcome::Sdc:
+        return 3;
+    default:
+        return -1;
+    }
+}
+
+} // namespace fixture

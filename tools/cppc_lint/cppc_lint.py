@@ -19,6 +19,8 @@ This tool turns those conventions into named, suppressible rules:
   E1  every atomicWriteFile / atomicPublishFile / Journal::append
       result must be consumed: a discarded call silently drops a
       result or checkpoint.
+  DIR malformed suppression structure (dangling allow-begin, orphan
+      allow-end); always on, never suppressible.
 
 Engines
 -------
@@ -32,11 +34,14 @@ Engines
   auto   clang when a clang binary and a compilation database are
          found, regex otherwise.
 
-Suppressions
-------------
-  // cppc-lint: allow(D1): reason         this line or the next one
-  // cppc-lint: allow-file(D1): reason    whole file
-  // cppc-lint: hot                       marks the next function for H1
+Suppressions (parsed by tools/analysis_common, shared with
+cppc_analyze; annotations inside string/raw-string literals never
+register):
+  // cppc-lint: allow(D1): reason          this line or the next one
+  // cppc-lint: allow-file(D1): reason     whole file
+  // cppc-lint: allow-begin(D1): reason    start of a block...
+  // cppc-lint: allow-end(D1)              ...end of it (blocks nest)
+  // cppc-lint: hot                        marks the next function (H1)
 
 Exit codes: 0 clean, 1 findings, 2 usage/internal error.
 
@@ -60,9 +65,24 @@ except ImportError:  # pragma: no cover - Python < 3.11 fallback
     tomllib = None
 
 TOOL_DIR = os.path.dirname(os.path.abspath(__file__))
-DEFAULT_ROOT = os.path.dirname(os.path.dirname(TOOL_DIR))
+TOOLS_DIR = os.path.dirname(TOOL_DIR)
+DEFAULT_ROOT = os.path.dirname(TOOLS_DIR)
 CONFIG_PATH = os.path.join(TOOL_DIR, "cppc_lint.toml")
 FIXTURES_DIR = os.path.join(TOOL_DIR, "fixtures")
+
+sys.path.insert(0, TOOLS_DIR)
+
+from analysis_common import (  # noqa: E402
+    Finding,
+    ToolError,
+    apply_suppressions,
+    collect_files,
+    findings_to_sarif,
+    load_source,
+    write_sarif,
+)
+
+LintError = ToolError
 
 RULES = ("D1", "D2", "H1", "E1")
 
@@ -71,31 +91,8 @@ RULE_DOC = {
     "D2": "iteration over an unordered container in a result path",
     "H1": "heap allocation in a `// cppc-lint: hot` function",
     "E1": "discarded result of a checked write",
+    "DIR": "malformed suppression directive",
 }
-
-SOURCE_EXTS = (".cc", ".hh", ".cpp", ".h", ".hpp")
-
-DIRECTIVE_RE = re.compile(
-    r"//\s*cppc-lint:\s*"
-    r"(?P<kind>hot|allow|allow-file)"
-    r"(?:\s*\(\s*(?P<rules>[A-Z0-9,\s]+)\s*\))?"
-)
-
-
-class Finding:
-    def __init__(self, path, line, rule, message):
-        self.path = path
-        self.line = line
-        self.rule = rule
-        self.message = message
-
-    def __str__(self):
-        return "%s:%d: %s: %s" % (self.path, self.line, self.rule,
-                                  self.message)
-
-
-class LintError(Exception):
-    """Usage or environment problem; maps to exit code 2."""
 
 
 # --------------------------------------------------------------- config
@@ -125,126 +122,6 @@ class Config:
         cfg.d1_whitelist = rules.get("D1", {}).get("whitelist", [])
         cfg.d2_paths = rules.get("D2", {}).get("paths", [])
         return cfg
-
-
-# ------------------------------------------------- source preprocessing
-
-
-def strip_comments_and_strings(text):
-    """Blank out comments, string and char literals, preserving line
-    structure and column positions, so rule regexes never fire inside
-    them.  Handles //, /* */, "...", '...' and raw string literals."""
-    out = []
-    i, n = 0, len(text)
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if c == "/" and nxt == "/":
-            j = text.find("\n", i)
-            j = n if j < 0 else j
-            out.append(" " * (j - i))
-            i = j
-        elif c == "/" and nxt == "*":
-            j = text.find("*/", i + 2)
-            j = n - 2 if j < 0 else j
-            seg = text[i:j + 2]
-            out.append("".join("\n" if ch == "\n" else " " for ch in seg))
-            i = j + 2
-        elif c == "R" and nxt == '"':
-            m = re.match(r'R"([^(\s]*)\(', text[i:])
-            if not m:
-                out.append(c)
-                i += 1
-                continue
-            close = ")" + m.group(1) + '"'
-            j = text.find(close, i + m.end())
-            j = n - len(close) if j < 0 else j
-            seg = text[i:j + len(close)]
-            out.append("".join("\n" if ch == "\n" else " " for ch in seg))
-            i = j + len(close)
-        elif c == '"' or c == "'":
-            quote = c
-            j = i + 1
-            while j < n and text[j] != quote:
-                j += 2 if text[j] == "\\" else 1
-            out.append(" " * (j + 1 - i))
-            i = j + 1
-        else:
-            out.append(c)
-            i += 1
-    return "".join(out)
-
-
-class SourceFile:
-    """One scanned file: raw lines (for directives), stripped lines
-    (for rules) and the directive maps."""
-
-    def __init__(self, path, rel, text):
-        self.path = path
-        self.rel = rel
-        self.raw_lines = text.splitlines()
-        self.lines = strip_comments_and_strings(text).splitlines()
-        # line no -> set of allowed rules; 0 -> whole file
-        self.allows = {}
-        self.file_allows = set()
-        self.hot_lines = []
-        for ln, raw in enumerate(self.raw_lines, 1):
-            m = DIRECTIVE_RE.search(raw)
-            if not m:
-                continue
-            kind = m.group("kind")
-            rules = set()
-            if m.group("rules"):
-                rules = {r.strip() for r in m.group("rules").split(",")
-                         if r.strip()}
-            if kind == "hot":
-                self.hot_lines.append(ln)
-            elif kind == "allow":
-                self.allows.setdefault(ln, set()).update(rules)
-            elif kind == "allow-file":
-                self.file_allows.update(rules)
-
-    def allowed(self, line, rule):
-        if rule in self.file_allows:
-            return True
-        # A directive suppresses its own line and the following line
-        # (the common `// cppc-lint: allow(X): why` - on - its - own -
-        # line layout).
-        for at in (line, line - 1):
-            if rule in self.allows.get(at, set()):
-                return True
-        return False
-
-
-def load_source(root, rel):
-    path = os.path.join(root, rel)
-    with open(path, "r", encoding="utf-8", errors="replace") as f:
-        return SourceFile(path, rel, f.read())
-
-
-def collect_files(root, cfg, explicit_paths):
-    rels = []
-    if explicit_paths:
-        roots = explicit_paths
-    else:
-        roots = cfg.include
-    for top in roots:
-        top_abs = os.path.join(root, top)
-        if os.path.isfile(top_abs):
-            rels.append(os.path.relpath(top_abs, root))
-            continue
-        for dirpath, dirnames, filenames in os.walk(top_abs):
-            dirnames.sort()
-            rel_dir = os.path.relpath(dirpath, root)
-            if any(rel_dir == ex or rel_dir.startswith(ex + "/")
-                   for ex in cfg.exclude):
-                dirnames[:] = []
-                continue
-            for name in sorted(filenames):
-                if name.endswith(SOURCE_EXTS):
-                    rels.append(os.path.normpath(
-                        os.path.join(rel_dir, name)))
-    return rels
 
 
 # ---------------------------------------------------------------- rules
@@ -620,6 +497,7 @@ def clang_engine_findings(root, cfg, rels, rules, compile_commands):
     findings = []
     for rel in rels:
         src = load_source(root, rel)
+        findings += src.directive_findings()
         # D2/H1 are lexical by design (annotation/declaration driven).
         for rule in ("D2", "H1"):
             if rule in rules:
@@ -653,14 +531,11 @@ def clang_engine_findings(root, cfg, rels, rules, compile_commands):
 # -------------------------------------------------------------- driving
 
 
-def apply_suppressions(src, findings):
-    return [f for f in findings if not src.allowed(f.line, f.rule)]
-
-
 def regex_engine_findings(root, cfg, rels, rules):
     findings = []
     for rel in rels:
         src = load_source(root, rel)
+        findings += src.directive_findings()
         for rule in rules:
             findings += apply_suppressions(src, RULE_FNS[rule](src, cfg))
     return findings
@@ -690,21 +565,35 @@ def run_lint(root, cfg, rels, rules, engine, compile_commands=None,
 
 def self_check():
     """Lint the sabotage fixtures: every seeded violation must be
-    caught, and the clean fixture must stay clean."""
+    caught, the engine-hardening fixtures must behave exactly as
+    documented, and the clean fixture must stay clean."""
     cfg = Config()
     cfg.include = ["."]
     cfg.exclude = []
     cfg.d1_whitelist = []
     cfg.d2_paths = []  # empty: D2 applies everywhere in the fixtures
 
+    # (fixture, rule, exact expected count or None for "at least one")
     expectations = [
-        ("sabotage_d1.cc", "D1"),
-        ("sabotage_d2.cc", "D2"),
-        ("sabotage_h1.cc", "H1"),
-        ("sabotage_e1.cc", "E1"),
+        ("sabotage_d1.cc", "D1", None),
+        ("sabotage_d2.cc", "D2", None),
+        ("sabotage_h1.cc", "H1", None),
+        ("sabotage_e1.cc", "E1", None),
+        # Engine hardening regressions:
+        # CRLF line endings must not hide the violation or break the
+        # allow() on the other call (exactly the unsuppressed one).
+        ("crlf.cc", "D1", 1),
+        # A directive spelled inside a raw string / string literal must
+        # not register: the real violation next to it stays caught.
+        ("rawstring_directive.cc", "D1", 2),
+        # Nested allow-begin/end blocks: both nested violations are
+        # suppressed, the one after the outer end is not.
+        ("nested_allow.cc", "D1", 1),
+        # A dangling allow-begin is itself a finding.
+        ("sabotage_dir.cc", "DIR", 1),
     ]
     ok = True
-    for name, rule in expectations:
+    for name, rule, want in expectations:
         path = os.path.join(FIXTURES_DIR, name)
         if not os.path.exists(path):
             print("self-check: FIXTURE MISSING %s" % path)
@@ -713,7 +602,14 @@ def self_check():
         findings, _ = run_lint(FIXTURES_DIR, cfg, [name], RULES,
                                "regex", quiet=True)
         hit = [f for f in findings if f.rule == rule]
-        if hit:
+        if want is not None and len(hit) != want:
+            print("self-check: %s -> expected exactly %d %s finding%s, "
+                  "got %d" % (name, want, rule,
+                              "s" if want != 1 else "", len(hit)))
+            for f in findings:
+                print("  (saw) %s" % f)
+            ok = False
+        elif hit:
             print("self-check: %s -> caught %s (%d finding%s)"
                   % (name, rule, len(hit), "s" if len(hit) > 1 else ""))
         else:
@@ -758,6 +654,8 @@ def main(argv=None):
     ap.add_argument("--rules", default=",".join(RULES),
                     help="comma-separated rule subset "
                          "(default: %(default)s)")
+    ap.add_argument("--sarif", default=None, metavar="PATH",
+                    help="also write findings as SARIF 2.1.0 to PATH")
     ap.add_argument("--list-rules", action="store_true",
                     help="print the rule catalogue and exit")
     ap.add_argument("--self-check", action="store_true",
@@ -768,7 +666,7 @@ def main(argv=None):
     args = ap.parse_args(argv)
 
     if args.list_rules:
-        for rule in RULES:
+        for rule in RULES + ("DIR",):
             print("%s  %s" % (rule, RULE_DOC[rule]))
         return 0
     if args.self_check:
@@ -783,7 +681,7 @@ def main(argv=None):
 
     root = os.path.abspath(args.root)
     cfg = Config.load(CONFIG_PATH)
-    rels = collect_files(root, cfg, args.paths)
+    rels = collect_files(root, cfg.include, cfg.exclude, args.paths)
     if not rels:
         raise LintError("no source files under %s" % root)
 
@@ -791,6 +689,9 @@ def main(argv=None):
                                 args.compile_commands, args.quiet)
     for f in findings:
         print(f)
+    if args.sarif:
+        write_sarif(args.sarif, findings_to_sarif(
+            "cppc-lint", RULES + ("DIR",), RULE_DOC, findings))
     if not args.quiet:
         print("cppc-lint (%s engine): %d file%s, %d finding%s"
               % (engine, len(rels), "s" if len(rels) != 1 else "",

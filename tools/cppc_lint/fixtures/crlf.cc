@@ -1,0 +1,19 @@
+// Engine-hardening fixture: CRLF line endings.  The violation and
+// its sibling suppression must behave exactly as they would with LF
+// endings: one caught D1, one suppressed D1, no parse weirdness from
+// the trailing carriage returns.
+
+#include <ctime>
+
+namespace fixture {
+
+inline long
+stampPair()
+{
+    long bad = time(nullptr); // D1: must be caught despite CRLF
+    // cppc-lint: allow(D1): CRLF fixture exercises a suppressed call
+    long ok = time(nullptr);
+    return bad + ok;
+}
+
+} // namespace fixture

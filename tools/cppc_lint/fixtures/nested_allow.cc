@@ -1,0 +1,24 @@
+// Engine-hardening fixture: allow-begin/allow-end blocks nest.  Both
+// violations inside the blocks are suppressed (inner and outer), the
+// one after the outer end is not — exactly one D1 must survive.  The
+// nesting itself is well-formed, so no DIR finding may appear.
+
+#include <ctime>
+
+namespace fixture {
+
+inline long
+blockSuppressed()
+{
+    // cppc-lint: allow-begin(D1): outer block covers setup stamps
+    long outer = time(nullptr);
+    // cppc-lint: allow-begin(D1): inner block covers the nested call
+    long inner = time(nullptr);
+    // cppc-lint: allow-end(D1)
+    long still_outer = time(nullptr);
+    // cppc-lint: allow-end(D1)
+    long exposed = time(nullptr); // D1: outside every block
+    return outer + inner + still_outer + exposed;
+}
+
+} // namespace fixture

@@ -1,0 +1,36 @@
+// Engine-hardening fixture: `// cppc-lint:` sequences inside string
+// and raw-string literals are *data*, not directives.  This file
+// embeds an allow-file(D1) inside both literal kinds; if either one
+// registered, the two real D1 violations below would be suppressed
+// and the self-check would fail.
+
+#include <ctime>
+
+namespace fixture {
+
+inline const char *
+lintDocsPlain()
+{
+    // A tool printing its own usage text must not silence itself.
+    return "suppress with `// cppc-lint: allow-file(D1): reason`";
+}
+
+inline const char *
+lintDocsRaw()
+{
+    return R"doc(
+      Whole-file suppression syntax:
+        // cppc-lint: allow-file(D1): reason
+      (this is documentation, not a live directive)
+    )doc";
+}
+
+inline long
+stampTwice()
+{
+    long a = time(nullptr); // D1 #1: must still be caught
+    long b = time(nullptr); // D1 #2: must still be caught
+    return a + b;
+}
+
+} // namespace fixture

@@ -1,0 +1,17 @@
+// Sabotage fixture for rule DIR: an allow-begin with no matching
+// allow-end would silently suppress every D1 to end of file — the
+// dangling begin itself must be reported (and, being unclosed, it
+// must NOT actually suppress anything).
+
+#include <ctime>
+
+namespace fixture {
+
+inline long
+danglingBlock()
+{
+    // cppc-lint: allow-begin(D1): never closed below — DIR must fire
+    return time(nullptr);
+}
+
+} // namespace fixture
